@@ -1,0 +1,40 @@
+"""Ablation bench: gated (LSTM-style) fusion vs parameter-free fusion.
+
+The paper motivates the gated embedding fusion by noting that parameter-free
+combinations (averaging, taking the last item) aggregate noise and perform
+worse.  This bench trains the same KVEC configuration with each fusion
+mechanism on the Traffic-FG analogue and records the resulting metrics.
+"""
+
+from benchmarks.conftest import RESULTS_DIR, bench_scale
+
+from repro.eval.estimators import KVECEstimator
+from repro.eval.evaluator import evaluate_method
+from repro.eval.reporting import render_metric_table
+from repro.experiments.presets import get_scale
+from repro.experiments.workloads import dataset_splits
+
+FUSIONS = ("gated", "mean", "last")
+
+
+def run_fusion_ablation(scale_name: str):
+    scale = get_scale(scale_name)
+    splits = dataset_splits("Traffic-FG", scale)
+    summaries = {}
+    for fusion in FUSIONS:
+        config = scale.kvec.with_overrides(fusion=fusion)
+        estimator = KVECEstimator(splits.spec, splits.num_classes, config)
+        estimator.name = f"KVEC[{fusion}]"
+        summaries[estimator.name] = evaluate_method(estimator, splits).summary
+    return summaries
+
+
+def test_fusion_ablation(benchmark, scale_name):
+    summaries = benchmark.pedantic(lambda: run_fusion_ablation(scale_name), rounds=1, iterations=1)
+    rendered = render_metric_table(summaries, title="Fusion ablation (Traffic-FG analogue)")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"ablation_fusion_{bench_scale()}.txt").write_text(rendered + "\n")
+    print("\n" + rendered)
+    assert set(summaries) == {f"KVEC[{fusion}]" for fusion in FUSIONS}
+    for summary in summaries.values():
+        assert 0.0 <= summary.accuracy <= 1.0

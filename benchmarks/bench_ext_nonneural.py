@@ -1,0 +1,50 @@
+"""Extension bench: KVEC vs the non-neural early classifiers.
+
+Not a paper artifact.  The paper's related-work section argues that classical
+feature-based and prefix-based early classifiers underperform learned
+representations on real data; this bench trains the reproduction's
+representatives of both families (the indicator miner and the nearest-prefix
+centroid classifier) next to KVEC on the Traffic-FG analogue, so the gap (or
+lack of it, at the small synthetic scale) is measured rather than asserted.
+"""
+
+from benchmarks.conftest import RESULTS_DIR, bench_scale
+
+from repro.baselines.indicator import IndicatorClassifier, IndicatorConfig
+from repro.baselines.nearest_prefix import NearestPrefixClassifier, NearestPrefixConfig
+from repro.eval.estimators import KVECEstimator
+from repro.eval.evaluator import evaluate_method
+from repro.eval.reporting import render_metric_table
+from repro.experiments.presets import get_scale
+from repro.experiments.workloads import dataset_splits
+
+
+def run_nonneural_comparison(scale_name: str):
+    scale = get_scale(scale_name)
+    splits = dataset_splits("Traffic-FG", scale)
+    methods = {
+        "KVEC": KVECEstimator(splits.spec, splits.num_classes, scale.kvec),
+        "NearestPrefix": NearestPrefixClassifier(
+            splits.spec, splits.num_classes, NearestPrefixConfig(margin=0.02)
+        ),
+        "Indicator": IndicatorClassifier(
+            splits.spec, splits.num_classes, IndicatorConfig(min_support=3, min_precision=0.7)
+        ),
+    }
+    return {name: evaluate_method(method, splits).summary for name, method in methods.items()}
+
+
+def test_nonneural_comparison(benchmark, scale_name):
+    summaries = benchmark.pedantic(
+        lambda: run_nonneural_comparison(scale_name), rounds=1, iterations=1
+    )
+    rendered = render_metric_table(
+        summaries, title="KVEC vs non-neural early classifiers (Traffic-FG analogue)"
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"ext_nonneural_{bench_scale()}.txt").write_text(rendered + "\n")
+    print("\n" + rendered)
+    assert set(summaries) == {"KVEC", "NearestPrefix", "Indicator"}
+    for summary in summaries.values():
+        assert 0.0 <= summary.accuracy <= 1.0
+        assert 0.0 < summary.earliness <= 1.0

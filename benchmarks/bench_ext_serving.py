@@ -1,0 +1,75 @@
+"""Extension bench: online serving over a live stream vs offline evaluation.
+
+Not a paper artifact.  The paper's deployment story (a router classifying
+live flows) is exercised end to end: a KVEC model is trained offline, the
+held-out flows are replayed through the arrival simulator as one overlapping
+packet stream, and the online engine serves them over bounded sliding
+windows of different sizes.  The measured output is the accuracy/earliness
+each window size retains relative to offline evaluation — the cost of the
+window truncation approximation.
+"""
+
+from benchmarks.conftest import RESULTS_DIR, bench_scale
+
+from repro.eval.estimators import KVECEstimator
+from repro.eval.evaluator import evaluate_method
+from repro.eval.metrics import summarize
+from repro.experiments.presets import get_scale
+from repro.experiments.workloads import dataset_splits
+from repro.serving import ArrivalSimulator, EngineConfig, OnlineClassificationEngine, SimulatorConfig
+
+WINDOW_SIZES = (64, 256, 1024)
+
+
+def run_serving_comparison(scale_name: str):
+    scale = get_scale(scale_name)
+    splits = dataset_splits("Traffic-App", scale)
+    estimator = KVECEstimator(splits.spec, splits.num_classes, scale.kvec)
+    offline = evaluate_method(estimator, splits).summary
+
+    flows = []
+    for tangle in splits.test:
+        flows.extend(tangle.per_key_sequences().values())
+    simulator = ArrivalSimulator(flows, SimulatorConfig(arrival_rate=2.0, max_active=8, seed=0))
+
+    online = {}
+    for window in WINDOW_SIZES:
+        engine = OnlineClassificationEngine(
+            estimator.model,
+            splits.spec,
+            EngineConfig(window_items=window, halt_threshold=0.5, reencode_every=4),
+        )
+        engine.consume(simulator.events())
+        engine.flush()
+        records = engine.records(simulator.labels, simulator.sequence_lengths)
+        online[window] = summarize(records)
+    return {"offline": offline, "online": online, "num_flows": len(flows)}
+
+
+def test_online_serving_matches_offline_shape(benchmark, scale_name):
+    result = benchmark.pedantic(lambda: run_serving_comparison(scale_name), rounds=1, iterations=1)
+    offline = result["offline"]
+    lines = [
+        "Online serving vs offline evaluation (Traffic-App analogue)",
+        f"  offline            accuracy={offline.accuracy * 100:6.2f}%  earliness={offline.earliness * 100:6.2f}%",
+    ]
+    for window, summary in result["online"].items():
+        lines.append(
+            f"  window={window:<5}       accuracy={summary.accuracy * 100:6.2f}%  "
+            f"earliness={summary.earliness * 100:6.2f}%  decided={summary.num_sequences}"
+        )
+    rendered = "\n".join(lines)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"ext_serving_{bench_scale()}.txt").write_text(rendered + "\n")
+    print("\n" + rendered)
+
+    # A window that holds the whole stream must decide every flow; bounded
+    # windows may lose flows that were evicted before the policy halted them,
+    # but never more than half at this scale.
+    largest = result["online"][max(WINDOW_SIZES)]
+    assert largest.num_sequences == result["num_flows"]
+    for summary in result["online"].values():
+        assert summary.num_sequences >= result["num_flows"] // 2
+    # With the full-stream window the online accuracy should not collapse
+    # relative to offline (same model, same flows, different interleaving).
+    assert largest.accuracy >= offline.accuracy - 0.35

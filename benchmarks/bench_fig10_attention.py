@@ -1,0 +1,14 @@
+"""Figure 10: internal vs external attention score at varied halting positions."""
+
+from benchmarks.conftest import run_and_record
+
+
+def test_fig10_attention_distribution(benchmark, scale_name):
+    result = run_and_record(benchmark, "fig10_attention", scale_name)
+    assert result.points
+    # Shape check from the paper: once most of the sequence is observed,
+    # intra-sequence (internal) attention dominates inter-sequence attention.
+    assert result.internal_dominates_late()
+    # Externally-sourced attention mass must be non-trivial early on (the
+    # tangled correlations are actually used when data is scarce).
+    assert result.points[0].external_score > 0.0

@@ -1,0 +1,16 @@
+"""Figure 11: halting-position distributions on Synthetic-Traffic."""
+
+from benchmarks.conftest import run_and_record
+from repro.eval.halting_analysis import distribution_distance
+
+
+def test_fig11_halting_positions(benchmark, scale_name):
+    result = run_and_record(benchmark, "fig11_halting", scale_name)
+    assert set(result.distributions) == {"early", "late"}
+    for subset, per_method in result.distributions.items():
+        truth = per_method["True Halting Positions"]
+        kvec = per_method["Predicted by KVEC"]
+        assert abs(truth.proportions.sum() - 1.0) < 1e-9
+        assert abs(kvec.proportions.sum() - 1.0) < 1e-9
+        # Distances are well defined and bounded.
+        assert 0.0 <= distribution_distance(truth, kvec) <= 1.0

@@ -1,0 +1,14 @@
+"""Figure 12: effect of the number of concurrent sequences K on KVEC."""
+
+from benchmarks.conftest import run_and_record
+
+
+def test_fig12_concurrency_effect(benchmark, scale_name):
+    result = run_and_record(benchmark, "fig12_concurrency", scale_name)
+    assert result.points
+    for concurrency, series in result.points.items():
+        assert concurrency >= 1
+        for earliness, accuracy, harmonic_mean in series:
+            assert 0.0 <= earliness <= 1.0
+            assert 0.0 <= accuracy <= 1.0
+            assert 0.0 <= harmonic_mean <= 1.0

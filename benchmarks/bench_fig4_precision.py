@@ -1,0 +1,11 @@
+"""Figure 4: macro precision vs earliness (shares the Fig. 3 sweep via caching)."""
+
+from benchmarks.conftest import run_and_record
+
+
+def test_fig4_precision_vs_earliness(benchmark, scale_name):
+    result = run_and_record(benchmark, "fig4_precision", scale_name)
+    for curves in result.curves.values():
+        for curve in curves.values():
+            for _, value in curve.series("precision"):
+                assert 0.0 <= value <= 1.0

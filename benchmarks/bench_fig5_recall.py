@@ -1,0 +1,11 @@
+"""Figure 5: macro recall vs earliness (shares the Fig. 3 sweep via caching)."""
+
+from benchmarks.conftest import run_and_record
+
+
+def test_fig5_recall_vs_earliness(benchmark, scale_name):
+    result = run_and_record(benchmark, "fig5_recall", scale_name)
+    for curves in result.curves.values():
+        for curve in curves.values():
+            for _, value in curve.series("recall"):
+                assert 0.0 <= value <= 1.0

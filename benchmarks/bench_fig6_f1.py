@@ -1,0 +1,11 @@
+"""Figure 6: macro F1 vs earliness (shares the Fig. 3 sweep via caching)."""
+
+from benchmarks.conftest import run_and_record
+
+
+def test_fig6_f1_vs_earliness(benchmark, scale_name):
+    result = run_and_record(benchmark, "fig6_f1", scale_name)
+    for curves in result.curves.values():
+        for curve in curves.values():
+            for _, value in curve.series("f1"):
+                assert 0.0 <= value <= 1.0

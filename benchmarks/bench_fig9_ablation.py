@@ -1,0 +1,18 @@
+"""Figure 9: ablation of KVEC's correlations and input-embedding components."""
+
+from benchmarks.conftest import run_and_record
+
+
+def test_fig9_ablation_study(benchmark, scale_name):
+    result = run_and_record(benchmark, "fig9_ablation", scale_name)
+    expected = {
+        "KVEC (ours)",
+        "w/o Key Correlation",
+        "w/o Value Correlation",
+        "w/o Time-related Embed.",
+        "w/o Membership Embed.",
+    }
+    assert set(result.summaries) == expected
+    for summary in result.summaries.values():
+        assert 0.0 <= summary.accuracy <= 1.0
+        assert 0.0 <= summary.harmonic_mean <= 1.0

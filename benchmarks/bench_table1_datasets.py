@@ -1,0 +1,11 @@
+"""Table I: dataset statistics of every generated dataset vs the paper's values."""
+
+from benchmarks.conftest import run_and_record
+
+
+def test_table1_dataset_statistics(benchmark, scale_name):
+    result = run_and_record(benchmark, "table1_dataset_stats", scale_name)
+    # Structural checks on the regenerated table.
+    assert set(result.generated) == set(result.published)
+    for name, stats in result.generated.items():
+        assert stats.num_classes == result.published[name].num_classes

@@ -1,0 +1,9 @@
+"""Table II: the earliness/accuracy trade-off hyperparameter of every method."""
+
+from benchmarks.conftest import run_and_record
+
+
+def test_table2_hyperparameters(benchmark, scale_name):
+    result = run_and_record(benchmark, "table2_hyperparameters", scale_name)
+    methods = [row[0] for row in result.rows]
+    assert methods == ["KVEC", "EARLIEST", "SRN-EARLIEST", "SRN-Fixed", "SRN-Confidence"]

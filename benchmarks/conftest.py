@@ -1,0 +1,48 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The measured
+quantity is the wall-clock time of the full experiment (dataset generation,
+training every method, evaluation); the *scientific* output — the same rows or
+series the paper reports — is written to ``benchmarks/results/<id>_<scale>.txt``
+and echoed to stdout (visible with ``pytest -s``).
+
+The scale preset defaults to ``bench`` and can be overridden with the
+``REPRO_BENCH_SCALE`` environment variable (``unit`` for a quick smoke run,
+``paper`` for the full-size — very slow — configuration).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.registry import get_experiment
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> str:
+    """The scale preset used by the benchmark run."""
+    return os.environ.get("REPRO_BENCH_SCALE", "bench")
+
+
+@pytest.fixture(scope="session")
+def scale_name() -> str:
+    return bench_scale()
+
+
+def run_and_record(benchmark, experiment_id: str, scale: str, **kwargs):
+    """Run one registered experiment under pytest-benchmark and persist its output."""
+    experiment = get_experiment(experiment_id)
+    result = benchmark.pedantic(
+        lambda: experiment.run(scale, **kwargs), rounds=1, iterations=1
+    )
+    rendered = result.render() if hasattr(result, "render") else repr(result)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    output_path = RESULTS_DIR / f"{experiment_id}_{scale}.txt"
+    header = f"# {experiment.paper_artifact}: {experiment.description}\n# scale={scale}\n\n"
+    output_path.write_text(header + rendered + "\n")
+    print(f"\n{header}{rendered}")
+    return result

@@ -1,0 +1,74 @@
+"""Scenario: early classification of encrypted network flows.
+
+This mirrors the paper's networking motivation (Fig. 1, scenario 2): a router
+observes a tangled stream of packets from many concurrent flows and must
+assign an application type to each flow as early as possible, so that routing
+and QoS decisions can be taken while the flow is still young.
+
+The script compares KVEC against the strongest baseline (SRN-EARLIEST, which
+models every flow independently) on the Traffic-App analogue and reports the
+accuracy both methods reach at matched earliness.
+
+Run with::
+
+    python examples/traffic_early_classification.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import SRNEarliest
+from repro.baselines.rl_policy import RLBaselineConfig
+from repro.core import KVECConfig
+from repro.datasets import make_traffic_app
+from repro.eval import KVECEstimator, summarize
+from repro.eval.evaluator import evaluate_method, prepare_tangled_splits
+from repro.eval.reporting import render_metric_table
+
+
+def main() -> None:
+    dataset = make_traffic_app(num_flows=70, seed=13)
+    splits = prepare_tangled_splits(dataset, concurrency=4, seed=0)
+    print(
+        f"{dataset.name}: {len(dataset)} flows, {dataset.num_classes} application classes, "
+        f"{len(splits.train)} training streams"
+    )
+
+    methods = {
+        "KVEC": KVECEstimator(
+            dataset.spec,
+            dataset.num_classes,
+            KVECConfig(
+                d_model=24, num_blocks=2, num_heads=2, d_state=32, dropout=0.0,
+                epochs=12, batch_size=8, learning_rate=3e-3, beta=0.001,
+            ),
+        ),
+        "SRN-EARLIEST": SRNEarliest(
+            dataset.spec,
+            dataset.num_classes,
+            RLBaselineConfig(d_model=24, num_blocks=2, epochs=8, learning_rate=2e-3, lam=0.001),
+        ),
+    }
+
+    results = {}
+    for name, method in methods.items():
+        print(f"\ntraining {name} ...")
+        evaluation = evaluate_method(method, splits)
+        results[name] = evaluation.summary
+
+    print("\n" + render_metric_table(results, title="Early classification of concurrent flows"))
+
+    kvec, srn = results["KVEC"], results["SRN-EARLIEST"]
+    print(
+        f"\nKVEC classified flows after observing {kvec.earliness:.0%} of their packets "
+        f"with accuracy {kvec.accuracy:.1%}; the per-flow baseline reached {srn.accuracy:.1%} "
+        f"at earliness {srn.earliness:.0%}."
+    )
+    print(
+        "KVEC's advantage comes from the tangled-stream correlations: concurrent flows of the "
+        "same application share burst patterns, which the correlation-masked attention exploits "
+        "when a flow has only revealed a handful of packets."
+    )
+
+
+if __name__ == "__main__":
+    main()

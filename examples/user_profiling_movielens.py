@@ -1,0 +1,65 @@
+"""Scenario: early user profiling from rating streams (MovieLens analogue).
+
+This mirrors the paper's e-commerce/user-profiling motivation (Fig. 1,
+scenario 1): infer a user's profile attribute (here, the binary gender label
+of MovieLens-1M) from the first few interactions, so that personalisation can
+kick in for brand-new users.
+
+The script trains KVEC on the synthetic MovieLens-1M analogue and then shows,
+for a few held-out users, after how many ratings the model halted and what it
+predicted.
+
+Run with::
+
+    python examples/user_profiling_movielens.py
+"""
+
+from __future__ import annotations
+
+from repro.core import KVEC, KVECConfig, KVECTrainer
+from repro.datasets import make_movielens_1m
+from repro.eval import summarize
+from repro.eval.evaluator import prepare_tangled_splits
+
+
+def main() -> None:
+    dataset = make_movielens_1m(num_users=40, seed=23, mean_sequence_length=60.0)
+    splits = prepare_tangled_splits(dataset, concurrency=4, seed=0)
+    print(
+        f"{dataset.name}: {len(dataset)} users, value fields {dataset.spec.field_names}, "
+        f"classes {dataset.class_names}"
+    )
+
+    config = KVECConfig(
+        d_model=24,
+        num_blocks=2,
+        num_heads=2,
+        d_state=32,
+        dropout=0.0,
+        epochs=12,
+        batch_size=8,
+        learning_rate=3e-3,
+        beta=0.002,
+    )
+    model = KVEC(dataset.spec, dataset.num_classes, config)
+    KVECTrainer(model).train(splits.train, verbose=True)
+
+    records = [record for tangle in splits.test for record in model.predict_tangle(tangle)]
+    summary = summarize(records)
+    print(
+        f"\nheld-out users: accuracy={summary.accuracy:.3f}, earliness={summary.earliness:.3f}, "
+        f"HM={summary.harmonic_mean:.3f}"
+    )
+
+    print("\nper-user decisions (first 8 held-out users):")
+    for record in records[:8]:
+        verdict = "correct" if record.correct else "wrong"
+        print(
+            f"  {record.key:<10} predicted={dataset.class_names[record.predicted]:<7} "
+            f"after {record.halt_observation:>3}/{record.sequence_length:<3} ratings "
+            f"(confidence {record.confidence:.2f}, {verdict})"
+        )
+
+
+if __name__ == "__main__":
+    main()

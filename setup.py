@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file exists
+so that the package can be installed in editable mode in fully offline
+environments where the ``wheel`` package (required by PEP 660 editable
+installs) is unavailable: ``python setup.py develop`` or
+``pip install -e . --no-build-isolation`` both work through it.
+"""
+
+from setuptools import setup
+
+setup()

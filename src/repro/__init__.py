@@ -1,0 +1,34 @@
+"""Reproduction of "Representation Learning of Tangled Key-Value Sequence Data
+for Early Classification" (KVEC, ICDE 2024).
+
+The package is organised as a small stack of subsystems:
+
+``repro.nn``
+    A from-scratch numpy autograd / neural-network substrate (the paper uses
+    PyTorch on GPU; no deep-learning framework is available offline, so we
+    implement the required subset ourselves).
+
+``repro.data``
+    The tangled key-value sequence data model: items, per-key sequences,
+    tangled streams, sessions, key-disjoint splits and streaming batching.
+
+``repro.datasets``
+    Synthetic generators standing in for the paper's datasets
+    (USTC-TFC2016, MovieLens-1M, Traffic-FG, Traffic-App, Synthetic-Traffic).
+
+``repro.core``
+    The KVEC model itself: KVRL representation learning (correlation-masked
+    attention + gated fusion) and the ECTL halting policy, with the joint
+    REINFORCE-with-baseline training loop of Algorithm 1.
+
+``repro.baselines``
+    EARLIEST and the SRN-* baselines used in the paper's evaluation.
+
+``repro.eval`` / ``repro.experiments``
+    Metrics (earliness, accuracy, HM, ...), streaming evaluation, and the
+    registry of experiments reproducing every table and figure.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

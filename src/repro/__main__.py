@@ -1,0 +1,8 @@
+"""``python -m repro`` — command-line access to the reproduction workflows."""
+
+import sys
+
+from repro.experiments.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Baseline early-classification methods used in the paper's evaluation.
+
+All baselines treat every key-value sequence independently — none of them can
+exploit cross-sequence (value) correlations in the tangled stream, which is
+exactly the gap KVEC targets:
+
+* :class:`~repro.baselines.earliest.EARLIEST` — the state-of-the-art time
+  series early classification method: an LSTM encoder over the raw value
+  series plus a reinforcement-learning halting policy.
+* :class:`~repro.baselines.srn_earliest.SRNEarliest` — EARLIEST with the LSTM
+  replaced by a per-sequence Transformer encoder (SRN).
+* :class:`~repro.baselines.srn_fixed.SRNFixed` — SRN encoder with the naive
+  halting rule "stop after a fixed number of items τ".
+* :class:`~repro.baselines.srn_confidence.SRNConfidence` — SRN encoder that
+  halts once the classifier's confidence exceeds a threshold µ.
+
+Every baseline implements the :class:`~repro.baselines.common.EarlyClassifier`
+interface (``fit`` on tangled sequences, ``predict_tangle`` returning
+:class:`~repro.core.model.PredictionRecord` objects), so the evaluation and
+benchmark harnesses treat KVEC and the baselines uniformly.
+"""
+
+from repro.baselines.common import EarlyClassifier, tangles_to_sequences
+from repro.baselines.encoders import LSTMSequenceEncoder, SRNEncoder
+from repro.baselines.earliest import EARLIEST
+from repro.baselines.srn_earliest import SRNEarliest
+from repro.baselines.srn_fixed import SRNFixed
+from repro.baselines.srn_confidence import SRNConfidence
+from repro.baselines.nearest_prefix import NearestPrefixClassifier, NearestPrefixConfig
+from repro.baselines.indicator import IndicatorClassifier, IndicatorConfig
+
+__all__ = [
+    "NearestPrefixClassifier",
+    "NearestPrefixConfig",
+    "IndicatorClassifier",
+    "IndicatorConfig",
+    "EarlyClassifier",
+    "tangles_to_sequences",
+    "LSTMSequenceEncoder",
+    "SRNEncoder",
+    "EARLIEST",
+    "SRNEarliest",
+    "SRNFixed",
+    "SRNConfidence",
+]

@@ -1,0 +1,63 @@
+"""Shared interface and helpers for the baseline early classifiers."""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.model import PredictionRecord
+from repro.data.items import KeyValueSequence, TangledSequence, ValueSpec
+
+
+class EarlyClassifier(abc.ABC):
+    """Common interface of KVEC and every baseline for the evaluation harness.
+
+    ``fit`` consumes tangled sequences (the training unit of the problem
+    definition); baselines that model sequences independently simply untangle
+    them first with :func:`tangles_to_sequences`.
+    """
+
+    #: Name used in result tables and figures.
+    name: str = "early-classifier"
+
+    @abc.abstractmethod
+    def fit(self, train_tangles: Sequence[TangledSequence], verbose: bool = False) -> "EarlyClassifier":
+        """Train the classifier on tangled key-value sequences."""
+
+    @abc.abstractmethod
+    def predict_tangle(self, tangle: TangledSequence) -> List[PredictionRecord]:
+        """Early-classify every key-value sequence of one tangled sequence."""
+
+    def predict_all(self, tangles: Sequence[TangledSequence]) -> List[PredictionRecord]:
+        """Early-classify every sequence of every tangled sequence."""
+        records: List[PredictionRecord] = []
+        for tangle in tangles:
+            records.extend(self.predict_tangle(tangle))
+        return records
+
+
+def tangles_to_sequences(tangles: Sequence[TangledSequence]) -> List[KeyValueSequence]:
+    """Flatten tangled sequences back into independent per-key sequences."""
+    sequences: List[KeyValueSequence] = []
+    for tangle in tangles:
+        sequences.extend(tangle.per_key_sequences().values())
+    return sequences
+
+
+def one_hot_features(sequence: KeyValueSequence, spec: ValueSpec) -> np.ndarray:
+    """Encode a key-value sequence as a (T, sum(cardinalities)) one-hot matrix.
+
+    This is the "multivariate time series" view of a key-value sequence that
+    the EARLIEST baseline consumes: value semantics are flattened into raw
+    indicator dimensions with no learned embedding, which is precisely why
+    the paper finds time-series methods ill-suited to key-value data.
+    """
+    total_dims = sum(spec.cardinalities)
+    features = np.zeros((len(sequence), total_dims), dtype=np.float64)
+    offsets = np.cumsum([0] + list(spec.cardinalities[:-1]))
+    for row, item in enumerate(sequence):
+        for field_index, offset in enumerate(offsets):
+            features[row, offset + item.field(field_index)] = 1.0
+    return features

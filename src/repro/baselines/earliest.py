@@ -1,0 +1,40 @@
+"""EARLIEST (Hartvigsen et al., KDD 2019) adapted to key-value sequences.
+
+EARLIEST is the state-of-the-art time-series early classification method used
+as the primary baseline in the paper: an LSTM consumes the series step by
+step and a reinforcement-learning halting policy decides when to stop and
+classify.  Applied to key-value sequence data it treats each key-value
+sequence as an independent multivariate time series of one-hot value
+features — it has no notion of value semantics, sessions, or cross-sequence
+correlation, which is why the paper finds it performs poorly on this data.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.encoders import LSTMSequenceEncoder
+from repro.baselines.rl_policy import RLBaselineConfig, RLHaltingClassifier
+from repro.data.items import ValueSpec
+
+
+class EARLIEST(RLHaltingClassifier):
+    """LSTM encoder + RL halting policy (the EARLIEST baseline)."""
+
+    name = "EARLIEST"
+
+    def __init__(
+        self,
+        spec: ValueSpec,
+        num_classes: int,
+        config: Optional[RLBaselineConfig] = None,
+    ) -> None:
+        config = config or RLBaselineConfig()
+        encoder = LSTMSequenceEncoder(
+            spec,
+            d_state=config.d_model,
+            rng=np.random.default_rng(config.seed + 11),
+        )
+        super().__init__(encoder, num_classes, config)

@@ -1,0 +1,188 @@
+"""A non-neural feature-based early classifier (discriminative indicators).
+
+This is the reproduction's representative of the related-work *feature based*
+family (shapelets / interpretable patterns [24-26]): it mines short value
+n-grams that are highly class-discriminative on the training data and, at
+prediction time, halts a sequence as soon as one of those indicators is
+observed — the hallmark behaviour of shapelet-style early classifiers.
+
+The miner operates on the discrete value codes of key-value items (there is
+no numerical sub-series to extract real shapelets from), so an "indicator"
+is a contiguous n-gram of value tuples.  Two quality gates control mining:
+
+* ``min_support`` — minimum number of training sequences containing the
+  n-gram,
+* ``min_precision`` — minimum empirical precision P(class | n-gram seen).
+
+``min_precision`` doubles as the earliness/accuracy trade-off hyperparameter:
+strict indicators fire later but more reliably.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.common import EarlyClassifier, tangles_to_sequences
+from repro.core.model import PredictionRecord
+from repro.data.items import KeyValueSequence, TangledSequence, ValueSpec
+
+NGram = Tuple[Tuple[int, ...], ...]
+
+
+@dataclass
+class IndicatorConfig:
+    """Hyperparameters of the indicator miner."""
+
+    #: n-gram lengths to mine.
+    ngram_lengths: Tuple[int, ...] = (1, 2, 3)
+    #: minimum number of training sequences an n-gram must appear in.
+    min_support: int = 3
+    #: minimum class precision required to accept an n-gram as an indicator.
+    min_precision: float = 0.8
+    #: cap on the number of indicators kept per class (highest precision first).
+    max_indicators_per_class: int = 50
+
+    def __post_init__(self) -> None:
+        if not self.ngram_lengths or any(length <= 0 for length in self.ngram_lengths):
+            raise ValueError("ngram_lengths must be positive integers")
+        if self.min_support < 1:
+            raise ValueError("min_support must be at least 1")
+        if not 0.0 < self.min_precision <= 1.0:
+            raise ValueError("min_precision must be in (0, 1]")
+        if self.max_indicators_per_class < 1:
+            raise ValueError("max_indicators_per_class must be at least 1")
+
+
+@dataclass
+class Indicator:
+    """One mined discriminative n-gram."""
+
+    ngram: NGram
+    label: int
+    precision: float
+    support: int
+
+
+class IndicatorClassifier(EarlyClassifier):
+    """Feature-based early classifier built on mined discriminative n-grams."""
+
+    name = "Indicator"
+
+    def __init__(
+        self,
+        spec: ValueSpec,
+        num_classes: int,
+        config: Optional[IndicatorConfig] = None,
+    ) -> None:
+        if num_classes < 2:
+            raise ValueError("need at least two classes")
+        self.spec = spec
+        self.num_classes = num_classes
+        self.config = config or IndicatorConfig()
+        self.indicators: Dict[NGram, Indicator] = {}
+        self._majority_class = 0
+        self._fitted = False
+
+    # ------------------------------------------------------------------ #
+    # mining
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _sequence_ngrams(sequence: KeyValueSequence, length: int) -> List[NGram]:
+        values = [item.value for item in sequence.items]
+        if len(values) < length:
+            return []
+        return [tuple(values[start : start + length]) for start in range(len(values) - length + 1)]
+
+    def fit(self, train_tangles: Sequence[TangledSequence], verbose: bool = False) -> "IndicatorClassifier":
+        sequences = tangles_to_sequences(train_tangles)
+        if not sequences:
+            raise ValueError("cannot fit on an empty training set")
+        label_counts = Counter(int(sequence.label) for sequence in sequences)
+        self._majority_class = label_counts.most_common(1)[0][0]
+
+        #: n-gram -> per-class count of sequences containing it (set semantics)
+        containment: Dict[NGram, Counter] = defaultdict(Counter)
+        for sequence in sequences:
+            label = int(sequence.label)
+            seen: set = set()
+            for length in self.config.ngram_lengths:
+                seen.update(self._sequence_ngrams(sequence, length))
+            for ngram in seen:
+                containment[ngram][label] += 1
+
+        candidates: Dict[int, List[Indicator]] = defaultdict(list)
+        for ngram, per_class in containment.items():
+            support = sum(per_class.values())
+            if support < self.config.min_support:
+                continue
+            label, count = per_class.most_common(1)[0]
+            precision = count / support
+            if precision < self.config.min_precision:
+                continue
+            candidates[label].append(
+                Indicator(ngram=ngram, label=label, precision=precision, support=support)
+            )
+
+        self.indicators = {}
+        for label, indicator_list in candidates.items():
+            indicator_list.sort(key=lambda ind: (ind.precision, ind.support), reverse=True)
+            for indicator in indicator_list[: self.config.max_indicators_per_class]:
+                self.indicators[indicator.ngram] = indicator
+        self._fitted = True
+        if verbose:
+            print(f"[{self.name}] mined {len(self.indicators)} indicators")
+        return self
+
+    # ------------------------------------------------------------------ #
+    # prediction
+    # ------------------------------------------------------------------ #
+    def _match_at(self, values: List[Tuple[int, ...]], end: int) -> Optional[Indicator]:
+        """Return the best indicator whose n-gram ends exactly at item ``end-1``."""
+        best: Optional[Indicator] = None
+        for length in self.config.ngram_lengths:
+            if end < length:
+                continue
+            ngram = tuple(values[end - length : end])
+            indicator = self.indicators.get(ngram)
+            if indicator and (best is None or indicator.precision > best.precision):
+                best = indicator
+        return best
+
+    def predict_tangle(self, tangle: TangledSequence) -> List[PredictionRecord]:
+        if not self._fitted:
+            raise RuntimeError(f"{self.name} must be fitted before prediction")
+        records: List[PredictionRecord] = []
+        for key, sequence in tangle.per_key_sequences().items():
+            label = int(tangle.label_of(key))
+            records.append(self._predict_sequence(key, sequence, label))
+        return records
+
+    def _predict_sequence(self, key, sequence: KeyValueSequence, label: int) -> PredictionRecord:
+        values = [item.value for item in sequence.items]
+        length = len(values)
+        for end in range(1, length + 1):
+            indicator = self._match_at(values, end)
+            if indicator is not None:
+                return PredictionRecord(
+                    key=key,
+                    predicted=indicator.label,
+                    label=label,
+                    halt_observation=end,
+                    sequence_length=length,
+                    confidence=indicator.precision,
+                    halted_by_policy=end < length,
+                )
+        # No indicator ever fired: fall back to the training majority class.
+        return PredictionRecord(
+            key=key,
+            predicted=self._majority_class,
+            label=label,
+            halt_observation=length,
+            sequence_length=length,
+            confidence=0.0,
+            halted_by_policy=False,
+        )

@@ -1,0 +1,178 @@
+"""A non-neural prefix-based early classifier (ECTS-style nearest centroid).
+
+The paper's related-work section groups classical time-series early
+classification into *feature based* and *prefix based* approaches and argues
+both underperform learned representations on real data.  To make that
+comparison reproducible, this module implements a representative prefix-based
+method in the spirit of ECTS / "reliable early classification" [27, 32]:
+
+* each prefix of a sequence is summarised by a bag-of-values histogram
+  (per value field, concatenated and L1-normalised),
+* training computes per-class centroids of those histograms at a grid of
+  prefix lengths,
+* at prediction time the sequence is halted at the first grid point where
+  the nearest-centroid *margin* (distance gap between the best and the
+  second-best class) exceeds a reliability threshold; otherwise the full
+  sequence is used.
+
+The reliability threshold is the method's earliness/accuracy trade-off
+hyperparameter (its analogue of Table II's ``µ``/``τ``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.common import EarlyClassifier, tangles_to_sequences
+from repro.core.model import PredictionRecord
+from repro.data.items import KeyValueSequence, TangledSequence, ValueSpec
+
+
+@dataclass
+class NearestPrefixConfig:
+    """Hyperparameters of the nearest-centroid prefix classifier."""
+
+    #: prefix lengths (observation counts) at which halting is considered.
+    prefix_grid: Tuple[int, ...] = (2, 3, 5, 8, 12, 16, 24, 32)
+    #: minimum distance margin between the best and second-best class
+    #: centroid required to halt early (0 halts at the first grid point).
+    margin: float = 0.05
+    #: small additive smoothing applied to the histograms.
+    smoothing: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if not self.prefix_grid:
+            raise ValueError("prefix_grid must not be empty")
+        if any(length <= 0 for length in self.prefix_grid):
+            raise ValueError("prefix lengths must be positive")
+        if list(self.prefix_grid) != sorted(set(self.prefix_grid)):
+            raise ValueError("prefix_grid must be strictly increasing")
+        if self.margin < 0:
+            raise ValueError("margin must be non-negative")
+
+
+class NearestPrefixClassifier(EarlyClassifier):
+    """Prefix-based nearest-centroid early classifier (no neural network)."""
+
+    name = "NearestPrefix"
+
+    def __init__(
+        self,
+        spec: ValueSpec,
+        num_classes: int,
+        config: Optional[NearestPrefixConfig] = None,
+    ) -> None:
+        if num_classes < 2:
+            raise ValueError("need at least two classes")
+        self.spec = spec
+        self.num_classes = num_classes
+        self.config = config or NearestPrefixConfig()
+        self._feature_dim = int(sum(spec.cardinalities))
+        #: per prefix length: (num_classes, feature_dim) centroid matrix
+        self._centroids: Dict[int, np.ndarray] = {}
+        self._class_priors = np.full(num_classes, 1.0 / num_classes)
+        self._fitted = False
+
+    # ------------------------------------------------------------------ #
+    # features
+    # ------------------------------------------------------------------ #
+    def prefix_histogram(self, sequence: KeyValueSequence, length: int) -> np.ndarray:
+        """L1-normalised concatenated value histograms of the first ``length`` items."""
+        histogram = np.full(self._feature_dim, self.config.smoothing, dtype=np.float64)
+        offsets = np.cumsum([0] + list(self.spec.cardinalities[:-1]))
+        for item in sequence.items[: max(1, length)]:
+            for dimension, offset in enumerate(offsets):
+                histogram[offset + item.field(dimension)] += 1.0
+        return histogram / histogram.sum()
+
+    # ------------------------------------------------------------------ #
+    # training
+    # ------------------------------------------------------------------ #
+    def fit(self, train_tangles: Sequence[TangledSequence], verbose: bool = False) -> "NearestPrefixClassifier":
+        sequences = tangles_to_sequences(train_tangles)
+        if not sequences:
+            raise ValueError("cannot fit on an empty training set")
+        counts = np.zeros(self.num_classes)
+        for sequence in sequences:
+            counts[int(sequence.label)] += 1
+        self._class_priors = counts / counts.sum()
+
+        for length in self.config.prefix_grid:
+            sums = np.zeros((self.num_classes, self._feature_dim))
+            totals = np.zeros(self.num_classes)
+            for sequence in sequences:
+                label = int(sequence.label)
+                sums[label] += self.prefix_histogram(sequence, length)
+                totals[label] += 1.0
+            centroids = np.zeros_like(sums)
+            for label in range(self.num_classes):
+                if totals[label] > 0:
+                    centroids[label] = sums[label] / totals[label]
+            self._centroids[length] = centroids
+        self._fitted = True
+        if verbose:
+            print(f"[{self.name}] fitted centroids at prefixes {self.config.prefix_grid}")
+        return self
+
+    # ------------------------------------------------------------------ #
+    # prediction
+    # ------------------------------------------------------------------ #
+    def _grid_key(self, length: int) -> int:
+        """The grid length whose centroids best describe a ``length``-item prefix."""
+        eligible = [grid for grid in self.config.prefix_grid if grid <= length]
+        return eligible[-1] if eligible else self.config.prefix_grid[0]
+
+    def _decide(self, sequence: KeyValueSequence, length: int) -> Tuple[int, float, float]:
+        """Return ``(predicted, confidence, margin)`` at one prefix length."""
+        centroids = self._centroids[self._grid_key(length)]
+        histogram = self.prefix_histogram(sequence, length)
+        distances = np.linalg.norm(centroids - histogram, axis=1)
+        # Classes absent from training keep zero centroids; push them away.
+        empty = ~np.any(centroids > self.config.smoothing * 2, axis=1)
+        distances = np.where(empty, np.inf, distances)
+        order = np.argsort(distances)
+        best = int(order[0])
+        margin = float(distances[order[1]] - distances[order[0]]) if len(order) > 1 else float("inf")
+        confidence = 1.0 / (1.0 + float(distances[best]))
+        return best, confidence, margin
+
+    def predict_tangle(self, tangle: TangledSequence) -> List[PredictionRecord]:
+        if not self._fitted:
+            raise RuntimeError(f"{self.name} must be fitted before prediction")
+        records: List[PredictionRecord] = []
+        for key, sequence in tangle.per_key_sequences().items():
+            label = int(tangle.label_of(key))
+            records.append(self._predict_sequence(key, sequence, label))
+        return records
+
+    def _predict_sequence(self, key, sequence: KeyValueSequence, label: int) -> PredictionRecord:
+        length = len(sequence)
+        halted_by_policy = False
+        halt_at = length
+        predicted, confidence = 0, 0.0
+        for grid_length in self.config.prefix_grid:
+            effective = min(grid_length, length)
+            predicted, confidence, margin = self._decide(sequence, effective)
+            if margin >= self.config.margin and np.isfinite(margin):
+                halt_at = effective
+                halted_by_policy = effective < length
+                break
+            if effective == length:
+                halt_at = length
+                break
+        else:
+            # Grid exhausted before the sequence ended: classify on the full sequence.
+            predicted, confidence, _ = self._decide(sequence, length)
+            halt_at = length
+        return PredictionRecord(
+            key=key,
+            predicted=predicted,
+            label=label,
+            halt_observation=halt_at,
+            sequence_length=length,
+            confidence=confidence,
+            halted_by_policy=halted_by_policy,
+        )

@@ -1,0 +1,143 @@
+"""Shared machinery for the prefix-based SRN baselines (SRN-Fixed, SRN-Confidence).
+
+Both baselines train the same model — an SRN encoder plus a linear classifier
+supervised at every prefix length of every training sequence — and differ
+only in the *halting rule* applied at prediction time:
+
+* SRN-Fixed halts after a fixed number of observed items ``τ``;
+* SRN-Confidence halts once the classifier's maximum softmax probability
+  exceeds a confidence threshold ``µ``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.common import EarlyClassifier, tangles_to_sequences
+from repro.baselines.encoders import SRNEncoder
+from repro.core.classifier import SequenceClassifier
+from repro.core.model import PredictionRecord
+from repro.data.items import KeyValueSequence, TangledSequence, ValueSpec
+from repro.nn import functional as F
+from repro.nn.module import Module
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.nn.tensor import Tensor, no_grad
+
+
+@dataclass
+class PrefixSRNConfig:
+    """Hyperparameters of the prefix-supervised SRN baselines."""
+
+    d_model: int = 32
+    num_blocks: int = 2
+    num_heads: int = 1
+    dropout: float = 0.0
+    learning_rate: float = 1e-3
+    epochs: int = 10
+    batch_size: int = 16
+    grad_clip: float = 5.0
+    #: supervise at most this many prefix positions per sequence (uniformly
+    #: spread over the sequence), keeping CPU training affordable.
+    max_supervised_prefixes: int = 16
+    seed: int = 0
+
+
+class PrefixSRNClassifier(EarlyClassifier, Module):
+    """SRN encoder + classifier trained to classify every prefix."""
+
+    name = "SRN-prefix"
+
+    def __init__(
+        self,
+        spec: ValueSpec,
+        num_classes: int,
+        config: Optional[PrefixSRNConfig] = None,
+    ) -> None:
+        Module.__init__(self)
+        self.config = config or PrefixSRNConfig()
+        self.num_classes = num_classes
+        rng = np.random.default_rng(self.config.seed)
+        self.encoder = SRNEncoder(
+            spec,
+            d_model=self.config.d_model,
+            num_blocks=self.config.num_blocks,
+            num_heads=self.config.num_heads,
+            dropout=self.config.dropout,
+            rng=rng,
+        )
+        self.classifier = SequenceClassifier(self.config.d_model, num_classes, rng=rng)
+
+    # ------------------------------------------------------------------ #
+    # training
+    # ------------------------------------------------------------------ #
+    def fit(self, train_tangles: Sequence[TangledSequence], verbose: bool = False) -> "PrefixSRNClassifier":
+        sequences = tangles_to_sequences(train_tangles)
+        if not sequences:
+            raise ValueError("no training sequences")
+        optimizer = Adam(self.parameters(), lr=self.config.learning_rate)
+        shuffle_rng = np.random.default_rng(self.config.seed + 5)
+
+        self.train()
+        for epoch in range(1, self.config.epochs + 1):
+            order = list(range(len(sequences)))
+            shuffle_rng.shuffle(order)
+            epoch_loss = 0.0
+            for start in range(0, len(order), self.config.batch_size):
+                batch = [sequences[i] for i in order[start : start + self.config.batch_size]]
+                optimizer.zero_grad()
+                for sequence in batch:
+                    loss = self._prefix_loss(sequence)
+                    (loss * (1.0 / len(batch))).backward()
+                    epoch_loss += float(loss.data)
+                if self.config.grad_clip > 0:
+                    clip_grad_norm(self.parameters(), self.config.grad_clip)
+                optimizer.step()
+            if verbose:
+                print(f"[{self.name}] epoch {epoch:3d}  loss={epoch_loss / len(sequences):8.3f}")
+        return self
+
+    def _prefix_loss(self, sequence: KeyValueSequence) -> Tensor:
+        """Average cross entropy over a spread of supervised prefix positions."""
+        states = self.encoder(sequence)
+        length = states.shape[0]
+        positions = self._supervised_positions(length)
+        selected = states[positions]
+        logits = self.classifier.projection(selected)
+        labels = [sequence.label] * len(positions)
+        return F.cross_entropy(logits, labels, reduction="mean")
+
+    def _supervised_positions(self, length: int) -> List[int]:
+        limit = self.config.max_supervised_prefixes
+        if length <= limit:
+            return list(range(length))
+        positions = np.linspace(0, length - 1, limit).round().astype(int)
+        return sorted(set(int(p) for p in positions))
+
+    # ------------------------------------------------------------------ #
+    # prediction helpers shared by the halting rules
+    # ------------------------------------------------------------------ #
+    def prefix_probabilities(self, sequence: KeyValueSequence) -> np.ndarray:
+        """Class probabilities after each observed item, shape ``(T, C)``."""
+        with no_grad():
+            states = self.encoder(sequence)
+            logits = self.classifier.projection(states)
+            return F.softmax(logits, axis=-1).data
+
+    def predict_tangle(self, tangle: TangledSequence) -> List[PredictionRecord]:
+        records: List[PredictionRecord] = []
+        was_training = self.training
+        self.eval()
+        try:
+            for key, sequence in tangle.per_key_sequences().items():
+                if not len(sequence):
+                    continue
+                records.append(self._predict_sequence(key, sequence, tangle.label_of(key)))
+        finally:
+            self.train(was_training)
+        return records
+
+    def _predict_sequence(self, key, sequence: KeyValueSequence, label: int) -> PredictionRecord:
+        raise NotImplementedError("use SRNFixed or SRNConfidence")

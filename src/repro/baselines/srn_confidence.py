@@ -1,0 +1,55 @@
+"""SRN-Confidence: halt once the classifier's confidence exceeds a threshold.
+
+The confidence threshold ``µ`` (Table II) is the single hyperparameter trading
+off earliness against accuracy: a low threshold halts almost immediately, a
+threshold close to 1 only halts when the classifier is certain (or the
+sequence ends).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.prefix import PrefixSRNClassifier, PrefixSRNConfig
+from repro.core.model import PredictionRecord
+from repro.data.items import KeyValueSequence, ValueSpec
+
+
+class SRNConfidence(PrefixSRNClassifier):
+    """Prefix-supervised SRN with the confidence-threshold halting rule."""
+
+    name = "SRN-Confidence"
+
+    def __init__(
+        self,
+        spec: ValueSpec,
+        num_classes: int,
+        confidence_threshold: float = 0.9,
+        config: Optional[PrefixSRNConfig] = None,
+    ) -> None:
+        super().__init__(spec, num_classes, config)
+        if not 0.0 < confidence_threshold <= 1.0:
+            raise ValueError("confidence_threshold must be in (0, 1]")
+        self.confidence_threshold = confidence_threshold
+
+    def _predict_sequence(self, key, sequence: KeyValueSequence, label: int) -> PredictionRecord:
+        probabilities = self.prefix_probabilities(sequence)
+        halt_step = len(sequence)
+        halted_by_policy = False
+        for step in range(probabilities.shape[0]):
+            if float(np.max(probabilities[step])) >= self.confidence_threshold:
+                halt_step = step + 1
+                halted_by_policy = True
+                break
+        final = probabilities[halt_step - 1]
+        return PredictionRecord(
+            key=key,
+            predicted=int(np.argmax(final)),
+            label=label,
+            halt_observation=halt_step,
+            sequence_length=len(sequence),
+            confidence=float(np.max(final)),
+            halted_by_policy=halted_by_policy,
+        )

@@ -1,0 +1,40 @@
+"""SRN-EARLIEST: EARLIEST with its LSTM replaced by a Transformer encoder.
+
+This is the strongest baseline in the paper's comparison: it shares KVEC's
+embedding + attention machinery (the Sequence Representation Network), but
+encodes each key-value sequence independently, so it cannot exploit
+correlations across the concurrent sequences of a tangled stream.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.encoders import SRNEncoder
+from repro.baselines.rl_policy import RLBaselineConfig, RLHaltingClassifier
+from repro.data.items import ValueSpec
+
+
+class SRNEarliest(RLHaltingClassifier):
+    """SRN encoder + RL halting policy (SRN-EARLIEST in the paper)."""
+
+    name = "SRN-EARLIEST"
+
+    def __init__(
+        self,
+        spec: ValueSpec,
+        num_classes: int,
+        config: Optional[RLBaselineConfig] = None,
+    ) -> None:
+        config = config or RLBaselineConfig()
+        encoder = SRNEncoder(
+            spec,
+            d_model=config.d_model,
+            num_blocks=config.num_blocks,
+            num_heads=config.num_heads,
+            dropout=config.dropout,
+            rng=np.random.default_rng(config.seed + 13),
+        )
+        super().__init__(encoder, num_classes, config)

@@ -1,0 +1,48 @@
+"""SRN-Fixed: halt every sequence after a fixed number of observed items.
+
+The halting time ``τ`` (Table II) is the single hyperparameter trading off
+earliness against accuracy; sweeping it traces the baseline's
+performance-vs-earliness curve.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.prefix import PrefixSRNClassifier, PrefixSRNConfig
+from repro.core.model import PredictionRecord
+from repro.data.items import KeyValueSequence, ValueSpec
+
+
+class SRNFixed(PrefixSRNClassifier):
+    """Prefix-supervised SRN with the fixed-time halting rule."""
+
+    name = "SRN-Fixed"
+
+    def __init__(
+        self,
+        spec: ValueSpec,
+        num_classes: int,
+        halt_time: int = 5,
+        config: Optional[PrefixSRNConfig] = None,
+    ) -> None:
+        super().__init__(spec, num_classes, config)
+        if halt_time < 1:
+            raise ValueError("halt_time must be at least 1")
+        self.halt_time = halt_time
+
+    def _predict_sequence(self, key, sequence: KeyValueSequence, label: int) -> PredictionRecord:
+        halt_step = min(self.halt_time, len(sequence))
+        probabilities = self.prefix_probabilities(sequence.prefix(halt_step))
+        final = probabilities[-1]
+        return PredictionRecord(
+            key=key,
+            predicted=int(np.argmax(final)),
+            label=label,
+            halt_observation=halt_step,
+            sequence_length=len(sequence),
+            confidence=float(np.max(final)),
+            halted_by_policy=halt_step < len(sequence),
+        )

@@ -1,0 +1,42 @@
+"""Factory for the ablated KVEC variants of the paper's Fig. 9.
+
+Each variant is a full KVEC model whose configuration disables exactly one
+ingredient:
+
+* ``"w/o Key Correlation"`` — the dynamic mask keeps only value correlations,
+* ``"w/o Value Correlation"`` — each key-value sequence is modelled
+  independently (only intra-sequence attention),
+* ``"w/o Time-related Embed."`` — relative-position and time embeddings are
+  removed from the input embedding,
+* ``"w/o Membership Embed."`` — the membership embedding is removed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.core.config import KVECConfig
+from repro.core.model import KVEC
+from repro.data.items import ValueSpec
+
+#: Mapping from the variant names used in Fig. 9 to configuration overrides.
+ABLATION_VARIANTS: Dict[str, Dict[str, bool]] = {
+    "KVEC (ours)": {},
+    "w/o Key Correlation": {"use_key_correlation": False},
+    "w/o Value Correlation": {"use_value_correlation": False},
+    "w/o Time-related Embed.": {"use_time_embeddings": False},
+    "w/o Membership Embed.": {"use_membership_embedding": False},
+}
+
+
+def make_kvec_variant(
+    variant: str,
+    spec: ValueSpec,
+    num_classes: int,
+    config: KVECConfig,
+) -> KVEC:
+    """Build the KVEC model corresponding to an ablation ``variant`` name."""
+    if variant not in ABLATION_VARIANTS:
+        raise KeyError(f"unknown ablation variant {variant!r}; known: {sorted(ABLATION_VARIANTS)}")
+    overrides = ABLATION_VARIANTS[variant]
+    return KVEC(spec, num_classes, config.with_overrides(**overrides))

@@ -1,0 +1,83 @@
+"""Saving and restoring trained KVEC models.
+
+A downstream user trains KVEC once and serves it online (see
+:mod:`repro.serving`); that requires persisting everything needed to rebuild
+the model: the value schema, the number of classes, the configuration and
+all learned parameters.  Checkpoints are a directory containing
+
+* ``config.json`` — schema, class count and :class:`KVECConfig` fields,
+* ``weights.npz`` — the flat ``state_dict`` of the model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.core.config import KVECConfig
+from repro.core.model import KVEC
+from repro.data.items import ValueSpec
+from repro.nn.serialization import load_state_dict, save_state_dict
+
+PathLike = Union[str, Path]
+
+CONFIG_FILE = "config.json"
+WEIGHTS_FILE = "weights.npz"
+
+
+def save_checkpoint(model: KVEC, directory: PathLike) -> Path:
+    """Write a complete checkpoint of ``model``; returns the directory path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "spec": {
+            "field_names": list(model.spec.field_names),
+            "cardinalities": list(int(c) for c in model.spec.cardinalities),
+            "session_field": int(model.spec.session_field),
+        },
+        "num_classes": int(model.num_classes),
+        "config": dataclasses.asdict(model.config),
+    }
+    (directory / CONFIG_FILE).write_text(json.dumps(payload, indent=2, sort_keys=True))
+    save_state_dict(model, directory / WEIGHTS_FILE)
+    return directory
+
+
+def load_checkpoint(directory: PathLike) -> KVEC:
+    """Rebuild a KVEC model from a checkpoint directory."""
+    directory = Path(directory)
+    config_path = directory / CONFIG_FILE
+    weights_path = directory / WEIGHTS_FILE
+    if not config_path.exists() or not weights_path.exists():
+        raise FileNotFoundError(f"{directory} is not a KVEC checkpoint directory")
+    payload = json.loads(config_path.read_text())
+    spec = ValueSpec(
+        field_names=tuple(payload["spec"]["field_names"]),
+        cardinalities=tuple(int(c) for c in payload["spec"]["cardinalities"]),
+        session_field=int(payload["spec"]["session_field"]),
+    )
+    config = KVECConfig(**payload["config"])
+    model = KVEC(spec, int(payload["num_classes"]), config)
+    state = load_state_dict(weights_path)
+    _load_weights(model, state)
+    return model
+
+
+def _load_weights(model: KVEC, state: dict) -> None:
+    """Copy a flat state dict into the model, checking names and shapes."""
+    named = dict(model.named_parameters())
+    missing = sorted(set(named) - set(state))
+    unexpected = sorted(set(state) - set(named))
+    if missing or unexpected:
+        raise ValueError(
+            f"checkpoint mismatch: missing={missing[:5]} unexpected={unexpected[:5]}"
+        )
+    for name, parameter in named.items():
+        weights = state[name]
+        if weights.shape != parameter.data.shape:
+            raise ValueError(
+                f"shape mismatch for {name}: checkpoint {weights.shape}, model {parameter.data.shape}"
+            )
+        parameter.data = weights.copy()

@@ -1,0 +1,165 @@
+"""Key/value correlations and the dynamic mask matrix (Section IV-B).
+
+Two items of a tangled sequence are correlated
+
+* through **key correlation** when they share the same key (they belong to
+  the same key-value sequence), and
+* through **value correlation** when, had they shared a key, they would fall
+  into the same *session* — operationally: the earlier item belongs to the
+  currently open (most recent, uninterrupted) session of its own sequence and
+  that session's value in the session field equals the later item's value in
+  the session field.
+
+The dynamic mask matrix ``M`` has ``M[i, j] = 0`` when item ``j`` is visible
+to item ``i`` (``j <= i`` and the items are correlated, or ``i == j``) and a
+large negative value otherwise; it is added to the attention logits so that
+softmax zeroes out the invisible positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.data.items import TangledSequence
+from repro.nn.attention import MASK_VALUE
+
+
+@dataclass
+class CorrelationStructure:
+    """The correlation structure of (a prefix of) a tangled sequence.
+
+    Attributes
+    ----------
+    mask:
+        Additive attention mask of shape ``(T, T)`` with ``0`` on visible
+        pairs and :data:`~repro.nn.attention.MASK_VALUE` on invisible ones.
+    key_correlated:
+        Boolean matrix; ``key_correlated[i, j]`` is True when ``j < i`` and
+        items i and j share a key (intra-sequence visibility).
+    value_correlated:
+        Boolean matrix; ``value_correlated[i, j]`` is True when ``j <= i``,
+        the items have different keys and they are correlated through the
+        value/session rule (inter-sequence visibility).
+    """
+
+    mask: np.ndarray
+    key_correlated: np.ndarray
+    value_correlated: np.ndarray
+
+    @property
+    def length(self) -> int:
+        return self.mask.shape[0]
+
+    def visible_pairs(self) -> int:
+        """Number of visible (i, j) pairs excluding the diagonal."""
+        off_diagonal = self.mask == 0.0
+        np.fill_diagonal(off_diagonal, False)
+        return int(off_diagonal.sum())
+
+
+class CorrelationTracker:
+    """Incrementally track correlations as items of a tangled stream arrive.
+
+    The tracker mirrors how a deployed system would compute the mask: items
+    are observed one at a time and for each new item the tracker reports
+    which earlier positions it is correlated with.  ``build_correlation_structure``
+    uses it to produce the full matrices for a (prefix of a) tangled sequence.
+    """
+
+    def __init__(
+        self,
+        session_field: int,
+        use_key_correlation: bool = True,
+        use_value_correlation: bool = True,
+    ) -> None:
+        self.session_field = session_field
+        self.use_key_correlation = use_key_correlation
+        self.use_value_correlation = use_value_correlation
+        #: positions of every observed item per key
+        self._positions_by_key: Dict[Hashable, List[int]] = {}
+        #: per key: (session value, positions of the currently open session)
+        self._open_sessions: Dict[Hashable, Tuple[int, List[int]]] = {}
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        """Number of items observed so far."""
+        return self._count
+
+    def observe(self, key: Hashable, value: Tuple[int, ...]) -> Tuple[List[int], List[int]]:
+        """Register the next item and return its correlated earlier positions.
+
+        Returns
+        -------
+        (key_correlated, value_correlated)
+            Lists of earlier item positions visible through the key
+            correlation and through the value correlation respectively.
+            The two lists are disjoint: same-key positions are reported only
+            as key correlations.
+        """
+        index = self._count
+        session_value = int(value[self.session_field])
+
+        key_positions = self._positions_by_key.get(key, [])
+        key_correlated = list(key_positions) if self.use_key_correlation else []
+
+        value_correlated: List[int] = []
+        if self.use_value_correlation:
+            own_positions = set(key_positions)
+            for other_key, (open_value, open_positions) in self._open_sessions.items():
+                if other_key == key:
+                    continue
+                if open_value == session_value:
+                    value_correlated.extend(
+                        pos for pos in open_positions if pos not in own_positions
+                    )
+
+        # Update the per-key state *after* computing correlations so an item
+        # never correlates with itself through these lists.
+        self._positions_by_key.setdefault(key, []).append(index)
+        open_value, open_positions = self._open_sessions.get(key, (None, []))
+        if open_value == session_value:
+            open_positions.append(index)
+            self._open_sessions[key] = (session_value, open_positions)
+        else:
+            self._open_sessions[key] = (session_value, [index])
+
+        self._count += 1
+        return key_correlated, sorted(value_correlated)
+
+
+def build_correlation_structure(
+    tangle: TangledSequence,
+    upto: Optional[int] = None,
+    use_key_correlation: bool = True,
+    use_value_correlation: bool = True,
+) -> CorrelationStructure:
+    """Build the mask and correlation matrices for ``tangle[:upto]``.
+
+    The diagonal is always visible (``M[i, i] = 0``) regardless of the
+    ablation switches, matching the paper's mask definition.
+    """
+    length = len(tangle) if upto is None else min(upto, len(tangle))
+    mask = np.full((length, length), MASK_VALUE, dtype=np.float64)
+    key_correlated = np.zeros((length, length), dtype=bool)
+    value_correlated = np.zeros((length, length), dtype=bool)
+
+    tracker = CorrelationTracker(
+        session_field=tangle.spec.session_field,
+        use_key_correlation=use_key_correlation,
+        use_value_correlation=use_value_correlation,
+    )
+    for index in range(length):
+        item = tangle[index]
+        via_key, via_value = tracker.observe(item.key, item.value)
+        mask[index, index] = 0.0
+        for position in via_key:
+            mask[index, position] = 0.0
+            key_correlated[index, position] = True
+        for position in via_value:
+            mask[index, position] = 0.0
+            value_correlated[index, position] = True
+    return CorrelationStructure(mask=mask, key_correlated=key_correlated, value_correlated=value_correlated)

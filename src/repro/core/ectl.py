@@ -1,0 +1,81 @@
+"""ECTL: the halting policy and its variance-reduction baseline (Section IV-C).
+
+The halting policy maps the current sequence representation ``s_k^{(t)}`` to
+the probability of taking the **Halt** action; **Wait** has the complementary
+probability.  During training, actions are sampled and the policy is updated
+with REINFORCE using a learned state-value baseline; at evaluation time the
+policy halts deterministically once the halting probability exceeds a
+threshold (0.5 unless stated otherwise).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+#: Action encoding used across the package.
+ACTION_WAIT = 0
+ACTION_HALT = 1
+
+
+class HaltingPolicy(Module):
+    """The halting policy π(s) = σ(w·s + b).
+
+    ``forward`` returns the halting probability as a scalar tensor that stays
+    differentiable, so ``log P(a | s)`` terms can be built for REINFORCE.
+    """
+
+    def __init__(self, d_state: int, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.projection = Linear(d_state, 1, rng=rng)
+
+    def forward(self, state: Tensor) -> Tensor:
+        """Halting probability for a single state vector of shape ``(d_state,)``."""
+        return F.sigmoid(self.projection(state)).reshape(())
+
+    def halt_probability(self, state: Tensor) -> float:
+        """Convenience: the halting probability as a python float."""
+        return float(self.forward(state).data)
+
+    def sample_action(self, state: Tensor, rng: np.random.Generator) -> int:
+        """Sample Halt/Wait according to π(s)."""
+        return ACTION_HALT if rng.random() < self.halt_probability(state) else ACTION_WAIT
+
+    def greedy_action(self, state: Tensor, threshold: float = 0.5) -> int:
+        """Deterministic action used at evaluation time."""
+        return ACTION_HALT if self.halt_probability(state) >= threshold else ACTION_WAIT
+
+    def log_prob(self, state: Tensor, action: int) -> Tensor:
+        """Differentiable ``log P(action | state)``."""
+        probability = self.forward(state).clip(1e-7, 1.0 - 1e-7)
+        if action == ACTION_HALT:
+            return probability.log()
+        return (1.0 - probability).log()
+
+
+class BaselineValue(Module):
+    """A shallow feed-forward state-value baseline ``b(s)``.
+
+    The baseline is trained by regression against the observed returns and is
+    used only to reduce the variance of the REINFORCE gradient (the advantage
+    ``R - b`` is treated as a constant when updating the policy).
+    """
+
+    def __init__(self, d_state: int, hidden: int = 32, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.hidden_layer = Linear(d_state, hidden, rng=rng)
+        self.output_layer = Linear(hidden, 1, rng=rng)
+
+    def forward(self, state: Tensor) -> Tensor:
+        """Estimated return for ``state`` as a scalar tensor."""
+        hidden = F.relu(self.hidden_layer(state))
+        return self.output_layer(hidden).reshape(())
+
+    def value(self, state: Tensor) -> float:
+        return float(self.forward(state).data)

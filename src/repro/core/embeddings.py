@@ -1,0 +1,90 @@
+"""The KVRL input embedding (Section IV-B, "Input Embedding").
+
+Each item of the tangled sequence is embedded as the **sum** of
+
+* a *value embedding* — one learned embedding per value field, summed over
+  fields (the paper assigns one embedding per distinct value; summing
+  per-field embeddings is the natural factorised form when the value is an
+  l-dimensional categorical vector),
+* a *membership embedding* — indexed by which key-value sequence the item
+  belongs to inside the current tangled sequence,
+* a *relative position embedding* — the item's position within its own
+  key-value sequence, and
+* a *time embedding* — the item's global arrival order in the tangled stream.
+
+The membership and time-related embeddings can be disabled for the Fig. 9
+ablations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.data.items import TangledSequence, ValueSpec
+from repro.nn.layers import Embedding
+from repro.nn.module import Module, ModuleList
+from repro.nn.tensor import Tensor
+
+
+class InputEmbedding(Module):
+    """Embed the items of a tangled sequence into ``(T, d_model)``."""
+
+    def __init__(
+        self,
+        spec: ValueSpec,
+        d_model: int,
+        max_positions: int = 256,
+        max_keys: int = 64,
+        max_time: int = 512,
+        use_membership_embedding: bool = True,
+        use_time_embeddings: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.spec = spec
+        self.d_model = d_model
+        self.max_positions = max_positions
+        self.max_keys = max_keys
+        self.max_time = max_time
+        self.use_membership_embedding = use_membership_embedding
+        self.use_time_embeddings = use_time_embeddings
+
+        self.value_embeddings = ModuleList(
+            [Embedding(cardinality, d_model, rng=rng) for cardinality in spec.cardinalities]
+        )
+        self.membership_embedding = Embedding(max_keys, d_model, rng=rng)
+        self.position_embedding = Embedding(max_positions, d_model, rng=rng)
+        self.time_embedding = Embedding(max_time, d_model, rng=rng)
+
+    def forward(self, tangle: TangledSequence, upto: Optional[int] = None) -> Tensor:
+        """Return the dynamic embedding matrix ``E0`` for ``tangle[:upto]``.
+
+        Rows are ordered by arrival, matching the correlation mask layout.
+        """
+        length = len(tangle) if upto is None else min(upto, len(tangle))
+        if length == 0:
+            raise ValueError("cannot embed an empty tangled sequence")
+
+        field_codes = np.zeros((self.spec.num_fields, length), dtype=int)
+        membership = np.zeros(length, dtype=int)
+        positions = np.zeros(length, dtype=int)
+        times = np.zeros(length, dtype=int)
+        for index in range(length):
+            item = tangle[index]
+            for field_index in range(self.spec.num_fields):
+                field_codes[field_index, index] = item.field(field_index)
+            membership[index] = min(tangle.key_index(item.key), self.max_keys - 1)
+            positions[index] = min(tangle.position_in_key_sequence(index), self.max_positions - 1)
+            times[index] = min(index, self.max_time - 1)
+
+        embedded = self.value_embeddings[0](field_codes[0])
+        for field_index in range(1, self.spec.num_fields):
+            embedded = embedded + self.value_embeddings[field_index](field_codes[field_index])
+        if self.use_membership_embedding:
+            embedded = embedded + self.membership_embedding(membership)
+        if self.use_time_embeddings:
+            embedded = embedded + self.position_embedding(positions)
+            embedded = embedded + self.time_embedding(times)
+        return embedded

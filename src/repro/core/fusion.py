@@ -1,0 +1,95 @@
+"""Embedding fusion (Section IV-B, "Embedding Fusion").
+
+After the attention encoder produces a refined embedding for every observed
+item, the representation of each key-value sequence ``S_k`` must be updated
+from the new item's embedding:
+
+.. math:: s_k^{(t)} = \\text{Fusion}(s_k^{(t-1)}, E^{(t)}_{e_t}).
+
+The paper implements Fusion as an LSTM-style multiple gating mechanism
+(:class:`GatedFusion`).  Parameter-free alternatives (:class:`MeanFusion`,
+:class:`LastItemFusion`) are provided because the paper explicitly notes that
+simple addition/averaging fuses noise and performs worse — the
+``bench_ablation_fusion`` benchmark measures that claim.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.nn.recurrent import LSTMCell
+from repro.nn.tensor import Tensor
+
+#: A fusion state is whatever a fusion module threads between steps.
+FusionState = Tuple[Tensor, ...]
+
+
+class GatedFusion(Module):
+    """LSTM-style gated fusion of item embeddings into a sequence state."""
+
+    def __init__(self, d_model: int, d_state: int, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.d_model = d_model
+        self.d_state = d_state
+        self.cell = LSTMCell(d_model, d_state, rng=rng)
+
+    def initial_state(self) -> FusionState:
+        """Zero (hidden, cell) state for a sequence with no observed items."""
+        return self.cell.init_state()
+
+    def forward(self, state: FusionState, item_embedding: Tensor) -> Tuple[Tensor, FusionState]:
+        """Fold ``item_embedding`` into ``state``.
+
+        Returns ``(sequence_representation, new_state)`` where the sequence
+        representation is the LSTM hidden vector ``s_k^{(t)}``.
+        """
+        hidden, cell = self.cell(item_embedding, state)
+        return hidden, (hidden, cell)
+
+
+class MeanFusion(Module):
+    """Parameter-free fusion: the running mean of observed item embeddings."""
+
+    def __init__(self, d_model: int, d_state: Optional[int] = None) -> None:
+        super().__init__()
+        self.d_model = d_model
+        self.d_state = d_state or d_model
+
+    def initial_state(self) -> FusionState:
+        return (Tensor(np.zeros(self.d_model)), Tensor(np.zeros(1)))
+
+    def forward(self, state: FusionState, item_embedding: Tensor) -> Tuple[Tensor, FusionState]:
+        running_sum, count = state
+        new_sum = running_sum + item_embedding
+        new_count = count + 1.0
+        mean = new_sum / new_count
+        return mean, (new_sum, new_count)
+
+
+class LastItemFusion(Module):
+    """Parameter-free fusion: the sequence is represented by its latest item."""
+
+    def __init__(self, d_model: int, d_state: Optional[int] = None) -> None:
+        super().__init__()
+        self.d_model = d_model
+        self.d_state = d_state or d_model
+
+    def initial_state(self) -> FusionState:
+        return (Tensor(np.zeros(self.d_model)),)
+
+    def forward(self, state: FusionState, item_embedding: Tensor) -> Tuple[Tensor, FusionState]:
+        return item_embedding, (item_embedding,)
+
+
+def make_fusion(kind: str, d_model: int, d_state: int, rng: Optional[np.random.Generator] = None) -> Module:
+    """Factory for fusion modules by name (``"gated"``, ``"mean"``, ``"last"``)."""
+    if kind == "gated":
+        return GatedFusion(d_model, d_state, rng=rng)
+    if kind == "mean":
+        return MeanFusion(d_model, d_state)
+    if kind == "last":
+        return LastItemFusion(d_model, d_state)
+    raise ValueError(f"unknown fusion kind {kind!r}")

@@ -1,0 +1,88 @@
+"""The KVRL attention encoder (Section IV-B, "Attention Mechanism").
+
+A stack of attention blocks refines the input embedding matrix ``E0`` into
+``E``; each block is masked self-attention (with the dynamic correlation mask
+added to the logits) followed by a position-wise feed-forward network, with
+residual connections and layer normalisation.  Because the mask only permits
+attention to positions ``j <= i``, row ``t`` of the output depends only on
+items that arrived up to time ``t`` — so a single full-length forward pass
+yields exactly the per-time-step representations the streaming model needs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.layers import Dropout, FeedForward, LayerNorm
+from repro.nn.module import Module, ModuleList
+from repro.nn.tensor import Tensor
+
+
+class KVRLBlock(Module):
+    """One attention block: masked self-attention + FFN, residual + LayerNorm."""
+
+    def __init__(
+        self,
+        d_model: int,
+        num_heads: int,
+        ffn_hidden: int,
+        dropout: float = 0.1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.attention = MultiHeadAttention(d_model, num_heads=num_heads, dropout=dropout, rng=rng)
+        self.feed_forward = FeedForward(d_model, ffn_hidden, dropout=dropout, rng=rng)
+        self.norm1 = LayerNorm(d_model)
+        self.norm2 = LayerNorm(d_model)
+        self.dropout = Dropout(dropout, rng=rng) if dropout > 0 else None
+
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        attended = self.attention(x, mask=mask)
+        if self.dropout is not None:
+            attended = self.dropout(attended)
+        x = self.norm1(x + attended)
+        transformed = self.feed_forward(x)
+        return self.norm2(x + transformed)
+
+
+class KVRLEncoder(Module):
+    """Stack of :class:`KVRLBlock` modules sharing one correlation mask."""
+
+    def __init__(
+        self,
+        d_model: int,
+        num_blocks: int,
+        num_heads: int = 1,
+        ffn_hidden: Optional[int] = None,
+        dropout: float = 0.1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if num_blocks <= 0:
+            raise ValueError("num_blocks must be positive")
+        ffn_hidden = ffn_hidden or 4 * d_model
+        self.blocks = ModuleList(
+            [
+                KVRLBlock(d_model, num_heads, ffn_hidden, dropout=dropout, rng=rng)
+                for _ in range(num_blocks)
+            ]
+        )
+
+    def forward(self, embeddings: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        """Refine ``embeddings`` of shape ``(T, d_model)`` under ``mask``."""
+        x = embeddings
+        for block in self.blocks:
+            x = block(x, mask=mask)
+        return x
+
+    def attention_maps(self) -> List[np.ndarray]:
+        """Attention weights of the last forward pass, one ``(H, T, T)`` array per block."""
+        maps: List[np.ndarray] = []
+        for block in self.blocks:
+            weights = block.attention.last_attention
+            if weights is not None:
+                maps.append(weights)
+        return maps

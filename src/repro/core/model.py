@@ -1,0 +1,266 @@
+"""The KVEC model: KVRL representation learning + ECTL halting (Fig. 2).
+
+The model processes one tangled key-value sequence at a time.  Because the
+correlation mask restricts attention to positions ``j <= i``, a single
+full-length pass of the attention encoder yields, at every row ``t``, exactly
+the representation the streaming system would have computed after observing
+``t`` items — so episodes are generated efficiently without re-encoding the
+prefix at every step, while remaining faithful to the paper's streaming
+semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional
+
+import numpy as np
+
+from repro.core.classifier import SequenceClassifier
+from repro.core.config import KVECConfig
+from repro.core.correlation import CorrelationStructure, build_correlation_structure
+from repro.core.ectl import ACTION_HALT, ACTION_WAIT, BaselineValue, HaltingPolicy
+from repro.core.embeddings import InputEmbedding
+from repro.core.fusion import make_fusion
+from repro.core.kvrl import KVRLEncoder
+from repro.data.items import TangledSequence, ValueSpec
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor, no_grad
+
+
+@dataclass
+class PredictionRecord:
+    """The outcome of early classification for one key-value sequence."""
+
+    key: Hashable
+    predicted: int
+    label: int
+    halt_observation: int
+    sequence_length: int
+    confidence: float = 0.0
+    halted_by_policy: bool = True
+
+    @property
+    def correct(self) -> bool:
+        return self.predicted == self.label
+
+    @property
+    def earliness(self) -> float:
+        """Fraction of the sequence observed before classification (n_k / |S_k|)."""
+        if self.sequence_length == 0:
+            return 1.0
+        return self.halt_observation / self.sequence_length
+
+
+@dataclass
+class KeyEpisode:
+    """Everything recorded for one key-value sequence during an episode."""
+
+    key: Hashable
+    label: int
+    sequence_length: int
+    states: List[Tensor] = field(default_factory=list)
+    halt_log_probs: List[Tensor] = field(default_factory=list)
+    actions: List[int] = field(default_factory=list)
+    halted: bool = False
+    halted_by_policy: bool = False
+    logits: Optional[Tensor] = None
+    predicted: Optional[int] = None
+    confidence: float = 0.0
+
+    @property
+    def num_observations(self) -> int:
+        """``n_k`` — the number of items observed before classification."""
+        return len(self.states)
+
+    def to_record(self) -> PredictionRecord:
+        if self.predicted is None:
+            raise ValueError(f"sequence {self.key!r} was never classified")
+        return PredictionRecord(
+            key=self.key,
+            predicted=self.predicted,
+            label=self.label,
+            halt_observation=self.num_observations,
+            sequence_length=self.sequence_length,
+            confidence=self.confidence,
+            halted_by_policy=self.halted_by_policy,
+        )
+
+
+@dataclass
+class EpisodeResult:
+    """The result of running KVEC over one tangled sequence."""
+
+    episodes: Dict[Hashable, KeyEpisode]
+    correlation: CorrelationStructure
+    attention_maps: List[np.ndarray] = field(default_factory=list)
+
+    def records(self) -> List[PredictionRecord]:
+        return [episode.to_record() for episode in self.episodes.values()]
+
+    @property
+    def num_keys(self) -> int:
+        return len(self.episodes)
+
+
+class KVEC(Module):
+    """Key-Value sequence Early Co-classification model."""
+
+    def __init__(self, spec: ValueSpec, num_classes: int, config: Optional[KVECConfig] = None) -> None:
+        super().__init__()
+        self.config = config or KVECConfig()
+        self.spec = spec
+        self.num_classes = num_classes
+        rng = np.random.default_rng(self.config.seed)
+
+        self.input_embedding = InputEmbedding(
+            spec,
+            self.config.d_model,
+            max_positions=self.config.max_positions,
+            max_keys=self.config.max_keys,
+            max_time=self.config.max_time,
+            use_membership_embedding=self.config.use_membership_embedding,
+            use_time_embeddings=self.config.use_time_embeddings,
+            rng=rng,
+        )
+        self.encoder = KVRLEncoder(
+            self.config.d_model,
+            self.config.num_blocks,
+            num_heads=self.config.num_heads,
+            ffn_hidden=self.config.ffn_hidden,
+            dropout=self.config.dropout,
+            rng=rng,
+        )
+        state_dim = self.config.d_state if self.config.fusion == "gated" else self.config.d_model
+        self.state_dim = state_dim
+        self.fusion = make_fusion(self.config.fusion, self.config.d_model, self.config.d_state, rng=rng)
+        self.policy = HaltingPolicy(state_dim, rng=rng)
+        self.baseline = BaselineValue(state_dim, rng=rng)
+        self.classifier = SequenceClassifier(state_dim, num_classes, rng=rng)
+        self._action_rng = np.random.default_rng(self.config.seed + 1)
+
+    # ------------------------------------------------------------------ #
+    # encoding
+    # ------------------------------------------------------------------ #
+    def encode(self, tangle: TangledSequence, upto: Optional[int] = None):
+        """Return ``(item_representations, correlation_structure)`` for a prefix."""
+        structure = build_correlation_structure(
+            tangle,
+            upto=upto,
+            use_key_correlation=self.config.use_key_correlation,
+            use_value_correlation=self.config.use_value_correlation,
+        )
+        embeddings = self.input_embedding(tangle, upto=upto)
+        representations = self.encoder(embeddings, mask=structure.mask)
+        return representations, structure
+
+    # ------------------------------------------------------------------ #
+    # episode generation
+    # ------------------------------------------------------------------ #
+    def run_episode(
+        self,
+        tangle: TangledSequence,
+        mode: str = "sample",
+        halt_threshold: float = 0.5,
+        rng: Optional[np.random.Generator] = None,
+        store_attention: bool = False,
+        max_items: Optional[int] = None,
+    ) -> EpisodeResult:
+        """Process a tangled sequence item by item.
+
+        Parameters
+        ----------
+        mode:
+            ``"sample"`` draws Halt/Wait from the policy (training);
+            ``"greedy"`` halts when the halting probability exceeds
+            ``halt_threshold`` (evaluation).
+        store_attention:
+            Keep the per-block attention maps (needed by the Fig. 10
+            attention-score analysis).
+        max_items:
+            Optionally truncate the tangled sequence to its first
+            ``max_items`` items.
+        """
+        if mode not in ("sample", "greedy"):
+            raise ValueError(f"unknown mode {mode!r}")
+        rng = rng or self._action_rng
+
+        length = len(tangle) if max_items is None else min(max_items, len(tangle))
+        if length == 0:
+            raise ValueError("cannot run an episode on an empty tangled sequence")
+        representations, structure = self.encode(tangle, upto=length)
+
+        episodes: Dict[Hashable, KeyEpisode] = {}
+        fusion_states: Dict[Hashable, tuple] = {}
+        for key in {tangle[i].key for i in range(length)}:
+            episodes[key] = KeyEpisode(
+                key=key,
+                label=tangle.label_of(key),
+                sequence_length=tangle.sequence_length(key),
+            )
+
+        for index in range(length):
+            item = tangle[index]
+            episode = episodes[item.key]
+            if episode.halted:
+                continue
+            state = fusion_states.get(item.key)
+            if state is None:
+                state = self.fusion.initial_state()
+            representation, new_state = self.fusion(state, representations[index])
+            fusion_states[item.key] = new_state
+            episode.states.append(representation)
+
+            halt_prob = self.policy(representation)
+            if mode == "sample":
+                action = ACTION_HALT if rng.random() < float(halt_prob.data) else ACTION_WAIT
+            else:
+                action = ACTION_HALT if float(halt_prob.data) >= halt_threshold else ACTION_WAIT
+            episode.actions.append(action)
+            episode.halt_log_probs.append(self.policy.log_prob(representation, action))
+
+            if action == ACTION_HALT:
+                self._classify(episode, representation, halted_by_policy=True)
+
+        # Sequences that never halted are classified from their final state
+        # (all their items have been observed).
+        for episode in episodes.values():
+            if not episode.halted and episode.states:
+                self._classify(episode, episode.states[-1], halted_by_policy=False)
+
+        attention_maps = self.encoder.attention_maps() if store_attention else []
+        return EpisodeResult(episodes=episodes, correlation=structure, attention_maps=attention_maps)
+
+    def _classify(self, episode: KeyEpisode, representation: Tensor, halted_by_policy: bool) -> None:
+        episode.halted = True
+        episode.halted_by_policy = halted_by_policy
+        episode.logits = self.classifier(representation)
+        probabilities = self.classifier.probabilities(representation)
+        episode.predicted = int(np.argmax(probabilities))
+        episode.confidence = float(np.max(probabilities))
+
+    # ------------------------------------------------------------------ #
+    # evaluation interface
+    # ------------------------------------------------------------------ #
+    def predict_tangle(
+        self,
+        tangle: TangledSequence,
+        halt_threshold: float = 0.5,
+        max_items: Optional[int] = None,
+    ) -> List[PredictionRecord]:
+        """Early-classify every key-value sequence in ``tangle`` (no gradients)."""
+        was_training = self.training
+        self.eval()
+        try:
+            with no_grad():
+                result = self.run_episode(
+                    tangle, mode="greedy", halt_threshold=halt_threshold, max_items=max_items
+                )
+        finally:
+            self.train(was_training)
+        return result.records()
+
+    def trainable_parameters(self) -> List[Parameter]:
+        """Parameters of θ = (θ1, θπ): everything except the baseline network."""
+        baseline_ids = {id(p) for p in self.baseline.parameters()}
+        return [p for p in self.parameters() if id(p) not in baseline_ids]

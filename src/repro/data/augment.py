@@ -1,0 +1,179 @@
+"""Data augmentation for key-value sequences.
+
+The paper's datasets are collected traces; real traffic and clickstream data
+exhibit packet loss, retransmission-induced reordering and timing jitter.
+These transforms generate perturbed copies of labelled sequences so that
+
+* robustness of a trained model can be probed (failure-injection tests), and
+* small generated datasets can be enlarged without changing class semantics.
+
+Every transform takes and returns :class:`KeyValueSequence` objects and never
+mutates its input.  Transforms preserve the label and the key by default;
+:func:`reassign_keys` is the explicit exception used to create augmented
+*new* keys so the key-disjoint split invariant still holds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.items import Item, KeyValueSequence, ValueSpec
+
+Transform = Callable[[KeyValueSequence], KeyValueSequence]
+
+
+def _require_rng(rng: Optional[np.random.Generator]) -> np.random.Generator:
+    return rng if rng is not None else np.random.default_rng()
+
+
+def drop_items(
+    sequence: KeyValueSequence,
+    drop_probability: float,
+    rng: Optional[np.random.Generator] = None,
+    min_remaining: int = 1,
+) -> KeyValueSequence:
+    """Randomly drop items (packet-loss style).
+
+    At least ``min_remaining`` items are always kept so the sequence remains
+    classifiable.
+    """
+    if not 0.0 <= drop_probability < 1.0:
+        raise ValueError("drop_probability must be in [0, 1)")
+    rng = _require_rng(rng)
+    keep = [item for item in sequence.items if rng.random() >= drop_probability]
+    if len(keep) < min_remaining:
+        keep = list(sequence.items[:min_remaining])
+    return KeyValueSequence(sequence.key, keep, sequence.label)
+
+
+def time_jitter(
+    sequence: KeyValueSequence,
+    scale: float,
+    rng: Optional[np.random.Generator] = None,
+) -> KeyValueSequence:
+    """Add non-negative jitter to every item's arrival time.
+
+    Jitter is cumulative (each gap is stretched independently) so the
+    chronological order within the sequence is preserved.
+    """
+    if scale < 0:
+        raise ValueError("scale must be non-negative")
+    rng = _require_rng(rng)
+    items: List[Item] = []
+    offset = 0.0
+    for item in sequence.items:
+        offset += float(rng.exponential(scale)) if scale > 0 else 0.0
+        items.append(Item(item.key, item.value, item.time + offset))
+    return KeyValueSequence(sequence.key, items, sequence.label)
+
+
+def truncate(sequence: KeyValueSequence, max_length: int) -> KeyValueSequence:
+    """Keep only the first ``max_length`` items."""
+    if max_length <= 0:
+        raise ValueError("max_length must be positive")
+    return sequence.prefix(max_length)
+
+
+def perturb_values(
+    sequence: KeyValueSequence,
+    spec: ValueSpec,
+    flip_probability: float,
+    rng: Optional[np.random.Generator] = None,
+    protected_fields: Sequence[int] = (),
+) -> KeyValueSequence:
+    """Randomly replace value codes with uniform draws from their field space.
+
+    ``protected_fields`` lists value dimensions that must not be perturbed
+    (by default none; callers typically protect the session-defining field so
+    the burst structure survives augmentation).
+    """
+    if not 0.0 <= flip_probability < 1.0:
+        raise ValueError("flip_probability must be in [0, 1)")
+    rng = _require_rng(rng)
+    protected = set(int(index) for index in protected_fields)
+    items: List[Item] = []
+    for item in sequence.items:
+        value = list(item.value)
+        for dimension, cardinality in enumerate(spec.cardinalities):
+            if dimension in protected:
+                continue
+            if rng.random() < flip_probability:
+                value[dimension] = int(rng.integers(0, cardinality))
+        items.append(Item(item.key, tuple(value), item.time))
+    return KeyValueSequence(sequence.key, items, sequence.label)
+
+
+def local_swap(
+    sequence: KeyValueSequence,
+    swap_probability: float,
+    rng: Optional[np.random.Generator] = None,
+) -> KeyValueSequence:
+    """Swap the *values* of adjacent items with some probability (reordering).
+
+    Arrival times keep their original order (the stream stays chronological);
+    only the item contents are exchanged, which models the effect of local
+    reordering such as TCP retransmissions.
+    """
+    if not 0.0 <= swap_probability < 1.0:
+        raise ValueError("swap_probability must be in [0, 1)")
+    rng = _require_rng(rng)
+    values = [item.value for item in sequence.items]
+    index = 0
+    while index + 1 < len(values):
+        if rng.random() < swap_probability:
+            values[index], values[index + 1] = values[index + 1], values[index]
+            index += 2
+        else:
+            index += 1
+    items = [
+        Item(item.key, value, item.time) for item, value in zip(sequence.items, values)
+    ]
+    return KeyValueSequence(sequence.key, items, sequence.label)
+
+
+def reassign_keys(
+    sequences: Sequence[KeyValueSequence],
+    suffix: str = "aug",
+) -> List[KeyValueSequence]:
+    """Give every sequence a fresh, distinct key derived from its original.
+
+    Augmented copies must not reuse original keys, otherwise interleaving the
+    augmented pool would merge two sequences under one key and corrupt the
+    per-key labels.
+    """
+    reassigned: List[KeyValueSequence] = []
+    for position, sequence in enumerate(sequences):
+        new_key: Hashable = f"{sequence.key}-{suffix}{position}"
+        items = [Item(new_key, item.value, item.time) for item in sequence.items]
+        reassigned.append(KeyValueSequence(new_key, items, sequence.label))
+    return reassigned
+
+
+def augment_pool(
+    sequences: Sequence[KeyValueSequence],
+    transforms: Sequence[Transform],
+    copies: int = 1,
+    rng: Optional[np.random.Generator] = None,
+    suffix: str = "aug",
+) -> List[KeyValueSequence]:
+    """Create ``copies`` augmented variants of every sequence.
+
+    Each copy applies every transform in order.  The returned list contains
+    only the augmented sequences (with fresh keys); callers concatenate them
+    with the originals as needed.
+    """
+    if copies <= 0:
+        raise ValueError("copies must be a positive integer")
+    rng = _require_rng(rng)
+    augmented: List[KeyValueSequence] = []
+    for copy_index in range(copies):
+        batch: List[KeyValueSequence] = []
+        for sequence in sequences:
+            transformed = sequence
+            for transform in transforms:
+                transformed = transform(transformed)
+            batch.append(transformed)
+        augmented.extend(reassign_keys(batch, suffix=f"{suffix}{copy_index}"))
+    return augmented

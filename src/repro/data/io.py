@@ -1,0 +1,290 @@
+"""Serialization of key-value sequence data to and from disk.
+
+Real deployments of the paper's system ingest key-value sequences from
+external systems (packet capture pipelines, clickstream logs).  This module
+provides a stable on-disk representation so that generated datasets, tangled
+streams and prediction records can be exported, versioned and re-loaded
+without re-running the generators:
+
+* JSON Lines (``.jsonl``) — one item / sequence / record per line, the
+  primary interchange format,
+* CSV — a flat item table for inspection with external tools.
+
+All writers are deterministic (no timestamps, stable key ordering) so that
+exported files are diff-friendly.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Union
+
+from repro.core.model import PredictionRecord
+from repro.data.items import Item, KeyValueSequence, TangledSequence, ValueSpec
+from repro.datasets.base import GeneratedDataset
+
+PathLike = Union[str, Path]
+
+#: Format version written into every JSONL header record so that future
+#: revisions of the schema can detect and migrate old files.
+FORMAT_VERSION = 1
+
+
+# --------------------------------------------------------------------------- #
+# low-level item codecs
+# --------------------------------------------------------------------------- #
+def item_to_dict(item: Item) -> Dict:
+    """Encode one item as a JSON-serializable dictionary."""
+    return {"key": item.key, "value": list(int(v) for v in item.value), "time": float(item.time)}
+
+
+def item_from_dict(payload: Dict) -> Item:
+    """Decode one item from its dictionary representation."""
+    key = payload["key"]
+    if isinstance(key, list):
+        key = tuple(key)
+    return Item(key=key, value=tuple(int(v) for v in payload["value"]), time=float(payload["time"]))
+
+
+def spec_to_dict(spec: ValueSpec) -> Dict:
+    """Encode a value schema."""
+    return {
+        "field_names": list(spec.field_names),
+        "cardinalities": list(int(c) for c in spec.cardinalities),
+        "session_field": int(spec.session_field),
+    }
+
+
+def spec_from_dict(payload: Dict) -> ValueSpec:
+    """Decode a value schema."""
+    return ValueSpec(
+        field_names=tuple(payload["field_names"]),
+        cardinalities=tuple(int(c) for c in payload["cardinalities"]),
+        session_field=int(payload["session_field"]),
+    )
+
+
+def _normalise_key(key) -> Hashable:
+    """JSON turns tuples into lists; restore hashability on load."""
+    if isinstance(key, list):
+        return tuple(key)
+    return key
+
+
+# --------------------------------------------------------------------------- #
+# per-key sequences
+# --------------------------------------------------------------------------- #
+def sequence_to_dict(sequence: KeyValueSequence) -> Dict:
+    """Encode a labelled per-key sequence."""
+    return {
+        "key": sequence.key,
+        "label": None if sequence.label is None else int(sequence.label),
+        "items": [item_to_dict(item) for item in sequence.items],
+    }
+
+
+def sequence_from_dict(payload: Dict) -> KeyValueSequence:
+    """Decode a labelled per-key sequence."""
+    key = _normalise_key(payload["key"])
+    items = [item_from_dict(entry) for entry in payload["items"]]
+    label = payload.get("label")
+    return KeyValueSequence(key, items, None if label is None else int(label))
+
+
+def save_sequences(sequences: Sequence[KeyValueSequence], path: PathLike) -> int:
+    """Write sequences to a JSONL file; returns the number of lines written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        for sequence in sequences:
+            handle.write(json.dumps(sequence_to_dict(sequence), sort_keys=True) + "\n")
+    return len(sequences)
+
+
+def load_sequences(path: PathLike) -> List[KeyValueSequence]:
+    """Load per-key sequences from a JSONL file written by :func:`save_sequences`."""
+    sequences: List[KeyValueSequence] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            sequences.append(sequence_from_dict(json.loads(line)))
+    return sequences
+
+
+# --------------------------------------------------------------------------- #
+# tangled sequences
+# --------------------------------------------------------------------------- #
+def tangle_to_dict(tangle: TangledSequence) -> Dict:
+    """Encode a tangled sequence (items, labels and name; the spec is shared)."""
+    return {
+        "name": tangle.name,
+        "labels": [[key, int(label)] for key, label in sorted(tangle.labels.items(), key=lambda kv: str(kv[0]))],
+        "items": [item_to_dict(item) for item in tangle.items],
+    }
+
+
+def tangle_from_dict(payload: Dict, spec: ValueSpec) -> TangledSequence:
+    """Decode a tangled sequence given the dataset's value schema."""
+    labels = {_normalise_key(key): int(label) for key, label in payload["labels"]}
+    items = [item_from_dict(entry) for entry in payload["items"]]
+    return TangledSequence(items, labels, spec, name=payload.get("name", ""))
+
+
+def save_tangles(tangles: Sequence[TangledSequence], spec: ValueSpec, path: PathLike) -> int:
+    """Write tangled sequences plus their shared schema to a JSONL file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        header = {"format_version": FORMAT_VERSION, "kind": "tangles", "spec": spec_to_dict(spec)}
+        handle.write(json.dumps(header, sort_keys=True) + "\n")
+        for tangle in tangles:
+            handle.write(json.dumps(tangle_to_dict(tangle), sort_keys=True) + "\n")
+    return len(tangles)
+
+
+def load_tangles(path: PathLike) -> List[TangledSequence]:
+    """Load tangled sequences from a JSONL file written by :func:`save_tangles`."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        lines = [line.strip() for line in handle if line.strip()]
+    if not lines:
+        return []
+    header = json.loads(lines[0])
+    if header.get("kind") != "tangles":
+        raise ValueError(f"{path} is not a tangled-sequence file (kind={header.get('kind')!r})")
+    spec = spec_from_dict(header["spec"])
+    return [tangle_from_dict(json.loads(line), spec) for line in lines[1:]]
+
+
+# --------------------------------------------------------------------------- #
+# full datasets
+# --------------------------------------------------------------------------- #
+def save_dataset(dataset: GeneratedDataset, path: PathLike) -> int:
+    """Write a generated dataset (schema, metadata and every sequence) to JSONL."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        header = {
+            "format_version": FORMAT_VERSION,
+            "kind": "dataset",
+            "name": dataset.name,
+            "num_classes": int(dataset.num_classes),
+            "class_names": list(dataset.class_names),
+            "spec": spec_to_dict(dataset.spec),
+            "true_stop_positions": [
+                [key, int(position)]
+                for key, position in sorted(dataset.true_stop_positions.items(), key=lambda kv: str(kv[0]))
+            ],
+        }
+        handle.write(json.dumps(header, sort_keys=True) + "\n")
+        for sequence in dataset.sequences:
+            handle.write(json.dumps(sequence_to_dict(sequence), sort_keys=True) + "\n")
+    return len(dataset.sequences)
+
+
+def load_dataset(path: PathLike) -> GeneratedDataset:
+    """Load a generated dataset from a JSONL file written by :func:`save_dataset`."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        lines = [line.strip() for line in handle if line.strip()]
+    if not lines:
+        raise ValueError(f"{path} is empty")
+    header = json.loads(lines[0])
+    if header.get("kind") != "dataset":
+        raise ValueError(f"{path} is not a dataset file (kind={header.get('kind')!r})")
+    spec = spec_from_dict(header["spec"])
+    sequences = [sequence_from_dict(json.loads(line)) for line in lines[1:]]
+    return GeneratedDataset(
+        name=header["name"],
+        sequences=sequences,
+        spec=spec,
+        num_classes=int(header["num_classes"]),
+        class_names=tuple(header.get("class_names", ())),
+        true_stop_positions={
+            _normalise_key(key): int(position)
+            for key, position in header.get("true_stop_positions", [])
+        },
+    )
+
+
+# --------------------------------------------------------------------------- #
+# prediction records
+# --------------------------------------------------------------------------- #
+def record_to_dict(record: PredictionRecord) -> Dict:
+    """Encode one early-classification outcome."""
+    return {
+        "key": record.key,
+        "predicted": int(record.predicted),
+        "label": int(record.label),
+        "halt_observation": int(record.halt_observation),
+        "sequence_length": int(record.sequence_length),
+        "confidence": float(record.confidence),
+        "halted_by_policy": bool(record.halted_by_policy),
+    }
+
+
+def record_from_dict(payload: Dict) -> PredictionRecord:
+    """Decode one early-classification outcome."""
+    return PredictionRecord(
+        key=_normalise_key(payload["key"]),
+        predicted=int(payload["predicted"]),
+        label=int(payload["label"]),
+        halt_observation=int(payload["halt_observation"]),
+        sequence_length=int(payload["sequence_length"]),
+        confidence=float(payload.get("confidence", 0.0)),
+        halted_by_policy=bool(payload.get("halted_by_policy", True)),
+    )
+
+
+def save_records(records: Sequence[PredictionRecord], path: PathLike) -> int:
+    """Write prediction records to a JSONL file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record_to_dict(record), sort_keys=True) + "\n")
+    return len(records)
+
+
+def load_records(path: PathLike) -> List[PredictionRecord]:
+    """Load prediction records from a JSONL file written by :func:`save_records`."""
+    records: List[PredictionRecord] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(record_from_dict(json.loads(line)))
+    return records
+
+
+# --------------------------------------------------------------------------- #
+# CSV export (inspection / external tooling)
+# --------------------------------------------------------------------------- #
+def export_items_csv(tangle: TangledSequence, path: PathLike) -> int:
+    """Export a tangled sequence as a flat CSV item table.
+
+    Columns: ``time, key, label, position_in_sequence, <value field names...>``.
+    Returns the number of item rows written.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["time", "key", "label", "position"] + list(tangle.spec.field_names))
+        for index, item in enumerate(tangle.items):
+            writer.writerow(
+                [item.time, item.key, tangle.labels[item.key], tangle.position_in_key_sequence(index)]
+                + [int(code) for code in item.value]
+            )
+    return len(tangle.items)
+
+
+def iter_jsonl(path: PathLike) -> Iterator[Dict]:
+    """Yield each JSON object of a JSONL file (generic helper for callers)."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

@@ -1,0 +1,150 @@
+"""Encoders mapping raw feature values to categorical codes.
+
+Items store small integer codes per value dimension (so the embedding layers
+can be plain lookup tables).  Raw features come in two flavours:
+
+* categorical (packet direction, movie genre, protocol) — handled by
+  :class:`CategoricalEncoder`,
+* continuous (packet size, rating) — discretised into buckets by
+  :class:`BucketEncoder`.
+
+A :class:`ValueEncoder` combines one encoder per dimension and produces both
+the integer code tuple and the :class:`~repro.data.items.ValueSpec`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.items import ValueSpec
+
+
+class CategoricalEncoder:
+    """Map arbitrary hashable raw values to dense integer codes.
+
+    Unknown values encountered after :meth:`freeze` map to a dedicated
+    ``<unk>`` code instead of growing the vocabulary.
+    """
+
+    def __init__(self, name: str = "categorical") -> None:
+        self.name = name
+        self._codes: Dict[Hashable, int] = {}
+        self._frozen = False
+
+    def fit(self, values: Sequence[Hashable]) -> "CategoricalEncoder":
+        """Register every distinct value in ``values``."""
+        for value in values:
+            self.encode(value)
+        return self
+
+    def freeze(self) -> "CategoricalEncoder":
+        """Stop growing the vocabulary; reserve an ``<unk>`` code."""
+        if not self._frozen:
+            self._codes.setdefault("<unk>", len(self._codes))
+            self._frozen = True
+        return self
+
+    def encode(self, value: Hashable) -> int:
+        """Return the integer code of ``value`` (allocating one if unfrozen)."""
+        if value in self._codes:
+            return self._codes[value]
+        if self._frozen:
+            return self._codes["<unk>"]
+        code = len(self._codes)
+        self._codes[value] = code
+        return code
+
+    @property
+    def cardinality(self) -> int:
+        """Number of codes (including ``<unk>`` when frozen)."""
+        return max(1, len(self._codes))
+
+    def __len__(self) -> int:
+        return len(self._codes)
+
+
+class BucketEncoder:
+    """Discretise a continuous feature into ``num_buckets`` codes.
+
+    Bucket boundaries are either uniform over ``[low, high]`` or fitted as
+    quantiles of observed data with :meth:`fit`.
+    """
+
+    def __init__(
+        self,
+        num_buckets: int,
+        low: float = 0.0,
+        high: float = 1.0,
+        name: str = "bucket",
+    ) -> None:
+        if num_buckets <= 0:
+            raise ValueError("num_buckets must be positive")
+        if high <= low:
+            raise ValueError("high must exceed low")
+        self.name = name
+        self.num_buckets = num_buckets
+        self._edges = np.linspace(low, high, num_buckets + 1)[1:-1]
+
+    def fit(self, values: Sequence[float]) -> "BucketEncoder":
+        """Fit bucket edges to the empirical quantiles of ``values``."""
+        array = np.asarray(list(values), dtype=np.float64)
+        if array.size == 0:
+            return self
+        quantiles = np.linspace(0.0, 1.0, self.num_buckets + 1)[1:-1]
+        self._edges = np.quantile(array, quantiles)
+        return self
+
+    def encode(self, value: float) -> int:
+        """Return the bucket index of ``value`` in ``[0, num_buckets)``."""
+        return int(np.searchsorted(self._edges, float(value), side="right"))
+
+    @property
+    def cardinality(self) -> int:
+        return self.num_buckets
+
+
+class ValueEncoder:
+    """Encode a raw value vector dimension-by-dimension.
+
+    Parameters
+    ----------
+    encoders:
+        One :class:`CategoricalEncoder` or :class:`BucketEncoder` per value
+        dimension, in order.
+    field_names:
+        Names of the dimensions (defaults to the encoders' names).
+    session_field:
+        Which dimension defines sessions (see :class:`ValueSpec`).
+    """
+
+    def __init__(
+        self,
+        encoders: Sequence,
+        field_names: Optional[Sequence[str]] = None,
+        session_field: int = 0,
+    ) -> None:
+        if not encoders:
+            raise ValueError("at least one encoder is required")
+        self.encoders = list(encoders)
+        self.field_names = tuple(field_names or [enc.name for enc in self.encoders])
+        if len(self.field_names) != len(self.encoders):
+            raise ValueError("field_names must match the number of encoders")
+        self.session_field = session_field
+
+    def encode(self, raw_value: Sequence) -> Tuple[int, ...]:
+        """Encode one raw value vector to integer codes."""
+        if len(raw_value) != len(self.encoders):
+            raise ValueError(
+                f"raw value has {len(raw_value)} fields, expected {len(self.encoders)}"
+            )
+        return tuple(enc.encode(v) for enc, v in zip(self.encoders, raw_value))
+
+    def spec(self) -> ValueSpec:
+        """Build the :class:`ValueSpec` describing the encoded values."""
+        return ValueSpec(
+            field_names=self.field_names,
+            cardinalities=tuple(enc.cardinality for enc in self.encoders),
+            session_field=self.session_field,
+        )

@@ -1,0 +1,54 @@
+"""Synthetic dataset generators standing in for the paper's datasets.
+
+The paper evaluates KVEC on five datasets:
+
+========================  =====================================================
+USTC-TFC2016              public malware/benign traffic traces (9 classes)
+MovieLens-1M              public movie ratings, gender prediction (2 classes)
+Traffic-FG                self-collected fine-grained encrypted traffic (12)
+Traffic-App               self-collected application-level traffic (10)
+Synthetic-Traffic         authors' controllable early-stop/late-stop dataset (2)
+========================  =====================================================
+
+None of these can be downloaded in this offline environment and two of them
+were never released, so each is replaced by a *synthetic generator* that
+produces tangled key-value sequences with the same schema, session structure
+and published summary statistics (Table I), and — crucially — the same
+property the paper's method exploits: class-discriminative structure
+concentrated in the first items and in session/burst patterns.
+
+All generators are deterministic given a seed and scale linearly with the
+requested number of keys, so the same code runs at unit-test, benchmark and
+paper scale.
+"""
+
+from repro.datasets.base import GeneratedDataset, DatasetStatistics
+from repro.datasets.traffic import (
+    SyntheticTrafficConfig,
+    generate_traffic_dataset,
+    make_traffic_app,
+    make_traffic_fg,
+    make_ustc_tfc2016,
+)
+from repro.datasets.movielens import SyntheticMovieLensConfig, make_movielens_1m
+from repro.datasets.synthetic_stop import SyntheticStopConfig, make_synthetic_traffic
+from repro.datasets.stats import compute_statistics
+from repro.datasets.registry import DATASET_BUILDERS, PAPER_STATISTICS, build_dataset
+
+__all__ = [
+    "GeneratedDataset",
+    "DatasetStatistics",
+    "SyntheticTrafficConfig",
+    "generate_traffic_dataset",
+    "make_ustc_tfc2016",
+    "make_traffic_fg",
+    "make_traffic_app",
+    "SyntheticMovieLensConfig",
+    "make_movielens_1m",
+    "SyntheticStopConfig",
+    "make_synthetic_traffic",
+    "compute_statistics",
+    "build_dataset",
+    "DATASET_BUILDERS",
+    "PAPER_STATISTICS",
+]

@@ -1,0 +1,77 @@
+"""Common containers for generated datasets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.data.items import KeyValueSequence, ValueSpec
+
+
+@dataclass
+class DatasetStatistics:
+    """The summary statistics reported in Table I of the paper."""
+
+    name: str
+    num_keys: int
+    avg_sequence_length: float
+    avg_session_length: float
+    num_classes: int
+
+    def as_row(self) -> Tuple[str, int, float, float, int]:
+        return (
+            self.name,
+            self.num_keys,
+            round(self.avg_sequence_length, 1),
+            round(self.avg_session_length, 1),
+            self.num_classes,
+        )
+
+
+@dataclass
+class GeneratedDataset:
+    """A generated dataset: labelled per-key sequences plus their schema.
+
+    Attributes
+    ----------
+    name:
+        Dataset identifier (matches the paper's dataset names).
+    sequences:
+        One labelled :class:`KeyValueSequence` per key.
+    spec:
+        Schema of the value field.
+    num_classes:
+        Number of distinct labels.
+    class_names:
+        Optional human-readable label names.
+    true_stop_positions:
+        Only set for the Synthetic-Traffic dataset: the ground-truth halting
+        position (1-based item count) per key, used by the Fig. 11 experiment.
+    """
+
+    name: str
+    sequences: List[KeyValueSequence]
+    spec: ValueSpec
+    num_classes: int
+    class_names: Tuple[str, ...] = ()
+    true_stop_positions: Dict[Hashable, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        labels = {sequence.label for sequence in self.sequences}
+        if None in labels:
+            raise ValueError("every generated sequence must be labelled")
+        for label in labels:
+            if not 0 <= int(label) < self.num_classes:
+                raise ValueError(
+                    f"label {label} outside [0, {self.num_classes}) in dataset {self.name}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.sequences)
+
+    def labels(self) -> Dict[Hashable, int]:
+        """Mapping from key to label over all sequences."""
+        return {sequence.key: int(sequence.label) for sequence in self.sequences}
+
+    def sequences_of_class(self, label: int) -> List[KeyValueSequence]:
+        return [sequence for sequence in self.sequences if sequence.label == label]

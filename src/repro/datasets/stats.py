@@ -1,0 +1,37 @@
+"""Dataset summary statistics (Table I of the paper)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.data.sessions import average_session_length
+from repro.datasets.base import DatasetStatistics, GeneratedDataset
+
+
+def compute_statistics(dataset: GeneratedDataset) -> DatasetStatistics:
+    """Compute the Table I row (#keys, avg |Sk|, avg session length, #classes)."""
+    sequences = dataset.sequences
+    num_keys = len(sequences)
+    total_items = sum(len(sequence) for sequence in sequences)
+    avg_length = total_items / num_keys if num_keys else 0.0
+    avg_session = average_session_length(sequences, dataset.spec.session_field)
+    return DatasetStatistics(
+        name=dataset.name,
+        num_keys=num_keys,
+        avg_sequence_length=avg_length,
+        avg_session_length=avg_session,
+        num_classes=dataset.num_classes,
+    )
+
+
+def statistics_table(datasets: Sequence[GeneratedDataset]) -> str:
+    """Render a Table I style ASCII table for the given datasets."""
+    header = f"{'dataset':<24}{'#keys':>8}{'avg |Sk|':>10}{'avg session':>13}{'#classes':>10}"
+    lines = [header, "-" * len(header)]
+    for dataset in datasets:
+        stats = compute_statistics(dataset)
+        lines.append(
+            f"{stats.name:<24}{stats.num_keys:>8}{stats.avg_sequence_length:>10.1f}"
+            f"{stats.avg_session_length:>13.1f}{stats.num_classes:>10}"
+        )
+    return "\n".join(lines)

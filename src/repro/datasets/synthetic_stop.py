@@ -1,0 +1,151 @@
+"""The Synthetic-Traffic dataset with known halting positions.
+
+The paper builds this dataset to evaluate the *halting policy* (Fig. 11):
+real datasets do not label the position at which enough evidence has arrived,
+so the authors place a 10-packet discriminative **stop signal** either at the
+start of each flow (the *early-stop* subdataset) or at its end (the
+*late-stop* subdataset), and fill the rest of the flow with uninformative
+"empty" packets.  A good halting policy should halt right after the stop
+signal has been observed.
+
+We reproduce the construction directly.  Each class has a distinct stop-signal
+template over (packet size, direction); empty packets use a reserved neutral
+size code and a random direction so they carry no class information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Literal, Tuple
+
+import numpy as np
+
+from repro.data.items import Item, KeyValueSequence, ValueSpec
+from repro.datasets.base import GeneratedDataset
+
+Subset = Literal["early", "late"]
+
+
+@dataclass
+class SyntheticStopConfig:
+    """Configuration of the Synthetic-Traffic generator."""
+
+    name: str = "Synthetic-Traffic"
+    num_flows: int = 200
+    flow_length: int = 100
+    signal_length: int = 10
+    num_size_buckets: int = 16
+    subset: Subset = "early"
+    noise_probability: float = 0.05
+    seed: int = 31
+
+    def __post_init__(self) -> None:
+        if self.signal_length >= self.flow_length:
+            raise ValueError("signal_length must be smaller than flow_length")
+        if self.subset not in ("early", "late"):
+            raise ValueError(f"subset must be 'early' or 'late', got {self.subset!r}")
+        if self.num_size_buckets < 4:
+            raise ValueError("need at least 4 size buckets (one is reserved for empty packets)")
+
+
+def synthetic_stop_value_spec(num_size_buckets: int = 16) -> ValueSpec:
+    """Same schema as the traffic datasets: (size bucket, direction)."""
+    return ValueSpec(
+        field_names=("size", "direction"),
+        cardinalities=(num_size_buckets, 2),
+        session_field=1,
+    )
+
+
+def make_synthetic_traffic(
+    num_flows: int = 200,
+    subset: Subset = "early",
+    seed: int = 31,
+    **overrides,
+) -> GeneratedDataset:
+    """Generate the Synthetic-Traffic dataset (early-stop or late-stop)."""
+    config = SyntheticStopConfig(num_flows=num_flows, subset=subset, seed=seed, **overrides)
+    return generate_synthetic_stop_dataset(config)
+
+
+def generate_synthetic_stop_dataset(config: SyntheticStopConfig) -> GeneratedDataset:
+    """Generate the dataset described by ``config``."""
+    rng = np.random.default_rng(config.seed)
+    spec = synthetic_stop_value_spec(config.num_size_buckets)
+
+    # The last size bucket is reserved for "empty" packets so the stop signal
+    # and the filler never overlap.
+    empty_code = config.num_size_buckets - 1
+    templates = _make_templates(config, rng, empty_code)
+
+    sequences: List[KeyValueSequence] = []
+    stop_positions: Dict[Hashable, int] = {}
+    for flow_index in range(config.num_flows):
+        label = flow_index % 2
+        key = f"synth-{config.subset}-{flow_index}"
+        items, stop_position = _generate_flow(key, label, templates[label], empty_code, config, rng)
+        sequences.append(KeyValueSequence(key, items, label))
+        stop_positions[key] = stop_position
+
+    return GeneratedDataset(
+        name=f"{config.name}-{config.subset}",
+        sequences=sequences,
+        spec=spec,
+        num_classes=2,
+        class_names=("class-a", "class-b"),
+        true_stop_positions=stop_positions,
+    )
+
+
+def _make_templates(
+    config: SyntheticStopConfig,
+    rng: np.random.Generator,
+    empty_code: int,
+) -> List[List[Tuple[int, int]]]:
+    """Build one distinct stop-signal template per class."""
+    templates: List[List[Tuple[int, int]]] = []
+    usable = empty_code  # codes [0, empty_code) are available for signals
+    half = max(1, usable // 2)
+    for label in range(2):
+        # Class 0 uses the lower half of the size range, class 1 the upper
+        # half, so the signals are linearly separable but only once observed.
+        low = 0 if label == 0 else half
+        high = half if label == 0 else usable
+        template = [
+            (int(rng.integers(low, high)), int(rng.integers(0, 2)))
+            for _ in range(config.signal_length)
+        ]
+        templates.append(template)
+    return templates
+
+
+def _generate_flow(
+    key: str,
+    label: int,
+    template: List[Tuple[int, int]],
+    empty_code: int,
+    config: SyntheticStopConfig,
+    rng: np.random.Generator,
+) -> Tuple[List[Item], int]:
+    """Generate one flow and return its items plus the true stop position."""
+    length = config.flow_length
+    signal_length = config.signal_length
+    if config.subset == "early":
+        signal_start = 0
+    else:
+        signal_start = length - signal_length
+    # The flow is classifiable once the whole signal has been observed.
+    stop_position = signal_start + signal_length
+
+    items: List[Item] = []
+    time = 0.0
+    for position in range(length):
+        in_signal = signal_start <= position < signal_start + signal_length
+        if in_signal and rng.random() >= config.noise_probability:
+            size_code, direction = template[position - signal_start]
+        else:
+            size_code = empty_code
+            direction = int(rng.integers(0, 2))
+        items.append(Item(key=key, value=(size_code, direction), time=time))
+        time += float(rng.exponential(1.0))
+    return items, stop_position

@@ -1,0 +1,135 @@
+"""Confidence calibration of early classifiers.
+
+Two of the compared methods make halting decisions directly from classifier
+confidence (SRN-Confidence's threshold µ, and KVEC reports a confidence with
+every prediction), so *how trustworthy those confidences are* determines how
+well a confidence threshold can trade earliness for accuracy.  This module
+provides the standard calibration diagnostics, computed from
+:class:`~repro.core.model.PredictionRecord` lists:
+
+* :func:`reliability_bins` — accuracy vs. mean confidence per confidence bin,
+* :func:`expected_calibration_error` — the ECE summary statistic,
+* :func:`confidence_accuracy_tradeoff` — accuracy and coverage above each
+  confidence threshold (the curve a deployment consults to pick µ),
+* :func:`render_reliability` — an ASCII reliability diagram.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.model import PredictionRecord
+from repro.eval.plotting import histogram
+
+
+@dataclass
+class ReliabilityBin:
+    """One confidence bin of a reliability diagram."""
+
+    lower: float
+    upper: float
+    count: int
+    mean_confidence: float
+    accuracy: float
+
+    @property
+    def gap(self) -> float:
+        """Absolute difference between confidence and accuracy in this bin."""
+        return abs(self.mean_confidence - self.accuracy)
+
+
+def reliability_bins(
+    records: Sequence[PredictionRecord],
+    num_bins: int = 10,
+) -> List[ReliabilityBin]:
+    """Group predictions by confidence and measure per-bin accuracy.
+
+    Empty bins are returned with ``count=0`` so the diagram always has
+    ``num_bins`` rows.
+    """
+    if num_bins <= 0:
+        raise ValueError("num_bins must be positive")
+    edges = np.linspace(0.0, 1.0, num_bins + 1)
+    bins: List[ReliabilityBin] = []
+    confidences = np.array([record.confidence for record in records], dtype=np.float64)
+    correct = np.array([record.correct for record in records], dtype=np.float64)
+    for index in range(num_bins):
+        lower, upper = float(edges[index]), float(edges[index + 1])
+        if index == num_bins - 1:
+            mask = (confidences >= lower) & (confidences <= upper)
+        else:
+            mask = (confidences >= lower) & (confidences < upper)
+        count = int(mask.sum())
+        bins.append(
+            ReliabilityBin(
+                lower=lower,
+                upper=upper,
+                count=count,
+                mean_confidence=float(confidences[mask].mean()) if count else 0.0,
+                accuracy=float(correct[mask].mean()) if count else 0.0,
+            )
+        )
+    return bins
+
+
+def expected_calibration_error(
+    records: Sequence[PredictionRecord],
+    num_bins: int = 10,
+) -> float:
+    """ECE: the count-weighted mean confidence/accuracy gap over bins."""
+    records = list(records)
+    if not records:
+        return 0.0
+    bins = reliability_bins(records, num_bins)
+    total = sum(bin.count for bin in bins)
+    if total == 0:
+        return 0.0
+    return float(sum(bin.count * bin.gap for bin in bins) / total)
+
+
+def confidence_accuracy_tradeoff(
+    records: Sequence[PredictionRecord],
+    thresholds: Optional[Sequence[float]] = None,
+) -> List[Tuple[float, float, float]]:
+    """``(threshold, coverage, accuracy)`` for predictions at/above each threshold.
+
+    Coverage is the fraction of sequences whose confidence reaches the
+    threshold; accuracy is measured on that covered subset only.  This is the
+    curve used to choose the SRN-Confidence halting threshold µ.
+    """
+    records = list(records)
+    if thresholds is None:
+        thresholds = np.linspace(0.0, 1.0, 11)
+    rows: List[Tuple[float, float, float]] = []
+    for threshold in thresholds:
+        covered = [record for record in records if record.confidence >= threshold]
+        coverage = len(covered) / len(records) if records else 0.0
+        accuracy = (
+            sum(1 for record in covered if record.correct) / len(covered) if covered else 0.0
+        )
+        rows.append((float(threshold), coverage, accuracy))
+    return rows
+
+
+def overconfidence(records: Sequence[PredictionRecord]) -> float:
+    """Mean confidence minus accuracy (positive = overconfident)."""
+    records = list(records)
+    if not records:
+        return 0.0
+    mean_confidence = float(np.mean([record.confidence for record in records]))
+    accuracy = float(np.mean([record.correct for record in records]))
+    return mean_confidence - accuracy
+
+
+def render_reliability(records: Sequence[PredictionRecord], num_bins: int = 10) -> str:
+    """ASCII reliability diagram plus the ECE summary."""
+    bins = reliability_bins(records, num_bins)
+    series = [((bin.lower + bin.upper) / 2.0, bin.accuracy) for bin in bins]
+    labels = [f"{bin.lower:.1f}-{bin.upper:.1f}" for bin in bins]
+    diagram = histogram(series, bin_labels=labels, title="accuracy per confidence bin")
+    ece = expected_calibration_error(records, num_bins)
+    over = overconfidence(records)
+    return f"{diagram}\nECE={ece:.4f}  overconfidence={over:+.4f}"

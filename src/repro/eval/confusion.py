@@ -1,0 +1,190 @@
+"""Confusion matrices and per-class classification reports.
+
+The paper reports macro precision/recall/F1 (Figs. 4-6); per-class numbers
+are what a practitioner needs to understand *which* application types or
+user segments a model confuses, so the evaluation layer also exposes the
+full confusion matrix and a classification report in the familiar
+scikit-learn layout (implemented from scratch — scikit-learn is not a
+dependency of this package).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.model import PredictionRecord
+
+
+@dataclass
+class ClassReport:
+    """Precision / recall / F1 / support of one class."""
+
+    label: int
+    precision: float
+    recall: float
+    f1: float
+    support: int
+
+
+class ConfusionMatrix:
+    """A ``(num_classes, num_classes)`` count matrix: rows = truth, cols = prediction."""
+
+    def __init__(self, num_classes: int) -> None:
+        if num_classes < 2:
+            raise ValueError("need at least two classes")
+        self.num_classes = num_classes
+        self.counts = np.zeros((num_classes, num_classes), dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_records(cls, records: Sequence[PredictionRecord], num_classes: Optional[int] = None) -> "ConfusionMatrix":
+        """Build a confusion matrix from prediction records."""
+        if num_classes is None:
+            highest = max(
+                [record.label for record in records] + [record.predicted for record in records],
+                default=1,
+            )
+            num_classes = max(2, highest + 1)
+        matrix = cls(num_classes)
+        for record in records:
+            matrix.add(record.label, record.predicted)
+        return matrix
+
+    def add(self, label: int, predicted: int, count: int = 1) -> None:
+        """Record ``count`` sequences of true class ``label`` predicted as ``predicted``."""
+        if not 0 <= label < self.num_classes or not 0 <= predicted < self.num_classes:
+            raise ValueError(
+                f"label {label} / prediction {predicted} outside [0, {self.num_classes})"
+            )
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self.counts[label, predicted] += count
+
+    def merge(self, other: "ConfusionMatrix") -> "ConfusionMatrix":
+        """Return a new matrix holding the element-wise sum of two matrices."""
+        if other.num_classes != self.num_classes:
+            raise ValueError("cannot merge confusion matrices of different sizes")
+        merged = ConfusionMatrix(self.num_classes)
+        merged.counts = self.counts + other.counts
+        return merged
+
+    # ------------------------------------------------------------------ #
+    # derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def total(self) -> int:
+        return int(self.counts.sum())
+
+    def support(self, label: int) -> int:
+        """Number of sequences whose true class is ``label``."""
+        return int(self.counts[label].sum())
+
+    def accuracy(self) -> float:
+        total = self.total
+        return float(np.trace(self.counts) / total) if total else 0.0
+
+    def precision(self, label: int) -> float:
+        predicted = self.counts[:, label].sum()
+        return float(self.counts[label, label] / predicted) if predicted else 0.0
+
+    def recall(self, label: int) -> float:
+        actual = self.counts[label].sum()
+        return float(self.counts[label, label] / actual) if actual else 0.0
+
+    def f1(self, label: int) -> float:
+        precision = self.precision(label)
+        recall = self.recall(label)
+        if precision + recall == 0:
+            return 0.0
+        return 2.0 * precision * recall / (precision + recall)
+
+    def per_class_report(self) -> List[ClassReport]:
+        """Per-class precision / recall / F1 / support for every class."""
+        return [
+            ClassReport(
+                label=label,
+                precision=self.precision(label),
+                recall=self.recall(label),
+                f1=self.f1(label),
+                support=self.support(label),
+            )
+            for label in range(self.num_classes)
+        ]
+
+    def macro_averages(self) -> Tuple[float, float, float]:
+        """Macro precision, recall and F1 over classes that appear in the data.
+
+        Classes with zero support *and* zero predictions are excluded, which
+        matches the behaviour of :mod:`repro.eval.metrics` (its per-class
+        counts only contain observed labels).
+        """
+        reports = [
+            report
+            for report in self.per_class_report()
+            if report.support > 0 or self.counts[:, report.label].sum() > 0
+        ]
+        if not reports:
+            return 0.0, 0.0, 0.0
+        precision = float(np.mean([report.precision for report in reports]))
+        recall = float(np.mean([report.recall for report in reports]))
+        f1 = float(np.mean([report.f1 for report in reports]))
+        return precision, recall, f1
+
+    def most_confused_pairs(self, top: int = 3) -> List[Tuple[int, int, int]]:
+        """The ``top`` largest off-diagonal entries as ``(truth, predicted, count)``."""
+        if top <= 0:
+            raise ValueError("top must be positive")
+        pairs: List[Tuple[int, int, int]] = []
+        for truth in range(self.num_classes):
+            for predicted in range(self.num_classes):
+                if truth != predicted and self.counts[truth, predicted] > 0:
+                    pairs.append((truth, predicted, int(self.counts[truth, predicted])))
+        pairs.sort(key=lambda pair: pair[2], reverse=True)
+        return pairs[:top]
+
+    # ------------------------------------------------------------------ #
+    # rendering
+    # ------------------------------------------------------------------ #
+    def render(self, class_names: Sequence[str] = ()) -> str:
+        """Render the matrix as an aligned text table."""
+        names = list(class_names) if class_names else [str(label) for label in range(self.num_classes)]
+        if len(names) != self.num_classes:
+            raise ValueError("class_names length must match num_classes")
+        width = max(6, max(len(name) for name in names) + 1)
+        header = " " * width + "".join(f"{name:>{width}}" for name in names)
+        lines = ["confusion matrix (rows = truth, columns = prediction)", header]
+        for label, name in enumerate(names):
+            row = f"{name:>{width}}" + "".join(
+                f"{int(self.counts[label, predicted]):>{width}}" for predicted in range(self.num_classes)
+            )
+            lines.append(row)
+        return "\n".join(lines)
+
+
+def classification_report(
+    records: Sequence[PredictionRecord],
+    num_classes: Optional[int] = None,
+    class_names: Sequence[str] = (),
+) -> str:
+    """Render a per-class precision/recall/F1/support report from records."""
+    matrix = ConfusionMatrix.from_records(records, num_classes=num_classes)
+    names = list(class_names) if class_names else [str(label) for label in range(matrix.num_classes)]
+    if len(names) != matrix.num_classes:
+        raise ValueError("class_names length must match the number of classes")
+    lines = [f"{'class':<16}{'precision':>10}{'recall':>10}{'f1':>10}{'support':>10}"]
+    for report in matrix.per_class_report():
+        lines.append(
+            f"{names[report.label]:<16}{report.precision:>10.3f}{report.recall:>10.3f}"
+            f"{report.f1:>10.3f}{report.support:>10d}"
+        )
+    precision, recall, f1 = matrix.macro_averages()
+    lines.append(
+        f"{'macro avg':<16}{precision:>10.3f}{recall:>10.3f}{f1:>10.3f}{matrix.total:>10d}"
+    )
+    lines.append(f"{'accuracy':<16}{matrix.accuracy():>10.3f}")
+    return "\n".join(lines)

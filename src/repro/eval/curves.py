@@ -1,0 +1,96 @@
+"""Performance-vs-earliness curves (Figs. 3-7).
+
+Early classification is a multi-objective problem, so the paper compares
+methods by sweeping each method's trade-off hyperparameter (Table II),
+training one model per value, and plotting the resulting
+(earliness, metric) points.  :func:`sweep_method` reproduces that protocol
+for any method given a factory that maps a trade-off value to a fresh
+(untrained) early classifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.baselines.common import EarlyClassifier
+from repro.eval.evaluator import TangledSplits, evaluate_method
+from repro.eval.metrics import MetricSummary
+
+
+@dataclass
+class CurvePoint:
+    """One trained model's operating point on the earliness/performance plane."""
+
+    trade_off: float
+    summary: MetricSummary
+
+    @property
+    def earliness(self) -> float:
+        return self.summary.earliness
+
+    def metric(self, name: str) -> float:
+        return self.summary.metric(name)
+
+
+@dataclass
+class PerformanceCurve:
+    """A method's performance-vs-earliness curve."""
+
+    method: str
+    points: List[CurvePoint] = field(default_factory=list)
+
+    def sorted_by_earliness(self) -> List[CurvePoint]:
+        return sorted(self.points, key=lambda point: point.earliness)
+
+    def series(self, metric: str) -> List[tuple]:
+        """Return ``[(earliness, metric_value), ...]`` sorted by earliness."""
+        return [(point.earliness, point.metric(metric)) for point in self.sorted_by_earliness()]
+
+    def best(self, metric: str) -> Optional[CurvePoint]:
+        """The point maximising ``metric`` (None for an empty curve)."""
+        if not self.points:
+            return None
+        return max(self.points, key=lambda point: point.metric(metric))
+
+    def value_at_earliness(self, metric: str, max_earliness: float) -> Optional[float]:
+        """Best metric value among points with earliness <= ``max_earliness``.
+
+        This is how "accuracy under the same prediction earliness condition"
+        comparisons are made in the paper's headline numbers.
+        """
+        eligible = [point for point in self.points if point.earliness <= max_earliness]
+        if not eligible:
+            return None
+        return max(point.metric(metric) for point in eligible)
+
+
+#: A factory mapping one trade-off hyperparameter value to a fresh method.
+TradeOffFactory = Callable[[float], EarlyClassifier]
+
+
+def sweep_method(
+    method_name: str,
+    factory: TradeOffFactory,
+    trade_off_values: Sequence[float],
+    splits: TangledSplits,
+    verbose: bool = False,
+) -> PerformanceCurve:
+    """Train one model per trade-off value and collect its operating point."""
+    curve = PerformanceCurve(method=method_name)
+    for value in trade_off_values:
+        method = factory(value)
+        result = evaluate_method(method, splits, fit=True, verbose=verbose)
+        curve.points.append(CurvePoint(trade_off=float(value), summary=result.summary))
+    return curve
+
+
+def compare_at_earliness(
+    curves: Dict[str, PerformanceCurve],
+    metric: str,
+    max_earliness: float,
+) -> Dict[str, Optional[float]]:
+    """Best value of ``metric`` per method among points at or below ``max_earliness``."""
+    return {
+        name: curve.value_at_earliness(metric, max_earliness) for name, curve in curves.items()
+    }

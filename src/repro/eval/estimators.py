@@ -1,0 +1,43 @@
+"""Adapter giving KVEC the same interface as the baselines.
+
+The evaluation and benchmark harnesses operate on the
+:class:`~repro.baselines.common.EarlyClassifier` interface (``fit`` on
+tangled sequences, ``predict_tangle``).  :class:`KVECEstimator` wraps a
+:class:`~repro.core.model.KVEC` model and its trainer behind that interface.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.baselines.common import EarlyClassifier
+from repro.core.config import KVECConfig
+from repro.core.model import KVEC, PredictionRecord
+from repro.core.trainer import KVECTrainer, TrainingHistory
+from repro.data.items import TangledSequence, ValueSpec
+
+
+class KVECEstimator(EarlyClassifier):
+    """``fit`` / ``predict_tangle`` wrapper around KVEC + its trainer."""
+
+    name = "KVEC"
+
+    def __init__(
+        self,
+        spec: ValueSpec,
+        num_classes: int,
+        config: Optional[KVECConfig] = None,
+        halt_threshold: float = 0.5,
+    ) -> None:
+        self.config = config or KVECConfig()
+        self.model = KVEC(spec, num_classes, self.config)
+        self.trainer = KVECTrainer(self.model, self.config)
+        self.halt_threshold = halt_threshold
+        self.history: Optional[TrainingHistory] = None
+
+    def fit(self, train_tangles: Sequence[TangledSequence], verbose: bool = False) -> "KVECEstimator":
+        self.history = self.trainer.train(train_tangles, verbose=verbose)
+        return self
+
+    def predict_tangle(self, tangle: TangledSequence) -> List[PredictionRecord]:
+        return self.model.predict_tangle(tangle, halt_threshold=self.halt_threshold)

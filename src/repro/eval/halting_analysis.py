@@ -1,0 +1,92 @@
+"""Halting-position distributions on Synthetic-Traffic (Fig. 11, RQ2).
+
+The Synthetic-Traffic dataset has ground-truth halting positions: the item at
+which the discriminative stop signal ends.  The analysis compares the
+distribution of halting positions chosen by a trained model against the true
+distribution, for both the early-stop and late-stop subdatasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.common import EarlyClassifier
+from repro.data.items import TangledSequence
+from repro.datasets.base import GeneratedDataset
+
+
+@dataclass
+class HaltingDistribution:
+    """A histogram of halting positions expressed as earliness fractions."""
+
+    label: str
+    bin_edges: np.ndarray
+    proportions: np.ndarray
+
+    def as_series(self) -> List[tuple]:
+        """Return ``[(bin_centre_percent, proportion), ...]``."""
+        centres = (self.bin_edges[:-1] + self.bin_edges[1:]) / 2.0
+        return [(float(c) * 100.0, float(p)) for c, p in zip(centres, self.proportions)]
+
+    def mean_earliness(self) -> float:
+        centres = (self.bin_edges[:-1] + self.bin_edges[1:]) / 2.0
+        total = self.proportions.sum()
+        if total == 0:
+            return 0.0
+        return float((centres * self.proportions).sum() / total)
+
+
+def _histogram(fractions: Sequence[float], num_bins: int) -> HaltingDistribution:
+    edges = np.linspace(0.0, 1.0, num_bins + 1)
+    counts, _ = np.histogram(np.clip(fractions, 0.0, 1.0), bins=edges)
+    total = counts.sum()
+    proportions = counts / total if total else counts.astype(float)
+    return HaltingDistribution(label="", bin_edges=edges, proportions=proportions)
+
+
+def true_halting_distribution(
+    dataset: GeneratedDataset,
+    tangles: Sequence[TangledSequence],
+    num_bins: int = 10,
+) -> HaltingDistribution:
+    """Distribution of the ground-truth stop positions over the test tangles."""
+    fractions: List[float] = []
+    for tangle in tangles:
+        for key, sequence in tangle.per_key_sequences().items():
+            if key not in dataset.true_stop_positions or not len(sequence):
+                continue
+            fractions.append(dataset.true_stop_positions[key] / len(sequence))
+    histogram = _histogram(fractions, num_bins)
+    histogram.label = "True Halting Positions"
+    return histogram
+
+
+def halting_position_distribution(
+    method: EarlyClassifier,
+    tangles: Sequence[TangledSequence],
+    num_bins: int = 10,
+    label: Optional[str] = None,
+) -> HaltingDistribution:
+    """Distribution of the halting positions predicted by ``method``."""
+    fractions: List[float] = []
+    for tangle in tangles:
+        for record in method.predict_tangle(tangle):
+            fractions.append(record.earliness)
+    histogram = _histogram(fractions, num_bins)
+    histogram.label = label or f"Predicted by {method.name}"
+    return histogram
+
+
+def distribution_distance(first: HaltingDistribution, second: HaltingDistribution) -> float:
+    """Total-variation distance between two halting distributions.
+
+    Used to check quantitatively that KVEC's predicted halting positions are
+    closer to the truth than its ablated variant's (the paper's Fig. 11 makes
+    the comparison visually).
+    """
+    if first.proportions.shape != second.proportions.shape:
+        raise ValueError("distributions must use the same binning")
+    return float(0.5 * np.abs(first.proportions - second.proportions).sum())

@@ -1,0 +1,141 @@
+"""Performance metrics of Section V-A3.
+
+All metrics operate on lists of :class:`~repro.core.model.PredictionRecord`
+objects, one per classified key-value sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.core.model import PredictionRecord
+
+
+def earliness(records: Sequence[PredictionRecord]) -> float:
+    """Average fraction of each sequence observed before classification.
+
+    ``Earliness = (1/K) * sum_k n_k / |S_k|`` — smaller is earlier.
+    """
+    if not records:
+        return 0.0
+    return float(np.mean([record.earliness for record in records]))
+
+
+def accuracy(records: Sequence[PredictionRecord]) -> float:
+    """Fraction of sequences whose predicted label equals the ground truth."""
+    if not records:
+        return 0.0
+    return float(np.mean([record.correct for record in records]))
+
+
+def _per_class_counts(records: Sequence[PredictionRecord]) -> Dict[int, Dict[str, int]]:
+    """True-positive / false-positive / false-negative counts per class."""
+    counts: Dict[int, Dict[str, int]] = {}
+    labels = {record.label for record in records} | {record.predicted for record in records}
+    for label in labels:
+        counts[label] = {"tp": 0, "fp": 0, "fn": 0}
+    for record in records:
+        if record.predicted == record.label:
+            counts[record.label]["tp"] += 1
+        else:
+            counts[record.predicted]["fp"] += 1
+            counts[record.label]["fn"] += 1
+    return counts
+
+
+def macro_precision(records: Sequence[PredictionRecord]) -> float:
+    """Macro-averaged precision ``TP / (TP + FP)`` over classes."""
+    counts = _per_class_counts(records)
+    if not counts:
+        return 0.0
+    values = []
+    for class_counts in counts.values():
+        denominator = class_counts["tp"] + class_counts["fp"]
+        values.append(class_counts["tp"] / denominator if denominator else 0.0)
+    return float(np.mean(values))
+
+
+def macro_recall(records: Sequence[PredictionRecord]) -> float:
+    """Macro-averaged recall ``TP / (TP + FN)`` over classes."""
+    counts = _per_class_counts(records)
+    if not counts:
+        return 0.0
+    values = []
+    for class_counts in counts.values():
+        denominator = class_counts["tp"] + class_counts["fn"]
+        values.append(class_counts["tp"] / denominator if denominator else 0.0)
+    return float(np.mean(values))
+
+
+def macro_f1(records: Sequence[PredictionRecord]) -> float:
+    """Macro-averaged F1 score over classes."""
+    counts = _per_class_counts(records)
+    if not counts:
+        return 0.0
+    values = []
+    for class_counts in counts.values():
+        precision_denominator = class_counts["tp"] + class_counts["fp"]
+        recall_denominator = class_counts["tp"] + class_counts["fn"]
+        precision = class_counts["tp"] / precision_denominator if precision_denominator else 0.0
+        recall = class_counts["tp"] / recall_denominator if recall_denominator else 0.0
+        values.append(2 * precision * recall / (precision + recall) if precision + recall else 0.0)
+    return float(np.mean(values))
+
+
+def harmonic_mean(accuracy_value: float, earliness_value: float) -> float:
+    """HM of accuracy and (1 - earliness), the paper's combined score.
+
+    ``HM = 2 * (1 - Earliness) * Accuracy / (1 - Earliness + Accuracy)``.
+    """
+    timeliness = 1.0 - earliness_value
+    denominator = timeliness + accuracy_value
+    if denominator <= 0:
+        return 0.0
+    return 2.0 * timeliness * accuracy_value / denominator
+
+
+@dataclass
+class MetricSummary:
+    """All Section V-A3 metrics computed over one set of predictions."""
+
+    accuracy: float
+    precision: float
+    recall: float
+    f1: float
+    earliness: float
+    harmonic_mean: float
+    num_sequences: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "accuracy": self.accuracy,
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+            "earliness": self.earliness,
+            "harmonic_mean": self.harmonic_mean,
+            "num_sequences": self.num_sequences,
+        }
+
+    def metric(self, name: str) -> float:
+        """Look up a metric by name (used by the figure harness)."""
+        return self.as_dict()[name]
+
+
+def summarize(records: Sequence[PredictionRecord]) -> MetricSummary:
+    """Compute the full metric summary for a list of prediction records."""
+    records = list(records)
+    accuracy_value = accuracy(records)
+    earliness_value = earliness(records)
+    return MetricSummary(
+        accuracy=accuracy_value,
+        precision=macro_precision(records),
+        recall=macro_recall(records),
+        f1=macro_f1(records),
+        earliness=earliness_value,
+        harmonic_mean=harmonic_mean(accuracy_value, earliness_value),
+        num_sequences=len(records),
+    )

@@ -1,0 +1,153 @@
+"""Text-mode plotting of curves and histograms.
+
+The benchmark harness must render every figure of the paper without a
+plotting library (matplotlib is not available offline), so the figure
+results come with ASCII renderings: a scatter/line canvas for the
+performance-vs-earliness curves (Figs. 3-7, 12), and horizontal bar
+histograms for the halting-position distributions (Fig. 11).
+
+These renderings are deliberately simple — fixed-size character canvases —
+but they make the *shape* of each reproduced figure visible directly in the
+benchmark output and in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+Point = Tuple[float, float]
+
+#: Characters used to distinguish series on one canvas, in assignment order.
+SERIES_MARKERS = "ox+*#@%&"
+
+
+def _bounds(values: Sequence[float], padding: float = 0.0) -> Tuple[float, float]:
+    low = min(values)
+    high = max(values)
+    if high == low:
+        high = low + 1.0
+    span = high - low
+    return low - padding * span, high + padding * span
+
+
+class AsciiCanvas:
+    """A character canvas with data-space to cell-space projection."""
+
+    def __init__(
+        self,
+        width: int = 60,
+        height: int = 20,
+        x_range: Tuple[float, float] = (0.0, 1.0),
+        y_range: Tuple[float, float] = (0.0, 1.0),
+    ) -> None:
+        if width < 10 or height < 5:
+            raise ValueError("canvas must be at least 10x5 characters")
+        if x_range[0] >= x_range[1] or y_range[0] >= y_range[1]:
+            raise ValueError("ranges must be increasing")
+        self.width = width
+        self.height = height
+        self.x_range = x_range
+        self.y_range = y_range
+        self._cells: List[List[str]] = [[" "] * width for _ in range(height)]
+
+    def _project(self, x: float, y: float) -> Optional[Tuple[int, int]]:
+        x_low, x_high = self.x_range
+        y_low, y_high = self.y_range
+        if not (x_low <= x <= x_high and y_low <= y <= y_high):
+            return None
+        column = int(round((x - x_low) / (x_high - x_low) * (self.width - 1)))
+        row = int(round((y - y_low) / (y_high - y_low) * (self.height - 1)))
+        return self.height - 1 - row, column
+
+    def plot(self, points: Sequence[Point], marker: str = "o") -> int:
+        """Place ``marker`` at every in-range point; returns the number drawn."""
+        if len(marker) != 1:
+            raise ValueError("marker must be a single character")
+        drawn = 0
+        for x, y in points:
+            cell = self._project(x, y)
+            if cell is None:
+                continue
+            row, column = cell
+            self._cells[row][column] = marker
+            drawn += 1
+        return drawn
+
+    def render(self, x_label: str = "", y_label: str = "") -> str:
+        """Render the canvas with a simple box, axis labels and ranges."""
+        lines: List[str] = []
+        y_low, y_high = self.y_range
+        x_low, x_high = self.x_range
+        lines.append(f"{y_high:10.3g} +" + "-" * self.width + "+")
+        for row in self._cells:
+            lines.append(" " * 11 + "|" + "".join(row) + "|")
+        lines.append(f"{y_low:10.3g} +" + "-" * self.width + "+")
+        footer = f"{'':11}{x_low:<10.3g}{x_label:^{max(0, self.width - 20)}}{x_high:>10.3g}"
+        lines.append(footer)
+        if y_label:
+            lines.append(f"{'':11}(y: {y_label})")
+        return "\n".join(lines)
+
+
+def line_plot(
+    series: Dict[str, Sequence[Point]],
+    width: int = 60,
+    height: int = 20,
+    x_label: str = "earliness",
+    y_label: str = "",
+    title: str = "",
+) -> str:
+    """Plot several named series of (x, y) points on one ASCII canvas."""
+    all_points = [point for points in series.values() for point in points]
+    if not all_points:
+        return f"{title}\n(no data)" if title else "(no data)"
+    x_range = _bounds([x for x, _ in all_points], padding=0.02)
+    y_range = _bounds([y for _, y in all_points], padding=0.05)
+    canvas = AsciiCanvas(width=width, height=height, x_range=x_range, y_range=y_range)
+    legend: List[str] = []
+    for index, (name, points) in enumerate(series.items()):
+        marker = SERIES_MARKERS[index % len(SERIES_MARKERS)]
+        canvas.plot(points, marker=marker)
+        legend.append(f"  {marker} {name}")
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(canvas.render(x_label=x_label, y_label=y_label))
+    parts.append("legend:")
+    parts.extend(legend)
+    return "\n".join(parts)
+
+
+def histogram(
+    bins: Sequence[Tuple[float, float]],
+    width: int = 40,
+    title: str = "",
+    bin_labels: Optional[Sequence[str]] = None,
+) -> str:
+    """Render ``(bin_position, proportion)`` pairs as a horizontal bar chart."""
+    if not bins:
+        return f"{title}\n(no data)" if title else "(no data)"
+    if bin_labels is not None and len(bin_labels) != len(bins):
+        raise ValueError("bin_labels length must match bins")
+    peak = max(value for _, value in bins)
+    peak = peak if peak > 0 else 1.0
+    lines = [title] if title else []
+    for index, (position, value) in enumerate(bins):
+        label = bin_labels[index] if bin_labels else f"{position:6.1f}"
+        bar = "#" * int(round(value / peak * width))
+        lines.append(f"{label:>8} | {bar:<{width}} {value:.3f}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], levels: str = " .:-=+*#%@") -> str:
+    """A one-line sparkline of a value series (used by training-loss logs)."""
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    span = (high - low) or 1.0
+    characters = []
+    for value in values:
+        index = int((value - low) / span * (len(levels) - 1))
+        characters.append(levels[index])
+    return "".join(characters)

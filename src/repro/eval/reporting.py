@@ -1,0 +1,73 @@
+"""ASCII rendering of result tables and figure series.
+
+The benchmark harness prints, for every reproduced table and figure, the same
+rows/series the paper reports; these helpers keep that formatting in one
+place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.eval.curves import PerformanceCurve
+from repro.eval.metrics import MetricSummary
+
+
+def render_metric_table(results: Mapping[str, MetricSummary], title: str = "") -> str:
+    """Render one row of metrics per method."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = (
+        f"{'method':<18}{'accuracy':>10}{'precision':>11}{'recall':>9}{'f1':>7}"
+        f"{'earliness':>11}{'HM':>7}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, summary in results.items():
+        lines.append(
+            f"{name:<18}{summary.accuracy:>10.3f}{summary.precision:>11.3f}"
+            f"{summary.recall:>9.3f}{summary.f1:>7.3f}{summary.earliness:>11.3f}"
+            f"{summary.harmonic_mean:>7.3f}"
+        )
+    return "\n".join(lines)
+
+
+def render_curves(
+    curves: Mapping[str, PerformanceCurve],
+    metric: str,
+    title: str = "",
+    as_percent: bool = True,
+) -> str:
+    """Render performance-vs-earliness series, one line per operating point."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    scale = 100.0 if as_percent else 1.0
+    for name, curve in curves.items():
+        lines.append(f"{name}:")
+        for earliness_value, metric_value in curve.series(metric):
+            lines.append(
+                f"    earliness={earliness_value * 100.0:6.2f}%   {metric}={metric_value * scale:7.2f}"
+            )
+    return "\n".join(lines)
+
+
+def render_series(series: Sequence[tuple], x_label: str, y_label: str, title: str = "") -> str:
+    """Render a generic ``(x, y)`` series as aligned text rows."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for x_value, y_value in series:
+        lines.append(f"    {x_label}={x_value:10.4f}   {y_label}={y_value:10.4f}")
+    return "\n".join(lines)
+
+
+def render_comparison_row(values: Mapping[str, Optional[float]], title: str = "") -> str:
+    """Render a one-line comparison of methods (e.g. accuracy at fixed earliness)."""
+    parts = []
+    for name, value in values.items():
+        rendered = "n/a" if value is None else f"{value:.3f}"
+        parts.append(f"{name}={rendered}")
+    prefix = f"{title}: " if title else ""
+    return prefix + "  ".join(parts)

@@ -1,0 +1,209 @@
+"""Statistical significance helpers for method comparisons.
+
+The paper reports averages over five-fold cross-validation but no confidence
+intervals.  At the reproduction's much smaller (CPU-friendly) scales the
+per-fold variance is larger, so the evaluation layer provides:
+
+* :func:`bootstrap_ci` — percentile bootstrap confidence interval of any
+  record-level metric (accuracy, earliness, harmonic mean, ...),
+* :func:`paired_bootstrap_test` — a paired bootstrap test of the hypothesis
+  that method A beats method B on the same test keys,
+* :func:`mcnemar_test` — McNemar's test on paired correctness outcomes
+  (uses :mod:`scipy.stats` for the chi-square survival function).
+
+All routines operate on :class:`~repro.core.model.PredictionRecord` lists so
+they compose with the rest of the evaluation stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import stats
+
+from repro.core.model import PredictionRecord
+from repro.eval.metrics import summarize
+
+MetricFunction = Callable[[Sequence[PredictionRecord]], float]
+
+
+def _metric_function(metric: str) -> MetricFunction:
+    def compute(records: Sequence[PredictionRecord]) -> float:
+        return summarize(records).metric(metric)
+
+    return compute
+
+
+@dataclass
+class BootstrapInterval:
+    """A bootstrap estimate: point value plus a percentile confidence interval."""
+
+    metric: str
+    point: float
+    lower: float
+    upper: float
+    confidence: float
+    samples: int
+
+    def contains(self, value: float) -> bool:
+        return self.lower <= value <= self.upper
+
+    @property
+    def width(self) -> float:
+        return self.upper - self.lower
+
+
+def bootstrap_ci(
+    records: Sequence[PredictionRecord],
+    metric: str = "accuracy",
+    confidence: float = 0.95,
+    samples: int = 1000,
+    rng: Optional[np.random.Generator] = None,
+) -> BootstrapInterval:
+    """Percentile bootstrap confidence interval of a record-level metric."""
+    if not records:
+        raise ValueError("cannot bootstrap an empty record list")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    if samples <= 0:
+        raise ValueError("samples must be positive")
+    rng = rng or np.random.default_rng()
+    compute = _metric_function(metric)
+    records = list(records)
+    point = compute(records)
+    estimates = np.empty(samples, dtype=np.float64)
+    indices = np.arange(len(records))
+    for sample in range(samples):
+        resampled = rng.choice(indices, size=len(records), replace=True)
+        estimates[sample] = compute([records[i] for i in resampled])
+    tail = (1.0 - confidence) / 2.0
+    lower, upper = np.quantile(estimates, [tail, 1.0 - tail])
+    return BootstrapInterval(
+        metric=metric,
+        point=float(point),
+        lower=float(lower),
+        upper=float(upper),
+        confidence=confidence,
+        samples=samples,
+    )
+
+
+@dataclass
+class PairedTestResult:
+    """Outcome of a paired comparison between two methods."""
+
+    metric: str
+    method_a: str
+    method_b: str
+    observed_difference: float
+    p_value: float
+    num_pairs: int
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        return self.p_value < alpha
+
+
+def _pair_records(
+    records_a: Sequence[PredictionRecord],
+    records_b: Sequence[PredictionRecord],
+) -> List[Tuple[PredictionRecord, PredictionRecord]]:
+    by_key_a: Dict[Hashable, PredictionRecord] = {record.key: record for record in records_a}
+    by_key_b: Dict[Hashable, PredictionRecord] = {record.key: record for record in records_b}
+    shared = sorted(set(by_key_a) & set(by_key_b), key=str)
+    if not shared:
+        raise ValueError("the two record lists share no keys; cannot pair them")
+    return [(by_key_a[key], by_key_b[key]) for key in shared]
+
+
+def paired_bootstrap_test(
+    records_a: Sequence[PredictionRecord],
+    records_b: Sequence[PredictionRecord],
+    metric: str = "accuracy",
+    samples: int = 1000,
+    rng: Optional[np.random.Generator] = None,
+    method_a: str = "A",
+    method_b: str = "B",
+) -> PairedTestResult:
+    """Paired bootstrap test of ``metric(A) > metric(B)`` on shared keys.
+
+    The p-value is the fraction of bootstrap resamples (drawn over *pairs* of
+    records, preserving the pairing) in which B does at least as well as A.
+    A small p-value therefore supports "A is better than B".
+    """
+    if samples <= 0:
+        raise ValueError("samples must be positive")
+    rng = rng or np.random.default_rng()
+    pairs = _pair_records(records_a, records_b)
+    compute = _metric_function(metric)
+    observed = compute([a for a, _ in pairs]) - compute([b for _, b in pairs])
+    indices = np.arange(len(pairs))
+    at_least_as_good = 0
+    for _ in range(samples):
+        resampled = rng.choice(indices, size=len(pairs), replace=True)
+        difference = compute([pairs[i][0] for i in resampled]) - compute(
+            [pairs[i][1] for i in resampled]
+        )
+        if difference <= 0:
+            at_least_as_good += 1
+    return PairedTestResult(
+        metric=metric,
+        method_a=method_a,
+        method_b=method_b,
+        observed_difference=float(observed),
+        p_value=at_least_as_good / samples,
+        num_pairs=len(pairs),
+    )
+
+
+def mcnemar_test(
+    records_a: Sequence[PredictionRecord],
+    records_b: Sequence[PredictionRecord],
+    method_a: str = "A",
+    method_b: str = "B",
+) -> PairedTestResult:
+    """McNemar's test on paired correctness outcomes of two methods.
+
+    Uses the continuity-corrected chi-square statistic over the discordant
+    pairs (A correct / B wrong versus A wrong / B correct).  With no
+    discordant pairs the p-value is 1 (no evidence of a difference).
+    """
+    pairs = _pair_records(records_a, records_b)
+    a_only = sum(1 for a, b in pairs if a.correct and not b.correct)
+    b_only = sum(1 for a, b in pairs if b.correct and not a.correct)
+    discordant = a_only + b_only
+    accuracy_difference = (a_only - b_only) / len(pairs)
+    if discordant == 0:
+        p_value = 1.0
+    else:
+        statistic = (abs(a_only - b_only) - 1) ** 2 / discordant
+        p_value = float(stats.chi2.sf(statistic, df=1))
+    return PairedTestResult(
+        metric="accuracy",
+        method_a=method_a,
+        method_b=method_b,
+        observed_difference=float(accuracy_difference),
+        p_value=p_value,
+        num_pairs=len(pairs),
+    )
+
+
+def compare_methods(
+    records_by_method: Dict[str, Sequence[PredictionRecord]],
+    metric: str = "accuracy",
+    confidence: float = 0.95,
+    samples: int = 500,
+    rng: Optional[np.random.Generator] = None,
+) -> str:
+    """Render bootstrap intervals of one metric for several methods."""
+    rng = rng or np.random.default_rng(0)
+    lines = [f"{'method':<20}{metric:>12}{'  CI low':>10}{'  CI high':>10}"]
+    for name in sorted(records_by_method):
+        interval = bootstrap_ci(
+            records_by_method[name], metric=metric, confidence=confidence, samples=samples, rng=rng
+        )
+        lines.append(
+            f"{name:<20}{interval.point:>12.4f}{interval.lower:>10.4f}{interval.upper:>10.4f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""The experiment harness reproducing every table and figure of the paper.
+
+* :mod:`~repro.experiments.presets` — the ``unit`` / ``bench`` / ``paper``
+  scale presets (dataset sizes, model sizes, hyperparameter sweeps).
+* :mod:`~repro.experiments.methods` — factories building each compared method
+  from a trade-off hyperparameter value.
+* :mod:`~repro.experiments.figures` / :mod:`~repro.experiments.tables` — the
+  run functions, one per paper artifact.
+* :mod:`~repro.experiments.registry` — the experiment index mapping artifact
+  ids (``fig3_accuracy``, ``table1_dataset_stats``, ...) to run functions.
+* :mod:`~repro.experiments.runner` — a small CLI:
+  ``python -m repro.experiments.runner fig3_accuracy --scale bench``.
+"""
+
+from repro.experiments.presets import ExperimentScale, get_scale, SCALES
+from repro.experiments.methods import METHOD_ORDER, method_sweeps
+from repro.experiments.registry import EXPERIMENTS, Experiment, get_experiment, list_experiments
+from repro.experiments.runner import run_experiment
+from repro.experiments.crossval import (
+    CrossValidationResult,
+    compare_cross_validated,
+    cross_validate,
+    fold_tangles,
+)
+
+__all__ = [
+    "CrossValidationResult",
+    "cross_validate",
+    "compare_cross_validated",
+    "fold_tangles",
+    "ExperimentScale",
+    "get_scale",
+    "SCALES",
+    "METHOD_ORDER",
+    "method_sweeps",
+    "EXPERIMENTS",
+    "Experiment",
+    "get_experiment",
+    "list_experiments",
+    "run_experiment",
+]

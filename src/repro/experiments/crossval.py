@@ -1,0 +1,173 @@
+"""Five-fold cross-validation, the paper's actual evaluation protocol.
+
+Section V-A4 states that every reported number is the average of five-fold
+cross-validation over key-disjoint folds.  The figure benchmarks use a single
+8:1:1 split to stay affordable on CPU; this module provides the full
+protocol so that `paper`-scale runs (and users with more compute) can
+reproduce the averaging exactly:
+
+* :func:`cross_validate` — train and evaluate one method factory on every
+  fold, returning per-fold metric summaries,
+* :class:`CrossValidationResult` — mean / standard deviation per metric and
+  an ASCII rendering,
+* :func:`compare_cross_validated` — run several method factories over the
+  same folds (same keys, same tangles) for a paired comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.common import EarlyClassifier
+from repro.data.items import ValueSpec
+from repro.data.splits import DatasetSplit, kfold_splits
+from repro.data.tangle import retangle_by_concurrency
+from repro.datasets.base import GeneratedDataset
+from repro.eval.evaluator import TangledSplits, evaluate_method
+from repro.eval.metrics import MetricSummary
+
+#: A factory building a fresh, untrained early classifier for one fold.
+MethodBuilder = Callable[[ValueSpec, int], EarlyClassifier]
+
+METRIC_NAMES = ("accuracy", "precision", "recall", "f1", "earliness", "harmonic_mean")
+
+
+@dataclass
+class CrossValidationResult:
+    """Per-fold summaries of one method plus their mean / standard deviation."""
+
+    method: str
+    fold_summaries: List[MetricSummary] = field(default_factory=list)
+
+    @property
+    def num_folds(self) -> int:
+        return len(self.fold_summaries)
+
+    def values(self, metric: str) -> List[float]:
+        return [summary.metric(metric) for summary in self.fold_summaries]
+
+    def mean(self, metric: str) -> float:
+        values = self.values(metric)
+        return float(np.mean(values)) if values else 0.0
+
+    def std(self, metric: str) -> float:
+        values = self.values(metric)
+        return float(np.std(values)) if values else 0.0
+
+    def as_dict(self) -> Dict[str, Tuple[float, float]]:
+        """``metric -> (mean, std)`` over folds."""
+        return {name: (self.mean(name), self.std(name)) for name in METRIC_NAMES}
+
+    def render(self) -> str:
+        lines = [f"{self.method}: {self.num_folds}-fold cross-validation"]
+        for name in METRIC_NAMES:
+            lines.append(f"  {name:<14} {self.mean(name):.4f} ± {self.std(name):.4f}")
+        return "\n".join(lines)
+
+
+def _fold_to_tangles(
+    fold: DatasetSplit,
+    dataset: GeneratedDataset,
+    concurrency: int,
+    seed: int,
+) -> TangledSplits:
+    """Interleave one fold's key-disjoint subsets into tangled streams."""
+    return TangledSplits(
+        train=retangle_by_concurrency(
+            fold.train, dataset.spec, concurrency, rng=np.random.default_rng(seed + 1), name_prefix="train"
+        ),
+        validation=retangle_by_concurrency(
+            fold.validation, dataset.spec, concurrency, rng=np.random.default_rng(seed + 2), name_prefix="val"
+        ),
+        test=retangle_by_concurrency(
+            fold.test, dataset.spec, concurrency, rng=np.random.default_rng(seed + 3), name_prefix="test"
+        ),
+        spec=dataset.spec,
+        num_classes=dataset.num_classes,
+    )
+
+
+def fold_tangles(
+    dataset: GeneratedDataset,
+    folds: int = 5,
+    concurrency: int = 4,
+    seed: int = 0,
+) -> List[TangledSplits]:
+    """Key-disjoint k-fold tangled splits of a dataset (shared across methods)."""
+    if folds < 2:
+        raise ValueError("folds must be at least 2")
+    if concurrency <= 0:
+        raise ValueError("concurrency must be positive")
+    splits = kfold_splits(dataset.sequences, folds=folds, rng=np.random.default_rng(seed))
+    return [
+        _fold_to_tangles(fold, dataset, concurrency, seed + index)
+        for index, fold in enumerate(splits)
+    ]
+
+
+def cross_validate(
+    builder: MethodBuilder,
+    dataset: GeneratedDataset,
+    folds: int = 5,
+    concurrency: int = 4,
+    seed: int = 0,
+    method_name: str = "",
+    prepared_folds: Optional[Sequence[TangledSplits]] = None,
+    verbose: bool = False,
+) -> CrossValidationResult:
+    """Run the paper's k-fold protocol for one method on one dataset.
+
+    ``prepared_folds`` lets callers (and :func:`compare_cross_validated`)
+    reuse the exact same fold tangles across methods so the comparison is
+    paired.
+    """
+    tangled_folds = list(prepared_folds) if prepared_folds is not None else fold_tangles(
+        dataset, folds=folds, concurrency=concurrency, seed=seed
+    )
+    result = CrossValidationResult(method=method_name or "method")
+    for index, fold in enumerate(tangled_folds):
+        method = builder(fold.spec, fold.num_classes)
+        if not result.method or result.method == "method":
+            result.method = getattr(method, "name", "method")
+        evaluation = evaluate_method(method, fold, verbose=verbose)
+        result.fold_summaries.append(evaluation.summary)
+        if verbose:
+            print(f"[{result.method}] fold {index + 1}/{len(tangled_folds)}: "
+                  f"accuracy={evaluation.summary.accuracy:.3f}")
+    return result
+
+
+def compare_cross_validated(
+    builders: Dict[str, MethodBuilder],
+    dataset: GeneratedDataset,
+    folds: int = 5,
+    concurrency: int = 4,
+    seed: int = 0,
+    verbose: bool = False,
+) -> Dict[str, CrossValidationResult]:
+    """Run several methods over the *same* folds and return their results."""
+    if not builders:
+        raise ValueError("builders must not be empty")
+    shared_folds = fold_tangles(dataset, folds=folds, concurrency=concurrency, seed=seed)
+    results: Dict[str, CrossValidationResult] = {}
+    for name, builder in builders.items():
+        results[name] = cross_validate(
+            builder,
+            dataset,
+            prepared_folds=shared_folds,
+            method_name=name,
+            verbose=verbose,
+        )
+    return results
+
+
+def render_comparison(results: Dict[str, CrossValidationResult], metric: str = "accuracy") -> str:
+    """One row per method: mean ± std of ``metric`` over the shared folds."""
+    lines = [f"{'method':<20}{metric + ' (mean ± std over folds)':>36}"]
+    for name in sorted(results):
+        result = results[name]
+        lines.append(f"{name:<20}{result.mean(metric):>20.4f} ± {result.std(metric):.4f}")
+    return "\n".join(lines)

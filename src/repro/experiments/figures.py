@@ -1,0 +1,381 @@
+"""Run functions for every figure of the paper's evaluation section.
+
+Each ``run_*`` function returns a plain-python result object (dataclasses of
+floats/lists) that the benchmark harness prints and EXPERIMENTS.md records;
+nothing here depends on plotting libraries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.ablations import ABLATION_VARIANTS, make_kvec_variant
+from repro.core.model import KVEC
+from repro.core.trainer import KVECTrainer
+from repro.data.tangle import retangle_by_concurrency
+from repro.datasets.registry import build_dataset
+from repro.eval.attention_analysis import AttentionScorePoint, attention_score_profile
+from repro.eval.curves import PerformanceCurve
+from repro.eval.estimators import KVECEstimator
+from repro.eval.evaluator import evaluate_method, prepare_tangled_splits
+from repro.eval.halting_analysis import (
+    HaltingDistribution,
+    halting_position_distribution,
+    true_halting_distribution,
+)
+from repro.eval.metrics import MetricSummary, harmonic_mean, summarize
+from repro.experiments.presets import ExperimentScale, get_scale
+from repro.experiments.workloads import (
+    PERFORMANCE_DATASETS,
+    build_scaled_dataset,
+    dataset_splits,
+    performance_curves,
+)
+
+
+def _resolve_scale(scale) -> ExperimentScale:
+    if isinstance(scale, ExperimentScale):
+        return scale
+    return get_scale(scale)
+
+
+# --------------------------------------------------------------------------- #
+# Figures 3-7: performance vs earliness for every method on every dataset
+# --------------------------------------------------------------------------- #
+@dataclass
+class PerformanceFigureResult:
+    """Per-dataset, per-method performance curves for one metric."""
+
+    metric: str
+    curves: Dict[str, Dict[str, PerformanceCurve]]
+
+    def series(self, dataset: str, method: str) -> List[Tuple[float, float]]:
+        return self.curves[dataset][method].series(self.metric)
+
+    def best_method_at(self, dataset: str, max_earliness: float) -> Optional[str]:
+        """The method with the highest metric among points early enough."""
+        best_name = None
+        best_value = -float("inf")
+        for method, curve in self.curves[dataset].items():
+            value = curve.value_at_earliness(self.metric, max_earliness)
+            if value is not None and value > best_value:
+                best_value = value
+                best_name = method
+        return best_name
+
+    def render(self) -> str:
+        lines: List[str] = [f"{self.metric} vs earliness"]
+        for dataset, method_curves in self.curves.items():
+            lines.append(f"\n== {dataset} ==")
+            for method, curve in method_curves.items():
+                series = ", ".join(
+                    f"({earliness * 100:.1f}%, {value:.3f})" for earliness, value in curve.series(self.metric)
+                )
+                lines.append(f"  {method:<16} {series}")
+        return "\n".join(lines)
+
+
+def run_performance_figure(
+    metric: str,
+    scale="bench",
+    datasets: Sequence[str] = PERFORMANCE_DATASETS,
+) -> PerformanceFigureResult:
+    """Shared implementation of Figs. 3 (accuracy) through 7 (harmonic mean)."""
+    scale = _resolve_scale(scale)
+    curves = {name: performance_curves(name, scale) for name in datasets}
+    return PerformanceFigureResult(metric=metric, curves=curves)
+
+
+def run_fig3_accuracy(scale="bench", datasets: Sequence[str] = PERFORMANCE_DATASETS) -> PerformanceFigureResult:
+    """Fig. 3: accuracy vs earliness."""
+    return run_performance_figure("accuracy", scale, datasets)
+
+
+def run_fig4_precision(scale="bench", datasets: Sequence[str] = PERFORMANCE_DATASETS) -> PerformanceFigureResult:
+    """Fig. 4: macro precision vs earliness."""
+    return run_performance_figure("precision", scale, datasets)
+
+
+def run_fig5_recall(scale="bench", datasets: Sequence[str] = PERFORMANCE_DATASETS) -> PerformanceFigureResult:
+    """Fig. 5: macro recall vs earliness."""
+    return run_performance_figure("recall", scale, datasets)
+
+
+def run_fig6_f1(scale="bench", datasets: Sequence[str] = PERFORMANCE_DATASETS) -> PerformanceFigureResult:
+    """Fig. 6: macro F1 vs earliness."""
+    return run_performance_figure("f1", scale, datasets)
+
+
+def run_fig7_harmonic_mean(scale="bench", datasets: Sequence[str] = PERFORMANCE_DATASETS) -> PerformanceFigureResult:
+    """Fig. 7: harmonic mean of accuracy and earliness vs earliness."""
+    return run_performance_figure("harmonic_mean", scale, datasets)
+
+
+# --------------------------------------------------------------------------- #
+# Figure 8: hyperparameter sensitivity (alpha, beta)
+# --------------------------------------------------------------------------- #
+@dataclass
+class SensitivityResult:
+    """Accuracy/earliness as functions of alpha (beta fixed) and beta (alpha fixed)."""
+
+    alpha_series: List[Tuple[float, float, float]] = field(default_factory=list)
+    beta_series: List[Tuple[float, float, float]] = field(default_factory=list)
+
+    def alpha_accuracy_range(self) -> float:
+        values = [accuracy for _, accuracy, _ in self.alpha_series]
+        return max(values) - min(values) if values else 0.0
+
+    def beta_earliness_range(self) -> float:
+        values = [earliness for _, _, earliness in self.beta_series]
+        return max(values) - min(values) if values else 0.0
+
+    def render(self) -> str:
+        lines = ["(a) effect of alpha (beta = 1e-4)"]
+        for alpha, acc, earliness in self.alpha_series:
+            lines.append(f"  alpha={alpha:<8g} accuracy={acc * 100:6.2f}%  earliness={earliness * 100:6.2f}%")
+        lines.append("(b) effect of beta (alpha = 0.1)")
+        for beta, acc, earliness in self.beta_series:
+            lines.append(f"  beta={beta:<9g} accuracy={acc * 100:6.2f}%  earliness={earliness * 100:6.2f}%")
+        return "\n".join(lines)
+
+
+def run_fig8_sensitivity(scale="bench", dataset_name: str = "Traffic-FG") -> SensitivityResult:
+    """Fig. 8: effect of alpha and beta on accuracy and earliness (Traffic-FG)."""
+    scale = _resolve_scale(scale)
+    splits = dataset_splits(dataset_name, scale)
+    result = SensitivityResult()
+
+    # (a) sweep alpha with beta fixed at 1e-4
+    for alpha in scale.alpha_sweep:
+        config = scale.kvec.with_overrides(alpha=float(alpha), beta=1e-4)
+        estimator = KVECEstimator(splits.spec, splits.num_classes, config)
+        evaluation = evaluate_method(estimator, splits)
+        result.alpha_series.append(
+            (float(alpha), evaluation.summary.accuracy, evaluation.summary.earliness)
+        )
+
+    # (b) sweep beta with alpha fixed at 0.1
+    for beta in scale.beta_sensitivity_sweep:
+        config = scale.kvec.with_overrides(alpha=0.1, beta=float(beta))
+        estimator = KVECEstimator(splits.spec, splits.num_classes, config)
+        evaluation = evaluate_method(estimator, splits)
+        result.beta_series.append(
+            (float(beta), evaluation.summary.accuracy, evaluation.summary.earliness)
+        )
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# Figure 9: ablation study
+# --------------------------------------------------------------------------- #
+@dataclass
+class AblationResult:
+    """Metric summaries of every ablated KVEC variant (Traffic-FG)."""
+
+    summaries: Dict[str, MetricSummary] = field(default_factory=dict)
+
+    def accuracy_drop(self, variant: str) -> float:
+        """Accuracy of the full model minus the variant's accuracy."""
+        return self.summaries["KVEC (ours)"].accuracy - self.summaries[variant].accuracy
+
+    def harmonic_mean_drop(self, variant: str) -> float:
+        return (
+            self.summaries["KVEC (ours)"].harmonic_mean
+            - self.summaries[variant].harmonic_mean
+        )
+
+    def render(self) -> str:
+        lines = ["Ablation study (Traffic-FG analogue)"]
+        for variant, summary in self.summaries.items():
+            lines.append(
+                f"  {variant:<26} accuracy={summary.accuracy * 100:6.2f}%  "
+                f"earliness={summary.earliness * 100:6.2f}%  HM={summary.harmonic_mean:.3f}"
+            )
+        return "\n".join(lines)
+
+
+def run_fig9_ablation(scale="bench", dataset_name: str = "Traffic-FG") -> AblationResult:
+    """Fig. 9: remove one KVEC ingredient at a time and re-train."""
+    scale = _resolve_scale(scale)
+    splits = dataset_splits(dataset_name, scale)
+    result = AblationResult()
+    for variant in ABLATION_VARIANTS:
+        model = make_kvec_variant(variant, splits.spec, splits.num_classes, scale.kvec)
+        trainer = KVECTrainer(model)
+        trainer.train(splits.train)
+        records = []
+        for tangle in splits.test:
+            records.extend(model.predict_tangle(tangle))
+        result.summaries[variant] = summarize(records)
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# Figure 10: internal vs external attention scores
+# --------------------------------------------------------------------------- #
+@dataclass
+class AttentionFigureResult:
+    """The Fig. 10 series: attention split and accuracy per earliness level."""
+
+    points: List[AttentionScorePoint] = field(default_factory=list)
+
+    def external_dominates_early(self) -> bool:
+        """Whether external attention exceeds internal at the earliest level probed."""
+        if not self.points:
+            return False
+        first = self.points[0]
+        return first.external_score >= first.internal_score
+
+    def internal_dominates_late(self) -> bool:
+        """Whether internal attention exceeds external at the latest level probed."""
+        if not self.points:
+            return False
+        last = self.points[-1]
+        return last.internal_score >= last.external_score
+
+    def render(self) -> str:
+        lines = ["Attention score vs halting position"]
+        for point in self.points:
+            lines.append(
+                f"  earliness={point.earliness * 100:6.2f}%  internal={point.internal_score:.3f}  "
+                f"external={point.external_score:.3f}  accuracy={point.accuracy * 100:6.2f}%"
+            )
+        return "\n".join(lines)
+
+
+def run_fig10_attention(scale="bench", dataset_name: str = "Traffic-FG") -> AttentionFigureResult:
+    """Fig. 10: distribution of attention scores at various halting positions."""
+    scale = _resolve_scale(scale)
+    splits = dataset_splits(dataset_name, scale)
+    estimator = KVECEstimator(splits.spec, splits.num_classes, scale.kvec)
+    estimator.fit(splits.train)
+    points = attention_score_profile(
+        estimator.model, splits.test, earliness_levels=scale.attention_levels
+    )
+    return AttentionFigureResult(points=points)
+
+
+# --------------------------------------------------------------------------- #
+# Figure 11: halting-position distributions on Synthetic-Traffic
+# --------------------------------------------------------------------------- #
+@dataclass
+class HaltingFigureResult:
+    """True and predicted halting distributions per Synthetic-Traffic subset."""
+
+    distributions: Dict[str, Dict[str, HaltingDistribution]] = field(default_factory=dict)
+
+    def subset(self, name: str) -> Dict[str, HaltingDistribution]:
+        return self.distributions[name]
+
+    def render(self) -> str:
+        lines = ["Halting-position distributions (Synthetic-Traffic)"]
+        for subset, per_method in self.distributions.items():
+            lines.append(f"\n== {subset}-stop subdataset ==")
+            for label, distribution in per_method.items():
+                series = ", ".join(f"{x:.0f}%:{y:.2f}" for x, y in distribution.as_series())
+                lines.append(f"  {label:<36} {series}")
+        return "\n".join(lines)
+
+
+def run_fig11_halting(scale="bench", num_bins: int = 10) -> HaltingFigureResult:
+    """Fig. 11: compare predicted halting positions against the ground truth."""
+    scale = _resolve_scale(scale)
+    result = HaltingFigureResult()
+    overrides = scale.dataset_overrides.get("Synthetic-Traffic", {})
+    for subset in ("early", "late"):
+        dataset = build_dataset(
+            "Synthetic-Traffic",
+            num_keys=scale.dataset_keys.get("Synthetic-Traffic", 0),
+            subset=subset,
+            **overrides,
+        )
+        splits = prepare_tangled_splits(dataset, concurrency=scale.concurrency, seed=scale.seed)
+        per_method: Dict[str, HaltingDistribution] = {
+            "True Halting Positions": true_halting_distribution(dataset, splits.test, num_bins)
+        }
+
+        full = KVECEstimator(splits.spec, splits.num_classes, scale.kvec)
+        full.fit(splits.train)
+        per_method["Predicted by KVEC"] = halting_position_distribution(
+            full, splits.test, num_bins, label="Predicted by KVEC"
+        )
+
+        ablated_config = scale.kvec.with_overrides(use_value_correlation=False)
+        ablated = KVECEstimator(splits.spec, splits.num_classes, ablated_config)
+        ablated.name = "KVEC w/o Value Corr."
+        ablated.fit(splits.train)
+        per_method["Predicted by KVEC w/o Value Corr."] = halting_position_distribution(
+            ablated, splits.test, num_bins, label="Predicted by KVEC w/o Value Corr."
+        )
+        result.distributions[subset] = per_method
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# Figure 12: effect of the number of concurrent sequences K
+# --------------------------------------------------------------------------- #
+@dataclass
+class ConcurrencyFigureResult:
+    """Accuracy/HM vs earliness operating points for each concurrency level K."""
+
+    #: mapping K -> list of (earliness, accuracy, harmonic mean) points
+    points: Dict[int, List[Tuple[float, float, float]]] = field(default_factory=dict)
+
+    def accuracy_series(self, concurrency: int) -> List[Tuple[float, float]]:
+        return [(earliness, acc) for earliness, acc, _ in self.points[concurrency]]
+
+    def harmonic_mean_series(self, concurrency: int) -> List[Tuple[float, float]]:
+        return [(earliness, hm) for earliness, _, hm in self.points[concurrency]]
+
+    def render(self) -> str:
+        lines = ["Effect of the number of concurrent sequences K"]
+        for concurrency, operating_points in self.points.items():
+            series = ", ".join(
+                f"({earliness * 100:.1f}%, acc={acc * 100:.1f}%, hm={hm:.3f})"
+                for earliness, acc, hm in operating_points
+            )
+            lines.append(f"  K={concurrency}: {series}")
+        return "\n".join(lines)
+
+
+def run_fig12_concurrency(scale="bench", dataset_name: str = "Traffic-FG") -> ConcurrencyFigureResult:
+    """Fig. 12: evaluate one trained KVEC under varying test concurrency K.
+
+    The model is trained once at the scale's default concurrency; test
+    scenarios are then re-tangled at each K and the halting threshold is swept
+    to trace each K's accuracy-vs-earliness curve.
+    """
+    scale = _resolve_scale(scale)
+    dataset = build_scaled_dataset(dataset_name, scale)
+    splits = prepare_tangled_splits(dataset, concurrency=scale.concurrency, seed=scale.seed)
+    estimator = KVECEstimator(splits.spec, splits.num_classes, scale.kvec)
+    estimator.fit(splits.train)
+
+    # Recover the per-key test sequences so they can be re-tangled per K.
+    test_sequences = []
+    for tangle in splits.test:
+        test_sequences.extend(tangle.per_key_sequences().values())
+
+    result = ConcurrencyFigureResult()
+    for concurrency in scale.concurrency_levels:
+        tangles = retangle_by_concurrency(
+            test_sequences,
+            dataset.spec,
+            concurrency,
+            rng=np.random.default_rng(scale.seed + concurrency),
+            name_prefix=f"k{concurrency}",
+        )
+        operating_points: List[Tuple[float, float, float]] = []
+        for threshold in scale.halt_threshold_sweep:
+            records = []
+            for tangle in tangles:
+                records.extend(estimator.model.predict_tangle(tangle, halt_threshold=threshold))
+            summary = summarize(records)
+            operating_points.append(
+                (summary.earliness, summary.accuracy, summary.harmonic_mean)
+            )
+        result.points[int(concurrency)] = operating_points
+    return result

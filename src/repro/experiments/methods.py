@@ -1,0 +1,121 @@
+"""Factories for every compared method, parameterised by its trade-off knob.
+
+Table II of the paper lists one earliness/accuracy trade-off hyperparameter
+per method; the performance-vs-earliness figures sweep exactly that knob:
+
+==============  ==================================================
+KVEC            ``beta`` (time-penalty weight; ``alpha`` is frozen)
+EARLIEST        ``lambda`` (time-penalty weight)
+SRN-EARLIEST    ``lambda``
+SRN-Fixed       ``tau`` (fixed halting time)
+SRN-Confidence  ``mu`` (confidence threshold)
+==============  ==================================================
+
+SRN-Fixed and SRN-Confidence apply their knob only at prediction time, so a
+single trained prefix classifier is shared across all sweep values — the
+factories cache it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.baselines.common import EarlyClassifier
+from repro.baselines.earliest import EARLIEST
+from repro.baselines.prefix import PrefixSRNClassifier
+from repro.baselines.srn_confidence import SRNConfidence
+from repro.baselines.srn_earliest import SRNEarliest
+from repro.baselines.srn_fixed import SRNFixed
+from repro.core.model import PredictionRecord
+from repro.data.items import TangledSequence, ValueSpec
+from repro.eval.estimators import KVECEstimator
+from repro.experiments.presets import ExperimentScale
+
+#: Plot/report order used throughout the figures.
+METHOD_ORDER: Tuple[str, ...] = (
+    "KVEC",
+    "SRN-EARLIEST",
+    "SRN-Confidence",
+    "SRN-Fixed",
+    "EARLIEST",
+)
+
+TradeOffFactory = Callable[[float], EarlyClassifier]
+
+
+class _SharedPrefixModel:
+    """Train one prefix-supervised SRN and reuse it for every τ / µ value."""
+
+    def __init__(self, spec: ValueSpec, num_classes: int, scale: ExperimentScale) -> None:
+        self.spec = spec
+        self.num_classes = num_classes
+        self.scale = scale
+        self._trained: PrefixSRNClassifier | None = None
+
+    def trained_model(self, template: PrefixSRNClassifier, train_tangles) -> PrefixSRNClassifier:
+        if self._trained is None:
+            template.fit(train_tangles)
+            self._trained = template
+        else:
+            # Reuse the already-trained encoder and classifier weights.
+            template.load_state_dict(self._trained.state_dict())
+        return template
+
+
+class _SharedPrefixWrapper(EarlyClassifier):
+    """An SRN-Fixed / SRN-Confidence instance backed by a shared trained model."""
+
+    def __init__(self, inner: PrefixSRNClassifier, shared: _SharedPrefixModel) -> None:
+        self.inner = inner
+        self.shared = shared
+        self.name = inner.name
+
+    def fit(self, train_tangles: Sequence[TangledSequence], verbose: bool = False) -> "EarlyClassifier":
+        self.shared.trained_model(self.inner, train_tangles)
+        return self
+
+    def predict_tangle(self, tangle: TangledSequence) -> List[PredictionRecord]:
+        return self.inner.predict_tangle(tangle)
+
+
+def method_sweeps(
+    spec: ValueSpec,
+    num_classes: int,
+    scale: ExperimentScale,
+) -> Dict[str, Tuple[TradeOffFactory, Tuple[float, ...]]]:
+    """Return ``{method name: (factory, trade-off sweep values)}``.
+
+    Calling ``factory(value)`` yields a fresh, untrained early classifier
+    whose earliness/accuracy trade-off is set to ``value``.
+    """
+    shared_fixed = _SharedPrefixModel(spec, num_classes, scale)
+    shared_confidence = _SharedPrefixModel(spec, num_classes, scale)
+
+    def kvec_factory(beta: float) -> EarlyClassifier:
+        config = scale.kvec.with_overrides(beta=float(beta))
+        return KVECEstimator(spec, num_classes, config)
+
+    def earliest_factory(lam: float) -> EarlyClassifier:
+        config = replace(scale.rl_baseline, lam=float(lam))
+        return EARLIEST(spec, num_classes, config)
+
+    def srn_earliest_factory(lam: float) -> EarlyClassifier:
+        config = replace(scale.rl_baseline, lam=float(lam))
+        return SRNEarliest(spec, num_classes, config)
+
+    def srn_fixed_factory(tau: float) -> EarlyClassifier:
+        inner = SRNFixed(spec, num_classes, halt_time=int(round(tau)), config=scale.prefix)
+        return _SharedPrefixWrapper(inner, shared_fixed)
+
+    def srn_confidence_factory(mu: float) -> EarlyClassifier:
+        inner = SRNConfidence(spec, num_classes, confidence_threshold=float(mu), config=scale.prefix)
+        return _SharedPrefixWrapper(inner, shared_confidence)
+
+    return {
+        "KVEC": (kvec_factory, scale.kvec_beta_sweep),
+        "EARLIEST": (earliest_factory, scale.lambda_sweep),
+        "SRN-EARLIEST": (srn_earliest_factory, scale.lambda_sweep),
+        "SRN-Fixed": (srn_fixed_factory, tuple(float(v) for v in scale.fixed_tau_sweep)),
+        "SRN-Confidence": (srn_confidence_factory, scale.confidence_sweep),
+    }

@@ -1,0 +1,166 @@
+"""Scale presets for the experiment harness.
+
+The paper trains 100 epochs on datasets with up to 60,000 flows using GPUs.
+The numpy substrate runs on CPU, so each experiment accepts a scale preset:
+
+* ``unit``  — the smallest sizes, used by the test suite (seconds),
+* ``bench`` — the sizes used by the shipped benchmark outputs (tens of
+  seconds to a few minutes per figure),
+* ``paper`` — the paper's published sizes, documented and runnable but slow.
+
+What is preserved across scales is the *shape* of each result (method
+ordering, ablation directions, attention/halting trends), not the absolute
+numbers; EXPERIMENTS.md records the paper-reported values next to the
+``bench``-scale measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.baselines.prefix import PrefixSRNConfig
+from repro.baselines.rl_policy import RLBaselineConfig
+from repro.core.config import KVECConfig
+
+
+@dataclass
+class ExperimentScale:
+    """All knobs that change between the unit / bench / paper scales."""
+
+    name: str
+    #: number of keys generated per dataset (dataset name -> count)
+    dataset_keys: Dict[str, int]
+    #: extra keyword arguments forwarded to specific dataset generators
+    dataset_overrides: Dict[str, Dict] = field(default_factory=dict)
+    #: number of concurrent key-value sequences per tangled stream
+    concurrency: int = 4
+    #: model configurations
+    kvec: KVECConfig = field(default_factory=KVECConfig)
+    rl_baseline: RLBaselineConfig = field(default_factory=RLBaselineConfig)
+    prefix: PrefixSRNConfig = field(default_factory=PrefixSRNConfig)
+    #: trade-off hyperparameter sweeps (Table II)
+    kvec_beta_sweep: Tuple[float, ...] = (0.0001, 0.01, 0.1)
+    lambda_sweep: Tuple[float, ...] = (0.0001, 0.01, 0.1)
+    fixed_tau_sweep: Tuple[int, ...] = (3, 8, 20)
+    confidence_sweep: Tuple[float, ...] = (0.5, 0.8, 0.95)
+    #: sensitivity sweeps (Fig. 8)
+    alpha_sweep: Tuple[float, ...] = (0.0, 0.001, 0.01, 0.1, 1.0, 10.0)
+    beta_sensitivity_sweep: Tuple[float, ...] = (-0.05, -0.01, 0.0, 0.0001, 0.005, 0.05, 0.5)
+    #: earliness levels probed by the attention analysis (Fig. 10)
+    attention_levels: Tuple[float, ...] = (0.02, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0)
+    #: concurrency levels probed by the Fig. 12 experiment
+    concurrency_levels: Tuple[int, ...] = (1, 2, 3, 4, 5)
+    #: halting-threshold sweep used to trace per-K curves in Fig. 12
+    halt_threshold_sweep: Tuple[float, ...] = (0.3, 0.5, 0.7, 0.9)
+    seed: int = 0
+
+
+def _unit_scale() -> ExperimentScale:
+    kvec = KVECConfig(
+        d_model=16, num_blocks=1, num_heads=1, ffn_hidden=32, d_state=24,
+        dropout=0.0, epochs=3, batch_size=4, learning_rate=3e-3,
+    )
+    rl = RLBaselineConfig(d_model=16, num_blocks=1, epochs=2, batch_size=8)
+    prefix = PrefixSRNConfig(d_model=16, num_blocks=1, epochs=2, batch_size=8)
+    return ExperimentScale(
+        name="unit",
+        dataset_keys={
+            "USTC-TFC2016": 36,
+            "MovieLens-1M": 16,
+            "Traffic-FG": 48,
+            "Traffic-App": 40,
+            "Synthetic-Traffic": 24,
+        },
+        dataset_overrides={
+            "MovieLens-1M": {"mean_sequence_length": 40.0, "min_sequence_length": 15},
+            "Synthetic-Traffic": {"flow_length": 40},
+        },
+        concurrency=3,
+        kvec=kvec,
+        rl_baseline=rl,
+        prefix=prefix,
+        kvec_beta_sweep=(0.0001, 0.05),
+        lambda_sweep=(0.0001, 0.05),
+        fixed_tau_sweep=(3, 10),
+        confidence_sweep=(0.6, 0.9),
+        alpha_sweep=(0.0, 0.1, 1.0),
+        beta_sensitivity_sweep=(-0.01, 0.0001, 0.05),
+        attention_levels=(0.1, 0.4, 1.0),
+        concurrency_levels=(1, 2, 3),
+        halt_threshold_sweep=(0.4, 0.6),
+    )
+
+
+def _bench_scale() -> ExperimentScale:
+    kvec = KVECConfig(
+        d_model=24, num_blocks=2, num_heads=2, ffn_hidden=48, d_state=32,
+        dropout=0.0, epochs=12, batch_size=8, learning_rate=3e-3,
+    )
+    rl = RLBaselineConfig(d_model=24, num_blocks=2, epochs=8, batch_size=16, learning_rate=2e-3)
+    prefix = PrefixSRNConfig(d_model=24, num_blocks=2, epochs=8, batch_size=16, learning_rate=2e-3)
+    return ExperimentScale(
+        name="bench",
+        dataset_keys={
+            "USTC-TFC2016": 90,
+            "MovieLens-1M": 36,
+            "Traffic-FG": 84,
+            "Traffic-App": 70,
+            "Synthetic-Traffic": 48,
+        },
+        dataset_overrides={
+            "MovieLens-1M": {"mean_sequence_length": 60.0, "min_sequence_length": 20},
+            "Synthetic-Traffic": {"flow_length": 60},
+        },
+        concurrency=4,
+        kvec=kvec,
+        rl_baseline=rl,
+        prefix=prefix,
+        kvec_beta_sweep=(0.0001, 0.01, 0.1),
+        lambda_sweep=(0.0001, 0.01, 0.1),
+        fixed_tau_sweep=(3, 8, 20),
+        confidence_sweep=(0.5, 0.8, 0.95),
+        alpha_sweep=(0.0, 0.001, 0.01, 0.1, 1.0, 10.0),
+        beta_sensitivity_sweep=(-0.05, -0.01, 0.0, 0.0001, 0.005, 0.05, 0.5),
+        attention_levels=(0.02, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0),
+        concurrency_levels=(1, 2, 3, 4, 5),
+        halt_threshold_sweep=(0.3, 0.5, 0.7, 0.9),
+    )
+
+
+def _paper_scale() -> ExperimentScale:
+    kvec = KVECConfig().paper_scale()
+    rl = RLBaselineConfig(d_model=128, num_blocks=6, epochs=100, batch_size=64, learning_rate=1e-4)
+    prefix = PrefixSRNConfig(d_model=128, num_blocks=6, epochs=100, batch_size=64, learning_rate=1e-4)
+    return ExperimentScale(
+        name="paper",
+        dataset_keys={
+            "USTC-TFC2016": 3200,
+            "MovieLens-1M": 6040,
+            "Traffic-FG": 60000,
+            "Traffic-App": 50000,
+            "Synthetic-Traffic": 10000,
+        },
+        concurrency=5,
+        kvec=kvec,
+        rl_baseline=rl,
+        prefix=prefix,
+        kvec_beta_sweep=(-0.05, -0.01, 0.0001, 0.001, 0.01, 0.05, 0.5, 5.0),
+        lambda_sweep=(0.0001, 0.001, 0.01, 0.05, 0.5),
+        fixed_tau_sweep=(2, 5, 10, 20, 40),
+        confidence_sweep=(0.3, 0.5, 0.7, 0.9, 0.99),
+    )
+
+
+SCALES: Dict[str, ExperimentScale] = {
+    "unit": _unit_scale(),
+    "bench": _bench_scale(),
+    "paper": _paper_scale(),
+}
+
+
+def get_scale(name: str) -> ExperimentScale:
+    """Look up a scale preset by name."""
+    if name not in SCALES:
+        raise KeyError(f"unknown scale {name!r}; known: {sorted(SCALES)}")
+    return SCALES[name]

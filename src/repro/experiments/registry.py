@@ -1,0 +1,125 @@
+"""The experiment index: one entry per table and figure of the paper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.experiments import figures, tables
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible experiment mapped to a paper artifact."""
+
+    identifier: str
+    paper_artifact: str
+    description: str
+    run: Callable
+    bench_target: str
+
+    def __call__(self, scale="bench", **kwargs):
+        return self.run(scale, **kwargs)
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    experiment.identifier: experiment
+    for experiment in [
+        Experiment(
+            "table1_dataset_stats",
+            "Table I",
+            "Dataset statistics (#keys, avg |Sk|, avg session length, #classes)",
+            tables.run_table1_dataset_stats,
+            "benchmarks/bench_table1_datasets.py",
+        ),
+        Experiment(
+            "table2_hyperparameters",
+            "Table II",
+            "Earliness/accuracy trade-off hyperparameter of each method",
+            tables.run_table2_hyperparameters,
+            "benchmarks/bench_table2_hyperparams.py",
+        ),
+        Experiment(
+            "fig3_accuracy",
+            "Figure 3",
+            "Accuracy vs earliness of every method on the four real-world datasets",
+            figures.run_fig3_accuracy,
+            "benchmarks/bench_fig3_accuracy.py",
+        ),
+        Experiment(
+            "fig4_precision",
+            "Figure 4",
+            "Macro precision vs earliness",
+            figures.run_fig4_precision,
+            "benchmarks/bench_fig4_precision.py",
+        ),
+        Experiment(
+            "fig5_recall",
+            "Figure 5",
+            "Macro recall vs earliness",
+            figures.run_fig5_recall,
+            "benchmarks/bench_fig5_recall.py",
+        ),
+        Experiment(
+            "fig6_f1",
+            "Figure 6",
+            "Macro F1 vs earliness",
+            figures.run_fig6_f1,
+            "benchmarks/bench_fig6_f1.py",
+        ),
+        Experiment(
+            "fig7_hm",
+            "Figure 7",
+            "Harmonic mean of accuracy and earliness vs earliness",
+            figures.run_fig7_harmonic_mean,
+            "benchmarks/bench_fig7_harmonic_mean.py",
+        ),
+        Experiment(
+            "fig8_sensitivity",
+            "Figure 8",
+            "Sensitivity of accuracy and earliness to alpha and beta (Traffic-FG)",
+            figures.run_fig8_sensitivity,
+            "benchmarks/bench_fig8_sensitivity.py",
+        ),
+        Experiment(
+            "fig9_ablation",
+            "Figure 9",
+            "Ablation of key/value correlation and input-embedding components",
+            figures.run_fig9_ablation,
+            "benchmarks/bench_fig9_ablation.py",
+        ),
+        Experiment(
+            "fig10_attention",
+            "Figure 10",
+            "Internal vs external attention score at various halting positions",
+            figures.run_fig10_attention,
+            "benchmarks/bench_fig10_attention.py",
+        ),
+        Experiment(
+            "fig11_halting",
+            "Figure 11",
+            "Halting-position distributions on the Synthetic-Traffic dataset",
+            figures.run_fig11_halting,
+            "benchmarks/bench_fig11_halting.py",
+        ),
+        Experiment(
+            "fig12_concurrency",
+            "Figure 12",
+            "Effect of the number of concurrent sequences K on KVEC",
+            figures.run_fig12_concurrency,
+            "benchmarks/bench_fig12_concurrency.py",
+        ),
+    ]
+}
+
+
+def get_experiment(identifier: str) -> Experiment:
+    """Look up an experiment by id (raises ``KeyError`` with the known ids)."""
+    if identifier not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {identifier!r}; known: {sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[identifier]
+
+
+def list_experiments() -> List[Experiment]:
+    """All experiments in registration order."""
+    return list(EXPERIMENTS.values())

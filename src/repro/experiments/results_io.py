@@ -1,0 +1,127 @@
+"""Persisting experiment results.
+
+Every experiment in :mod:`repro.experiments.registry` returns a small result
+dataclass with a ``render()`` method.  This module turns those results into a
+stable JSON payload (plus the rendered text) so that
+
+* benchmark runs can archive their scientific output next to the timing data,
+* EXPERIMENTS.md can be regenerated from archived results without re-running
+  the experiments,
+* two runs (e.g. different scales or code revisions) can be diffed.
+
+``to_payload`` knows the concrete result types; unknown results fall back to
+their rendered text only.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.experiments import figures, tables
+
+PathLike = Union[str, Path]
+
+PAYLOAD_VERSION = 1
+
+
+def _curve_payload(curves: Dict[str, Dict[str, Any]], metric: str) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {}
+    for dataset, method_curves in curves.items():
+        payload[dataset] = {
+            method: [[float(x), float(y)] for x, y in curve.series(metric)]
+            for method, curve in method_curves.items()
+        }
+    return payload
+
+
+def to_payload(experiment_id: str, result: Any, scale: str = "") -> Dict[str, Any]:
+    """Convert one experiment result into a JSON-serializable payload."""
+    payload: Dict[str, Any] = {
+        "payload_version": PAYLOAD_VERSION,
+        "experiment": experiment_id,
+        "scale": scale,
+        "rendered": result.render() if hasattr(result, "render") else repr(result),
+    }
+
+    if isinstance(result, figures.PerformanceFigureResult):
+        payload["metric"] = result.metric
+        payload["series"] = _curve_payload(result.curves, result.metric)
+    elif isinstance(result, figures.SensitivityResult):
+        payload["alpha_series"] = [list(map(float, row)) for row in result.alpha_series]
+        payload["beta_series"] = [list(map(float, row)) for row in result.beta_series]
+    elif isinstance(result, figures.AblationResult):
+        payload["summaries"] = {
+            variant: summary.as_dict() for variant, summary in result.summaries.items()
+        }
+    elif isinstance(result, figures.AttentionFigureResult):
+        payload["points"] = [
+            {
+                "earliness": float(point.earliness),
+                "internal": float(point.internal_score),
+                "external": float(point.external_score),
+                "accuracy": float(point.accuracy),
+            }
+            for point in result.points
+        ]
+    elif isinstance(result, figures.HaltingFigureResult):
+        payload["distributions"] = {
+            subset: {
+                label: [[float(x), float(y)] for x, y in distribution.as_series()]
+                for label, distribution in per_method.items()
+            }
+            for subset, per_method in result.distributions.items()
+        }
+    elif isinstance(result, figures.ConcurrencyFigureResult):
+        payload["points"] = {
+            str(concurrency): [list(map(float, row)) for row in rows]
+            for concurrency, rows in result.points.items()
+        }
+    elif isinstance(result, tables.Table1Result):
+        payload["generated"] = {
+            name: dataclasses.asdict(stats) for name, stats in result.generated.items()
+        }
+        payload["published"] = {
+            name: dataclasses.asdict(stats) for name, stats in result.published.items()
+        }
+    elif isinstance(result, tables.Table2Result):
+        payload["rows"] = [
+            [method, parameter, description, [float(value) for value in sweep]]
+            for method, parameter, description, sweep in result.rows
+        ]
+    return payload
+
+
+def save_result(
+    experiment_id: str,
+    result: Any,
+    path: PathLike,
+    scale: str = "",
+) -> Path:
+    """Write one experiment result to a JSON file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = to_payload(experiment_id, result, scale=scale)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def load_result(path: PathLike) -> Dict[str, Any]:
+    """Load a previously saved result payload."""
+    payload = json.loads(Path(path).read_text())
+    if "experiment" not in payload:
+        raise ValueError(f"{path} is not an experiment result payload")
+    return payload
+
+
+def summarise_payload(payload: Dict[str, Any], max_lines: Optional[int] = None) -> str:
+    """Return the rendered text stored in a payload (optionally truncated)."""
+    rendered = payload.get("rendered", "")
+    if max_lines is None:
+        return rendered
+    lines = rendered.splitlines()
+    if len(lines) <= max_lines:
+        return rendered
+    return "\n".join(lines[:max_lines] + [f"... ({len(lines) - max_lines} more lines)"])

@@ -1,0 +1,58 @@
+"""Command-line runner for the registered experiments.
+
+Examples
+--------
+List experiments::
+
+    python -m repro.experiments.runner --list
+
+Run one experiment at benchmark scale::
+
+    python -m repro.experiments.runner fig3_accuracy --scale bench
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.experiments.registry import get_experiment, list_experiments
+
+
+def run_experiment(identifier: str, scale: str = "bench", **kwargs):
+    """Run one registered experiment and return its result object."""
+    experiment = get_experiment(identifier)
+    return experiment.run(scale, **kwargs)
+
+
+def _render(result) -> str:
+    render = getattr(result, "render", None)
+    if callable(render):
+        return render()
+    return repr(result)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description="Run KVEC reproduction experiments")
+    parser.add_argument("experiment", nargs="?", help="experiment id (see --list)")
+    parser.add_argument("--scale", default="bench", choices=("unit", "bench", "paper"))
+    parser.add_argument("--list", action="store_true", help="list registered experiments")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiment:
+        for experiment in list_experiments():
+            print(f"{experiment.identifier:<24} {experiment.paper_artifact:<10} {experiment.description}")
+        return 0
+
+    start = time.perf_counter()
+    result = run_experiment(args.experiment, scale=args.scale)
+    elapsed = time.perf_counter() - start
+    print(_render(result))
+    print(f"\n[{args.experiment} @ {args.scale}] completed in {elapsed:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""Run functions for the paper's tables (Table I and Table II)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.datasets.base import DatasetStatistics
+from repro.datasets.registry import PAPER_STATISTICS
+from repro.datasets.stats import compute_statistics
+from repro.experiments.presets import ExperimentScale, get_scale
+from repro.experiments.workloads import build_scaled_dataset
+
+
+def _resolve_scale(scale) -> ExperimentScale:
+    if isinstance(scale, ExperimentScale):
+        return scale
+    return get_scale(scale)
+
+
+# --------------------------------------------------------------------------- #
+# Table I: dataset statistics
+# --------------------------------------------------------------------------- #
+@dataclass
+class Table1Result:
+    """Generated-vs-published dataset statistics."""
+
+    generated: Dict[str, DatasetStatistics] = field(default_factory=dict)
+    published: Dict[str, DatasetStatistics] = field(default_factory=dict)
+
+    def rows(self) -> List[Tuple]:
+        """One row per dataset: name, ours (#keys, |Sk|, session, classes), paper's."""
+        rows = []
+        for name, stats in self.generated.items():
+            paper = self.published.get(name)
+            rows.append((name, stats.as_row(), paper.as_row() if paper else None))
+        return rows
+
+    def render(self) -> str:
+        header = (
+            f"{'dataset':<24}{'#keys':>8}{'avg |Sk|':>10}{'avg sess':>10}{'#cls':>6}"
+            f"    {'paper #keys':>12}{'paper |Sk|':>11}{'paper sess':>11}{'paper #cls':>11}"
+        )
+        lines = [header, "-" * len(header)]
+        for name, stats in self.generated.items():
+            paper = self.published.get(name)
+            line = (
+                f"{name:<24}{stats.num_keys:>8}{stats.avg_sequence_length:>10.1f}"
+                f"{stats.avg_session_length:>10.1f}{stats.num_classes:>6}"
+            )
+            if paper:
+                line += (
+                    f"    {paper.num_keys:>12}{paper.avg_sequence_length:>11.1f}"
+                    f"{paper.avg_session_length:>11.1f}{paper.num_classes:>11}"
+                )
+            lines.append(line)
+        return "\n".join(lines)
+
+
+def run_table1_dataset_stats(scale="bench") -> Table1Result:
+    """Table I: statistics of every generated dataset next to the paper's."""
+    scale = _resolve_scale(scale)
+    result = Table1Result(published=dict(PAPER_STATISTICS))
+    for name in scale.dataset_keys:
+        dataset = build_scaled_dataset(name, scale)
+        result.generated[name] = compute_statistics(dataset)
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# Table II: per-method trade-off hyperparameters
+# --------------------------------------------------------------------------- #
+@dataclass
+class Table2Result:
+    """The trade-off hyperparameter of every method plus the sweep we use."""
+
+    rows: List[Tuple[str, str, str, Tuple[float, ...]]] = field(default_factory=list)
+
+    def render(self) -> str:
+        header = f"{'method':<16}{'hyperparameter':<18}{'description':<34}{'sweep values'}"
+        lines = [header, "-" * len(header)]
+        for method, parameter, description, sweep in self.rows:
+            lines.append(f"{method:<16}{parameter:<18}{description:<34}{list(sweep)}")
+        return "\n".join(lines)
+
+
+def run_table2_hyperparameters(scale="bench") -> Table2Result:
+    """Table II: the earliness/accuracy trade-off knob per method."""
+    scale = _resolve_scale(scale)
+    return Table2Result(
+        rows=[
+            ("KVEC", "alpha, beta", "earliness-accuracy trade off", scale.kvec_beta_sweep),
+            ("EARLIEST", "lambda", "earliness-accuracy trade off", scale.lambda_sweep),
+            ("SRN-EARLIEST", "lambda", "earliness-accuracy trade off", scale.lambda_sweep),
+            ("SRN-Fixed", "tau >= 1", "halting time threshold", tuple(float(v) for v in scale.fixed_tau_sweep)),
+            ("SRN-Confidence", "mu in [0, 1]", "halting confidence threshold", scale.confidence_sweep),
+        ]
+    )

@@ -1,0 +1,73 @@
+"""Workload construction shared by the figure and table experiments.
+
+Results of dataset generation and of the (expensive) per-dataset method
+sweeps are memoised per process so that the five performance figures
+(Figs. 3-7), which share the exact same trained models, only pay for the
+sweep once in a benchmark session.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Tuple
+
+from repro.datasets.base import GeneratedDataset
+from repro.datasets.registry import build_dataset
+from repro.eval.curves import PerformanceCurve, sweep_method
+from repro.eval.evaluator import TangledSplits, prepare_tangled_splits
+from repro.experiments.methods import method_sweeps
+from repro.experiments.presets import ExperimentScale, get_scale
+
+#: Datasets shown in the four-panel performance figures (Figs. 3-7).
+PERFORMANCE_DATASETS: Tuple[str, ...] = (
+    "USTC-TFC2016",
+    "MovieLens-1M",
+    "Traffic-FG",
+    "Traffic-App",
+)
+
+
+def build_scaled_dataset(name: str, scale: ExperimentScale) -> GeneratedDataset:
+    """Generate dataset ``name`` at the sizes mandated by ``scale``."""
+    num_keys = scale.dataset_keys.get(name, 0)
+    overrides = scale.dataset_overrides.get(name, {})
+    return build_dataset(name, num_keys=num_keys, **overrides)
+
+
+@lru_cache(maxsize=32)
+def _cached_splits(name: str, scale_name: str, concurrency: int) -> TangledSplits:
+    scale = get_scale(scale_name)
+    dataset = build_scaled_dataset(name, scale)
+    return prepare_tangled_splits(dataset, concurrency=concurrency, seed=scale.seed)
+
+
+def dataset_splits(name: str, scale: ExperimentScale, concurrency: int = 0) -> TangledSplits:
+    """Key-disjoint tangled train/val/test streams for one dataset at a scale."""
+    return _cached_splits(name, scale.name, concurrency or scale.concurrency)
+
+
+@lru_cache(maxsize=8)
+def _cached_performance_curves(dataset_name: str, scale_name: str) -> Dict[str, PerformanceCurve]:
+    scale = get_scale(scale_name)
+    splits = dataset_splits(dataset_name, scale)
+    curves: Dict[str, PerformanceCurve] = {}
+    for method_name, (factory, sweep_values) in method_sweeps(
+        splits.spec, splits.num_classes, scale
+    ).items():
+        curves[method_name] = sweep_method(method_name, factory, sweep_values, splits)
+    return curves
+
+
+def performance_curves(dataset_name: str, scale: ExperimentScale) -> Dict[str, PerformanceCurve]:
+    """Performance-vs-earliness curves of every method on one dataset.
+
+    The result is cached per (dataset, scale) within the process, so the five
+    metric figures reuse one sweep.
+    """
+    return _cached_performance_curves(dataset_name, scale.name)
+
+
+def clear_workload_caches() -> None:
+    """Drop the memoised datasets and curves (used by tests)."""
+    _cached_splits.cache_clear()
+    _cached_performance_curves.cache_clear()

@@ -1,0 +1,126 @@
+"""Masked (multi-head) self-attention used by KVRL and the SRN baselines.
+
+The paper's KVRL module modifies standard self-attention by adding a dynamic
+mask matrix ``M`` (values in ``{0, -inf}``) to the attention scores before the
+softmax, so that an item can only attend to earlier items it is correlated
+with through the key correlation or value correlation.  This module provides
+that additive-mask attention plus a convenience causal mask.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers import Dropout, Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+#: Value used for masked-out attention logits.  A large negative finite number
+#: is used instead of ``-inf`` so that fully-masked rows do not produce NaNs.
+MASK_VALUE = -1e9
+
+
+def causal_mask(length: int) -> np.ndarray:
+    """Return a (length, length) additive mask allowing attention to ``j <= i``."""
+    mask = np.full((length, length), MASK_VALUE, dtype=np.float64)
+    mask[np.tril_indices(length)] = 0.0
+    return mask
+
+
+def scaled_dot_product_attention(
+    query: Tensor,
+    key: Tensor,
+    value: Tensor,
+    mask: Optional[np.ndarray] = None,
+) -> Tuple[Tensor, Tensor]:
+    """Compute ``softmax(Q K^T / sqrt(d) + M) V``.
+
+    Parameters
+    ----------
+    query, key, value:
+        Tensors of shape ``(..., T, d)``.
+    mask:
+        Optional additive mask broadcastable to ``(..., T, T)`` whose entries
+        are ``0`` (visible) or a large negative value (invisible).
+
+    Returns
+    -------
+    (output, attention_weights)
+        ``output`` has shape ``(..., T, d)`` and ``attention_weights`` has
+        shape ``(..., T, T)``.
+    """
+    d_k = query.shape[-1]
+    scores = query.matmul(key.swapaxes(-1, -2)) * (1.0 / math.sqrt(d_k))
+    if mask is not None:
+        scores = scores + Tensor(np.asarray(mask, dtype=np.float64))
+    weights = F.softmax(scores, axis=-1)
+    return weights.matmul(value), weights
+
+
+class MultiHeadAttention(Module):
+    """Multi-head attention with an additive mask.
+
+    The KVEC paper describes a single-head formulation (``Q = Wq E0`` etc.);
+    we implement the standard multi-head generalisation and use ``num_heads=1``
+    where the paper's exact formulation is required.
+    """
+
+    def __init__(
+        self,
+        d_model: int,
+        num_heads: int = 1,
+        dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if d_model % num_heads != 0:
+            raise ValueError(f"d_model={d_model} must be divisible by num_heads={num_heads}")
+        self.d_model = d_model
+        self.num_heads = num_heads
+        self.d_head = d_model // num_heads
+        self.q_proj = Linear(d_model, d_model, rng=rng)
+        self.k_proj = Linear(d_model, d_model, rng=rng)
+        self.v_proj = Linear(d_model, d_model, rng=rng)
+        self.out_proj = Linear(d_model, d_model, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng) if dropout > 0 else None
+        #: Attention weights of the most recent forward pass (numpy array of
+        #: shape ``(num_heads, T, T)``); used by the attention-score analysis
+        #: reproducing Fig. 10 of the paper.
+        self.last_attention: Optional[np.ndarray] = None
+
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        """Self-attention over ``x`` of shape ``(T, d_model)``.
+
+        ``mask`` is an additive ``(T, T)`` matrix as produced by
+        :func:`causal_mask` or the KVEC dynamic correlation mask.
+        """
+        if x.ndim != 2:
+            raise ValueError(f"expected (T, d_model) input, got shape {x.shape}")
+        length = x.shape[0]
+
+        query = self._split_heads(self.q_proj(x), length)
+        key = self._split_heads(self.k_proj(x), length)
+        value = self._split_heads(self.v_proj(x), length)
+
+        head_mask = None
+        if mask is not None:
+            head_mask = np.broadcast_to(
+                np.asarray(mask, dtype=np.float64), (self.num_heads, length, length)
+            )
+
+        attended, weights = scaled_dot_product_attention(query, key, value, mask=head_mask)
+        self.last_attention = weights.data.copy()
+
+        merged = attended.swapaxes(0, 1).reshape(length, self.d_model)
+        out = self.out_proj(merged)
+        if self.dropout is not None:
+            out = self.dropout(out)
+        return out
+
+    def _split_heads(self, projected: Tensor, length: int) -> Tensor:
+        # (T, d_model) -> (num_heads, T, d_head)
+        return projected.reshape(length, self.num_heads, self.d_head).swapaxes(0, 1)

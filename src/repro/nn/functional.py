@@ -1,0 +1,178 @@
+"""Composed differentiable operations used across the KVEC reproduction.
+
+These functions operate on :class:`~repro.nn.tensor.Tensor` objects and build
+the computation graph through the primitive operations defined on ``Tensor``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+ArrayLike = Union[Tensor, np.ndarray, list, tuple, float, int]
+
+
+def _as_tensor(value: ArrayLike) -> Tensor:
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+# --------------------------------------------------------------------------- #
+# activations
+# --------------------------------------------------------------------------- #
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    return _as_tensor(x).relu()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Logistic sigmoid."""
+    return _as_tensor(x).sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
+    return _as_tensor(x).tanh()
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian error linear unit (tanh approximation)."""
+    x = _as_tensor(x)
+    inner = (x + x * x * x * 0.044715) * 0.7978845608028654
+    return x * 0.5 * (inner.tanh() + 1.0)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    x = _as_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    x = _as_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+# --------------------------------------------------------------------------- #
+# losses
+# --------------------------------------------------------------------------- #
+def cross_entropy(logits: Tensor, targets: ArrayLike, reduction: str = "mean") -> Tensor:
+    """Cross-entropy between ``logits`` of shape (N, C) and integer ``targets``.
+
+    Parameters
+    ----------
+    logits:
+        Unnormalised class scores of shape ``(N, C)``.
+    targets:
+        Integer class labels of shape ``(N,)``.
+    reduction:
+        ``"mean"``, ``"sum"`` or ``"none"``.
+    """
+    logits = _as_tensor(logits)
+    target_idx = np.asarray(
+        targets.data if isinstance(targets, Tensor) else targets
+    ).astype(int)
+    if logits.ndim != 2:
+        raise ValueError(f"expected 2-D logits, got shape {logits.shape}")
+    log_probs = log_softmax(logits, axis=-1)
+    picked = log_probs[np.arange(len(target_idx)), target_idx]
+    losses = -picked
+    return _reduce(losses, reduction)
+
+
+def nll_loss(log_probs: Tensor, targets: ArrayLike, reduction: str = "mean") -> Tensor:
+    """Negative log-likelihood from already-log-normalised probabilities."""
+    log_probs = _as_tensor(log_probs)
+    target_idx = np.asarray(
+        targets.data if isinstance(targets, Tensor) else targets
+    ).astype(int)
+    picked = log_probs[np.arange(len(target_idx)), target_idx]
+    return _reduce(-picked, reduction)
+
+
+def binary_cross_entropy(probs: Tensor, targets: ArrayLike, reduction: str = "mean") -> Tensor:
+    """Binary cross-entropy on probabilities in (0, 1)."""
+    probs = _as_tensor(probs).clip(1e-9, 1.0 - 1e-9)
+    targets = _as_tensor(targets)
+    losses = -(targets * probs.log() + (1.0 - targets) * (1.0 - probs).log())
+    return _reduce(losses, reduction)
+
+
+def mse_loss(prediction: Tensor, target: ArrayLike, reduction: str = "mean") -> Tensor:
+    """Mean squared error."""
+    prediction = _as_tensor(prediction)
+    target = _as_tensor(target)
+    losses = (prediction - target) ** 2
+    return _reduce(losses, reduction)
+
+
+def _reduce(losses: Tensor, reduction: str) -> Tensor:
+    if reduction == "mean":
+        return losses.mean()
+    if reduction == "sum":
+        return losses.sum()
+    if reduction == "none":
+        return losses
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+# --------------------------------------------------------------------------- #
+# embedding and dropout
+# --------------------------------------------------------------------------- #
+def embedding(weight: Tensor, indices: ArrayLike) -> Tensor:
+    """Look up rows of ``weight`` (V, D) by integer ``indices``.
+
+    The gradient is scattered back into the rows that were selected.
+    """
+    index_array = np.asarray(
+        indices.data if isinstance(indices, Tensor) else indices
+    ).astype(int)
+    return weight[index_array]
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout: zero activations with probability ``p`` during training."""
+    if not training or p <= 0.0:
+        return x
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    rng = rng or np.random.default_rng()
+    mask = (rng.random(x.shape) >= p) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+# --------------------------------------------------------------------------- #
+# misc
+# --------------------------------------------------------------------------- #
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` (mirrors ``torch.nn.functional.linear``)."""
+    out = _as_tensor(x).matmul(weight.transpose())
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def one_hot(indices: ArrayLike, num_classes: int) -> np.ndarray:
+    """Return a one-hot encoded float array for integer ``indices``."""
+    index_array = np.asarray(
+        indices.data if isinstance(indices, Tensor) else indices
+    ).astype(int)
+    out = np.zeros((index_array.size, num_classes), dtype=np.float64)
+    out[np.arange(index_array.size), index_array.reshape(-1)] = 1.0
+    return out.reshape(*index_array.shape, num_classes)
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` (differentiable)."""
+    return Tensor.concatenate(tensors, axis=axis)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis`` (differentiable)."""
+    return Tensor.stack(tensors, axis=axis)

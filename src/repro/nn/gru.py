@@ -1,0 +1,96 @@
+"""Gated recurrent unit (GRU) layers.
+
+The paper's fusion block and the EARLIEST baseline both use LSTM-style
+gating; a GRU is provided as an alternative recurrent encoder so that the
+fusion-mechanism ablation (DESIGN.md: "gated LSTM fusion vs parameter-free
+fusion") can also be compared against a lighter gated cell, and so that
+downstream users get a complete recurrent toolbox from the substrate.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+
+class GRUCell(Module):
+    """A single GRU cell operating on vectors (no batch dimension required).
+
+    The gates follow the standard formulation:
+
+    .. math::
+        z_t = \\sigma(W_z [h_{t-1}; x_t] + b_z) \\\\
+        r_t = \\sigma(W_r [h_{t-1}; x_t] + b_r) \\\\
+        \\tilde{h}_t = \\tanh(W_h [r_t \\odot h_{t-1}; x_t] + b_h) \\\\
+        h_t = (1 - z_t) \\odot h_{t-1} + z_t \\odot \\tilde{h}_t
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        concat = input_size + hidden_size
+        self.update_gate = Linear(concat, hidden_size, rng=rng)
+        self.reset_gate = Linear(concat, hidden_size, rng=rng)
+        self.candidate = Linear(concat, hidden_size, rng=rng)
+
+    def init_state(self) -> Tensor:
+        """Return a zero hidden state."""
+        return Tensor(np.zeros(self.hidden_size))
+
+    def forward(self, x: Tensor, hidden: Optional[Tensor] = None) -> Tensor:
+        """Advance one step.  ``x`` has shape ``(input_size,)``.
+
+        Returns the new hidden state of shape ``(hidden_size,)``.
+        """
+        if hidden is None:
+            hidden = self.init_state()
+        combined = Tensor.concatenate([hidden, x], axis=-1)
+        update = F.sigmoid(self.update_gate(combined))
+        reset = F.sigmoid(self.reset_gate(combined))
+        gated = Tensor.concatenate([reset * hidden, x], axis=-1)
+        candidate = F.tanh(self.candidate(gated))
+        return (1.0 - update) * hidden + update * candidate
+
+
+class GRU(Module):
+    """Run a :class:`GRUCell` over a full sequence of input vectors."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.cell = GRUCell(input_size, hidden_size, rng=rng)
+        self.hidden_size = hidden_size
+
+    def forward(
+        self,
+        inputs: Tensor,
+        hidden: Optional[Tensor] = None,
+    ) -> Tuple[Tensor, Tensor]:
+        """Encode ``inputs`` of shape ``(T, input_size)``.
+
+        Returns ``(outputs, hidden)`` where ``outputs`` has shape
+        ``(T, hidden_size)`` and ``hidden`` is the final step's state.
+        """
+        hidden_states: List[Tensor] = []
+        current = hidden
+        for t in range(inputs.shape[0]):
+            current = self.cell(inputs[t], current)
+            hidden_states.append(current)
+        outputs = Tensor.stack(hidden_states, axis=0)
+        return outputs, current

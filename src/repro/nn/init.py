@@ -1,0 +1,60 @@
+"""Weight initialisation helpers.
+
+All initialisers take an explicit :class:`numpy.random.Generator` so that
+model construction is fully reproducible given a seed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def xavier_uniform(shape: Sequence[int], rng: Optional[np.random.Generator] = None, gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for a weight of ``shape`` (out, in)."""
+    rng = rng or np.random.default_rng()
+    fan_out, fan_in = _fans(shape)
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=tuple(shape))
+
+
+def xavier_normal(shape: Sequence[int], rng: Optional[np.random.Generator] = None, gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier normal initialisation."""
+    rng = rng or np.random.default_rng()
+    fan_out, fan_in = _fans(shape)
+    std = gain * math.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=tuple(shape))
+
+
+def kaiming_uniform(shape: Sequence[int], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """He/Kaiming uniform initialisation (suitable for ReLU layers)."""
+    rng = rng or np.random.default_rng()
+    _, fan_in = _fans(shape)
+    bound = math.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=tuple(shape))
+
+
+def normal(shape: Sequence[int], std: float = 0.02, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Gaussian initialisation with a small standard deviation (for embeddings)."""
+    rng = rng or np.random.default_rng()
+    return rng.normal(0.0, std, size=tuple(shape))
+
+
+def zeros(shape: Sequence[int]) -> np.ndarray:
+    """All-zeros initialisation (for biases)."""
+    return np.zeros(tuple(shape), dtype=np.float64)
+
+
+def ones(shape: Sequence[int]) -> np.ndarray:
+    """All-ones initialisation (for LayerNorm gains)."""
+    return np.ones(tuple(shape), dtype=np.float64)
+
+
+def _fans(shape: Sequence[int]) -> tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    fan_out = shape[0]
+    fan_in = int(np.prod(shape[1:]))
+    return fan_out, fan_in

@@ -1,0 +1,163 @@
+"""Core neural-network layers built on the autograd substrate."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.module import Module, ModuleList, Parameter
+from repro.nn.tensor import Tensor
+
+
+class Linear(Module):
+    """Affine layer ``y = x @ W.T + b``.
+
+    Parameters
+    ----------
+    in_features:
+        Size of the last dimension of the input.
+    out_features:
+        Size of the last dimension of the output.
+    bias:
+        Whether to add a learnable bias.
+    rng:
+        Random generator used for weight initialisation.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((out_features, in_features), rng=rng))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+    def __repr__(self) -> str:
+        return f"Linear(in={self.in_features}, out={self.out_features})"
+
+
+class Embedding(Module):
+    """A learned lookup table mapping integer ids to dense vectors."""
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        rng: Optional[np.random.Generator] = None,
+        std: float = 0.02,
+    ) -> None:
+        super().__init__()
+        if num_embeddings <= 0:
+            raise ValueError("num_embeddings must be positive")
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(init.normal((num_embeddings, embedding_dim), std=std, rng=rng))
+
+    def forward(self, indices) -> Tensor:
+        index_array = np.asarray(
+            indices.data if isinstance(indices, Tensor) else indices
+        ).astype(int)
+        if index_array.size and (index_array.min() < 0 or index_array.max() >= self.num_embeddings):
+            raise IndexError(
+                f"embedding index out of range [0, {self.num_embeddings}): "
+                f"min={index_array.min()}, max={index_array.max()}"
+            )
+        return F.embedding(self.weight, index_array)
+
+    def __repr__(self) -> str:
+        return f"Embedding(num={self.num_embeddings}, dim={self.embedding_dim})"
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.normalized_shape = normalized_shape
+        self.eps = eps
+        self.weight = Parameter(init.ones((normalized_shape,)))
+        self.bias = Parameter(init.zeros((normalized_shape,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centred = x - mean
+        var = (centred**2).mean(axis=-1, keepdims=True)
+        normalised = centred / (var + self.eps) ** 0.5
+        return normalised * self.weight + self.bias
+
+    def __repr__(self) -> str:
+        return f"LayerNorm(dim={self.normalized_shape})"
+
+
+class Dropout(Module):
+    """Inverted dropout; a no-op in evaluation mode."""
+
+    def __init__(self, p: float = 0.1, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = rng or np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, training=self.training, rng=self._rng)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"
+
+
+class Sequential(Module):
+    """Apply a list of modules (or callables) in order."""
+
+    def __init__(self, *layers) -> None:
+        super().__init__()
+        self._layers = ModuleList([layer for layer in layers if isinstance(layer, Module)])
+        self._order: Sequence = layers
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self._order:
+            x = layer(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+
+class FeedForward(Module):
+    """The two-layer position-wise feed-forward network used in KVRL blocks.
+
+    ``FFN(x) = W2 * relu(W1 x + b1) + b2`` as written in the paper, with an
+    optional dropout applied to the hidden activation.
+    """
+
+    def __init__(
+        self,
+        d_model: int,
+        d_hidden: Optional[int] = None,
+        dropout: float = 0.0,
+        activation: Callable[[Tensor], Tensor] = F.relu,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        d_hidden = d_hidden or 4 * d_model
+        self.linear1 = Linear(d_model, d_hidden, rng=rng)
+        self.linear2 = Linear(d_hidden, d_model, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng) if dropout > 0 else None
+        self.activation = activation
+
+    def forward(self, x: Tensor) -> Tensor:
+        hidden = self.activation(self.linear1(x))
+        if self.dropout is not None:
+            hidden = self.dropout(hidden)
+        return self.linear2(hidden)

@@ -1,0 +1,112 @@
+"""Recurrent layers: an LSTM cell and a thin full-sequence wrapper.
+
+The EARLIEST baseline uses an LSTM encoder over each (per-key) sequence, and
+KVEC's embedding-fusion block uses an LSTM-style multiple gating mechanism.
+Both are built on :class:`LSTMCell`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+
+class LSTMCell(Module):
+    """A single LSTM cell operating on vectors (no batch dimension required).
+
+    The gates follow the standard formulation:
+
+    .. math::
+        f_t = \\sigma(W_f [h_{t-1}; x_t] + b_f) \\\\
+        i_t = \\sigma(W_i [h_{t-1}; x_t] + b_i) \\\\
+        o_t = \\sigma(W_o [h_{t-1}; x_t] + b_o) \\\\
+        c_t = f_t \\odot c_{t-1} + i_t \\odot \\tanh(W_c [h_{t-1}; x_t] + b_c) \\\\
+        h_t = o_t \\odot \\tanh(c_t)
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: Optional[np.random.Generator] = None,
+        forget_bias: float = 1.0,
+    ) -> None:
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        concat = input_size + hidden_size
+        self.forget_gate = Linear(concat, hidden_size, rng=rng)
+        self.input_gate = Linear(concat, hidden_size, rng=rng)
+        self.output_gate = Linear(concat, hidden_size, rng=rng)
+        self.cell_gate = Linear(concat, hidden_size, rng=rng)
+        # A positive forget-gate bias is the standard trick to ease gradient
+        # flow early in training.
+        self.forget_gate.bias.data = init.ones((hidden_size,)) * forget_bias
+
+    def init_state(self) -> Tuple[Tensor, Tensor]:
+        """Return a zero (hidden, cell) state pair."""
+        return (
+            Tensor(np.zeros(self.hidden_size)),
+            Tensor(np.zeros(self.hidden_size)),
+        )
+
+    def forward(
+        self,
+        x: Tensor,
+        state: Optional[Tuple[Tensor, Tensor]] = None,
+    ) -> Tuple[Tensor, Tensor]:
+        """Advance one step.  ``x`` has shape ``(input_size,)``.
+
+        Returns the new ``(hidden, cell)`` pair.
+        """
+        if state is None:
+            state = self.init_state()
+        hidden, cell = state
+        combined = Tensor.concatenate([hidden, x], axis=-1)
+        forget = F.sigmoid(self.forget_gate(combined))
+        inp = F.sigmoid(self.input_gate(combined))
+        out = F.sigmoid(self.output_gate(combined))
+        candidate = F.tanh(self.cell_gate(combined))
+        new_cell = forget * cell + inp * candidate
+        new_hidden = out * F.tanh(new_cell)
+        return new_hidden, new_cell
+
+
+class LSTM(Module):
+    """Run an :class:`LSTMCell` over a full sequence of input vectors."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.cell = LSTMCell(input_size, hidden_size, rng=rng)
+        self.hidden_size = hidden_size
+
+    def forward(
+        self,
+        inputs: Tensor,
+        state: Optional[Tuple[Tensor, Tensor]] = None,
+    ) -> Tuple[Tensor, Tuple[Tensor, Tensor]]:
+        """Encode ``inputs`` of shape ``(T, input_size)``.
+
+        Returns ``(outputs, (hidden, cell))`` where ``outputs`` has shape
+        ``(T, hidden_size)`` and the state is the final step's state.
+        """
+        hidden_states: List[Tensor] = []
+        current = state
+        for t in range(inputs.shape[0]):
+            hidden, cell = self.cell(inputs[t], current)
+            current = (hidden, cell)
+            hidden_states.append(hidden)
+        outputs = Tensor.stack(hidden_states, axis=0)
+        return outputs, current

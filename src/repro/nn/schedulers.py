@@ -1,0 +1,168 @@
+"""Learning-rate schedulers for the optimizers in :mod:`repro.nn.optim`.
+
+The paper trains every model with a fixed Adam learning rate (1e-4 for the
+traffic datasets, 1e-3 for MovieLens-1M).  Schedulers are provided as an
+extension so that the larger ``paper``-scale configurations can be trained
+with warm-up and decay on CPU, where convergence speed matters much more
+than on the authors' GPU testbed.
+
+Every scheduler wraps an :class:`~repro.nn.optim.Optimizer` and mutates its
+``lr`` attribute on :meth:`step`, mirroring the familiar
+``torch.optim.lr_scheduler`` usage::
+
+    optimizer = Adam(model.parameters(), lr=1e-3)
+    scheduler = CosineAnnealingLR(optimizer, total_steps=1000)
+    for batch in batches:
+        ...
+        optimizer.step()
+        scheduler.step()
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from repro.nn.optim import Optimizer
+
+
+class LRScheduler:
+    """Base class: tracks the step count and the optimizer's initial rate."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = float(optimizer.lr)
+        self.step_count = 0
+        self._history: List[float] = [self.base_lr]
+
+    def get_lr(self) -> float:
+        """Learning rate for the current ``step_count`` (override in subclasses)."""
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one step, update the optimizer's rate and return it."""
+        self.step_count += 1
+        lr = float(self.get_lr())
+        if lr < 0:
+            raise ValueError(f"scheduler produced a negative learning rate {lr}")
+        self.optimizer.lr = lr
+        self._history.append(lr)
+        return lr
+
+    @property
+    def history(self) -> List[float]:
+        """Every learning rate set so far (including the initial rate)."""
+        return list(self._history)
+
+    @property
+    def current_lr(self) -> float:
+        return float(self.optimizer.lr)
+
+
+class ConstantLR(LRScheduler):
+    """Keep the optimizer's learning rate unchanged (useful as a default)."""
+
+    def get_lr(self) -> float:
+        return self.base_lr
+
+
+class StepLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        if step_size <= 0:
+            raise ValueError("step_size must be a positive integer")
+        if gamma <= 0:
+            raise ValueError("gamma must be positive")
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma ** (self.step_count // self.step_size)
+
+
+class ExponentialLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` after every step."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.99) -> None:
+        if gamma <= 0:
+            raise ValueError("gamma must be positive")
+        super().__init__(optimizer)
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma**self.step_count
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base rate down to ``min_lr`` over ``total_steps``."""
+
+    def __init__(self, optimizer: Optimizer, total_steps: int, min_lr: float = 0.0) -> None:
+        if total_steps <= 0:
+            raise ValueError("total_steps must be a positive integer")
+        if min_lr < 0:
+            raise ValueError("min_lr must be non-negative")
+        super().__init__(optimizer)
+        self.total_steps = total_steps
+        self.min_lr = min_lr
+
+    def get_lr(self) -> float:
+        progress = min(self.step_count, self.total_steps) / self.total_steps
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine
+
+
+class LinearWarmup(LRScheduler):
+    """Linear warm-up to the base rate, then delegate to an inner schedule.
+
+    During the first ``warmup_steps`` steps the learning rate grows linearly
+    from ``base_lr / warmup_steps`` to ``base_lr``; afterwards the wrapped
+    scheduler (if any) takes over with its own step counter starting at zero.
+    """
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        warmup_steps: int,
+        after: LRScheduler = None,
+    ) -> None:
+        if warmup_steps <= 0:
+            raise ValueError("warmup_steps must be a positive integer")
+        super().__init__(optimizer)
+        self.warmup_steps = warmup_steps
+        self.after = after
+
+    def get_lr(self) -> float:
+        if self.step_count <= self.warmup_steps:
+            return self.base_lr * self.step_count / self.warmup_steps
+        if self.after is None:
+            return self.base_lr
+        self.after.step_count = self.step_count - self.warmup_steps
+        return self.after.get_lr()
+
+
+class MultiStepLR(LRScheduler):
+    """Multiply the rate by ``gamma`` once each milestone step is reached."""
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        milestones: Sequence[int],
+        gamma: float = 0.1,
+    ) -> None:
+        if not milestones:
+            raise ValueError("milestones must not be empty")
+        if list(milestones) != sorted(milestones):
+            raise ValueError("milestones must be sorted in increasing order")
+        if any(m <= 0 for m in milestones):
+            raise ValueError("milestones must be positive step indices")
+        if gamma <= 0:
+            raise ValueError("gamma must be positive")
+        super().__init__(optimizer)
+        self.milestones = list(milestones)
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        passed = sum(1 for milestone in self.milestones if self.step_count >= milestone)
+        return self.base_lr * self.gamma**passed

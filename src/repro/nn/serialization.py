@@ -1,0 +1,40 @@
+"""Save / load model parameters as compressed ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.nn.module import Module
+
+PathLike = Union[str, os.PathLike]
+
+
+def save_state_dict(module_or_state: Union[Module, Dict[str, np.ndarray]], path: PathLike) -> None:
+    """Write a module's parameters (or an explicit state dict) to ``path``.
+
+    The archive uses ``numpy.savez_compressed``; parameter names map directly
+    to archive member names.
+    """
+    if isinstance(module_or_state, Module):
+        state = module_or_state.state_dict()
+    else:
+        state = dict(module_or_state)
+    directory = os.path.dirname(os.fspath(path))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(os.fspath(path), **state)
+
+
+def load_state_dict(path: PathLike) -> Dict[str, np.ndarray]:
+    """Read a state dict written by :func:`save_state_dict`."""
+    with np.load(os.fspath(path)) as archive:
+        return {name: archive[name].copy() for name in archive.files}
+
+
+def load_into(module: Module, path: PathLike, strict: bool = True) -> Module:
+    """Load parameters from ``path`` directly into ``module`` and return it."""
+    module.load_state_dict(load_state_dict(path), strict=strict)
+    return module

@@ -1,0 +1,32 @@
+"""Online serving of early classification over live tangled streams.
+
+The paper's motivating scenarios (Fig. 1) are *online*: a router must label
+each flow while its packets are still arriving, and a recommender must
+profile a user while she is still browsing.  The offline evaluation harness
+in :mod:`repro.eval` replays complete tangled sequences; this subpackage
+provides the serving-side counterpart:
+
+* :class:`~repro.serving.simulator.ArrivalSimulator` — turns a generated
+  dataset into a live arrival process with a controllable number of
+  concurrently active keys,
+* :class:`~repro.serving.engine.OnlineClassificationEngine` — feeds the
+  arrivals to a trained KVEC model over a sliding context window and emits a
+  :class:`~repro.serving.engine.Decision` per key as soon as the halting
+  policy fires,
+* :mod:`~repro.serving.monitoring` — running accuracy/earliness/latency
+  aggregation for a live deployment.
+"""
+
+from repro.serving.engine import Decision, EngineConfig, OnlineClassificationEngine
+from repro.serving.monitoring import DecisionMonitor, ThroughputMeter
+from repro.serving.simulator import ArrivalSimulator, SimulatorConfig
+
+__all__ = [
+    "Decision",
+    "EngineConfig",
+    "OnlineClassificationEngine",
+    "ArrivalSimulator",
+    "SimulatorConfig",
+    "DecisionMonitor",
+    "ThroughputMeter",
+]

@@ -1,0 +1,229 @@
+"""The online early-classification engine.
+
+The engine adapts a trained :class:`~repro.core.model.KVEC` model (or any
+object exposing its ``predict_tangle`` interface) to a live item stream:
+
+1. arrivals are appended to a bounded :class:`~repro.data.stream.SlidingWindow`
+   (the tangled context the correlation mask operates on),
+2. every ``reencode_every`` arrivals — or whenever a not-yet-decided key
+   receives an item and ``eager`` is set — the window is re-encoded in greedy
+   mode and any key the halting policy stops is *decided*,
+3. a decided key is frozen: later arrivals for it are counted but never
+   change its label (matching the paper's semantics where a halted sequence
+   is handed to the classifier exactly once),
+4. keys whose flow ends without the policy halting are force-decided when
+   :meth:`OnlineClassificationEngine.flush` is called.
+
+Because the KVRL attention mask is causal, the representation computed for a
+prefix inside the window equals the representation the offline model would
+have produced after observing that prefix — the only approximation at
+serving time is the bounded window, which is reported via
+``Decision.window_truncated``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence
+
+from repro.core.model import KVEC, PredictionRecord
+from repro.data.items import TangledSequence, ValueSpec
+from repro.data.stream import KeyTracker, SlidingWindow, StreamEvent
+
+
+@dataclass
+class EngineConfig:
+    """Serving-time configuration of the online engine.
+
+    Attributes
+    ----------
+    window_items:
+        Maximum number of items retained in the tangled context window.
+    halt_threshold:
+        Greedy halting threshold applied to the policy's halt probability.
+    reencode_every:
+        Re-encode the window after this many arrivals (1 = every item, the
+        most faithful and the most expensive setting).
+    eager:
+        When True the window is also re-encoded whenever an undecided key
+        receives an item, regardless of ``reencode_every``.
+    idle_timeout:
+        Simulated-time gap after which an undecided key is considered
+        finished and force-decided during :meth:`flush` / :meth:`expire`.
+    """
+
+    window_items: int = 256
+    halt_threshold: float = 0.5
+    reencode_every: int = 1
+    eager: bool = False
+    idle_timeout: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.window_items <= 0:
+            raise ValueError("window_items must be positive")
+        if not 0.0 < self.halt_threshold <= 1.0:
+            raise ValueError("halt_threshold must be in (0, 1]")
+        if self.reencode_every <= 0:
+            raise ValueError("reencode_every must be positive")
+        if self.idle_timeout < 0:
+            raise ValueError("idle_timeout must be non-negative")
+
+
+@dataclass
+class Decision:
+    """The engine's classification decision for one key."""
+
+    key: Hashable
+    predicted: int
+    confidence: float
+    observations: int
+    decision_time: float
+    halted_by_policy: bool
+    window_truncated: bool
+
+    def to_record(self, label: int, sequence_length: int) -> PredictionRecord:
+        """Convert to an offline :class:`PredictionRecord` given ground truth."""
+        return PredictionRecord(
+            key=self.key,
+            predicted=self.predicted,
+            label=int(label),
+            halt_observation=self.observations,
+            sequence_length=int(sequence_length),
+            confidence=self.confidence,
+            halted_by_policy=self.halted_by_policy,
+        )
+
+
+class OnlineClassificationEngine:
+    """Serve a trained KVEC model over a live tangled item stream."""
+
+    def __init__(self, model: KVEC, spec: ValueSpec, config: Optional[EngineConfig] = None) -> None:
+        self.model = model
+        self.spec = spec
+        self.config = config or EngineConfig()
+        self.window = SlidingWindow(max_items=self.config.window_items)
+        self.tracker = KeyTracker(idle_timeout=self.config.idle_timeout)
+        self.decisions: Dict[Hashable, Decision] = {}
+        self._arrivals_since_encode = 0
+        self._truncated_keys: set = set()
+        self._clock = float("-inf")
+
+    # ------------------------------------------------------------------ #
+    # ingestion
+    # ------------------------------------------------------------------ #
+    def offer(self, event: StreamEvent) -> List[Decision]:
+        """Ingest one arrival; returns any decisions it triggered."""
+        self._clock = max(self._clock, event.time)
+        self.tracker.observe(event)
+        evicted = self.window.push(event.item)
+        for item in evicted:
+            if item.key not in self.decisions:
+                self._truncated_keys.add(item.key)
+        self._arrivals_since_encode += 1
+
+        due = self._arrivals_since_encode >= self.config.reencode_every
+        eager = self.config.eager and event.key not in self.decisions
+        if not due and not eager:
+            return []
+        return self._evaluate_window()
+
+    def consume(self, events: Iterable[StreamEvent]) -> List[Decision]:
+        """Ingest a whole stream; returns every decision in emission order."""
+        decisions: List[Decision] = []
+        for event in events:
+            decisions.extend(self.offer(event))
+        return decisions
+
+    # ------------------------------------------------------------------ #
+    # decision logic
+    # ------------------------------------------------------------------ #
+    def _evaluate_window(self) -> List[Decision]:
+        self._arrivals_since_encode = 0
+        if not len(self.window):
+            return []
+        pending = [
+            key
+            for key in {item.key for item in self.window}
+            if key not in self.decisions
+        ]
+        if not pending:
+            return []
+        tangle = self.window.as_tangle({}, self.spec, name="serving-window")
+        records = self.model.predict_tangle(tangle, halt_threshold=self.config.halt_threshold)
+        emitted: List[Decision] = []
+        for record in records:
+            if record.key not in pending or not record.halted_by_policy:
+                continue
+            emitted.append(self._decide(record, halted_by_policy=True))
+        return emitted
+
+    def _decide(self, record: PredictionRecord, halted_by_policy: bool) -> Decision:
+        decision = Decision(
+            key=record.key,
+            predicted=record.predicted,
+            confidence=record.confidence,
+            observations=self.tracker.observations(record.key),
+            decision_time=self._clock,
+            halted_by_policy=halted_by_policy,
+            window_truncated=record.key in self._truncated_keys,
+        )
+        self.decisions[record.key] = decision
+        self.tracker.mark_done(record.key)
+        return decision
+
+    # ------------------------------------------------------------------ #
+    # finishing touches
+    # ------------------------------------------------------------------ #
+    def expire(self, now: Optional[float] = None) -> List[Decision]:
+        """Force-decide keys that have been idle longer than the timeout."""
+        if not self.config.idle_timeout:
+            return []
+        now = self._clock if now is None else now
+        idle = set(self.tracker.expire_idle(now)) - set(self.decisions)
+        return self._force_decide(idle) if idle else []
+
+    def flush(self) -> List[Decision]:
+        """Force-decide every remaining undecided key from the current window."""
+        undecided = set(self.tracker.states()) - set(self.decisions)
+        return self._force_decide(undecided) if undecided else []
+
+    def _force_decide(self, keys) -> List[Decision]:
+        if not len(self.window):
+            return []
+        tangle = self.window.as_tangle({}, self.spec, name="serving-flush")
+        # Threshold 1.0 > any sigmoid output, so the policy never halts and
+        # every key is classified from its final observed state.
+        records = self.model.predict_tangle(tangle, halt_threshold=1.01)
+        by_key = {record.key: record for record in records}
+        emitted: List[Decision] = []
+        for key in sorted(keys, key=str):
+            record = by_key.get(key)
+            if record is None:
+                continue
+            emitted.append(self._decide(record, halted_by_policy=False))
+        return emitted
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    def records(
+        self,
+        labels: Dict[Hashable, int],
+        sequence_lengths: Dict[Hashable, int],
+    ) -> List[PredictionRecord]:
+        """Convert all decisions to prediction records given ground truth."""
+        records: List[PredictionRecord] = []
+        for key, decision in self.decisions.items():
+            if key not in labels:
+                continue
+            records.append(decision.to_record(labels[key], sequence_lengths.get(key, decision.observations)))
+        return records
+
+    @property
+    def num_decided(self) -> int:
+        return len(self.decisions)
+
+    @property
+    def num_truncated(self) -> int:
+        """Keys that lost items to window eviction before being decided."""
+        return len(self._truncated_keys & set(self.decisions))

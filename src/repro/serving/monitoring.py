@@ -1,0 +1,171 @@
+"""Running metrics for a live early-classification deployment.
+
+The offline metrics of :mod:`repro.eval.metrics` need all prediction records
+up front.  A deployment instead wants *running* numbers — accuracy and
+earliness so far, per-class tallies, decision latency, throughput — updated
+as each decision is emitted.  These aggregators are intentionally small and
+allocation-free so they can sit on the serving hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.core.model import PredictionRecord
+from repro.eval.metrics import harmonic_mean
+from repro.serving.engine import Decision
+
+
+@dataclass
+class ClassTally:
+    """Per-class running counts."""
+
+    decided: int = 0
+    correct: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.decided if self.decided else 0.0
+
+
+class DecisionMonitor:
+    """Aggregate decisions against (optionally available) ground truth.
+
+    Labels are supplied once at construction (evaluation / shadow deployment)
+    or omitted entirely (production), in which case only label-free statistics
+    (observation counts, confidence, throughput of decisions) are maintained.
+    """
+
+    def __init__(
+        self,
+        labels: Optional[Dict[Hashable, int]] = None,
+        sequence_lengths: Optional[Dict[Hashable, int]] = None,
+    ) -> None:
+        self.labels = dict(labels or {})
+        self.sequence_lengths = dict(sequence_lengths or {})
+        self.num_decisions = 0
+        self.num_correct = 0
+        self.num_with_labels = 0
+        self.num_policy_halts = 0
+        self.total_observations = 0
+        self.total_confidence = 0.0
+        self.earliness_sum = 0.0
+        self.earliness_count = 0
+        self.per_class: Dict[int, ClassTally] = {}
+        self._records: List[PredictionRecord] = []
+
+    # ------------------------------------------------------------------ #
+    # updates
+    # ------------------------------------------------------------------ #
+    def observe(self, decision: Decision) -> None:
+        """Fold one decision into the running statistics."""
+        self.num_decisions += 1
+        self.total_observations += decision.observations
+        self.total_confidence += decision.confidence
+        if decision.halted_by_policy:
+            self.num_policy_halts += 1
+
+        label = self.labels.get(decision.key)
+        if label is None:
+            return
+        self.num_with_labels += 1
+        tally = self.per_class.setdefault(int(label), ClassTally())
+        tally.decided += 1
+        if decision.predicted == label:
+            self.num_correct += 1
+            tally.correct += 1
+        length = self.sequence_lengths.get(decision.key)
+        if length:
+            self.earliness_sum += decision.observations / length
+            self.earliness_count += 1
+        self._records.append(
+            decision.to_record(label, length or decision.observations)
+        )
+
+    def observe_all(self, decisions) -> None:
+        for decision in decisions:
+            self.observe(decision)
+
+    # ------------------------------------------------------------------ #
+    # running metrics
+    # ------------------------------------------------------------------ #
+    @property
+    def accuracy(self) -> float:
+        return self.num_correct / self.num_with_labels if self.num_with_labels else 0.0
+
+    @property
+    def earliness(self) -> float:
+        return self.earliness_sum / self.earliness_count if self.earliness_count else 0.0
+
+    @property
+    def harmonic_mean(self) -> float:
+        return harmonic_mean(self.accuracy, self.earliness)
+
+    @property
+    def mean_observations(self) -> float:
+        return self.total_observations / self.num_decisions if self.num_decisions else 0.0
+
+    @property
+    def mean_confidence(self) -> float:
+        return self.total_confidence / self.num_decisions if self.num_decisions else 0.0
+
+    @property
+    def policy_halt_fraction(self) -> float:
+        return self.num_policy_halts / self.num_decisions if self.num_decisions else 0.0
+
+    def records(self) -> List[PredictionRecord]:
+        """All labelled decisions converted to prediction records."""
+        return list(self._records)
+
+    def report(self) -> str:
+        """A compact multi-line status report."""
+        lines = [
+            f"decisions            {self.num_decisions}",
+            f"labelled decisions   {self.num_with_labels}",
+            f"accuracy             {self.accuracy * 100:6.2f}%",
+            f"earliness            {self.earliness * 100:6.2f}%",
+            f"harmonic mean        {self.harmonic_mean:.3f}",
+            f"mean observations    {self.mean_observations:.2f}",
+            f"mean confidence      {self.mean_confidence:.3f}",
+            f"policy-halt fraction {self.policy_halt_fraction * 100:6.2f}%",
+        ]
+        if self.per_class:
+            lines.append("per-class accuracy:")
+            for label in sorted(self.per_class):
+                tally = self.per_class[label]
+                lines.append(
+                    f"  class {label:<3} decided={tally.decided:<5} accuracy={tally.accuracy * 100:6.2f}%"
+                )
+        return "\n".join(lines)
+
+
+class ThroughputMeter:
+    """Items-per-unit-of-simulated-time over a sliding set of checkpoints."""
+
+    def __init__(self) -> None:
+        self._checkpoints: List[Tuple[float, int]] = []
+        self.items = 0
+
+    def tick(self, time: float, items: int = 1) -> None:
+        """Record that ``items`` arrivals were processed at simulated ``time``."""
+        if items < 0:
+            raise ValueError("items must be non-negative")
+        self.items += items
+        if self._checkpoints and time < self._checkpoints[-1][0]:
+            raise ValueError("time must be non-decreasing")
+        self._checkpoints.append((time, self.items))
+
+    @property
+    def elapsed(self) -> float:
+        if len(self._checkpoints) < 2:
+            return 0.0
+        return self._checkpoints[-1][0] - self._checkpoints[0][0]
+
+    @property
+    def rate(self) -> float:
+        """Average items per unit of simulated time (0 when undefined)."""
+        if self.elapsed <= 0:
+            return 0.0
+        first_items = self._checkpoints[0][1]
+        return (self.items - first_items) / self.elapsed

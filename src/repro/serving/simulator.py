@@ -1,0 +1,192 @@
+"""Simulation of a live tangled key-value arrival process.
+
+The generators in :mod:`repro.datasets` produce *complete* labelled per-key
+sequences.  A deployment never sees those: it sees an unbounded stream in
+which new keys start, interleave with the currently active keys and finish.
+:class:`ArrivalSimulator` reconstructs that process from a pool of labelled
+sequences:
+
+* key *start times* follow a Poisson process with a configurable rate (or a
+  fixed target number of concurrently active keys),
+* within a key, item inter-arrival gaps are taken from the source sequence
+  (rescaled to a common unit), so bursts/sessions survive the simulation,
+* the output is a single chronologically ordered stream of
+  :class:`~repro.data.stream.StreamEvent` objects.
+
+The simulator is deterministic for a fixed seed, which the serving tests and
+the online-serving example rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.items import Item, KeyValueSequence
+from repro.data.stream import StreamEvent
+
+
+@dataclass
+class SimulatorConfig:
+    """Knobs of the arrival simulation.
+
+    Attributes
+    ----------
+    arrival_rate:
+        Mean number of new keys starting per unit of simulated time.
+    gap_scale:
+        Multiplier applied to the source sequences' inter-item gaps; values
+        below 1 compress flows (more overlap), above 1 stretch them.
+    max_active:
+        Upper bound on simultaneously active keys; when reached, new key
+        starts are delayed until an active key finishes.  ``0`` disables the
+        bound.
+    seed:
+        Seed of the Poisson start-time draws.
+    """
+
+    arrival_rate: float = 1.0
+    gap_scale: float = 1.0
+    max_active: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate <= 0:
+            raise ValueError("arrival_rate must be positive")
+        if self.gap_scale <= 0:
+            raise ValueError("gap_scale must be positive")
+        if self.max_active < 0:
+            raise ValueError("max_active must be non-negative")
+
+
+@dataclass
+class _ScheduledKey:
+    """One key's schedule: its start time and the relative item offsets."""
+
+    key: Hashable
+    label: int
+    start: float
+    offsets: List[float]
+    values: List[Tuple[int, ...]]
+
+    @property
+    def end(self) -> float:
+        return self.start + (self.offsets[-1] if self.offsets else 0.0)
+
+
+class ArrivalSimulator:
+    """Replay a pool of labelled sequences as one live arrival process."""
+
+    def __init__(
+        self,
+        sequences: Sequence[KeyValueSequence],
+        config: Optional[SimulatorConfig] = None,
+    ) -> None:
+        if not sequences:
+            raise ValueError("the simulator needs at least one source sequence")
+        for sequence in sequences:
+            if sequence.label is None:
+                raise ValueError(f"sequence {sequence.key!r} has no label")
+            if not len(sequence):
+                raise ValueError(f"sequence {sequence.key!r} is empty")
+        self.sequences = list(sequences)
+        self.config = config or SimulatorConfig()
+        self._schedule = self._build_schedule()
+
+    # ------------------------------------------------------------------ #
+    # schedule construction
+    # ------------------------------------------------------------------ #
+    def _relative_offsets(self, sequence: KeyValueSequence) -> List[float]:
+        times = sequence.times()
+        base = times[0]
+        return [(time - base) * self.config.gap_scale for time in times]
+
+    def _build_schedule(self) -> List[_ScheduledKey]:
+        rng = np.random.default_rng(self.config.seed)
+        order = list(range(len(self.sequences)))
+        rng.shuffle(order)
+
+        scheduled: List[_ScheduledKey] = []
+        clock = 0.0
+        active_ends: List[float] = []
+        for index in order:
+            sequence = self.sequences[index]
+            gap = float(rng.exponential(1.0 / self.config.arrival_rate))
+            clock += gap
+            if self.config.max_active:
+                # Delay the start until a slot frees up.
+                active_ends = [end for end in active_ends if end > clock]
+                while len(active_ends) >= self.config.max_active:
+                    earliest = min(active_ends)
+                    clock = max(clock, earliest)
+                    active_ends = [end for end in active_ends if end > clock]
+            entry = _ScheduledKey(
+                key=sequence.key,
+                label=int(sequence.label),
+                start=clock,
+                offsets=self._relative_offsets(sequence),
+                values=[item.value for item in sequence.items],
+            )
+            scheduled.append(entry)
+            active_ends.append(entry.end)
+        return scheduled
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    @property
+    def labels(self) -> Dict[Hashable, int]:
+        """Ground-truth label per simulated key (for evaluation only)."""
+        return {entry.key: entry.label for entry in self._schedule}
+
+    @property
+    def sequence_lengths(self) -> Dict[Hashable, int]:
+        """Total number of items each simulated key will emit."""
+        return {entry.key: len(entry.offsets) for entry in self._schedule}
+
+    def events(self) -> Iterator[StreamEvent]:
+        """Yield every arrival event in chronological order."""
+        arrivals: List[Tuple[float, int, StreamEvent]] = []
+        counter = 0
+        for entry in self._schedule:
+            for offset, value in zip(entry.offsets, entry.values):
+                time = entry.start + offset
+                event = StreamEvent(time=time, item=Item(entry.key, value, time))
+                arrivals.append((time, counter, event))
+                counter += 1
+        arrivals.sort(key=lambda record: (record[0], record[1]))
+        for _, _, event in arrivals:
+            yield event
+
+    def concurrency_profile(self, resolution: int = 50) -> List[Tuple[float, int]]:
+        """Sampled ``(time, #active keys)`` curve of the simulated process."""
+        if resolution <= 0:
+            raise ValueError("resolution must be positive")
+        if not self._schedule:
+            return []
+        horizon = max(entry.end for entry in self._schedule)
+        start = min(entry.start for entry in self._schedule)
+        points: List[Tuple[float, int]] = []
+        for step in range(resolution + 1):
+            time = start + (horizon - start) * step / resolution
+            active = sum(1 for entry in self._schedule if entry.start <= time <= entry.end)
+            points.append((time, active))
+        return points
+
+    def peak_concurrency(self) -> int:
+        """Largest number of simultaneously active keys in the schedule."""
+        boundaries: List[Tuple[float, int]] = []
+        for entry in self._schedule:
+            boundaries.append((entry.start, +1))
+            boundaries.append((entry.end, -1))
+        # Ends sort before starts at equal times, matching the scheduling rule
+        # that a slot freed at time t can be reused by a key starting at t.
+        boundaries.sort(key=lambda boundary: (boundary[0], boundary[1]))
+        active = 0
+        peak = 0
+        for _, delta in boundaries:
+            active += delta
+            peak = max(peak, active)
+        return peak

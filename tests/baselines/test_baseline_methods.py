@@ -1,0 +1,109 @@
+"""Tests for the four baseline early classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.earliest import EARLIEST
+from repro.baselines.prefix import PrefixSRNConfig
+from repro.baselines.rl_policy import RLBaselineConfig
+from repro.baselines.srn_confidence import SRNConfidence
+from repro.baselines.srn_earliest import SRNEarliest
+from repro.baselines.srn_fixed import SRNFixed
+
+
+@pytest.fixture(scope="module")
+def rl_config():
+    return RLBaselineConfig(d_model=16, num_blocks=1, epochs=2, batch_size=8, seed=0)
+
+
+@pytest.fixture(scope="module")
+def prefix_config():
+    return PrefixSRNConfig(d_model=16, num_blocks=1, epochs=2, batch_size=8, seed=0)
+
+
+class TestRLBaselines:
+    @pytest.mark.parametrize("method_class", [EARLIEST, SRNEarliest])
+    def test_fit_and_predict(self, method_class, tiny_splits, rl_config):
+        method = method_class(tiny_splits["spec"], tiny_splits["num_classes"], rl_config)
+        method.fit(tiny_splits["train"])
+        records = method.predict_all(tiny_splits["test"])
+        assert records
+        for record in records:
+            assert 0 <= record.predicted < tiny_splits["num_classes"]
+            assert 1 <= record.halt_observation <= record.sequence_length
+
+    def test_run_sequence_outcome_structure(self, tiny_splits, rl_config):
+        method = SRNEarliest(tiny_splits["spec"], tiny_splits["num_classes"], rl_config)
+        sequence = list(tiny_splits["train"][0].per_key_sequences().values())[0]
+        outcome = method.run_sequence(sequence, mode="greedy")
+        assert outcome["halt_step"] <= len(sequence)
+        assert len(outcome["states"]) == len(outcome["actions"])
+        assert 0.0 <= outcome["confidence"] <= 1.0
+
+    def test_greedy_prediction_deterministic(self, tiny_splits, rl_config):
+        method = SRNEarliest(tiny_splits["spec"], tiny_splits["num_classes"], rl_config)
+        tangle = tiny_splits["test"][0]
+        first = method.predict_tangle(tangle)
+        second = method.predict_tangle(tangle)
+        assert [(r.key, r.predicted, r.halt_observation) for r in first] == [
+            (r.key, r.predicted, r.halt_observation) for r in second
+        ]
+
+    def test_empty_training_rejected(self, tiny_splits, rl_config):
+        method = EARLIEST(tiny_splits["spec"], tiny_splits["num_classes"], rl_config)
+        with pytest.raises(ValueError):
+            method.fit([])
+
+    def test_names(self, tiny_splits, rl_config):
+        assert EARLIEST(tiny_splits["spec"], 9, rl_config).name == "EARLIEST"
+        assert SRNEarliest(tiny_splits["spec"], 9, rl_config).name == "SRN-EARLIEST"
+
+
+class TestSRNFixed:
+    def test_halts_exactly_at_tau(self, tiny_splits, prefix_config):
+        method = SRNFixed(tiny_splits["spec"], tiny_splits["num_classes"], halt_time=4, config=prefix_config)
+        method.fit(tiny_splits["train"])
+        for record in method.predict_all(tiny_splits["test"]):
+            assert record.halt_observation == min(4, record.sequence_length)
+
+    def test_invalid_halt_time_rejected(self, tiny_splits, prefix_config):
+        with pytest.raises(ValueError):
+            SRNFixed(tiny_splits["spec"], 9, halt_time=0, config=prefix_config)
+
+    def test_larger_tau_means_later_halting(self, tiny_splits, prefix_config):
+        early = SRNFixed(tiny_splits["spec"], tiny_splits["num_classes"], halt_time=2, config=prefix_config)
+        late = SRNFixed(tiny_splits["spec"], tiny_splits["num_classes"], halt_time=15, config=prefix_config)
+        early.fit(tiny_splits["train"])
+        late.fit(tiny_splits["train"])
+        early_mean = np.mean([r.earliness for r in early.predict_all(tiny_splits["test"])])
+        late_mean = np.mean([r.earliness for r in late.predict_all(tiny_splits["test"])])
+        assert early_mean < late_mean
+
+
+class TestSRNConfidence:
+    def test_confidence_rule_halts_at_first_exceedance(self, tiny_splits, prefix_config):
+        method = SRNConfidence(
+            tiny_splits["spec"], tiny_splits["num_classes"], confidence_threshold=0.0001, config=prefix_config
+        )
+        method.fit(tiny_splits["train"])
+        for record in method.predict_all(tiny_splits["test"]):
+            assert record.halt_observation == 1  # any confidence exceeds 0.0001
+
+    def test_threshold_one_requires_certainty_or_full_sequence(self, tiny_splits, prefix_config):
+        method = SRNConfidence(
+            tiny_splits["spec"], tiny_splits["num_classes"], confidence_threshold=1.0, config=prefix_config
+        )
+        method.fit(tiny_splits["train"])
+        for record in method.predict_all(tiny_splits["test"]):
+            assert record.halt_observation == record.sequence_length or record.confidence >= 1.0
+
+    def test_invalid_threshold_rejected(self, tiny_splits, prefix_config):
+        with pytest.raises(ValueError):
+            SRNConfidence(tiny_splits["spec"], 9, confidence_threshold=0.0, config=prefix_config)
+
+    def test_prefix_probabilities_shape(self, tiny_splits, prefix_config):
+        method = SRNConfidence(tiny_splits["spec"], tiny_splits["num_classes"], config=prefix_config)
+        sequence = list(tiny_splits["train"][0].per_key_sequences().values())[0]
+        probabilities = method.prefix_probabilities(sequence)
+        assert probabilities.shape == (len(sequence), tiny_splits["num_classes"])
+        np.testing.assert_allclose(probabilities.sum(axis=1), np.ones(len(sequence)), atol=1e-9)

@@ -1,0 +1,137 @@
+"""Tests for the non-neural baselines (nearest-prefix and indicator classifiers)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.indicator import IndicatorClassifier, IndicatorConfig
+from repro.baselines.nearest_prefix import NearestPrefixClassifier, NearestPrefixConfig
+from repro.data.items import Item, KeyValueSequence, ValueSpec
+from repro.data.tangle import retangle_by_concurrency
+from repro.eval.metrics import summarize
+
+SPEC = ValueSpec(("token", "direction"), (6, 2), 1)
+
+
+def make_class_sequence(key, label, length=20, rng=None):
+    """Class 0 emits tokens {0,1,2}, class 1 emits tokens {3,4,5}; the first
+    items are the most discriminative (mirroring the traffic datasets)."""
+    rng = rng or np.random.default_rng(abs(hash(key)) % 2**32)
+    base = 0 if label == 0 else 3
+    items = []
+    for position in range(length):
+        if position < 4 or rng.random() < 0.7:
+            token = base + int(rng.integers(0, 3))
+        else:
+            token = int(rng.integers(0, 6))
+        items.append(Item(key, (token, position % 2), float(position)))
+    return KeyValueSequence(key, items, label)
+
+
+@pytest.fixture(scope="module")
+def toy_splits():
+    rng = np.random.default_rng(0)
+    train = [make_class_sequence(f"t{i}", i % 2, rng=rng) for i in range(24)]
+    test = [make_class_sequence(f"e{i}", i % 2, rng=rng) for i in range(10)]
+    return {
+        "train": retangle_by_concurrency(train, SPEC, 3, rng=np.random.default_rng(1)),
+        "test": retangle_by_concurrency(test, SPEC, 3, rng=np.random.default_rng(2)),
+    }
+
+
+class TestNearestPrefixConfig:
+    def test_grid_must_be_increasing(self):
+        with pytest.raises(ValueError):
+            NearestPrefixConfig(prefix_grid=(5, 3))
+
+    def test_margin_non_negative(self):
+        with pytest.raises(ValueError):
+            NearestPrefixConfig(margin=-0.1)
+
+
+class TestNearestPrefixClassifier:
+    def test_requires_fit_before_predict(self, toy_splits):
+        classifier = NearestPrefixClassifier(SPEC, 2)
+        with pytest.raises(RuntimeError):
+            classifier.predict_tangle(toy_splits["test"][0])
+
+    def test_learns_the_separable_toy_problem(self, toy_splits):
+        classifier = NearestPrefixClassifier(SPEC, 2, NearestPrefixConfig(margin=0.0))
+        classifier.fit(toy_splits["train"])
+        records = classifier.predict_all(toy_splits["test"])
+        summary = summarize(records)
+        assert summary.accuracy >= 0.8
+        assert 0.0 < summary.earliness <= 1.0
+
+    def test_larger_margin_halts_later(self, toy_splits):
+        eager = NearestPrefixClassifier(SPEC, 2, NearestPrefixConfig(margin=0.0))
+        cautious = NearestPrefixClassifier(SPEC, 2, NearestPrefixConfig(margin=0.9))
+        eager.fit(toy_splits["train"])
+        cautious.fit(toy_splits["train"])
+        eager_summary = summarize(eager.predict_all(toy_splits["test"]))
+        cautious_summary = summarize(cautious.predict_all(toy_splits["test"]))
+        assert cautious_summary.earliness >= eager_summary.earliness
+
+    def test_records_are_well_formed(self, toy_splits):
+        classifier = NearestPrefixClassifier(SPEC, 2)
+        classifier.fit(toy_splits["train"])
+        for record in classifier.predict_all(toy_splits["test"]):
+            assert 1 <= record.halt_observation <= record.sequence_length
+            assert 0 <= record.predicted < 2
+            assert 0.0 <= record.confidence <= 1.0
+
+    def test_histogram_is_normalised(self):
+        classifier = NearestPrefixClassifier(SPEC, 2)
+        sequence = make_class_sequence("h", 0)
+        histogram = classifier.prefix_histogram(sequence, 5)
+        assert histogram.shape == (8,)
+        assert histogram.sum() == pytest.approx(1.0)
+
+
+class TestIndicatorConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IndicatorConfig(ngram_lengths=())
+        with pytest.raises(ValueError):
+            IndicatorConfig(min_precision=0.0)
+        with pytest.raises(ValueError):
+            IndicatorConfig(min_support=0)
+
+
+class TestIndicatorClassifier:
+    def test_requires_fit_before_predict(self, toy_splits):
+        classifier = IndicatorClassifier(SPEC, 2)
+        with pytest.raises(RuntimeError):
+            classifier.predict_tangle(toy_splits["test"][0])
+
+    def test_mines_indicators_and_classifies(self, toy_splits):
+        classifier = IndicatorClassifier(SPEC, 2, IndicatorConfig(min_support=3, min_precision=0.7))
+        classifier.fit(toy_splits["train"])
+        assert classifier.indicators, "expected at least one mined indicator"
+        records = classifier.predict_all(toy_splits["test"])
+        summary = summarize(records)
+        assert summary.accuracy >= 0.6
+        # Indicators fire on the discriminative first items, so halting is early.
+        assert summary.earliness < 0.6
+
+    def test_stricter_precision_mines_fewer_indicators(self, toy_splits):
+        loose = IndicatorClassifier(SPEC, 2, IndicatorConfig(min_precision=0.6))
+        strict = IndicatorClassifier(SPEC, 2, IndicatorConfig(min_precision=0.99))
+        loose.fit(toy_splits["train"])
+        strict.fit(toy_splits["train"])
+        assert len(strict.indicators) <= len(loose.indicators)
+
+    def test_fallback_to_majority_class(self, toy_splits):
+        # With an impossible support requirement nothing is mined and every
+        # sequence falls back to the majority class at full length.
+        classifier = IndicatorClassifier(SPEC, 2, IndicatorConfig(min_support=10_000))
+        classifier.fit(toy_splits["train"])
+        records = classifier.predict_all(toy_splits["test"])
+        assert all(not record.halted_by_policy for record in records)
+        assert all(record.halt_observation == record.sequence_length for record in records)
+
+    def test_records_are_well_formed(self, toy_splits):
+        classifier = IndicatorClassifier(SPEC, 2)
+        classifier.fit(toy_splits["train"])
+        for record in classifier.predict_all(toy_splits["test"]):
+            assert 1 <= record.halt_observation <= record.sequence_length
+            assert 0 <= record.predicted < 2

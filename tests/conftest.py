@@ -1,0 +1,116 @@
+"""Shared fixtures for the KVEC reproduction test suite.
+
+The expensive fixtures (generated datasets, trained models) are session-scoped
+and deliberately tiny so the whole suite runs on CPU in a couple of minutes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import KVECConfig
+from repro.core.model import KVEC
+from repro.core.trainer import KVECTrainer
+from repro.data.items import Item, KeyValueSequence, TangledSequence, ValueSpec
+from repro.data.splits import split_by_key
+from repro.data.tangle import retangle_by_concurrency
+from repro.datasets.synthetic_stop import make_synthetic_traffic
+from repro.datasets.traffic import make_ustc_tfc2016
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic random generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def simple_spec() -> ValueSpec:
+    """A two-field value spec (size bucket, direction) used by hand-built data."""
+    return ValueSpec(field_names=("size", "direction"), cardinalities=(8, 2), session_field=1)
+
+
+@pytest.fixture
+def tiny_tangle(simple_spec) -> TangledSequence:
+    """A small hand-built tangled sequence with two keys and known structure."""
+    items = [
+        Item("a", (0, 0), 0.0),
+        Item("b", (1, 0), 1.0),
+        Item("a", (2, 0), 2.0),
+        Item("a", (3, 1), 3.0),
+        Item("b", (4, 1), 4.0),
+        Item("a", (5, 1), 5.0),
+        Item("b", (6, 0), 6.0),
+        Item("a", (7, 0), 7.0),
+    ]
+    return TangledSequence(items, labels={"a": 0, "b": 1}, spec=simple_spec, name="tiny")
+
+
+@pytest.fixture(scope="session")
+def tiny_traffic_dataset():
+    """A small synthetic USTC-TFC2016 analogue shared across tests."""
+    return make_ustc_tfc2016(num_flows=36, seed=3)
+
+
+@pytest.fixture(scope="session")
+def tiny_stop_dataset():
+    """A small Synthetic-Traffic (early-stop) dataset shared across tests."""
+    return make_synthetic_traffic(num_flows=24, subset="early", seed=5, flow_length=30)
+
+
+@pytest.fixture(scope="session")
+def tiny_splits(tiny_traffic_dataset):
+    """Key-disjoint tangled train/test streams derived from the tiny dataset."""
+    split = split_by_key(tiny_traffic_dataset.sequences, rng=np.random.default_rng(0))
+    spec = tiny_traffic_dataset.spec
+    return {
+        "train": retangle_by_concurrency(split.train, spec, 3, rng=np.random.default_rng(1)),
+        "test": retangle_by_concurrency(split.test, spec, 3, rng=np.random.default_rng(2)),
+        "spec": spec,
+        "num_classes": tiny_traffic_dataset.num_classes,
+    }
+
+
+@pytest.fixture
+def tiny_kvec_config() -> KVECConfig:
+    """A minimal KVEC configuration that trains in well under a second."""
+    return KVECConfig(
+        d_model=16,
+        num_blocks=1,
+        num_heads=1,
+        ffn_hidden=24,
+        d_state=20,
+        dropout=0.0,
+        epochs=2,
+        batch_size=4,
+        learning_rate=3e-3,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def trained_tiny_kvec(tiny_splits):
+    """A KVEC model trained for a few epochs on the tiny traffic dataset."""
+    config = KVECConfig(
+        d_model=16,
+        num_blocks=1,
+        num_heads=1,
+        ffn_hidden=24,
+        d_state=20,
+        dropout=0.0,
+        epochs=6,
+        batch_size=4,
+        learning_rate=3e-3,
+        seed=0,
+    )
+    model = KVEC(tiny_splits["spec"], tiny_splits["num_classes"], config)
+    trainer = KVECTrainer(model)
+    history = trainer.train(tiny_splits["train"])
+    return {"model": model, "history": history, "splits": tiny_splits, "config": config}
+
+
+def make_sequence(key, values, label=0, start_time=0.0):
+    """Helper used by several test modules to build a key-value sequence."""
+    items = [Item(key, tuple(value), start_time + index) for index, value in enumerate(values)]
+    return KeyValueSequence(key, items, label)

@@ -1,0 +1,62 @@
+"""Tests for saving and restoring trained KVEC models."""
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.core.config import KVECConfig
+from repro.core.model import KVEC
+
+
+class TestCheckpointRoundTrip:
+    def test_predictions_identical_after_reload(self, trained_tiny_kvec, tmp_path):
+        model = trained_tiny_kvec["model"]
+        splits = trained_tiny_kvec["splits"]
+        directory = save_checkpoint(model, tmp_path / "kvec")
+        restored = load_checkpoint(directory)
+
+        original_records = model.predict_tangle(splits["test"][0])
+        restored_records = restored.predict_tangle(splits["test"][0])
+        assert [(r.key, r.predicted, r.halt_observation) for r in original_records] == [
+            (r.key, r.predicted, r.halt_observation) for r in restored_records
+        ]
+
+    def test_config_and_schema_preserved(self, trained_tiny_kvec, tmp_path):
+        model = trained_tiny_kvec["model"]
+        restored = load_checkpoint(save_checkpoint(model, tmp_path / "kvec"))
+        assert restored.config == model.config
+        assert restored.spec == model.spec
+        assert restored.num_classes == model.num_classes
+
+    def test_weights_actually_copied(self, trained_tiny_kvec, tmp_path):
+        model = trained_tiny_kvec["model"]
+        restored = load_checkpoint(save_checkpoint(model, tmp_path / "kvec"))
+        for (name, original), (_, copy) in zip(
+            sorted(model.named_parameters()), sorted(restored.named_parameters())
+        ):
+            assert np.allclose(original.data, copy.data), name
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(tmp_path / "does-not-exist")
+
+    def test_shape_mismatch_detected(self, trained_tiny_kvec, tmp_path, simple_spec):
+        model = trained_tiny_kvec["model"]
+        directory = save_checkpoint(model, tmp_path / "kvec")
+        # Tamper with the stored config so the rebuilt model has other shapes.
+        config_file = directory / "config.json"
+        import json
+
+        payload = json.loads(config_file.read_text())
+        payload["config"]["d_model"] = payload["config"]["d_model"] * 2
+        payload["config"]["num_heads"] = 1
+        config_file.write_text(json.dumps(payload))
+        with pytest.raises(ValueError):
+            load_checkpoint(directory)
+
+    def test_untrained_model_round_trip(self, simple_spec, tmp_path):
+        config = KVECConfig(d_model=8, num_blocks=1, num_heads=1, ffn_hidden=16, d_state=12,
+                            dropout=0.0, epochs=1, batch_size=2)
+        model = KVEC(simple_spec, 3, config)
+        restored = load_checkpoint(save_checkpoint(model, tmp_path / "fresh"))
+        assert restored.num_classes == 3

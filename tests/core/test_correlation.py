@@ -1,0 +1,150 @@
+"""Tests for key/value correlations and the dynamic mask matrix."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.correlation import CorrelationTracker, build_correlation_structure
+from repro.data.items import Item, TangledSequence, ValueSpec
+from repro.nn.attention import MASK_VALUE
+
+SPEC = ValueSpec(("size", "direction"), (8, 2), session_field=1)
+
+
+def tangle_from(rows):
+    """rows: list of (key, size, direction); times follow list order."""
+    items = [Item(key, (size, direction), float(i)) for i, (key, size, direction) in enumerate(rows)]
+    labels = {key: 0 for key, _, _ in rows}
+    return TangledSequence(items, labels, SPEC)
+
+
+class TestCorrelationTracker:
+    def test_first_item_has_no_correlations(self):
+        tracker = CorrelationTracker(session_field=1)
+        via_key, via_value = tracker.observe("a", (0, 0))
+        assert via_key == [] and via_value == []
+
+    def test_same_key_items_are_key_correlated(self):
+        tracker = CorrelationTracker(session_field=1)
+        tracker.observe("a", (0, 0))
+        tracker.observe("a", (1, 1))
+        via_key, _ = tracker.observe("a", (2, 0))
+        assert via_key == [0, 1]
+
+    def test_value_correlation_requires_open_session_match(self):
+        tracker = CorrelationTracker(session_field=1)
+        tracker.observe("a", (0, 0))      # position 0: key a, direction 0 (open session of a)
+        _, via_value = tracker.observe("b", (3, 0))  # direction 0 matches a's open session
+        assert via_value == [0]
+
+    def test_value_correlation_broken_by_session_change(self):
+        tracker = CorrelationTracker(session_field=1)
+        tracker.observe("a", (0, 0))      # position 0, direction 0
+        tracker.observe("a", (1, 1))      # position 1 closes the direction-0 session
+        _, via_value = tracker.observe("b", (3, 0))
+        assert via_value == []            # a's open session now has direction 1
+
+    def test_value_correlation_excludes_same_key(self):
+        tracker = CorrelationTracker(session_field=1)
+        tracker.observe("a", (0, 0))
+        via_key, via_value = tracker.observe("a", (1, 0))
+        assert via_key == [0]
+        assert via_value == []
+
+    def test_disabling_key_correlation(self):
+        tracker = CorrelationTracker(session_field=1, use_key_correlation=False)
+        tracker.observe("a", (0, 0))
+        via_key, _ = tracker.observe("a", (1, 0))
+        assert via_key == []
+
+    def test_disabling_value_correlation(self):
+        tracker = CorrelationTracker(session_field=1, use_value_correlation=False)
+        tracker.observe("a", (0, 0))
+        _, via_value = tracker.observe("b", (1, 0))
+        assert via_value == []
+
+    def test_count_tracks_observations(self):
+        tracker = CorrelationTracker(session_field=1)
+        for index in range(5):
+            tracker.observe("a", (0, 0))
+        assert tracker.count == 5
+
+
+class TestBuildCorrelationStructure:
+    def test_mask_shape_and_diagonal(self):
+        tangle = tangle_from([("a", 0, 0), ("b", 1, 1), ("a", 2, 0)])
+        structure = build_correlation_structure(tangle)
+        assert structure.mask.shape == (3, 3)
+        np.testing.assert_allclose(np.diag(structure.mask), np.zeros(3))
+
+    def test_mask_is_causal(self):
+        tangle = tangle_from([("a", 0, 0), ("a", 1, 0), ("a", 2, 0), ("b", 3, 0)])
+        structure = build_correlation_structure(tangle)
+        upper = structure.mask[np.triu_indices(4, k=1)]
+        assert np.all(upper == MASK_VALUE)
+
+    def test_key_correlation_matrix_marks_same_key_pairs(self):
+        tangle = tangle_from([("a", 0, 0), ("b", 1, 1), ("a", 2, 1), ("b", 3, 0)])
+        structure = build_correlation_structure(tangle)
+        assert structure.key_correlated[2, 0]
+        assert structure.key_correlated[3, 1]
+        assert not structure.key_correlated[2, 1]
+
+    def test_value_correlation_matches_paper_example(self):
+        # b's open session has direction 0 when the third item (key a,
+        # direction 0) arrives, so they are value-correlated.
+        tangle = tangle_from([("b", 0, 0), ("b", 1, 0), ("a", 2, 0)])
+        structure = build_correlation_structure(tangle)
+        assert structure.value_correlated[2, 0]
+        assert structure.value_correlated[2, 1]
+        assert structure.mask[2, 0] == 0.0
+
+    def test_key_and_value_matrices_are_disjoint(self):
+        tangle = tangle_from(
+            [("a", 0, 0), ("b", 1, 0), ("a", 2, 0), ("b", 3, 1), ("a", 4, 1), ("b", 5, 1)]
+        )
+        structure = build_correlation_structure(tangle)
+        assert not np.any(structure.key_correlated & structure.value_correlated)
+
+    def test_upto_truncates(self):
+        tangle = tangle_from([("a", 0, 0)] * 6)
+        structure = build_correlation_structure(tangle, upto=4)
+        assert structure.length == 4
+
+    def test_ablation_flags_reduce_visibility(self):
+        rows = [("a", 0, 0), ("b", 1, 0), ("a", 2, 0), ("b", 3, 0), ("a", 4, 0)]
+        full = build_correlation_structure(tangle_from(rows))
+        no_value = build_correlation_structure(tangle_from(rows), use_value_correlation=False)
+        no_key = build_correlation_structure(tangle_from(rows), use_key_correlation=False)
+        assert full.visible_pairs() > no_value.visible_pairs()
+        assert full.visible_pairs() > no_key.visible_pairs()
+
+    def test_without_value_correlation_only_same_key_visible(self):
+        rows = [("a", 0, 0), ("b", 1, 0), ("a", 2, 0), ("b", 3, 0)]
+        structure = build_correlation_structure(tangle_from(rows), use_value_correlation=False)
+        tangle = tangle_from(rows)
+        for i in range(4):
+            for j in range(i):
+                visible = structure.mask[i, j] == 0.0
+                assert visible == (tangle[i].key == tangle[j].key)
+
+    @given(st.lists(st.tuples(st.integers(0, 2), st.integers(0, 7), st.integers(0, 1)),
+                    min_size=1, max_size=25))
+    @settings(max_examples=40, deadline=None)
+    def test_mask_invariants_on_random_tangles(self, rows):
+        tangle = tangle_from([(f"k{key}", size, direction) for key, size, direction in rows])
+        structure = build_correlation_structure(tangle)
+        mask = structure.mask
+        length = len(tangle)
+        # Diagonal visible, strictly upper triangle invisible, and visibility
+        # implies key- or value-correlation (or the diagonal).
+        assert np.all(np.diag(mask) == 0.0)
+        assert np.all(mask[np.triu_indices(length, k=1)] == MASK_VALUE)
+        visible = mask == 0.0
+        np.fill_diagonal(visible, False)
+        assert np.all(visible == (structure.key_correlated | structure.value_correlated))
+        # Key correlation exactly matches "same key and earlier".
+        for i in range(length):
+            for j in range(i):
+                assert structure.key_correlated[i, j] == (tangle[i].key == tangle[j].key)

@@ -1,0 +1,146 @@
+"""Tests for the data-augmentation transforms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.augment import (
+    augment_pool,
+    drop_items,
+    local_swap,
+    perturb_values,
+    reassign_keys,
+    time_jitter,
+    truncate,
+)
+from repro.data.items import Item, KeyValueSequence, ValueSpec
+
+SPEC = ValueSpec(("size", "direction"), (8, 2), 1)
+
+
+def make_sequence(key="k", length=10, label=1):
+    items = [Item(key, (i % 8, i % 2), float(i)) for i in range(length)]
+    return KeyValueSequence(key, items, label)
+
+
+class TestDropItems:
+    def test_label_and_key_preserved(self):
+        augmented = drop_items(make_sequence(), 0.3, rng=np.random.default_rng(0))
+        assert augmented.key == "k"
+        assert augmented.label == 1
+
+    def test_zero_probability_is_identity(self):
+        original = make_sequence()
+        augmented = drop_items(original, 0.0, rng=np.random.default_rng(0))
+        assert [item.value for item in augmented] == [item.value for item in original]
+
+    def test_min_remaining_enforced(self):
+        augmented = drop_items(make_sequence(length=5), 0.99, rng=np.random.default_rng(0), min_remaining=2)
+        assert len(augmented) >= 2
+
+    def test_never_mutates_input(self):
+        original = make_sequence()
+        before = len(original)
+        drop_items(original, 0.5, rng=np.random.default_rng(0))
+        assert len(original) == before
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            drop_items(make_sequence(), 1.0)
+
+
+class TestTimeJitter:
+    def test_order_preserved(self):
+        augmented = time_jitter(make_sequence(), 0.5, rng=np.random.default_rng(0))
+        times = [item.time for item in augmented]
+        assert times == sorted(times)
+
+    def test_times_never_decrease(self):
+        original = make_sequence()
+        augmented = time_jitter(original, 0.5, rng=np.random.default_rng(0))
+        for before, after in zip(original, augmented):
+            assert after.time >= before.time
+
+    def test_zero_scale_is_identity(self):
+        original = make_sequence()
+        augmented = time_jitter(original, 0.0)
+        assert [item.time for item in augmented] == [item.time for item in original]
+
+
+class TestTruncate:
+    def test_truncates_to_length(self):
+        assert len(truncate(make_sequence(length=10), 4)) == 4
+
+    def test_longer_than_sequence_keeps_all(self):
+        assert len(truncate(make_sequence(length=3), 10)) == 3
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            truncate(make_sequence(), 0)
+
+
+class TestPerturbValues:
+    def test_values_stay_in_range(self):
+        augmented = perturb_values(make_sequence(), SPEC, 0.9, rng=np.random.default_rng(0))
+        for item in augmented:
+            SPEC.validate_value(item.value)
+
+    def test_protected_field_untouched(self):
+        original = make_sequence()
+        augmented = perturb_values(
+            original, SPEC, 0.9, rng=np.random.default_rng(0), protected_fields=[1]
+        )
+        assert [item.field(1) for item in augmented] == [item.field(1) for item in original]
+
+    def test_zero_probability_is_identity(self):
+        original = make_sequence()
+        augmented = perturb_values(original, SPEC, 0.0)
+        assert [item.value for item in augmented] == [item.value for item in original]
+
+
+class TestLocalSwap:
+    def test_multiset_of_values_preserved(self):
+        original = make_sequence()
+        augmented = local_swap(original, 0.5, rng=np.random.default_rng(0))
+        assert sorted(item.value for item in augmented) == sorted(item.value for item in original)
+
+    def test_times_unchanged(self):
+        original = make_sequence()
+        augmented = local_swap(original, 0.5, rng=np.random.default_rng(0))
+        assert [item.time for item in augmented] == [item.time for item in original]
+
+
+class TestPools:
+    def test_reassign_keys_makes_keys_unique(self):
+        sequences = [make_sequence("a"), make_sequence("a"), make_sequence("b")]
+        reassigned = reassign_keys(sequences)
+        keys = [sequence.key for sequence in reassigned]
+        assert len(set(keys)) == len(keys)
+
+    def test_augment_pool_size_and_disjoint_keys(self):
+        sequences = [make_sequence(f"k{i}", label=i % 2) for i in range(4)]
+        rng = np.random.default_rng(0)
+        augmented = augment_pool(
+            sequences,
+            transforms=[
+                lambda s: drop_items(s, 0.2, rng=rng),
+                lambda s: time_jitter(s, 0.1, rng=rng),
+            ],
+            copies=3,
+        )
+        assert len(augmented) == 12
+        original_keys = {sequence.key for sequence in sequences}
+        assert not original_keys & {sequence.key for sequence in augmented}
+
+    def test_augment_pool_preserves_labels(self):
+        sequences = [make_sequence(f"k{i}", label=i % 2) for i in range(4)]
+        augmented = augment_pool(sequences, transforms=[lambda s: truncate(s, 5)], copies=1)
+        assert [sequence.label for sequence in augmented] == [0, 1, 0, 1]
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 4), st.integers(2, 6))
+    def test_pool_size_property(self, copies, num_sequences):
+        sequences = [make_sequence(f"k{i}") for i in range(num_sequences)]
+        augmented = augment_pool(sequences, transforms=[], copies=copies)
+        assert len(augmented) == copies * num_sequences

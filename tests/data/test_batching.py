@@ -1,0 +1,57 @@
+"""Tests for the episode batcher."""
+
+import numpy as np
+import pytest
+
+from repro.data.batching import EpisodeBatcher
+from repro.data.items import Item, TangledSequence, ValueSpec
+
+SPEC = ValueSpec(("v",), (4,), 0)
+
+
+def make_tangles(count):
+    tangles = []
+    for index in range(count):
+        items = [Item(f"k{index}", (0,), float(i)) for i in range(3)]
+        tangles.append(TangledSequence(items, {f"k{index}": 0}, SPEC, name=f"t{index}"))
+    return tangles
+
+
+class TestEpisodeBatcher:
+    def test_len_counts_batches(self):
+        batcher = EpisodeBatcher(make_tangles(10), batch_size=3)
+        assert len(batcher) == 4
+
+    def test_len_with_drop_last(self):
+        batcher = EpisodeBatcher(make_tangles(10), batch_size=3, drop_last=True)
+        assert len(batcher) == 3
+
+    def test_epoch_covers_every_tangle_once(self):
+        tangles = make_tangles(7)
+        batcher = EpisodeBatcher(tangles, batch_size=2, rng=np.random.default_rng(0))
+        seen = [tangle.name for batch in batcher.epoch() for tangle in batch]
+        assert sorted(seen) == sorted(t.name for t in tangles)
+
+    def test_shuffle_changes_order_but_not_content(self):
+        tangles = make_tangles(12)
+        batcher = EpisodeBatcher(tangles, batch_size=4, shuffle=True, rng=np.random.default_rng(1))
+        first_epoch = [t.name for batch in batcher.epoch() for t in batch]
+        second_epoch = [t.name for batch in batcher.epoch() for t in batch]
+        assert sorted(first_epoch) == sorted(second_epoch)
+        assert first_epoch != second_epoch  # overwhelmingly likely with 12 items
+
+    def test_no_shuffle_preserves_order(self):
+        tangles = make_tangles(5)
+        batcher = EpisodeBatcher(tangles, batch_size=2, shuffle=False)
+        names = [t.name for batch in batcher for t in batch]
+        assert names == [t.name for t in tangles]
+
+    def test_drop_last_discards_partial_batch(self):
+        batcher = EpisodeBatcher(make_tangles(7), batch_size=3, drop_last=True, shuffle=False)
+        batches = list(batcher.epoch())
+        assert all(len(batch) == 3 for batch in batches)
+        assert len(batches) == 2
+
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(ValueError):
+            EpisodeBatcher(make_tangles(3), batch_size=0)

@@ -1,0 +1,150 @@
+"""Tests for JSONL/CSV serialization of key-value sequence data."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import PredictionRecord
+from repro.data import io as data_io
+from repro.data.items import Item, KeyValueSequence, TangledSequence, ValueSpec
+from repro.data.tangle import interleave_sequences
+from repro.datasets.traffic import make_ustc_tfc2016
+
+SPEC = ValueSpec(("size", "direction"), (8, 2), 1)
+
+
+def make_sequence(key, length, label=0):
+    rng = np.random.default_rng(abs(hash(key)) % 2**32)
+    items = [
+        Item(key, (int(rng.integers(0, 8)), int(rng.integers(0, 2))), float(i))
+        for i in range(length)
+    ]
+    return KeyValueSequence(key, items, label)
+
+
+class TestItemCodec:
+    def test_round_trip(self):
+        item = Item("flow-1", (3, 1), 2.5)
+        assert data_io.item_from_dict(data_io.item_to_dict(item)) == item
+
+    def test_tuple_keys_survive(self):
+        item = Item(("10.0.0.1", 443), (1, 0), 0.0)
+        decoded = data_io.item_from_dict(data_io.item_to_dict(item))
+        assert decoded.key == ("10.0.0.1", 443)
+
+    def test_spec_round_trip(self):
+        assert data_io.spec_from_dict(data_io.spec_to_dict(SPEC)) == SPEC
+
+
+class TestSequenceFiles:
+    def test_sequences_round_trip(self, tmp_path):
+        sequences = [make_sequence(f"k{i}", 5 + i, label=i % 3) for i in range(6)]
+        path = tmp_path / "sequences.jsonl"
+        written = data_io.save_sequences(sequences, path)
+        assert written == 6
+        loaded = data_io.load_sequences(path)
+        assert len(loaded) == 6
+        for original, restored in zip(sequences, loaded):
+            assert restored.key == original.key
+            assert restored.label == original.label
+            assert [item.value for item in restored] == [item.value for item in original]
+            assert [item.time for item in restored] == [item.time for item in original]
+
+    def test_empty_file_loads_empty_list(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert data_io.load_sequences(path) == []
+
+
+class TestTangleFiles:
+    def test_tangles_round_trip(self, tmp_path):
+        tangles = [
+            interleave_sequences([make_sequence("a", 4, 0), make_sequence("b", 3, 1)], SPEC),
+            interleave_sequences([make_sequence("c", 5, 2)], SPEC),
+        ]
+        path = tmp_path / "tangles.jsonl"
+        data_io.save_tangles(tangles, SPEC, path)
+        loaded = data_io.load_tangles(path)
+        assert len(loaded) == 2
+        assert loaded[0].labels == tangles[0].labels
+        assert len(loaded[0]) == len(tangles[0])
+        assert loaded[0].spec == SPEC
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        from repro.datasets.base import GeneratedDataset
+
+        sequences = [make_sequence("a", 3)]
+        path = tmp_path / "sequences.jsonl"
+        dataset = GeneratedDataset(name="x", sequences=sequences, spec=SPEC, num_classes=2)
+        data_io.save_dataset(dataset, path)
+        with pytest.raises(ValueError):
+            data_io.load_tangles(path)
+
+
+class TestDatasetFiles:
+    def test_generated_dataset_round_trip(self, tmp_path):
+        dataset = make_ustc_tfc2016(num_flows=12, seed=3)
+        path = tmp_path / "ustc.jsonl"
+        data_io.save_dataset(dataset, path)
+        restored = data_io.load_dataset(path)
+        assert restored.name == dataset.name
+        assert restored.num_classes == dataset.num_classes
+        assert len(restored.sequences) == len(dataset.sequences)
+        assert restored.spec == dataset.spec
+        assert restored.labels() == dataset.labels()
+
+    def test_true_stop_positions_preserved(self, tmp_path):
+        sequences = [make_sequence("a", 5, 0), make_sequence("b", 4, 1)]
+        from repro.datasets.base import GeneratedDataset
+
+        dataset = GeneratedDataset(
+            name="stops",
+            sequences=sequences,
+            spec=SPEC,
+            num_classes=2,
+            true_stop_positions={"a": 2, "b": 3},
+        )
+        path = tmp_path / "stops.jsonl"
+        data_io.save_dataset(dataset, path)
+        assert data_io.load_dataset(path).true_stop_positions == {"a": 2, "b": 3}
+
+
+class TestRecordFiles:
+    def test_records_round_trip(self, tmp_path):
+        records = [
+            PredictionRecord("a", 1, 1, 3, 10, confidence=0.9, halted_by_policy=True),
+            PredictionRecord("b", 0, 2, 7, 7, confidence=0.4, halted_by_policy=False),
+        ]
+        path = tmp_path / "records.jsonl"
+        data_io.save_records(records, path)
+        loaded = data_io.load_records(path)
+        assert loaded == records
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        predicted=st.integers(0, 5),
+        label=st.integers(0, 5),
+        halt=st.integers(1, 50),
+        extra=st.integers(0, 50),
+        confidence=st.floats(0, 1),
+    )
+    def test_record_codec_property(self, predicted, label, halt, extra, confidence):
+        record = PredictionRecord(
+            key="k", predicted=predicted, label=label,
+            halt_observation=halt, sequence_length=halt + extra, confidence=confidence,
+        )
+        restored = data_io.record_from_dict(data_io.record_to_dict(record))
+        assert restored == record
+        assert restored.earliness == pytest.approx(record.earliness)
+
+
+class TestCsvExport:
+    def test_export_items_csv(self, tmp_path):
+        tangle = interleave_sequences([make_sequence("a", 4, 0), make_sequence("b", 2, 1)], SPEC)
+        path = tmp_path / "items.csv"
+        written = data_io.export_items_csv(tangle, path)
+        assert written == 6
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].split(",") == ["time", "key", "label", "position", "size", "direction"]
+        assert len(lines) == 7  # header + 6 items

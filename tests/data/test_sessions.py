@@ -1,0 +1,77 @@
+"""Tests for session segmentation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.items import Item, KeyValueSequence
+from repro.data.sessions import average_session_length, segment_sessions, session_lengths
+
+
+def sequence_from_directions(directions, key="k"):
+    items = [Item(key, (0, direction), float(i)) for i, direction in enumerate(directions)]
+    return KeyValueSequence(key, items, label=0)
+
+
+class TestSegmentSessions:
+    def test_single_session_when_value_constant(self):
+        sessions = segment_sessions(sequence_from_directions([1, 1, 1, 1]), session_field=1)
+        assert len(sessions) == 1
+        assert len(sessions[0]) == 4
+
+    def test_splits_on_value_change(self):
+        sessions = segment_sessions(sequence_from_directions([0, 0, 1, 1, 0]), session_field=1)
+        assert [len(s) for s in sessions] == [2, 2, 1]
+        assert [s.session_value for s in sessions] == [0, 1, 0]
+
+    def test_start_and_end_indices(self):
+        sessions = segment_sessions(sequence_from_directions([0, 1, 1]), session_field=1)
+        assert sessions[0].start_index == 0
+        assert sessions[1].start_index == 1
+        assert sessions[1].end_index == 3
+
+    def test_empty_sequence_yields_no_sessions(self):
+        assert segment_sessions(KeyValueSequence("k", [], 0), session_field=1) == []
+
+    def test_max_gap_splits_in_time(self):
+        items = [
+            Item("k", (0, 1), 0.0),
+            Item("k", (0, 1), 1.0),
+            Item("k", (0, 1), 100.0),
+        ]
+        sequence = KeyValueSequence("k", items, 0)
+        assert len(segment_sessions(sequence, session_field=1, max_gap=10.0)) == 2
+        assert len(segment_sessions(sequence, session_field=1)) == 1
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_session_lengths_partition_the_sequence(self, directions):
+        sequence = sequence_from_directions(directions)
+        sessions = segment_sessions(sequence, session_field=1)
+        assert sum(len(s) for s in sessions) == len(sequence)
+        # Sessions alternate values: adjacent sessions never share a value.
+        for earlier, later in zip(sessions, sessions[1:]):
+            assert earlier.session_value != later.session_value
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_items_within_a_session_share_the_value(self, directions):
+        sequence = sequence_from_directions(directions)
+        for session in segment_sessions(sequence, session_field=1):
+            assert {item.field(1) for item in session.items} == {session.session_value}
+
+
+class TestAggregates:
+    def test_session_lengths_across_sequences(self):
+        sequences = [
+            sequence_from_directions([0, 0, 1], key="a"),
+            sequence_from_directions([1], key="b"),
+        ]
+        assert sorted(session_lengths(sequences, session_field=1)) == [1, 1, 2]
+
+    def test_average_session_length(self):
+        sequences = [sequence_from_directions([0, 0, 1, 1], key="a")]
+        assert average_session_length(sequences, session_field=1) == pytest.approx(2.0)
+
+    def test_average_of_empty_input_is_zero(self):
+        assert average_session_length([], session_field=1) == 0.0

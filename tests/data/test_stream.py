@@ -1,0 +1,164 @@
+"""Tests for the streaming views (replay, merge, sliding window, key tracker)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.items import Item, KeyValueSequence, ValueSpec
+from repro.data.stream import (
+    KeyTracker,
+    SlidingWindow,
+    StreamEvent,
+    merge_streams,
+    replay,
+    stream_prefixes,
+)
+from repro.data.tangle import interleave_sequences
+
+SPEC = ValueSpec(("v", "d"), (4, 2), 1)
+
+
+def make_sequence(key, length, label=0, start=0.0):
+    items = [Item(key, (i % 4, i % 2), start + float(i)) for i in range(length)]
+    return KeyValueSequence(key, items, label)
+
+
+def make_tangle(lengths, labels=None):
+    sequences = [
+        make_sequence(f"k{i}", length, label=(labels or {}).get(f"k{i}", 0))
+        for i, length in enumerate(lengths)
+    ]
+    return interleave_sequences(sequences, SPEC)
+
+
+class TestReplay:
+    def test_replay_preserves_order_and_count(self):
+        tangle = make_tangle([4, 3])
+        events = list(replay(tangle))
+        assert len(events) == 7
+        times = [event.time for event in events]
+        assert times == sorted(times)
+
+    def test_event_exposes_key(self):
+        tangle = make_tangle([2])
+        event = next(iter(replay(tangle)))
+        assert event.key == "k0"
+
+    def test_source_defaults_to_tangle_name(self):
+        tangle = make_tangle([2])
+        tangle.name = "scenario-7"
+        assert next(iter(replay(tangle))).source == "scenario-7"
+
+
+class TestMergeStreams:
+    def test_merged_stream_is_chronological(self):
+        first = replay(make_tangle([5]))
+        second = replay(interleave_sequences([make_sequence("z", 5, start=0.5)], SPEC))
+        merged = list(merge_streams([first, second]))
+        assert len(merged) == 10
+        times = [event.time for event in merged]
+        assert times == sorted(times)
+
+    def test_unordered_input_rejected(self):
+        events = [
+            StreamEvent(1.0, Item("a", (0, 0), 1.0)),
+            StreamEvent(0.5, Item("a", (0, 0), 0.5)),
+        ]
+        with pytest.raises(ValueError):
+            list(merge_streams([events]))
+
+    def test_empty_streams(self):
+        assert list(merge_streams([[], []])) == []
+
+
+class TestSlidingWindow:
+    def test_count_based_eviction(self):
+        window = SlidingWindow(max_items=3)
+        evicted_total = []
+        for i in range(5):
+            evicted_total.extend(window.push(Item("a", (0, 0), float(i))))
+        assert len(window) == 3
+        assert len(evicted_total) == 2
+        assert window.evicted == 2
+        assert [item.time for item in window] == [2.0, 3.0, 4.0]
+
+    def test_age_based_eviction(self):
+        window = SlidingWindow(max_age=2.0)
+        for time in [0.0, 1.0, 2.0, 5.0]:
+            window.push(Item("a", (0, 0), time))
+        assert [item.time for item in window] == [5.0]
+
+    def test_out_of_order_push_rejected(self):
+        window = SlidingWindow(max_items=4)
+        window.push(Item("a", (0, 0), 3.0))
+        with pytest.raises(ValueError):
+            window.push(Item("a", (0, 0), 1.0))
+
+    def test_requires_a_bound(self):
+        with pytest.raises(ValueError):
+            SlidingWindow()
+
+    def test_as_tangle_defaults_unknown_labels_to_zero(self):
+        window = SlidingWindow(max_items=10)
+        window.push(Item("a", (1, 0), 0.0))
+        window.push(Item("b", (2, 1), 1.0))
+        tangle = window.as_tangle({"a": 3}, SPEC)
+        assert tangle.label_of("a") == 3
+        assert tangle.label_of("b") == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(1, 20), min_size=1, max_size=40), st.integers(1, 8))
+    def test_window_never_exceeds_bound(self, gaps, bound):
+        window = SlidingWindow(max_items=bound)
+        time = 0.0
+        for gap in gaps:
+            time += gap
+            window.push(Item("k", (0, 0), time))
+            assert len(window) <= bound
+        assert window.evicted == max(0, len(gaps) - bound)
+
+
+class TestKeyTracker:
+    def test_counts_observations_per_key(self):
+        tracker = KeyTracker()
+        tangle = make_tangle([3, 2])
+        for event in replay(tangle):
+            tracker.observe(event)
+        assert tracker.observations("k0") == 3
+        assert tracker.observations("k1") == 2
+        assert tracker.observations("missing") == 0
+
+    def test_mark_done_removes_from_active(self):
+        tracker = KeyTracker()
+        for event in replay(make_tangle([2, 2])):
+            tracker.observe(event)
+        tracker.mark_done("k0")
+        assert tracker.active_keys() == ["k1"]
+
+    def test_idle_expiry(self):
+        tracker = KeyTracker(idle_timeout=5.0)
+        tracker.observe(StreamEvent(0.0, Item("a", (0, 0), 0.0)))
+        tracker.observe(StreamEvent(1.0, Item("b", (0, 0), 1.0)))
+        expired = tracker.expire_idle(now=10.0)
+        assert set(expired) == {"a", "b"}
+        assert tracker.active_keys(now=10.0) == []
+
+    def test_duration(self):
+        tracker = KeyTracker()
+        tracker.observe(StreamEvent(1.0, Item("a", (0, 0), 1.0)))
+        tracker.observe(StreamEvent(4.0, Item("a", (0, 0), 4.0)))
+        assert tracker.states()["a"].duration == pytest.approx(3.0)
+
+
+class TestStreamPrefixes:
+    def test_prefixes_have_requested_lengths(self):
+        tangle = make_tangle([4, 4])
+        prefixes = stream_prefixes(tangle, [0, 3, 100])
+        assert len(prefixes[0]) == 0
+        assert len(prefixes[3]) == 3
+        assert len(prefixes[100]) == 8
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            stream_prefixes(make_tangle([2]), [-1])

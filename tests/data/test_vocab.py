@@ -1,0 +1,81 @@
+"""Tests for the value encoders."""
+
+import numpy as np
+import pytest
+
+from repro.data.vocab import BucketEncoder, CategoricalEncoder, ValueEncoder
+
+
+class TestCategoricalEncoder:
+    def test_assigns_dense_codes(self):
+        encoder = CategoricalEncoder()
+        assert encoder.encode("tcp") == 0
+        assert encoder.encode("udp") == 1
+        assert encoder.encode("tcp") == 0
+        assert len(encoder) == 2
+
+    def test_fit_registers_all_values(self):
+        encoder = CategoricalEncoder().fit(["a", "b", "c", "a"])
+        assert len(encoder) == 3
+
+    def test_frozen_encoder_maps_unknown_to_unk(self):
+        encoder = CategoricalEncoder().fit(["a", "b"]).freeze()
+        unk_code = encoder.encode("never-seen")
+        assert unk_code == encoder.encode("also-never-seen")
+        assert encoder.cardinality == 3
+
+    def test_cardinality_of_empty_encoder_is_positive(self):
+        assert CategoricalEncoder().cardinality == 1
+
+
+class TestBucketEncoder:
+    def test_uniform_buckets(self):
+        encoder = BucketEncoder(4, low=0.0, high=4.0)
+        assert encoder.encode(0.1) == 0
+        assert encoder.encode(3.9) == 3
+        assert encoder.cardinality == 4
+
+    def test_values_outside_range_clamp_to_edge_buckets(self):
+        encoder = BucketEncoder(4, low=0.0, high=4.0)
+        assert encoder.encode(-10.0) == 0
+        assert encoder.encode(10.0) == 3
+
+    def test_fit_quantiles(self):
+        encoder = BucketEncoder(2, low=0.0, high=1.0)
+        encoder.fit(np.concatenate([np.zeros(50), np.full(50, 100.0)]))
+        assert encoder.encode(1.0) == 0
+        assert encoder.encode(99.0) == 1
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            BucketEncoder(0)
+        with pytest.raises(ValueError):
+            BucketEncoder(2, low=1.0, high=0.0)
+
+
+class TestValueEncoder:
+    def test_encode_and_spec(self):
+        encoder = ValueEncoder(
+            encoders=[BucketEncoder(8, 0, 1500, name="size"), CategoricalEncoder("direction").fit(["up", "down"])],
+            field_names=("size", "direction"),
+            session_field=1,
+        )
+        codes = encoder.encode((700.0, "down"))
+        assert len(codes) == 2
+        assert codes[1] == 1
+        spec = encoder.spec()
+        assert spec.cardinalities[0] == 8
+        assert spec.session_field == 1
+
+    def test_arity_mismatch_rejected(self):
+        encoder = ValueEncoder([BucketEncoder(4)])
+        with pytest.raises(ValueError):
+            encoder.encode((1.0, 2.0))
+
+    def test_requires_at_least_one_encoder(self):
+        with pytest.raises(ValueError):
+            ValueEncoder([])
+
+    def test_field_names_default_to_encoder_names(self):
+        encoder = ValueEncoder([BucketEncoder(4, name="size")])
+        assert encoder.spec().field_names == ("size",)

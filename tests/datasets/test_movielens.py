@@ -1,0 +1,78 @@
+"""Tests for the synthetic MovieLens-1M analogue."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.movielens import (
+    GENRES,
+    SyntheticMovieLensConfig,
+    generate_movielens_dataset,
+    make_movielens_1m,
+)
+from repro.datasets.stats import compute_statistics
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        SyntheticMovieLensConfig()
+
+    def test_invalid_stickiness_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticMovieLensConfig(genre_stickiness=1.5)
+
+    def test_too_few_users_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticMovieLensConfig(num_users=1)
+
+
+class TestGeneratedData:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return make_movielens_1m(num_users=40, seed=9, mean_sequence_length=50.0)
+
+    def test_binary_labels(self, dataset):
+        assert dataset.num_classes == 2
+        assert {sequence.label for sequence in dataset.sequences} == {0, 1}
+
+    def test_value_schema(self, dataset):
+        assert dataset.spec.field_names == ("movie", "genre", "rating")
+        assert dataset.spec.session_field == 1
+        assert dataset.spec.cardinalities[1] == len(GENRES)
+
+    def test_movie_id_consistent_with_genre(self, dataset):
+        movies_per_genre = dataset.spec.cardinalities[0] // len(GENRES)
+        for sequence in dataset.sequences[:10]:
+            for item in sequence:
+                movie, genre, _ = item.value
+                assert movie // movies_per_genre == genre
+
+    def test_sequence_lengths_reasonable(self, dataset):
+        stats = compute_statistics(dataset)
+        assert 30 <= stats.avg_sequence_length <= 80
+
+    def test_sessions_are_short_genre_runs(self, dataset):
+        stats = compute_statistics(dataset)
+        assert 1.0 < stats.avg_session_length < 4.0
+
+    def test_ratings_in_range(self, dataset):
+        for sequence in dataset.sequences[:10]:
+            for item in sequence:
+                assert 0 <= item.value[2] < dataset.spec.cardinalities[2]
+
+    def test_deterministic_given_seed(self):
+        first = make_movielens_1m(num_users=10, seed=4)
+        second = make_movielens_1m(num_users=10, seed=4)
+        for a, b in zip(first.sequences, second.sequences):
+            assert [item.value for item in a] == [item.value for item in b]
+
+    def test_classes_have_distinct_genre_preferences(self):
+        dataset = make_movielens_1m(num_users=60, seed=11, mean_sequence_length=80.0)
+        genre_counts = {0: np.zeros(len(GENRES)), 1: np.zeros(len(GENRES))}
+        for sequence in dataset.sequences:
+            for item in sequence:
+                genre_counts[sequence.label][item.value[1]] += 1
+        distributions = {
+            label: counts / counts.sum() for label, counts in genre_counts.items()
+        }
+        total_variation = 0.5 * np.abs(distributions[0] - distributions[1]).sum()
+        assert total_variation > 0.05

@@ -1,0 +1,83 @@
+"""Tests for the Synthetic-Traffic (early-stop / late-stop) generator."""
+
+import pytest
+
+from repro.datasets.synthetic_stop import (
+    SyntheticStopConfig,
+    generate_synthetic_stop_dataset,
+    make_synthetic_traffic,
+)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        SyntheticStopConfig()
+
+    def test_signal_longer_than_flow_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticStopConfig(flow_length=10, signal_length=10)
+
+    def test_invalid_subset_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticStopConfig(subset="middle")
+
+    def test_too_few_size_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticStopConfig(num_size_buckets=2)
+
+
+class TestEarlyStop:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return make_synthetic_traffic(num_flows=30, subset="early", seed=1, flow_length=40)
+
+    def test_all_flows_have_stop_positions(self, dataset):
+        assert set(dataset.true_stop_positions) == {s.key for s in dataset.sequences}
+
+    def test_stop_positions_equal_signal_length(self, dataset):
+        assert all(position == 10 for position in dataset.true_stop_positions.values())
+
+    def test_signal_occupies_the_prefix(self, dataset):
+        empty_code = dataset.spec.cardinalities[0] - 1
+        for sequence in dataset.sequences[:5]:
+            signal_sizes = [item.value[0] for item in sequence.items[:10]]
+            filler_sizes = [item.value[0] for item in sequence.items[10:]]
+            assert all(code == empty_code for code in filler_sizes)
+            # Most signal packets use non-empty codes (a few may be noise).
+            assert sum(code != empty_code for code in signal_sizes) >= 7
+
+    def test_binary_balanced_labels(self, dataset):
+        labels = [sequence.label for sequence in dataset.sequences]
+        assert labels.count(0) == labels.count(1)
+
+    def test_classes_use_disjoint_signal_codes(self):
+        dataset = make_synthetic_traffic(
+            num_flows=20, subset="early", seed=2, flow_length=30, noise_probability=0.0
+        )
+        empty_code = dataset.spec.cardinalities[0] - 1
+        per_class_codes = {0: set(), 1: set()}
+        for sequence in dataset.sequences:
+            for item in sequence.items[:10]:
+                if item.value[0] != empty_code:
+                    per_class_codes[sequence.label].add(item.value[0])
+        assert per_class_codes[0].isdisjoint(per_class_codes[1])
+
+
+class TestLateStop:
+    def test_stop_positions_at_the_end(self):
+        dataset = make_synthetic_traffic(num_flows=10, subset="late", seed=3, flow_length=40)
+        assert all(position == 40 for position in dataset.true_stop_positions.values())
+
+    def test_signal_occupies_the_suffix(self):
+        dataset = make_synthetic_traffic(
+            num_flows=10, subset="late", seed=4, flow_length=40, noise_probability=0.0
+        )
+        empty_code = dataset.spec.cardinalities[0] - 1
+        for sequence in dataset.sequences[:5]:
+            prefix_sizes = [item.value[0] for item in sequence.items[:30]]
+            suffix_sizes = [item.value[0] for item in sequence.items[30:]]
+            assert all(code == empty_code for code in prefix_sizes)
+            assert all(code != empty_code for code in suffix_sizes)
+
+    def test_dataset_name_encodes_subset(self):
+        assert "late" in make_synthetic_traffic(num_flows=4, subset="late").name

@@ -1,0 +1,115 @@
+"""Tests for the synthetic traffic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.sessions import average_session_length
+from repro.datasets.stats import compute_statistics
+from repro.datasets.traffic import (
+    SyntheticTrafficConfig,
+    generate_traffic_dataset,
+    make_traffic_app,
+    make_traffic_fg,
+    make_ustc_tfc2016,
+)
+
+
+class TestConfigValidation:
+    def test_defaults_are_valid(self):
+        SyntheticTrafficConfig()
+
+    def test_too_few_classes_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticTrafficConfig(num_classes=1)
+
+    def test_fewer_flows_than_classes_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticTrafficConfig(num_classes=9, num_flows=5)
+
+    def test_mean_length_below_minimum_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticTrafficConfig(mean_flow_length=5, min_flow_length=10)
+
+
+class TestGeneratedStructure:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return make_ustc_tfc2016(num_flows=54, seed=3)
+
+    def test_number_of_flows(self, dataset):
+        assert len(dataset) == 54
+
+    def test_all_classes_present(self, dataset):
+        labels = {sequence.label for sequence in dataset.sequences}
+        assert labels == set(range(9))
+
+    def test_flow_lengths_respect_minimum(self, dataset):
+        assert all(len(sequence) >= 10 for sequence in dataset.sequences)
+
+    def test_values_conform_to_spec(self, dataset):
+        for sequence in dataset.sequences[:10]:
+            for item in sequence:
+                dataset.spec.validate_value(item.value)
+
+    def test_times_are_monotone_within_flows(self, dataset):
+        for sequence in dataset.sequences[:10]:
+            times = sequence.times()
+            assert times == sorted(times)
+
+    def test_session_field_is_direction(self, dataset):
+        assert dataset.spec.field_names[dataset.spec.session_field] == "direction"
+
+    def test_statistics_close_to_configuration(self, dataset):
+        stats = compute_statistics(dataset)
+        assert stats.num_classes == 9
+        assert 20 <= stats.avg_sequence_length <= 45
+        assert stats.avg_session_length > 1.5
+
+    def test_deterministic_given_seed(self):
+        first = make_ustc_tfc2016(num_flows=12, seed=7)
+        second = make_ustc_tfc2016(num_flows=12, seed=7)
+        for a, b in zip(first.sequences, second.sequences):
+            assert [item.value for item in a] == [item.value for item in b]
+
+    def test_different_seeds_differ(self):
+        first = make_ustc_tfc2016(num_flows=12, seed=7)
+        second = make_ustc_tfc2016(num_flows=12, seed=8)
+        assert any(
+            [item.value for item in a] != [item.value for item in b]
+            for a, b in zip(first.sequences, second.sequences)
+        )
+
+
+class TestClassSignal:
+    def test_classes_have_distinct_early_signatures(self):
+        """The first packets must carry class information (the property KVEC uses)."""
+        dataset = generate_traffic_dataset(
+            SyntheticTrafficConfig(num_classes=4, num_flows=80, noise_probability=0.0, seed=5)
+        )
+        prefixes = {}
+        for sequence in dataset.sequences:
+            prefix = tuple(item.value for item in sequence.items[:3])
+            prefixes.setdefault(sequence.label, set()).add(prefix)
+        # Each class has a dominant handshake prefix distinct from other classes.
+        representative = {label: min(values) for label, values in prefixes.items()}
+        assert len(set(representative.values())) == len(representative)
+
+
+class TestVariants:
+    def test_traffic_fg_shape(self):
+        dataset = make_traffic_fg(num_flows=48, seed=1)
+        assert dataset.num_classes == 12
+        assert dataset.name == "Traffic-FG"
+
+    def test_traffic_app_shape(self):
+        dataset = make_traffic_app(num_flows=40, seed=1)
+        assert dataset.num_classes == 10
+        stats = compute_statistics(dataset)
+        assert stats.avg_sequence_length > make_ustc_tfc2016(40, seed=1).sequences[0].items[0].time * 0 + 30
+
+    def test_fg_sessions_shorter_than_ustc(self):
+        fg = make_traffic_fg(num_flows=60, seed=2)
+        ustc = make_ustc_tfc2016(num_flows=60, seed=2)
+        fg_sessions = average_session_length(fg.sequences, fg.spec.session_field)
+        ustc_sessions = average_session_length(ustc.sequences, ustc.spec.session_field)
+        assert fg_sessions < ustc_sessions

@@ -1,0 +1,113 @@
+"""Tests for the confidence-calibration diagnostics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import PredictionRecord
+from repro.eval.calibration import (
+    confidence_accuracy_tradeoff,
+    expected_calibration_error,
+    overconfidence,
+    reliability_bins,
+    render_reliability,
+)
+
+
+def make_record(index, confidence, correct):
+    return PredictionRecord(
+        key=f"k{index}",
+        predicted=1 if correct else 0,
+        label=1,
+        halt_observation=1,
+        sequence_length=2,
+        confidence=confidence,
+    )
+
+
+def perfectly_calibrated(num=200, seed=0):
+    """Records whose correctness probability equals their confidence."""
+    rng = np.random.default_rng(seed)
+    records = []
+    for index in range(num):
+        confidence = float(rng.uniform(0.05, 0.95))
+        records.append(make_record(index, confidence, bool(rng.random() < confidence)))
+    return records
+
+
+class TestReliabilityBins:
+    def test_bin_count_and_ranges(self):
+        bins = reliability_bins(perfectly_calibrated(), num_bins=5)
+        assert len(bins) == 5
+        assert bins[0].lower == pytest.approx(0.0)
+        assert bins[-1].upper == pytest.approx(1.0)
+        assert sum(bin.count for bin in bins) == 200
+
+    def test_confidence_one_lands_in_last_bin(self):
+        records = [make_record(0, 1.0, True)]
+        bins = reliability_bins(records, num_bins=10)
+        assert bins[-1].count == 1
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            reliability_bins([], num_bins=0)
+
+
+class TestECE:
+    def test_calibrated_predictions_have_small_ece(self):
+        ece = expected_calibration_error(perfectly_calibrated(num=400), num_bins=10)
+        assert ece < 0.12
+
+    def test_overconfident_predictions_have_large_ece(self):
+        # Always 95% confident but only 50% correct.
+        records = [make_record(i, 0.95, i % 2 == 0) for i in range(100)]
+        ece = expected_calibration_error(records, num_bins=10)
+        assert ece == pytest.approx(0.45, abs=0.02)
+
+    def test_empty_records(self):
+        assert expected_calibration_error([]) == 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.floats(0, 1), st.booleans()), min_size=1, max_size=60))
+    def test_ece_bounded(self, pairs):
+        records = [make_record(i, confidence, correct) for i, (confidence, correct) in enumerate(pairs)]
+        assert 0.0 <= expected_calibration_error(records) <= 1.0
+
+
+class TestOverconfidence:
+    def test_sign(self):
+        overconfident = [make_record(i, 0.9, False) for i in range(10)]
+        underconfident = [make_record(i, 0.1, True) for i in range(10)]
+        assert overconfidence(overconfident) > 0
+        assert overconfidence(underconfident) < 0
+
+    def test_empty(self):
+        assert overconfidence([]) == 0.0
+
+
+class TestTradeoff:
+    def test_coverage_decreases_with_threshold(self):
+        records = perfectly_calibrated()
+        rows = confidence_accuracy_tradeoff(records)
+        coverages = [coverage for _, coverage, _ in rows]
+        assert coverages[0] == pytest.approx(1.0)
+        assert all(a >= b - 1e-12 for a, b in zip(coverages, coverages[1:]))
+
+    def test_accuracy_improves_for_calibrated_model(self):
+        records = perfectly_calibrated(num=500)
+        rows = confidence_accuracy_tradeoff(records, thresholds=[0.0, 0.8])
+        low_threshold_accuracy = rows[0][2]
+        high_threshold_accuracy = rows[1][2]
+        assert high_threshold_accuracy > low_threshold_accuracy
+
+    def test_custom_thresholds(self):
+        rows = confidence_accuracy_tradeoff(perfectly_calibrated(), thresholds=[0.25, 0.75])
+        assert [threshold for threshold, _, _ in rows] == [0.25, 0.75]
+
+
+class TestRender:
+    def test_render_contains_ece(self):
+        rendered = render_reliability(perfectly_calibrated(num=50))
+        assert "ECE=" in rendered
+        assert "accuracy per confidence bin" in rendered

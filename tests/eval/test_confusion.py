@@ -1,0 +1,108 @@
+"""Tests for the confusion matrix and classification report."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import PredictionRecord
+from repro.eval.confusion import ClassReport, ConfusionMatrix, classification_report
+from repro.eval.metrics import accuracy, macro_f1, macro_precision, macro_recall
+
+
+def make_records(pairs):
+    """Build records from (label, predicted) pairs."""
+    return [
+        PredictionRecord(key=f"k{i}", predicted=predicted, label=label, halt_observation=1, sequence_length=2)
+        for i, (label, predicted) in enumerate(pairs)
+    ]
+
+
+class TestConfusionMatrix:
+    def test_counts_and_accuracy(self):
+        records = make_records([(0, 0), (0, 1), (1, 1), (1, 1)])
+        matrix = ConfusionMatrix.from_records(records)
+        assert matrix.total == 4
+        assert matrix.counts[0, 0] == 1
+        assert matrix.counts[0, 1] == 1
+        assert matrix.counts[1, 1] == 2
+        assert matrix.accuracy() == pytest.approx(0.75)
+
+    def test_precision_recall_f1(self):
+        records = make_records([(0, 0), (0, 1), (1, 1), (1, 0)])
+        matrix = ConfusionMatrix.from_records(records)
+        assert matrix.precision(0) == pytest.approx(0.5)
+        assert matrix.recall(0) == pytest.approx(0.5)
+        assert matrix.f1(0) == pytest.approx(0.5)
+
+    def test_support(self):
+        matrix = ConfusionMatrix.from_records(make_records([(0, 1), (0, 0), (1, 1)]))
+        assert matrix.support(0) == 2
+        assert matrix.support(1) == 1
+
+    def test_out_of_range_rejected(self):
+        matrix = ConfusionMatrix(2)
+        with pytest.raises(ValueError):
+            matrix.add(2, 0)
+
+    def test_merge(self):
+        first = ConfusionMatrix.from_records(make_records([(0, 0)]), num_classes=2)
+        second = ConfusionMatrix.from_records(make_records([(1, 0)]), num_classes=2)
+        merged = first.merge(second)
+        assert merged.total == 2
+        assert merged.counts[1, 0] == 1
+
+    def test_merge_size_mismatch(self):
+        with pytest.raises(ValueError):
+            ConfusionMatrix(2).merge(ConfusionMatrix(3))
+
+    def test_most_confused_pairs(self):
+        records = make_records([(0, 1), (0, 1), (1, 0), (2, 2)])
+        matrix = ConfusionMatrix.from_records(records)
+        pairs = matrix.most_confused_pairs(top=2)
+        assert pairs[0] == (0, 1, 2)
+        assert pairs[1] == (1, 0, 1)
+
+    def test_render_contains_all_classes(self):
+        matrix = ConfusionMatrix.from_records(make_records([(0, 0), (1, 2), (2, 2)]))
+        rendered = matrix.render(class_names=["benign", "scan", "ddos"])
+        assert "benign" in rendered and "ddos" in rendered
+
+    def test_render_name_length_checked(self):
+        with pytest.raises(ValueError):
+            ConfusionMatrix(3).render(class_names=["a", "b"])
+
+
+class TestAgreementWithMetrics:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 3)),
+            min_size=2,
+            max_size=40,
+        )
+    )
+    def test_matches_metrics_module(self, pairs):
+        """The matrix-derived macro metrics must agree with repro.eval.metrics."""
+        records = make_records(pairs)
+        matrix = ConfusionMatrix.from_records(records, num_classes=4)
+        precision, recall, f1 = matrix.macro_averages()
+        assert matrix.accuracy() == pytest.approx(accuracy(records))
+        assert precision == pytest.approx(macro_precision(records))
+        assert recall == pytest.approx(macro_recall(records))
+        assert f1 == pytest.approx(macro_f1(records))
+
+
+class TestClassificationReport:
+    def test_report_structure(self):
+        records = make_records([(0, 0), (1, 1), (1, 0), (2, 2)])
+        report = classification_report(records, num_classes=3, class_names=["a", "b", "c"])
+        lines = report.splitlines()
+        assert lines[0].split() == ["class", "precision", "recall", "f1", "support"]
+        assert len(lines) == 1 + 3 + 2  # header + classes + macro avg + accuracy
+        assert "macro avg" in report
+        assert "accuracy" in report
+
+    def test_wrong_names_length(self):
+        with pytest.raises(ValueError):
+            classification_report(make_records([(0, 0), (1, 1)]), num_classes=2, class_names=["x"])

@@ -1,0 +1,82 @@
+"""Tests for performance curves, comparisons and ASCII reporting."""
+
+import pytest
+
+from repro.eval.curves import CurvePoint, PerformanceCurve, compare_at_earliness
+from repro.eval.metrics import MetricSummary
+from repro.eval.reporting import (
+    render_comparison_row,
+    render_curves,
+    render_metric_table,
+    render_series,
+)
+
+
+def summary(accuracy, earliness):
+    return MetricSummary(
+        accuracy=accuracy,
+        precision=accuracy,
+        recall=accuracy,
+        f1=accuracy,
+        earliness=earliness,
+        harmonic_mean=2 * (1 - earliness) * accuracy / max(1 - earliness + accuracy, 1e-9),
+        num_sequences=10,
+    )
+
+
+@pytest.fixture
+def curve():
+    return PerformanceCurve(
+        method="KVEC",
+        points=[
+            CurvePoint(trade_off=0.1, summary=summary(0.9, 0.5)),
+            CurvePoint(trade_off=0.5, summary=summary(0.7, 0.1)),
+            CurvePoint(trade_off=0.01, summary=summary(0.95, 0.9)),
+        ],
+    )
+
+
+class TestPerformanceCurve:
+    def test_series_sorted_by_earliness(self, curve):
+        series = curve.series("accuracy")
+        assert [point[0] for point in series] == sorted(point[0] for point in series)
+
+    def test_best_point(self, curve):
+        assert curve.best("accuracy").summary.accuracy == pytest.approx(0.95)
+
+    def test_best_of_empty_curve_is_none(self):
+        assert PerformanceCurve("x").best("accuracy") is None
+
+    def test_value_at_earliness_filters(self, curve):
+        assert curve.value_at_earliness("accuracy", 0.2) == pytest.approx(0.7)
+        assert curve.value_at_earliness("accuracy", 0.95) == pytest.approx(0.95)
+        assert curve.value_at_earliness("accuracy", 0.01) is None
+
+    def test_compare_at_earliness(self, curve):
+        other = PerformanceCurve("SRN", [CurvePoint(1.0, summary(0.5, 0.15))])
+        comparison = compare_at_earliness({"KVEC": curve, "SRN": other}, "accuracy", 0.2)
+        assert comparison["KVEC"] == pytest.approx(0.7)
+        assert comparison["SRN"] == pytest.approx(0.5)
+
+
+class TestReporting:
+    def test_metric_table_contains_methods_and_values(self):
+        table = render_metric_table({"KVEC": summary(0.91, 0.2)}, title="results")
+        assert "results" in table
+        assert "KVEC" in table
+        assert "0.910" in table
+
+    def test_render_curves_lists_points(self, curve):
+        text = render_curves({"KVEC": curve}, metric="accuracy")
+        assert "KVEC:" in text
+        assert text.count("earliness=") == 3
+
+    def test_render_series(self):
+        text = render_series([(0.1, 1.0), (0.2, 2.0)], "x", "y", title="t")
+        assert text.startswith("t")
+        assert "x=" in text and "y=" in text
+
+    def test_render_comparison_row_handles_none(self):
+        row = render_comparison_row({"a": 0.5, "b": None}, title="acc@10%")
+        assert "acc@10%" in row
+        assert "b=n/a" in row

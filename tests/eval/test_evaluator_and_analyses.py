@@ -1,0 +1,105 @@
+"""Tests for the evaluator, the KVEC estimator adapter and the RQ analyses."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.srn_fixed import SRNFixed
+from repro.baselines.prefix import PrefixSRNConfig
+from repro.eval.attention_analysis import attention_score_profile
+from repro.eval.estimators import KVECEstimator
+from repro.eval.evaluator import evaluate_method, prepare_tangled_splits
+from repro.eval.halting_analysis import (
+    distribution_distance,
+    halting_position_distribution,
+    true_halting_distribution,
+)
+
+
+class TestPrepareTangledSplits:
+    def test_splits_have_expected_structure(self, tiny_traffic_dataset):
+        splits = prepare_tangled_splits(tiny_traffic_dataset, concurrency=3, seed=0)
+        train, validation, test = splits.sizes()
+        assert train > 0 and test > 0
+        assert splits.num_classes == tiny_traffic_dataset.num_classes
+        assert splits.spec is tiny_traffic_dataset.spec
+
+    def test_no_key_leakage_between_subsets(self, tiny_traffic_dataset):
+        splits = prepare_tangled_splits(tiny_traffic_dataset, concurrency=3, seed=1)
+        train_keys = {key for tangle in splits.train for key in tangle.keys}
+        test_keys = {key for tangle in splits.test for key in tangle.keys}
+        assert not train_keys & test_keys
+
+    def test_concurrency_respected(self, tiny_traffic_dataset):
+        splits = prepare_tangled_splits(tiny_traffic_dataset, concurrency=4, seed=2)
+        assert max(tangle.num_keys for tangle in splits.train) <= 4
+
+
+class TestEvaluateMethod:
+    def test_returns_summary_and_records(self, tiny_splits, tiny_traffic_dataset):
+        splits = prepare_tangled_splits(tiny_traffic_dataset, concurrency=3, seed=0)
+        method = SRNFixed(
+            splits.spec,
+            splits.num_classes,
+            halt_time=5,
+            config=PrefixSRNConfig(d_model=16, num_blocks=1, epochs=1, batch_size=8),
+        )
+        result = evaluate_method(method, splits)
+        assert result.method == "SRN-Fixed"
+        assert result.summary.num_sequences == len(result.records)
+        assert 0.0 <= result.metric("accuracy") <= 1.0
+
+    def test_kvec_estimator_interface(self, tiny_splits, tiny_kvec_config):
+        estimator = KVECEstimator(tiny_splits["spec"], tiny_splits["num_classes"], tiny_kvec_config)
+        estimator.fit(tiny_splits["train"])
+        assert estimator.history is not None
+        records = estimator.predict_all(tiny_splits["test"])
+        assert records
+        assert all(0 <= r.predicted < tiny_splits["num_classes"] for r in records)
+
+
+class TestAttentionAnalysis:
+    def test_profile_points_are_well_formed(self, trained_tiny_kvec):
+        model = trained_tiny_kvec["model"]
+        splits = trained_tiny_kvec["splits"]
+        points = attention_score_profile(model, splits["test"][:2], earliness_levels=(0.2, 1.0))
+        assert len(points) == 2
+        for point in points:
+            assert point.internal_score >= 0.0
+            assert point.external_score >= 0.0
+            assert point.internal_score + point.external_score <= 1.0 + 1e-6
+            assert 0.0 <= point.accuracy <= 1.0
+
+    def test_internal_attention_grows_with_observation(self, trained_tiny_kvec):
+        model = trained_tiny_kvec["model"]
+        splits = trained_tiny_kvec["splits"]
+        points = attention_score_profile(model, splits["test"][:2], earliness_levels=(0.1, 1.0))
+        assert points[-1].internal_score >= points[0].internal_score - 0.05
+
+
+class TestHaltingAnalysis:
+    def test_true_distribution_concentrated_at_signal_end(self, tiny_stop_dataset):
+        splits = prepare_tangled_splits(tiny_stop_dataset, concurrency=2, seed=0)
+        distribution = true_halting_distribution(tiny_stop_dataset, splits.test, num_bins=10)
+        assert distribution.proportions.sum() == pytest.approx(1.0)
+        # Stop signal ends at item 10 of 30 -> fraction 1/3.
+        assert distribution.mean_earliness() == pytest.approx(1.0 / 3.0, abs=0.1)
+
+    def test_predicted_distribution_sums_to_one(self, tiny_stop_dataset, tiny_kvec_config):
+        splits = prepare_tangled_splits(tiny_stop_dataset, concurrency=2, seed=0)
+        estimator = KVECEstimator(splits.spec, splits.num_classes, tiny_kvec_config)
+        estimator.fit(splits.train)
+        distribution = halting_position_distribution(estimator, splits.test, num_bins=10)
+        assert distribution.proportions.sum() == pytest.approx(1.0)
+        assert len(distribution.as_series()) == 10
+
+    def test_distribution_distance_properties(self, tiny_stop_dataset):
+        splits = prepare_tangled_splits(tiny_stop_dataset, concurrency=2, seed=0)
+        distribution = true_halting_distribution(tiny_stop_dataset, splits.test, num_bins=10)
+        assert distribution_distance(distribution, distribution) == pytest.approx(0.0)
+
+    def test_distribution_distance_requires_same_binning(self, tiny_stop_dataset):
+        splits = prepare_tangled_splits(tiny_stop_dataset, concurrency=2, seed=0)
+        coarse = true_halting_distribution(tiny_stop_dataset, splits.test, num_bins=5)
+        fine = true_halting_distribution(tiny_stop_dataset, splits.test, num_bins=10)
+        with pytest.raises(ValueError):
+            distribution_distance(coarse, fine)

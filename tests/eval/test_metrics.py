@@ -1,0 +1,115 @@
+"""Tests for the Section V-A3 metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import PredictionRecord
+from repro.eval.metrics import (
+    accuracy,
+    earliness,
+    harmonic_mean,
+    macro_f1,
+    macro_precision,
+    macro_recall,
+    summarize,
+)
+
+
+def record(predicted, label, halted=5, length=10):
+    return PredictionRecord(
+        key=f"k{np.random.default_rng().integers(1 << 30)}",
+        predicted=predicted,
+        label=label,
+        halt_observation=halted,
+        sequence_length=length,
+    )
+
+
+class TestBasicMetrics:
+    def test_accuracy(self):
+        records = [record(0, 0), record(1, 1), record(1, 0), record(0, 0)]
+        assert accuracy(records) == pytest.approx(0.75)
+
+    def test_earliness(self):
+        records = [record(0, 0, halted=2, length=10), record(0, 0, halted=10, length=10)]
+        assert earliness(records) == pytest.approx(0.6)
+
+    def test_empty_records(self):
+        assert accuracy([]) == 0.0
+        assert earliness([]) == 0.0
+        assert macro_f1([]) == 0.0
+
+    def test_perfect_binary_predictions(self):
+        records = [record(0, 0), record(1, 1)]
+        assert macro_precision(records) == 1.0
+        assert macro_recall(records) == 1.0
+        assert macro_f1(records) == 1.0
+
+    def test_precision_recall_hand_computed(self):
+        # class 0: TP=1 FP=1 FN=0 -> P=0.5 R=1; class 1: TP=0 FP=0 FN=1 -> P=0 R=0
+        records = [record(0, 0), record(0, 1)]
+        assert macro_precision(records) == pytest.approx(0.25)
+        assert macro_recall(records) == pytest.approx(0.5)
+
+    def test_f1_is_zero_when_nothing_correct(self):
+        records = [record(1, 0), record(0, 1)]
+        assert macro_f1(records) == 0.0
+
+
+class TestHarmonicMean:
+    def test_matches_formula(self):
+        value = harmonic_mean(0.8, 0.1)
+        expected = 2 * 0.9 * 0.8 / (0.9 + 0.8)
+        assert value == pytest.approx(expected)
+
+    def test_zero_when_earliness_is_one(self):
+        assert harmonic_mean(0.9, 1.0) == 0.0
+
+    def test_zero_when_accuracy_is_zero(self):
+        assert harmonic_mean(0.0, 0.2) == 0.0
+
+    @given(st.floats(0, 1), st.floats(0, 1))
+    @settings(max_examples=60, deadline=None)
+    def test_bounded_by_unit_interval(self, acc, early):
+        value = harmonic_mean(acc, early)
+        assert 0.0 <= value <= 1.0
+
+    @given(st.floats(0.01, 1), st.floats(0, 0.99))
+    @settings(max_examples=60, deadline=None)
+    def test_bounded_between_min_and_max_of_components(self, acc, early):
+        value = harmonic_mean(acc, early)
+        timeliness = 1.0 - early
+        assert min(acc, timeliness) - 1e-12 <= value <= max(acc, timeliness) + 1e-12
+
+
+class TestSummarize:
+    def test_summary_consistency(self):
+        records = [record(0, 0, 2, 10), record(1, 1, 4, 10), record(0, 1, 10, 10)]
+        summary = summarize(records)
+        assert summary.num_sequences == 3
+        assert summary.accuracy == pytest.approx(accuracy(records))
+        assert summary.earliness == pytest.approx(earliness(records))
+        assert summary.harmonic_mean == pytest.approx(
+            harmonic_mean(summary.accuracy, summary.earliness)
+        )
+        assert set(summary.as_dict()) == {
+            "accuracy", "precision", "recall", "f1", "earliness", "harmonic_mean", "num_sequences",
+        }
+
+    def test_metric_lookup_by_name(self):
+        summary = summarize([record(0, 0)])
+        assert summary.metric("accuracy") == summary.accuracy
+        with pytest.raises(KeyError):
+            summary.metric("nonexistent")
+
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3),
+                              st.integers(1, 20), st.integers(20, 40)), min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_all_metrics_bounded(self, rows):
+        records = [record(p, l, halted=h, length=n) for p, l, h, n in rows]
+        summary = summarize(records)
+        for name in ("accuracy", "precision", "recall", "f1", "harmonic_mean"):
+            assert 0.0 <= summary.metric(name) <= 1.0
+        assert 0.0 < summary.earliness <= 1.0

@@ -1,0 +1,96 @@
+"""Tests for the ASCII plotting helpers."""
+
+import pytest
+
+from repro.eval.plotting import AsciiCanvas, histogram, line_plot, sparkline
+
+
+class TestAsciiCanvas:
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            AsciiCanvas(width=5, height=20)
+        with pytest.raises(ValueError):
+            AsciiCanvas(x_range=(1.0, 0.0))
+
+    def test_plot_counts_in_range_points(self):
+        canvas = AsciiCanvas(width=20, height=10, x_range=(0, 1), y_range=(0, 1))
+        drawn = canvas.plot([(0.5, 0.5), (2.0, 0.5)], marker="x")
+        assert drawn == 1
+
+    def test_marker_must_be_single_char(self):
+        canvas = AsciiCanvas(width=20, height=10)
+        with pytest.raises(ValueError):
+            canvas.plot([(0.5, 0.5)], marker="xx")
+
+    def test_render_dimensions(self):
+        canvas = AsciiCanvas(width=30, height=8)
+        canvas.plot([(0.1, 0.9), (0.9, 0.1)])
+        rendered = canvas.render(x_label="earliness", y_label="accuracy")
+        lines = rendered.splitlines()
+        # top border + 8 rows + bottom border + x footer + y label
+        assert len(lines) == 12
+        assert all(len(line) >= 30 for line in lines[1:9])
+
+    def test_corners_are_drawn(self):
+        canvas = AsciiCanvas(width=20, height=10, x_range=(0, 1), y_range=(0, 1))
+        canvas.plot([(0.0, 0.0), (1.0, 1.0)], marker="#")
+        rendered = canvas.render()
+        assert rendered.count("#") == 2
+
+
+class TestLinePlot:
+    def test_contains_legend_and_markers(self):
+        plot = line_plot(
+            {
+                "KVEC": [(0.05, 0.8), (0.2, 0.9)],
+                "EARLIEST": [(0.05, 0.5), (0.2, 0.6)],
+            },
+            title="accuracy vs earliness",
+        )
+        assert "accuracy vs earliness" in plot
+        assert "legend:" in plot
+        assert "o KVEC" in plot
+        assert "x EARLIEST" in plot
+
+    def test_empty_series(self):
+        assert "(no data)" in line_plot({}, title="empty")
+
+    def test_single_point_series_does_not_crash(self):
+        plot = line_plot({"only": [(0.5, 0.5)]})
+        assert "only" in plot
+
+
+class TestHistogram:
+    def test_bars_scale_with_values(self):
+        rendered = histogram([(10.0, 0.1), (50.0, 0.5), (90.0, 1.0)], width=20)
+        lines = rendered.splitlines()
+        bars = [line.count("#") for line in lines]
+        assert bars[0] < bars[1] < bars[2]
+        assert bars[2] == 20
+
+    def test_custom_labels(self):
+        rendered = histogram([(0.0, 0.4), (1.0, 0.6)], bin_labels=["early", "late"])
+        assert "early" in rendered and "late" in rendered
+
+    def test_label_length_checked(self):
+        with pytest.raises(ValueError):
+            histogram([(0.0, 1.0)], bin_labels=["a", "b"])
+
+    def test_empty_bins(self):
+        assert "(no data)" in histogram([])
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1.0, 2.0, 3.0, 2.0])) == 4
+
+    def test_extremes_use_extreme_levels(self):
+        line = sparkline([0.0, 1.0], levels=" #")
+        assert line == " #"
+
+    def test_empty_input(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series(self):
+        line = sparkline([5.0, 5.0, 5.0])
+        assert len(set(line)) == 1

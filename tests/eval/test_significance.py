@@ -1,0 +1,119 @@
+"""Tests for bootstrap confidence intervals and paired significance tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import PredictionRecord
+from repro.eval.significance import (
+    bootstrap_ci,
+    compare_methods,
+    mcnemar_test,
+    paired_bootstrap_test,
+)
+
+
+def make_records(correct_flags, prefix="k", halt=2, length=10):
+    return [
+        PredictionRecord(
+            key=f"{prefix}{i}",
+            predicted=1 if flag else 0,
+            label=1,
+            halt_observation=halt,
+            sequence_length=length,
+        )
+        for i, flag in enumerate(correct_flags)
+    ]
+
+
+class TestBootstrapCI:
+    def test_point_estimate_matches_metric(self):
+        records = make_records([True] * 8 + [False] * 2)
+        interval = bootstrap_ci(records, "accuracy", samples=200, rng=np.random.default_rng(0))
+        assert interval.point == pytest.approx(0.8)
+        assert interval.lower <= interval.point <= interval.upper
+
+    def test_interval_contains_truth_for_degenerate_data(self):
+        records = make_records([True] * 20)
+        interval = bootstrap_ci(records, "accuracy", samples=100, rng=np.random.default_rng(0))
+        assert interval.lower == pytest.approx(1.0)
+        assert interval.upper == pytest.approx(1.0)
+        assert interval.width == pytest.approx(0.0)
+
+    def test_more_data_narrows_the_interval(self):
+        rng = np.random.default_rng(0)
+        small = make_records([True, False] * 5)
+        large = make_records([True, False] * 100)
+        wide = bootstrap_ci(small, "accuracy", samples=300, rng=rng)
+        narrow = bootstrap_ci(large, "accuracy", samples=300, rng=rng)
+        assert narrow.width < wide.width
+
+    def test_works_for_earliness(self):
+        records = make_records([True] * 5, halt=5, length=10)
+        interval = bootstrap_ci(records, "earliness", samples=50, rng=np.random.default_rng(0))
+        assert interval.point == pytest.approx(0.5)
+
+    def test_empty_records_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([], "accuracy")
+
+    def test_invalid_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci(make_records([True]), confidence=1.5)
+
+
+class TestPairedBootstrap:
+    def test_clearly_better_method_gets_small_p(self):
+        better = make_records([True] * 18 + [False] * 2)
+        worse = make_records([True] * 6 + [False] * 14)
+        result = paired_bootstrap_test(
+            better, worse, samples=300, rng=np.random.default_rng(0), method_a="KVEC", method_b="SRN"
+        )
+        assert result.observed_difference > 0
+        assert result.p_value < 0.05
+        assert result.significant()
+
+    def test_identical_methods_not_significant(self):
+        records = make_records([True, False] * 10)
+        result = paired_bootstrap_test(records, records, samples=200, rng=np.random.default_rng(0))
+        assert result.observed_difference == pytest.approx(0.0)
+        assert result.p_value >= 0.5
+
+    def test_disjoint_keys_rejected(self):
+        first = make_records([True] * 3, prefix="a")
+        second = make_records([True] * 3, prefix="b")
+        with pytest.raises(ValueError):
+            paired_bootstrap_test(first, second)
+
+
+class TestMcNemar:
+    def test_no_discordant_pairs_gives_p_one(self):
+        records = make_records([True, False, True])
+        result = mcnemar_test(records, records)
+        assert result.p_value == pytest.approx(1.0)
+
+    def test_strong_asymmetry_is_significant(self):
+        a = make_records([True] * 30)
+        b = make_records([False] * 30)
+        result = mcnemar_test(a, b)
+        assert result.p_value < 0.01
+        assert result.observed_difference == pytest.approx(1.0)
+
+    def test_num_pairs_reported(self):
+        a = make_records([True] * 7)
+        b = make_records([False] * 7)
+        assert mcnemar_test(a, b).num_pairs == 7
+
+
+class TestCompareMethods:
+    def test_renders_one_row_per_method(self):
+        table = compare_methods(
+            {
+                "KVEC": make_records([True] * 10),
+                "EARLIEST": make_records([False] * 10),
+            },
+            samples=50,
+            rng=np.random.default_rng(0),
+        )
+        lines = table.splitlines()
+        assert len(lines) == 3
+        assert "KVEC" in table and "EARLIEST" in table

@@ -1,0 +1,115 @@
+"""Tests for the five-fold cross-validation harness."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.nearest_prefix import NearestPrefixClassifier, NearestPrefixConfig
+from repro.baselines.srn_fixed import SRNFixed
+from repro.baselines.prefix import PrefixSRNConfig
+from repro.datasets.traffic import make_ustc_tfc2016
+from repro.experiments.crossval import (
+    compare_cross_validated,
+    cross_validate,
+    fold_tangles,
+    render_comparison,
+)
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    return make_ustc_tfc2016(num_flows=36, seed=3)
+
+
+def nearest_prefix_builder(spec, num_classes):
+    return NearestPrefixClassifier(spec, num_classes, NearestPrefixConfig(margin=0.0))
+
+
+def srn_fixed_builder(spec, num_classes):
+    config = PrefixSRNConfig(d_model=16, num_blocks=1, epochs=2, batch_size=8)
+    return SRNFixed(spec, num_classes, halt_time=5, config=config)
+
+
+class TestFoldTangles:
+    def test_number_of_folds(self, small_dataset):
+        folds = fold_tangles(small_dataset, folds=3, concurrency=3, seed=0)
+        assert len(folds) == 3
+        for fold in folds:
+            assert fold.num_classes == small_dataset.num_classes
+            assert fold.train and fold.test
+
+    def test_every_key_is_tested_exactly_once(self, small_dataset):
+        folds = fold_tangles(small_dataset, folds=3, concurrency=3, seed=0)
+        tested = []
+        for fold in folds:
+            for tangle in fold.test:
+                tested.extend(tangle.keys)
+        assert sorted(map(str, tested)) == sorted(str(s.key) for s in small_dataset.sequences)
+
+    def test_train_and_test_keys_disjoint_per_fold(self, small_dataset):
+        for fold in fold_tangles(small_dataset, folds=3, concurrency=3, seed=0):
+            train_keys = {key for tangle in fold.train for key in tangle.keys}
+            test_keys = {key for tangle in fold.test for key in tangle.keys}
+            assert not train_keys & test_keys
+
+    def test_invalid_arguments(self, small_dataset):
+        with pytest.raises(ValueError):
+            fold_tangles(small_dataset, folds=1)
+        with pytest.raises(ValueError):
+            fold_tangles(small_dataset, folds=3, concurrency=0)
+
+
+class TestCrossValidate:
+    def test_one_summary_per_fold(self, small_dataset):
+        result = cross_validate(
+            nearest_prefix_builder, small_dataset, folds=3, concurrency=3, seed=0
+        )
+        assert result.num_folds == 3
+        assert result.method == "NearestPrefix"
+        for name in ("accuracy", "earliness", "harmonic_mean"):
+            assert 0.0 <= result.mean(name) <= 1.0
+            assert result.std(name) >= 0.0
+
+    def test_as_dict_and_render(self, small_dataset):
+        result = cross_validate(
+            nearest_prefix_builder, small_dataset, folds=2, concurrency=3, seed=0
+        )
+        summary = result.as_dict()
+        assert set(summary) == {"accuracy", "precision", "recall", "f1", "earliness", "harmonic_mean"}
+        rendered = result.render()
+        assert "2-fold cross-validation" in rendered
+        assert "accuracy" in rendered
+
+
+class TestCompareCrossValidated:
+    def test_methods_share_the_same_folds(self, small_dataset):
+        results = compare_cross_validated(
+            {"NearestPrefix": nearest_prefix_builder, "SRN-Fixed": srn_fixed_builder},
+            small_dataset,
+            folds=2,
+            concurrency=3,
+            seed=0,
+        )
+        assert set(results) == {"NearestPrefix", "SRN-Fixed"}
+        # Same folds -> same number of test sequences per fold for both methods.
+        for fold_index in range(2):
+            counts = {
+                name: result.fold_summaries[fold_index].num_sequences
+                for name, result in results.items()
+            }
+            assert len(set(counts.values())) == 1
+
+    def test_render_comparison(self, small_dataset):
+        results = compare_cross_validated(
+            {"NearestPrefix": nearest_prefix_builder},
+            small_dataset,
+            folds=2,
+            concurrency=3,
+            seed=0,
+        )
+        table = render_comparison(results, metric="accuracy")
+        assert "NearestPrefix" in table
+        assert "±" in table
+
+    def test_empty_builders_rejected(self, small_dataset):
+        with pytest.raises(ValueError):
+            compare_cross_validated({}, small_dataset)

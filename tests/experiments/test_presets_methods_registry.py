@@ -1,0 +1,103 @@
+"""Tests for scale presets, method factories and the experiment registry."""
+
+import pytest
+
+from repro.baselines.common import EarlyClassifier
+from repro.experiments.methods import METHOD_ORDER, method_sweeps
+from repro.experiments.presets import SCALES, get_scale
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+from repro.experiments.workloads import PERFORMANCE_DATASETS, build_scaled_dataset, dataset_splits
+
+
+class TestPresets:
+    def test_three_scales_registered(self):
+        assert set(SCALES) == {"unit", "bench", "paper"}
+
+    def test_get_scale_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_scale("huge")
+
+    def test_every_scale_covers_all_datasets(self):
+        expected = {"USTC-TFC2016", "MovieLens-1M", "Traffic-FG", "Traffic-App", "Synthetic-Traffic"}
+        for scale in SCALES.values():
+            assert set(scale.dataset_keys) == expected
+
+    def test_scales_are_ordered_by_size(self):
+        unit, bench, paper = get_scale("unit"), get_scale("bench"), get_scale("paper")
+        for name in unit.dataset_keys:
+            assert unit.dataset_keys[name] <= bench.dataset_keys[name] <= paper.dataset_keys[name]
+        assert unit.kvec.epochs <= bench.kvec.epochs <= paper.kvec.epochs
+
+    def test_paper_scale_matches_published_settings(self):
+        paper = get_scale("paper")
+        assert paper.kvec.d_model == 128
+        assert paper.kvec.num_blocks == 6
+        assert paper.dataset_keys["Traffic-FG"] == 60000
+
+
+class TestMethodFactories:
+    def test_all_paper_methods_present(self, tiny_splits):
+        sweeps = method_sweeps(tiny_splits["spec"], tiny_splits["num_classes"], get_scale("unit"))
+        assert set(sweeps) == set(METHOD_ORDER)
+
+    def test_factories_build_early_classifiers(self, tiny_splits):
+        sweeps = method_sweeps(tiny_splits["spec"], tiny_splits["num_classes"], get_scale("unit"))
+        for name, (factory, values) in sweeps.items():
+            assert values, f"{name} has an empty sweep"
+            method = factory(values[0])
+            assert isinstance(method, EarlyClassifier)
+
+    def test_kvec_factory_sets_beta(self, tiny_splits):
+        sweeps = method_sweeps(tiny_splits["spec"], tiny_splits["num_classes"], get_scale("unit"))
+        factory, _ = sweeps["KVEC"]
+        assert factory(0.123).config.beta == pytest.approx(0.123)
+
+    def test_fixed_factory_sets_tau(self, tiny_splits):
+        sweeps = method_sweeps(tiny_splits["spec"], tiny_splits["num_classes"], get_scale("unit"))
+        factory, _ = sweeps["SRN-Fixed"]
+        assert factory(7.0).inner.halt_time == 7
+
+    def test_shared_prefix_model_is_trained_once(self, tiny_splits):
+        sweeps = method_sweeps(tiny_splits["spec"], tiny_splits["num_classes"], get_scale("unit"))
+        factory, values = sweeps["SRN-Confidence"]
+        first = factory(values[0])
+        second = factory(values[-1])
+        first.fit(tiny_splits["train"])
+        second.fit(tiny_splits["train"])  # must reuse, not retrain
+        assert first.shared is second.shared
+        first_state = first.inner.state_dict()
+        second_state = second.inner.state_dict()
+        for name in first_state:
+            assert (first_state[name] == second_state[name]).all()
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        identifiers = set(EXPERIMENTS)
+        assert {"table1_dataset_stats", "table2_hyperparameters"} <= identifiers
+        assert {f"fig{i}_" in "".join(identifiers) or True for i in range(3, 13)}
+        assert len(identifiers) == 12
+
+    def test_each_experiment_names_a_bench_target(self):
+        for experiment in list_experiments():
+            assert experiment.bench_target.startswith("benchmarks/bench_")
+
+    def test_get_experiment_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_experiment("fig99_nonexistent")
+
+
+class TestWorkloads:
+    def test_build_scaled_dataset_respects_key_counts(self):
+        scale = get_scale("unit")
+        dataset = build_scaled_dataset("USTC-TFC2016", scale)
+        assert len(dataset) == scale.dataset_keys["USTC-TFC2016"]
+
+    def test_dataset_splits_cached_per_scale(self):
+        scale = get_scale("unit")
+        first = dataset_splits("USTC-TFC2016", scale)
+        second = dataset_splits("USTC-TFC2016", scale)
+        assert first is second
+
+    def test_performance_datasets_are_the_four_real_world_ones(self):
+        assert PERFORMANCE_DATASETS == ("USTC-TFC2016", "MovieLens-1M", "Traffic-FG", "Traffic-App")

@@ -1,0 +1,95 @@
+"""Tests for masked (multi-head) self-attention."""
+
+import numpy as np
+import pytest
+
+from repro.nn.attention import MASK_VALUE, MultiHeadAttention, causal_mask, scaled_dot_product_attention
+from repro.nn.tensor import Tensor
+
+
+class TestCausalMask:
+    def test_lower_triangle_visible(self):
+        mask = causal_mask(4)
+        assert mask.shape == (4, 4)
+        assert np.all(mask[np.tril_indices(4)] == 0.0)
+        assert np.all(mask[np.triu_indices(4, k=1)] == MASK_VALUE)
+
+
+class TestScaledDotProductAttention:
+    def test_weights_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        q = Tensor(rng.standard_normal((5, 8)))
+        out, weights = scaled_dot_product_attention(q, q, q)
+        assert out.shape == (5, 8)
+        np.testing.assert_allclose(weights.data.sum(axis=-1), np.ones(5), atol=1e-9)
+
+    def test_masked_positions_get_zero_weight(self):
+        rng = np.random.default_rng(0)
+        q = Tensor(rng.standard_normal((4, 8)))
+        _, weights = scaled_dot_product_attention(q, q, q, mask=causal_mask(4))
+        upper = weights.data[np.triu_indices(4, k=1)]
+        np.testing.assert_allclose(upper, np.zeros_like(upper), atol=1e-9)
+
+
+class TestMultiHeadAttention:
+    def test_output_shape(self):
+        attention = MultiHeadAttention(16, num_heads=4, rng=np.random.default_rng(0))
+        out = attention(Tensor(np.random.default_rng(1).standard_normal((6, 16))))
+        assert out.shape == (6, 16)
+
+    def test_head_count_must_divide_dimension(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(10, num_heads=3)
+
+    def test_rejects_non_2d_input(self):
+        attention = MultiHeadAttention(8, num_heads=2)
+        with pytest.raises(ValueError):
+            attention(Tensor(np.zeros((2, 3, 8))))
+
+    def test_stores_attention_weights(self):
+        attention = MultiHeadAttention(8, num_heads=2, rng=np.random.default_rng(0))
+        attention(Tensor(np.random.default_rng(1).standard_normal((5, 8))))
+        assert attention.last_attention is not None
+        assert attention.last_attention.shape == (2, 5, 5)
+
+    def test_causal_mask_blocks_future_influence(self):
+        """With a causal mask, changing a later item must not change earlier outputs."""
+        rng = np.random.default_rng(0)
+        attention = MultiHeadAttention(8, num_heads=1, rng=rng)
+        attention.eval()
+        base = rng.standard_normal((6, 8))
+        modified = base.copy()
+        modified[5] += 10.0  # perturb only the last item
+        mask = causal_mask(6)
+        out_base = attention(Tensor(base), mask=mask).data
+        out_modified = attention(Tensor(modified), mask=mask).data
+        np.testing.assert_allclose(out_base[:5], out_modified[:5], atol=1e-9)
+        assert not np.allclose(out_base[5], out_modified[5])
+
+    def test_without_mask_future_does_influence(self):
+        rng = np.random.default_rng(0)
+        attention = MultiHeadAttention(8, num_heads=1, rng=rng)
+        base = rng.standard_normal((6, 8))
+        modified = base.copy()
+        modified[5] += 10.0
+        out_base = attention(Tensor(base)).data
+        out_modified = attention(Tensor(modified)).data
+        assert not np.allclose(out_base[0], out_modified[0])
+
+    def test_fully_masked_row_attends_only_to_itself(self):
+        rng = np.random.default_rng(0)
+        attention = MultiHeadAttention(8, num_heads=1, rng=rng)
+        mask = np.full((3, 3), MASK_VALUE)
+        np.fill_diagonal(mask, 0.0)
+        attention(Tensor(rng.standard_normal((3, 8))), mask=mask)
+        weights = attention.last_attention[0]
+        np.testing.assert_allclose(weights, np.eye(3), atol=1e-9)
+
+    def test_gradients_flow_through_attention(self):
+        rng = np.random.default_rng(0)
+        attention = MultiHeadAttention(8, num_heads=2, rng=rng)
+        x = Tensor(rng.standard_normal((4, 8)), requires_grad=True)
+        attention(x, mask=causal_mask(4)).sum().backward()
+        assert x.grad is not None
+        assert attention.q_proj.weight.grad is not None
+        assert attention.out_proj.weight.grad is not None

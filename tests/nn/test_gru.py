@@ -1,0 +1,93 @@
+"""Tests for the GRU cell and sequence wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.nn.gru import GRU, GRUCell
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor
+
+
+class TestGRUCell:
+    def test_output_shape(self):
+        cell = GRUCell(4, 6, rng=np.random.default_rng(0))
+        hidden = cell(Tensor(np.random.default_rng(1).normal(size=4)))
+        assert hidden.shape == (6,)
+
+    def test_state_defaults_to_zero(self):
+        cell = GRUCell(3, 5, rng=np.random.default_rng(0))
+        assert np.allclose(cell.init_state().data, 0.0)
+
+    def test_hidden_values_bounded(self):
+        # h_t is a convex combination of h_{t-1} (initially 0) and tanh(...),
+        # so every coordinate stays inside (-1, 1).
+        cell = GRUCell(2, 4, rng=np.random.default_rng(0))
+        hidden = None
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            hidden = cell(Tensor(rng.normal(size=2) * 5.0), hidden)
+            assert np.all(np.abs(hidden.data) < 1.0)
+
+    def test_gradients_flow_to_all_parameters(self):
+        cell = GRUCell(3, 4, rng=np.random.default_rng(0))
+        hidden = cell(Tensor(np.ones(3)))
+        hidden = cell(Tensor(np.ones(3) * 0.5), hidden)
+        loss = (hidden * hidden).sum()
+        loss.backward()
+        for name, parameter in cell.named_parameters():
+            assert parameter.grad is not None, name
+            assert np.any(parameter.grad != 0.0), name
+
+    def test_deterministic_given_seed(self):
+        first = GRUCell(3, 4, rng=np.random.default_rng(7))
+        second = GRUCell(3, 4, rng=np.random.default_rng(7))
+        x = Tensor(np.linspace(-1, 1, 3))
+        assert np.allclose(first(x).data, second(x).data)
+
+
+class TestGRU:
+    def test_sequence_output_shape(self):
+        gru = GRU(3, 5, rng=np.random.default_rng(0))
+        inputs = Tensor(np.random.default_rng(1).normal(size=(7, 3)))
+        outputs, final = gru(inputs)
+        assert outputs.shape == (7, 5)
+        assert final.shape == (5,)
+
+    def test_final_state_matches_last_output(self):
+        gru = GRU(2, 4, rng=np.random.default_rng(0))
+        inputs = Tensor(np.random.default_rng(2).normal(size=(5, 2)))
+        outputs, final = gru(inputs)
+        assert np.allclose(outputs.data[-1], final.data)
+
+    def test_state_can_be_threaded_across_calls(self):
+        gru = GRU(2, 4, rng=np.random.default_rng(0))
+        full = Tensor(np.random.default_rng(3).normal(size=(6, 2)))
+        outputs_full, _ = gru(full)
+        first_half, state = gru(full[:3])
+        second_half, _ = gru(full[3:], state)
+        stitched = np.vstack([first_half.data, second_half.data])
+        assert np.allclose(stitched, outputs_full.data, atol=1e-10)
+
+    def test_can_learn_to_remember_first_input(self):
+        # Tiny optimisation sanity check: regress the first input value from
+        # the final hidden state of a length-4 sequence.
+        rng = np.random.default_rng(0)
+        gru = GRU(1, 8, rng=rng)
+        from repro.nn.layers import Linear
+
+        readout = Linear(8, 1, rng=rng)
+        parameters = gru.parameters() + readout.parameters()
+        optimizer = Adam(parameters, lr=0.02)
+        losses = []
+        for step in range(60):
+            target = float(rng.choice([-1.0, 1.0]))
+            series = np.zeros((4, 1))
+            series[0, 0] = target
+            outputs, final = gru(Tensor(series))
+            prediction = readout(final)
+            loss = ((prediction - target) ** 2).sum()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            losses.append(float(loss.data))
+        assert np.mean(losses[-10:]) < np.mean(losses[:10])

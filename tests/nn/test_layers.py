@@ -1,0 +1,120 @@
+"""Tests for Linear, Embedding, LayerNorm, Dropout, Sequential, FeedForward."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.layers import Dropout, Embedding, FeedForward, LayerNorm, Linear, Sequential
+from repro.nn.tensor import Tensor
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = Linear(5, 3, rng=np.random.default_rng(0))
+        assert layer(Tensor(np.zeros((7, 5)))).shape == (7, 3)
+
+    def test_no_bias_option(self):
+        layer = Linear(5, 3, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_gradients_flow_to_weight_and_bias(self):
+        layer = Linear(4, 2, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((3, 4))))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        np.testing.assert_allclose(layer.bias.grad, [3.0, 3.0])
+
+    def test_single_vector_input(self):
+        layer = Linear(4, 2, rng=np.random.default_rng(0))
+        assert layer(Tensor(np.zeros(4))).shape == (2,)
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        table = Embedding(10, 6, rng=np.random.default_rng(0))
+        assert table([1, 2, 3]).shape == (3, 6)
+
+    def test_lookup_matches_weight_rows(self):
+        table = Embedding(10, 6, rng=np.random.default_rng(0))
+        np.testing.assert_allclose(table([4]).data[0], table.weight.data[4])
+
+    def test_out_of_range_index_raises(self):
+        table = Embedding(4, 2)
+        with pytest.raises(IndexError):
+            table([4])
+        with pytest.raises(IndexError):
+            table([-1])
+
+    def test_invalid_cardinality_rejected(self):
+        with pytest.raises(ValueError):
+            Embedding(0, 4)
+
+    def test_gradient_only_touches_used_rows(self):
+        table = Embedding(5, 3, rng=np.random.default_rng(0))
+        table([1, 1]).sum().backward()
+        grad = table.weight.grad
+        assert np.all(grad[0] == 0) and np.all(grad[2:] == 0)
+        np.testing.assert_allclose(grad[1], np.full(3, 2.0))
+
+
+class TestLayerNorm:
+    def test_output_is_normalised(self):
+        norm = LayerNorm(8)
+        x = Tensor(np.random.default_rng(0).standard_normal((4, 8)) * 5 + 3)
+        out = norm(x).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(4), atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=-1), np.ones(4), atol=1e-3)
+
+    def test_gradient_flows(self):
+        norm = LayerNorm(4)
+        x = Tensor(np.random.default_rng(0).standard_normal((2, 4)), requires_grad=True)
+        norm(x).sum().backward()
+        assert x.grad is not None
+        assert norm.weight.grad is not None
+
+    def test_constant_input_does_not_nan(self):
+        norm = LayerNorm(4)
+        out = norm(Tensor(np.ones((2, 4)))).data
+        assert np.all(np.isfinite(out))
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        dropout = Dropout(0.5)
+        dropout.eval()
+        x = Tensor(np.ones((5, 5)))
+        np.testing.assert_allclose(dropout(x).data, x.data)
+
+    def test_training_mode_zeroes_some_entries(self):
+        dropout = Dropout(0.5, rng=np.random.default_rng(0))
+        out = dropout(Tensor(np.ones((30, 30)))).data
+        assert (out == 0).sum() > 0
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestSequentialAndFeedForward:
+    def test_sequential_applies_in_order(self):
+        first = Linear(4, 4, rng=np.random.default_rng(0))
+        model = Sequential(first, F.relu, Linear(4, 2, rng=np.random.default_rng(1)))
+        out = model(Tensor(np.zeros((3, 4))))
+        assert out.shape == (3, 2)
+        assert len(model) == 3
+
+    def test_sequential_registers_module_parameters(self):
+        model = Sequential(Linear(2, 2), F.relu, Linear(2, 2))
+        assert len(model.parameters()) == 4
+
+    def test_feedforward_shape_and_grad(self):
+        ffn = FeedForward(8, 16, rng=np.random.default_rng(0))
+        x = Tensor(np.random.default_rng(1).standard_normal((5, 8)), requires_grad=True)
+        ffn(x).sum().backward()
+        assert x.grad is not None
+        assert ffn.linear1.weight.grad is not None
+
+    def test_feedforward_default_hidden_width(self):
+        ffn = FeedForward(6)
+        assert ffn.linear1.out_features == 24

@@ -1,0 +1,116 @@
+"""Tests for Module / Parameter registration and state dicts."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear
+from repro.nn.module import Module, ModuleList, Parameter
+from repro.nn.tensor import Tensor
+
+
+class TwoLayer(Module):
+    def __init__(self):
+        super().__init__()
+        self.first = Linear(4, 8, rng=np.random.default_rng(0))
+        self.second = Linear(8, 2, rng=np.random.default_rng(1))
+        self.scale = Parameter(np.ones(1))
+
+    def forward(self, x):
+        return self.second(self.first(x)) * self.scale
+
+
+class TestRegistration:
+    def test_parameters_are_collected_recursively(self):
+        model = TwoLayer()
+        names = {name for name, _ in model.named_parameters()}
+        assert names == {
+            "first.weight",
+            "first.bias",
+            "second.weight",
+            "second.bias",
+            "scale",
+        }
+
+    def test_num_parameters_counts_scalars(self):
+        model = TwoLayer()
+        assert model.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2 + 1
+
+    def test_modules_iteration(self):
+        model = TwoLayer()
+        assert len(list(model.modules())) == 3
+        assert len(list(model.children())) == 2
+
+    def test_parameters_require_grad(self):
+        model = TwoLayer()
+        assert all(param.requires_grad for param in model.parameters())
+
+
+class TestTrainEvalAndGrad:
+    def test_train_and_eval_propagate(self):
+        model = TwoLayer()
+        model.eval()
+        assert all(not module.training for module in model.modules())
+        model.train()
+        assert all(module.training for module in model.modules())
+
+    def test_zero_grad_clears_gradients(self):
+        model = TwoLayer()
+        out = model(Tensor(np.ones((3, 4))))
+        out.sum().backward()
+        assert any(param.grad is not None for param in model.parameters())
+        model.zero_grad()
+        assert all(param.grad is None for param in model.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip_restores_values(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        other = TwoLayer()
+        other.load_state_dict(state)
+        for (_, a), (_, b) in zip(model.named_parameters(), other.named_parameters()):
+            np.testing.assert_allclose(a.data, b.data)
+
+    def test_state_dict_returns_copies(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["scale"][0] = 123.0
+        assert model.scale.data[0] != 123.0
+
+    def test_strict_load_rejects_missing_keys(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_non_strict_load_ignores_missing_keys(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        del state["scale"]
+        model.load_state_dict(state, strict=False)
+
+    def test_shape_mismatch_raises(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["scale"] = np.ones(5)
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+
+class TestModuleList:
+    def test_registers_items_as_children(self):
+        layers = ModuleList([Linear(2, 2), Linear(2, 2)])
+        assert len(layers) == 2
+        assert len(list(layers.named_parameters())) == 4
+
+    def test_append_and_index(self):
+        layers = ModuleList()
+        layer = Linear(3, 3)
+        layers.append(layer)
+        assert layers[0] is layer
+        assert list(iter(layers)) == [layer]
+
+    def test_forward_not_implemented_on_base_module(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)

@@ -1,0 +1,108 @@
+"""Tests for SGD, Adam and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.layers import Linear
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD, Adam, clip_grad_norm
+from repro.nn.tensor import Tensor
+
+
+def quadratic_loss(parameter):
+    return ((parameter - 3.0) ** 2).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        parameter = Parameter(np.zeros(4))
+        optimizer = SGD([parameter], lr=0.1)
+        for _ in range(200):
+            optimizer.zero_grad()
+            quadratic_loss(parameter).backward()
+            optimizer.step()
+        np.testing.assert_allclose(parameter.data, np.full(4, 3.0), atol=1e-3)
+
+    def test_momentum_changes_trajectory(self):
+        plain = Parameter(np.zeros(1))
+        momentum = Parameter(np.zeros(1))
+        opt_plain = SGD([plain], lr=0.01)
+        opt_momentum = SGD([momentum], lr=0.01, momentum=0.9)
+        for _ in range(10):
+            for parameter, optimizer in ((plain, opt_plain), (momentum, opt_momentum)):
+                optimizer.zero_grad()
+                quadratic_loss(parameter).backward()
+                optimizer.step()
+        assert momentum.data[0] > plain.data[0]
+
+    def test_weight_decay_shrinks_parameters(self):
+        parameter = Parameter(np.full(3, 10.0))
+        optimizer = SGD([parameter], lr=0.1, weight_decay=0.5)
+        optimizer.zero_grad()
+        (parameter * 0.0).sum().backward()
+        optimizer.step()
+        assert np.all(parameter.data < 10.0)
+
+    def test_skips_parameters_without_grad(self):
+        parameter = Parameter(np.ones(2))
+        SGD([parameter], lr=0.1).step()
+        np.testing.assert_allclose(parameter.data, np.ones(2))
+
+    def test_rejects_bad_learning_rate_and_empty_params(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.ones(1))], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        parameter = Parameter(np.zeros(4))
+        optimizer = Adam([parameter], lr=0.1)
+        for _ in range(300):
+            optimizer.zero_grad()
+            quadratic_loss(parameter).backward()
+            optimizer.step()
+        np.testing.assert_allclose(parameter.data, np.full(4, 3.0), atol=1e-2)
+
+    def test_trains_small_classifier(self):
+        rng = np.random.default_rng(0)
+        layer = Linear(2, 2, rng=rng)
+        optimizer = Adam(layer.parameters(), lr=0.05)
+        inputs = Tensor(np.array([[0.0, 0.0], [1.0, 1.0], [0.1, 0.0], [0.9, 1.1]]))
+        targets = [0, 1, 0, 1]
+        first_loss = None
+        for step in range(100):
+            optimizer.zero_grad()
+            loss = F.cross_entropy(layer(inputs), targets)
+            if step == 0:
+                first_loss = loss.item()
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < first_loss * 0.3
+
+    def test_zero_grad_resets(self):
+        parameter = Parameter(np.ones(2))
+        optimizer = Adam([parameter], lr=0.1)
+        quadratic_loss(parameter).backward()
+        optimizer.zero_grad()
+        assert parameter.grad is None
+
+
+class TestClipGradNorm:
+    def test_norm_is_reduced_to_max(self):
+        parameter = Parameter(np.ones(4))
+        parameter.grad = np.full(4, 10.0)
+        returned = clip_grad_norm([parameter], max_norm=1.0)
+        assert returned == pytest.approx(20.0)
+        assert np.linalg.norm(parameter.grad) == pytest.approx(1.0)
+
+    def test_small_gradients_untouched(self):
+        parameter = Parameter(np.ones(4))
+        parameter.grad = np.full(4, 0.01)
+        clip_grad_norm([parameter], max_norm=10.0)
+        np.testing.assert_allclose(parameter.grad, np.full(4, 0.01))
+
+    def test_handles_missing_gradients(self):
+        assert clip_grad_norm([Parameter(np.ones(2))], max_norm=1.0) == 0.0

@@ -1,0 +1,77 @@
+"""Tests for the LSTM cell and full-sequence LSTM."""
+
+import numpy as np
+import pytest
+
+from repro.nn.recurrent import LSTM, LSTMCell
+from repro.nn.tensor import Tensor
+
+
+class TestLSTMCell:
+    def test_initial_state_is_zero(self):
+        cell = LSTMCell(4, 6)
+        hidden, memory = cell.init_state()
+        np.testing.assert_allclose(hidden.data, np.zeros(6))
+        np.testing.assert_allclose(memory.data, np.zeros(6))
+
+    def test_step_output_shapes(self):
+        cell = LSTMCell(4, 6, rng=np.random.default_rng(0))
+        hidden, memory = cell(Tensor(np.ones(4)))
+        assert hidden.shape == (6,)
+        assert memory.shape == (6,)
+
+    def test_hidden_is_bounded_by_tanh(self):
+        cell = LSTMCell(4, 6, rng=np.random.default_rng(0))
+        hidden, _ = cell(Tensor(np.full(4, 100.0)))
+        assert np.all(np.abs(hidden.data) <= 1.0)
+
+    def test_state_carries_information(self):
+        cell = LSTMCell(3, 5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones(3))
+        state = None
+        hidden_first, cell_first = cell(x, state)
+        hidden_second, _ = cell(x, (hidden_first, cell_first))
+        assert not np.allclose(hidden_first.data, hidden_second.data)
+
+    def test_forget_bias_initialised_positive(self):
+        cell = LSTMCell(3, 5)
+        assert np.all(cell.forget_gate.bias.data == 1.0)
+
+    def test_gradients_flow_through_time(self):
+        cell = LSTMCell(3, 4, rng=np.random.default_rng(0))
+        x = Tensor(np.ones(3), requires_grad=True)
+        state = None
+        for _ in range(3):
+            state = cell(x, state)
+        state[0].sum().backward()
+        assert x.grad is not None
+        assert cell.input_gate.weight.grad is not None
+
+
+class TestLSTM:
+    def test_sequence_output_shape(self):
+        lstm = LSTM(3, 7, rng=np.random.default_rng(0))
+        outputs, (hidden, memory) = lstm(Tensor(np.random.default_rng(1).standard_normal((9, 3))))
+        assert outputs.shape == (9, 7)
+        assert hidden.shape == (7,)
+        assert memory.shape == (7,)
+
+    def test_final_state_matches_last_output(self):
+        lstm = LSTM(3, 7, rng=np.random.default_rng(0))
+        outputs, (hidden, _) = lstm(Tensor(np.random.default_rng(1).standard_normal((5, 3))))
+        np.testing.assert_allclose(outputs.data[-1], hidden.data)
+
+    def test_causality_prefix_consistency(self):
+        """The output at step t must not depend on later inputs."""
+        lstm = LSTM(3, 5, rng=np.random.default_rng(0))
+        inputs = np.random.default_rng(1).standard_normal((6, 3))
+        full, _ = lstm(Tensor(inputs))
+        prefix, _ = lstm(Tensor(inputs[:4]))
+        np.testing.assert_allclose(full.data[:4], prefix.data, atol=1e-12)
+
+    def test_initial_state_can_be_provided(self):
+        lstm = LSTM(2, 4, rng=np.random.default_rng(0))
+        state = (Tensor(np.ones(4)), Tensor(np.ones(4)))
+        outputs, _ = lstm(Tensor(np.zeros((3, 2))), state=state)
+        default_outputs, _ = lstm(Tensor(np.zeros((3, 2))))
+        assert not np.allclose(outputs.data, default_outputs.data)

@@ -1,0 +1,145 @@
+"""Tests for the learning-rate schedulers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD
+from repro.nn.schedulers import (
+    ConstantLR,
+    CosineAnnealingLR,
+    ExponentialLR,
+    LinearWarmup,
+    MultiStepLR,
+    StepLR,
+)
+
+
+def make_optimizer(lr=0.1):
+    return SGD([Parameter(np.zeros(3))], lr=lr)
+
+
+class TestConstantLR:
+    def test_rate_never_changes(self):
+        optimizer = make_optimizer(0.05)
+        scheduler = ConstantLR(optimizer)
+        for _ in range(10):
+            scheduler.step()
+        assert optimizer.lr == pytest.approx(0.05)
+
+    def test_history_records_every_step(self):
+        scheduler = ConstantLR(make_optimizer())
+        scheduler.step()
+        scheduler.step()
+        assert len(scheduler.history) == 3  # initial + 2 steps
+
+
+class TestStepLR:
+    def test_decays_every_step_size(self):
+        optimizer = make_optimizer(1.0)
+        scheduler = StepLR(optimizer, step_size=2, gamma=0.5)
+        rates = [scheduler.step() for _ in range(6)]
+        assert rates[0] == pytest.approx(1.0)  # step 1
+        assert rates[1] == pytest.approx(0.5)  # step 2 crosses the first boundary
+        assert rates[3] == pytest.approx(0.25)
+        assert rates[5] == pytest.approx(0.125)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            StepLR(make_optimizer(), step_size=0)
+        with pytest.raises(ValueError):
+            StepLR(make_optimizer(), step_size=2, gamma=-1.0)
+
+
+class TestExponentialLR:
+    def test_geometric_decay(self):
+        optimizer = make_optimizer(1.0)
+        scheduler = ExponentialLR(optimizer, gamma=0.9)
+        for step in range(1, 5):
+            rate = scheduler.step()
+            assert rate == pytest.approx(0.9**step)
+
+
+class TestCosineAnnealingLR:
+    def test_starts_near_base_and_ends_at_min(self):
+        optimizer = make_optimizer(1.0)
+        scheduler = CosineAnnealingLR(optimizer, total_steps=10, min_lr=0.1)
+        first = scheduler.step()
+        assert 0.9 < first <= 1.0
+        for _ in range(9):
+            last = scheduler.step()
+        assert last == pytest.approx(0.1)
+
+    def test_monotonically_decreasing(self):
+        scheduler = CosineAnnealingLR(make_optimizer(1.0), total_steps=20)
+        rates = [scheduler.step() for _ in range(20)]
+        assert all(a >= b - 1e-12 for a, b in zip(rates, rates[1:]))
+
+    def test_clamps_beyond_total_steps(self):
+        scheduler = CosineAnnealingLR(make_optimizer(1.0), total_steps=5, min_lr=0.2)
+        for _ in range(8):
+            rate = scheduler.step()
+        assert rate == pytest.approx(0.2)
+
+
+class TestLinearWarmup:
+    def test_linear_ramp(self):
+        optimizer = make_optimizer(1.0)
+        scheduler = LinearWarmup(optimizer, warmup_steps=4)
+        rates = [scheduler.step() for _ in range(4)]
+        assert rates == pytest.approx([0.25, 0.5, 0.75, 1.0])
+
+    def test_holds_base_rate_after_warmup_without_inner(self):
+        scheduler = LinearWarmup(make_optimizer(0.3), warmup_steps=2)
+        scheduler.step()
+        scheduler.step()
+        assert scheduler.step() == pytest.approx(0.3)
+
+    def test_delegates_to_inner_schedule(self):
+        optimizer = make_optimizer(1.0)
+        inner = ExponentialLR(optimizer, gamma=0.5)
+        scheduler = LinearWarmup(optimizer, warmup_steps=2, after=inner)
+        scheduler.step()
+        scheduler.step()
+        assert scheduler.step() == pytest.approx(0.5)
+        assert scheduler.step() == pytest.approx(0.25)
+
+
+class TestMultiStepLR:
+    def test_decay_at_milestones(self):
+        optimizer = make_optimizer(1.0)
+        scheduler = MultiStepLR(optimizer, milestones=[2, 4], gamma=0.1)
+        rates = [scheduler.step() for _ in range(5)]
+        assert rates[0] == pytest.approx(1.0)
+        assert rates[1] == pytest.approx(0.1)
+        assert rates[3] == pytest.approx(0.01)
+        assert rates[4] == pytest.approx(0.01)
+
+    def test_milestones_must_be_sorted(self):
+        with pytest.raises(ValueError):
+            MultiStepLR(make_optimizer(), milestones=[4, 2])
+
+    def test_milestones_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MultiStepLR(make_optimizer(), milestones=[0, 2])
+
+
+class TestSchedulerSafety:
+    def test_negative_rate_rejected(self):
+        class Broken(ConstantLR):
+            def get_lr(self):
+                return -1.0
+
+        with pytest.raises(ValueError):
+            Broken(make_optimizer()).step()
+
+    def test_optimizer_actually_uses_new_rate(self):
+        parameter = Parameter(np.ones(2))
+        optimizer = SGD([parameter], lr=1.0)
+        scheduler = StepLR(optimizer, step_size=1, gamma=0.5)
+        parameter.grad = np.ones(2)
+        scheduler.step()  # rate halves to 0.5 after the first step
+        optimizer.step()
+        assert np.allclose(parameter.data, np.full(2, 0.5))

@@ -1,0 +1,49 @@
+"""Tests for state-dict save / load."""
+
+import numpy as np
+
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.nn.serialization import load_into, load_state_dict, save_state_dict
+from repro.nn.tensor import Tensor
+
+
+class SmallModel(Module):
+    def __init__(self, seed=0):
+        super().__init__()
+        self.layer = Linear(3, 2, rng=np.random.default_rng(seed))
+
+    def forward(self, x):
+        return self.layer(x)
+
+
+class TestSerialization:
+    def test_roundtrip_through_file(self, tmp_path):
+        model = SmallModel(seed=0)
+        path = tmp_path / "weights.npz"
+        save_state_dict(model, path)
+        restored = load_state_dict(path)
+        for name, value in model.state_dict().items():
+            np.testing.assert_allclose(restored[name], value)
+
+    def test_load_into_other_model_matches_outputs(self, tmp_path):
+        source = SmallModel(seed=0)
+        target = SmallModel(seed=99)
+        path = tmp_path / "weights.npz"
+        save_state_dict(source, path)
+        load_into(target, path)
+        x = Tensor(np.random.default_rng(1).standard_normal((4, 3)))
+        np.testing.assert_allclose(source(x).data, target(x).data)
+
+    def test_save_accepts_plain_state_dict(self, tmp_path):
+        state = {"a": np.arange(3.0), "b": np.ones((2, 2))}
+        path = tmp_path / "state.npz"
+        save_state_dict(state, path)
+        restored = load_state_dict(path)
+        np.testing.assert_allclose(restored["a"], state["a"])
+        np.testing.assert_allclose(restored["b"], state["b"])
+
+    def test_save_creates_missing_directories(self, tmp_path):
+        path = tmp_path / "nested" / "dir" / "weights.npz"
+        save_state_dict(SmallModel(), path)
+        assert path.exists() or path.with_suffix(".npz.npz").exists()

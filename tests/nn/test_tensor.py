@@ -1,0 +1,308 @@
+"""Unit and property tests for the autograd Tensor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.nn.tensor import Tensor, no_grad
+
+
+def numerical_gradient(func, array, eps=1e-6):
+    """Central-difference gradient of a scalar-valued ``func`` at ``array``."""
+    grad = np.zeros_like(array)
+    flat = array.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + eps
+        upper = func(array)
+        flat[index] = original - eps
+        lower = func(array)
+        flat[index] = original
+        grad_flat[index] = (upper - lower) / (2 * eps)
+    return grad
+
+
+class TestBasics:
+    def test_construction_from_list(self):
+        tensor = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert tensor.shape == (2, 2)
+        assert tensor.data.dtype == np.float64
+
+    def test_requires_grad_flag(self):
+        assert Tensor(1.0, requires_grad=True).requires_grad
+        assert not Tensor(1.0).requires_grad
+
+    def test_item_and_numpy(self):
+        tensor = Tensor([[3.5]])
+        assert tensor.item() == pytest.approx(3.5)
+        assert isinstance(tensor.numpy(), np.ndarray)
+
+    def test_detach_shares_data_but_not_graph(self):
+        tensor = Tensor([1.0, 2.0], requires_grad=True)
+        detached = tensor.detach()
+        assert not detached.requires_grad
+        assert np.shares_memory(detached.data, tensor.data)
+
+    def test_repr_mentions_shape(self):
+        assert "shape=(2,)" in repr(Tensor([1.0, 2.0]))
+
+    def test_backward_on_non_scalar_requires_grad_argument(self):
+        tensor = Tensor([1.0, 2.0], requires_grad=True)
+        doubled = tensor * 2.0
+        with pytest.raises(RuntimeError):
+            doubled.backward()
+
+    def test_backward_on_tensor_without_grad_raises(self):
+        tensor = Tensor([1.0, 2.0])
+        with pytest.raises(RuntimeError):
+            tensor.backward()
+
+
+class TestArithmeticGradients:
+    def test_add_backward(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+        np.testing.assert_allclose(b.grad, [1.0, 1.0])
+
+    def test_mul_backward(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, [3.0, 4.0])
+        np.testing.assert_allclose(b.grad, [1.0, 2.0])
+
+    def test_sub_and_neg_backward(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 5.0], requires_grad=True)
+        (a - b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+        np.testing.assert_allclose(b.grad, [-1.0, -1.0])
+
+    def test_div_backward(self):
+        a = Tensor([4.0, 9.0], requires_grad=True)
+        b = Tensor([2.0, 3.0], requires_grad=True)
+        (a / b).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.5, 1.0 / 3.0])
+        np.testing.assert_allclose(b.grad, [-1.0, -1.0])
+
+    def test_pow_backward(self):
+        a = Tensor([2.0, 3.0], requires_grad=True)
+        (a**3).sum().backward()
+        np.testing.assert_allclose(a.grad, [12.0, 27.0])
+
+    def test_scalar_broadcast_backward(self):
+        a = Tensor([[1.0, 2.0], [3.0, 4.0]], requires_grad=True)
+        (a * 5.0 + 1.0).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 2), 5.0))
+
+    def test_broadcast_row_vector(self):
+        a = Tensor(np.ones((3, 4)), requires_grad=True)
+        b = Tensor(np.arange(4.0), requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((3, 4)))
+        np.testing.assert_allclose(b.grad, np.full(4, 3.0))
+
+    def test_radd_rmul_rsub_rdiv(self):
+        a = Tensor([2.0], requires_grad=True)
+        assert (3.0 + a).data[0] == pytest.approx(5.0)
+        assert (3.0 * a).data[0] == pytest.approx(6.0)
+        assert (3.0 - a).data[0] == pytest.approx(1.0)
+        assert (3.0 / a).data[0] == pytest.approx(1.5)
+
+    def test_gradient_accumulates_across_uses(self):
+        a = Tensor([1.0], requires_grad=True)
+        ((a * 2.0) + (a * 3.0)).sum().backward()
+        np.testing.assert_allclose(a.grad, [5.0])
+
+
+class TestMatmul:
+    def test_matmul_forward(self):
+        a = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        b = Tensor([[5.0, 6.0], [7.0, 8.0]])
+        np.testing.assert_allclose((a @ b).data, np.array([[19.0, 22.0], [43.0, 50.0]]))
+
+    def test_matmul_gradients_match_numerical(self):
+        rng = np.random.default_rng(0)
+        a_data = rng.standard_normal((3, 4))
+        b_data = rng.standard_normal((4, 2))
+        a = Tensor(a_data.copy(), requires_grad=True)
+        b = Tensor(b_data.copy(), requires_grad=True)
+        (a @ b).sum().backward()
+
+        numerical_a = numerical_gradient(lambda arr: (arr @ b_data).sum(), a_data.copy())
+        numerical_b = numerical_gradient(lambda arr: (a_data @ arr).sum(), b_data.copy())
+        np.testing.assert_allclose(a.grad, numerical_a, atol=1e-6)
+        np.testing.assert_allclose(b.grad, numerical_b, atol=1e-6)
+
+    def test_batched_matmul_gradients(self):
+        rng = np.random.default_rng(1)
+        a_data = rng.standard_normal((2, 3, 4))
+        b_data = rng.standard_normal((2, 4, 5))
+        a = Tensor(a_data.copy(), requires_grad=True)
+        b = Tensor(b_data.copy(), requires_grad=True)
+        ((a @ b) ** 2).sum().backward()
+
+        numerical_a = numerical_gradient(lambda arr: ((arr @ b_data) ** 2).sum(), a_data.copy())
+        np.testing.assert_allclose(a.grad, numerical_a, atol=1e-5)
+
+    def test_matrix_vector_product(self):
+        a = Tensor([[1.0, 2.0], [3.0, 4.0]], requires_grad=True)
+        v = Tensor([1.0, 1.0], requires_grad=True)
+        (a @ v).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 2)))
+        np.testing.assert_allclose(v.grad, [4.0, 6.0])
+
+
+class TestNonlinearities:
+    @pytest.mark.parametrize(
+        "operation, derivative",
+        [
+            ("exp", lambda x: np.exp(x)),
+            ("tanh", lambda x: 1.0 - np.tanh(x) ** 2),
+            ("sigmoid", lambda x: (1 / (1 + np.exp(-x))) * (1 - 1 / (1 + np.exp(-x)))),
+            ("relu", lambda x: (x > 0).astype(float)),
+        ],
+    )
+    def test_elementwise_gradients(self, operation, derivative):
+        data = np.array([-1.5, -0.1, 0.2, 2.0])
+        tensor = Tensor(data.copy(), requires_grad=True)
+        getattr(tensor, operation)().sum().backward()
+        np.testing.assert_allclose(tensor.grad, derivative(data), atol=1e-9)
+
+    def test_log_gradient(self):
+        data = np.array([0.5, 1.0, 2.0])
+        tensor = Tensor(data.copy(), requires_grad=True)
+        tensor.log().sum().backward()
+        np.testing.assert_allclose(tensor.grad, 1.0 / data)
+
+    def test_clip_gradient_passthrough_inside_range(self):
+        tensor = Tensor([-2.0, 0.5, 2.0], requires_grad=True)
+        tensor.clip(-1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(tensor.grad, [0.0, 1.0, 0.0])
+
+    def test_sigmoid_extreme_values_do_not_overflow(self):
+        tensor = Tensor([-1000.0, 1000.0])
+        values = tensor.sigmoid().data
+        assert np.all(np.isfinite(values))
+        assert values[0] == pytest.approx(0.0, abs=1e-12)
+        assert values[1] == pytest.approx(1.0, abs=1e-12)
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis_keepdims(self):
+        tensor = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        result = tensor.sum(axis=1, keepdims=True)
+        assert result.shape == (2, 1)
+        result.sum().backward()
+        np.testing.assert_allclose(tensor.grad, np.ones((2, 3)))
+
+    def test_mean_gradient(self):
+        tensor = Tensor(np.arange(8.0).reshape(2, 4), requires_grad=True)
+        tensor.mean().backward()
+        np.testing.assert_allclose(tensor.grad, np.full((2, 4), 1.0 / 8.0))
+
+    def test_mean_along_axis(self):
+        tensor = Tensor(np.arange(8.0).reshape(2, 4), requires_grad=True)
+        tensor.mean(axis=1).sum().backward()
+        np.testing.assert_allclose(tensor.grad, np.full((2, 4), 0.25))
+
+    def test_max_gradient_flows_to_argmax(self):
+        tensor = Tensor([[1.0, 5.0, 2.0]], requires_grad=True)
+        tensor.max(axis=1).sum().backward()
+        np.testing.assert_allclose(tensor.grad, [[0.0, 1.0, 0.0]])
+
+    def test_reshape_roundtrip_gradient(self):
+        tensor = Tensor(np.arange(6.0), requires_grad=True)
+        tensor.reshape(2, 3).sum().backward()
+        np.testing.assert_allclose(tensor.grad, np.ones(6))
+
+    def test_transpose_gradient(self):
+        tensor = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        (tensor.transpose() * Tensor(np.arange(6.0).reshape(3, 2))).sum().backward()
+        np.testing.assert_allclose(tensor.grad, np.arange(6.0).reshape(3, 2).T)
+
+    def test_swapaxes_negative_indices(self):
+        tensor = Tensor(np.zeros((2, 3, 4)))
+        assert tensor.swapaxes(-1, -2).shape == (2, 4, 3)
+
+    def test_getitem_gradient_scatter(self):
+        tensor = Tensor(np.arange(10.0), requires_grad=True)
+        tensor[np.array([1, 1, 3])].sum().backward()
+        expected = np.zeros(10)
+        expected[1] = 2.0
+        expected[3] = 1.0
+        np.testing.assert_allclose(tensor.grad, expected)
+
+    def test_squeeze_unsqueeze(self):
+        tensor = Tensor(np.zeros((3, 1)))
+        assert tensor.squeeze(1).shape == (3,)
+        assert tensor.unsqueeze(0).shape == (1, 3, 1)
+
+    def test_concatenate_gradient_split(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((3, 2)), requires_grad=True)
+        Tensor.concatenate([a, b], axis=0).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 2)))
+        np.testing.assert_allclose(b.grad, np.ones((3, 2)))
+
+    def test_stack_gradient(self):
+        tensors = [Tensor([float(i)], requires_grad=True) for i in range(4)]
+        (Tensor.stack(tensors, axis=0) * 2.0).sum().backward()
+        for tensor in tensors:
+            np.testing.assert_allclose(tensor.grad, [2.0])
+
+
+class TestNoGrad:
+    def test_no_grad_disables_graph(self):
+        tensor = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            result = tensor * 2.0
+        assert not result.requires_grad
+
+    def test_no_grad_restores_state_after_exception(self):
+        try:
+            with no_grad():
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        tensor = Tensor([1.0], requires_grad=True)
+        assert (tensor * 2.0).requires_grad
+
+
+class TestPropertyBased:
+    @given(
+        arrays(np.float64, array_shapes(min_dims=1, max_dims=2, min_side=1, max_side=4),
+               elements=st.floats(-10, 10)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_sum_gradient_is_all_ones(self, data):
+        tensor = Tensor(data.copy(), requires_grad=True)
+        tensor.sum().backward()
+        np.testing.assert_allclose(tensor.grad, np.ones_like(data))
+
+    @given(
+        arrays(np.float64, (3, 3), elements=st.floats(-5, 5)),
+        arrays(np.float64, (3, 3), elements=st.floats(-5, 5)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_addition_commutes(self, a_data, b_data):
+        left = (Tensor(a_data) + Tensor(b_data)).data
+        right = (Tensor(b_data) + Tensor(a_data)).data
+        np.testing.assert_allclose(left, right)
+
+    @given(arrays(np.float64, (4,), elements=st.floats(-3, 3)))
+    @settings(max_examples=30, deadline=None)
+    def test_tanh_output_bounded(self, data):
+        assert np.all(np.abs(Tensor(data).tanh().data) <= 1.0)
+
+    @given(st.integers(min_value=1, max_value=5), st.integers(min_value=1, max_value=5))
+    @settings(max_examples=20, deadline=None)
+    def test_matmul_shape(self, rows, cols):
+        a = Tensor(np.zeros((rows, 3)))
+        b = Tensor(np.zeros((3, cols)))
+        assert (a @ b).shape == (rows, cols)

@@ -1,0 +1,99 @@
+"""Tests for the serving-side monitoring aggregators."""
+
+import pytest
+
+from repro.serving.engine import Decision
+from repro.serving.monitoring import DecisionMonitor, ThroughputMeter
+
+
+def make_decision(key, predicted, observations=3, confidence=0.8, halted=True):
+    return Decision(
+        key=key,
+        predicted=predicted,
+        confidence=confidence,
+        observations=observations,
+        decision_time=float(observations),
+        halted_by_policy=halted,
+        window_truncated=False,
+    )
+
+
+class TestDecisionMonitor:
+    def test_accuracy_and_earliness(self):
+        monitor = DecisionMonitor(labels={"a": 1, "b": 0}, sequence_lengths={"a": 10, "b": 10})
+        monitor.observe(make_decision("a", 1, observations=2))
+        monitor.observe(make_decision("b", 1, observations=5))
+        assert monitor.accuracy == pytest.approx(0.5)
+        assert monitor.earliness == pytest.approx((0.2 + 0.5) / 2)
+        assert 0.0 < monitor.harmonic_mean < 1.0
+
+    def test_unlabelled_decisions_only_count_towards_volume(self):
+        monitor = DecisionMonitor(labels={"a": 1})
+        monitor.observe(make_decision("a", 1))
+        monitor.observe(make_decision("unknown", 0))
+        assert monitor.num_decisions == 2
+        assert monitor.num_with_labels == 1
+        assert monitor.accuracy == pytest.approx(1.0)
+
+    def test_per_class_tallies(self):
+        monitor = DecisionMonitor(labels={"a": 0, "b": 0, "c": 1})
+        monitor.observe_all(
+            [make_decision("a", 0), make_decision("b", 1), make_decision("c", 1)]
+        )
+        assert monitor.per_class[0].decided == 2
+        assert monitor.per_class[0].accuracy == pytest.approx(0.5)
+        assert monitor.per_class[1].accuracy == pytest.approx(1.0)
+
+    def test_policy_halt_fraction(self):
+        monitor = DecisionMonitor()
+        monitor.observe(make_decision("a", 0, halted=True))
+        monitor.observe(make_decision("b", 0, halted=False))
+        assert monitor.policy_halt_fraction == pytest.approx(0.5)
+
+    def test_records_built_from_labels(self):
+        monitor = DecisionMonitor(labels={"a": 2}, sequence_lengths={"a": 8})
+        monitor.observe(make_decision("a", 2, observations=4))
+        records = monitor.records()
+        assert len(records) == 1
+        assert records[0].correct
+        assert records[0].earliness == pytest.approx(0.5)
+
+    def test_report_contains_key_lines(self):
+        monitor = DecisionMonitor(labels={"a": 0}, sequence_lengths={"a": 4})
+        monitor.observe(make_decision("a", 0, observations=1))
+        report = monitor.report()
+        assert "accuracy" in report
+        assert "earliness" in report
+        assert "class 0" in report
+
+    def test_empty_monitor_is_all_zero(self):
+        monitor = DecisionMonitor()
+        assert monitor.accuracy == 0.0
+        assert monitor.earliness == 0.0
+        assert monitor.mean_observations == 0.0
+
+
+class TestThroughputMeter:
+    def test_rate_computation(self):
+        meter = ThroughputMeter()
+        meter.tick(0.0, 0)
+        meter.tick(2.0, 10)
+        meter.tick(4.0, 10)
+        assert meter.items == 20
+        assert meter.elapsed == pytest.approx(4.0)
+        assert meter.rate == pytest.approx(5.0)
+
+    def test_single_checkpoint_has_zero_rate(self):
+        meter = ThroughputMeter()
+        meter.tick(1.0, 5)
+        assert meter.rate == 0.0
+
+    def test_time_must_be_monotone(self):
+        meter = ThroughputMeter()
+        meter.tick(2.0)
+        with pytest.raises(ValueError):
+            meter.tick(1.0)
+
+    def test_negative_items_rejected(self):
+        with pytest.raises(ValueError):
+            ThroughputMeter().tick(0.0, -1)

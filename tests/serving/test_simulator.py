@@ -1,0 +1,89 @@
+"""Tests for the live-arrival simulator."""
+
+import numpy as np
+import pytest
+
+from repro.data.items import Item, KeyValueSequence, ValueSpec
+from repro.serving.simulator import ArrivalSimulator, SimulatorConfig
+
+SPEC = ValueSpec(("v", "d"), (4, 2), 1)
+
+
+def make_sequence(key, length, label=0):
+    items = [Item(key, (i % 4, i % 2), float(i)) for i in range(length)]
+    return KeyValueSequence(key, items, label)
+
+
+def make_pool(num=6, length=5):
+    return [make_sequence(f"k{i}", length, label=i % 2) for i in range(num)]
+
+
+class TestSimulatorConfig:
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            SimulatorConfig(arrival_rate=0.0)
+
+    def test_invalid_gap_scale(self):
+        with pytest.raises(ValueError):
+            SimulatorConfig(gap_scale=-1.0)
+
+
+class TestArrivalSimulator:
+    def test_requires_sequences(self):
+        with pytest.raises(ValueError):
+            ArrivalSimulator([])
+
+    def test_rejects_unlabelled_sequences(self):
+        sequence = make_sequence("a", 3)
+        sequence.label = None
+        with pytest.raises(ValueError):
+            ArrivalSimulator([sequence])
+
+    def test_emits_every_item_in_chronological_order(self):
+        pool = make_pool(num=5, length=4)
+        simulator = ArrivalSimulator(pool, SimulatorConfig(seed=0))
+        events = list(simulator.events())
+        assert len(events) == 20
+        times = [event.time for event in events]
+        assert times == sorted(times)
+
+    def test_per_key_order_preserved(self):
+        pool = make_pool(num=4, length=6)
+        simulator = ArrivalSimulator(pool, SimulatorConfig(seed=1))
+        seen = {}
+        for event in simulator.events():
+            seen.setdefault(event.key, []).append(event.time)
+        for times in seen.values():
+            assert times == sorted(times)
+            assert len(times) == 6
+
+    def test_labels_and_lengths_exposed(self):
+        pool = make_pool(num=4, length=3)
+        simulator = ArrivalSimulator(pool, SimulatorConfig(seed=0))
+        assert simulator.labels == {"k0": 0, "k1": 1, "k2": 0, "k3": 1}
+        assert simulator.sequence_lengths == {f"k{i}": 3 for i in range(4)}
+
+    def test_deterministic_given_seed(self):
+        pool = make_pool()
+        first = [event.time for event in ArrivalSimulator(pool, SimulatorConfig(seed=5)).events()]
+        second = [event.time for event in ArrivalSimulator(pool, SimulatorConfig(seed=5)).events()]
+        assert first == second
+
+    def test_max_active_bounds_concurrency(self):
+        pool = make_pool(num=12, length=8)
+        config = SimulatorConfig(arrival_rate=50.0, max_active=3, seed=0)
+        simulator = ArrivalSimulator(pool, config)
+        assert simulator.peak_concurrency() <= 3
+
+    def test_higher_rate_gives_more_overlap(self):
+        pool = make_pool(num=10, length=10)
+        slow = ArrivalSimulator(pool, SimulatorConfig(arrival_rate=0.01, seed=0))
+        fast = ArrivalSimulator(pool, SimulatorConfig(arrival_rate=100.0, seed=0))
+        assert fast.peak_concurrency() >= slow.peak_concurrency()
+
+    def test_concurrency_profile_shape(self):
+        simulator = ArrivalSimulator(make_pool(), SimulatorConfig(seed=0))
+        profile = simulator.concurrency_profile(resolution=10)
+        assert len(profile) == 11
+        assert all(active >= 0 for _, active in profile)
+        assert max(active for _, active in profile) == simulator.peak_concurrency()

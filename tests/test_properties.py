@@ -1,0 +1,232 @@
+"""Cross-module property-based tests on the package's core invariants.
+
+These complement the per-module unit tests: each property here ties together
+two or more subsystems (data model + metrics, correlation mask + attention,
+streaming + tangling, serialization + data model) and is exercised over
+hypothesis-generated inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.correlation import build_correlation_structure
+from repro.core.model import PredictionRecord
+from repro.data import io as data_io
+from repro.data.items import Item, KeyValueSequence, TangledSequence, ValueSpec
+from repro.data.sessions import segment_sessions
+from repro.data.splits import split_by_key
+from repro.data.stream import SlidingWindow, replay
+from repro.data.tangle import interleave_sequences, retangle_by_concurrency
+from repro.eval.metrics import harmonic_mean, summarize
+
+SPEC = ValueSpec(("token", "direction"), (5, 2), 1)
+
+
+# --------------------------------------------------------------------------- #
+# hypothesis strategies
+# --------------------------------------------------------------------------- #
+def sequences_strategy(max_keys=5, max_length=12):
+    """A list of labelled key-value sequences with distinct keys."""
+
+    @st.composite
+    def build(draw):
+        num_keys = draw(st.integers(1, max_keys))
+        sequences = []
+        for index in range(num_keys):
+            length = draw(st.integers(1, max_length))
+            label = draw(st.integers(0, 2))
+            items = []
+            for position in range(length):
+                token = draw(st.integers(0, 4))
+                direction = draw(st.integers(0, 1))
+                items.append(Item(f"key{index}", (token, direction), float(position)))
+            sequences.append(KeyValueSequence(f"key{index}", items, label))
+        return sequences
+
+    return build()
+
+
+def records_strategy(max_records=30):
+    @st.composite
+    def build(draw):
+        count = draw(st.integers(1, max_records))
+        records = []
+        for index in range(count):
+            length = draw(st.integers(1, 40))
+            halt = draw(st.integers(1, length))
+            records.append(
+                PredictionRecord(
+                    key=f"r{index}",
+                    predicted=draw(st.integers(0, 3)),
+                    label=draw(st.integers(0, 3)),
+                    halt_observation=halt,
+                    sequence_length=length,
+                )
+            )
+        return records
+
+    return build()
+
+
+# --------------------------------------------------------------------------- #
+# metrics invariants
+# --------------------------------------------------------------------------- #
+class TestMetricInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(records_strategy())
+    def test_all_metrics_bounded(self, records):
+        summary = summarize(records)
+        for name in ("accuracy", "precision", "recall", "f1", "earliness", "harmonic_mean"):
+            assert 0.0 <= summary.metric(name) <= 1.0, name
+        assert summary.num_sequences == len(records)
+
+    @settings(max_examples=40, deadline=None)
+    @given(records_strategy())
+    def test_accuracy_bounds_f1(self, records):
+        # For single-label classification, perfect accuracy implies perfect
+        # macro F1 and zero accuracy implies zero macro F1.
+        summary = summarize(records)
+        if summary.accuracy == 1.0:
+            assert summary.f1 == pytest.approx(1.0)
+        if summary.accuracy == 0.0:
+            assert summary.f1 == pytest.approx(0.0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.floats(0, 1), st.floats(0, 1))
+    def test_harmonic_mean_bounds(self, accuracy, earliness):
+        value = harmonic_mean(accuracy, earliness)
+        assert 0.0 <= value <= 1.0
+        assert value <= max(accuracy, 1.0 - earliness) + 1e-12
+        if accuracy == 0.0:
+            assert value == 0.0
+
+
+# --------------------------------------------------------------------------- #
+# tangling / untangling invariants
+# --------------------------------------------------------------------------- #
+class TestTangleInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(sequences_strategy())
+    def test_interleave_preserves_items_and_labels(self, sequences):
+        tangle = interleave_sequences(sequences, SPEC, rng=np.random.default_rng(0), jitter=1e-6)
+        assert len(tangle) == sum(len(sequence) for sequence in sequences)
+        recovered = tangle.per_key_sequences()
+        for sequence in sequences:
+            assert recovered[sequence.key].label == sequence.label
+            assert [item.value for item in recovered[sequence.key]] == [
+                item.value for item in sequence
+            ]
+
+    @settings(max_examples=30, deadline=None)
+    @given(sequences_strategy(max_keys=8), st.integers(1, 4))
+    def test_retangle_partitions_the_key_set(self, sequences, concurrency):
+        tangles = retangle_by_concurrency(
+            sequences, SPEC, concurrency, rng=np.random.default_rng(0)
+        )
+        keys = [key for tangle in tangles for key in tangle.keys]
+        assert sorted(map(str, keys)) == sorted(str(sequence.key) for sequence in sequences)
+        assert all(tangle.num_keys <= concurrency for tangle in tangles)
+
+    @settings(max_examples=30, deadline=None)
+    @given(sequences_strategy(max_keys=6))
+    def test_replay_visits_every_item_once(self, sequences):
+        tangle = interleave_sequences(sequences, SPEC, rng=np.random.default_rng(0), jitter=1e-6)
+        events = list(replay(tangle))
+        assert len(events) == len(tangle)
+        per_key = {}
+        for event in events:
+            per_key[event.key] = per_key.get(event.key, 0) + 1
+        for sequence in sequences:
+            assert per_key[sequence.key] == len(sequence)
+
+
+# --------------------------------------------------------------------------- #
+# correlation-mask invariants
+# --------------------------------------------------------------------------- #
+class TestCorrelationMaskInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(sequences_strategy(max_keys=4, max_length=8))
+    def test_mask_is_causal_with_visible_diagonal(self, sequences):
+        tangle = interleave_sequences(sequences, SPEC, rng=np.random.default_rng(0), jitter=1e-6)
+        structure = build_correlation_structure(tangle)
+        mask = structure.mask
+        length = len(tangle)
+        assert mask.shape == (length, length)
+        for i in range(length):
+            assert mask[i, i] == 0.0
+            for j in range(i + 1, length):
+                assert mask[i, j] < 0.0  # future items are never visible
+
+    @settings(max_examples=20, deadline=None)
+    @given(sequences_strategy(max_keys=4, max_length=8))
+    def test_key_correlation_items_visible(self, sequences):
+        tangle = interleave_sequences(sequences, SPEC, rng=np.random.default_rng(0), jitter=1e-6)
+        structure = build_correlation_structure(
+            tangle, use_key_correlation=True, use_value_correlation=False
+        )
+        mask = structure.mask
+        for i in range(len(tangle)):
+            for j in range(i):
+                if tangle[i].key == tangle[j].key:
+                    assert mask[i, j] == 0.0
+
+
+# --------------------------------------------------------------------------- #
+# split invariants
+# --------------------------------------------------------------------------- #
+class TestSplitInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(6, 60), st.integers(2, 4))
+    def test_split_is_a_key_disjoint_partition(self, num_keys, num_classes):
+        sequences = [
+            KeyValueSequence(f"k{i}", [Item(f"k{i}", (0, 0), 0.0)], i % num_classes)
+            for i in range(num_keys)
+        ]
+        split = split_by_key(sequences, rng=np.random.default_rng(0))
+        assert split.all_keys_disjoint()
+        total = len(split.train) + len(split.validation) + len(split.test)
+        assert total == num_keys
+        # With the default 8:1:1 proportions every subset is non-empty as soon
+        # as each class has at least three keys.
+        if num_keys // num_classes >= 3:
+            assert split.validation and split.test
+
+
+# --------------------------------------------------------------------------- #
+# serialization invariants
+# --------------------------------------------------------------------------- #
+class TestSerializationInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(sequences_strategy(max_keys=4, max_length=10))
+    def test_jsonl_round_trip_preserves_sessions(self, sequences):
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "sequences.jsonl"
+            data_io.save_sequences(sequences, path)
+            restored = data_io.load_sequences(path)
+        for original, loaded in zip(sequences, restored):
+            original_sessions = [len(s) for s in segment_sessions(original, SPEC.session_field)]
+            loaded_sessions = [len(s) for s in segment_sessions(loaded, SPEC.session_field)]
+            assert original_sessions == loaded_sessions
+
+
+# --------------------------------------------------------------------------- #
+# sliding-window invariants
+# --------------------------------------------------------------------------- #
+class TestWindowInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(sequences_strategy(max_keys=4, max_length=10), st.integers(1, 12))
+    def test_window_content_is_a_suffix_of_the_stream(self, sequences, bound):
+        tangle = interleave_sequences(sequences, SPEC, rng=np.random.default_rng(0), jitter=1e-6)
+        window = SlidingWindow(max_items=bound)
+        pushed = []
+        for item in tangle:
+            window.push(item)
+            pushed.append(item)
+            assert window.items == pushed[-bound:]
