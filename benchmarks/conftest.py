@@ -13,6 +13,7 @@ The scale preset defaults to ``bench`` and can be overridden with the
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -21,6 +22,30 @@ import pytest
 from repro.experiments.registry import get_experiment
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Machine-readable serving benchmark trajectory, tracked at the repo root so
+#: future PRs can diff per-arrival latency/throughput against this one.
+BENCH_SERVING_JSON = Path(__file__).parent.parent / "BENCH_serving.json"
+
+
+def write_bench_json(section: str, payload: dict, path: Path = BENCH_SERVING_JSON) -> Path:
+    """Merge one benchmark section into the tracked ``BENCH_serving.json``.
+
+    An unparsable existing file (e.g. from an interrupted write) is preserved
+    as ``<name>.corrupt`` instead of being silently discarded, so the other
+    sections' trajectory history is never lost without a trace.
+    """
+    data: dict = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            backup = path.with_suffix(path.suffix + ".corrupt")
+            path.replace(backup)
+            print(f"warning: {path.name} was unparsable; preserved as {backup.name}")
+    data[section] = payload
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def bench_scale() -> str:

@@ -34,6 +34,10 @@ class SequenceClassifier(Module):
         """Class probability vector ``p_k`` as a numpy array."""
         return F.softmax(self.forward(state), axis=-1).data
 
+    def probabilities_inference(self, state: np.ndarray) -> np.ndarray:
+        """No-grad fast path: class probabilities from a raw state vector."""
+        return F.softmax_array(self.projection.forward_inference(state))
+
     def predict(self, state: Tensor) -> int:
         """The predicted label ``argmax_i p_{k,i}``."""
         return int(np.argmax(self.probabilities(state)))

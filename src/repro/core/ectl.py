@@ -43,6 +43,14 @@ class HaltingPolicy(Module):
         """Convenience: the halting probability as a python float."""
         return float(self.forward(state).data)
 
+    def halt_probability_inference(self, state: np.ndarray) -> float:
+        """No-grad fast path: halting probability from a raw state vector."""
+        return float(F.sigmoid_array(self.projection.forward_inference(state)[0]))
+
+    def halt_probabilities_inference(self, states: np.ndarray) -> np.ndarray:
+        """No-grad fast path: halting probabilities for ``(n, d_state)`` states."""
+        return F.sigmoid_array(self.projection.forward_inference(states)[:, 0])
+
     def sample_action(self, state: Tensor, rng: np.random.Generator) -> int:
         """Sample Halt/Wait according to π(s)."""
         return ACTION_HALT if rng.random() < self.halt_probability(state) else ACTION_WAIT
@@ -73,9 +81,17 @@ class BaselineValue(Module):
         self.output_layer = Linear(hidden, 1, rng=rng)
 
     def forward(self, state: Tensor) -> Tensor:
-        """Estimated return for ``state`` as a scalar tensor."""
+        """Estimated return(s) for ``state``.
+
+        Accepts a single ``(d_state,)`` vector (returns a scalar tensor) or a
+        batch of shape ``(n, d_state)`` (returns an ``(n,)`` tensor), so the
+        trainer can evaluate every episode step in one pass.
+        """
         hidden = F.relu(self.hidden_layer(state))
-        return self.output_layer(hidden).reshape(())
+        out = self.output_layer(hidden)
+        if out.ndim == 1:
+            return out.reshape(())
+        return out.squeeze(-1)
 
     def value(self, state: Tensor) -> float:
         return float(self.forward(state).data)

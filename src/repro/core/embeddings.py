@@ -88,3 +88,38 @@ class InputEmbedding(Module):
             embedded = embedded + self.position_embedding(positions)
             embedded = embedded + self.time_embedding(times)
         return embedded
+
+    def forward_inference(self, tangle: TangledSequence, upto: Optional[int] = None) -> np.ndarray:
+        """Raw-array ``E0`` for ``tangle[:upto]`` (no autograd graph)."""
+        length = len(tangle) if upto is None else min(upto, len(tangle))
+        if length == 0:
+            raise ValueError("cannot embed an empty tangled sequence")
+        rows = np.empty((length, self.d_model), dtype=np.float64)
+        for index in range(length):
+            item = tangle[index]
+            rows[index] = self.embed_item_inference(
+                item,
+                key_index=tangle.key_index(item.key),
+                position=tangle.position_in_key_sequence(index),
+                time_index=index,
+            )
+        return rows
+
+    def embed_item_inference(
+        self, item, key_index: int, position: int, time_index: int
+    ) -> np.ndarray:
+        """Embed one item given its tangled-stream coordinates.
+
+        Summation order matches :meth:`forward` (value fields, membership,
+        relative position, time) so streaming callers reproduce the batched
+        embedding bit for bit.
+        """
+        row = self.value_embeddings[0].weight.data[item.field(0)].copy()
+        for field_index in range(1, self.spec.num_fields):
+            row += self.value_embeddings[field_index].weight.data[item.field(field_index)]
+        if self.use_membership_embedding:
+            row += self.membership_embedding.weight.data[min(key_index, self.max_keys - 1)]
+        if self.use_time_embeddings:
+            row += self.position_embedding.weight.data[min(position, self.max_positions - 1)]
+            row += self.time_embedding.weight.data[min(time_index, self.max_time - 1)]
+        return row

@@ -49,6 +49,16 @@ class GatedFusion(Module):
         hidden, cell = self.cell(item_embedding, state)
         return hidden, (hidden, cell)
 
+    def initial_state_inference(self) -> Tuple[np.ndarray, ...]:
+        return self.cell.init_state_inference()
+
+    def forward_inference(
+        self, state: Tuple[np.ndarray, ...], item_embedding: np.ndarray
+    ) -> Tuple[np.ndarray, Tuple[np.ndarray, ...]]:
+        """Raw-array fusion step mirroring :meth:`forward`."""
+        hidden, cell = self.cell.step_inference(item_embedding, state)
+        return hidden, (hidden, cell)
+
 
 class MeanFusion(Module):
     """Parameter-free fusion: the running mean of observed item embeddings."""
@@ -68,6 +78,17 @@ class MeanFusion(Module):
         mean = new_sum / new_count
         return mean, (new_sum, new_count)
 
+    def initial_state_inference(self) -> Tuple[np.ndarray, ...]:
+        return (np.zeros(self.d_model), np.zeros(1))
+
+    def forward_inference(
+        self, state: Tuple[np.ndarray, ...], item_embedding: np.ndarray
+    ) -> Tuple[np.ndarray, Tuple[np.ndarray, ...]]:
+        running_sum, count = state
+        new_sum = running_sum + item_embedding
+        new_count = count + 1.0
+        return new_sum / new_count, (new_sum, new_count)
+
 
 class LastItemFusion(Module):
     """Parameter-free fusion: the sequence is represented by its latest item."""
@@ -81,6 +102,14 @@ class LastItemFusion(Module):
         return (Tensor(np.zeros(self.d_model)),)
 
     def forward(self, state: FusionState, item_embedding: Tensor) -> Tuple[Tensor, FusionState]:
+        return item_embedding, (item_embedding,)
+
+    def initial_state_inference(self) -> Tuple[np.ndarray, ...]:
+        return (np.zeros(self.d_model),)
+
+    def forward_inference(
+        self, state: Tuple[np.ndarray, ...], item_embedding: np.ndarray
+    ) -> Tuple[np.ndarray, Tuple[np.ndarray, ...]]:
         return item_embedding, (item_embedding,)
 
 

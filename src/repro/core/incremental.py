@@ -1,0 +1,264 @@
+"""Incremental KV-cached streaming encoder state for online serving.
+
+The KVRL correlation mask is strictly causal: row ``i`` of every attention
+block may only attend to rows ``j <= i``.  Therefore, in an *append-only*
+window, the representation of every already-encoded row is final — a new
+arrival can be encoded by computing just its own row through the block stack,
+attending against cached per-block key/value projections.  That drops the
+per-arrival cost of the online engine from O(W²·d) (full re-encode of a
+window of W items) to O(W·d).
+
+:class:`IncrementalEncoderState` caches, per attention block, the projected
+K/V rows of every item currently in the context, plus the per-key fusion
+states, and extends the correlation-mask row for each new arrival
+incrementally (via :class:`~repro.core.correlation.CorrelationTracker`, the
+same machinery the batched mask builder uses), so that :meth:`append`
+produces exactly the fused representation a full re-encode of the same
+window would produce.
+
+**Eviction caveat.**  Exactness only holds while the window is append-only.
+When the sliding window evicts an item, every remaining row shifts: the time
+embedding is indexed by the item's position *within the window*, the relative
+position and membership indices are window-relative too, and per-key fusion
+restarts from the first retained item.  A full re-encode of the shrunken
+window therefore changes every row, and no O(W) update can reproduce it.  The
+cache must be invalidated: :meth:`rebuild` re-encodes the remaining window in
+one *batched no-grad pass* (still far cheaper than the autograd full
+re-encode the engine previously ran on every arrival) and reseeds all caches
+from it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.correlation import CorrelationTracker
+from repro.data.items import Item
+from repro.nn.attention import MASK_VALUE
+
+#: Initial per-block cache capacity when none is given.
+_DEFAULT_CAPACITY = 64
+
+
+class IncrementalEncoderState:
+    """Streaming KV cache over a bounded, append-only-until-eviction context.
+
+    Parameters
+    ----------
+    model:
+        A :class:`~repro.core.model.KVEC` instance (only its no-grad
+        inference methods are used; no autograd graph is ever built).
+    capacity:
+        Expected maximum number of context rows (e.g. the engine's
+        ``window_items``).  Caches grow automatically if exceeded.
+    """
+
+    def __init__(self, model, capacity: Optional[int] = None) -> None:
+        self.model = model
+        self._capacity = max(int(capacity or _DEFAULT_CAPACITY), 1)
+        self._num_blocks = len(model.encoder.blocks)
+        self._allocate_caches(self._capacity)
+        self._clear_bookkeeping()
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping
+    # ------------------------------------------------------------------ #
+    def _allocate_caches(self, capacity: int) -> None:
+        self._k_cache: List[np.ndarray] = []
+        self._v_cache: List[np.ndarray] = []
+        for block in self.model.encoder.blocks:
+            attention = block.attention
+            shape = (attention.num_heads, capacity, attention.d_head)
+            self._k_cache.append(np.empty(shape, dtype=np.float64))
+            self._v_cache.append(np.empty(shape, dtype=np.float64))
+        self._capacity = capacity
+
+    def _clear_bookkeeping(self) -> None:
+        self._length = 0
+        self._key_order: Dict[Hashable, int] = {}
+        self._key_counts: Dict[Hashable, int] = {}
+        self._row_keys: List[Hashable] = []
+        self._fused_rows: List[np.ndarray] = []
+        self._fusion_states: Dict[Hashable, tuple] = {}
+        self._latest_rep: Dict[Hashable, np.ndarray] = {}
+        config = self.model.config
+        self._tracker = CorrelationTracker(
+            session_field=self.model.spec.session_field,
+            use_key_correlation=config.use_key_correlation,
+            use_value_correlation=config.use_value_correlation,
+        )
+
+    def _grow(self, minimum: int) -> None:
+        capacity = self._capacity
+        while capacity < minimum:
+            capacity *= 2
+        if capacity == self._capacity:
+            return
+        for index in range(self._num_blocks):
+            for caches in (self._k_cache, self._v_cache):
+                old = caches[index]
+                grown = np.empty((old.shape[0], capacity, old.shape[2]), dtype=np.float64)
+                grown[:, : self._length, :] = old[:, : self._length, :]
+                caches[index] = grown
+        self._capacity = capacity
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def fused_rows(self) -> List[np.ndarray]:
+        """Per-row fused key representation ``s_k^{(t)}``, in arrival order."""
+        return self._fused_rows
+
+    def row_key(self, index: int) -> Hashable:
+        return self._row_keys[index]
+
+    def key_index(self, key: Hashable) -> int:
+        """0-based first-appearance rank of ``key`` in the cached context.
+
+        While the cache is clean this matches the key order of the window
+        materialised as a :class:`~repro.data.items.TangledSequence`, so
+        callers can reproduce the full re-encode path's key ordering.
+        """
+        return self._key_order[key]
+
+    def fused_row(self, index: int) -> np.ndarray:
+        return self._fused_rows[index]
+
+    def latest_representation(self, key: Hashable) -> Optional[np.ndarray]:
+        """The key's fused representation after its newest cached item."""
+        return self._latest_rep.get(key)
+
+    def kv_cache_view(self, block_index: int):
+        """The live ``(K, V)`` cache slices of one block (for tests/diagnostics)."""
+        return (
+            self._k_cache[block_index][:, : self._length, :],
+            self._v_cache[block_index][:, : self._length, :],
+        )
+
+    # ------------------------------------------------------------------ #
+    # streaming updates
+    # ------------------------------------------------------------------ #
+    def _register_item(self, item: Item, index: int):
+        """Register row ``index``'s window coordinates — the single source of
+        truth for per-item bookkeeping, shared by :meth:`append` and
+        :meth:`rebuild` so their exactness cannot drift apart.
+
+        Returns ``(embedding_row, via_key, via_value)``: the item's raw
+        embedding and the earlier positions visible to it through each
+        correlation type.
+        """
+        key = item.key
+        key_index = self._key_order.setdefault(key, len(self._key_order))
+        position = self._key_counts.get(key, 0)
+        self._key_counts[key] = position + 1
+        row = self.model.input_embedding.embed_item_inference(
+            item, key_index=key_index, position=position, time_index=index
+        )
+        via_key, via_value = self._tracker.observe(key, item.value)
+        self._row_keys.append(key)
+        return row, via_key, via_value
+
+    @staticmethod
+    def _fill_mask_row(row: np.ndarray, index: int, via_key, via_value) -> None:
+        """Zero the visible positions of one additive mask row in place.
+
+        Shared by :meth:`append` and :meth:`rebuild` so the visibility rule
+        cannot drift between the two paths.
+        """
+        row[index] = 0.0
+        if via_key:
+            row[via_key] = 0.0
+        if via_value:
+            row[via_value] = 0.0
+
+    def _fuse_row(self, key: Hashable, encoded_row: np.ndarray) -> np.ndarray:
+        """Fold one encoded row into its key's fusion state and record it.
+
+        Shared by :meth:`append` and :meth:`rebuild` so the fusion replay
+        cannot drift between the two paths.
+        """
+        fusion = self.model.fusion
+        state = self._fusion_states.get(key)
+        if state is None:
+            state = fusion.initial_state_inference()
+        representation, new_state = fusion.forward_inference(state, encoded_row)
+        self._fusion_states[key] = new_state
+        self._latest_rep[key] = representation
+        self._fused_rows.append(representation)
+        return representation
+
+    def append(self, item: Item) -> np.ndarray:
+        """Encode one new arrival in O(W·d) and return its fused representation.
+
+        The new row's embedding, mask row, per-block attention (against the
+        cached K/V of every earlier row) and fusion step are computed; nothing
+        already cached is touched, which is exact because the mask is causal.
+        """
+        index = self._length
+        if index >= self._capacity:
+            self._grow(index + 1)
+
+        key = item.key
+        row, via_key, via_value = self._register_item(item, index)
+        mask_row = np.full(index + 1, MASK_VALUE, dtype=np.float64)
+        self._fill_mask_row(mask_row, index, via_key, via_value)
+
+        for block_index, block in enumerate(self.model.encoder.blocks):
+            query, k_row, v_row = block.attention.project_qkv_row(row)
+            self._k_cache[block_index][:, index, :] = k_row
+            self._v_cache[block_index][:, index, :] = v_row
+            row = block.forward_inference_row(
+                row,
+                query,
+                self._k_cache[block_index][:, : index + 1, :],
+                self._v_cache[block_index][:, : index + 1, :],
+                mask_row,
+            )
+
+        representation = self._fuse_row(key, row)
+        self._length += 1
+        return representation
+
+    def rebuild(self, items: Sequence[Item]) -> None:
+        """Invalidate every cache and re-encode ``items`` in one batched pass.
+
+        Called by the engine after window eviction (see the eviction caveat in
+        the module docstring).  The batched no-grad pass recomputes the
+        embeddings, the full correlation mask, each block's K/V projections
+        (which reseed the caches) and the per-key fusion replay.
+        """
+        self._clear_bookkeeping()
+        items = list(items)
+        if not items:
+            return
+        length = len(items)
+        if length > self._capacity:
+            self._grow(length)
+
+        model = self.model
+        embeddings = np.empty((length, model.config.d_model), dtype=np.float64)
+        mask = np.full((length, length), MASK_VALUE, dtype=np.float64)
+        for index, item in enumerate(items):
+            embeddings[index], via_key, via_value = self._register_item(item, index)
+            self._fill_mask_row(mask[index], index, via_key, via_value)
+
+        x = embeddings
+        for block_index, block in enumerate(model.encoder.blocks):
+            x, keys, values = block.forward_inference(x, mask=mask, return_kv=True)
+            self._k_cache[block_index][:, :length, :] = keys
+            self._v_cache[block_index][:, :length, :] = values
+
+        for index in range(length):
+            self._fuse_row(self._row_keys[index], x[index])
+
+        self._length = length

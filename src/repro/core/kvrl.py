@@ -39,13 +39,59 @@ class KVRLBlock(Module):
         self.norm2 = LayerNorm(d_model)
         self.dropout = Dropout(dropout, rng=rng) if dropout > 0 else None
 
-    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
-        attended = self.attention(x, mask=mask)
+    def forward(
+        self, x: Tensor, mask: Optional[np.ndarray] = None, store_attention: bool = False
+    ) -> Tensor:
+        attended = self.attention(x, mask=mask, store_attention=store_attention)
         if self.dropout is not None:
             attended = self.dropout(attended)
         x = self.norm1(x + attended)
         transformed = self.feed_forward(x)
         return self.norm2(x + transformed)
+
+    def forward_inference(
+        self,
+        x: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+        store_attention: bool = False,
+        return_kv: bool = False,
+    ):
+        """Raw-array evaluation pass (dropout is a no-op in eval mode).
+
+        With ``return_kv`` the block also returns its per-head projected K/V
+        arrays so streaming callers can seed their caches.
+        """
+        if return_kv:
+            attended, key, value = self.attention.forward_inference(
+                x, mask=mask, store_attention=store_attention, return_kv=True
+            )
+        else:
+            attended = self.attention.forward_inference(x, mask=mask, store_attention=store_attention)
+        x = self.norm1.forward_inference(x + attended)
+        transformed = self.feed_forward.forward_inference(x)
+        out = self.norm2.forward_inference(x + transformed)
+        if return_kv:
+            return out, key, value
+        return out
+
+    def forward_inference_row(
+        self,
+        x_row: np.ndarray,
+        query_row: np.ndarray,
+        key_cache: np.ndarray,
+        value_cache: np.ndarray,
+        mask_row: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """One-row streaming pass given cached K/V of all visible rows.
+
+        ``query_row`` is the new row's projected query and ``key_cache`` /
+        ``value_cache`` must already include the new row's own k/v (all three
+        come from :meth:`MultiHeadAttention.project_qkv_row`).
+        """
+        attended = self.attention.attend_row(query_row, key_cache, value_cache, mask_row)
+        x_row = self.norm1.forward_inference(x_row + attended)
+        transformed = self.feed_forward.forward_inference(x_row)
+        return self.norm2.forward_inference(x_row + transformed)
 
 
 class KVRLEncoder(Module):
@@ -71,11 +117,28 @@ class KVRLEncoder(Module):
             ]
         )
 
-    def forward(self, embeddings: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+    def forward(
+        self,
+        embeddings: Tensor,
+        mask: Optional[np.ndarray] = None,
+        store_attention: bool = False,
+    ) -> Tensor:
         """Refine ``embeddings`` of shape ``(T, d_model)`` under ``mask``."""
         x = embeddings
         for block in self.blocks:
-            x = block(x, mask=mask)
+            x = block(x, mask=mask, store_attention=store_attention)
+        return x
+
+    def forward_inference(
+        self,
+        embeddings: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+        store_attention: bool = False,
+    ) -> np.ndarray:
+        """Raw-array evaluation pass over the whole block stack."""
+        x = embeddings
+        for block in self.blocks:
+            x = block.forward_inference(x, mask=mask, store_attention=store_attention)
         return x
 
     def attention_maps(self) -> List[np.ndarray]:

@@ -142,7 +142,12 @@ class KVEC(Module):
     # ------------------------------------------------------------------ #
     # encoding
     # ------------------------------------------------------------------ #
-    def encode(self, tangle: TangledSequence, upto: Optional[int] = None):
+    def encode(
+        self,
+        tangle: TangledSequence,
+        upto: Optional[int] = None,
+        store_attention: bool = False,
+    ):
         """Return ``(item_representations, correlation_structure)`` for a prefix."""
         structure = build_correlation_structure(
             tangle,
@@ -151,7 +156,19 @@ class KVEC(Module):
             use_value_correlation=self.config.use_value_correlation,
         )
         embeddings = self.input_embedding(tangle, upto=upto)
-        representations = self.encoder(embeddings, mask=structure.mask)
+        representations = self.encoder(embeddings, mask=structure.mask, store_attention=store_attention)
+        return representations, structure
+
+    def encode_inference(self, tangle: TangledSequence, upto: Optional[int] = None):
+        """No-grad fast path of :meth:`encode`: raw arrays, no graph objects."""
+        structure = build_correlation_structure(
+            tangle,
+            upto=upto,
+            use_key_correlation=self.config.use_key_correlation,
+            use_value_correlation=self.config.use_value_correlation,
+        )
+        embeddings = self.input_embedding.forward_inference(tangle, upto=upto)
+        representations = self.encoder.forward_inference(embeddings, mask=structure.mask)
         return representations, structure
 
     # ------------------------------------------------------------------ #
@@ -188,7 +205,7 @@ class KVEC(Module):
         length = len(tangle) if max_items is None else min(max_items, len(tangle))
         if length == 0:
             raise ValueError("cannot run an episode on an empty tangled sequence")
-        representations, structure = self.encode(tangle, upto=length)
+        representations, structure = self.encode(tangle, upto=length, store_attention=store_attention)
 
         episodes: Dict[Hashable, KeyEpisode] = {}
         fusion_states: Dict[Hashable, tuple] = {}
@@ -247,8 +264,17 @@ class KVEC(Module):
         tangle: TangledSequence,
         halt_threshold: float = 0.5,
         max_items: Optional[int] = None,
+        fast: bool = True,
     ) -> List[PredictionRecord]:
-        """Early-classify every key-value sequence in ``tangle`` (no gradients)."""
+        """Early-classify every key-value sequence in ``tangle`` (no gradients).
+
+        By default the raw-numpy inference fast path is used: plain ndarray
+        math end to end, with no autograd ``Tensor`` objects, per-op closures
+        or graph bookkeeping.  ``fast=False`` falls back to the original
+        :meth:`run_episode` route (useful for cross-checking numerics).
+        """
+        if fast:
+            return self._predict_tangle_inference(tangle, halt_threshold, max_items)
         was_training = self.training
         self.eval()
         try:
@@ -259,6 +285,79 @@ class KVEC(Module):
         finally:
             self.train(was_training)
         return result.records()
+
+    def _predict_tangle_inference(
+        self,
+        tangle: TangledSequence,
+        halt_threshold: float,
+        max_items: Optional[int],
+    ) -> List[PredictionRecord]:
+        """Greedy early classification on the raw-array inference path."""
+        length = len(tangle) if max_items is None else min(max_items, len(tangle))
+        if length == 0:
+            raise ValueError("cannot run an episode on an empty tangled sequence")
+        representations, _ = self.encode_inference(tangle, upto=length)
+
+        fusion_states: Dict[Hashable, tuple] = {}
+        last_representation: Dict[Hashable, np.ndarray] = {}
+        observations: Dict[Hashable, int] = {}
+        key_order: List[Hashable] = []
+        decided: Dict[Hashable, PredictionRecord] = {}
+
+        for index in range(length):
+            key = tangle[index].key
+            if key not in observations:
+                key_order.append(key)
+                observations[key] = 0
+            if key in decided:
+                continue
+            state = fusion_states.get(key)
+            if state is None:
+                state = self.fusion.initial_state_inference()
+            representation, new_state = self.fusion.forward_inference(state, representations[index])
+            fusion_states[key] = new_state
+            last_representation[key] = representation
+            observations[key] += 1
+
+            if self.policy.halt_probability_inference(representation) >= halt_threshold:
+                decided[key] = self._record_inference(
+                    tangle, key, representation, observations[key], halted_by_policy=True
+                )
+
+        records: List[PredictionRecord] = []
+        for key in key_order:
+            record = decided.get(key)
+            if record is None:
+                record = self._record_inference(
+                    tangle, key, last_representation[key], observations[key], halted_by_policy=False
+                )
+            records.append(record)
+        return records
+
+    def _record_inference(
+        self,
+        tangle: TangledSequence,
+        key: Hashable,
+        representation: np.ndarray,
+        num_observations: int,
+        halted_by_policy: bool,
+    ) -> PredictionRecord:
+        probabilities = self.classifier.probabilities_inference(representation)
+        return PredictionRecord(
+            key=key,
+            predicted=int(np.argmax(probabilities)),
+            label=tangle.label_of(key),
+            halt_observation=num_observations,
+            sequence_length=tangle.sequence_length(key),
+            confidence=float(np.max(probabilities)),
+            halted_by_policy=halted_by_policy,
+        )
+
+    def make_incremental_state(self, capacity: Optional[int] = None):
+        """Create an :class:`~repro.core.incremental.IncrementalEncoderState`."""
+        from repro.core.incremental import IncrementalEncoderState
+
+        return IncrementalEncoderState(self, capacity=capacity)
 
     def trainable_parameters(self) -> List[Parameter]:
         """Parameters of θ = (θ1, θπ): everything except the baseline network."""

@@ -92,11 +92,19 @@ class MultiHeadAttention(Module):
         #: reproducing Fig. 10 of the paper.
         self.last_attention: Optional[np.ndarray] = None
 
-    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+    def forward(
+        self,
+        x: Tensor,
+        mask: Optional[np.ndarray] = None,
+        store_attention: bool = False,
+    ) -> Tensor:
         """Self-attention over ``x`` of shape ``(T, d_model)``.
 
         ``mask`` is an additive ``(T, T)`` matrix as produced by
         :func:`causal_mask` or the KVEC dynamic correlation mask.
+        ``store_attention`` keeps a copy of the ``(num_heads, T, T)`` weight
+        matrix in :attr:`last_attention`; it is off by default because the
+        copy is pure overhead on the hot path.
         """
         if x.ndim != 2:
             raise ValueError(f"expected (T, d_model) input, got shape {x.shape}")
@@ -113,7 +121,7 @@ class MultiHeadAttention(Module):
             )
 
         attended, weights = scaled_dot_product_attention(query, key, value, mask=head_mask)
-        self.last_attention = weights.data.copy()
+        self.last_attention = weights.data.copy() if store_attention else None
 
         merged = attended.swapaxes(0, 1).reshape(length, self.d_model)
         out = self.out_proj(merged)
@@ -124,3 +132,72 @@ class MultiHeadAttention(Module):
     def _split_heads(self, projected: Tensor, length: int) -> Tensor:
         # (T, d_model) -> (num_heads, T, d_head)
         return projected.reshape(length, self.num_heads, self.d_head).swapaxes(0, 1)
+
+    # ------------------------------------------------------------------ #
+    # no-grad fast path
+    # ------------------------------------------------------------------ #
+    def _split_heads_array(self, projected: np.ndarray) -> np.ndarray:
+        # (T, d_model) -> (num_heads, T, d_head)
+        length = projected.shape[0]
+        return np.ascontiguousarray(
+            projected.reshape(length, self.num_heads, self.d_head).swapaxes(0, 1)
+        )
+
+    def forward_inference(
+        self,
+        x: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+        store_attention: bool = False,
+        return_kv: bool = False,
+    ):
+        """Raw-array self-attention (evaluation mode, no autograd graph).
+
+        When ``return_kv`` is set, also returns the per-head projected key and
+        value tensors of shape ``(num_heads, T, d_head)`` so a streaming
+        caller can seed its KV cache from a batched encode.
+        """
+        key = self._split_heads_array(self.k_proj.forward_inference(x))
+        value = self._split_heads_array(self.v_proj.forward_inference(x))
+        query = self._split_heads_array(self.q_proj.forward_inference(x))
+
+        scores = query @ key.swapaxes(-1, -2) * (1.0 / math.sqrt(self.d_head))
+        if mask is not None:
+            scores = scores + mask
+        weights = F.softmax_array(scores)
+        self.last_attention = weights.copy() if store_attention else None
+
+        attended = weights @ value  # (num_heads, T, d_head)
+        merged = attended.swapaxes(0, 1).reshape(x.shape[0], self.d_model)
+        out = self.out_proj.forward_inference(merged)
+        if return_kv:
+            return out, key, value
+        return out
+
+    def project_qkv_row(self, x_row: np.ndarray):
+        """Project one input row to per-head ``(num_heads, d_head)`` q/k/v rows."""
+        query = self.q_proj.forward_inference(x_row).reshape(self.num_heads, self.d_head)
+        key = self.k_proj.forward_inference(x_row).reshape(self.num_heads, self.d_head)
+        value = self.v_proj.forward_inference(x_row).reshape(self.num_heads, self.d_head)
+        return query, key, value
+
+    def attend_row(
+        self,
+        query_row: np.ndarray,
+        key_cache: np.ndarray,
+        value_cache: np.ndarray,
+        mask_row: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Attention output for one new row against cached K/V.
+
+        ``query_row`` has shape ``(num_heads, d_head)``; the caches hold the
+        projected rows of every item visible to the new one, shaped
+        ``(num_heads, T, d_head)`` (the new row's own k/v included).  Returns
+        the ``(d_model,)`` attended output after the output projection.
+        """
+        scores = np.einsum("hd,htd->ht", query_row, key_cache) * (1.0 / math.sqrt(self.d_head))
+        if mask_row is not None:
+            scores = scores + mask_row
+        weights = F.softmax_array(scores)
+        self.last_attention = None  # row passes never keep maps; drop stale ones
+        context = np.einsum("ht,htd->hd", weights, value_cache)
+        return self.out_proj.forward_inference(context.reshape(self.d_model))

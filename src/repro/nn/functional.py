@@ -10,7 +10,7 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import SIGMOID_CLIP, Tensor
 
 ArrayLike = Union[Tensor, np.ndarray, list, tuple, float, int]
 
@@ -57,6 +57,27 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     x = _as_tensor(x)
     shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
     return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+# --------------------------------------------------------------------------- #
+# raw-array inference helpers (no-grad fast path)
+# --------------------------------------------------------------------------- #
+def sigmoid_array(x: np.ndarray) -> np.ndarray:
+    """Raw-array sigmoid matching :meth:`Tensor.sigmoid` numerics exactly.
+
+    Every no-grad fast path must use this (not a re-implementation) so
+    fast/reference parity cannot drift; the shared clip bound lives in
+    :data:`repro.nn.tensor.SIGMOID_CLIP`.
+    """
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -SIGMOID_CLIP, SIGMOID_CLIP)))
+
+
+def softmax_array(x: np.ndarray) -> np.ndarray:
+    """Raw-array softmax over the last axis matching :func:`softmax` numerics."""
+    shifted = x - x.max(axis=-1, keepdims=True)
+    np.exp(shifted, out=shifted)
+    shifted /= shifted.sum(axis=-1, keepdims=True)
+    return shifted
 
 
 # --------------------------------------------------------------------------- #

@@ -43,6 +43,13 @@ class Linear(Module):
     def forward(self, x: Tensor) -> Tensor:
         return F.linear(x, self.weight, self.bias)
 
+    def forward_inference(self, x: np.ndarray) -> np.ndarray:
+        """No-grad fast path on raw arrays (no graph nodes, no closures)."""
+        out = x @ self.weight.data.T
+        if self.bias is not None:
+            out = out + self.bias.data
+        return out
+
     def __repr__(self) -> str:
         return f"Linear(in={self.in_features}, out={self.out_features})"
 
@@ -95,6 +102,14 @@ class LayerNorm(Module):
         var = (centred**2).mean(axis=-1, keepdims=True)
         normalised = centred / (var + self.eps) ** 0.5
         return normalised * self.weight + self.bias
+
+    def forward_inference(self, x: np.ndarray) -> np.ndarray:
+        """No-grad fast path mirroring :meth:`forward` numerics on raw arrays."""
+        mean = x.sum(axis=-1, keepdims=True) * (1.0 / x.shape[-1])
+        centred = x - mean
+        var = (centred**2).sum(axis=-1, keepdims=True) * (1.0 / x.shape[-1])
+        normalised = centred / (var + self.eps) ** 0.5
+        return normalised * self.weight.data + self.bias.data
 
     def __repr__(self) -> str:
         return f"LayerNorm(dim={self.normalized_shape})"
@@ -161,3 +176,12 @@ class FeedForward(Module):
         if self.dropout is not None:
             hidden = self.dropout(hidden)
         return self.linear2(hidden)
+
+    def forward_inference(self, x: np.ndarray) -> np.ndarray:
+        """No-grad fast path (evaluation mode: dropout is a no-op)."""
+        hidden = self.linear1.forward_inference(x)
+        if self.activation is F.relu:
+            np.maximum(hidden, 0.0, out=hidden)
+        else:
+            hidden = self.activation(Tensor(hidden)).data
+        return self.linear2.forward_inference(hidden)

@@ -78,6 +78,24 @@ class LSTMCell(Module):
         new_hidden = out * F.tanh(new_cell)
         return new_hidden, new_cell
 
+    def init_state_inference(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Zero (hidden, cell) state as raw arrays for the no-grad fast path."""
+        return np.zeros(self.hidden_size), np.zeros(self.hidden_size)
+
+    def step_inference(
+        self, x: np.ndarray, state: Tuple[np.ndarray, np.ndarray]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Advance one step on raw arrays, mirroring :meth:`forward` numerics."""
+        hidden, cell = state
+        combined = np.concatenate([hidden, x])
+        forget = F.sigmoid_array(self.forget_gate.forward_inference(combined))
+        inp = F.sigmoid_array(self.input_gate.forward_inference(combined))
+        out = F.sigmoid_array(self.output_gate.forward_inference(combined))
+        candidate = np.tanh(self.cell_gate.forward_inference(combined))
+        new_cell = forget * cell + inp * candidate
+        new_hidden = out * np.tanh(new_cell)
+        return new_hidden, new_cell
+
 
 class LSTM(Module):
     """Run an :class:`LSTMCell` over a full sequence of input vectors."""

@@ -24,6 +24,10 @@ import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, list, tuple, "Tensor"]
 
+#: Logit clip bound shared by :meth:`Tensor.sigmoid` and the no-grad
+#: :func:`repro.nn.functional.sigmoid_array` so the two paths cannot drift.
+SIGMOID_CLIP = 60.0
+
 _GRAD_ENABLED = True
 
 
@@ -158,7 +162,11 @@ class Tensor:
 
     def _accumulate(self, grad: np.ndarray) -> None:
         if self.grad is None:
+            # Copy: the incoming buffer may be (or alias) another node's
+            # gradient, which in-place accumulation would corrupt.
             self.grad = np.array(grad, dtype=np.float64, copy=True)
+        elif self.grad.shape == np.shape(grad):
+            self.grad += grad
         else:
             self.grad = self.grad + grad
 
@@ -331,7 +339,7 @@ class Tensor:
         return Tensor._make(out_data, (self,), backward)
 
     def sigmoid(self) -> "Tensor":
-        out_data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
+        out_data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -SIGMOID_CLIP, SIGMOID_CLIP)))
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:

@@ -6,7 +6,7 @@ object exposing its ``predict_tangle`` interface) to a live item stream:
 1. arrivals are appended to a bounded :class:`~repro.data.stream.SlidingWindow`
    (the tangled context the correlation mask operates on),
 2. every ``reencode_every`` arrivals — or whenever a not-yet-decided key
-   receives an item and ``eager`` is set — the window is re-encoded in greedy
+   receives an item and ``eager`` is set — the window is evaluated in greedy
    mode and any key the halting policy stops is *decided*,
 3. a decided key is frozen: later arrivals for it are counted but never
    change its label (matching the paper's semantics where a halted sequence
@@ -19,12 +19,43 @@ prefix inside the window equals the representation the offline model would
 have produced after observing that prefix — the only approximation at
 serving time is the bounded window, which is reported via
 ``Decision.window_truncated``.
+
+Incremental KV-cache design
+---------------------------
+In the default ``mode="incremental"`` the engine does not re-encode the
+window on every evaluation.  It maintains an
+:class:`~repro.core.incremental.IncrementalEncoderState` that caches, per
+attention block, the projected key/value rows of every item in the window,
+the incrementally extended correlation-mask rows, and the per-key fusion
+states.  Each arrival is encoded by computing only its own row's attention
+against the cached K/V across all blocks — O(W·d) instead of the O(W²·d)
+full re-encode — on the raw-numpy no-grad fast path (no autograd ``Tensor``
+objects are built at serving time).
+
+*Exactness.*  The correlation mask is strictly causal (row ``i`` attends only
+to ``j <= i``), so in an append-only window no earlier row's representation
+ever changes; the incrementally computed row is bit-for-bit the row a full
+re-encode would produce (up to BLAS summation-order noise, well below 1e-9).
+Halting decisions can therefore be taken from the newly computed rows alone:
+any older row of a still-undecided key was already below the halting
+threshold when it was last evaluated, and its representation has not changed.
+
+*Eviction caveat.*  When the window evicts an item, every remaining row
+shifts: the time/position/membership embedding indices are window-relative
+and per-key fusion restarts from the first retained item, so *all* cached
+rows become stale.  The engine then invalidates the cache and rebuilds it
+with one batched no-grad re-encode of the shrunken window, and re-scans every
+row at the next evaluation (a previously sub-threshold row may now halt).
+``mode="full"`` restores the original re-encode-everything behaviour and is
+used by the parity tests as the reference.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence
+
+import numpy as np
 
 from repro.core.model import KVEC, PredictionRecord
 from repro.data.items import TangledSequence, ValueSpec
@@ -50,6 +81,11 @@ class EngineConfig:
     idle_timeout:
         Simulated-time gap after which an undecided key is considered
         finished and force-decided during :meth:`flush` / :meth:`expire`.
+    mode:
+        ``"incremental"`` (default) serves from the KV-cached streaming
+        encoder state; ``"full"`` re-encodes the whole window on every
+        evaluation (the original, reference behaviour).  Models that do not
+        expose ``make_incremental_state`` fall back to ``"full"``.
     """
 
     window_items: int = 256
@@ -57,6 +93,7 @@ class EngineConfig:
     reencode_every: int = 1
     eager: bool = False
     idle_timeout: float = 0.0
+    mode: str = "incremental"
 
     def __post_init__(self) -> None:
         if self.window_items <= 0:
@@ -67,6 +104,8 @@ class EngineConfig:
             raise ValueError("reencode_every must be positive")
         if self.idle_timeout < 0:
             raise ValueError("idle_timeout must be non-negative")
+        if self.mode not in ("incremental", "full"):
+            raise ValueError(f"unknown engine mode {self.mode!r}")
 
 
 @dataclass
@@ -108,6 +147,27 @@ class OnlineClassificationEngine:
         self._truncated_keys: set = set()
         self._clock = float("-inf")
 
+        self._incremental = None
+        if self.config.mode == "incremental" and hasattr(model, "make_incremental_state"):
+            self._incremental = model.make_incremental_state(capacity=self.config.window_items)
+            #: Halting probability of each cached context row, parallel to the
+            #: incremental state's rows.
+            self._row_halt: List[float] = []
+            #: Rows appended (or invalidated by a rebuild) since the last
+            #: evaluation — the only candidates for new halting decisions.
+            self._unscanned_rows: List[int] = []
+            #: True after an eviction invalidates the cached rows.  The
+            #: rebuild is deferred to the next evaluation / flush that has
+            #: pending keys; while no undecided key has items in the window
+            #: (the full path's empty-pending early return) the cache stays
+            #: dirty at zero per-arrival cost.
+            self._cache_dirty = False
+            #: O(1) bookkeeping replacing an O(W) window scan per arrival:
+            #: per-key item counts of the current window, and the set of
+            #: undecided keys with at least one item in the window.
+            self._window_key_counts: Dict[Hashable, int] = {}
+            self._window_pending: set = set()
+
     # ------------------------------------------------------------------ #
     # ingestion
     # ------------------------------------------------------------------ #
@@ -121,11 +181,86 @@ class OnlineClassificationEngine:
                 self._truncated_keys.add(item.key)
         self._arrivals_since_encode += 1
 
+        if self._incremental is not None:
+            counts = self._window_key_counts
+            counts[event.key] = counts.get(event.key, 0) + 1
+            if event.key not in self.decisions:
+                self._window_pending.add(event.key)
+            for item in evicted:
+                remaining = counts[item.key] - 1
+                if remaining:
+                    counts[item.key] = remaining
+                else:
+                    del counts[item.key]
+                    self._window_pending.discard(item.key)
+            self._maintain_cache(event, bool(evicted))
+
         due = self._arrivals_since_encode >= self.config.reencode_every
         eager = self.config.eager and event.key not in self.decisions
         if not due and not eager:
             return []
         return self._evaluate_window()
+
+    def _maintain_cache(self, event: StreamEvent, evicted: bool) -> None:
+        """Keep the KV cache in sync with the window — or mark it dirty.
+
+        Appending to a clean, non-evicted cache is exact regardless of which
+        keys are decided, so append-only arrivals always extend the cache in
+        O(W·d).  An eviction invalidates every cached row, but the rebuild is
+        deferred: nothing consumes the cache between evaluations, so
+        rebuilding on each of ``reencode_every`` evicting arrivals would
+        waste all but the last rebuild.  The dirty cache is resynchronised
+        lazily by the next evaluation / flush that actually has pending keys;
+        while no undecided key has items in the window (the full path's
+        empty-pending early return) it stays dirty at zero cost.
+        """
+        if self._cache_dirty or evicted:
+            self._cache_dirty = True
+            # Stale candidates must not survive: their rows no longer mirror
+            # the window, and a later evaluation scanning them would fabricate
+            # decisions the full path does not make.  The rebuild re-scans
+            # every row anyway.
+            self._unscanned_rows = []
+            return
+        self._append_to_cache(event)
+
+    def _append_to_cache(self, event: StreamEvent) -> None:
+        representation = self._incremental.append(event.item)
+        self._row_halt.append(self.model.policy.halt_probability_inference(representation))
+        self._unscanned_rows.append(len(self._incremental) - 1)
+
+    def _rebuild_cache(self) -> None:
+        """Reseed the dirty KV cache from the current window contents.
+
+        Every cached row went stale when the window evicted, so the rebuild
+        re-encodes the window in one batched no-grad pass and every row
+        becomes a fresh halting candidate.  Halt probabilities are evaluated
+        as one batched matvec rather than a Python loop per row.
+        """
+        self._incremental.rebuild(self.window.items)
+        fused = self._incremental.fused_rows
+        if fused:
+            probabilities = self.model.policy.halt_probabilities_inference(np.stack(fused))
+            self._row_halt = [float(p) for p in probabilities]
+        else:
+            self._row_halt = []
+        self._unscanned_rows = list(range(len(self._incremental)))
+        self._cache_dirty = False
+
+    def _sync_cache(self) -> bool:
+        """Rebuild a dirty cache if any pending key could use it.
+
+        Returns False when the cache is dirty *and* no undecided key has
+        items in the window — the caller can emit nothing, exactly like the
+        full path's empty-pending early return, so the rebuild cost is
+        skipped too.
+        """
+        if not self._cache_dirty:
+            return True
+        if not self._window_pending:
+            return False
+        self._rebuild_cache()
+        return True
 
     def consume(self, events: Iterable[StreamEvent]) -> List[Decision]:
         """Ingest a whole stream; returns every decision in emission order."""
@@ -141,6 +276,8 @@ class OnlineClassificationEngine:
         self._arrivals_since_encode = 0
         if not len(self.window):
             return []
+        if self._incremental is not None:
+            return self._evaluate_incremental()
         pending = [
             key
             for key in {item.key for item in self.window}
@@ -156,6 +293,51 @@ class OnlineClassificationEngine:
                 continue
             emitted.append(self._decide(record, halted_by_policy=True))
         return emitted
+
+    def _evaluate_incremental(self) -> List[Decision]:
+        """Halt keys from rows computed since the last evaluation.
+
+        Older rows of undecided keys were below the threshold when last
+        scanned and their cached representations are unchanged (causal mask,
+        append-only since the last rebuild), so they cannot newly halt.
+        """
+        if not self._sync_cache():
+            return []
+        threshold = self.config.halt_threshold
+        halting: Dict[Hashable, int] = {}
+        for index in self._unscanned_rows:
+            key = self._incremental.row_key(index)
+            if key in self.decisions or key in halting:
+                continue
+            if self._row_halt[index] >= threshold:
+                halting[key] = index
+        self._unscanned_rows = []
+        # Emit in the window's key-first-appearance order, matching the order
+        # the full path's predict_tangle records arrive in.
+        return [
+            self._decide_representation(
+                key, self._incremental.fused_row(halting[key]), halted_by_policy=True
+            )
+            for key in sorted(halting, key=self._incremental.key_index)
+        ]
+
+    def _decide_representation(
+        self, key: Hashable, representation, halted_by_policy: bool
+    ) -> Decision:
+        probabilities = self.model.classifier.probabilities_inference(representation)
+        decision = Decision(
+            key=key,
+            predicted=int(np.argmax(probabilities)),
+            confidence=float(np.max(probabilities)),
+            observations=self.tracker.observations(key),
+            decision_time=self._clock,
+            halted_by_policy=halted_by_policy,
+            window_truncated=key in self._truncated_keys,
+        )
+        self.decisions[key] = decision
+        self.tracker.mark_done(key)
+        self._window_pending.discard(key)
+        return decision
 
     def _decide(self, record: PredictionRecord, halted_by_policy: bool) -> Decision:
         decision = Decision(
@@ -190,6 +372,22 @@ class OnlineClassificationEngine:
     def _force_decide(self, keys) -> List[Decision]:
         if not len(self.window):
             return []
+        if self._incremental is not None:
+            if not self._sync_cache():
+                # No undecided key has items in the window; the full path's
+                # flush tangle would not contain any of ``keys``, so nothing
+                # may be decided — especially not from stale representations
+                # of keys evicted while the cache was dirty.
+                return []
+            emitted: List[Decision] = []
+            for key in sorted(keys, key=str):
+                representation = self._incremental.latest_representation(key)
+                if representation is None:
+                    continue  # every item of the key was evicted from the window
+                emitted.append(
+                    self._decide_representation(key, representation, halted_by_policy=False)
+                )
+            return emitted
         tangle = self.window.as_tangle({}, self.spec, name="serving-flush")
         # Threshold 1.0 > any sigmoid output, so the policy never halts and
         # every key is classified from its final observed state.

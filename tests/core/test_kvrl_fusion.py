@@ -56,7 +56,7 @@ class TestKVRLEncoder:
 
     def test_attention_maps_collected_per_block(self):
         encoder = KVRLEncoder(8, num_blocks=3, num_heads=2, rng=np.random.default_rng(0))
-        encoder(Tensor(np.random.default_rng(1).standard_normal((5, 8))))
+        encoder(Tensor(np.random.default_rng(1).standard_normal((5, 8))), store_attention=True)
         maps = encoder.attention_maps()
         assert len(maps) == 3
         assert all(weights.shape == (2, 5, 5) for weights in maps)

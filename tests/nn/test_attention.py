@@ -46,11 +46,16 @@ class TestMultiHeadAttention:
         with pytest.raises(ValueError):
             attention(Tensor(np.zeros((2, 3, 8))))
 
-    def test_stores_attention_weights(self):
+    def test_stores_attention_weights_only_when_requested(self):
         attention = MultiHeadAttention(8, num_heads=2, rng=np.random.default_rng(0))
-        attention(Tensor(np.random.default_rng(1).standard_normal((5, 8))))
+        x = Tensor(np.random.default_rng(1).standard_normal((5, 8)))
+        attention(x)
+        assert attention.last_attention is None
+        attention(x, store_attention=True)
         assert attention.last_attention is not None
         assert attention.last_attention.shape == (2, 5, 5)
+        attention(x)
+        assert attention.last_attention is None
 
     def test_causal_mask_blocks_future_influence(self):
         """With a causal mask, changing a later item must not change earlier outputs."""
@@ -81,7 +86,7 @@ class TestMultiHeadAttention:
         attention = MultiHeadAttention(8, num_heads=1, rng=rng)
         mask = np.full((3, 3), MASK_VALUE)
         np.fill_diagonal(mask, 0.0)
-        attention(Tensor(rng.standard_normal((3, 8))), mask=mask)
+        attention(Tensor(rng.standard_normal((3, 8))), mask=mask, store_attention=True)
         weights = attention.last_attention[0]
         np.testing.assert_allclose(weights, np.eye(3), atol=1e-9)
 

@@ -1,0 +1,21 @@
+"""Perf smoke: the incremental serving path must beat full re-encode.
+
+Deselected by default (see ``pytest.ini``); run with ``pytest -m perf_smoke``.
+The assertions are wall-clock based and intentionally loose (2x at window 256
+where the measured margin is orders of magnitude larger) so the smoke stays
+robust on loaded CI machines.
+"""
+
+import pytest
+
+pytestmark = pytest.mark.perf_smoke
+
+
+def test_incremental_at_least_2x_full_reencode_at_window_256():
+    bench = pytest.importorskip(
+        "benchmarks.bench_ext_serving_latency",
+        reason="benchmarks/ must be importable (run pytest from the repo root)",
+    )
+    result = bench.run_latency_comparison("unit", emit_json=False)
+    stats = result["windows"][256]
+    assert stats["speedup_mean"]["fill"] >= 2.0, stats
