@@ -54,7 +54,24 @@ class KVECConfig:
     use_membership_embedding / use_time_embeddings:
         Ablation switches for the membership embedding and the time-related
         (relative position + time) embeddings ("w/o Membership Embed.",
-        "w/o Time-related Embed." in Fig. 9).
+        "w/o Time-related Embed." in Fig. 9).  Under ``encoding="rotary"``
+        the latter switch disables the attention-side rotary phases and the
+        relative within-key position bias instead.
+    encoding:
+        How time/position information enters the model.  ``"absolute"`` (the
+        paper's scheme, the default) adds learned absolute position/time
+        embeddings indexed by the item's offset *within the current window* —
+        faithful to the paper but eviction-unstable: sliding-window serving
+        must re-encode everything whenever an item is evicted.  ``"rotary"``
+        moves the time-related signal into attention: queries/keys are phase
+        rotated by the item's *global* arrival index (rotary embedding, so
+        attention logits depend only on arrival-index differences) and a
+        learned relative within-key position bias replaces the absolute
+        position embedding; the membership embedding is indexed by a stable
+        hash of the key.  An item's embedding, cached K/V projections and
+        fused representation then never depend on its current offset in the
+        serving window, enabling O(W·d) steady-state serving (see
+        :mod:`repro.core.incremental`).
     fusion:
         Fusion mechanism: ``"gated"`` (the paper's LSTM-style gating),
         ``"mean"`` or ``"last"`` (parameter-free ablations).
@@ -82,6 +99,7 @@ class KVECConfig:
     use_value_correlation: bool = True
     use_membership_embedding: bool = True
     use_time_embeddings: bool = True
+    encoding: str = "absolute"
     fusion: str = "gated"
     seed: int = 0
 
@@ -90,6 +108,8 @@ class KVECConfig:
             raise ValueError("embedding dimensions must be positive")
         if self.d_model % self.num_heads != 0:
             raise ValueError("d_model must be divisible by num_heads")
+        if self.encoding not in ("absolute", "rotary"):
+            raise ValueError(f"unknown encoding {self.encoding!r}")
         if self.fusion not in ("gated", "mean", "last"):
             raise ValueError(f"unknown fusion {self.fusion!r}")
         if not 0.0 <= self.dropout < 1.0:

@@ -130,6 +130,34 @@ class CorrelationTracker:
         self._count += 1
         return key_correlated, sorted(value_correlated)
 
+    def forget_oldest(self, key: Hashable, position: int) -> None:
+        """Drop the globally oldest observed item from the tracker's memory.
+
+        Streaming ring-buffer callers evict items strictly in arrival order,
+        so the evicted item's position is always at the *front* of its key's
+        position lists — forgetting is a front-pop (O(W) worst case, within
+        the per-arrival budget).  Entries whose position lists empty out are
+        deleted so the tracker's memory — and the per-arrival scan of open
+        sessions in :meth:`observe` — stays proportional to the live window
+        rather than to every key ever seen.  Dropping an emptied open-session
+        entry is exact: whether the next same-value item of that key extends
+        an empty open session or starts a fresh one, the resulting state is
+        ``(value, [index])`` either way, and an empty position list
+        contributes nothing to other keys' value correlations.
+        """
+        positions = self._positions_by_key.get(key)
+        if positions and positions[0] == position:
+            positions.pop(0)
+            if not positions:
+                del self._positions_by_key[key]
+        open_entry = self._open_sessions.get(key)
+        if open_entry is not None:
+            open_value, open_positions = open_entry
+            if open_positions and open_positions[0] == position:
+                open_positions.pop(0)
+            if not open_positions:
+                del self._open_sessions[key]
+
 
 def build_correlation_structure(
     tangle: TangledSequence,

@@ -14,11 +14,25 @@ Each item of the tangled sequence is embedded as the **sum** of
 
 The membership and time-related embeddings can be disabled for the Fig. 9
 ablations.
+
+Eviction-stable variant (``encoding="rotary"``)
+-----------------------------------------------
+The absolute scheme indexes the position/time tables by the item's offset
+*within the current window*, so a sliding-window eviction silently re-labels
+every retained item and invalidates any cached projection of it.  Under the
+rotary scheme the time-related signal moves into attention (rotary phase
+rotation by global arrival index plus a relative within-key position bias —
+see :mod:`repro.nn.attention`), and the membership embedding is indexed by a
+**stable hash of the key** instead of the key's first-appearance rank, so an
+item's embedding is a pure function of the item itself.  Hash collisions
+merely make two keys share a membership vector (a bucketed feature), they do
+not affect exactness of streaming serving.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+import zlib
+from typing import Hashable, List, Optional
 
 import numpy as np
 
@@ -26,6 +40,16 @@ from repro.data.items import TangledSequence, ValueSpec
 from repro.nn.layers import Embedding
 from repro.nn.module import Module, ModuleList
 from repro.nn.tensor import Tensor
+
+
+def stable_key_slot(key: Hashable, num_slots: int) -> int:
+    """Deterministic, process-independent hash bucket for a key.
+
+    Python's builtin ``hash`` is salted per process; CRC32 of the key's
+    string form is stable across runs, which keeps checkpointed rotary models
+    reproducible.
+    """
+    return zlib.crc32(str(key).encode("utf-8")) % num_slots
 
 
 class InputEmbedding(Module):
@@ -40,9 +64,12 @@ class InputEmbedding(Module):
         max_time: int = 512,
         use_membership_embedding: bool = True,
         use_time_embeddings: bool = True,
+        encoding: str = "absolute",
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         super().__init__()
+        if encoding not in ("absolute", "rotary"):
+            raise ValueError(f"unknown encoding {encoding!r}")
         self.spec = spec
         self.d_model = d_model
         self.max_positions = max_positions
@@ -50,13 +77,24 @@ class InputEmbedding(Module):
         self.max_time = max_time
         self.use_membership_embedding = use_membership_embedding
         self.use_time_embeddings = use_time_embeddings
+        self.encoding = encoding
 
         self.value_embeddings = ModuleList(
             [Embedding(cardinality, d_model, rng=rng) for cardinality in spec.cardinalities]
         )
         self.membership_embedding = Embedding(max_keys, d_model, rng=rng)
-        self.position_embedding = Embedding(max_positions, d_model, rng=rng)
-        self.time_embedding = Embedding(max_time, d_model, rng=rng)
+        if encoding == "absolute":
+            self.position_embedding = Embedding(max_positions, d_model, rng=rng)
+            self.time_embedding = Embedding(max_time, d_model, rng=rng)
+        else:
+            # Rotary mode carries position/time on the attention side; no
+            # absolute tables are allocated (keeps checkpoints lean).
+            self.position_embedding = None
+            self.time_embedding = None
+
+    def key_slot(self, key: Hashable) -> int:
+        """Membership-table row for ``key`` under the rotary scheme."""
+        return stable_key_slot(key, self.max_keys)
 
     def forward(self, tangle: TangledSequence, upto: Optional[int] = None) -> Tensor:
         """Return the dynamic embedding matrix ``E0`` for ``tangle[:upto]``.
@@ -75,16 +113,19 @@ class InputEmbedding(Module):
             item = tangle[index]
             for field_index in range(self.spec.num_fields):
                 field_codes[field_index, index] = item.field(field_index)
-            membership[index] = min(tangle.key_index(item.key), self.max_keys - 1)
-            positions[index] = min(tangle.position_in_key_sequence(index), self.max_positions - 1)
-            times[index] = min(index, self.max_time - 1)
+            if self.encoding == "rotary":
+                membership[index] = self.key_slot(item.key)
+            else:
+                membership[index] = min(tangle.key_index(item.key), self.max_keys - 1)
+                positions[index] = min(tangle.position_in_key_sequence(index), self.max_positions - 1)
+                times[index] = min(index, self.max_time - 1)
 
         embedded = self.value_embeddings[0](field_codes[0])
         for field_index in range(1, self.spec.num_fields):
             embedded = embedded + self.value_embeddings[field_index](field_codes[field_index])
         if self.use_membership_embedding:
             embedded = embedded + self.membership_embedding(membership)
-        if self.use_time_embeddings:
+        if self.use_time_embeddings and self.encoding == "absolute":
             embedded = embedded + self.position_embedding(positions)
             embedded = embedded + self.time_embedding(times)
         return embedded
@@ -112,11 +153,18 @@ class InputEmbedding(Module):
 
         Summation order matches :meth:`forward` (value fields, membership,
         relative position, time) so streaming callers reproduce the batched
-        embedding bit for bit.
+        embedding bit for bit.  Under the rotary scheme the window-relative
+        coordinates are ignored: the membership row is the key's stable hash
+        slot and position/time live on the attention side, so the returned
+        row depends on the item alone (the eviction-stability invariant).
         """
         row = self.value_embeddings[0].weight.data[item.field(0)].copy()
         for field_index in range(1, self.spec.num_fields):
             row += self.value_embeddings[field_index].weight.data[item.field(field_index)]
+        if self.encoding == "rotary":
+            if self.use_membership_embedding:
+                row += self.membership_embedding.weight.data[self.key_slot(item.key)]
+            return row
         if self.use_membership_embedding:
             row += self.membership_embedding.weight.data[min(key_index, self.max_keys - 1)]
         if self.use_time_embeddings:

@@ -16,16 +16,34 @@ same machinery the batched mask builder uses), so that :meth:`append`
 produces exactly the fused representation a full re-encode of the same
 window would produce.
 
-**Eviction caveat.**  Exactness only holds while the window is append-only.
-When the sliding window evicts an item, every remaining row shifts: the time
-embedding is indexed by the item's position *within the window*, the relative
-position and membership indices are window-relative too, and per-key fusion
-restarts from the first retained item.  A full re-encode of the shrunken
-window therefore changes every row, and no O(W) update can reproduce it.  The
-cache must be invalidated: :meth:`rebuild` re-encodes the remaining window in
-one *batched no-grad pass* (still far cheaper than the autograd full
-re-encode the engine previously ran on every arrival) and reseeds all caches
-from it.
+Two eviction strategies, selected by ``KVECConfig.encoding``:
+
+**Absolute scheme** (``encoding="absolute"``, the paper's formulation).
+Exactness only holds while the window is append-only.  When the sliding
+window evicts an item, every remaining row shifts: the time embedding is
+indexed by the item's position *within the window*, the relative position
+and membership indices are window-relative too, and per-key fusion restarts
+from the first retained item.  A full re-encode of the shrunken window
+therefore changes every row, and no O(W) update can reproduce it.  The cache
+must be invalidated: :meth:`rebuild` re-encodes the remaining window in one
+*batched no-grad pass* and reseeds all caches from it — saturated-window
+serving stays O(W²·d) per arrival.  :attr:`rebuilds` counts these passes.
+
+**Rotary scheme** (``encoding="rotary"``, the eviction-stable ring buffer).
+Time and position information live on the attention side (rotary phase
+rotation of Q/K by *global* arrival index plus a relative within-key
+position bias; see :mod:`repro.nn.attention`), and the membership embedding
+is a stable key hash, so an item's embedding, its cached (rotated) K/V rows
+and its fused representation never depend on its current offset in the
+window.  Each row's representation is **frozen at arrival**: it is computed
+once, attending over the window contents at that moment (equivalently, over
+the ``W`` most recent arrivals — a banded attention mask in global indices),
+and never recomputed.  Eviction becomes :meth:`evict_oldest` — drop row 0
+and shift the caches left, an O(W·d) memmove — and the next arrival appends
+one O(W·d) row; **no rebuild ever happens**, so saturated-window serving is
+O(W·d) per arrival.  Per-key fusion states and latest representations
+survive eviction (the fusion folds a key's *entire stream*, exactly like a
+full-history reference encode under the banded mask).
 """
 
 from __future__ import annotations
@@ -36,20 +54,22 @@ import numpy as np
 
 from repro.core.correlation import CorrelationTracker
 from repro.data.items import Item
-from repro.nn.attention import MASK_VALUE
+from repro.nn.attention import MASK_VALUE, RelativeCoords
 
 #: Initial per-block cache capacity when none is given.
 _DEFAULT_CAPACITY = 64
 
 
 class IncrementalEncoderState:
-    """Streaming KV cache over a bounded, append-only-until-eviction context.
+    """Streaming KV cache over a bounded window of a tangled item stream.
 
     Parameters
     ----------
     model:
         A :class:`~repro.core.model.KVEC` instance (only its no-grad
-        inference methods are used; no autograd graph is ever built).
+        inference methods are used; no autograd graph is ever built).  The
+        model's ``config.encoding`` selects the eviction strategy (see the
+        module docstring).
     capacity:
         Expected maximum number of context rows (e.g. the engine's
         ``window_items``).  Caches grow automatically if exceeded.
@@ -57,14 +77,39 @@ class IncrementalEncoderState:
 
     def __init__(self, model, capacity: Optional[int] = None) -> None:
         self.model = model
+        self._scheme = getattr(model.config, "encoding", "absolute")
+        self._use_relative = (
+            self._scheme == "rotary" and model.config.use_time_embeddings
+        )
         self._capacity = max(int(capacity or _DEFAULT_CAPACITY), 1)
         self._num_blocks = len(model.encoder.blocks)
+        #: Batched full re-encodes performed (absolute-scheme evictions only).
+        self.rebuilds = 0
+        #: Rows dropped via :meth:`evict_oldest` (rotary scheme only).
+        self.evictions = 0
+        self._check_absolute_bound(self._capacity)
         self._allocate_caches(self._capacity)
         self._clear_bookkeeping()
 
     # ------------------------------------------------------------------ #
     # bookkeeping
     # ------------------------------------------------------------------ #
+    def _check_absolute_bound(self, rows: int) -> None:
+        """Fail fast when the absolute scheme cannot label ``rows`` rows.
+
+        The absolute time-embedding table has ``max_time`` entries; rows
+        beyond it would silently alias the last embedding.  Rejecting at the
+        boundary (instead of deep inside an ``Embedding`` lookup, or not at
+        all) is the contract the serving engine relies on.
+        """
+        max_time = getattr(self.model.config, "max_time", None)
+        if self._scheme == "absolute" and max_time is not None and rows > max_time:
+            raise ValueError(
+                f"absolute encoding supports at most max_time={max_time} cached "
+                f"rows, requested {rows}; raise KVECConfig.max_time or switch to "
+                f"encoding='rotary' for unbounded streams"
+            )
+
     def _allocate_caches(self, capacity: int) -> None:
         self._k_cache: List[np.ndarray] = []
         self._v_cache: List[np.ndarray] = []
@@ -77,9 +122,12 @@ class IncrementalEncoderState:
 
     def _clear_bookkeeping(self) -> None:
         self._length = 0
+        #: Global arrival index of ring row 0 (== rows evicted so far).
+        self._base = 0
         self._key_order: Dict[Hashable, int] = {}
         self._key_counts: Dict[Hashable, int] = {}
         self._row_keys: List[Hashable] = []
+        self._row_ranks: List[int] = []
         self._fused_rows: List[np.ndarray] = []
         self._fusion_states: Dict[Hashable, tuple] = {}
         self._latest_rep: Dict[Hashable, np.ndarray] = {}
@@ -91,6 +139,7 @@ class IncrementalEncoderState:
         )
 
     def _grow(self, minimum: int) -> None:
+        self._check_absolute_bound(minimum)
         capacity = self._capacity
         while capacity < minimum:
             capacity *= 2
@@ -125,9 +174,11 @@ class IncrementalEncoderState:
     def key_index(self, key: Hashable) -> int:
         """0-based first-appearance rank of ``key`` in the cached context.
 
-        While the cache is clean this matches the key order of the window
-        materialised as a :class:`~repro.data.items.TangledSequence`, so
-        callers can reproduce the full re-encode path's key ordering.
+        Absolute scheme: resets with every rebuild, so it matches the key
+        order of the window materialised as a
+        :class:`~repro.data.items.TangledSequence`.  Rotary scheme: never
+        resets, so it matches the key order of the full retained history —
+        in both cases exactly the order the reference path's records use.
         """
         return self._key_order[key]
 
@@ -135,7 +186,12 @@ class IncrementalEncoderState:
         return self._fused_rows[index]
 
     def latest_representation(self, key: Hashable) -> Optional[np.ndarray]:
-        """The key's fused representation after its newest cached item."""
+        """The key's fused representation after its newest item.
+
+        Under the rotary scheme this survives window eviction (fusion folds
+        the key's whole stream); under the absolute scheme it is forgotten by
+        the rebuild that follows an eviction of the key's last cached item.
+        """
         return self._latest_rep.get(key)
 
     def kv_cache_view(self, block_index: int):
@@ -149,23 +205,25 @@ class IncrementalEncoderState:
     # streaming updates
     # ------------------------------------------------------------------ #
     def _register_item(self, item: Item, index: int):
-        """Register row ``index``'s window coordinates — the single source of
+        """Register row ``index``'s stream coordinates — the single source of
         truth for per-item bookkeeping, shared by :meth:`append` and
         :meth:`rebuild` so their exactness cannot drift apart.
 
         Returns ``(embedding_row, via_key, via_value)``: the item's raw
-        embedding and the earlier positions visible to it through each
-        correlation type.
+        embedding and the earlier *global* positions visible to it through
+        each correlation type (global == window-local while ``_base`` is 0,
+        i.e. always, for the absolute scheme).
         """
         key = item.key
         key_index = self._key_order.setdefault(key, len(self._key_order))
         position = self._key_counts.get(key, 0)
         self._key_counts[key] = position + 1
         row = self.model.input_embedding.embed_item_inference(
-            item, key_index=key_index, position=position, time_index=index
+            item, key_index=key_index, position=position, time_index=self._base + index
         )
         via_key, via_value = self._tracker.observe(key, item.value)
         self._row_keys.append(key)
+        self._row_ranks.append(position)
         return row, via_key, via_value
 
     @staticmethod
@@ -187,12 +245,7 @@ class IncrementalEncoderState:
         Shared by :meth:`append` and :meth:`rebuild` so the fusion replay
         cannot drift between the two paths.
         """
-        fusion = self.model.fusion
-        state = self._fusion_states.get(key)
-        if state is None:
-            state = fusion.initial_state_inference()
-        representation, new_state = fusion.forward_inference(state, encoded_row)
-        self._fusion_states[key] = new_state
+        representation = self.model.fusion_step_inference(self._fusion_states, key, encoded_row)
         self._latest_rep[key] = representation
         self._fused_rows.append(representation)
         return representation
@@ -205,43 +258,108 @@ class IncrementalEncoderState:
         already cached is touched, which is exact because the mask is causal.
         """
         index = self._length
+        self._check_absolute_bound(self._base + index + 1)
         if index >= self._capacity:
             self._grow(index + 1)
 
         key = item.key
         row, via_key, via_value = self._register_item(item, index)
         mask_row = np.full(index + 1, MASK_VALUE, dtype=np.float64)
+        base = self._base
+        if base:
+            via_key = [p - base for p in via_key]
+            via_value = [p - base for p in via_value]
         self._fill_mask_row(mask_row, index, via_key, via_value)
 
+        position = None
+        delta_row = None
+        same_row = None
+        if self._use_relative:
+            position = float(base + index)
+            reference = self.model.encoder.blocks[0].attention
+            delta_row = reference.clip_rank_delta(
+                self._row_ranks[-1] - np.asarray(self._row_ranks, dtype=np.int64)
+            )
+            same_row = np.fromiter(
+                (row_key == key for row_key in self._row_keys),
+                dtype=np.float64,
+                count=index + 1,
+            )
+
         for block_index, block in enumerate(self.model.encoder.blocks):
-            query, k_row, v_row = block.attention.project_qkv_row(row)
+            query, k_row, v_row = block.attention.project_qkv_row(row, position=position)
             self._k_cache[block_index][:, index, :] = k_row
             self._v_cache[block_index][:, index, :] = v_row
+            bias_row = (
+                block.attention.relative_bias_row(delta_row, same_row)
+                if self._use_relative
+                else None
+            )
             row = block.forward_inference_row(
                 row,
                 query,
                 self._k_cache[block_index][:, : index + 1, :],
                 self._v_cache[block_index][:, : index + 1, :],
                 mask_row,
+                bias_row=bias_row,
             )
 
         representation = self._fuse_row(key, row)
         self._length += 1
         return representation
 
+    def evict_oldest(self) -> Hashable:
+        """Drop row 0 from the ring in O(W·d); returns the evicted key.
+
+        Only valid under the rotary scheme, whose cached rows are invariant
+        to their window offset: the remaining K/V rows are simply shifted
+        left one slot and every other per-row record pops its front entry.
+        Per-key fusion states, latest representations and the global key
+        order deliberately survive — the rotary semantics freeze each row at
+        arrival, so history beyond the window still shapes later rows of the
+        same key exactly as a full banded re-encode of the retained stream
+        would.
+        """
+        if self._scheme != "rotary":
+            raise RuntimeError(
+                "evict_oldest() requires encoding='rotary'; the absolute scheme "
+                "must rebuild() after an eviction"
+            )
+        if self._length == 0:
+            raise IndexError("evict_oldest() on an empty cache")
+        key = self._row_keys.pop(0)
+        self._row_ranks.pop(0)
+        self._fused_rows.pop(0)
+        length = self._length
+        for block_index in range(self._num_blocks):
+            for caches in (self._k_cache, self._v_cache):
+                cache = caches[block_index]
+                cache[:, : length - 1, :] = cache[:, 1:length, :]
+        self._tracker.forget_oldest(key, self._base)
+        self._base += 1
+        self._length -= 1
+        self.evictions += 1
+        return key
+
     def rebuild(self, items: Sequence[Item]) -> None:
         """Invalidate every cache and re-encode ``items`` in one batched pass.
 
-        Called by the engine after window eviction (see the eviction caveat in
-        the module docstring).  The batched no-grad pass recomputes the
-        embeddings, the full correlation mask, each block's K/V projections
-        (which reseed the caches) and the per-key fusion replay.
+        Called by the engine after a window eviction under the **absolute**
+        scheme (see the module docstring).  The batched no-grad pass
+        recomputes the embeddings, the full correlation mask, each block's
+        K/V projections (which reseed the caches) and the per-key fusion
+        replay.  Under the rotary scheme this reseeds the state as if
+        ``items`` were a fresh stream (arrival indices restart at 0) — the
+        serving engine never needs it, but tests use it to cross-check
+        :meth:`append` against the batched encoder.
         """
         self._clear_bookkeeping()
+        self.rebuilds += 1
         items = list(items)
         if not items:
             return
         length = len(items)
+        self._check_absolute_bound(length)
         if length > self._capacity:
             self._grow(length)
 
@@ -252,9 +370,21 @@ class IncrementalEncoderState:
             embeddings[index], via_key, via_value = self._register_item(item, index)
             self._fill_mask_row(mask[index], index, via_key, via_value)
 
+        coords = None
+        if self._use_relative:
+            coords = RelativeCoords(
+                positions=np.arange(length, dtype=np.float64),
+                key_ranks=np.asarray(self._row_ranks, dtype=np.int64),
+                key_codes=np.asarray(
+                    [self._key_order[key] for key in self._row_keys], dtype=np.int64
+                ),
+            )
+
         x = embeddings
         for block_index, block in enumerate(model.encoder.blocks):
-            x, keys, values = block.forward_inference(x, mask=mask, return_kv=True)
+            x, keys, values = block.forward_inference(
+                x, mask=mask, return_kv=True, coords=coords
+            )
             self._k_cache[block_index][:, :length, :] = keys
             self._v_cache[block_index][:, :length, :] = values
 

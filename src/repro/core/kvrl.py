@@ -15,7 +15,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.nn.attention import MultiHeadAttention
+from repro.nn.attention import MultiHeadAttention, RelativeCoords
 from repro.nn.layers import Dropout, FeedForward, LayerNorm
 from repro.nn.module import Module, ModuleList
 from repro.nn.tensor import Tensor
@@ -30,19 +30,32 @@ class KVRLBlock(Module):
         num_heads: int,
         ffn_hidden: int,
         dropout: float = 0.1,
+        rotary: bool = False,
+        max_relative_positions: int = 0,
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         super().__init__()
-        self.attention = MultiHeadAttention(d_model, num_heads=num_heads, dropout=dropout, rng=rng)
+        self.attention = MultiHeadAttention(
+            d_model,
+            num_heads=num_heads,
+            dropout=dropout,
+            rotary=rotary,
+            max_relative_positions=max_relative_positions,
+            rng=rng,
+        )
         self.feed_forward = FeedForward(d_model, ffn_hidden, dropout=dropout, rng=rng)
         self.norm1 = LayerNorm(d_model)
         self.norm2 = LayerNorm(d_model)
         self.dropout = Dropout(dropout, rng=rng) if dropout > 0 else None
 
     def forward(
-        self, x: Tensor, mask: Optional[np.ndarray] = None, store_attention: bool = False
+        self,
+        x: Tensor,
+        mask: Optional[np.ndarray] = None,
+        store_attention: bool = False,
+        coords: Optional[RelativeCoords] = None,
     ) -> Tensor:
-        attended = self.attention(x, mask=mask, store_attention=store_attention)
+        attended = self.attention(x, mask=mask, store_attention=store_attention, coords=coords)
         if self.dropout is not None:
             attended = self.dropout(attended)
         x = self.norm1(x + attended)
@@ -55,18 +68,22 @@ class KVRLBlock(Module):
         mask: Optional[np.ndarray] = None,
         store_attention: bool = False,
         return_kv: bool = False,
+        coords: Optional[RelativeCoords] = None,
     ):
         """Raw-array evaluation pass (dropout is a no-op in eval mode).
 
         With ``return_kv`` the block also returns its per-head projected K/V
-        arrays so streaming callers can seed their caches.
+        arrays so streaming callers can seed their caches (rotary mode: keys
+        are returned already phase-rotated, i.e. cache-ready).
         """
         if return_kv:
             attended, key, value = self.attention.forward_inference(
-                x, mask=mask, store_attention=store_attention, return_kv=True
+                x, mask=mask, store_attention=store_attention, return_kv=True, coords=coords
             )
         else:
-            attended = self.attention.forward_inference(x, mask=mask, store_attention=store_attention)
+            attended = self.attention.forward_inference(
+                x, mask=mask, store_attention=store_attention, coords=coords
+            )
         x = self.norm1.forward_inference(x + attended)
         transformed = self.feed_forward.forward_inference(x)
         out = self.norm2.forward_inference(x + transformed)
@@ -81,14 +98,18 @@ class KVRLBlock(Module):
         key_cache: np.ndarray,
         value_cache: np.ndarray,
         mask_row: Optional[np.ndarray] = None,
+        bias_row: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """One-row streaming pass given cached K/V of all visible rows.
 
         ``query_row`` is the new row's projected query and ``key_cache`` /
         ``value_cache`` must already include the new row's own k/v (all three
-        come from :meth:`MultiHeadAttention.project_qkv_row`).
+        come from :meth:`MultiHeadAttention.project_qkv_row`).  ``bias_row``
+        is the optional per-head relative-position score bias (rotary mode).
         """
-        attended = self.attention.attend_row(query_row, key_cache, value_cache, mask_row)
+        attended = self.attention.attend_row(
+            query_row, key_cache, value_cache, mask_row, bias_row=bias_row
+        )
         x_row = self.norm1.forward_inference(x_row + attended)
         transformed = self.feed_forward.forward_inference(x_row)
         return self.norm2.forward_inference(x_row + transformed)
@@ -104,6 +125,8 @@ class KVRLEncoder(Module):
         num_heads: int = 1,
         ffn_hidden: Optional[int] = None,
         dropout: float = 0.1,
+        rotary: bool = False,
+        max_relative_positions: int = 0,
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         super().__init__()
@@ -112,7 +135,15 @@ class KVRLEncoder(Module):
         ffn_hidden = ffn_hidden or 4 * d_model
         self.blocks = ModuleList(
             [
-                KVRLBlock(d_model, num_heads, ffn_hidden, dropout=dropout, rng=rng)
+                KVRLBlock(
+                    d_model,
+                    num_heads,
+                    ffn_hidden,
+                    dropout=dropout,
+                    rotary=rotary,
+                    max_relative_positions=max_relative_positions,
+                    rng=rng,
+                )
                 for _ in range(num_blocks)
             ]
         )
@@ -122,11 +153,12 @@ class KVRLEncoder(Module):
         embeddings: Tensor,
         mask: Optional[np.ndarray] = None,
         store_attention: bool = False,
+        coords: Optional[RelativeCoords] = None,
     ) -> Tensor:
         """Refine ``embeddings`` of shape ``(T, d_model)`` under ``mask``."""
         x = embeddings
         for block in self.blocks:
-            x = block(x, mask=mask, store_attention=store_attention)
+            x = block(x, mask=mask, store_attention=store_attention, coords=coords)
         return x
 
     def forward_inference(
@@ -134,11 +166,12 @@ class KVRLEncoder(Module):
         embeddings: np.ndarray,
         mask: Optional[np.ndarray] = None,
         store_attention: bool = False,
+        coords: Optional[RelativeCoords] = None,
     ) -> np.ndarray:
         """Raw-array evaluation pass over the whole block stack."""
         x = embeddings
         for block in self.blocks:
-            x = block.forward_inference(x, mask=mask, store_attention=store_attention)
+            x = block.forward_inference(x, mask=mask, store_attention=store_attention, coords=coords)
         return x
 
     def attention_maps(self) -> List[np.ndarray]:

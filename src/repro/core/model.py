@@ -121,14 +121,18 @@ class KVEC(Module):
             max_time=self.config.max_time,
             use_membership_embedding=self.config.use_membership_embedding,
             use_time_embeddings=self.config.use_time_embeddings,
+            encoding=self.config.encoding,
             rng=rng,
         )
+        rotary = self.config.encoding == "rotary"
         self.encoder = KVRLEncoder(
             self.config.d_model,
             self.config.num_blocks,
             num_heads=self.config.num_heads,
             ffn_hidden=self.config.ffn_hidden,
             dropout=self.config.dropout,
+            rotary=rotary,
+            max_relative_positions=self.config.max_positions if rotary else 0,
             rng=rng,
         )
         state_dim = self.config.d_state if self.config.fusion == "gated" else self.config.d_model
@@ -142,11 +146,50 @@ class KVEC(Module):
     # ------------------------------------------------------------------ #
     # encoding
     # ------------------------------------------------------------------ #
+    def relative_coords(self, tangle: TangledSequence, length: int):
+        """Per-row :class:`~repro.nn.attention.RelativeCoords` for a prefix.
+
+        Returns ``None`` unless the rotary encoding (with time-related
+        signals enabled) is active.  Positions are window-local
+        ``arange(length)`` — rotary logits depend only on index differences,
+        so any consistent origin matches the streaming path's global indices.
+        """
+        if self.config.encoding != "rotary" or not self.config.use_time_embeddings:
+            return None
+        from repro.nn.attention import RelativeCoords
+
+        return RelativeCoords(
+            positions=np.arange(length, dtype=np.float64),
+            key_ranks=np.asarray(
+                [tangle.position_in_key_sequence(i) for i in range(length)], dtype=np.int64
+            ),
+            key_codes=np.asarray(
+                [tangle.key_index(tangle[i].key) for i in range(length)], dtype=np.int64
+            ),
+        )
+
+    @staticmethod
+    def _band_limit(mask: np.ndarray, attention_window: Optional[int]) -> np.ndarray:
+        """Restrict visibility to the ``attention_window`` most recent rows.
+
+        Serving-side reference for the rotary scheme: row ``i`` may only see
+        rows ``j`` with ``i - j < attention_window``, which reproduces the
+        bounded context a sliding-window streamer had at row ``i``'s arrival.
+        """
+        if attention_window is None or mask.shape[0] <= attention_window:
+            return mask
+        from repro.nn.attention import MASK_VALUE
+
+        index = np.arange(mask.shape[0])
+        out_of_band = (index[:, None] - index[None, :]) >= attention_window
+        return np.where(out_of_band, MASK_VALUE, mask)
+
     def encode(
         self,
         tangle: TangledSequence,
         upto: Optional[int] = None,
         store_attention: bool = False,
+        attention_window: Optional[int] = None,
     ):
         """Return ``(item_representations, correlation_structure)`` for a prefix."""
         structure = build_correlation_structure(
@@ -155,11 +198,22 @@ class KVEC(Module):
             use_key_correlation=self.config.use_key_correlation,
             use_value_correlation=self.config.use_value_correlation,
         )
+        length = structure.length
         embeddings = self.input_embedding(tangle, upto=upto)
-        representations = self.encoder(embeddings, mask=structure.mask, store_attention=store_attention)
+        representations = self.encoder(
+            embeddings,
+            mask=self._band_limit(structure.mask, attention_window),
+            store_attention=store_attention,
+            coords=self.relative_coords(tangle, length),
+        )
         return representations, structure
 
-    def encode_inference(self, tangle: TangledSequence, upto: Optional[int] = None):
+    def encode_inference(
+        self,
+        tangle: TangledSequence,
+        upto: Optional[int] = None,
+        attention_window: Optional[int] = None,
+    ):
         """No-grad fast path of :meth:`encode`: raw arrays, no graph objects."""
         structure = build_correlation_structure(
             tangle,
@@ -168,7 +222,11 @@ class KVEC(Module):
             use_value_correlation=self.config.use_value_correlation,
         )
         embeddings = self.input_embedding.forward_inference(tangle, upto=upto)
-        representations = self.encoder.forward_inference(embeddings, mask=structure.mask)
+        representations = self.encoder.forward_inference(
+            embeddings,
+            mask=self._band_limit(structure.mask, attention_window),
+            coords=self.relative_coords(tangle, structure.length),
+        )
         return representations, structure
 
     # ------------------------------------------------------------------ #
@@ -286,6 +344,22 @@ class KVEC(Module):
             self.train(was_training)
         return result.records()
 
+    def fusion_step_inference(
+        self, states: Dict[Hashable, tuple], key: Hashable, encoded_row: np.ndarray
+    ) -> np.ndarray:
+        """Fold one encoded row into ``states[key]`` (created on first use).
+
+        Returns the key's updated fused representation.  This is the single
+        definition of the per-key fusion replay, shared by the offline fast
+        path, the streaming KV cache and the serving engine's banded
+        reference so the three cannot drift apart.
+        """
+        state = states.get(key)
+        if state is None:
+            state = self.fusion.initial_state_inference()
+        representation, states[key] = self.fusion.forward_inference(state, encoded_row)
+        return representation
+
     def _predict_tangle_inference(
         self,
         tangle: TangledSequence,
@@ -311,11 +385,7 @@ class KVEC(Module):
                 observations[key] = 0
             if key in decided:
                 continue
-            state = fusion_states.get(key)
-            if state is None:
-                state = self.fusion.initial_state_inference()
-            representation, new_state = self.fusion.forward_inference(state, representations[index])
-            fusion_states[key] = new_state
+            representation = self.fusion_step_inference(fusion_states, key, representations[index])
             last_representation[key] = representation
             observations[key] += 1
 

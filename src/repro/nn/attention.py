@@ -5,23 +5,119 @@ mask matrix ``M`` (values in ``{0, -inf}``) to the attention scores before the
 softmax, so that an item can only attend to earlier items it is correlated
 with through the key correlation or value correlation.  This module provides
 that additive-mask attention plus a convenience causal mask.
+
+Eviction-stable relative encodings
+----------------------------------
+With ``rotary=True`` the module additionally supports the serving-oriented
+relative scheme (``KVECConfig.encoding="rotary"``): queries and keys are
+phase-rotated by each item's *global arrival index* (rotary position
+embedding — logits then depend only on arrival-index differences), and a
+learned per-head bias indexed by the relative position *within the same key
+sequence* is added to the scores (zero for cross-key pairs).  Both signals
+are invariant under dropping the oldest items, so a streaming K/V cache of
+rotated keys stays valid across window evictions.  Per-row coordinates are
+carried by :class:`RelativeCoords`.
 """
 
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.nn import functional as F
-from repro.nn.layers import Dropout, Linear
+from repro.nn.layers import Dropout, Embedding, Linear
 from repro.nn.module import Module
 from repro.nn.tensor import Tensor
 
 #: Value used for masked-out attention logits.  A large negative finite number
 #: is used instead of ``-inf`` so that fully-masked rows do not produce NaNs.
 MASK_VALUE = -1e9
+
+#: Wavelength base of the rotary phase spectrum (the standard RoPE base).
+ROTARY_BASE = 10000.0
+
+
+@dataclass(frozen=True)
+class RelativeCoords:
+    """Per-row coordinates consumed by rotary/relative attention.
+
+    Attributes
+    ----------
+    positions:
+        Global arrival index of every row (float array of shape ``(T,)``).
+        Only *differences* of these indices affect the attention logits, so
+        any consistent origin works — window-local ``arange(T)`` and true
+        global stream indices produce identical scores.
+    key_ranks:
+        0-based rank of every row within its own key sequence (shape
+        ``(T,)``).  Again only same-key differences matter.
+    key_codes:
+        Integer code identifying each row's key (shape ``(T,)``); only
+        equality is used, to restrict the relative bias to same-key pairs.
+    """
+
+    positions: np.ndarray
+    key_ranks: np.ndarray
+    key_codes: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (len(self.positions) == len(self.key_ranks) == len(self.key_codes)):
+            raise ValueError("RelativeCoords arrays must have equal length")
+
+
+def rotary_frequencies(d_head: int, base: float = ROTARY_BASE) -> np.ndarray:
+    """Per-pair angular frequencies for a ``d_head``-dimensional rotation.
+
+    Dimensions are rotated in interleaved pairs ``(0,1), (2,3), ...``; an odd
+    trailing dimension is left unrotated.
+    """
+    half = d_head // 2
+    if half == 0:
+        return np.zeros(0, dtype=np.float64)
+    return base ** (-np.arange(half, dtype=np.float64) * 2.0 / d_head)
+
+
+def rotary_phases(positions: np.ndarray, d_head: int, base: float = ROTARY_BASE) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(cos, sin)`` arrays of shape ``(T, d_head)`` for the positions.
+
+    The trailing dimension of an odd ``d_head`` gets ``cos=1, sin=0`` so it
+    passes through the rotation unchanged.
+    """
+    positions = np.atleast_1d(np.asarray(positions, dtype=np.float64))
+    half = d_head // 2
+    cos = np.ones((positions.shape[0], d_head), dtype=np.float64)
+    sin = np.zeros((positions.shape[0], d_head), dtype=np.float64)
+    if half:
+        angles = np.outer(positions, rotary_frequencies(d_head, base=base))
+        cos[:, : 2 * half] = np.repeat(np.cos(angles), 2, axis=1)
+        sin[:, : 2 * half] = np.repeat(np.sin(angles), 2, axis=1)
+    return cos, sin
+
+
+def rotate_half_matrix(d_head: int) -> np.ndarray:
+    """Constant matrix ``R`` with ``x @ R == rotate_half(x)``.
+
+    ``rotate_half`` maps interleaved pairs ``(x1, x2)`` to ``(-x2, x1)``; as a
+    matmul it also works on autograd tensors, giving the rotary rotation
+    ``rot(x) = x * cos + (x @ R) * sin`` on both the graph and no-grad paths.
+    """
+    matrix = np.zeros((d_head, d_head), dtype=np.float64)
+    for pair in range(d_head // 2):
+        matrix[2 * pair + 1, 2 * pair] = -1.0
+        matrix[2 * pair, 2 * pair + 1] = 1.0
+    return matrix
+
+
+def _rotate_half_array(x: np.ndarray) -> np.ndarray:
+    """No-grad ``rotate_half``: pairs ``(x1, x2) -> (-x2, x1)``, odd tail zeroed."""
+    out = np.zeros_like(x)
+    even = (x.shape[-1] // 2) * 2
+    out[..., 0:even:2] = -x[..., 1:even:2]
+    out[..., 1:even:2] = x[..., 0:even:2]
+    return out
 
 
 def causal_mask(length: int) -> np.ndarray:
@@ -36,8 +132,9 @@ def scaled_dot_product_attention(
     key: Tensor,
     value: Tensor,
     mask: Optional[np.ndarray] = None,
+    bias: Optional[Tensor] = None,
 ) -> Tuple[Tensor, Tensor]:
-    """Compute ``softmax(Q K^T / sqrt(d) + M) V``.
+    """Compute ``softmax(Q K^T / sqrt(d) + M + B) V``.
 
     Parameters
     ----------
@@ -46,6 +143,9 @@ def scaled_dot_product_attention(
     mask:
         Optional additive mask broadcastable to ``(..., T, T)`` whose entries
         are ``0`` (visible) or a large negative value (invisible).
+    bias:
+        Optional additive (learned) score bias broadcastable to
+        ``(..., T, T)``; unlike ``mask`` it participates in the graph.
 
     Returns
     -------
@@ -55,6 +155,8 @@ def scaled_dot_product_attention(
     """
     d_k = query.shape[-1]
     scores = query.matmul(key.swapaxes(-1, -2)) * (1.0 / math.sqrt(d_k))
+    if bias is not None:
+        scores = scores + bias
     if mask is not None:
         scores = scores + Tensor(np.asarray(mask, dtype=np.float64))
     weights = F.softmax(scores, axis=-1)
@@ -74,6 +176,8 @@ class MultiHeadAttention(Module):
         d_model: int,
         num_heads: int = 1,
         dropout: float = 0.0,
+        rotary: bool = False,
+        max_relative_positions: int = 0,
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         super().__init__()
@@ -87,16 +191,57 @@ class MultiHeadAttention(Module):
         self.v_proj = Linear(d_model, d_model, rng=rng)
         self.out_proj = Linear(d_model, d_model, rng=rng)
         self.dropout = Dropout(dropout, rng=rng) if dropout > 0 else None
+        self.rotary = bool(rotary)
+        self.max_relative_positions = int(max_relative_positions)
+        if self.rotary:
+            self._rotate_half = rotate_half_matrix(self.d_head)
+            #: Learned per-head additive score bias, indexed by the clipped
+            #: relative position within the key sequence (same-key pairs only).
+            self.rel_bias = (
+                Embedding(self.max_relative_positions, num_heads, rng=rng)
+                if self.max_relative_positions > 0
+                else None
+            )
+        else:
+            self._rotate_half = None
+            self.rel_bias = None
         #: Attention weights of the most recent forward pass (numpy array of
         #: shape ``(num_heads, T, T)``); used by the attention-score analysis
         #: reproducing Fig. 10 of the paper.
         self.last_attention: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # relative-encoding helpers
+    # ------------------------------------------------------------------ #
+    def _relative_bias_inputs(self, coords: RelativeCoords) -> Tuple[np.ndarray, np.ndarray]:
+        """Clipped same-key rank-difference matrix and same-key indicator."""
+        ranks = np.asarray(coords.key_ranks, dtype=np.int64)
+        delta = np.clip(ranks[:, None] - ranks[None, :], 0, self.max_relative_positions - 1)
+        codes = np.asarray(coords.key_codes)
+        same = (codes[:, None] == codes[None, :]).astype(np.float64)
+        return delta, same
+
+    def relative_bias_row(self, delta_row: np.ndarray, same_row: np.ndarray) -> Optional[np.ndarray]:
+        """No-grad ``(num_heads, T)`` bias row for one streaming query.
+
+        ``delta_row`` holds the query's key-rank minus each cached row's rank
+        (already clipped to the table range); ``same_row`` is 1.0 where the
+        cached row shares the query's key, 0.0 otherwise.
+        """
+        if self.rel_bias is None:
+            return None
+        return (self.rel_bias.weight.data[delta_row] * same_row[:, None]).T
+
+    def clip_rank_delta(self, delta: np.ndarray) -> np.ndarray:
+        """Clip raw rank differences into the relative-bias table range."""
+        return np.clip(delta, 0, self.max_relative_positions - 1)
 
     def forward(
         self,
         x: Tensor,
         mask: Optional[np.ndarray] = None,
         store_attention: bool = False,
+        coords: Optional[RelativeCoords] = None,
     ) -> Tensor:
         """Self-attention over ``x`` of shape ``(T, d_model)``.
 
@@ -104,7 +249,9 @@ class MultiHeadAttention(Module):
         :func:`causal_mask` or the KVEC dynamic correlation mask.
         ``store_attention`` keeps a copy of the ``(num_heads, T, T)`` weight
         matrix in :attr:`last_attention`; it is off by default because the
-        copy is pure overhead on the hot path.
+        copy is pure overhead on the hot path.  ``coords`` (rotary mode only)
+        supplies the per-row arrival/key coordinates for the rotary phase
+        rotation and relative within-key bias.
         """
         if x.ndim != 2:
             raise ValueError(f"expected (T, d_model) input, got shape {x.shape}")
@@ -114,13 +261,26 @@ class MultiHeadAttention(Module):
         key = self._split_heads(self.k_proj(x), length)
         value = self._split_heads(self.v_proj(x), length)
 
+        bias = None
+        if self.rotary and coords is not None:
+            cos, sin = rotary_phases(coords.positions, self.d_head)
+            rotate = Tensor(self._rotate_half)
+            query = query * Tensor(cos) + query.matmul(rotate) * Tensor(sin)
+            key = key * Tensor(cos) + key.matmul(rotate) * Tensor(sin)
+            if self.rel_bias is not None:
+                delta, same = self._relative_bias_inputs(coords)
+                # (T, T, H) gather -> (H, T, T), zeroed on cross-key pairs.
+                bias = self.rel_bias(delta).transpose(2, 0, 1) * Tensor(same[None, :, :])
+
         head_mask = None
         if mask is not None:
             head_mask = np.broadcast_to(
                 np.asarray(mask, dtype=np.float64), (self.num_heads, length, length)
             )
 
-        attended, weights = scaled_dot_product_attention(query, key, value, mask=head_mask)
+        attended, weights = scaled_dot_product_attention(
+            query, key, value, mask=head_mask, bias=bias
+        )
         self.last_attention = weights.data.copy() if store_attention else None
 
         merged = attended.swapaxes(0, 1).reshape(length, self.d_model)
@@ -149,18 +309,33 @@ class MultiHeadAttention(Module):
         mask: Optional[np.ndarray] = None,
         store_attention: bool = False,
         return_kv: bool = False,
+        coords: Optional[RelativeCoords] = None,
     ):
         """Raw-array self-attention (evaluation mode, no autograd graph).
 
         When ``return_kv`` is set, also returns the per-head projected key and
         value tensors of shape ``(num_heads, T, d_head)`` so a streaming
-        caller can seed its KV cache from a batched encode.
+        caller can seed its KV cache from a batched encode.  In rotary mode
+        the returned keys are already phase-rotated by their own position —
+        exactly the representation the streaming cache stores, stable under
+        later evictions.
         """
         key = self._split_heads_array(self.k_proj.forward_inference(x))
         value = self._split_heads_array(self.v_proj.forward_inference(x))
         query = self._split_heads_array(self.q_proj.forward_inference(x))
 
+        bias = None
+        if self.rotary and coords is not None:
+            cos, sin = rotary_phases(coords.positions, self.d_head)
+            query = query * cos + _rotate_half_array(query) * sin
+            key = key * cos + _rotate_half_array(key) * sin
+            if self.rel_bias is not None:
+                delta, same = self._relative_bias_inputs(coords)
+                bias = self.rel_bias.weight.data[delta].transpose(2, 0, 1) * same[None, :, :]
+
         scores = query @ key.swapaxes(-1, -2) * (1.0 / math.sqrt(self.d_head))
+        if bias is not None:
+            scores = scores + bias
         if mask is not None:
             scores = scores + mask
         weights = F.softmax_array(scores)
@@ -173,11 +348,20 @@ class MultiHeadAttention(Module):
             return out, key, value
         return out
 
-    def project_qkv_row(self, x_row: np.ndarray):
-        """Project one input row to per-head ``(num_heads, d_head)`` q/k/v rows."""
+    def project_qkv_row(self, x_row: np.ndarray, position: Optional[float] = None):
+        """Project one input row to per-head ``(num_heads, d_head)`` q/k/v rows.
+
+        In rotary mode pass the row's global arrival index as ``position``:
+        the query and key rows are phase-rotated by it, which makes the
+        returned key row safe to cache across window evictions.
+        """
         query = self.q_proj.forward_inference(x_row).reshape(self.num_heads, self.d_head)
         key = self.k_proj.forward_inference(x_row).reshape(self.num_heads, self.d_head)
         value = self.v_proj.forward_inference(x_row).reshape(self.num_heads, self.d_head)
+        if self.rotary and position is not None:
+            cos, sin = rotary_phases(np.asarray([position]), self.d_head)
+            query = query * cos + _rotate_half_array(query) * sin
+            key = key * cos + _rotate_half_array(key) * sin
         return query, key, value
 
     def attend_row(
@@ -186,15 +370,20 @@ class MultiHeadAttention(Module):
         key_cache: np.ndarray,
         value_cache: np.ndarray,
         mask_row: Optional[np.ndarray] = None,
+        bias_row: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Attention output for one new row against cached K/V.
 
         ``query_row`` has shape ``(num_heads, d_head)``; the caches hold the
         projected rows of every item visible to the new one, shaped
-        ``(num_heads, T, d_head)`` (the new row's own k/v included).  Returns
-        the ``(d_model,)`` attended output after the output projection.
+        ``(num_heads, T, d_head)`` (the new row's own k/v included).
+        ``bias_row`` is an optional additive ``(num_heads, T)`` score bias
+        (see :meth:`relative_bias_row`).  Returns the ``(d_model,)`` attended
+        output after the output projection.
         """
         scores = np.einsum("hd,htd->ht", query_row, key_cache) * (1.0 / math.sqrt(self.d_head))
+        if bias_row is not None:
+            scores = scores + bias_row
         if mask_row is not None:
             scores = scores + mask_row
         weights = F.softmax_array(scores)

@@ -63,6 +63,19 @@ class GRUCell(Module):
         candidate = F.tanh(self.candidate(gated))
         return (1.0 - update) * hidden + update * candidate
 
+    def init_state_inference(self) -> np.ndarray:
+        """Zero hidden state as a raw array for the no-grad fast path."""
+        return np.zeros(self.hidden_size)
+
+    def step_inference(self, x: np.ndarray, hidden: np.ndarray) -> np.ndarray:
+        """Advance one step on raw arrays, mirroring :meth:`forward` numerics."""
+        combined = np.concatenate([hidden, x])
+        update = F.sigmoid_array(self.update_gate.forward_inference(combined))
+        reset = F.sigmoid_array(self.reset_gate.forward_inference(combined))
+        gated = np.concatenate([reset * hidden, x])
+        candidate = np.tanh(self.candidate.forward_inference(gated))
+        return (1.0 - update) * hidden + update * candidate
+
 
 class GRU(Module):
     """Run a :class:`GRUCell` over a full sequence of input vectors."""
@@ -93,4 +106,17 @@ class GRU(Module):
             current = self.cell(inputs[t], current)
             hidden_states.append(current)
         outputs = Tensor.stack(hidden_states, axis=0)
+        return outputs, current
+
+    def forward_inference(
+        self,
+        inputs: np.ndarray,
+        hidden: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Raw-array evaluation pass mirroring :meth:`forward` numerics."""
+        current = self.cell.init_state_inference() if hidden is None else hidden
+        outputs = np.empty((inputs.shape[0], self.hidden_size), dtype=np.float64)
+        for t in range(inputs.shape[0]):
+            current = self.cell.step_inference(inputs[t], current)
+            outputs[t] = current
         return outputs, current

@@ -128,3 +128,16 @@ class LSTM(Module):
             hidden_states.append(hidden)
         outputs = Tensor.stack(hidden_states, axis=0)
         return outputs, current
+
+    def forward_inference(
+        self,
+        inputs: np.ndarray,
+        state: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    ) -> Tuple[np.ndarray, Tuple[np.ndarray, np.ndarray]]:
+        """Raw-array evaluation pass mirroring :meth:`forward` numerics."""
+        current = self.cell.init_state_inference() if state is None else state
+        outputs = np.empty((inputs.shape[0], self.hidden_size), dtype=np.float64)
+        for t in range(inputs.shape[0]):
+            current = self.cell.step_inference(inputs[t], current)
+            outputs[t] = current[0]
+        return outputs, current

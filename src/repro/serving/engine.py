@@ -40,14 +40,37 @@ Halting decisions can therefore be taken from the newly computed rows alone:
 any older row of a still-undecided key was already below the halting
 threshold when it was last evaluated, and its representation has not changed.
 
-*Eviction caveat.*  When the window evicts an item, every remaining row
-shifts: the time/position/membership embedding indices are window-relative
-and per-key fusion restarts from the first retained item, so *all* cached
-rows become stale.  The engine then invalidates the cache and rebuilds it
-with one batched no-grad re-encode of the shrunken window, and re-scans every
-row at the next evaluation (a previously sub-threshold row may now halt).
-``mode="full"`` restores the original re-encode-everything behaviour and is
-used by the parity tests as the reference.
+Eviction behaviour per encoding scheme
+--------------------------------------
+``KVECConfig.encoding`` decides what a window eviction costs:
+
+* ``encoding="absolute"`` (the paper's scheme): the time/position/membership
+  embedding indices are window-relative, so when the window evicts an item
+  every remaining row shifts and *all* cached rows go stale.  The engine
+  invalidates the cache and (lazily) rebuilds it with one batched no-grad
+  re-encode of the shrunken window, then re-scans every row at the next
+  evaluation.  Saturated-window serving therefore stays O(W²·d) per arrival.
+  Constructing an engine whose ``window_items`` exceeds the model's
+  ``max_time`` table is rejected up front instead of silently aliasing time
+  embeddings deep inside the lookup.
+
+* ``encoding="rotary"`` (eviction-stable): time/position information lives
+  on the attention side (rotary phases by global arrival index + relative
+  within-key bias), so cached rows are invariant to their window offset.
+  Each row's representation is *frozen at arrival* — computed once over the
+  window contents at that moment and never recomputed.  Eviction just drops
+  the oldest ring row (O(W·d) shift) and the new arrival appends one O(W·d)
+  row; there is **no rebuild**, making saturated-window serving O(W·d) per
+  arrival.  Per-key fusion states survive eviction, so flush can still
+  classify a key whose items have all left the window.
+
+``mode="full"`` is the uncached reference used by the parity tests.  For
+absolute models it re-encodes the current window on every evaluation (the
+seed behaviour).  For rotary models the exact reference semantics is a
+re-encode of the *entire retained stream* under a band-``W`` attention mask
+(row ``i`` sees at most the ``W`` arrivals up to it): that reproduces the
+frozen-at-arrival representations bit for bit, at O(T²·d) per evaluation
+with unbounded memory — strictly a correctness oracle, not a serving mode.
 """
 
 from __future__ import annotations
@@ -83,9 +106,10 @@ class EngineConfig:
         finished and force-decided during :meth:`flush` / :meth:`expire`.
     mode:
         ``"incremental"`` (default) serves from the KV-cached streaming
-        encoder state; ``"full"`` re-encodes the whole window on every
-        evaluation (the original, reference behaviour).  Models that do not
-        expose ``make_incremental_state`` fall back to ``"full"``.
+        encoder state; ``"full"`` re-encodes on every evaluation (the
+        uncached reference behaviour; see the module docstring for its
+        rotary-scheme semantics).  Models that do not expose
+        ``make_incremental_state`` fall back to ``"full"``.
     """
 
     window_items: int = 256
@@ -106,6 +130,28 @@ class EngineConfig:
             raise ValueError("idle_timeout must be non-negative")
         if self.mode not in ("incremental", "full"):
             raise ValueError(f"unknown engine mode {self.mode!r}")
+
+    def validate_for_model(self, model) -> None:
+        """Reject configurations the model cannot serve exactly.
+
+        The legacy absolute encoding indexes its time-embedding table by the
+        item's offset within the window, so a window larger than the table
+        (``KVECConfig.max_time``) would silently alias time embeddings (and,
+        on the incremental path, trip bounds checks deep inside the cache).
+        Fail at construction time instead.  Models without a ``config``
+        attribute (e.g. bare ``predict_tangle`` adapters) are not checked.
+        """
+        config = getattr(model, "config", None)
+        if config is None:
+            return
+        encoding = getattr(config, "encoding", "absolute")
+        max_time = getattr(config, "max_time", None)
+        if encoding == "absolute" and max_time is not None and self.window_items > max_time:
+            raise ValueError(
+                f"window_items={self.window_items} exceeds the absolute "
+                f"time-embedding capacity max_time={max_time}; raise "
+                f"KVECConfig.max_time or use encoding='rotary'"
+            )
 
 
 @dataclass
@@ -140,14 +186,24 @@ class OnlineClassificationEngine:
         self.model = model
         self.spec = spec
         self.config = config or EngineConfig()
+        self.config.validate_for_model(model)
         self.window = SlidingWindow(max_items=self.config.window_items)
         self.tracker = KeyTracker(idle_timeout=self.config.idle_timeout)
         self.decisions: Dict[Hashable, Decision] = {}
         self._arrivals_since_encode = 0
         self._truncated_keys: set = set()
         self._clock = float("-inf")
+        self._encoding = getattr(getattr(model, "config", None), "encoding", "absolute")
+        #: Rotary ring-buffer maintenance (evict+append, never rebuild)?
+        self._ring = self._encoding == "rotary"
+        #: Undecided keys with at least one item in the window (see below);
+        #: initialised unconditionally so decision paths can update it.
+        self._window_pending: set = set()
 
         self._incremental = None
+        #: Retained item history for the rotary full-mode reference (None
+        #: unless that mode is active; grows without bound by design).
+        self._history: Optional[List] = None
         if self.config.mode == "incremental" and hasattr(model, "make_incremental_state"):
             self._incremental = model.make_incremental_state(capacity=self.config.window_items)
             #: Halting probability of each cached context row, parallel to the
@@ -156,17 +212,22 @@ class OnlineClassificationEngine:
             #: Rows appended (or invalidated by a rebuild) since the last
             #: evaluation — the only candidates for new halting decisions.
             self._unscanned_rows: List[int] = []
-            #: True after an eviction invalidates the cached rows.  The
-            #: rebuild is deferred to the next evaluation / flush that has
-            #: pending keys; while no undecided key has items in the window
-            #: (the full path's empty-pending early return) the cache stays
-            #: dirty at zero per-arrival cost.
+            #: True after an eviction invalidates the cached rows (absolute
+            #: scheme only — the rotary ring never goes dirty).  The rebuild
+            #: is deferred to the next evaluation / flush that has pending
+            #: keys; while no undecided key has items in the window (the full
+            #: path's empty-pending early return) the cache stays dirty at
+            #: zero per-arrival cost.
             self._cache_dirty = False
             #: O(1) bookkeeping replacing an O(W) window scan per arrival:
-            #: per-key item counts of the current window, and the set of
-            #: undecided keys with at least one item in the window.
+            #: per-key item counts of the current window.
             self._window_key_counts: Dict[Hashable, int] = {}
-            self._window_pending: set = set()
+        elif self.config.mode == "full" and self._ring:
+            self._history = []
+            #: Arrivals already scanned for halting at a previous evaluation.
+            self._scanned_arrivals = 0
+            #: Key -> first-appearance rank in the stream (decision ordering).
+            self._key_first_seen: Dict[Hashable, int] = {}
 
     # ------------------------------------------------------------------ #
     # ingestion
@@ -194,6 +255,9 @@ class OnlineClassificationEngine:
                     del counts[item.key]
                     self._window_pending.discard(item.key)
             self._maintain_cache(event, bool(evicted))
+        elif self._history is not None:
+            self._history.append(event.item)
+            self._key_first_seen.setdefault(event.key, len(self._key_first_seen))
 
         due = self._arrivals_since_encode >= self.config.reencode_every
         eager = self.config.eager and event.key not in self.decisions
@@ -204,16 +268,27 @@ class OnlineClassificationEngine:
     def _maintain_cache(self, event: StreamEvent, evicted: bool) -> None:
         """Keep the KV cache in sync with the window — or mark it dirty.
 
-        Appending to a clean, non-evicted cache is exact regardless of which
-        keys are decided, so append-only arrivals always extend the cache in
-        O(W·d).  An eviction invalidates every cached row, but the rebuild is
-        deferred: nothing consumes the cache between evaluations, so
-        rebuilding on each of ``reencode_every`` evicting arrivals would
-        waste all but the last rebuild.  The dirty cache is resynchronised
-        lazily by the next evaluation / flush that actually has pending keys;
-        while no undecided key has items in the window (the full path's
-        empty-pending early return) it stays dirty at zero cost.
+        **Rotary scheme (ring buffer).**  Cached rows are eviction-stable, so
+        maintenance is always exact and always cheap: drop one ring row per
+        evicted item (O(W·d) shift), then append the new arrival's row in
+        O(W·d).  The cache never goes dirty and is never rebuilt.
+
+        **Absolute scheme.**  Appending to a clean, non-evicted cache is
+        exact regardless of which keys are decided, so append-only arrivals
+        always extend the cache in O(W·d).  An eviction invalidates every
+        cached row, but the rebuild is deferred: nothing consumes the cache
+        between evaluations, so rebuilding on each of ``reencode_every``
+        evicting arrivals would waste all but the last rebuild.  The dirty
+        cache is resynchronised lazily by the next evaluation / flush that
+        actually has pending keys; while no undecided key has items in the
+        window (the full path's empty-pending early return) it stays dirty
+        at zero cost.
         """
+        if self._ring:
+            while len(self._incremental) > len(self.window) - 1:
+                self._evict_from_cache()
+            self._append_to_cache(event)
+            return
         if self._cache_dirty or evicted:
             self._cache_dirty = True
             # Stale candidates must not survive: their rows no longer mirror
@@ -228,6 +303,18 @@ class OnlineClassificationEngine:
         representation = self._incremental.append(event.item)
         self._row_halt.append(self.model.policy.halt_probability_inference(representation))
         self._unscanned_rows.append(len(self._incremental) - 1)
+
+    def _evict_from_cache(self) -> None:
+        """Drop the oldest ring row and re-align the per-row bookkeeping.
+
+        An unscanned row that is evicted before it was ever evaluated loses
+        its halting opportunity — exactly mirroring the full-mode reference,
+        whose halting candidates are restricted to rows still inside the
+        window at evaluation time.
+        """
+        self._incremental.evict_oldest()
+        self._row_halt.pop(0)
+        self._unscanned_rows = [index - 1 for index in self._unscanned_rows if index > 0]
 
     def _rebuild_cache(self) -> None:
         """Reseed the dirty KV cache from the current window contents.
@@ -278,6 +365,8 @@ class OnlineClassificationEngine:
             return []
         if self._incremental is not None:
             return self._evaluate_incremental()
+        if self._history is not None:
+            return self._evaluate_full_banded()
         pending = [
             key
             for key in {item.key for item in self.window}
@@ -319,6 +408,60 @@ class OnlineClassificationEngine:
                 key, self._incremental.fused_row(halting[key]), halted_by_policy=True
             )
             for key in sorted(halting, key=self._incremental.key_index)
+        ]
+
+    def _encode_banded_history(self):
+        """Reference encode of the whole retained stream under a band-W mask.
+
+        Returns ``(halt_probabilities, fused_rows, latest_rep)``: per-row
+        halting probabilities and fused representations (arrival order), and
+        each key's newest fused representation.  Because the band restricts
+        row ``i`` to the ``window_items`` arrivals up to it, every row's
+        representation equals what the streaming ring computed when that item
+        arrived — frozen-at-arrival semantics, recomputed from scratch.
+        """
+        labels = {item.key: 0 for item in self._history}
+        tangle = TangledSequence(list(self._history), labels, self.spec, name="serving-history")
+        representations, _ = self.model.encode_inference(
+            tangle, attention_window=self.config.window_items
+        )
+        states: Dict[Hashable, tuple] = {}
+        fused: List[np.ndarray] = []
+        latest: Dict[Hashable, np.ndarray] = {}
+        for index, item in enumerate(self._history):
+            representation = self.model.fusion_step_inference(
+                states, item.key, representations[index]
+            )
+            latest[item.key] = representation
+            fused.append(representation)
+        probabilities = self.model.policy.halt_probabilities_inference(np.stack(fused))
+        return probabilities, fused, latest
+
+    def _evaluate_full_banded(self) -> List[Decision]:
+        """Rotary full-mode evaluation: scan arrivals since the last one.
+
+        Halting candidates are the rows that arrived since the previous
+        evaluation *and* are still within the window — the same candidate
+        set the ring path scans — taken from the banded full-history encode
+        (whose rows are identical to the ring's frozen representations).
+        """
+        total = len(self._history)
+        start = max(self._scanned_arrivals, total - self.config.window_items)
+        self._scanned_arrivals = total
+        if all(self._history[i].key in self.decisions for i in range(start, total)):
+            return []
+        probabilities, fused, _ = self._encode_banded_history()
+        threshold = self.config.halt_threshold
+        halting: Dict[Hashable, int] = {}
+        for index in range(start, total):
+            key = self._history[index].key
+            if key in self.decisions or key in halting:
+                continue
+            if probabilities[index] >= threshold:
+                halting[key] = index
+        return [
+            self._decide_representation(key, fused[halting[key]], halted_by_policy=True)
+            for key in sorted(halting, key=self._key_first_seen.__getitem__)
         ]
 
     def _decide_representation(
@@ -372,6 +515,17 @@ class OnlineClassificationEngine:
     def _force_decide(self, keys) -> List[Decision]:
         if not len(self.window):
             return []
+        if self._history is not None:
+            _, _, latest = self._encode_banded_history()
+            emitted: List[Decision] = []
+            for key in sorted(keys, key=str):
+                representation = latest.get(key)
+                if representation is None:
+                    continue
+                emitted.append(
+                    self._decide_representation(key, representation, halted_by_policy=False)
+                )
+            return emitted
         if self._incremental is not None:
             if not self._sync_cache():
                 # No undecided key has items in the window; the full path's

@@ -60,3 +60,17 @@ class TestCheckpointRoundTrip:
         model = KVEC(simple_spec, 3, config)
         restored = load_checkpoint(save_checkpoint(model, tmp_path / "fresh"))
         assert restored.num_classes == 3
+
+    def test_rotary_encoding_round_trip(self, simple_spec, tmp_path):
+        """The eviction-stable scheme (extra rel_bias params, no absolute
+        position/time tables) must checkpoint and reload losslessly."""
+        config = KVECConfig(d_model=8, num_blocks=2, num_heads=2, ffn_hidden=16, d_state=12,
+                            dropout=0.0, encoding="rotary", epochs=1, batch_size=2)
+        model = KVEC(simple_spec, 3, config)
+        restored = load_checkpoint(save_checkpoint(model, tmp_path / "rotary"))
+        assert restored.config.encoding == "rotary"
+        assert restored.input_embedding.position_embedding is None
+        np.testing.assert_array_equal(
+            restored.encoder.blocks[0].attention.rel_bias.weight.data,
+            model.encoder.blocks[0].attention.rel_bias.weight.data,
+        )

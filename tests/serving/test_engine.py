@@ -103,8 +103,11 @@ class TestOnlineClassificationEngine:
         for tangle in served["test"]:
             sequences.extend(tangle.per_key_sequences().values())
         simulator = ArrivalSimulator(sequences, SimulatorConfig(arrival_rate=2.0, seed=0))
+        # window_items must fit the absolute scheme's max_time table (512);
+        # larger windows are rejected at construction since the eviction-
+        # stable encodings PR.  512 still exceeds the simulated stream length.
         engine = OnlineClassificationEngine(
-            served["model"], served["spec"], EngineConfig(window_items=1024, reencode_every=4)
+            served["model"], served["spec"], EngineConfig(window_items=512, reencode_every=4)
         )
         engine.consume(simulator.events())
         engine.flush()

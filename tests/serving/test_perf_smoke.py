@@ -1,21 +1,42 @@
-"""Perf smoke: the incremental serving path must beat full re-encode.
+"""Perf smoke: the incremental serving paths must beat full re-encode.
 
 Deselected by default (see ``pytest.ini``); run with ``pytest -m perf_smoke``.
-The assertions are wall-clock based and intentionally loose (2x at window 256
-where the measured margin is orders of magnitude larger) so the smoke stays
-robust on loaded CI machines.
+The assertions are wall-clock based and intentionally loose (2x where the
+measured margins are orders of magnitude larger) so the smoke stays robust
+on loaded CI machines.  The benchmark is fully deterministic: models and
+streams are derived from the explicit ``seed`` passed below.
 """
 
 import pytest
 
 pytestmark = pytest.mark.perf_smoke
 
+#: Explicit RNG root for the gate; run_latency_comparison derives every
+#: model init and stream from it, so reruns measure identical work.
+GATE_SEED = 0
 
-def test_incremental_at_least_2x_full_reencode_at_window_256():
+
+@pytest.fixture(scope="module")
+def latency_result():
     bench = pytest.importorskip(
         "benchmarks.bench_ext_serving_latency",
         reason="benchmarks/ must be importable (run pytest from the repo root)",
     )
-    result = bench.run_latency_comparison("unit", emit_json=False)
-    stats = result["windows"][256]
+    return bench.run_latency_comparison("unit", emit_json=False, seed=GATE_SEED)
+
+
+def test_incremental_at_least_2x_full_reencode_at_window_256(latency_result):
+    stats = latency_result["windows"][256]
     assert stats["speedup_mean"]["fill"] >= 2.0, stats
+
+
+def test_rotary_ring_at_least_2x_full_reencode_when_saturated(latency_result):
+    """Saturated-regime gate for the eviction-stable ring buffer: every
+    arrival evicts, yet the rotary scheme must stay well ahead of the full
+    re-encode because it never rebuilds (O(W·d) vs O(W²·d) per arrival)."""
+    stats = latency_result["windows"][256]
+    assert stats["speedup_rotary_mean"]["saturated"] >= 2.0, stats
+    # The ring's fill and saturated costs are the same order; the legacy
+    # absolute scheme cannot be gated here because its saturated path
+    # legitimately degrades to batched rebuilds.
+    assert stats["speedup_rotary_mean"]["fill"] >= 2.0, stats
