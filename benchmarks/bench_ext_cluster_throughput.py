@@ -1,0 +1,285 @@
+"""Extension bench: aggregate multi-stream throughput of the serving cluster.
+
+Not a paper artifact.  This measures the deployment story of the sharded
+serving subsystem: how many arrivals per second a :class:`ServingCluster`
+sustains across many concurrent streams, as a function of
+
+* **shard count** — how the hash-routed workers split the stream population,
+* **shard batch size** — the cap on the cross-stream batched row encoding
+  (``batch_size=1`` degenerates to the serial per-arrival GEMV loop; larger
+  batches drain each queue with one GEMM per block via ``append_batch``).
+
+Traffic comes from :class:`~repro.serving.simulator.MultiStreamSimulator`
+(Zipf-skewed stream shares, so shards see realistic hot-stream imbalance).
+The tentpole acceptance gate of the sharded-cluster PR is the
+``run_batch_speedup`` microbench: cross-stream ``append_batch`` must beat the
+serial per-arrival encoding by >= 2x at batch >= 8, window 256, rotary
+(asserted by ``pytest -m perf_smoke``).
+
+Results are echoed as text and merged into ``BENCH_serving.json`` at the repo
+root so future PRs can track the trajectory.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from benchmarks.conftest import RESULTS_DIR, bench_scale, write_bench_json
+
+from repro.core.config import KVECConfig
+from repro.core.incremental import append_batch
+from repro.core.model import KVEC
+from repro.data.items import Item, KeyValueSequence, ValueSpec
+from repro.serving.cluster import ClusterConfig, ServingCluster
+from repro.serving.engine import EngineConfig
+from repro.serving.simulator import MultiStreamConfig, MultiStreamSimulator, SimulatorConfig
+
+SPEC = ValueSpec(field_names=("size", "direction"), cardinalities=(8, 2), session_field=1)
+
+#: Sweep presets: (window, num_streams, num_sequences, sequence_length).
+SCALES = {
+    "unit": (48, 16, 48, 24),
+    "bench": (128, 32, 96, 48),
+    "paper": (256, 64, 128, 96),
+}
+
+SHARD_COUNTS = (1, 2, 4)
+BATCH_SIZES = (1, 8, 16)
+
+
+def make_model(seed: int = 0, window: int = 0, encoding: str = "rotary") -> KVEC:
+    config = KVECConfig(
+        d_model=32,
+        num_blocks=2,
+        num_heads=2,
+        ffn_hidden=64,
+        d_state=48,
+        dropout=0.0,
+        encoding=encoding,
+        max_time=max(512, 2 * window),
+        seed=seed,
+    )
+    return KVEC(SPEC, num_classes=4, config=config)
+
+
+def make_traffic(
+    num_streams: int, num_sequences: int, sequence_length: int, seed: int = 0
+):
+    """A Zipf-skewed multi-stream arrival process over synthetic flows."""
+    rng = np.random.default_rng(seed)
+    pool: List[KeyValueSequence] = []
+    for index in range(num_sequences):
+        items = [
+            Item(
+                f"flow-{index}",
+                (int(rng.integers(8)), int(rng.integers(2))),
+                float(step),
+            )
+            for step in range(sequence_length)
+        ]
+        pool.append(KeyValueSequence(f"flow-{index}", items, label=index % 4))
+    simulator = MultiStreamSimulator(
+        pool,
+        MultiStreamConfig(
+            num_streams=num_streams,
+            stream_skew=0.8,
+            simulator=SimulatorConfig(arrival_rate=2.0, gap_scale=0.25, seed=seed),
+        ),
+    )
+    return list(simulator.events())
+
+
+def measure_cluster(
+    model: KVEC, events, window: int, num_shards: int, batch_size: int
+) -> Dict[str, float]:
+    """Wall-clock the arrival hot path (consume + drain; flush untimed)."""
+    cluster = ServingCluster(
+        model,
+        SPEC,
+        ClusterConfig(
+            num_shards=num_shards,
+            batch_size=batch_size,
+            batched=batch_size > 1,
+            # halt_threshold=1.0 keeps every key pending — the worst case,
+            # where no early decision shrinks any session's work.
+            engine=EngineConfig(window_items=window, halt_threshold=1.0),
+        ),
+    )
+    start = time.perf_counter()
+    cluster.consume(events)
+    cluster.drain()
+    elapsed = time.perf_counter() - start
+    cluster.flush()
+    stats = cluster.stats()
+    return {
+        "elapsed_s": elapsed,
+        "throughput_items_per_sec": len(events) / elapsed,
+        "batch_rounds": stats["batch_rounds"],
+        "batched_rows": stats["batched_rows"],
+        "num_sessions": stats["num_sessions"],
+    }
+
+
+def run_cluster_throughput(
+    scale_name: str, emit_json: bool = True, seed: int = 0
+) -> Dict[str, object]:
+    """Deterministic shard-count x batch-size throughput sweep."""
+    window, num_streams, num_sequences, sequence_length = SCALES.get(
+        scale_name, SCALES["bench"]
+    )
+    model = make_model(seed=seed, window=window)
+    events = make_traffic(num_streams, num_sequences, sequence_length, seed=seed)
+
+    grid: Dict[str, Dict[str, object]] = {}
+    for num_shards in SHARD_COUNTS:
+        row: Dict[str, object] = {}
+        for batch_size in BATCH_SIZES:
+            row[str(batch_size)] = measure_cluster(
+                model, events, window, num_shards, batch_size
+            )
+        serial_rate = row["1"]["throughput_items_per_sec"]
+        for batch_size in BATCH_SIZES:
+            cell = row[str(batch_size)]
+            cell["speedup_vs_serial"] = (
+                cell["throughput_items_per_sec"] / serial_rate
+            )
+        grid[str(num_shards)] = row
+
+    result = {
+        "scale": scale_name,
+        "window": window,
+        "num_streams": num_streams,
+        "stream_items": len(events),
+        "shards_x_batch": grid,
+        "batch_microbench": run_batch_speedup(
+            window=window, batch=8, seed=seed, rounds=16
+        ),
+    }
+    if emit_json:
+        write_bench_json("cluster_throughput", result)
+    return result
+
+
+def run_batch_speedup(
+    window: int = 256,
+    batch: int = 8,
+    rounds: int = 24,
+    seed: int = 0,
+    repeats: int = 3,
+) -> Dict[str, float]:
+    """Microbench: cross-stream ``append_batch`` vs serial per-arrival appends.
+
+    ``batch`` saturated rotary ring states (one per stream, shared model) are
+    prefilled to ``window`` rows; each measured round evicts one row per
+    state and encodes one new arrival per state, then takes its halting
+    probability — serially via ``state.append`` + a per-row policy GEMV, vs
+    batched via ``append_batch`` + one policy GEMM (exactly the work a shard
+    drain round performs per arrival).  Both sides run the identical
+    eviction maintenance, so the ratio isolates the encoding path.  Each
+    side is measured ``repeats`` times on identically prepared states and
+    the fastest run is kept (standard microbench practice: the minimum is
+    the least scheduler-noise-contaminated estimate).
+    """
+    model = make_model(seed=seed, window=window)
+    rng = np.random.default_rng(seed + 1)
+
+    def draw(state_index: int, step: int) -> Item:
+        return Item(
+            f"s{state_index}-k{rng.integers(4)}",
+            (int(rng.integers(8)), int(rng.integers(2))),
+            float(step),
+        )
+
+    states = [model.make_incremental_state(capacity=window) for _ in range(batch)]
+    for step in range(window):
+        append_batch(states, [draw(i, step) for i in range(batch)])
+
+    items = [[draw(i, window + step) for i in range(batch)] for step in range(rounds)]
+    policy = model.policy
+
+    def run_pair() -> Tuple[float, float]:
+        """One repeat: serial and batched rounds interleaved step by step so
+        machine-noise phases contaminate both sides equally."""
+        serial_replicas = copy.deepcopy(states, {id(model): model})
+        batched_replicas = copy.deepcopy(states, {id(model): model})
+        serial_total = 0.0
+        batched_total = 0.0
+        for step in range(rounds):
+            start = time.perf_counter()
+            for state, item in zip(serial_replicas, items[step]):
+                state.evict_oldest()
+                policy.halt_probability_inference(state.append(item))
+            serial_total += time.perf_counter() - start
+
+            start = time.perf_counter()
+            for state in batched_replicas:
+                state.evict_oldest()
+            representations = append_batch(batched_replicas, items[step])
+            policy.halt_probabilities_inference(np.stack(representations))
+            batched_total += time.perf_counter() - start
+        return serial_total, batched_total
+
+    pairs = [run_pair() for _ in range(repeats)]
+    serial_elapsed = min(pair[0] for pair in pairs)
+    batched_elapsed = min(pair[1] for pair in pairs)
+
+    total = rounds * batch
+    return {
+        "window": window,
+        "batch": batch,
+        "rounds": rounds,
+        "serial_ms_per_item": serial_elapsed / total * 1e3,
+        "batched_ms_per_item": batched_elapsed / total * 1e3,
+        "speedup": serial_elapsed / batched_elapsed,
+    }
+
+
+def render(result: Dict[str, object]) -> str:
+    lines = [
+        "Sharded multi-stream cluster throughput (items/sec, consume+drain)",
+        f"  window={result['window']}  streams={result['num_streams']}  "
+        f"events={result['stream_items']}",
+    ]
+    for num_shards, row in result["shards_x_batch"].items():
+        for batch_size, cell in row.items():
+            lines.append(
+                f"  shards={num_shards}  batch={batch_size:>2}  "
+                f"{cell['throughput_items_per_sec']:10.1f} items/s  "
+                f"({cell['speedup_vs_serial']:5.2f}x vs serial, "
+                f"{cell['batch_rounds']} batch rounds)"
+            )
+    micro = result["batch_microbench"]
+    lines.append(
+        f"  append_batch microbench: window={micro['window']} batch={micro['batch']}  "
+        f"serial={micro['serial_ms_per_item']:.3f}ms/item  "
+        f"batched={micro['batched_ms_per_item']:.3f}ms/item  "
+        f"speedup={micro['speedup']:.1f}x"
+    )
+    return "\n".join(lines)
+
+
+def test_cluster_throughput(benchmark, scale_name):
+    result = benchmark.pedantic(
+        lambda: run_cluster_throughput(scale_name), rounds=1, iterations=1
+    )
+    rendered = render(result)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"ext_cluster_throughput_{bench_scale()}.txt").write_text(
+        rendered + "\n"
+    )
+    print("\n" + rendered)
+
+    # The acceptance gate of the sharded-cluster PR: batched multi-stream
+    # serving must decisively beat the serial per-arrival loop.  The single
+    # shard row is the canonical comparison (all streams available to every
+    # round); sharding shrinks each worker's stream population and therefore
+    # the effective batch, so multi-shard rows get a conservative floor.
+    for num_shards in SHARD_COUNTS:
+        row = result["shards_x_batch"][str(num_shards)]
+        floor = 2.0 if num_shards == 1 else 1.2
+        assert row["8"]["speedup_vs_serial"] >= floor, (num_shards, row)
+    assert result["batch_microbench"]["speedup"] >= 2.0, result["batch_microbench"]

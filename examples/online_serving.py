@@ -12,7 +12,10 @@ network flow while its packets are still arriving.  This example
 3. replays the *test* flows through the arrival simulator as one live packet
    stream with overlapping flows,
 4. serves the stream with the online engine over a bounded sliding window,
-5. reports running accuracy / earliness / latency from the decision monitor.
+5. reports running accuracy / earliness / latency from the decision monitor,
+6. serves the same flows again as a *multi-stream* process through the
+   sharded :class:`ServingCluster` — hash-routed shards, cross-stream
+   batched encoding, per-shard monitors merged into one cluster view.
 """
 
 from __future__ import annotations
@@ -28,9 +31,13 @@ from repro.eval import summarize
 from repro.eval.evaluator import prepare_tangled_splits
 from repro.serving import (
     ArrivalSimulator,
+    ClusterConfig,
     DecisionMonitor,
     EngineConfig,
+    MultiStreamConfig,
+    MultiStreamSimulator,
     OnlineClassificationEngine,
+    ServingCluster,
     SimulatorConfig,
     ThroughputMeter,
 )
@@ -95,6 +102,60 @@ def main() -> None:
     print(monitor.report())
     print(f"arrival throughput   {meter.rate:.2f} packets / simulated time unit")
     print(f"decisions from window truncation: {engine.num_truncated}")
+
+    # ------------------------------------------------------------------ #
+    # 6. Multi-stream serving through the sharded cluster
+    # ------------------------------------------------------------------ #
+    # The same flows, now partitioned across 4 concurrent stream ids with a
+    # Zipf-skewed traffic share (hot streams carry most flows).  The cluster
+    # hash-routes each stream to one of 2 shards; every shard drains its
+    # queue with cross-stream batched row encoding, and per-stream decisions
+    # are identical to the single-stream engine above (the parity suite in
+    # tests/serving/test_cluster.py pins this).
+    traffic = MultiStreamSimulator(
+        test_flows,
+        MultiStreamConfig(
+            num_streams=4,
+            stream_skew=1.0,
+            simulator=SimulatorConfig(arrival_rate=1.5, max_active=6, seed=2),
+        ),
+    )
+    cluster = ServingCluster(
+        served_model,
+        dataset.spec,
+        ClusterConfig(
+            num_shards=2,
+            batch_size=8,
+            engine=EngineConfig(window_items=256, halt_threshold=0.5, reencode_every=2),
+        ),
+    )
+    # One monitor per shard — mergeable without sharing mutable state, the
+    # way a real deployment aggregates worker-local statistics.
+    shard_monitors = {
+        shard.shard_id: DecisionMonitor(
+            labels=traffic.labels, sequence_lengths=traffic.sequence_lengths
+        )
+        for shard in cluster.shards
+    }
+    for stream_decision in cluster.consume(traffic.events()) + cluster.flush():
+        shard_monitors[stream_decision.shard_id].observe(stream_decision.decision)
+
+    print()
+    print("=== sharded cluster report (merged across shards) ===")
+    print(f"streams: {traffic.stream_share} (Zipf-skewed shares)")
+    merged = DecisionMonitor.merged(shard_monitors.values())
+    print(merged.report())
+    stats = cluster.stats()
+    print(
+        f"cluster: {stats['num_shards']} shards, {stats['num_sessions']} sessions, "
+        f"{stats['batch_rounds']} batched rounds covering {stats['batched_rows']} arrivals"
+    )
+
+    # Snapshots deep-copy the serving state (sharing the model weights), so
+    # a deployment can checkpoint mid-stream and restore after a failover.
+    snapshot = cluster.snapshot()
+    cluster.restore(snapshot)
+    print("snapshot/restore round trip ok")
 
 
 if __name__ == "__main__":

@@ -171,3 +171,41 @@ class InputEmbedding(Module):
             row += self.position_embedding.weight.data[min(position, self.max_positions - 1)]
             row += self.time_embedding.weight.data[min(time_index, self.max_time - 1)]
         return row
+
+    def embed_items_inference(
+        self, items, key_indices, positions, time_indices
+    ) -> np.ndarray:
+        """Batched :meth:`embed_item_inference`: one table gather per signal.
+
+        ``items`` come from ``B`` *independent* streams and the coordinate
+        lists are parallel to them.  Returns the ``(B, d_model)`` embedding
+        rows, identical per row to the single-item path (the same table rows
+        are gathered and summed in the same order).
+        """
+        # Advanced (list) indexing already materialises a fresh array — no
+        # defensive copy needed, unlike the scalar row lookup above.
+        rows = self.value_embeddings[0].weight.data[
+            [item.field(0) for item in items]
+        ]
+        for field_index in range(1, self.spec.num_fields):
+            rows += self.value_embeddings[field_index].weight.data[
+                [item.field(field_index) for item in items]
+            ]
+        if self.encoding == "rotary":
+            if self.use_membership_embedding:
+                rows += self.membership_embedding.weight.data[
+                    [self.key_slot(item.key) for item in items]
+                ]
+            return rows
+        if self.use_membership_embedding:
+            rows += self.membership_embedding.weight.data[
+                np.minimum(np.asarray(key_indices), self.max_keys - 1)
+            ]
+        if self.use_time_embeddings:
+            rows += self.position_embedding.weight.data[
+                np.minimum(np.asarray(positions), self.max_positions - 1)
+            ]
+            rows += self.time_embedding.weight.data[
+                np.minimum(np.asarray(time_indices), self.max_time - 1)
+            ]
+        return rows

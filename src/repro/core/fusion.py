@@ -59,6 +59,18 @@ class GatedFusion(Module):
         hidden, cell = self.cell.step_inference(item_embedding, state)
         return hidden, (hidden, cell)
 
+    def forward_inference_batch(self, states, item_embeddings: np.ndarray):
+        """Fusion step for ``B`` independent streams in one gate GEMM.
+
+        ``states`` is a sequence of ``B`` fusion states and
+        ``item_embeddings`` a ``(B, d_model)`` array.  Returns
+        ``(representations, new_states)`` with per-row numerics matching
+        :meth:`forward_inference` up to BLAS summation order.
+        """
+        hidden, cell = self.cell.step_batch_inference(item_embeddings, states)
+        new_states = [(hidden[i], cell[i]) for i in range(len(states))]
+        return hidden, new_states
+
 
 class MeanFusion(Module):
     """Parameter-free fusion: the running mean of observed item embeddings."""
@@ -89,6 +101,14 @@ class MeanFusion(Module):
         new_count = count + 1.0
         return new_sum / new_count, (new_sum, new_count)
 
+    def forward_inference_batch(self, states, item_embeddings: np.ndarray):
+        """Vectorised fusion step for ``B`` independent streams."""
+        sums = np.stack([state[0] for state in states]) + item_embeddings
+        counts = np.stack([state[1] for state in states]) + 1.0
+        representations = sums / counts
+        new_states = [(sums[i], counts[i]) for i in range(len(states))]
+        return representations, new_states
+
 
 class LastItemFusion(Module):
     """Parameter-free fusion: the sequence is represented by its latest item."""
@@ -111,6 +131,11 @@ class LastItemFusion(Module):
         self, state: Tuple[np.ndarray, ...], item_embedding: np.ndarray
     ) -> Tuple[np.ndarray, Tuple[np.ndarray, ...]]:
         return item_embedding, (item_embedding,)
+
+    def forward_inference_batch(self, states, item_embeddings: np.ndarray):
+        """Vectorised fusion step for ``B`` independent streams."""
+        new_states = [(item_embeddings[i],) for i in range(len(states))]
+        return item_embeddings, new_states
 
 
 def make_fusion(kind: str, d_model: int, d_state: int, rng: Optional[np.random.Generator] = None) -> Module:

@@ -48,6 +48,7 @@ full-history reference encode under the banded mask).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Sequence
 
 import numpy as np
@@ -58,6 +59,26 @@ from repro.nn.attention import MASK_VALUE, RelativeCoords
 
 #: Initial per-block cache capacity when none is given.
 _DEFAULT_CAPACITY = 64
+
+
+@dataclass
+class _PendingRow:
+    """One registered-but-not-yet-encoded arrival of a streaming state.
+
+    Produced by :meth:`IncrementalEncoderState._begin_append` (which already
+    mutated the state's bookkeeping) and consumed by either the serial encode
+    in :meth:`IncrementalEncoderState.append` or the cross-stream batched
+    encode in :func:`append_batch`, then finalised by
+    :meth:`IncrementalEncoderState._commit_row`.
+    """
+
+    index: int
+    key: Hashable
+    row: np.ndarray
+    mask_row: np.ndarray
+    position: Optional[float]
+    delta_row: Optional[np.ndarray]
+    same_row: Optional[np.ndarray]
 
 
 class IncrementalEncoderState:
@@ -127,7 +148,11 @@ class IncrementalEncoderState:
         self._key_order: Dict[Hashable, int] = {}
         self._key_counts: Dict[Hashable, int] = {}
         self._row_keys: List[Hashable] = []
-        self._row_ranks: List[int] = []
+        #: Per-row within-key rank and key code, kept as numpy ring buffers
+        #: (parallel to the K/V caches) so the relative-coordinate inputs of
+        #: every append are O(W) numpy slices instead of O(W) Python loops.
+        self._rank_buf = np.empty(self._capacity, dtype=np.int64)
+        self._code_buf = np.empty(self._capacity, dtype=np.int64)
         self._fused_rows: List[np.ndarray] = []
         self._fusion_states: Dict[Hashable, tuple] = {}
         self._latest_rep: Dict[Hashable, np.ndarray] = {}
@@ -151,6 +176,11 @@ class IncrementalEncoderState:
                 grown = np.empty((old.shape[0], capacity, old.shape[2]), dtype=np.float64)
                 grown[:, : self._length, :] = old[:, : self._length, :]
                 caches[index] = grown
+        for name in ("_rank_buf", "_code_buf"):
+            old = getattr(self, name)
+            grown = np.empty(capacity, dtype=np.int64)
+            grown[: self._length] = old[: self._length]
+            setattr(self, name, grown)
         self._capacity = capacity
 
     # ------------------------------------------------------------------ #
@@ -204,26 +234,42 @@ class IncrementalEncoderState:
     # ------------------------------------------------------------------ #
     # streaming updates
     # ------------------------------------------------------------------ #
-    def _register_item(self, item: Item, index: int):
+    def _next_coords(self, item: Item):
+        """``(key_index, position, time_index)`` the next append will register.
+
+        A pure peek (no mutation) mirroring the derivation inside
+        :meth:`_register_item`; :func:`append_batch` uses it to gather every
+        stream's embedding coordinates before the batched table lookup.
+        """
+        key_index = self._key_order.get(item.key)
+        if key_index is None:
+            key_index = len(self._key_order)
+        return key_index, self._key_counts.get(item.key, 0), self._base + self._length
+
+    def _register_item(self, item: Item, index: int, row: Optional[np.ndarray] = None):
         """Register row ``index``'s stream coordinates — the single source of
         truth for per-item bookkeeping, shared by :meth:`append` and
         :meth:`rebuild` so their exactness cannot drift apart.
 
         Returns ``(embedding_row, via_key, via_value)``: the item's raw
-        embedding and the earlier *global* positions visible to it through
-        each correlation type (global == window-local while ``_base`` is 0,
-        i.e. always, for the absolute scheme).
+        embedding (computed here unless the batched path already embedded it
+        via :meth:`_next_coords` + ``embed_items_inference``) and the earlier
+        *global* positions visible to it through each correlation type
+        (global == window-local while ``_base`` is 0, i.e. always, for the
+        absolute scheme).
         """
         key = item.key
         key_index = self._key_order.setdefault(key, len(self._key_order))
         position = self._key_counts.get(key, 0)
         self._key_counts[key] = position + 1
-        row = self.model.input_embedding.embed_item_inference(
-            item, key_index=key_index, position=position, time_index=self._base + index
-        )
+        if row is None:
+            row = self.model.input_embedding.embed_item_inference(
+                item, key_index=key_index, position=position, time_index=self._base + index
+            )
         via_key, via_value = self._tracker.observe(key, item.value)
         self._row_keys.append(key)
-        self._row_ranks.append(position)
+        self._rank_buf[index] = position
+        self._code_buf[index] = key_index
         return row, via_key, via_value
 
     @staticmethod
@@ -250,12 +296,15 @@ class IncrementalEncoderState:
         self._fused_rows.append(representation)
         return representation
 
-    def append(self, item: Item) -> np.ndarray:
-        """Encode one new arrival in O(W·d) and return its fused representation.
+    def _begin_append(self, item: Item, row: Optional[np.ndarray] = None) -> _PendingRow:
+        """Register one arrival and stage everything its encode needs.
 
-        The new row's embedding, mask row, per-block attention (against the
-        cached K/V of every earlier row) and fusion step are computed; nothing
-        already cached is touched, which is exact because the mask is causal.
+        Mutates the bookkeeping (key order, ranks, correlation tracker, mask
+        inputs) exactly like the head of :meth:`append`; the caller must
+        follow up with the per-block encode and :meth:`_commit_row`.  Shared
+        by the serial :meth:`append` and the cross-stream :func:`append_batch`
+        (which passes the pre-computed batched embedding ``row``) so the two
+        paths cannot drift apart.
         """
         index = self._length
         self._check_absolute_bound(self._base + index + 1)
@@ -263,7 +312,7 @@ class IncrementalEncoderState:
             self._grow(index + 1)
 
         key = item.key
-        row, via_key, via_value = self._register_item(item, index)
+        row, via_key, via_value = self._register_item(item, index, row=row)
         mask_row = np.full(index + 1, MASK_VALUE, dtype=np.float64)
         base = self._base
         if base:
@@ -278,20 +327,57 @@ class IncrementalEncoderState:
             position = float(base + index)
             reference = self.model.encoder.blocks[0].attention
             delta_row = reference.clip_rank_delta(
-                self._row_ranks[-1] - np.asarray(self._row_ranks, dtype=np.int64)
+                self._rank_buf[index] - self._rank_buf[: index + 1]
             )
-            same_row = np.fromiter(
-                (row_key == key for row_key in self._row_keys),
-                dtype=np.float64,
-                count=index + 1,
-            )
+            same_row = (
+                self._code_buf[: index + 1] == self._code_buf[index]
+            ).astype(np.float64)
+        return _PendingRow(
+            index=index,
+            key=key,
+            row=row,
+            mask_row=mask_row,
+            position=position,
+            delta_row=delta_row,
+            same_row=same_row,
+        )
 
+    def _commit_row(self, pending: _PendingRow, encoded_row: np.ndarray) -> np.ndarray:
+        """Fuse one encoded pending row and advance the cache length."""
+        representation = self._fuse_row(pending.key, encoded_row)
+        self._length += 1
+        return representation
+
+    def _commit_fused(self, pending: _PendingRow, representation: np.ndarray) -> np.ndarray:
+        """Record an *already fused* pending row and advance the cache length.
+
+        The batched path runs the fusion step itself (one gate GEMM across
+        streams via ``KVEC.fusion_steps_inference``), so only the per-row
+        bookkeeping of :meth:`_fuse_row` remains to be applied here.
+        """
+        self._latest_rep[pending.key] = representation
+        self._fused_rows.append(representation)
+        self._length += 1
+        return representation
+
+    def append(self, item: Item) -> np.ndarray:
+        """Encode one new arrival in O(W·d) and return its fused representation.
+
+        The new row's embedding, mask row, per-block attention (against the
+        cached K/V of every earlier row) and fusion step are computed; nothing
+        already cached is touched, which is exact because the mask is causal.
+        """
+        pending = self._begin_append(item)
+        index = pending.index
+        row = pending.row
         for block_index, block in enumerate(self.model.encoder.blocks):
-            query, k_row, v_row = block.attention.project_qkv_row(row, position=position)
+            query, k_row, v_row = block.attention.project_qkv_row(
+                row, position=pending.position
+            )
             self._k_cache[block_index][:, index, :] = k_row
             self._v_cache[block_index][:, index, :] = v_row
             bias_row = (
-                block.attention.relative_bias_row(delta_row, same_row)
+                block.attention.relative_bias_row(pending.delta_row, pending.same_row)
                 if self._use_relative
                 else None
             )
@@ -300,13 +386,10 @@ class IncrementalEncoderState:
                 query,
                 self._k_cache[block_index][:, : index + 1, :],
                 self._v_cache[block_index][:, : index + 1, :],
-                mask_row,
+                pending.mask_row,
                 bias_row=bias_row,
             )
-
-        representation = self._fuse_row(key, row)
-        self._length += 1
-        return representation
+        return self._commit_row(pending, row)
 
     def evict_oldest(self) -> Hashable:
         """Drop row 0 from the ring in O(W·d); returns the evicted key.
@@ -328,9 +411,10 @@ class IncrementalEncoderState:
         if self._length == 0:
             raise IndexError("evict_oldest() on an empty cache")
         key = self._row_keys.pop(0)
-        self._row_ranks.pop(0)
         self._fused_rows.pop(0)
         length = self._length
+        self._rank_buf[: length - 1] = self._rank_buf[1:length]
+        self._code_buf[: length - 1] = self._code_buf[1:length]
         for block_index in range(self._num_blocks):
             for caches in (self._k_cache, self._v_cache):
                 cache = caches[block_index]
@@ -374,10 +458,8 @@ class IncrementalEncoderState:
         if self._use_relative:
             coords = RelativeCoords(
                 positions=np.arange(length, dtype=np.float64),
-                key_ranks=np.asarray(self._row_ranks, dtype=np.int64),
-                key_codes=np.asarray(
-                    [self._key_order[key] for key in self._row_keys], dtype=np.int64
-                ),
+                key_ranks=self._rank_buf[:length].copy(),
+                key_codes=self._code_buf[:length].copy(),
             )
 
         x = embeddings
@@ -392,3 +474,116 @@ class IncrementalEncoderState:
             self._fuse_row(self._row_keys[index], x[index])
 
         self._length = length
+
+
+def append_batch(
+    states: Sequence[IncrementalEncoderState], items: Sequence[Item]
+) -> List[np.ndarray]:
+    """Encode one pending arrival of *each* state in one batched pass.
+
+    The cross-stream batched encoding path of the sharded serving cluster:
+    ``items[i]`` is appended to ``states[i]`` exactly as ``states[i].append``
+    would, but the B rows are pushed through the block stack together — one
+    ``(B, d_model)`` GEMM per projection/FFN and one batched attention einsum
+    per block, instead of ``B`` separate GEMV chains.  Streams are
+    independent (each row attends only against its own state's cached K/V,
+    padded to the batch's longest window and masked), so batching is pure
+    math-level restructuring: per-stream results match :meth:`append` up to
+    BLAS summation-order noise (well below 1e-9), which is the same tolerance
+    the incremental-vs-full parity suite already absorbs.
+
+    Constraints: all states must share one model (a shard's sessions do by
+    construction) and must be distinct objects — a state can only accept one
+    pending arrival per batch because its next mask row depends on the
+    previous append having completed.
+    """
+    if len(states) != len(items):
+        raise ValueError(
+            f"append_batch got {len(states)} states but {len(items)} items"
+        )
+    if not states:
+        return []
+    if len(states) == 1:
+        return [states[0].append(items[0])]
+    if len({id(state) for state in states}) != len(states):
+        raise ValueError(
+            "append_batch requires distinct states: a stream can only encode "
+            "one pending arrival per batch round"
+        )
+    model = states[0].model
+    for state in states[1:]:
+        if state.model is not model:
+            raise ValueError("append_batch requires all states to share one model")
+
+    # Batched embedding: peek every stream's next coordinates, gather all
+    # rows with one table lookup per signal, then register as usual.
+    coords = [state._next_coords(item) for state, item in zip(states, items)]
+    rows = model.input_embedding.embed_items_inference(
+        items,
+        key_indices=[c[0] for c in coords],
+        positions=[c[1] for c in coords],
+        time_indices=[c[2] for c in coords],
+    )
+    pending = [
+        state._begin_append(item, row=rows[index])
+        for index, (state, item) in enumerate(zip(states, items))
+    ]
+    batch = len(states)
+    lengths = [p.index + 1 for p in pending]
+    t_max = max(lengths)
+    use_relative = states[0]._use_relative
+
+    x = np.stack([p.row for p in pending])
+    mask = np.full((batch, t_max), MASK_VALUE, dtype=np.float64)
+    for i, p in enumerate(pending):
+        mask[i, : lengths[i]] = p.mask_row
+
+    first_attention = model.encoder.blocks[0].attention
+    phases = None
+    delta_pad = None
+    same_pad = None
+    if use_relative:
+        # Positions and the relative-coordinate rows are identical for every
+        # block, so the rotary phases are computed once and the clipped
+        # delta/same rows are padded once (pad deltas index table row 0 but
+        # their same-key indicator is 0, so the padded bias is exactly 0).
+        from repro.nn.attention import rotary_phases
+
+        positions = np.asarray([p.position for p in pending], dtype=np.float64)
+        phases = rotary_phases(positions, first_attention.d_head)
+        delta_pad = np.zeros((batch, t_max), dtype=np.int64)
+        same_pad = np.zeros((batch, t_max), dtype=np.float64)
+        for i, p in enumerate(pending):
+            delta_pad[i, : lengths[i]] = p.delta_row
+            same_pad[i, : lengths[i]] = p.same_row
+
+    # Padding slots are never written, so the pad buffers can be shared by
+    # every block (each block overwrites only the [:length] prefixes).
+    key_pad = np.zeros(
+        (batch, first_attention.num_heads, t_max, first_attention.d_head),
+        dtype=np.float64,
+    )
+    value_pad = np.zeros_like(key_pad)
+    for block_index, block in enumerate(model.encoder.blocks):
+        attention = block.attention
+        query, keys, values = attention.project_qkv_rows(x, phases=phases)
+        bias = (
+            attention.relative_bias_rows(delta_pad, same_pad) if use_relative else None
+        )
+        for i, (state, p) in enumerate(zip(states, pending)):
+            state._k_cache[block_index][:, p.index, :] = keys[i]
+            state._v_cache[block_index][:, p.index, :] = values[i]
+            key_pad[i, :, : lengths[i], :] = state._k_cache[block_index][:, : lengths[i], :]
+            value_pad[i, :, : lengths[i], :] = state._v_cache[block_index][:, : lengths[i], :]
+        x = block.forward_inference_rows(
+            x, query, key_pad, value_pad, mask, bias_rows=bias
+        )
+
+    # Batched fusion: every stream's gate GEMVs stack into one GEMM.
+    representations = model.fusion_steps_inference(
+        [(state._fusion_states, p.key) for state, p in zip(states, pending)], x
+    )
+    return [
+        state._commit_fused(p, representations[i])
+        for i, (state, p) in enumerate(zip(states, pending))
+    ]

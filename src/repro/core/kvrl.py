@@ -114,6 +114,31 @@ class KVRLBlock(Module):
         transformed = self.feed_forward.forward_inference(x_row)
         return self.norm2.forward_inference(x_row + transformed)
 
+    def forward_inference_rows(
+        self,
+        x_rows: np.ndarray,
+        query_rows: np.ndarray,
+        key_pad: np.ndarray,
+        value_pad: np.ndarray,
+        mask_rows: Optional[np.ndarray] = None,
+        bias_rows: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Batched :meth:`forward_inference_row`: ``B`` independent streams.
+
+        Each of the ``B`` rows attends only against its *own* stream's padded
+        K/V cache (``key_pad`` / ``value_pad`` of shape
+        ``(B, num_heads, T_max, d_head)``, padding masked out by
+        ``mask_rows``), so stacking different streams is pure math-level
+        batching — the per-stream numerics match the single-row path.  The
+        residual/norm/FFN tail runs as ``(B, d_model)`` GEMMs.
+        """
+        attended = self.attention.attend_rows(
+            query_rows, key_pad, value_pad, mask_rows, bias_rows=bias_rows
+        )
+        x = self.norm1.forward_inference(x_rows + attended)
+        transformed = self.feed_forward.forward_inference(x)
+        return self.norm2.forward_inference(x + transformed)
+
 
 class KVRLEncoder(Module):
     """Stack of :class:`KVRLBlock` modules sharing one correlation mask."""

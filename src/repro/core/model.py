@@ -360,6 +360,34 @@ class KVEC(Module):
         representation, states[key] = self.fusion.forward_inference(state, encoded_row)
         return representation
 
+    def fusion_steps_inference(
+        self, entries, encoded_rows: np.ndarray
+    ) -> List[np.ndarray]:
+        """Batched :meth:`fusion_step_inference` across independent streams.
+
+        ``entries`` is a sequence of ``(states_dict, key)`` pairs — one per
+        stream — and ``encoded_rows`` the matching ``(B, d_model)`` rows.
+        Streams are independent, so their fusion steps stack into one gate
+        GEMM (``forward_inference_batch``); fusion kinds without a batch
+        implementation fall back to the serial step.
+        """
+        batch_step = getattr(self.fusion, "forward_inference_batch", None)
+        if batch_step is None:
+            return [
+                self.fusion_step_inference(states, key, encoded_rows[index])
+                for index, (states, key) in enumerate(entries)
+            ]
+        current = []
+        for states, key in entries:
+            state = states.get(key)
+            current.append(
+                state if state is not None else self.fusion.initial_state_inference()
+            )
+        representations, new_states = batch_step(current, encoded_rows)
+        for (states, key), state in zip(entries, new_states):
+            states[key] = state
+        return [representations[index] for index in range(len(entries))]
+
     def _predict_tangle_inference(
         self,
         tangle: TangledSequence,

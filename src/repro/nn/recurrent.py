@@ -96,6 +96,27 @@ class LSTMCell(Module):
         new_hidden = out * np.tanh(new_cell)
         return new_hidden, new_cell
 
+    def step_batch_inference(
+        self, xs: np.ndarray, states
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One step for ``B`` *independent* cells in a single gate GEMM.
+
+        ``xs`` has shape ``(B, input_size)`` and ``states`` is a sequence of
+        ``B`` ``(hidden, cell)`` pairs (one per stream).  Returns the stacked
+        ``(B, hidden)`` / ``(B, cell)`` arrays; per-row numerics match
+        :meth:`step_inference` up to BLAS summation order.
+        """
+        hidden = np.stack([state[0] for state in states])
+        cell = np.stack([state[1] for state in states])
+        combined = np.concatenate([hidden, xs], axis=-1)
+        forget = F.sigmoid_array(self.forget_gate.forward_inference(combined))
+        inp = F.sigmoid_array(self.input_gate.forward_inference(combined))
+        out = F.sigmoid_array(self.output_gate.forward_inference(combined))
+        candidate = np.tanh(self.cell_gate.forward_inference(combined))
+        new_cell = forget * cell + inp * candidate
+        new_hidden = out * np.tanh(new_cell)
+        return new_hidden, new_cell
+
 
 class LSTM(Module):
     """Run an :class:`LSTMCell` over a full sequence of input vectors."""

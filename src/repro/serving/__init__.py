@@ -4,29 +4,63 @@ The paper's motivating scenarios (Fig. 1) are *online*: a router must label
 each flow while its packets are still arriving, and a recommender must
 profile a user while she is still browsing.  The offline evaluation harness
 in :mod:`repro.eval` replays complete tangled sequences; this subpackage
-provides the serving-side counterpart:
+provides the serving-side counterpart, layered as session → shard → cluster:
 
 * :class:`~repro.serving.simulator.ArrivalSimulator` — turns a generated
-  dataset into a live arrival process with a controllable number of
-  concurrently active keys,
-* :class:`~repro.serving.engine.OnlineClassificationEngine` — feeds the
-  arrivals to a trained KVEC model over a sliding context window and emits a
-  :class:`~repro.serving.engine.Decision` per key as soon as the halting
-  policy fires,
+  dataset into one live arrival process with a controllable number of
+  concurrently active keys (and optional Zipf hot-key skew);
+  :class:`~repro.serving.simulator.MultiStreamSimulator` merges many such
+  processes into one source-tagged multi-stream timeline,
+* :class:`~repro.serving.engine.StreamSession` — one stream's window,
+  incremental KV-cache and decision machinery;
+  :class:`~repro.serving.engine.OnlineClassificationEngine` is the
+  single-stream facade over exactly one session,
+* :class:`~repro.serving.cluster.ServingCluster` — hash-routes stream ids
+  across :class:`~repro.serving.cluster.ShardWorker` instances, applies
+  bounded-queue admission control, drains each shard with cross-stream
+  *batched* row encoding, and supports snapshot/restore,
 * :mod:`~repro.serving.monitoring` — running accuracy/earliness/latency
-  aggregation for a live deployment.
+  aggregation, mergeable across shards into a cluster-level view.
 """
 
-from repro.serving.engine import Decision, EngineConfig, OnlineClassificationEngine
-from repro.serving.monitoring import DecisionMonitor, ThroughputMeter
-from repro.serving.simulator import ArrivalSimulator, SimulatorConfig
+from repro.serving.cluster import (
+    ClusterConfig,
+    ClusterSnapshot,
+    ServingCluster,
+    ShardOverloadError,
+    ShardWorker,
+    StreamDecision,
+)
+from repro.serving.engine import (
+    Decision,
+    EngineConfig,
+    OnlineClassificationEngine,
+    StreamSession,
+)
+from repro.serving.monitoring import DecisionMonitor, MonitorSnapshot, ThroughputMeter
+from repro.serving.simulator import (
+    ArrivalSimulator,
+    MultiStreamConfig,
+    MultiStreamSimulator,
+    SimulatorConfig,
+)
 
 __all__ = [
     "Decision",
     "EngineConfig",
+    "StreamSession",
     "OnlineClassificationEngine",
+    "ClusterConfig",
+    "ClusterSnapshot",
+    "ServingCluster",
+    "ShardOverloadError",
+    "ShardWorker",
+    "StreamDecision",
     "ArrivalSimulator",
     "SimulatorConfig",
+    "MultiStreamConfig",
+    "MultiStreamSimulator",
     "DecisionMonitor",
+    "MonitorSnapshot",
     "ThroughputMeter",
 ]

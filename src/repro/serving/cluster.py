@@ -1,0 +1,488 @@
+"""Sharded multi-stream serving: shard workers and the cluster front-end.
+
+This module scales the per-stream :class:`~repro.serving.engine.StreamSession`
+to many concurrent streams:
+
+* :class:`ShardWorker` owns a dictionary of sessions keyed by stream id plus
+  a bounded FIFO arrival queue.  Draining happens in *rounds*: each round
+  dequeues at most ``batch_size`` arrivals, at most one per stream (a
+  session's next mask row depends on its previous append having completed),
+  runs every session's bookkeeping phase, then encodes all still-pending
+  rows in **one cross-stream batch** via
+  :func:`repro.core.incremental.append_batch` — one ``(B, d_model)`` GEMM per
+  projection/FFN and one batched attention einsum per block instead of ``B``
+  separate O(W·d) GEMV chains — and finally lets each session take its
+  halting decisions.  Streams are independent, so the batch is pure
+  math-level restructuring: per-stream decisions are identical to feeding a
+  dedicated single-stream engine (the cluster parity suite pins this for
+  evictions, flush and snapshot/restore alike).
+
+* :class:`ServingCluster` hash-routes stream ids to shards with the same
+  process-independent CRC32 bucket the rotary membership embedding uses
+  (:func:`repro.core.embeddings.stable_key_slot` — deterministic across runs
+  and machines), applies admission control when a shard queue is full
+  (``overflow``: synchronously *drain* a round to make room, *reject* with
+  :class:`ShardOverloadError`, or *shed* the newest arrival), and exposes the
+  deployment API: :meth:`ServingCluster.submit`, :meth:`~ServingCluster.drain`,
+  :meth:`~ServingCluster.flush`, :meth:`~ServingCluster.expire`,
+  :meth:`~ServingCluster.snapshot` and :meth:`~ServingCluster.restore`.
+
+Snapshots are deep copies of every shard's sessions, queues and counters
+that *share* the (immutable at serving time) model weights: taking one does
+not stop the cluster, restoring one rewinds it bit-for-bit, and a snapshot
+can be restored any number of times — the basis for failover and shard
+migration experiments.
+"""
+
+from __future__ import annotations
+
+import copy
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.embeddings import stable_key_slot
+from repro.core.incremental import append_batch
+from repro.data.items import ValueSpec
+from repro.data.stream import StreamEvent
+from repro.serving.engine import Decision, EngineConfig, StreamSession
+
+
+class ShardOverloadError(RuntimeError):
+    """Raised by ``overflow="reject"`` admission control when a shard is full."""
+
+
+@dataclass(frozen=True)
+class StreamDecision:
+    """One session decision, attributed to its stream and shard.
+
+    Stream ids are the cluster's routing unit; two different streams may
+    legitimately use the same item keys, so cluster-level consumers need the
+    ``stream_id`` to disambiguate what a bare :class:`Decision` cannot.
+    """
+
+    stream_id: Hashable
+    shard_id: int
+    decision: Decision
+
+
+@dataclass
+class ClusterConfig:
+    """Configuration of the sharded serving cluster.
+
+    Attributes
+    ----------
+    num_shards:
+        Number of shard workers; stream ids are hash-routed across them.
+    batch_size:
+        Maximum arrivals drained per round — the cap on the cross-stream
+        encoding batch.  ``1`` degenerates to the serial per-arrival loop.
+    max_queue:
+        Bound of each shard's arrival queue; admission control engages when
+        an arrival finds the queue at this depth.
+    overflow:
+        Admission policy for a full queue: ``"drain"`` synchronously drains
+        one round to make room (backpressure by doing the work now),
+        ``"reject"`` raises :class:`ShardOverloadError`, ``"shed"`` drops the
+        newest arrival and counts it.
+    batched:
+        Use the cross-stream batched encoding when a round has two or more
+        encodable arrivals.  Off means every session encodes serially —
+        same decisions, batch-level BLAS throughput forfeited.
+    auto_drain:
+        Drain whenever a shard's queue reaches ``batch_size`` (the default
+        synchronous serving mode).  When off, arrivals only queue and the
+        caller schedules :meth:`ServingCluster.drain` explicitly.
+    engine:
+        Per-stream :class:`~repro.serving.engine.EngineConfig` shared by
+        every session the cluster creates.
+    """
+
+    num_shards: int = 1
+    batch_size: int = 8
+    max_queue: int = 1024
+    overflow: str = "drain"
+    batched: bool = True
+    auto_drain: bool = True
+    engine: EngineConfig = field(default_factory=EngineConfig)
+
+    def __post_init__(self) -> None:
+        if self.num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if self.max_queue <= 0:
+            raise ValueError("max_queue must be positive")
+        if self.overflow not in ("drain", "reject", "shed"):
+            raise ValueError(f"unknown overflow policy {self.overflow!r}")
+
+
+class ShardWorker:
+    """Many stream sessions plus the bounded queue feeding them.
+
+    A worker is single-threaded and deterministic: rounds process queued
+    arrivals in FIFO order (restricted to the first pending arrival of each
+    stream), so for a fixed submission sequence the emitted decisions are a
+    fixed sequence too.
+    """
+
+    def __init__(
+        self, shard_id: int, model, spec: ValueSpec, config: ClusterConfig
+    ) -> None:
+        self.shard_id = shard_id
+        self.model = model
+        self.spec = spec
+        self.config = config
+        self.sessions: Dict[Hashable, StreamSession] = {}
+        #: Arrival queue, organised for O(batch·log S) rounds: one FIFO
+        #: sub-queue of ``(seq, event)`` per stream plus a min-heap of
+        #: ``(head seq, stream_id)`` over the streams with pending arrivals.
+        #: ``seq`` is a per-shard arrival counter, so the heap yields streams
+        #: in the order of their oldest queued event — exactly the global
+        #: FIFO-of-distinct-streams order a flat queue scan would produce,
+        #: without re-scanning held-back same-stream followers every round.
+        self._pending: Dict[Hashable, Deque[Tuple[int, StreamEvent]]] = {}
+        self._ready: List[Tuple[int, Hashable]] = []
+        self._queue_length = 0
+        self._seq = 0
+        #: Admission-control counters.
+        self.rejected = 0
+        self.shed = 0
+        #: Cross-stream batching counters (for the throughput bench/monitor).
+        self.batch_rounds = 0
+        self.batched_rows = 0
+        self.drained = 0
+
+    # ------------------------------------------------------------------ #
+    # sessions
+    # ------------------------------------------------------------------ #
+    def session(self, stream_id: Hashable) -> StreamSession:
+        """The stream's session, created on first use."""
+        session = self.sessions.get(stream_id)
+        if session is None:
+            session = StreamSession(self.model, self.spec, self.config.engine)
+            self.sessions[stream_id] = session
+        return session
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue_length
+
+    # ------------------------------------------------------------------ #
+    # ingestion
+    # ------------------------------------------------------------------ #
+    def _enqueue(self, stream_id: Hashable, event: StreamEvent) -> None:
+        queue = self._pending.get(stream_id)
+        if queue is None:
+            queue = self._pending[stream_id] = deque()
+        if not queue:
+            heapq.heappush(self._ready, (self._seq, stream_id))
+        queue.append((self._seq, event))
+        self._seq += 1
+        self._queue_length += 1
+
+    def pending_entries(self) -> List[Tuple[Hashable, StreamEvent]]:
+        """Every queued arrival in global FIFO order (snapshot format)."""
+        entries = [
+            (seq, stream_id, event)
+            for stream_id, queue in self._pending.items()
+            for seq, event in queue
+        ]
+        entries.sort(key=lambda entry: entry[0])
+        return [(stream_id, event) for _, stream_id, event in entries]
+
+    def load_pending(self, entries: List[Tuple[Hashable, StreamEvent]]) -> None:
+        """Replace the queue contents (``entries`` in global FIFO order)."""
+        self._pending = {}
+        self._ready = []
+        self._queue_length = 0
+        self._seq = 0
+        for stream_id, event in entries:
+            self._enqueue(stream_id, event)
+
+    def submit(self, stream_id: Hashable, event: StreamEvent) -> List[StreamDecision]:
+        """Queue one arrival; returns decisions any triggered drain emitted."""
+        emitted: List[StreamDecision] = []
+        if self._queue_length >= self.config.max_queue:
+            if self.config.overflow == "reject":
+                self.rejected += 1
+                raise ShardOverloadError(
+                    f"shard {self.shard_id} queue is full "
+                    f"({self.config.max_queue} arrivals)"
+                )
+            if self.config.overflow == "shed":
+                self.shed += 1
+                return emitted
+            emitted.extend(self._drain_round())
+        self._enqueue(stream_id, event)
+        if self.config.auto_drain:
+            while self._queue_length >= self.config.batch_size:
+                emitted.extend(self._drain_round())
+        return emitted
+
+    # ------------------------------------------------------------------ #
+    # draining
+    # ------------------------------------------------------------------ #
+    def drain(self) -> List[StreamDecision]:
+        """Process every queued arrival; returns the decisions in order."""
+        emitted: List[StreamDecision] = []
+        while self._queue_length:
+            emitted.extend(self._drain_round())
+        return emitted
+
+    def _drain_round(self) -> List[StreamDecision]:
+        """Dequeue ≤ ``batch_size`` arrivals (one per stream) and serve them.
+
+        Streams enter the round in the order of their oldest queued arrival;
+        same-stream followers stay queued for a later round, because a
+        session can only encode one pending arrival at a time.  The
+        encodable rows of the round run as one cross-stream batch when
+        enabled.
+        """
+        round_entries: List[Tuple[Hashable, StreamEvent]] = []
+        while self._ready and len(round_entries) < self.config.batch_size:
+            _, stream_id = heapq.heappop(self._ready)
+            _, event = self._pending[stream_id].popleft()
+            round_entries.append((stream_id, event))
+        for stream_id, _ in round_entries:
+            queue = self._pending[stream_id]
+            if queue:
+                heapq.heappush(self._ready, (queue[0][0], stream_id))
+            else:
+                del self._pending[stream_id]
+        self._queue_length -= len(round_entries)
+
+        staged = [
+            (stream_id, event, self.session(stream_id))
+            for stream_id, event in round_entries
+        ]
+        appendable = [
+            (session, event)
+            for _, event, session in staged
+            if session._ingest(event)
+        ]
+        if self.config.batched and len(appendable) > 1:
+            representations = append_batch(
+                [session._incremental for session, _ in appendable],
+                [event.item for _, event in appendable],
+            )
+            probabilities = self.model.policy.halt_probabilities_inference(
+                np.stack(representations)
+            )
+            for (session, _), probability in zip(appendable, probabilities):
+                session._note_appended_row(probability)
+            self.batch_rounds += 1
+            self.batched_rows += len(appendable)
+        else:
+            for session, event in appendable:
+                session._append_to_cache(event)
+
+        emitted: List[StreamDecision] = []
+        for stream_id, event, session in staged:
+            for decision in session._complete_offer(event):
+                emitted.append(StreamDecision(stream_id, self.shard_id, decision))
+        self.drained += len(staged)
+        return emitted
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def flush(self) -> List[StreamDecision]:
+        """Drain, then force-decide every session's undecided keys."""
+        emitted = self.drain()
+        for stream_id, session in self.sessions.items():
+            for decision in session.flush():
+                emitted.append(StreamDecision(stream_id, self.shard_id, decision))
+        return emitted
+
+    def expire(self, now: Optional[float] = None) -> List[StreamDecision]:
+        """Drain, then apply idle-timeout expiry to every session."""
+        emitted = self.drain()
+        for stream_id, session in self.sessions.items():
+            for decision in session.expire(now):
+                emitted.append(StreamDecision(stream_id, self.shard_id, decision))
+        return emitted
+
+
+@dataclass(frozen=True)
+class ClusterSnapshot:
+    """Opaque, restorable copy of a cluster's serving state.
+
+    Holds deep copies of every shard's sessions, queue and counters (model
+    weights are shared, not copied).  Treat as opaque: only
+    :meth:`ServingCluster.restore` should consume it.
+    """
+
+    num_shards: int
+    shard_states: List[Dict[str, object]]
+
+
+#: Counter attributes snapshotted/restored per shard.
+_SHARD_COUNTERS = ("rejected", "shed", "batch_rounds", "batched_rows", "drained")
+
+
+class ServingCluster:
+    """Hash-routed front-end over a fleet of shard workers.
+
+    The deployment entry point for multi-stream serving: ``submit`` routes
+    each arrival to its stream's shard (stable CRC32 bucketing — the same
+    stream always lands on the same shard, across processes and restarts),
+    shards batch-encode their queues, and ``flush`` / ``expire`` fan out to
+    every session.  All work happens synchronously on the calling thread;
+    sharding bounds per-shard state and queue depth and gives each batch
+    round more concurrent streams to stack.
+    """
+
+    def __init__(
+        self, model, spec: ValueSpec, config: Optional[ClusterConfig] = None
+    ) -> None:
+        self.model = model
+        self.spec = spec
+        self.config = config or ClusterConfig()
+        self.config.engine.validate_for_model(model)
+        self.shards = [
+            ShardWorker(index, model, spec, self.config)
+            for index in range(self.config.num_shards)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+    def shard_index(self, stream_id: Hashable) -> int:
+        """Deterministic shard bucket of a stream id."""
+        return stable_key_slot(stream_id, len(self.shards))
+
+    def shard_of(self, stream_id: Hashable) -> ShardWorker:
+        return self.shards[self.shard_index(stream_id)]
+
+    def session(self, stream_id: Hashable, create: bool = False) -> Optional[StreamSession]:
+        """The stream's session (``None`` unless seen before or ``create``)."""
+        shard = self.shard_of(stream_id)
+        if create:
+            return shard.session(stream_id)
+        return shard.sessions.get(stream_id)
+
+    def sessions(self) -> Iterator[Tuple[Hashable, StreamSession]]:
+        """All live ``(stream_id, session)`` pairs, shard by shard."""
+        for shard in self.shards:
+            yield from shard.sessions.items()
+
+    # ------------------------------------------------------------------ #
+    # serving API
+    # ------------------------------------------------------------------ #
+    def submit(
+        self, event: StreamEvent, stream_id: Optional[Hashable] = None
+    ) -> List[StreamDecision]:
+        """Route one arrival to its stream's shard.
+
+        The stream id defaults to the event's ``source`` tag (what the
+        multi-stream simulator stamps); pass ``stream_id`` explicitly when
+        events carry no source.  Returns any decisions emitted by a drain
+        this submission triggered.
+        """
+        if stream_id is None:
+            stream_id = event.source
+        return self.shard_of(stream_id).submit(stream_id, event)
+
+    def consume(
+        self, events: Iterable[StreamEvent], stream_id: Optional[Hashable] = None
+    ) -> List[StreamDecision]:
+        """Submit a whole stream of events; returns every decision emitted."""
+        emitted: List[StreamDecision] = []
+        for event in events:
+            emitted.extend(self.submit(event, stream_id=stream_id))
+        return emitted
+
+    def drain(self) -> List[StreamDecision]:
+        """Process every queued arrival on every shard."""
+        emitted: List[StreamDecision] = []
+        for shard in self.shards:
+            emitted.extend(shard.drain())
+        return emitted
+
+    def flush(self) -> List[StreamDecision]:
+        """Drain all queues, then force-decide every undecided key."""
+        emitted: List[StreamDecision] = []
+        for shard in self.shards:
+            emitted.extend(shard.flush())
+        return emitted
+
+    def expire(self, now: Optional[float] = None) -> List[StreamDecision]:
+        """Drain all queues, then expire idle keys on every session."""
+        emitted: List[StreamDecision] = []
+        for shard in self.shards:
+            emitted.extend(shard.expire(now))
+        return emitted
+
+    # ------------------------------------------------------------------ #
+    # snapshot / restore
+    # ------------------------------------------------------------------ #
+    def _shared_memo(self) -> Dict[int, object]:
+        """Deepcopy memo pre-seeded with the objects snapshots must share.
+
+        Model weights, the value spec and the config objects are identical
+        across all sessions and immutable at serving time; sharing them keeps
+        snapshots cheap (state only) and restores pointing at the live model.
+        """
+        shared = (self.model, self.spec, self.config, self.config.engine)
+        return {id(obj): obj for obj in shared}
+
+    def snapshot(self) -> ClusterSnapshot:
+        """Deep-copy the cluster's serving state (sessions, queues, counters)."""
+        states: List[Dict[str, object]] = []
+        for shard in self.shards:
+            states.append(
+                {
+                    "sessions": shard.sessions,
+                    "queue": shard.pending_entries(),
+                    "counters": {name: getattr(shard, name) for name in _SHARD_COUNTERS},
+                }
+            )
+        return ClusterSnapshot(
+            num_shards=len(self.shards),
+            shard_states=copy.deepcopy(states, self._shared_memo()),
+        )
+
+    def restore(self, snapshot: ClusterSnapshot) -> None:
+        """Rewind the cluster to a snapshot (which stays reusable)."""
+        if snapshot.num_shards != len(self.shards):
+            raise ValueError(
+                f"snapshot has {snapshot.num_shards} shards, cluster has "
+                f"{len(self.shards)}"
+            )
+        states = copy.deepcopy(snapshot.shard_states, self._shared_memo())
+        for shard, state in zip(self.shards, states):
+            shard.sessions = state["sessions"]
+            shard.load_pending(state["queue"])
+            for name, value in state["counters"].items():
+                setattr(shard, name, value)
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    @property
+    def num_sessions(self) -> int:
+        return sum(len(shard.sessions) for shard in self.shards)
+
+    @property
+    def num_decided(self) -> int:
+        return sum(
+            session.num_decided for _, session in self.sessions()
+        )
+
+    def stats(self) -> Dict[str, object]:
+        """Aggregate shard counters for monitoring/benchmarks."""
+        return {
+            "num_shards": len(self.shards),
+            "num_sessions": self.num_sessions,
+            "num_decided": self.num_decided,
+            "queue_depths": [shard.queue_depth for shard in self.shards],
+            "rejected": sum(shard.rejected for shard in self.shards),
+            "shed": sum(shard.shed for shard in self.shards),
+            "batch_rounds": sum(shard.batch_rounds for shard in self.shards),
+            "batched_rows": sum(shard.batched_rows for shard in self.shards),
+            "drained": sum(shard.drained for shard in self.shards),
+        }

@@ -1,6 +1,27 @@
-"""The online early-classification engine.
+"""Per-stream serving sessions and the single-stream engine facade.
 
-The engine adapts a trained :class:`~repro.core.model.KVEC` model (or any
+The serving layer is split into three composable tiers:
+
+* :class:`StreamSession` (this module) — ALL the per-stream state and logic:
+  one bounded :class:`~repro.data.stream.SlidingWindow`, one incremental
+  KV-cache (:class:`~repro.core.incremental.IncrementalEncoderState`), the
+  per-key decision bookkeeping, and the offer/evaluate/flush/expire decision
+  machinery.  A session knows nothing about other streams.
+* :class:`~repro.serving.cluster.ShardWorker` — owns many sessions keyed by
+  stream id, a bounded arrival queue, and the cross-stream *batched* row
+  encoding that drains that queue with one GEMM per block instead of one
+  GEMV chain per arrival (via :func:`repro.core.incremental.append_batch`).
+* :class:`~repro.serving.cluster.ServingCluster` — hash-routes stream ids to
+  shards, applies admission control / backpressure, and exposes the
+  deployment API (``submit`` / ``drain`` / ``flush`` / ``snapshot`` /
+  ``restore``).
+
+:class:`OnlineClassificationEngine` — the historical single-stream API — is a
+thin alias over one session: it *is* a :class:`StreamSession`, so every
+existing parity test and benchmark runs unchanged, and the cluster's
+per-stream semantics are by construction those of the single-stream engine.
+
+A session adapts a trained :class:`~repro.core.model.KVEC` model (or any
 object exposing its ``predict_tangle`` interface) to a live item stream:
 
 1. arrivals are appended to a bounded :class:`~repro.data.stream.SlidingWindow`
@@ -12,7 +33,7 @@ object exposing its ``predict_tangle`` interface) to a live item stream:
    change its label (matching the paper's semantics where a halted sequence
    is handed to the classifier exactly once),
 4. keys whose flow ends without the policy halting are force-decided when
-   :meth:`OnlineClassificationEngine.flush` is called.
+   :meth:`StreamSession.flush` is called.
 
 Because the KVRL attention mask is causal, the representation computed for a
 prefix inside the window equals the representation the offline model would
@@ -179,8 +200,16 @@ class Decision:
         )
 
 
-class OnlineClassificationEngine:
-    """Serve a trained KVEC model over a live tangled item stream."""
+class StreamSession:
+    """One independent stream's serving state and decision machinery.
+
+    Owns exactly one window, one incremental encoder state and one set of
+    per-key decisions.  Used directly (as the single-stream
+    :class:`OnlineClassificationEngine`) or in bulk by a
+    :class:`~repro.serving.cluster.ShardWorker`, which splits :meth:`offer`
+    into its :meth:`_ingest` / append / :meth:`_complete_offer` phases so
+    the append step of many sessions can run as one cross-stream batch.
+    """
 
     def __init__(self, model: KVEC, spec: ValueSpec, config: Optional[EngineConfig] = None) -> None:
         self.model = model
@@ -234,6 +263,36 @@ class OnlineClassificationEngine:
     # ------------------------------------------------------------------ #
     def offer(self, event: StreamEvent) -> List[Decision]:
         """Ingest one arrival; returns any decisions it triggered."""
+        if self._ingest(event):
+            self._append_to_cache(event)
+        return self._complete_offer(event)
+
+    def _ingest(self, event: StreamEvent) -> bool:
+        """Phase 1 of :meth:`offer`: every bookkeeping step except the encode.
+
+        Advances the clock/tracker/window, performs the cache *maintenance*
+        the arrival forces (ring evictions, or dirty-marking under the
+        absolute scheme) and returns True when the arrival's own row must
+        still be appended to the incremental cache.  A shard drains a batch
+        by calling this on every session first, then encoding all the
+        still-pending rows in one cross-stream batch.
+
+        **Rotary scheme (ring buffer).**  Cached rows are eviction-stable, so
+        maintenance is always exact and always cheap: drop one ring row per
+        evicted item (O(W·d) shift); the new arrival's O(W·d) row append is
+        left to the caller.  The cache never goes dirty and is never rebuilt.
+
+        **Absolute scheme.**  Appending to a clean, non-evicted cache is
+        exact regardless of which keys are decided, so append-only arrivals
+        always extend the cache in O(W·d).  An eviction invalidates every
+        cached row, but the rebuild is deferred: nothing consumes the cache
+        between evaluations, so rebuilding on each of ``reencode_every``
+        evicting arrivals would waste all but the last rebuild.  The dirty
+        cache is resynchronised lazily by the next evaluation / flush that
+        actually has pending keys; while no undecided key has items in the
+        window (the full path's empty-pending early return) it stays dirty
+        at zero cost — and no per-arrival row is appended meanwhile.
+        """
         self._clock = max(self._clock, event.time)
         self.tracker.observe(event)
         evicted = self.window.push(event.item)
@@ -254,55 +313,50 @@ class OnlineClassificationEngine:
                 else:
                     del counts[item.key]
                     self._window_pending.discard(item.key)
-            self._maintain_cache(event, bool(evicted))
-        elif self._history is not None:
+            if self._ring:
+                while len(self._incremental) > len(self.window) - 1:
+                    self._evict_from_cache()
+                return True
+            if self._cache_dirty or evicted:
+                self._cache_dirty = True
+                # Stale candidates must not survive: their rows no longer
+                # mirror the window, and a later evaluation scanning them
+                # would fabricate decisions the full path does not make.  The
+                # rebuild re-scans every row anyway.
+                self._unscanned_rows = []
+                return False
+            return True
+        if self._history is not None:
             self._history.append(event.item)
             self._key_first_seen.setdefault(event.key, len(self._key_first_seen))
+        return False
 
+    def _append_to_cache(self, event: StreamEvent) -> None:
+        """Phase 2 of :meth:`offer`: serially encode the arrival's row."""
+        representation = self._incremental.append(event.item)
+        self._note_appended_row(
+            self.model.policy.halt_probability_inference(representation)
+        )
+
+    def _note_appended_row(self, halt_probability: float) -> None:
+        """Record the halt probability of the row just appended to the cache.
+
+        Split from :meth:`_append_to_cache` so the batched shard path — which
+        computes the representations via
+        :func:`repro.core.incremental.append_batch` and their halt
+        probabilities as one batched matvec — can reuse the exact same
+        per-session bookkeeping.
+        """
+        self._row_halt.append(float(halt_probability))
+        self._unscanned_rows.append(len(self._incremental) - 1)
+
+    def _complete_offer(self, event: StreamEvent) -> List[Decision]:
+        """Phase 3 of :meth:`offer`: evaluate if this arrival makes it due."""
         due = self._arrivals_since_encode >= self.config.reencode_every
         eager = self.config.eager and event.key not in self.decisions
         if not due and not eager:
             return []
         return self._evaluate_window()
-
-    def _maintain_cache(self, event: StreamEvent, evicted: bool) -> None:
-        """Keep the KV cache in sync with the window — or mark it dirty.
-
-        **Rotary scheme (ring buffer).**  Cached rows are eviction-stable, so
-        maintenance is always exact and always cheap: drop one ring row per
-        evicted item (O(W·d) shift), then append the new arrival's row in
-        O(W·d).  The cache never goes dirty and is never rebuilt.
-
-        **Absolute scheme.**  Appending to a clean, non-evicted cache is
-        exact regardless of which keys are decided, so append-only arrivals
-        always extend the cache in O(W·d).  An eviction invalidates every
-        cached row, but the rebuild is deferred: nothing consumes the cache
-        between evaluations, so rebuilding on each of ``reencode_every``
-        evicting arrivals would waste all but the last rebuild.  The dirty
-        cache is resynchronised lazily by the next evaluation / flush that
-        actually has pending keys; while no undecided key has items in the
-        window (the full path's empty-pending early return) it stays dirty
-        at zero cost.
-        """
-        if self._ring:
-            while len(self._incremental) > len(self.window) - 1:
-                self._evict_from_cache()
-            self._append_to_cache(event)
-            return
-        if self._cache_dirty or evicted:
-            self._cache_dirty = True
-            # Stale candidates must not survive: their rows no longer mirror
-            # the window, and a later evaluation scanning them would fabricate
-            # decisions the full path does not make.  The rebuild re-scans
-            # every row anyway.
-            self._unscanned_rows = []
-            return
-        self._append_to_cache(event)
-
-    def _append_to_cache(self, event: StreamEvent) -> None:
-        representation = self._incremental.append(event.item)
-        self._row_halt.append(self.model.policy.halt_probability_inference(representation))
-        self._unscanned_rows.append(len(self._incremental) - 1)
 
     def _evict_from_cache(self) -> None:
         """Drop the oldest ring row and re-align the per-row bookkeeping.
@@ -579,3 +633,15 @@ class OnlineClassificationEngine:
     def num_truncated(self) -> int:
         """Keys that lost items to window eviction before being decided."""
         return len(self._truncated_keys & set(self.decisions))
+
+
+class OnlineClassificationEngine(StreamSession):
+    """Serve a trained KVEC model over a single live tangled item stream.
+
+    The historical single-stream API, kept as a thin facade: it is exactly
+    one :class:`StreamSession`, so its behaviour defines — decision for
+    decision — what the sharded :class:`~repro.serving.cluster.ServingCluster`
+    must produce per stream (the cluster parity suite pins this).  Multi-
+    stream deployments should use the cluster, which adds hash routing,
+    bounded queues and cross-stream batched encoding on top of sessions.
+    """

@@ -9,8 +9,8 @@ allocation-free so they can sit on the serving hot path.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.model import PredictionRecord
 from repro.eval.metrics import harmonic_mean
@@ -27,6 +27,32 @@ class ClassTally:
     @property
     def accuracy(self) -> float:
         return self.correct / self.decided if self.decided else 0.0
+
+
+@dataclass(frozen=True)
+class MonitorSnapshot:
+    """Immutable point-in-time summary of a :class:`DecisionMonitor`.
+
+    Safe to hand across shard boundaries: it shares no mutable state with
+    the monitor it came from, so a cluster can publish per-shard snapshots
+    while the shards keep serving.
+    """
+
+    num_decisions: int
+    num_with_labels: int
+    num_correct: int
+    num_policy_halts: int
+    total_observations: int
+    total_confidence: float
+    earliness_sum: float
+    earliness_count: int
+    accuracy: float
+    earliness: float
+    harmonic_mean: float
+    mean_observations: float
+    mean_confidence: float
+    policy_halt_fraction: float
+    per_class: Mapping[int, Tuple[int, int]]  # label -> (decided, correct)
 
 
 class DecisionMonitor:
@@ -86,6 +112,69 @@ class DecisionMonitor:
     def observe_all(self, decisions) -> None:
         for decision in decisions:
             self.observe(decision)
+
+    # ------------------------------------------------------------------ #
+    # aggregation across shards
+    # ------------------------------------------------------------------ #
+    def merge(self, other: "DecisionMonitor") -> "DecisionMonitor":
+        """Fold another monitor's statistics into this one.
+
+        Used to aggregate per-shard monitors into a cluster-level view.  All
+        of ``other``'s state is *copied* — tallies, records, label maps — so
+        the two monitors share no mutable structure and both can keep
+        observing independently afterwards.  Returns ``self`` for chaining.
+        """
+        self.num_decisions += other.num_decisions
+        self.num_correct += other.num_correct
+        self.num_with_labels += other.num_with_labels
+        self.num_policy_halts += other.num_policy_halts
+        self.total_observations += other.total_observations
+        self.total_confidence += other.total_confidence
+        self.earliness_sum += other.earliness_sum
+        self.earliness_count += other.earliness_count
+        for label, tally in other.per_class.items():
+            mine = self.per_class.setdefault(int(label), ClassTally())
+            mine.decided += tally.decided
+            mine.correct += tally.correct
+        for key, label in other.labels.items():
+            self.labels.setdefault(key, label)
+        for key, length in other.sequence_lengths.items():
+            self.sequence_lengths.setdefault(key, length)
+        # PredictionRecord is a mutable dataclass: copy, don't alias, so the
+        # no-shared-mutable-state contract holds for records() consumers too.
+        self._records.extend(replace(record) for record in other._records)
+        return self
+
+    @classmethod
+    def merged(cls, monitors: Iterable["DecisionMonitor"]) -> "DecisionMonitor":
+        """A fresh monitor aggregating ``monitors`` (which stay untouched)."""
+        combined = cls()
+        for monitor in monitors:
+            combined.merge(monitor)
+        return combined
+
+    def snapshot(self) -> MonitorSnapshot:
+        """An immutable summary sharing no mutable state with the monitor."""
+        return MonitorSnapshot(
+            num_decisions=self.num_decisions,
+            num_with_labels=self.num_with_labels,
+            num_correct=self.num_correct,
+            num_policy_halts=self.num_policy_halts,
+            total_observations=self.total_observations,
+            total_confidence=self.total_confidence,
+            earliness_sum=self.earliness_sum,
+            earliness_count=self.earliness_count,
+            accuracy=self.accuracy,
+            earliness=self.earliness,
+            harmonic_mean=self.harmonic_mean,
+            mean_observations=self.mean_observations,
+            mean_confidence=self.mean_confidence,
+            policy_halt_fraction=self.policy_halt_fraction,
+            per_class={
+                int(label): (tally.decided, tally.correct)
+                for label, tally in self.per_class.items()
+            },
+        )
 
     # ------------------------------------------------------------------ #
     # running metrics

@@ -19,13 +19,14 @@ the online-serving example rely on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import heapq
+from dataclasses import dataclass, field, replace
 from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.data.items import Item, KeyValueSequence
-from repro.data.stream import StreamEvent
+from repro.data.stream import StreamEvent, merge_streams
 
 
 @dataclass
@@ -42,7 +43,18 @@ class SimulatorConfig:
     max_active:
         Upper bound on simultaneously active keys; when reached, new key
         starts are delayed until an active key finishes.  ``0`` disables the
-        bound.
+        bound.  Delays follow FIFO ``c``-server queue semantics: each waiting
+        key consumes exactly one slot release, and the Poisson *arrival*
+        process is never advanced by waiting — so a busy period no longer
+        collapses every delayed key onto the same release tick.
+    key_skew:
+        Zipf exponent of the per-key arrival-rate skew (``0`` = uniform, the
+        default).  With skew ``s`` the ``r``-th key of the shuffled start
+        order draws its start gap at a rate proportional to ``(r+1)^{-s}``
+        (normalised so the expected total start span — the aggregate load —
+        matches the unskewed schedule), so a few *hot* keys start in rapid
+        succession while the cold tail spreads out — the hot-key traffic
+        shape real clusters see.
     seed:
         Seed of the Poisson start-time draws.
     """
@@ -50,6 +62,7 @@ class SimulatorConfig:
     arrival_rate: float = 1.0
     gap_scale: float = 1.0
     max_active: int = 0
+    key_skew: float = 0.0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -59,6 +72,8 @@ class SimulatorConfig:
             raise ValueError("gap_scale must be positive")
         if self.max_active < 0:
             raise ValueError("max_active must be non-negative")
+        if self.key_skew < 0:
+            raise ValueError("key_skew must be non-negative")
 
 
 @dataclass
@@ -103,34 +118,61 @@ class ArrivalSimulator:
         base = times[0]
         return [(time - base) * self.config.gap_scale for time in times]
 
+    def _skew_rates(self, count: int) -> Optional[np.ndarray]:
+        """Per-rank arrival rates under the Zipf ``key_skew`` (None = uniform).
+
+        Start gaps are drawn at rate ``arrival_rate * w_r``, so the expected
+        *total* start span is ``sum(1 / (arrival_rate * w_r))``.  Normalising
+        the weights to harmonic mean 1 (``mean(1/w) == 1``) keeps that span —
+        and therefore the aggregate arrival rate — equal to the unskewed
+        schedule's: skew redistributes traffic across keys, it does not add
+        or remove load.  (A plain mean-1 normalisation would *stretch* the
+        schedule by ``mean(1/w) > 1``, Jensen's inequality.)
+        """
+        skew = self.config.key_skew
+        if not skew:
+            return None
+        weights = np.arange(1, count + 1, dtype=np.float64) ** (-skew)
+        weights *= np.mean(1.0 / weights)
+        return self.config.arrival_rate * weights
+
     def _build_schedule(self) -> List[_ScheduledKey]:
         rng = np.random.default_rng(self.config.seed)
         order = list(range(len(self.sequences)))
         rng.shuffle(order)
+        rates = self._skew_rates(len(order))
 
         scheduled: List[_ScheduledKey] = []
-        clock = 0.0
+        arrival_clock = 0.0
+        #: Min-heap of busy-slot release times (FIFO c-server queue).
         active_ends: List[float] = []
-        for index in order:
+        for rank, index in enumerate(order):
             sequence = self.sequences[index]
-            gap = float(rng.exponential(1.0 / self.config.arrival_rate))
-            clock += gap
+            rate = self.config.arrival_rate if rates is None else float(rates[rank])
+            arrival_clock += float(rng.exponential(1.0 / rate))
+            start = arrival_clock
             if self.config.max_active:
-                # Delay the start until a slot frees up.
-                active_ends = [end for end in active_ends if end > clock]
-                while len(active_ends) >= self.config.max_active:
-                    earliest = min(active_ends)
-                    clock = max(clock, earliest)
-                    active_ends = [end for end in active_ends if end > clock]
+                # FIFO admission: free every slot released by the arrival
+                # time, and when all slots are busy the key waits for — and
+                # consumes — exactly ONE release.  The arrival clock itself
+                # is untouched, so later keys keep their own Poisson gaps
+                # instead of being serialised after the busy period (the old
+                # behaviour released every delayed key in the same tick,
+                # a synchronized burst).
+                while active_ends and active_ends[0] <= start:
+                    heapq.heappop(active_ends)
+                if len(active_ends) >= self.config.max_active:
+                    start = heapq.heappop(active_ends)
             entry = _ScheduledKey(
                 key=sequence.key,
                 label=int(sequence.label),
-                start=clock,
+                start=start,
                 offsets=self._relative_offsets(sequence),
                 values=[item.value for item in sequence.items],
             )
             scheduled.append(entry)
-            active_ends.append(entry.end)
+            if self.config.max_active:
+                heapq.heappush(active_ends, entry.end)
         return scheduled
 
     # ------------------------------------------------------------------ #
@@ -190,3 +232,149 @@ class ArrivalSimulator:
             active += delta
             peak = max(peak, active)
         return peak
+
+
+@dataclass
+class MultiStreamConfig:
+    """Knobs of the multi-stream arrival process.
+
+    Attributes
+    ----------
+    num_streams:
+        Number of independent stream ids the sequence pool is partitioned
+        across (the cluster's routing/sharding unit).
+    stream_skew:
+        Zipf exponent of the per-stream traffic share (``0`` = uniform).
+        With skew ``s``, stream ``r`` receives sequences with probability
+        proportional to ``(r+1)^{-s}`` — a few *hot* streams carry most of
+        the traffic, the shape that makes shard load-balancing interesting.
+    stream_prefix:
+        Stream ids are ``f"{stream_prefix}-{index}"``.
+    simulator:
+        Per-stream :class:`SimulatorConfig`; each stream derives its own
+        seed from it, so streams are mutually independent but the whole
+        process is deterministic.
+    """
+
+    num_streams: int = 4
+    stream_skew: float = 0.0
+    stream_prefix: str = "stream"
+    simulator: SimulatorConfig = field(default_factory=SimulatorConfig)
+
+    def __post_init__(self) -> None:
+        if self.num_streams <= 0:
+            raise ValueError("num_streams must be positive")
+        if self.stream_skew < 0:
+            raise ValueError("stream_skew must be non-negative")
+
+
+class MultiStreamSimulator:
+    """Many concurrent :class:`ArrivalSimulator` streams on one timeline.
+
+    The serving cluster's traffic generator: the labelled sequence pool is
+    partitioned across ``num_streams`` stream ids (Zipf-skewed when
+    ``stream_skew`` is set), each stream replays its share as an independent
+    arrival process, and :meth:`events` merges them into one chronological
+    stream whose events carry their stream id in ``StreamEvent.source`` —
+    exactly what :meth:`repro.serving.cluster.ServingCluster.submit` routes
+    on.
+    """
+
+    def __init__(
+        self,
+        sequences: Sequence[KeyValueSequence],
+        config: Optional[MultiStreamConfig] = None,
+    ) -> None:
+        if not sequences:
+            raise ValueError("the simulator needs at least one source sequence")
+        keys = [sequence.key for sequence in sequences]
+        if len(set(keys)) != len(keys):
+            raise ValueError("sequence keys must be unique across the pool")
+        self.config = config or MultiStreamConfig()
+        base = self.config.simulator
+        rng = np.random.default_rng(base.seed)
+
+        count = self.config.num_streams
+        if self.config.stream_skew:
+            shares = np.arange(1, count + 1, dtype=np.float64) ** (
+                -self.config.stream_skew
+            )
+            shares /= shares.sum()
+        else:
+            shares = np.full(count, 1.0 / count)
+        assignment = rng.choice(count, size=len(sequences), p=shares)
+
+        self._simulators: Dict[str, ArrivalSimulator] = {}
+        self._stream_of: Dict[Hashable, str] = {}
+        for index in range(count):
+            assigned = [
+                sequence
+                for sequence, stream in zip(sequences, assignment)
+                if stream == index
+            ]
+            if not assigned:
+                continue  # a cold stream drew no traffic at all
+            stream_id = f"{self.config.stream_prefix}-{index}"
+            # Distinct, deterministic per-stream seeds keep streams mutually
+            # independent while the whole process stays reproducible.
+            stream_config = replace(base, seed=base.seed + 7919 * (index + 1))
+            self._simulators[stream_id] = ArrivalSimulator(assigned, stream_config)
+            for sequence in assigned:
+                self._stream_of[sequence.key] = stream_id
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    @property
+    def stream_ids(self) -> List[str]:
+        """Stream ids that carry at least one sequence."""
+        return list(self._simulators)
+
+    @property
+    def stream_of(self) -> Dict[Hashable, str]:
+        """Stream id serving each key (for evaluation bookkeeping)."""
+        return dict(self._stream_of)
+
+    @property
+    def stream_share(self) -> Dict[str, int]:
+        """Number of sequences assigned to each stream (the traffic skew)."""
+        return {
+            stream_id: len(simulator.sequences)
+            for stream_id, simulator in self._simulators.items()
+        }
+
+    @property
+    def labels(self) -> Dict[Hashable, int]:
+        """Ground-truth label per simulated key, across all streams."""
+        labels: Dict[Hashable, int] = {}
+        for simulator in self._simulators.values():
+            labels.update(simulator.labels)
+        return labels
+
+    @property
+    def sequence_lengths(self) -> Dict[Hashable, int]:
+        """Total item count per simulated key, across all streams."""
+        lengths: Dict[Hashable, int] = {}
+        for simulator in self._simulators.values():
+            lengths.update(simulator.sequence_lengths)
+        return lengths
+
+    def events(self) -> Iterator[StreamEvent]:
+        """All streams merged chronologically, each event source-tagged."""
+
+        def tagged(stream_id: str, simulator: ArrivalSimulator):
+            for event in simulator.events():
+                yield StreamEvent(time=event.time, item=event.item, source=stream_id)
+
+        return merge_streams(
+            [
+                tagged(stream_id, simulator)
+                for stream_id, simulator in self._simulators.items()
+            ]
+        )
+
+    def peak_concurrency(self) -> int:
+        """Sum of per-stream peaks — the cluster-wide worst-case load bound."""
+        return sum(
+            simulator.peak_concurrency() for simulator in self._simulators.values()
+        )

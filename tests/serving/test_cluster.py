@@ -1,0 +1,430 @@
+"""Lockstep parity and behaviour suite for the sharded serving cluster.
+
+The contract under test: a :class:`ServingCluster` — any shard count, with or
+without cross-stream batched encoding — must produce decision-for-decision
+identical output to one sequential :class:`OnlineClassificationEngine` per
+stream, including window evictions, mid-stream drains, idle expiry, flush and
+snapshot/restore round trips.  On top of parity, the suite covers the
+cluster-only machinery: hash routing, bounded-queue admission control
+(drain / reject / shed) and the batching counters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import KVECConfig
+from repro.core.embeddings import stable_key_slot
+from repro.core.model import KVEC
+from repro.data.items import Item, ValueSpec
+from repro.data.stream import StreamEvent
+from repro.serving.cluster import (
+    ClusterConfig,
+    ServingCluster,
+    ShardOverloadError,
+)
+from repro.serving.engine import EngineConfig, OnlineClassificationEngine, StreamSession
+
+SPEC = ValueSpec(field_names=("size", "direction"), cardinalities=(8, 2), session_field=1)
+
+TOLERANCE = 1e-9
+
+ENCODINGS = ("absolute", "rotary")
+
+
+def make_model(encoding: str = "rotary", seed: int = 3) -> KVEC:
+    config = KVECConfig(
+        d_model=12,
+        num_blocks=2,
+        num_heads=2,
+        ffn_hidden=20,
+        d_state=16,
+        dropout=0.0,
+        encoding=encoding,
+        seed=seed,
+    )
+    return KVEC(SPEC, num_classes=3, config=config)
+
+
+def multi_stream_events(seed: int, num_events: int = 300, num_streams: int = 6, num_keys: int = 4):
+    """A random source-tagged multi-stream event sequence."""
+    rng = np.random.default_rng(seed)
+    streams = [f"stream-{i}" for i in range(num_streams)]
+    events = []
+    clock = 0.0
+    for _ in range(num_events):
+        clock += 1.0
+        stream_id = streams[int(rng.integers(num_streams))]
+        item = Item(
+            f"k{rng.integers(num_keys)}",
+            (int(rng.integers(8)), int(rng.integers(2))),
+            clock,
+        )
+        events.append(StreamEvent(time=clock, item=item, source=stream_id))
+    return streams, events
+
+
+def engine_config(**overrides) -> EngineConfig:
+    kwargs = dict(window_items=7, halt_threshold=0.5, reencode_every=2)
+    kwargs.update(overrides)
+    return EngineConfig(**kwargs)
+
+
+def reference_decisions(model, streams, events, expire_positions=(), **overrides):
+    """Per-stream ordered decision lists from one sequential engine each."""
+    engines = {
+        stream_id: OnlineClassificationEngine(model, SPEC, engine_config(**overrides))
+        for stream_id in streams
+    }
+    ordered = {stream_id: [] for stream_id in streams}
+    for position, event in enumerate(events):
+        ordered[event.source].extend(engines[event.source].offer(event))
+        if position in expire_positions:
+            for stream_id, engine in engines.items():
+                ordered[stream_id].extend(engine.expire())
+    for stream_id, engine in engines.items():
+        ordered[stream_id].extend(engine.flush())
+    return engines, ordered
+
+
+def by_stream(stream_decisions, streams):
+    grouped = {stream_id: [] for stream_id in streams}
+    for stream_decision in stream_decisions:
+        grouped[stream_decision.stream_id].append(stream_decision.decision)
+    return grouped
+
+
+def assert_stream_parity(actual, expected):
+    """Per-stream decision sequences must match the sequential reference."""
+    assert set(actual) == set(expected)
+    for stream_id, reference in expected.items():
+        got = actual[stream_id]
+        assert [d.key for d in got] == [d.key for d in reference], stream_id
+        for mine, ref in zip(got, reference):
+            assert mine.predicted == ref.predicted, (stream_id, mine.key)
+            assert mine.confidence == pytest.approx(ref.confidence, abs=TOLERANCE)
+            assert mine.observations == ref.observations, (stream_id, mine.key)
+            assert mine.decision_time == ref.decision_time, (stream_id, mine.key)
+            assert mine.halted_by_policy == ref.halted_by_policy, (stream_id, mine.key)
+            assert mine.window_truncated == ref.window_truncated, (stream_id, mine.key)
+
+
+class TestClusterParity:
+    """Cluster output == one sequential single-stream engine per stream."""
+
+    @pytest.mark.parametrize("encoding", ENCODINGS)
+    @pytest.mark.parametrize("num_shards", [1, 2, 4])
+    def test_batched_parity_with_evictions_and_flush(self, encoding, num_shards):
+        model = make_model(encoding)
+        streams, events = multi_stream_events(seed=42)
+        _, expected = reference_decisions(model, streams, events)
+
+        cluster = ServingCluster(
+            model,
+            SPEC,
+            ClusterConfig(
+                num_shards=num_shards,
+                batch_size=4,
+                batched=True,
+                engine=engine_config(),
+            ),
+        )
+        emitted = cluster.consume(events)
+        emitted.extend(cluster.flush())
+        assert_stream_parity(by_stream(emitted, streams), expected)
+        # The tiny window guarantees the parity run actually covered
+        # evictions (and, for rotary, the zero-rebuild ring).
+        evicted = [session.window.evicted for _, session in cluster.sessions()]
+        assert sum(evicted) > 0
+        if encoding == "rotary":
+            assert all(
+                session._incremental.rebuilds == 0 for _, session in cluster.sessions()
+            )
+
+    @pytest.mark.parametrize("encoding", ENCODINGS)
+    def test_serial_encoding_parity(self, encoding):
+        """batched=False must serve identically (it forfeits BLAS only)."""
+        model = make_model(encoding)
+        streams, events = multi_stream_events(seed=7)
+        _, expected = reference_decisions(model, streams, events)
+        cluster = ServingCluster(
+            model,
+            SPEC,
+            ClusterConfig(num_shards=2, batch_size=4, batched=False, engine=engine_config()),
+        )
+        emitted = cluster.consume(events)
+        emitted.extend(cluster.flush())
+        assert_stream_parity(by_stream(emitted, streams), expected)
+        assert cluster.stats()["batch_rounds"] == 0
+
+    def test_mid_stream_drain_matches_reference_prefix(self):
+        """After an explicit drain the per-session decisions equal the
+        reference decisions at the same stream positions."""
+        model = make_model("rotary")
+        streams, events = multi_stream_events(seed=11, num_events=200)
+        cut = 120
+        engines = {
+            stream_id: OnlineClassificationEngine(model, SPEC, engine_config())
+            for stream_id in streams
+        }
+        for event in events[:cut]:
+            engines[event.source].offer(event)
+
+        cluster = ServingCluster(
+            model,
+            SPEC,
+            ClusterConfig(num_shards=2, batch_size=8, engine=engine_config()),
+        )
+        cluster.consume(events[:cut])
+        cluster.drain()
+        for stream_id in streams:
+            session = cluster.session(stream_id)
+            reference = engines[stream_id]
+            got = {} if session is None else session.decisions
+            assert set(got) == set(reference.decisions), stream_id
+            for key, decision in reference.decisions.items():
+                assert got[key].predicted == decision.predicted
+
+    def test_expire_parity_with_idle_timeout(self):
+        """cluster.expire() (drain + per-session expiry) matches engines."""
+        model = make_model("rotary")
+        rng = np.random.default_rng(5)
+        streams = [f"stream-{i}" for i in range(4)]
+        events = []
+        clock = 0.0
+        for _ in range(160):
+            clock += float(rng.integers(1, 8)) if rng.random() < 0.2 else 1.0
+            stream_id = streams[int(rng.integers(len(streams)))]
+            item = Item(
+                f"k{rng.integers(3)}", (int(rng.integers(8)), int(rng.integers(2))), clock
+            )
+            events.append(StreamEvent(time=clock, item=item, source=stream_id))
+        expire_positions = {40, 90, 130}
+        overrides = dict(idle_timeout=6.0)
+        _, expected = reference_decisions(
+            model, streams, events, expire_positions=expire_positions, **overrides
+        )
+        cluster = ServingCluster(
+            model,
+            SPEC,
+            ClusterConfig(num_shards=2, batch_size=4, engine=engine_config(**overrides)),
+        )
+        emitted = []
+        for position, event in enumerate(events):
+            emitted.extend(cluster.submit(event))
+            if position in expire_positions:
+                emitted.extend(cluster.expire())
+        emitted.extend(cluster.flush())
+        assert_stream_parity(by_stream(emitted, streams), expected)
+
+
+class TestSnapshotRestore:
+    def test_restore_replays_identically(self):
+        model = make_model("rotary")
+        streams, events = multi_stream_events(seed=23, num_events=240)
+        cut = 140
+        cluster = ServingCluster(
+            model,
+            SPEC,
+            ClusterConfig(num_shards=2, batch_size=4, engine=engine_config()),
+        )
+        cluster.consume(events[:cut])
+        snapshot = cluster.snapshot()
+
+        first = cluster.consume(events[cut:])
+        first.extend(cluster.flush())
+
+        cluster.restore(snapshot)
+        second = cluster.consume(events[cut:])
+        second.extend(cluster.flush())
+
+        assert [(d.stream_id, d.decision.key) for d in first] == [
+            (d.stream_id, d.decision.key) for d in second
+        ]
+        for a, b in zip(first, second):
+            assert a.decision.predicted == b.decision.predicted
+            assert a.decision.confidence == b.decision.confidence
+            assert a.decision.observations == b.decision.observations
+
+    def test_snapshot_does_not_disturb_serving(self):
+        model = make_model("absolute")
+        streams, events = multi_stream_events(seed=29, num_events=160)
+
+        def serve(with_snapshot):
+            cluster = ServingCluster(
+                model, SPEC, ClusterConfig(num_shards=2, batch_size=4, engine=engine_config())
+            )
+            emitted = []
+            for position, event in enumerate(events):
+                emitted.extend(cluster.submit(event))
+                if with_snapshot and position == 80:
+                    cluster.snapshot()
+            emitted.extend(cluster.flush())
+            return [(d.stream_id, d.decision.key, d.decision.predicted) for d in emitted]
+
+        assert serve(False) == serve(True)
+
+    def test_snapshot_reusable_twice(self):
+        model = make_model("rotary")
+        streams, events = multi_stream_events(seed=31, num_events=120)
+        cluster = ServingCluster(
+            model, SPEC, ClusterConfig(num_shards=2, engine=engine_config())
+        )
+        cluster.consume(events[:60])
+        snapshot = cluster.snapshot()
+        results = []
+        for _ in range(2):
+            cluster.restore(snapshot)
+            emitted = cluster.consume(events[60:])
+            emitted.extend(cluster.flush())
+            results.append([(d.stream_id, d.decision.key) for d in emitted])
+        assert results[0] == results[1]
+
+    def test_restore_rejects_shard_mismatch(self):
+        model = make_model("rotary")
+        cluster2 = ServingCluster(model, SPEC, ClusterConfig(num_shards=2))
+        cluster4 = ServingCluster(model, SPEC, ClusterConfig(num_shards=4))
+        with pytest.raises(ValueError, match="shards"):
+            cluster4.restore(cluster2.snapshot())
+
+
+class TestAdmissionControl:
+    def _event(self, position):
+        return StreamEvent(
+            time=float(position),
+            item=Item(f"k{position % 3}", (position % 8, position % 2), float(position)),
+            source=f"stream-{position % 5}",
+        )
+
+    def test_reject_policy_raises_when_full(self):
+        cluster = ServingCluster(
+            make_model("rotary"),
+            SPEC,
+            ClusterConfig(
+                num_shards=1, max_queue=3, overflow="reject", auto_drain=False
+            ),
+        )
+        for position in range(3):
+            cluster.submit(self._event(position))
+        with pytest.raises(ShardOverloadError):
+            cluster.submit(self._event(3))
+        assert cluster.stats()["rejected"] == 1
+
+    def test_shed_policy_drops_newest(self):
+        cluster = ServingCluster(
+            make_model("rotary"),
+            SPEC,
+            ClusterConfig(num_shards=1, max_queue=3, overflow="shed", auto_drain=False),
+        )
+        for position in range(10):
+            cluster.submit(self._event(position))
+        stats = cluster.stats()
+        assert stats["shed"] == 7
+        assert stats["queue_depths"] == [3]
+        cluster.drain()
+        assert cluster.stats()["drained"] == 3
+
+    def test_drain_policy_applies_backpressure(self):
+        cluster = ServingCluster(
+            make_model("rotary"),
+            SPEC,
+            ClusterConfig(
+                num_shards=1,
+                max_queue=3,
+                batch_size=2,
+                overflow="drain",
+                auto_drain=False,
+            ),
+        )
+        for position in range(12):
+            cluster.submit(self._event(position))
+        stats = cluster.stats()
+        assert stats["shed"] == 0 and stats["rejected"] == 0
+        assert stats["queue_depths"][0] <= 3
+        cluster.drain()
+        assert cluster.stats()["drained"] == 12
+
+    def test_auto_drain_keeps_queues_below_batch_size(self):
+        cluster = ServingCluster(
+            make_model("rotary"),
+            SPEC,
+            ClusterConfig(num_shards=2, batch_size=4, engine=engine_config()),
+        )
+        streams, events = multi_stream_events(seed=3, num_events=100)
+        for event in events:
+            cluster.submit(event)
+            assert all(depth < 4 for depth in cluster.stats()["queue_depths"])
+
+
+class TestRoutingAndBatching:
+    def test_routing_is_stable_and_deterministic(self):
+        cluster = ServingCluster(make_model("rotary"), SPEC, ClusterConfig(num_shards=4))
+        for stream_id in (f"stream-{i}" for i in range(20)):
+            expected = stable_key_slot(stream_id, 4)
+            assert cluster.shard_index(stream_id) == expected
+            assert cluster.shard_of(stream_id) is cluster.shards[expected]
+
+    def test_sessions_live_on_their_routed_shard(self):
+        cluster = ServingCluster(
+            make_model("rotary"), SPEC, ClusterConfig(num_shards=4, engine=engine_config())
+        )
+        streams, events = multi_stream_events(seed=13, num_events=80)
+        cluster.consume(events)
+        cluster.drain()
+        for stream_id, _ in cluster.sessions():
+            shard = cluster.shard_of(stream_id)
+            assert stream_id in shard.sessions
+
+    def test_batching_counters_track_cross_stream_rounds(self):
+        streams, events = multi_stream_events(seed=17, num_events=200)
+        batched = ServingCluster(
+            make_model("rotary"),
+            SPEC,
+            ClusterConfig(num_shards=1, batch_size=4, batched=True, engine=engine_config()),
+        )
+        batched.consume(events)
+        batched.flush()
+        stats = batched.stats()
+        assert stats["batch_rounds"] > 0
+        assert stats["batched_rows"] >= 2 * stats["batch_rounds"]
+        assert stats["drained"] == len(events)
+
+    def test_engine_facade_is_a_stream_session(self):
+        engine = OnlineClassificationEngine(make_model("rotary"), SPEC, engine_config())
+        assert isinstance(engine, StreamSession)
+
+    def test_hot_stream_backlog_drains_in_fifo_parity(self):
+        """A queue dominated by one hot stream (only one arrival of it can
+        encode per round) must still drain every arrival in per-stream FIFO
+        order and match the sequential reference engines."""
+        model = make_model("rotary")
+        rng = np.random.default_rng(37)
+        events = []
+        clock = 0.0
+        for position in range(120):
+            clock += 1.0
+            # ~80% of traffic on the hot stream, the rest on three cold ones.
+            stream_id = "hot" if rng.random() < 0.8 else f"cold-{rng.integers(3)}"
+            item = Item(
+                f"k{rng.integers(3)}", (int(rng.integers(8)), int(rng.integers(2))), clock
+            )
+            events.append(StreamEvent(time=clock, item=item, source=stream_id))
+        streams = sorted({event.source for event in events})
+        _, expected = reference_decisions(model, streams, events)
+
+        cluster = ServingCluster(
+            model,
+            SPEC,
+            ClusterConfig(
+                num_shards=1,
+                batch_size=4,
+                max_queue=500,
+                auto_drain=False,
+                engine=engine_config(),
+            ),
+        )
+        for event in events:
+            cluster.submit(event)
+        emitted = cluster.drain()
+        emitted.extend(cluster.flush())
+        assert_stream_parity(by_stream(emitted, streams), expected)
+        assert cluster.stats()["drained"] == len(events)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.serving.engine import Decision
-from repro.serving.monitoring import DecisionMonitor, ThroughputMeter
+from repro.serving.monitoring import DecisionMonitor, MonitorSnapshot, ThroughputMeter
 
 
 def make_decision(key, predicted, observations=3, confidence=0.8, halted=True):
@@ -71,6 +71,89 @@ class TestDecisionMonitor:
         assert monitor.accuracy == 0.0
         assert monitor.earliness == 0.0
         assert monitor.mean_observations == 0.0
+
+
+class TestMergeAndSnapshot:
+    """Per-shard monitors must aggregate into an exact cluster-level view."""
+
+    def _shard_monitors(self):
+        labels = {"a": 1, "b": 0, "c": 1, "d": 0}
+        lengths = {"a": 10, "b": 10, "c": 5, "d": 8}
+        shard0 = DecisionMonitor(labels=labels, sequence_lengths=lengths)
+        shard1 = DecisionMonitor(labels=labels, sequence_lengths=lengths)
+        shard0.observe(make_decision("a", 1, observations=2))
+        shard0.observe(make_decision("b", 1, observations=5, halted=False))
+        shard1.observe(make_decision("c", 1, observations=3))
+        shard1.observe(make_decision("d", 0, observations=4))
+        shard1.observe(make_decision("unlabelled", 0))
+        return labels, lengths, shard0, shard1
+
+    def _global_monitor(self):
+        labels, lengths, shard0, shard1 = self._shard_monitors()
+        monitor = DecisionMonitor(labels=labels, sequence_lengths=lengths)
+        monitor.observe(make_decision("a", 1, observations=2))
+        monitor.observe(make_decision("b", 1, observations=5, halted=False))
+        monitor.observe(make_decision("c", 1, observations=3))
+        monitor.observe(make_decision("d", 0, observations=4))
+        monitor.observe(make_decision("unlabelled", 0))
+        return monitor
+
+    def test_merged_equals_single_global_monitor(self):
+        _, _, shard0, shard1 = self._shard_monitors()
+        merged = DecisionMonitor.merged([shard0, shard1])
+        reference = self._global_monitor()
+        assert merged.num_decisions == reference.num_decisions
+        assert merged.num_with_labels == reference.num_with_labels
+        assert merged.accuracy == pytest.approx(reference.accuracy)
+        assert merged.earliness == pytest.approx(reference.earliness)
+        assert merged.harmonic_mean == pytest.approx(reference.harmonic_mean)
+        assert merged.mean_confidence == pytest.approx(reference.mean_confidence)
+        assert merged.policy_halt_fraction == pytest.approx(
+            reference.policy_halt_fraction
+        )
+        for label in reference.per_class:
+            assert merged.per_class[label].decided == reference.per_class[label].decided
+            assert merged.per_class[label].correct == reference.per_class[label].correct
+        assert len(merged.records()) == len(reference.records())
+
+    def test_merge_returns_self_and_chains(self):
+        _, _, shard0, shard1 = self._shard_monitors()
+        merged = DecisionMonitor().merge(shard0).merge(shard1)
+        assert merged.num_decisions == 5
+
+    def test_merge_shares_no_mutable_state(self):
+        _, _, shard0, shard1 = self._shard_monitors()
+        merged = DecisionMonitor.merged([shard0, shard1])
+        before = shard0.per_class[1].decided
+        merged.observe(make_decision("a", 0))
+        merged.per_class[1].decided += 100
+        assert shard0.per_class[1].decided == before
+        assert shard0.num_decisions == 2
+        # ...and the sources keep observing without affecting the merge.
+        shard1.observe(make_decision("x", 0))
+        assert merged.num_decisions == 6  # only the decision observed above
+
+    def test_merged_records_are_copies(self):
+        _, _, shard0, shard1 = self._shard_monitors()
+        merged = DecisionMonitor.merged([shard0, shard1])
+        merged_record = merged.records()[0]
+        original = shard0.records()[0]
+        assert merged_record == original
+        merged_record.predicted = 99
+        assert shard0.records()[0].predicted != 99
+
+    def test_snapshot_is_immutable_summary(self):
+        _, _, shard0, _ = self._shard_monitors()
+        snapshot = shard0.snapshot()
+        assert isinstance(snapshot, MonitorSnapshot)
+        assert snapshot.num_decisions == 2
+        assert snapshot.accuracy == pytest.approx(shard0.accuracy)
+        assert snapshot.per_class[1] == (1, 1)
+        with pytest.raises(AttributeError):
+            snapshot.num_decisions = 7
+        # Later observations do not retroactively change the snapshot.
+        shard0.observe(make_decision("c", 1))
+        assert snapshot.num_decisions == 2
 
 
 class TestThroughputMeter:

@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.data.items import Item, KeyValueSequence, ValueSpec
-from repro.serving.simulator import ArrivalSimulator, SimulatorConfig
+from repro.serving.simulator import (
+    ArrivalSimulator,
+    MultiStreamConfig,
+    MultiStreamSimulator,
+    SimulatorConfig,
+)
 
 SPEC = ValueSpec(("v", "d"), (4, 2), 1)
 
@@ -87,3 +92,136 @@ class TestArrivalSimulator:
         assert len(profile) == 11
         assert all(active >= 0 for _, active in profile)
         assert max(active for _, active in profile) == simulator.peak_concurrency()
+
+
+class TestMaxActiveHeadOfLine:
+    """FIFO c-server semantics of the fixed max_active admission."""
+
+    def _starts(self, simulator):
+        return [entry.start for entry in simulator._schedule]
+
+    def test_delayed_keys_consume_distinct_releases(self):
+        """Every delayed key starts exactly at one earlier key's end, and no
+        two delayed keys share a start — the old implementation piled the
+        whole busy-period backlog onto the same release tick."""
+        pool = make_pool(num=20, length=8)
+        config = SimulatorConfig(arrival_rate=50.0, max_active=3, seed=0)
+        simulator = ArrivalSimulator(pool, config)
+        schedule = simulator._schedule
+        ends = set()
+        delayed_starts = []
+        for rank, entry in enumerate(schedule):
+            if rank >= config.max_active:
+                delayed_starts.append(entry.start)
+                assert entry.start in ends, "a delayed key must start on a release"
+            ends.add(entry.end)
+        assert len(set(delayed_starts)) == len(delayed_starts)
+
+    def test_arrival_process_not_distorted_by_waiting(self):
+        """Keys admitted without waiting keep the start times of the
+        unbounded run: waiting must never advance the Poisson arrival clock
+        (the head-of-line bug serialized every later arrival after a busy
+        period)."""
+        pool = make_pool(num=16, length=6)
+        free = ArrivalSimulator(pool, SimulatorConfig(arrival_rate=5.0, seed=2))
+        bounded = ArrivalSimulator(
+            pool, SimulatorConfig(arrival_rate=5.0, max_active=2, seed=2)
+        )
+        for unbounded_entry, bounded_entry in zip(free._schedule, bounded._schedule):
+            assert bounded_entry.key == unbounded_entry.key
+            # A bounded start is either the undistorted arrival time or a
+            # strictly later slot release — never earlier.
+            assert bounded_entry.start >= unbounded_entry.start - 1e-12
+
+    def test_still_bounds_concurrency(self):
+        pool = make_pool(num=24, length=10)
+        simulator = ArrivalSimulator(
+            pool, SimulatorConfig(arrival_rate=100.0, max_active=4, seed=1)
+        )
+        assert simulator.peak_concurrency() <= 4
+
+
+class TestKeySkew:
+    def test_rejects_negative_skew(self):
+        with pytest.raises(ValueError):
+            SimulatorConfig(key_skew=-0.5)
+
+    def test_zero_skew_matches_default(self):
+        pool = make_pool(num=8, length=4)
+        plain = ArrivalSimulator(pool, SimulatorConfig(seed=4))
+        explicit = ArrivalSimulator(pool, SimulatorConfig(seed=4, key_skew=0.0))
+        assert [e.time for e in plain.events()] == [e.time for e in explicit.events()]
+
+    def test_hot_head_starts_faster_than_cold_tail(self):
+        """Zipf skew compresses the hot head of the start order and spreads
+        the cold tail: early-rank start gaps must be smaller on average."""
+        pool = make_pool(num=40, length=3)
+        simulator = ArrivalSimulator(
+            pool, SimulatorConfig(arrival_rate=1.0, key_skew=2.0, seed=0)
+        )
+        starts = [entry.start for entry in simulator._schedule]
+        gaps = np.diff(starts)
+        head = gaps[: len(gaps) // 4]
+        tail = gaps[-len(gaps) // 4 :]
+        assert head.mean() < tail.mean() / 10
+
+    def test_deterministic_given_seed(self):
+        pool = make_pool(num=10, length=3)
+        config = SimulatorConfig(key_skew=1.5, seed=9)
+        first = [e.time for e in ArrivalSimulator(pool, config).events()]
+        second = [e.time for e in ArrivalSimulator(pool, config).events()]
+        assert first == second
+
+
+class TestMultiStreamSimulator:
+    def test_partition_is_complete_and_disjoint(self):
+        pool = make_pool(num=24, length=3)
+        simulator = MultiStreamSimulator(pool, MultiStreamConfig(num_streams=4))
+        stream_of = simulator.stream_of
+        assert set(stream_of) == {sequence.key for sequence in pool}
+        assert sum(simulator.stream_share.values()) == len(pool)
+
+    def test_events_are_source_tagged_and_chronological(self):
+        pool = make_pool(num=12, length=4)
+        simulator = MultiStreamSimulator(pool, MultiStreamConfig(num_streams=3))
+        events = list(simulator.events())
+        assert len(events) == 12 * 4
+        times = [event.time for event in events]
+        assert times == sorted(times)
+        stream_of = simulator.stream_of
+        for event in events:
+            assert event.source == stream_of[event.key]
+
+    def test_deterministic_given_seed(self):
+        pool = make_pool(num=10, length=3)
+        config = MultiStreamConfig(num_streams=3, simulator=SimulatorConfig(seed=7))
+        first = [(e.time, e.key, e.source) for e in MultiStreamSimulator(pool, config).events()]
+        second = [(e.time, e.key, e.source) for e in MultiStreamSimulator(pool, config).events()]
+        assert first == second
+
+    def test_stream_skew_concentrates_traffic(self):
+        pool = make_pool(num=60, length=2)
+        uniform = MultiStreamSimulator(
+            pool, MultiStreamConfig(num_streams=6, stream_skew=0.0)
+        )
+        skewed = MultiStreamSimulator(
+            pool, MultiStreamConfig(num_streams=6, stream_skew=2.0)
+        )
+        assert max(skewed.stream_share.values()) > max(uniform.stream_share.values())
+
+    def test_labels_and_lengths_union(self):
+        pool = make_pool(num=9, length=5)
+        simulator = MultiStreamSimulator(pool, MultiStreamConfig(num_streams=3))
+        assert simulator.labels == {sequence.key: sequence.label for sequence in pool}
+        assert simulator.sequence_lengths == {sequence.key: 5 for sequence in pool}
+
+    def test_rejects_duplicate_keys(self):
+        pool = [make_sequence("dup", 3), make_sequence("dup", 4)]
+        with pytest.raises(ValueError, match="unique"):
+            MultiStreamSimulator(pool)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            MultiStreamConfig(num_streams=0)
+        with pytest.raises(ValueError):
+            MultiStreamConfig(stream_skew=-1.0)
