@@ -37,7 +37,22 @@ from repro.serving.engine import (
     OnlineClassificationEngine,
     StreamSession,
 )
-from repro.serving.monitoring import DecisionMonitor, MonitorSnapshot, ThroughputMeter
+from repro.serving.monitoring import (
+    DecisionMonitor,
+    HistogramSnapshot,
+    Log2Histogram,
+    MonitorSnapshot,
+    ShardMonitor,
+    ShardMonitorSnapshot,
+    ThroughputMeter,
+)
+from repro.serving.parallel import (
+    AdaptiveBatchConfig,
+    AdaptiveBatchController,
+    SerialExecutor,
+    ShardExecutor,
+    ThreadExecutor,
+)
 from repro.serving.simulator import (
     ArrivalSimulator,
     MultiStreamConfig,
@@ -56,11 +71,20 @@ __all__ = [
     "ShardOverloadError",
     "ShardWorker",
     "StreamDecision",
+    "ShardExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "AdaptiveBatchConfig",
+    "AdaptiveBatchController",
     "ArrivalSimulator",
     "SimulatorConfig",
     "MultiStreamConfig",
     "MultiStreamSimulator",
     "DecisionMonitor",
     "MonitorSnapshot",
+    "Log2Histogram",
+    "HistogramSnapshot",
+    "ShardMonitor",
+    "ShardMonitorSnapshot",
     "ThroughputMeter",
 ]

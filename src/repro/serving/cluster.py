@@ -27,20 +27,54 @@ to many concurrent streams:
   :meth:`~ServingCluster.flush`, :meth:`~ServingCluster.expire`,
   :meth:`~ServingCluster.snapshot` and :meth:`~ServingCluster.restore`.
 
+Execution backends (:mod:`repro.serving.parallel`): with
+``ClusterConfig.executor="serial"`` every shard runs inline on the calling
+thread (the reference behaviour).  With ``executor="thread"`` the cluster
+owns a persistent worker pool in which **every shard is pinned to one
+worker thread**: cluster-level :meth:`~ServingCluster.drain`,
+:meth:`~ServingCluster.flush` and :meth:`~ServingCluster.expire` fan their
+per-shard work out across the pool and run shards concurrently (numpy
+releases the GIL inside the batched GEMMs), while per-shard results are
+merged back in stable (shard index, round, intra-round) order — the emitted
+decision sequence is identical to the serial backend's, which the parity
+suite pins.  Submission-path rounds (``auto_drain`` triggers and ``"drain"``
+overflow backpressure) are dispatched to the owning shard's pinned worker
+and waited on, so session state never crosses threads even on the submit
+path.  Drain-round width is either the fixed ``batch_size`` or, with
+``batch_size="auto"``, chosen per shard by an
+:class:`~repro.serving.parallel.AdaptiveBatchController` from the observed
+backlog and per-round latency EWMA (hot shards batch wide, cold shards stay
+at per-arrival latency).
+
 Snapshots are deep copies of every shard's sessions, queues and counters
 that *share* the (immutable at serving time) model weights: taking one does
 not stop the cluster, restoring one rewinds it bit-for-bit, and a snapshot
 can be restored any number of times — the basis for failover and shard
-migration experiments.
+migration experiments.  Adaptive-batch controller state is runtime tuning,
+not serving state: a restore resets it (round widths never affect which
+decisions are emitted, so replays stay exact).
 """
 
 from __future__ import annotations
 
 import copy
 import heapq
+import threading
+import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+from functools import partial
+from typing import (
+    Deque,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -49,6 +83,14 @@ from repro.core.incremental import append_batch
 from repro.data.items import ValueSpec
 from repro.data.stream import StreamEvent
 from repro.serving.engine import Decision, EngineConfig, StreamSession
+from repro.serving.monitoring import ShardMonitor
+from repro.serving.parallel import (
+    AdaptiveBatchConfig,
+    AdaptiveBatchController,
+    SerialExecutor,
+    ShardExecutor,
+    make_executor,
+)
 
 
 class ShardOverloadError(RuntimeError):
@@ -80,6 +122,15 @@ class ClusterConfig:
     batch_size:
         Maximum arrivals drained per round — the cap on the cross-stream
         encoding batch.  ``1`` degenerates to the serial per-arrival loop.
+        The string ``"auto"`` enables per-shard adaptive sizing: each
+        shard's :class:`~repro.serving.parallel.AdaptiveBatchController`
+        widens rounds from observed backlog and narrows them under the
+        ``adaptive`` latency budget.  Requires ``auto_drain=False`` (drain
+        scheduling): synchronous auto-drain serves every arrival the moment
+        the queue reaches the current width, so no backlog can ever form
+        and the controller would be pinned at its width floor — per-arrival
+        GEMV serving with none of the cross-stream batching.  Rejected at
+        construction instead of degrading silently.
     max_queue:
         Bound of each shard's arrival queue; admission control engages when
         an arrival finds the queue at this depth.
@@ -93,44 +144,86 @@ class ClusterConfig:
         encodable arrivals.  Off means every session encodes serially —
         same decisions, batch-level BLAS throughput forfeited.
     auto_drain:
-        Drain whenever a shard's queue reaches ``batch_size`` (the default
-        synchronous serving mode).  When off, arrivals only queue and the
-        caller schedules :meth:`ServingCluster.drain` explicitly.
+        Drain whenever a shard's queue reaches the current round width (the
+        default synchronous serving mode).  When off, arrivals only queue
+        and the caller schedules :meth:`ServingCluster.drain` explicitly —
+        the pattern that lets the thread executor overlap shards.
+    executor:
+        Execution backend: ``"serial"`` runs every shard inline on the
+        caller (the reference), ``"thread"`` pins each shard to a worker
+        thread of a persistent pool and runs cluster-level drain / flush /
+        expire rounds concurrently across shards.
+    num_workers:
+        Thread-pool size for ``executor="thread"`` (capped at
+        ``num_shards``; default one worker per shard).  Ignored by the
+        serial backend.
+    adaptive:
+        Controller knobs used when ``batch_size="auto"``
+        (:class:`~repro.serving.parallel.AdaptiveBatchConfig`).
     engine:
         Per-stream :class:`~repro.serving.engine.EngineConfig` shared by
         every session the cluster creates.
     """
 
     num_shards: int = 1
-    batch_size: int = 8
+    batch_size: Union[int, str] = 8
     max_queue: int = 1024
     overflow: str = "drain"
     batched: bool = True
     auto_drain: bool = True
+    executor: str = "serial"
+    num_workers: Optional[int] = None
+    adaptive: AdaptiveBatchConfig = field(default_factory=AdaptiveBatchConfig)
     engine: EngineConfig = field(default_factory=EngineConfig)
 
     def __post_init__(self) -> None:
         if self.num_shards <= 0:
             raise ValueError("num_shards must be positive")
-        if self.batch_size <= 0:
-            raise ValueError("batch_size must be positive")
+        if self.batch_size == "auto":
+            if self.auto_drain:
+                raise ValueError(
+                    "batch_size='auto' requires auto_drain=False: synchronous "
+                    "auto-drain never lets a backlog form, so the adaptive "
+                    "controller would be stuck at its width floor (per-arrival "
+                    "serving); schedule explicit drain()/flush() calls instead"
+                )
+        elif not isinstance(self.batch_size, int) or self.batch_size <= 0:
+            raise ValueError("batch_size must be a positive int or 'auto'")
         if self.max_queue <= 0:
             raise ValueError("max_queue must be positive")
         if self.overflow not in ("drain", "reject", "shed"):
             raise ValueError(f"unknown overflow policy {self.overflow!r}")
+        if self.executor not in ("serial", "thread"):
+            raise ValueError(f"unknown executor backend {self.executor!r}")
+        if self.num_workers is not None and self.num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+
+    @property
+    def adaptive_batching(self) -> bool:
+        """Whether drain-round widths are controller-driven."""
+        return self.batch_size == "auto"
 
 
 class ShardWorker:
     """Many stream sessions plus the bounded queue feeding them.
 
-    A worker is single-threaded and deterministic: rounds process queued
-    arrivals in FIFO order (restricted to the first pending arrival of each
-    stream), so for a fixed submission sequence the emitted decisions are a
-    fixed sequence too.
+    Session state is single-threaded and deterministic: rounds process
+    queued arrivals in FIFO order (restricted to the first pending arrival
+    of each stream), so for a fixed submission sequence the emitted
+    decisions are a fixed sequence too.  Under the thread executor all
+    rounds run on the shard's pinned worker thread (callers dispatch and
+    wait), so sessions, monitors and counters are still touched by exactly
+    one thread; only the arrival queue is shared with submitters and is
+    guarded by a lock.
     """
 
     def __init__(
-        self, shard_id: int, model, spec: ValueSpec, config: ClusterConfig
+        self,
+        shard_id: int,
+        model,
+        spec: ValueSpec,
+        config: ClusterConfig,
+        executor: Optional[ShardExecutor] = None,
     ) -> None:
         self.shard_id = shard_id
         self.model = model
@@ -148,6 +241,20 @@ class ShardWorker:
         self._ready: List[Tuple[int, Hashable]] = []
         self._queue_length = 0
         self._seq = 0
+        #: Guards the arrival queue (submitters enqueue from the caller
+        #: thread while the pinned worker dequeues rounds).
+        self._lock = threading.Lock()
+        #: Execution backend; a standalone worker (outside a cluster) runs
+        #: everything inline on the caller.
+        self._executor: ShardExecutor = executor or SerialExecutor()
+        #: Round-width policy: fixed ``batch_size`` or adaptive controller.
+        self.controller = (
+            AdaptiveBatchController(config.adaptive)
+            if config.adaptive_batching
+            else None
+        )
+        #: Drain-round telemetry (queue depth + round latency histograms).
+        self.monitor = ShardMonitor()
         #: Admission-control counters.
         self.rejected = 0
         self.shed = 0
@@ -169,12 +276,23 @@ class ShardWorker:
 
     @property
     def queue_depth(self) -> int:
-        return self._queue_length
+        with self._lock:
+            return self._queue_length
+
+    def round_width(self) -> int:
+        """Arrivals the next drain round will attempt (fixed or adaptive)."""
+        if self.controller is not None:
+            return self.controller.width
+        return self.config.batch_size
+
+    def _run_pinned(self, fn):
+        """Run shard work with shard affinity on the execution backend."""
+        return self._executor.run(self.shard_id, fn)
 
     # ------------------------------------------------------------------ #
     # ingestion
     # ------------------------------------------------------------------ #
-    def _enqueue(self, stream_id: Hashable, event: StreamEvent) -> None:
+    def _enqueue_locked(self, stream_id: Hashable, event: StreamEvent) -> None:
         queue = self._pending.get(stream_id)
         if queue is None:
             queue = self._pending[stream_id] = deque()
@@ -186,41 +304,56 @@ class ShardWorker:
 
     def pending_entries(self) -> List[Tuple[Hashable, StreamEvent]]:
         """Every queued arrival in global FIFO order (snapshot format)."""
-        entries = [
-            (seq, stream_id, event)
-            for stream_id, queue in self._pending.items()
-            for seq, event in queue
-        ]
+        with self._lock:
+            entries = [
+                (seq, stream_id, event)
+                for stream_id, queue in self._pending.items()
+                for seq, event in queue
+            ]
         entries.sort(key=lambda entry: entry[0])
         return [(stream_id, event) for _, stream_id, event in entries]
 
     def load_pending(self, entries: List[Tuple[Hashable, StreamEvent]]) -> None:
         """Replace the queue contents (``entries`` in global FIFO order)."""
-        self._pending = {}
-        self._ready = []
-        self._queue_length = 0
-        self._seq = 0
-        for stream_id, event in entries:
-            self._enqueue(stream_id, event)
+        with self._lock:
+            self._pending = {}
+            self._ready = []
+            self._queue_length = 0
+            self._seq = 0
+            for stream_id, event in entries:
+                self._enqueue_locked(stream_id, event)
 
     def submit(self, stream_id: Hashable, event: StreamEvent) -> List[StreamDecision]:
-        """Queue one arrival; returns decisions any triggered drain emitted."""
+        """Queue one arrival; returns decisions any triggered drain emitted.
+
+        Admission control and the enqueue happen under the queue lock on the
+        calling thread; any round this submission triggers (``"drain"``
+        overflow backpressure, ``auto_drain``) is executed with shard
+        affinity — inline for the serial backend, dispatched to the shard's
+        pinned worker and waited on for the thread backend — so the emitted
+        decisions and their order are backend-independent.
+        """
         emitted: List[StreamDecision] = []
-        if self._queue_length >= self.config.max_queue:
-            if self.config.overflow == "reject":
-                self.rejected += 1
-                raise ShardOverloadError(
-                    f"shard {self.shard_id} queue is full "
-                    f"({self.config.max_queue} arrivals)"
-                )
-            if self.config.overflow == "shed":
-                self.shed += 1
-                return emitted
-            emitted.extend(self._drain_round())
-        self._enqueue(stream_id, event)
+        while True:
+            with self._lock:
+                if self._queue_length < self.config.max_queue:
+                    self._enqueue_locked(stream_id, event)
+                    break
+                if self.config.overflow == "reject":
+                    self.rejected += 1
+                    raise ShardOverloadError(
+                        f"shard {self.shard_id} queue is full "
+                        f"({self.config.max_queue} arrivals)"
+                    )
+                if self.config.overflow == "shed":
+                    self.shed += 1
+                    return emitted
+            # overflow == "drain": synchronous backpressure — do one round of
+            # work now (a full queue is non-empty, so the round frees >= 1).
+            emitted.extend(self._run_pinned(self._drain_round))
         if self.config.auto_drain:
-            while self._queue_length >= self.config.batch_size:
-                emitted.extend(self._drain_round())
+            while self.queue_depth >= self.round_width():
+                emitted.extend(self._run_pinned(self._drain_round))
         return emitted
 
     # ------------------------------------------------------------------ #
@@ -228,32 +361,46 @@ class ShardWorker:
     # ------------------------------------------------------------------ #
     def drain(self) -> List[StreamDecision]:
         """Process every queued arrival; returns the decisions in order."""
+        return self._run_pinned(self._drain_inline)
+
+    def _drain_inline(self) -> List[StreamDecision]:
+        """Round loop body of :meth:`drain`, already running with affinity."""
         emitted: List[StreamDecision] = []
-        while self._queue_length:
+        while self.queue_depth:
             emitted.extend(self._drain_round())
         return emitted
 
     def _drain_round(self) -> List[StreamDecision]:
-        """Dequeue ≤ ``batch_size`` arrivals (one per stream) and serve them.
+        """Dequeue one round of arrivals (one per stream) and serve them.
 
         Streams enter the round in the order of their oldest queued arrival;
         same-stream followers stay queued for a later round, because a
-        session can only encode one pending arrival at a time.  The
-        encodable rows of the round run as one cross-stream batch when
-        enabled.
+        session can only encode one pending arrival at a time.  The round
+        width is the fixed ``batch_size`` or the adaptive controller's
+        current pick — width only schedules work: it never changes which
+        decisions are emitted or any stream's decision sequence (it does
+        pick how decisions of *different* streams interleave, see
+        :mod:`repro.serving.parallel`).  The encodable rows of the round
+        run as one cross-stream batch when enabled.
         """
+        start = time.perf_counter()
+        width = self.round_width()
         round_entries: List[Tuple[Hashable, StreamEvent]] = []
-        while self._ready and len(round_entries) < self.config.batch_size:
-            _, stream_id = heapq.heappop(self._ready)
-            _, event = self._pending[stream_id].popleft()
-            round_entries.append((stream_id, event))
-        for stream_id, _ in round_entries:
-            queue = self._pending[stream_id]
-            if queue:
-                heapq.heappush(self._ready, (queue[0][0], stream_id))
-            else:
-                del self._pending[stream_id]
-        self._queue_length -= len(round_entries)
+        with self._lock:
+            depth_before = self._queue_length
+            while self._ready and len(round_entries) < width:
+                _, stream_id = heapq.heappop(self._ready)
+                _, event = self._pending[stream_id].popleft()
+                round_entries.append((stream_id, event))
+            for stream_id, _ in round_entries:
+                queue = self._pending[stream_id]
+                if queue:
+                    heapq.heappush(self._ready, (queue[0][0], stream_id))
+                else:
+                    del self._pending[stream_id]
+            self._queue_length -= len(round_entries)
+        if not round_entries:
+            return []
 
         staged = [
             (stream_id, event, self.session(stream_id))
@@ -285,6 +432,11 @@ class ShardWorker:
             for decision in session._complete_offer(event):
                 emitted.append(StreamDecision(stream_id, self.shard_id, decision))
         self.drained += len(staged)
+
+        elapsed_ms = (time.perf_counter() - start) * 1e3
+        self.monitor.observe_round(depth_before, len(staged), elapsed_ms)
+        if self.controller is not None:
+            self.controller.observe_round(self.queue_depth, len(staged), elapsed_ms)
         return emitted
 
     # ------------------------------------------------------------------ #
@@ -292,7 +444,10 @@ class ShardWorker:
     # ------------------------------------------------------------------ #
     def flush(self) -> List[StreamDecision]:
         """Drain, then force-decide every session's undecided keys."""
-        emitted = self.drain()
+        return self._run_pinned(self._flush_inline)
+
+    def _flush_inline(self) -> List[StreamDecision]:
+        emitted = self._drain_inline()
         for stream_id, session in self.sessions.items():
             for decision in session.flush():
                 emitted.append(StreamDecision(stream_id, self.shard_id, decision))
@@ -300,7 +455,10 @@ class ShardWorker:
 
     def expire(self, now: Optional[float] = None) -> List[StreamDecision]:
         """Drain, then apply idle-timeout expiry to every session."""
-        emitted = self.drain()
+        return self._run_pinned(partial(self._expire_inline, now))
+
+    def _expire_inline(self, now: Optional[float] = None) -> List[StreamDecision]:
+        emitted = self._drain_inline()
         for stream_id, session in self.sessions.items():
             for decision in session.expire(now):
                 emitted.append(StreamDecision(stream_id, self.shard_id, decision))
@@ -331,9 +489,12 @@ class ServingCluster:
     each arrival to its stream's shard (stable CRC32 bucketing — the same
     stream always lands on the same shard, across processes and restarts),
     shards batch-encode their queues, and ``flush`` / ``expire`` fan out to
-    every session.  All work happens synchronously on the calling thread;
-    sharding bounds per-shard state and queue depth and gives each batch
-    round more concurrent streams to stack.
+    every session.  The API is synchronous: every call returns with its work
+    complete.  With the serial backend the work runs on the calling thread;
+    with ``executor="thread"`` cluster-level drain / flush / expire run all
+    shards concurrently on the pinned worker pool and the caller waits for
+    the merged, shard-ordered result — same decisions, overlapped wall
+    clock.  Use :meth:`close` (or a ``with`` block) to release the pool.
     """
 
     def __init__(
@@ -343,10 +504,23 @@ class ServingCluster:
         self.spec = spec
         self.config = config or ClusterConfig()
         self.config.engine.validate_for_model(model)
+        self._executor = make_executor(
+            self.config.executor, self.config.num_shards, self.config.num_workers
+        )
         self.shards = [
-            ShardWorker(index, model, spec, self.config)
+            ShardWorker(index, model, spec, self.config, executor=self._executor)
             for index in range(self.config.num_shards)
         ]
+
+    def close(self) -> None:
+        """Shut down the executor's worker pool (no-op for serial)."""
+        self._executor.close()
+
+    def __enter__(self) -> "ServingCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # routing
@@ -396,26 +570,32 @@ class ServingCluster:
             emitted.extend(self.submit(event, stream_id=stream_id))
         return emitted
 
+    def _fan_out(self, fns) -> List[StreamDecision]:
+        """Run one thunk per shard and merge results deterministically.
+
+        The executor returns per-shard decision lists indexed by shard;
+        concatenating them yields the stable (shard index, round,
+        intra-round) order — exactly the sequence the serial backend's
+        shard-by-shard loop produces, whatever order the shards actually
+        finished in.
+        """
+        results = self._executor.map_shards(fns)
+        return [decision for result in results for decision in result]
+
     def drain(self) -> List[StreamDecision]:
-        """Process every queued arrival on every shard."""
-        emitted: List[StreamDecision] = []
-        for shard in self.shards:
-            emitted.extend(shard.drain())
-        return emitted
+        """Process every queued arrival on every shard (in parallel when the
+        thread backend is active)."""
+        return self._fan_out([shard._drain_inline for shard in self.shards])
 
     def flush(self) -> List[StreamDecision]:
         """Drain all queues, then force-decide every undecided key."""
-        emitted: List[StreamDecision] = []
-        for shard in self.shards:
-            emitted.extend(shard.flush())
-        return emitted
+        return self._fan_out([shard._flush_inline for shard in self.shards])
 
     def expire(self, now: Optional[float] = None) -> List[StreamDecision]:
         """Drain all queues, then expire idle keys on every session."""
-        emitted: List[StreamDecision] = []
-        for shard in self.shards:
-            emitted.extend(shard.expire(now))
-        return emitted
+        return self._fan_out(
+            [partial(shard._expire_inline, now) for shard in self.shards]
+        )
 
     # ------------------------------------------------------------------ #
     # snapshot / restore
@@ -439,6 +619,7 @@ class ServingCluster:
                     "sessions": shard.sessions,
                     "queue": shard.pending_entries(),
                     "counters": {name: getattr(shard, name) for name in _SHARD_COUNTERS},
+                    "monitor": shard.monitor,
                 }
             )
         return ClusterSnapshot(
@@ -447,7 +628,13 @@ class ServingCluster:
         )
 
     def restore(self, snapshot: ClusterSnapshot) -> None:
-        """Rewind the cluster to a snapshot (which stays reusable)."""
+        """Rewind the cluster to a snapshot (which stays reusable).
+
+        Serving state — sessions, queues, counters, shard monitors — rewinds
+        bit-for-bit.  Adaptive-batch controllers restart from their width
+        floor: their state is wall-clock tuning, and round widths never
+        affect which decisions a replay emits.
+        """
         if snapshot.num_shards != len(self.shards):
             raise ValueError(
                 f"snapshot has {snapshot.num_shards} shards, cluster has "
@@ -459,6 +646,9 @@ class ServingCluster:
             shard.load_pending(state["queue"])
             for name, value in state["counters"].items():
                 setattr(shard, name, value)
+            shard.monitor = state.get("monitor") or ShardMonitor()
+            if shard.controller is not None:
+                shard.controller.reset()
 
     # ------------------------------------------------------------------ #
     # reporting
@@ -475,8 +665,10 @@ class ServingCluster:
 
     def stats(self) -> Dict[str, object]:
         """Aggregate shard counters for monitoring/benchmarks."""
+        merged_monitor = ShardMonitor.merged(shard.monitor for shard in self.shards)
         return {
             "num_shards": len(self.shards),
+            "executor": self.config.executor,
             "num_sessions": self.num_sessions,
             "num_decided": self.num_decided,
             "queue_depths": [shard.queue_depth for shard in self.shards],
@@ -485,4 +677,9 @@ class ServingCluster:
             "batch_rounds": sum(shard.batch_rounds for shard in self.shards),
             "batched_rows": sum(shard.batched_rows for shard in self.shards),
             "drained": sum(shard.drained for shard in self.shards),
+            "rounds": merged_monitor.rounds,
+            "round_latency_ms": merged_monitor.round_latency_ms.summary(),
+            "round_queue_depth": merged_monitor.queue_depth.summary(),
+            "round_widths": [shard.round_width() for shard in self.shards],
+            "shard_monitors": [shard.monitor.snapshot() for shard in self.shards],
         }

@@ -11,10 +11,15 @@ The serving layer is split into three composable tiers:
   stream id, a bounded arrival queue, and the cross-stream *batched* row
   encoding that drains that queue with one GEMM per block instead of one
   GEMV chain per arrival (via :func:`repro.core.incremental.append_batch`).
+  Drain-round width is fixed or adaptive
+  (:class:`~repro.serving.parallel.AdaptiveBatchController`).
 * :class:`~repro.serving.cluster.ServingCluster` — hash-routes stream ids to
   shards, applies admission control / backpressure, and exposes the
   deployment API (``submit`` / ``drain`` / ``flush`` / ``snapshot`` /
-  ``restore``).
+  ``restore``).  Shard work runs on a pluggable execution backend
+  (:mod:`repro.serving.parallel`): inline on the caller, or concurrently on
+  a persistent thread pool with every shard pinned to one worker — which is
+  why a session may assume single-threaded access to its own state.
 
 :class:`OnlineClassificationEngine` — the historical single-stream API — is a
 thin alias over one session: it *is* a :class:`StreamSession`, so every

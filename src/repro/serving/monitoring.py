@@ -9,6 +9,7 @@ allocation-free so they can sit on the serving hot path.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
 
@@ -227,6 +228,202 @@ class DecisionMonitor:
                     f"  class {label:<3} decided={tally.decided:<5} accuracy={tally.accuracy * 100:6.2f}%"
                 )
         return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """Immutable summary of a :class:`Log2Histogram`."""
+
+    count: int
+    total: float
+    minimum: float
+    maximum: float
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    #: Sparse ``bucket index -> count`` view of the non-empty buckets.
+    buckets: Mapping[int, int]
+
+
+class Log2Histogram:
+    """Fixed-geometry power-of-two histogram for hot-path gauges.
+
+    Buckets are shared by every instance (bucket ``k`` counts values in
+    ``(2**(k-1+MIN_EXP), 2**(k+MIN_EXP)]``, clamped at both ends), so two
+    histograms merge by plain count addition — no bucket negotiation, no
+    allocation on ``observe``.  The range ``2**MIN_EXP .. 2**MAX_EXP``
+    (≈ 1e-3 .. 16384) covers sub-millisecond round latencies and deep queue
+    backlogs alike.  Percentiles are read from the bucket counts as the
+    bucket upper edge — a ≤2x overestimate by construction, which is the
+    usual contract of log-bucketed latency telemetry.
+    """
+
+    MIN_EXP = -10
+    MAX_EXP = 14
+    NUM_BUCKETS = MAX_EXP - MIN_EXP + 1
+
+    __slots__ = ("counts", "count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.counts = [0] * self.NUM_BUCKETS
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    @classmethod
+    def bucket_of(cls, value: float) -> int:
+        """The bucket index a value falls into (edges are powers of two)."""
+        if value <= 2.0 ** cls.MIN_EXP:
+            return 0
+        exponent = math.ceil(math.log2(value))
+        return min(cls.NUM_BUCKETS - 1, int(exponent) - cls.MIN_EXP)
+
+    @classmethod
+    def bucket_upper_edge(cls, index: int) -> float:
+        return 2.0 ** (index + cls.MIN_EXP)
+
+    def observe(self, value: float) -> None:
+        """Fold one non-negative sample into the histogram."""
+        if value < 0:
+            raise ValueError("histogram values must be non-negative")
+        self.counts[self.bucket_of(value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, quantile: float) -> float:
+        """Upper bucket edge at the given quantile (0 when empty)."""
+        if not 0.0 < quantile <= 1.0:
+            raise ValueError("quantile must be in (0, 1]")
+        if not self.count:
+            return 0.0
+        rank = math.ceil(quantile * self.count)
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                return min(self.bucket_upper_edge(index), self.maximum)
+        return self.maximum  # pragma: no cover - rank <= count always hits
+
+    # ------------------------------------------------------------------ #
+    # aggregation across shards
+    # ------------------------------------------------------------------ #
+    def merge(self, other: "Log2Histogram") -> "Log2Histogram":
+        """Fold another histogram in (bucket geometry is shared by design)."""
+        for index in range(self.NUM_BUCKETS):
+            self.counts[index] += other.counts[index]
+        self.count += other.count
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        return self
+
+    @classmethod
+    def merged(cls, histograms: Iterable["Log2Histogram"]) -> "Log2Histogram":
+        """A fresh histogram aggregating ``histograms`` (left untouched)."""
+        combined = cls()
+        for histogram in histograms:
+            combined.merge(histogram)
+        return combined
+
+    def snapshot(self) -> HistogramSnapshot:
+        empty = not self.count
+        return HistogramSnapshot(
+            count=self.count,
+            total=self.total,
+            minimum=0.0 if empty else self.minimum,
+            maximum=0.0 if empty else self.maximum,
+            mean=self.mean,
+            p50=self.percentile(0.50),
+            p95=self.percentile(0.95),
+            p99=self.percentile(0.99),
+            buckets={
+                index: count for index, count in enumerate(self.counts) if count
+            },
+        )
+
+    def summary(self) -> Dict[str, float]:
+        """Compact dict view for ``ServingCluster.stats()`` consumers."""
+        snap = self.snapshot()
+        return {
+            "count": snap.count,
+            "mean": snap.mean,
+            "p50": snap.p50,
+            "p95": snap.p95,
+            "p99": snap.p99,
+            "max": snap.maximum,
+        }
+
+
+@dataclass(frozen=True)
+class ShardMonitorSnapshot:
+    """Immutable summary of one shard's drain-round health."""
+
+    rounds: int
+    rows: int
+    round_latency_ms: HistogramSnapshot
+    queue_depth: HistogramSnapshot
+
+
+class ShardMonitor:
+    """Drain-round telemetry of one shard worker.
+
+    Two gauges per round: the queue depth the round found (how loaded the
+    shard runs) and the round's wall-clock latency (what one drain costs).
+    These are exactly the signals the adaptive batch controller steers on,
+    published so operators can see what the controller sees.  Like
+    :class:`DecisionMonitor`, shard monitors are worker-local and mergeable
+    into an exact cluster-level view.
+    """
+
+    def __init__(self) -> None:
+        self.rounds = 0
+        self.rows = 0
+        self.round_latency_ms = Log2Histogram()
+        self.queue_depth = Log2Histogram()
+
+    def observe_round(self, queue_depth: int, rows: int, elapsed_ms: float) -> None:
+        """Record one drain round: depth at round start, rows served, cost."""
+        self.rounds += 1
+        self.rows += rows
+        self.round_latency_ms.observe(elapsed_ms)
+        self.queue_depth.observe(float(queue_depth))
+
+    def merge(self, other: "ShardMonitor") -> "ShardMonitor":
+        """Fold another shard's telemetry in; returns ``self`` for chaining."""
+        self.rounds += other.rounds
+        self.rows += other.rows
+        self.round_latency_ms.merge(other.round_latency_ms)
+        self.queue_depth.merge(other.queue_depth)
+        return self
+
+    @classmethod
+    def merged(cls, monitors: Iterable["ShardMonitor"]) -> "ShardMonitor":
+        """A fresh monitor aggregating ``monitors`` (left untouched)."""
+        combined = cls()
+        for monitor in monitors:
+            combined.merge(monitor)
+        return combined
+
+    def snapshot(self) -> ShardMonitorSnapshot:
+        return ShardMonitorSnapshot(
+            rounds=self.rounds,
+            rows=self.rows,
+            round_latency_ms=self.round_latency_ms.snapshot(),
+            queue_depth=self.queue_depth.snapshot(),
+        )
 
 
 class ThroughputMeter:

@@ -1,0 +1,343 @@
+"""Parallel shard execution backends and adaptive drain-batch sizing.
+
+The PR-3 cluster made drain rounds cheap (cross-stream batched BLAS) but ran
+every shard synchronously on the caller's thread, so adding shards *reduced*
+throughput — fewer streams stacked per round — instead of scaling it.  This
+module supplies the two pieces that turn "sharded" into "scales with cores":
+
+* **Shard executors.**  :class:`ShardExecutor` is the minimal execution
+  contract the cluster needs: run one callable with affinity to a shard, or
+  run one callable per shard and collect the results *in shard order*.
+  :class:`SerialExecutor` runs everything inline on the caller (the exact
+  PR-3 behaviour).  :class:`ThreadExecutor` keeps a persistent pool of worker
+  threads with one FIFO job queue each and **pins every shard to one
+  worker** (``worker = shard_index % num_workers``), so a shard's session
+  state is only ever touched from a single thread — shards are share-nothing,
+  and the pinning keeps them that way without any per-session locking.
+  Because numpy releases the GIL inside its GEMM/attention kernels, draining
+  several shards concurrently overlaps their BLAS time on real cores.
+
+  Determinism: ``map_shards`` always returns results indexed by shard, so a
+  cluster-level drain/flush/expire concatenates per-shard decision lists in
+  stable (shard index, round, intra-round) order — decision-for-decision
+  identical to the serial backend, which the cluster parity suite pins.
+
+* **Adaptive drain batching.**  :class:`AdaptiveBatchController` picks each
+  drain round's width from the observed backlog and a per-row latency EWMA
+  (``ClusterConfig.batch_size="auto"``).  A hot shard with a deep queue
+  widens its rounds toward ``max_batch`` so the cross-stream batch amortises
+  one GEMM over many arrivals; a cold shard stays at ``min_batch`` so a lone
+  arrival is served at per-arrival latency; and the latency budget caps the
+  width so one round never stalls the shard longer than the configured
+  bound.  Round width never changes *which* decisions are emitted nor any
+  stream's decision sequence — every session sees its own arrivals in FIFO
+  order and evaluates per arrival regardless of how rounds slice the queue.
+  What width does change is the cross-stream *interleaving* of decisions
+  inside a shard (a wide round admits another stream's head before a held-
+  back same-stream follower; a narrow round does the opposite), so adaptive
+  runs are compared stream-by-stream against the sequential reference (the
+  ``batch_size="auto"`` parity axis pins this), while fixed-width runs are
+  list-identical across executor backends.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+from dataclasses import dataclass
+from queue import SimpleQueue
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+__all__ = [
+    "ShardExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "make_executor",
+    "AdaptiveBatchConfig",
+    "AdaptiveBatchController",
+]
+
+
+class ShardExecutor:
+    """Execution contract for shard work: affinity runs + ordered fan-out."""
+
+    def run(self, shard_index: int, fn: Callable[[], T]) -> T:
+        """Run ``fn`` with affinity to ``shard_index`` and return its result."""
+        raise NotImplementedError
+
+    def map_shards(self, fns: Sequence[Callable[[], T]]) -> List[T]:
+        """Run one callable per shard; results come back in shard order.
+
+        Shard ``i``'s callable runs with shard-``i`` affinity.  The call
+        blocks until every shard finished; if any callable raised, the
+        lowest-shard-index exception is re-raised (after all completed, so
+        no job is left running concurrently with the caller).
+        """
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release worker resources.  Idempotent."""
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialExecutor(ShardExecutor):
+    """Inline execution on the calling thread — the reference backend."""
+
+    def run(self, shard_index: int, fn: Callable[[], T]) -> T:
+        return fn()
+
+    def map_shards(self, fns: Sequence[Callable[[], T]]) -> List[T]:
+        return [fn() for fn in fns]
+
+
+class _Job:
+    """One queued callable plus its completion signal and outcome."""
+
+    __slots__ = ("fn", "done", "result", "error")
+
+    def __init__(self, fn: Callable[[], object]) -> None:
+        self.fn = fn
+        self.done = threading.Event()
+        self.result: object = None
+        self.error: Optional[BaseException] = None
+
+    def wait(self) -> object:
+        self.done.wait()
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+
+class ThreadExecutor(ShardExecutor):
+    """Persistent per-shard worker pool with stable shard→worker pinning.
+
+    ``num_workers`` defaults to one worker per shard.  Shard ``i`` always
+    executes on worker ``i % num_workers``: jobs for one shard are processed
+    by a single thread in submission order, so shard-local state (sessions,
+    KV caches, monitors) never crosses threads and needs no locking.
+
+    Re-entrancy: a job that is already running on a shard's pinned worker may
+    issue further ``run`` calls for that shard — they execute inline instead
+    of deadlocking behind the queued job that issued them (this is how a
+    worker-side ``drain`` loops rounds while callers dispatch single rounds).
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        num_workers: Optional[int] = None,
+        name_prefix: str = "shard-worker",
+    ) -> None:
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        if num_workers is None:
+            num_workers = num_shards
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        self.num_shards = num_shards
+        self.num_workers = min(num_workers, num_shards)
+        self._queues: List[SimpleQueue] = [SimpleQueue() for _ in range(self.num_workers)]
+        self._threads: List[threading.Thread] = []
+        self._closed = False
+        #: Orders job submission against close(): both happen under this
+        #: lock, so a job can never be enqueued behind the shutdown sentinel
+        #: (which would hang its waiter forever instead of raising).
+        self._state_lock = threading.Lock()
+        for index in range(self.num_workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                args=(self._queues[index],),
+                name=f"{name_prefix}-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    # ------------------------------------------------------------------ #
+    # worker side
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _worker_loop(queue: SimpleQueue) -> None:
+        while True:
+            job = queue.get()
+            if job is None:
+                return
+            try:
+                job.result = job.fn()
+            except BaseException as error:  # propagated to the waiter
+                job.error = error
+            finally:
+                job.done.set()
+
+    # ------------------------------------------------------------------ #
+    # caller side
+    # ------------------------------------------------------------------ #
+    def worker_index(self, shard_index: int) -> int:
+        """The pinned worker of a shard (stable for the executor's lifetime)."""
+        return shard_index % self.num_workers
+
+    def _submit(self, shard_index: int, fn: Callable[[], T]) -> _Job:
+        if not 0 <= shard_index < self.num_shards:
+            raise IndexError(f"shard index {shard_index} out of range")
+        job = _Job(fn)
+        with self._state_lock:
+            if self._closed:
+                raise RuntimeError("executor is closed")
+            self._queues[self.worker_index(shard_index)].put(job)
+        return job
+
+    def run(self, shard_index: int, fn: Callable[[], T]) -> T:
+        worker = self._threads[self.worker_index(shard_index)]
+        if threading.current_thread() is worker:
+            # Already on the shard's pinned thread: queueing would deadlock
+            # behind the very job that called us.  Affinity already holds.
+            return fn()
+        return self._submit(shard_index, fn).wait()  # type: ignore[return-value]
+
+    def map_shards(self, fns: Sequence[Callable[[], T]]) -> List[T]:
+        jobs = [self._submit(index, fn) for index, fn in enumerate(fns)]
+        results: List[T] = []
+        first_error: Optional[BaseException] = None
+        for job in jobs:
+            job.done.wait()
+            if job.error is not None and first_error is None:
+                first_error = job.error
+            results.append(job.result)  # type: ignore[arg-type]
+        if first_error is not None:
+            raise first_error
+        return results
+
+    def close(self) -> None:
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
+            for queue in self._queues:
+                queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+
+
+def make_executor(
+    name: str, num_shards: int, num_workers: Optional[int] = None
+) -> ShardExecutor:
+    """Build the executor backend selected by ``ClusterConfig.executor``."""
+    if name == "serial":
+        return SerialExecutor()
+    if name == "thread":
+        return ThreadExecutor(num_shards, num_workers)
+    raise ValueError(f"unknown executor backend {name!r}")
+
+
+def available_cpus() -> int:
+    """CPUs actually available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without sched_getaffinity
+        return os.cpu_count() or 1
+
+
+# ---------------------------------------------------------------------- #
+# adaptive drain batching
+# ---------------------------------------------------------------------- #
+@dataclass
+class AdaptiveBatchConfig:
+    """Knobs of the per-shard adaptive drain-batch controller.
+
+    Attributes
+    ----------
+    min_batch:
+        Width floor — also the width of the first round after start/reset,
+        so an idle shard serves a lone arrival at per-arrival latency.
+    max_batch:
+        Width ceiling — the largest cross-stream encoding batch one round
+        may attempt, however deep the backlog.
+    latency_budget_ms:
+        Soft bound on one round's wall-clock: the controller never widens a
+        round beyond ``latency_budget_ms / EWMA(per-row ms)``, so a hot
+        shard cannot stall its queue longer than roughly the budget.
+    catchup_rounds:
+        Backlog aggressiveness: the depth-driven target width is
+        ``ceil(backlog / catchup_rounds)`` — aim to clear the observed
+        backlog within this many rounds (subject to the latency cap).
+    ewma_alpha:
+        Smoothing factor of the per-row latency EWMA (1 = latest round only).
+    """
+
+    min_batch: int = 1
+    max_batch: int = 64
+    latency_budget_ms: float = 8.0
+    catchup_rounds: int = 2
+    ewma_alpha: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.min_batch <= 0:
+            raise ValueError("min_batch must be positive")
+        if self.max_batch < self.min_batch:
+            raise ValueError("max_batch must be >= min_batch")
+        if self.latency_budget_ms <= 0:
+            raise ValueError("latency_budget_ms must be positive")
+        if self.catchup_rounds <= 0:
+            raise ValueError("catchup_rounds must be positive")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+
+
+class AdaptiveBatchController:
+    """Per-shard drain-round width from backlog depth and latency EWMA.
+
+    After every round the shard reports ``(backlog, rows, elapsed_ms)``; the
+    controller updates a per-row latency EWMA and sets the next width to
+
+    ``clip(min(ceil(backlog / catchup_rounds), latency_budget / row_ms),
+    min_batch, max_batch)``
+
+    — widen while a backlog exists (hot Zipf shards batch wide and win the
+    cross-stream GEMM), narrow the moment the queue empties (cold shards
+    stay at per-arrival latency), and never let a single round blow the
+    latency budget.  The controller only schedules work; it cannot change
+    which decisions are emitted or any stream's decision sequence (see the
+    module docstring for what it *can* change: cross-stream interleaving).
+    """
+
+    def __init__(self, config: Optional[AdaptiveBatchConfig] = None) -> None:
+        self.config = config or AdaptiveBatchConfig()
+        self.width = self.config.min_batch
+        self.row_ms_ewma: Optional[float] = None
+        self.rounds_observed = 0
+
+    def observe_round(self, backlog: int, rows: int, elapsed_ms: float) -> int:
+        """Fold one finished round in; returns the width chosen for the next.
+
+        ``backlog`` is the queue depth *remaining* after the round, ``rows``
+        the arrivals the round served and ``elapsed_ms`` its wall-clock.
+        """
+        if rows > 0 and elapsed_ms >= 0.0:
+            sample = elapsed_ms / rows
+            if self.row_ms_ewma is None:
+                self.row_ms_ewma = sample
+            else:
+                alpha = self.config.ewma_alpha
+                self.row_ms_ewma = alpha * sample + (1.0 - alpha) * self.row_ms_ewma
+        self.rounds_observed += 1
+
+        target = math.ceil(backlog / self.config.catchup_rounds)
+        if self.row_ms_ewma:
+            latency_cap = int(self.config.latency_budget_ms / self.row_ms_ewma)
+            target = min(target, latency_cap)
+        self.width = max(self.config.min_batch, min(self.config.max_batch, target))
+        return self.width
+
+    def reset(self) -> None:
+        """Forget all observations (e.g. after a snapshot restore)."""
+        self.width = self.config.min_batch
+        self.row_ms_ewma = None
+        self.rounds_observed = 0

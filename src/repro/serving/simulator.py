@@ -7,7 +7,9 @@ which new keys start, interleave with the currently active keys and finish.
 sequences:
 
 * key *start times* follow a Poisson process with a configurable rate (or a
-  fixed target number of concurrently active keys),
+  fixed target number of concurrently active keys) — optionally modulated by
+  a mean-preserving ``burst`` (on/off duty cycle) or ``diurnal`` (sinusoidal)
+  rate profile,
 * within a key, item inter-arrival gaps are taken from the source sequence
   (rescaled to a common unit), so bursts/sessions survive the simulation,
 * the output is a single chronologically ordered stream of
@@ -20,6 +22,7 @@ the online-serving example rely on.
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass, field, replace
 from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
 
@@ -55,6 +58,26 @@ class SimulatorConfig:
         matches the unskewed schedule), so a few *hot* keys start in rapid
         succession while the cold tail spreads out — the hot-key traffic
         shape real clusters see.
+    pattern:
+        Temporal shape of the key-start process.  ``"poisson"`` (default) is
+        the homogeneous process.  ``"burst"`` and ``"diurnal"`` modulate the
+        instantaneous start rate by a periodic profile ``m(t)`` with mean 1
+        over its period (inhomogeneous Poisson via the time-change theorem:
+        exponential draws accumulate in integrated-hazard space and are
+        mapped back through the inverse cumulative profile), so the **mean
+        arrival rate is preserved exactly** — patterns redistribute load in
+        time, they never add or remove it.  Within a key, item gaps still
+        come from the source sequence; the pattern shapes key *starts*.
+    burst_period / burst_duty / burst_floor:
+        ``"burst"`` is an on/off duty cycle: each period of ``burst_period``
+        time units starts with an *on* phase covering ``burst_duty`` of the
+        period at elevated rate, followed by an *off* phase at
+        ``burst_floor`` (relative to the nominal rate; ``0`` = fully quiet).
+        The on-rate is solved from mean-1: ``(1 - (1-duty)·floor) / duty``.
+    diurnal_period / diurnal_amplitude:
+        ``"diurnal"`` is a sinusoid ``m(t) = 1 + A·sin(2πt/period)`` —
+        a smooth day/night load curve with peak-to-trough ratio
+        ``(1+A)/(1-A)``.
     seed:
         Seed of the Poisson start-time draws.
     """
@@ -63,6 +86,12 @@ class SimulatorConfig:
     gap_scale: float = 1.0
     max_active: int = 0
     key_skew: float = 0.0
+    pattern: str = "poisson"
+    burst_period: float = 16.0
+    burst_duty: float = 0.25
+    burst_floor: float = 0.0
+    diurnal_period: float = 64.0
+    diurnal_amplitude: float = 0.8
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -74,6 +103,18 @@ class SimulatorConfig:
             raise ValueError("max_active must be non-negative")
         if self.key_skew < 0:
             raise ValueError("key_skew must be non-negative")
+        if self.pattern not in ("poisson", "burst", "diurnal"):
+            raise ValueError(f"unknown arrival pattern {self.pattern!r}")
+        if self.burst_period <= 0:
+            raise ValueError("burst_period must be positive")
+        if not 0.0 < self.burst_duty <= 1.0:
+            raise ValueError("burst_duty must be in (0, 1]")
+        if not 0.0 <= self.burst_floor <= 1.0:
+            raise ValueError("burst_floor must be in [0, 1]")
+        if self.diurnal_period <= 0:
+            raise ValueError("diurnal_period must be positive")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError("diurnal_amplitude must be in [0, 1)")
 
 
 @dataclass
@@ -118,6 +159,94 @@ class ArrivalSimulator:
         base = times[0]
         return [(time - base) * self.config.gap_scale for time in times]
 
+    # ------------------------------------------------------------------ #
+    # arrival-pattern modulation (inhomogeneous Poisson via time change)
+    # ------------------------------------------------------------------ #
+    def modulated_rate(self, time: float) -> float:
+        """Instantaneous key-start rate at ``time`` under the pattern."""
+        return self.config.arrival_rate * self._profile(time % self._pattern_period())
+
+    def _pattern_period(self) -> float:
+        if self.config.pattern == "burst":
+            return self.config.burst_period
+        if self.config.pattern == "diurnal":
+            return self.config.diurnal_period
+        return 1.0  # any period works: the poisson profile is constant 1
+
+    def _burst_on_rate(self) -> float:
+        """On-phase relative rate solved from the mean-1 constraint."""
+        duty, floor = self.config.burst_duty, self.config.burst_floor
+        return (1.0 - (1.0 - duty) * floor) / duty
+
+    def _profile(self, phase: float) -> float:
+        """Relative rate ``m`` at ``phase`` within one period (mean 1)."""
+        config = self.config
+        if config.pattern == "burst":
+            if phase < config.burst_duty * config.burst_period:
+                return self._burst_on_rate()
+            return config.burst_floor
+        if config.pattern == "diurnal":
+            return 1.0 + config.diurnal_amplitude * math.sin(
+                2.0 * math.pi * phase / config.diurnal_period
+            )
+        return 1.0
+
+    def _cumulative_profile(self, phase: float) -> float:
+        """``∫₀^phase m(s) ds`` within one period."""
+        config = self.config
+        if config.pattern == "burst":
+            on_span = config.burst_duty * config.burst_period
+            if phase <= on_span:
+                return self._burst_on_rate() * phase
+            return self._burst_on_rate() * on_span + config.burst_floor * (
+                phase - on_span
+            )
+        if config.pattern == "diurnal":
+            period = config.diurnal_period
+            return phase + (config.diurnal_amplitude * period / (2.0 * math.pi)) * (
+                1.0 - math.cos(2.0 * math.pi * phase / period)
+            )
+        return phase
+
+    def _invert_cumulative(self, target: float) -> float:
+        """Earliest in-period phase whose cumulative profile reaches ``target``.
+
+        The burst profile inverts in closed form (piecewise linear); the
+        diurnal sinusoid is inverted by bisection (the cumulative profile is
+        monotone because ``m >= 1 - amplitude > 0``).
+        """
+        config = self.config
+        if config.pattern == "burst":
+            on_rate = self._burst_on_rate()
+            on_span = config.burst_duty * config.burst_period
+            if target <= on_rate * on_span or config.burst_floor == 0.0:
+                # With a fully quiet off phase the whole period's mass lives
+                # in the on phase; the explicit floor==0 test keeps a ~1-ulp
+                # shortfall of on_rate*on_span below the period from ever
+                # reaching the off-phase division.
+                return min(target / on_rate, on_span)
+            return on_span + (target - on_rate * on_span) / config.burst_floor
+        low, high = 0.0, self._pattern_period()
+        for _ in range(64):  # ~2^-64 of a period; far below schedule noise
+            mid = 0.5 * (low + high)
+            if self._cumulative_profile(mid) < target:
+                low = mid
+            else:
+                high = mid
+        return high
+
+    def _invert_hazard(self, hazard: float) -> float:
+        """Map integrated-hazard time back to wall-clock time.
+
+        The profile has mean 1, so each full period contributes exactly one
+        period of hazard: split off the whole periods, invert the remainder
+        inside one period.
+        """
+        period = self._pattern_period()
+        full_periods = math.floor(hazard / period)
+        remainder = hazard - full_periods * period
+        return full_periods * period + self._invert_cumulative(remainder)
+
     def _skew_rates(self, count: int) -> Optional[np.ndarray]:
         """Per-rank arrival rates under the Zipf ``key_skew`` (None = uniform).
 
@@ -143,14 +272,19 @@ class ArrivalSimulator:
         rates = self._skew_rates(len(order))
 
         scheduled: List[_ScheduledKey] = []
-        arrival_clock = 0.0
+        #: Arrival clock in integrated-hazard space: exponential gaps are
+        #: accumulated here and mapped to wall-clock through the inverse
+        #: cumulative rate profile (identity for the plain Poisson pattern,
+        #: so the draws — and the schedule — are unchanged there).
+        hazard_clock = 0.0
+        modulated = self.config.pattern != "poisson"
         #: Min-heap of busy-slot release times (FIFO c-server queue).
         active_ends: List[float] = []
         for rank, index in enumerate(order):
             sequence = self.sequences[index]
             rate = self.config.arrival_rate if rates is None else float(rates[rank])
-            arrival_clock += float(rng.exponential(1.0 / rate))
-            start = arrival_clock
+            hazard_clock += float(rng.exponential(1.0 / rate))
+            start = self._invert_hazard(hazard_clock) if modulated else hazard_clock
             if self.config.max_active:
                 # FIFO admission: free every slot released by the arrival
                 # time, and when all slots are busy the key waits for — and

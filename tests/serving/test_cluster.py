@@ -355,6 +355,308 @@ class TestAdmissionControl:
             assert all(depth < 4 for depth in cluster.stats()["queue_depths"])
 
 
+class TestParallelExecutorParity:
+    """The thread worker-pool backend must be indistinguishable, decision
+    for decision, from the serial backend — and both must match one
+    sequential engine per stream (the ``executor="thread"`` axis of the
+    parity matrix)."""
+
+    @pytest.mark.parametrize("encoding", ENCODINGS)
+    @pytest.mark.parametrize("num_shards", [1, 2, 4])
+    def test_thread_backend_matches_reference_with_evictions(
+        self, encoding, num_shards
+    ):
+        model = make_model(encoding)
+        streams, events = multi_stream_events(seed=42)
+        _, expected = reference_decisions(model, streams, events)
+        with ServingCluster(
+            model,
+            SPEC,
+            ClusterConfig(
+                num_shards=num_shards,
+                batch_size=4,
+                batched=True,
+                executor="thread",
+                engine=engine_config(),
+            ),
+        ) as cluster:
+            emitted = cluster.consume(events)
+            emitted.extend(cluster.flush())
+        assert_stream_parity(by_stream(emitted, streams), expected)
+
+    @pytest.mark.parametrize("encoding", ENCODINGS)
+    @pytest.mark.parametrize("num_shards", [1, 2, 4])
+    def test_thread_backend_is_list_identical_to_serial(self, encoding, num_shards):
+        """Same fixed round width => the emitted StreamDecision sequence is
+        bit-identical across backends, global interleaving included (the
+        stable shard-index / round / intra-round merge order)."""
+        model = make_model(encoding)
+        streams, events = multi_stream_events(seed=19)
+
+        def serve(executor):
+            config = ClusterConfig(
+                num_shards=num_shards,
+                batch_size=4,
+                auto_drain=False,
+                max_queue=len(events) + 1,
+                executor=executor,
+                engine=engine_config(),
+            )
+            with ServingCluster(model, SPEC, config) as cluster:
+                for event in events:
+                    cluster.submit(event)
+                emitted = cluster.drain()
+                emitted.extend(cluster.expire())
+                emitted.extend(cluster.flush())
+            return [
+                (d.stream_id, d.shard_id, d.decision.key, d.decision.predicted,
+                 d.decision.confidence, d.decision.observations,
+                 d.decision.decision_time, d.decision.halted_by_policy)
+                for d in emitted
+            ]
+
+        assert serve("serial") == serve("thread")
+
+    def test_thread_backend_expire_parity(self):
+        model = make_model("rotary")
+        rng = np.random.default_rng(5)
+        streams = [f"stream-{i}" for i in range(4)]
+        events = []
+        clock = 0.0
+        for _ in range(160):
+            clock += float(rng.integers(1, 8)) if rng.random() < 0.2 else 1.0
+            stream_id = streams[int(rng.integers(len(streams)))]
+            item = Item(
+                f"k{rng.integers(3)}", (int(rng.integers(8)), int(rng.integers(2))), clock
+            )
+            events.append(StreamEvent(time=clock, item=item, source=stream_id))
+        expire_positions = {40, 90, 130}
+        overrides = dict(idle_timeout=6.0)
+        _, expected = reference_decisions(
+            model, streams, events, expire_positions=expire_positions, **overrides
+        )
+        with ServingCluster(
+            model,
+            SPEC,
+            ClusterConfig(
+                num_shards=2,
+                batch_size=4,
+                executor="thread",
+                engine=engine_config(**overrides),
+            ),
+        ) as cluster:
+            emitted = []
+            for position, event in enumerate(events):
+                emitted.extend(cluster.submit(event))
+                if position in expire_positions:
+                    emitted.extend(cluster.expire())
+            emitted.extend(cluster.flush())
+        assert_stream_parity(by_stream(emitted, streams), expected)
+
+    def test_thread_backend_snapshot_restore_replays_identically(self):
+        model = make_model("rotary")
+        streams, events = multi_stream_events(seed=23, num_events=240)
+        cut = 140
+        with ServingCluster(
+            model,
+            SPEC,
+            ClusterConfig(
+                num_shards=2, batch_size=4, executor="thread", engine=engine_config()
+            ),
+        ) as cluster:
+            cluster.consume(events[:cut])
+            snapshot = cluster.snapshot()
+            first = cluster.consume(events[cut:])
+            first.extend(cluster.flush())
+            cluster.restore(snapshot)
+            second = cluster.consume(events[cut:])
+            second.extend(cluster.flush())
+        assert [(d.stream_id, d.decision.key, d.decision.confidence) for d in first] == [
+            (d.stream_id, d.decision.key, d.decision.confidence) for d in second
+        ]
+
+    def test_cluster_close_is_idempotent_and_context_managed(self):
+        model = make_model("rotary")
+        cluster = ServingCluster(
+            model, SPEC, ClusterConfig(num_shards=2, executor="thread")
+        )
+        cluster.close()
+        cluster.close()
+        with ServingCluster(
+            model, SPEC, ClusterConfig(num_shards=2, executor="thread")
+        ) as managed:
+            assert managed.stats()["executor"] == "thread"
+
+    def test_rejects_unknown_executor(self):
+        with pytest.raises(ValueError, match="executor"):
+            ClusterConfig(executor="fiber")
+
+
+class TestAdaptiveBatchingParity:
+    """``batch_size="auto"`` never changes any stream's decision sequence —
+    the controller only re-schedules rounds (the ``batch_size="auto"`` axis
+    of the parity matrix)."""
+
+    @pytest.mark.parametrize("encoding", ENCODINGS)
+    @pytest.mark.parametrize("num_shards", [1, 2, 4])
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    def test_auto_batch_matches_reference(self, encoding, num_shards, executor):
+        model = make_model(encoding)
+        streams, events = multi_stream_events(seed=42)
+        _, expected = reference_decisions(model, streams, events)
+        with ServingCluster(
+            model,
+            SPEC,
+            ClusterConfig(
+                num_shards=num_shards,
+                batch_size="auto",
+                auto_drain=False,
+                max_queue=len(events) + 1,
+                executor=executor,
+                engine=engine_config(),
+            ),
+        ) as cluster:
+            emitted = []
+            for position, event in enumerate(events):
+                emitted.extend(cluster.submit(event))
+                if position % 25 == 24:  # scheduled drains let backlogs form
+                    emitted.extend(cluster.drain())
+            emitted.extend(cluster.flush())
+        assert_stream_parity(by_stream(emitted, streams), expected)
+
+    def test_auto_batch_expire_and_drain_pattern_parity(self):
+        """Backlogged drain scheduling (the pattern that actually exercises
+        wide adaptive rounds) with interleaved expiry, against the
+        sequential reference."""
+        model = make_model("rotary")
+        streams, events = multi_stream_events(seed=61, num_events=240)
+        expire_positions = {80, 160}
+        overrides = dict(idle_timeout=6.0)
+        _, expected = reference_decisions(
+            model, streams, events, expire_positions=expire_positions, **overrides
+        )
+        with ServingCluster(
+            model,
+            SPEC,
+            ClusterConfig(
+                num_shards=2,
+                batch_size="auto",
+                auto_drain=False,
+                max_queue=len(events) + 1,
+                executor="thread",
+                engine=engine_config(**overrides),
+            ),
+        ) as cluster:
+            emitted = []
+            for position, event in enumerate(events):
+                emitted.extend(cluster.submit(event))
+                if position in expire_positions:
+                    emitted.extend(cluster.expire())
+                elif position % 40 == 39:
+                    emitted.extend(cluster.drain())
+            emitted.extend(cluster.flush())
+        assert_stream_parity(by_stream(emitted, streams), expected)
+
+    def test_auto_batch_snapshot_restore_replays_per_stream(self):
+        """Replays after a restore serve identical per-stream decisions;
+        global interleaving may differ because adaptive widths are
+        wall-clock-driven (controller state intentionally resets)."""
+        model = make_model("rotary")
+        streams, events = multi_stream_events(seed=31, num_events=160)
+        with ServingCluster(
+            model,
+            SPEC,
+            ClusterConfig(
+                num_shards=2,
+                batch_size="auto",
+                auto_drain=False,
+                max_queue=len(events) + 1,
+                engine=engine_config(),
+            ),
+        ) as cluster:
+            cluster.consume(events[:80])
+            cluster.drain()
+            snapshot = cluster.snapshot()
+            runs = []
+            for _ in range(2):
+                cluster.restore(snapshot)
+                emitted = cluster.consume(events[80:])
+                emitted.extend(cluster.drain())
+                emitted.extend(cluster.flush())
+                runs.append(by_stream(emitted, streams))
+        for stream_id in streams:
+            first = [(d.key, d.predicted, d.confidence) for d in runs[0][stream_id]]
+            second = [(d.key, d.predicted, d.confidence) for d in runs[1][stream_id]]
+            assert first == second, stream_id
+
+    def test_hot_shard_widens_while_cold_shard_stays_narrow(self):
+        """Under a backlogged Zipf-skewed queue the hot shard's controller
+        must have chosen wider rounds than an idle shard's (which stays at
+        the width floor)."""
+        model = make_model("rotary")
+        rng = np.random.default_rng(3)
+        events = []
+        clock = 0.0
+        for position in range(300):
+            clock += 1.0
+            # ~90% of traffic on 8 hot streams, the rest on 16 cold ones.
+            if rng.random() < 0.9:
+                stream_id = f"hot-{rng.integers(8)}"
+            else:
+                stream_id = f"cold-{rng.integers(16)}"
+            item = Item(
+                f"k{rng.integers(4)}", (int(rng.integers(8)), int(rng.integers(2))), clock
+            )
+            events.append(StreamEvent(time=clock, item=item, source=stream_id))
+        with ServingCluster(
+            model,
+            SPEC,
+            ClusterConfig(
+                num_shards=4,
+                batch_size="auto",
+                auto_drain=False,
+                max_queue=len(events) + 1,
+                engine=engine_config(),
+            ),
+        ) as cluster:
+            for event in events:
+                cluster.submit(event)
+            backlogs = [shard.queue_depth for shard in cluster.shards]
+            cluster.drain()
+            observed_rounds = [
+                shard.controller.rounds_observed for shard in cluster.shards
+            ]
+        # wide rounds actually happened on the loaded shards: mean round
+        # width above the floor of 1 requires the controller to have widened.
+        hot = max(range(4), key=lambda index: backlogs[index])
+        assert cluster.shards[hot].monitor.rounds > 0
+        hot_mean_width = cluster.shards[hot].monitor.rows / max(
+            1, cluster.shards[hot].monitor.rounds
+        )
+        assert hot_mean_width > 1.5
+        # a shard that saw no traffic at all never leaves the width floor
+        for index, rounds in enumerate(observed_rounds):
+            if rounds == 0:
+                assert cluster.shards[index].controller.width == 1
+
+    def test_rejects_invalid_batch_size(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            ClusterConfig(batch_size="adaptive")
+        with pytest.raises(ValueError, match="batch_size"):
+            ClusterConfig(batch_size=0)
+
+    def test_rejects_auto_batch_with_auto_drain(self):
+        """Synchronous auto-drain never lets a backlog form, pinning the
+        controller at its width floor — per-arrival serving that is strictly
+        worse than the fixed default.  Fail at construction instead of
+        degrading silently."""
+        with pytest.raises(ValueError, match="auto_drain=False"):
+            ClusterConfig(batch_size="auto")
+        # the drain-scheduling combination is the supported one
+        config = ClusterConfig(batch_size="auto", auto_drain=False)
+        assert config.adaptive_batching
+
+
 class TestRoutingAndBatching:
     def test_routing_is_stable_and_deterministic(self):
         cluster = ServingCluster(make_model("rotary"), SPEC, ClusterConfig(num_shards=4))
@@ -428,3 +730,61 @@ class TestRoutingAndBatching:
         emitted.extend(cluster.flush())
         assert_stream_parity(by_stream(emitted, streams), expected)
         assert cluster.stats()["drained"] == len(events)
+
+
+class TestClusterLockstepStress:
+    """Long randomized cluster-vs-reference sweeps (weekly CI stress job).
+
+    Each case draws a fresh seeded multi-stream event sequence and a random
+    serving schedule (interleaved expiries and explicit drains), serves it
+    through a randomly-shaped cluster (shards, executor, fixed or adaptive
+    batching, both encodings), and demands per-stream decision-for-decision
+    parity with one sequential engine per stream.
+    """
+
+    @pytest.mark.stress
+    @pytest.mark.parametrize("encoding", ENCODINGS)
+    @pytest.mark.parametrize("seed", range(12))
+    def test_cluster_parity_fuzz(self, seed, encoding):
+        rng = np.random.default_rng(1000 + seed)
+        model = make_model(encoding, seed=int(rng.integers(100)))
+        streams, events = multi_stream_events(
+            seed=2000 + seed,
+            num_events=int(rng.integers(150, 400)),
+            num_streams=int(rng.integers(2, 8)),
+            num_keys=int(rng.integers(2, 6)),
+        )
+        expire_positions = set(
+            int(position)
+            for position in rng.integers(0, len(events), size=rng.integers(0, 4))
+        )
+        overrides = dict(
+            window_items=int(rng.integers(4, 12)),
+            reencode_every=int(rng.integers(1, 4)),
+            idle_timeout=float(rng.choice([0.0, 5.0, 9.0])),
+        )
+        _, expected = reference_decisions(
+            model, streams, events, expire_positions=expire_positions, **overrides
+        )
+
+        adaptive = bool(rng.random() < 0.5)
+        config = ClusterConfig(
+            num_shards=int(rng.choice([1, 2, 4])),
+            batch_size="auto" if adaptive else int(rng.integers(1, 9)),
+            auto_drain=False if adaptive else bool(rng.random() < 0.7),
+            max_queue=len(events) + 1,
+            batched=bool(rng.random() < 0.8),
+            executor=str(rng.choice(["serial", "thread"])),
+            engine=engine_config(**overrides),
+        )
+        drain_every = int(rng.integers(10, 60))
+        with ServingCluster(model, SPEC, config) as cluster:
+            emitted = []
+            for position, event in enumerate(events):
+                emitted.extend(cluster.submit(event))
+                if position in expire_positions:
+                    emitted.extend(cluster.expire())
+                elif position % drain_every == drain_every - 1:
+                    emitted.extend(cluster.drain())
+            emitted.extend(cluster.flush())
+        assert_stream_parity(by_stream(emitted, streams), expected)

@@ -3,7 +3,14 @@
 import pytest
 
 from repro.serving.engine import Decision
-from repro.serving.monitoring import DecisionMonitor, MonitorSnapshot, ThroughputMeter
+from repro.serving.monitoring import (
+    DecisionMonitor,
+    HistogramSnapshot,
+    Log2Histogram,
+    MonitorSnapshot,
+    ShardMonitor,
+    ThroughputMeter,
+)
 
 
 def make_decision(key, predicted, observations=3, confidence=0.8, halted=True):
@@ -154,6 +161,170 @@ class TestMergeAndSnapshot:
         # Later observations do not retroactively change the snapshot.
         shard0.observe(make_decision("c", 1))
         assert snapshot.num_decisions == 2
+
+
+class TestLog2Histogram:
+    def test_empty_histogram_reads_zero(self):
+        histogram = Log2Histogram()
+        assert histogram.count == 0
+        assert histogram.mean == 0.0
+        assert histogram.percentile(0.5) == 0.0
+        snap = histogram.snapshot()
+        assert snap.minimum == 0.0 and snap.maximum == 0.0
+        assert snap.buckets == {}
+
+    def test_observe_tracks_count_sum_min_max(self):
+        histogram = Log2Histogram()
+        for value in (0.5, 2.0, 8.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == pytest.approx(10.5)
+        assert histogram.minimum == 0.5
+        assert histogram.maximum == 8.0
+        assert histogram.mean == pytest.approx(3.5)
+
+    def test_bucketing_is_power_of_two(self):
+        # 3.0 falls in the (2, 4] bucket: its upper edge is 4
+        index = Log2Histogram.bucket_of(3.0)
+        assert Log2Histogram.bucket_upper_edge(index) == 4.0
+        # exact powers of two land in their own bucket, not the next
+        assert Log2Histogram.bucket_upper_edge(Log2Histogram.bucket_of(4.0)) == 4.0
+
+    def test_out_of_range_values_clamp_to_edge_buckets(self):
+        histogram = Log2Histogram()
+        histogram.observe(0.0)
+        histogram.observe(1e12)
+        assert histogram.counts[0] == 1
+        assert histogram.counts[-1] == 1
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ValueError):
+            Log2Histogram().observe(-1.0)
+
+    def test_percentile_upper_edge_contract(self):
+        histogram = Log2Histogram()
+        for _ in range(99):
+            histogram.observe(1.0)
+        histogram.observe(100.0)
+        assert histogram.percentile(0.5) == 1.0
+        # p100 lands in the 100.0 bucket whose edge is 128, capped at max
+        assert histogram.percentile(1.0) == 100.0
+        with pytest.raises(ValueError):
+            histogram.percentile(0.0)
+
+    def test_merge_equals_single_global_histogram(self):
+        left, right, reference = Log2Histogram(), Log2Histogram(), Log2Histogram()
+        for index, value in enumerate([0.1, 0.4, 3.0, 7.5, 20.0, 900.0]):
+            (left if index % 2 else right).observe(value)
+            reference.observe(value)
+        merged = Log2Histogram.merged([left, right])
+        assert merged.counts == reference.counts
+        assert merged.count == reference.count
+        assert merged.total == pytest.approx(reference.total)
+        assert merged.minimum == reference.minimum
+        assert merged.maximum == reference.maximum
+        # the sources stay untouched
+        assert left.count + right.count == merged.count
+
+    def test_snapshot_is_immutable_and_detached(self):
+        histogram = Log2Histogram()
+        histogram.observe(2.0)
+        snap = histogram.snapshot()
+        assert isinstance(snap, HistogramSnapshot)
+        histogram.observe(1000.0)
+        assert snap.count == 1  # unaffected by later observations
+        with pytest.raises(AttributeError):
+            snap.count = 7
+
+    def test_summary_keys(self):
+        histogram = Log2Histogram()
+        histogram.observe(1.5)
+        summary = histogram.summary()
+        assert set(summary) == {"count", "mean", "p50", "p95", "p99", "max"}
+
+
+class TestShardMonitor:
+    def test_observe_round_updates_both_gauges(self):
+        monitor = ShardMonitor()
+        monitor.observe_round(queue_depth=10, rows=4, elapsed_ms=2.5)
+        monitor.observe_round(queue_depth=6, rows=2, elapsed_ms=1.5)
+        assert monitor.rounds == 2
+        assert monitor.rows == 6
+        assert monitor.round_latency_ms.count == 2
+        assert monitor.queue_depth.maximum == 10.0
+
+    def test_merged_equals_single_global_monitor(self):
+        shard_a, shard_b, reference = ShardMonitor(), ShardMonitor(), ShardMonitor()
+        rounds = [(10, 4, 2.0), (3, 3, 1.0), (50, 16, 8.0), (1, 1, 0.25)]
+        for index, (depth, rows, elapsed) in enumerate(rounds):
+            (shard_a if index % 2 else shard_b).observe_round(depth, rows, elapsed)
+            reference.observe_round(depth, rows, elapsed)
+        merged = ShardMonitor.merged([shard_a, shard_b])
+        assert merged.rounds == reference.rounds
+        assert merged.rows == reference.rows
+        assert merged.round_latency_ms.counts == reference.round_latency_ms.counts
+        assert merged.queue_depth.counts == reference.queue_depth.counts
+        # sources unchanged
+        assert shard_a.rounds + shard_b.rounds == merged.rounds
+
+    def test_snapshot_summarises_both_histograms(self):
+        monitor = ShardMonitor()
+        monitor.observe_round(queue_depth=8, rows=8, elapsed_ms=3.0)
+        snap = monitor.snapshot()
+        assert snap.rounds == 1 and snap.rows == 8
+        assert snap.round_latency_ms.count == 1
+        assert snap.queue_depth.maximum == 8.0
+
+
+class TestClusterStatsSurfacing:
+    """ServingCluster.stats() publishes the merged per-shard telemetry."""
+
+    def test_stats_round_telemetry(self):
+        import numpy as np
+
+        from repro.core.config import KVECConfig
+        from repro.core.model import KVEC
+        from repro.data.items import Item, ValueSpec
+        from repro.data.stream import StreamEvent
+        from repro.serving.cluster import ClusterConfig, ServingCluster
+        from repro.serving.engine import EngineConfig
+
+        spec = ValueSpec(("size", "direction"), (8, 2), 1)
+        model = KVEC(
+            spec,
+            num_classes=3,
+            config=KVECConfig(
+                d_model=12, num_blocks=1, num_heads=2, ffn_hidden=16,
+                d_state=16, dropout=0.0, encoding="rotary", seed=0,
+            ),
+        )
+        rng = np.random.default_rng(0)
+        cluster = ServingCluster(
+            model,
+            spec,
+            ClusterConfig(
+                num_shards=2,
+                batch_size=4,
+                engine=EngineConfig(window_items=8, halt_threshold=0.9),
+            ),
+        )
+        clock = 0.0
+        for _ in range(60):
+            clock += 1.0
+            event = StreamEvent(
+                time=clock,
+                item=Item(f"k{rng.integers(3)}", (int(rng.integers(8)), int(rng.integers(2))), clock),
+                source=f"stream-{rng.integers(5)}",
+            )
+            cluster.submit(event)
+        cluster.drain()
+        stats = cluster.stats()
+        assert stats["rounds"] > 0
+        assert stats["round_latency_ms"]["count"] == stats["rounds"]
+        assert stats["round_queue_depth"]["count"] == stats["rounds"]
+        assert len(stats["shard_monitors"]) == 2
+        assert sum(snap.rounds for snap in stats["shard_monitors"]) == stats["rounds"]
+        assert len(stats["round_widths"]) == 2
 
 
 class TestThroughputMeter:

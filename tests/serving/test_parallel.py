@@ -1,0 +1,242 @@
+"""Unit tests for the shard execution backends and the adaptive controller.
+
+Cluster-level parity of the backends lives in ``test_cluster.py``; this file
+tests the executors and the batch controller as components: pinning, ordered
+fan-out, exception propagation, re-entrancy, lifecycle, and the controller's
+widen/narrow behaviour on synthetic observations.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.serving.parallel import (
+    AdaptiveBatchConfig,
+    AdaptiveBatchController,
+    SerialExecutor,
+    ThreadExecutor,
+    available_cpus,
+    make_executor,
+)
+
+
+class TestSerialExecutor:
+    def test_runs_inline_on_caller(self):
+        executor = SerialExecutor()
+        assert executor.run(0, threading.get_ident) == threading.get_ident()
+
+    def test_map_preserves_order(self):
+        executor = SerialExecutor()
+        results = executor.map_shards([lambda i=i: i * 10 for i in range(5)])
+        assert results == [0, 10, 20, 30, 40]
+
+
+class TestThreadExecutor:
+    def test_shards_are_pinned_to_one_thread(self):
+        """Every run for a shard must execute on the same worker thread,
+        across many dispatches — the invariant that keeps session state
+        single-threaded without locks."""
+        with ThreadExecutor(num_shards=4) as executor:
+            homes = {shard: set() for shard in range(4)}
+            for _ in range(20):
+                for shard in range(4):
+                    homes[shard].add(executor.run(shard, threading.get_ident))
+            for shard, idents in homes.items():
+                assert len(idents) == 1, shard
+                assert threading.get_ident() not in idents
+
+    def test_worker_sharing_when_fewer_workers_than_shards(self):
+        with ThreadExecutor(num_shards=4, num_workers=2) as executor:
+            idents = [executor.run(shard, threading.get_ident) for shard in range(4)]
+            assert idents[0] == idents[2]
+            assert idents[1] == idents[3]
+            assert idents[0] != idents[1]
+
+    def test_map_shards_returns_results_in_shard_order(self):
+        """Results must come back indexed by shard even when later shards
+        finish first — the deterministic-merge contract."""
+
+        def job(shard):
+            time.sleep(0.02 * (3 - shard))  # shard 3 finishes first
+            return shard
+
+        with ThreadExecutor(num_shards=4) as executor:
+            assert executor.map_shards(
+                [lambda shard=shard: job(shard) for shard in range(4)]
+            ) == [0, 1, 2, 3]
+
+    def test_map_shards_runs_concurrently(self):
+        """All four jobs hold a barrier simultaneously: with one worker per
+        shard they must all be in flight at once to get past it."""
+        barrier = threading.Barrier(4, timeout=5.0)
+        with ThreadExecutor(num_shards=4) as executor:
+            results = executor.map_shards(
+                [lambda: barrier.wait() is not None for _ in range(4)]
+            )
+        assert results == [True] * 4
+
+    def test_exception_propagates_from_run(self):
+        with ThreadExecutor(num_shards=2) as executor:
+            with pytest.raises(ValueError, match="boom"):
+                executor.run(1, lambda: (_ for _ in ()).throw(ValueError("boom")))
+
+    def test_map_shards_raises_lowest_shard_error_after_all_complete(self):
+        finished = []
+
+        def ok(shard):
+            finished.append(shard)
+            return shard
+
+        def bad(shard):
+            raise RuntimeError(f"shard-{shard}")
+
+        with ThreadExecutor(num_shards=3) as executor:
+            with pytest.raises(RuntimeError, match="shard-1"):
+                executor.map_shards(
+                    [lambda: ok(0), lambda: bad(1), lambda: ok(2)]
+                )
+        # every non-failing job still ran to completion before the raise
+        assert sorted(finished) == [0, 2]
+
+    def test_reentrant_run_executes_inline(self):
+        """A job already on a shard's pinned worker may run() for the same
+        shard again without deadlocking (the worker-side drain loop does
+        exactly this)."""
+        with ThreadExecutor(num_shards=2) as executor:
+
+            def outer():
+                inner_ident = executor.run(0, threading.get_ident)
+                return inner_ident == threading.get_ident()
+
+            assert executor.run(0, outer) is True
+
+    def test_close_is_idempotent_and_rejects_new_work(self):
+        executor = ThreadExecutor(num_shards=2)
+        executor.close()
+        executor.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            executor.run(0, lambda: None)
+
+    def test_submit_racing_close_raises_or_completes_never_hangs(self):
+        """A submitter overlapping close() must either get its result or the
+        'executor is closed' error — a job must never be enqueued behind the
+        shutdown sentinel, where no worker would ever complete it."""
+        for _ in range(20):
+            executor = ThreadExecutor(num_shards=1)
+            outcomes = []
+
+            def hammer():
+                try:
+                    for _ in range(50):
+                        outcomes.append(executor.run(0, lambda: 1))
+                except RuntimeError as error:
+                    outcomes.append(str(error))
+
+            submitter = threading.Thread(target=hammer, daemon=True)
+            submitter.start()
+            executor.close()
+            submitter.join(timeout=5.0)
+            assert not submitter.is_alive(), "submitter hung on a lost job"
+            assert outcomes  # every attempt resolved to a value or the error
+
+    def test_out_of_range_shard_rejected(self):
+        with ThreadExecutor(num_shards=2) as executor:
+            with pytest.raises(IndexError):
+                executor.run(2, lambda: None)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            ThreadExecutor(num_shards=0)
+        with pytest.raises(ValueError):
+            ThreadExecutor(num_shards=2, num_workers=0)
+
+
+class TestMakeExecutor:
+    def test_builds_both_backends(self):
+        assert isinstance(make_executor("serial", 2), SerialExecutor)
+        thread = make_executor("thread", 2)
+        assert isinstance(thread, ThreadExecutor)
+        thread.close()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            make_executor("fork", 2)
+
+    def test_available_cpus_positive(self):
+        assert available_cpus() >= 1
+
+
+class TestAdaptiveBatchConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(min_batch=0),
+            dict(min_batch=4, max_batch=2),
+            dict(latency_budget_ms=0.0),
+            dict(catchup_rounds=0),
+            dict(ewma_alpha=0.0),
+            dict(ewma_alpha=1.5),
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            AdaptiveBatchConfig(**kwargs)
+
+
+class TestAdaptiveBatchController:
+    def test_starts_at_min_batch(self):
+        controller = AdaptiveBatchController(AdaptiveBatchConfig(min_batch=2))
+        assert controller.width == 2
+
+    def test_backlog_widens_rounds(self):
+        """A deep remaining backlog must widen the next round toward
+        clearing it in ``catchup_rounds`` rounds."""
+        controller = AdaptiveBatchController(
+            AdaptiveBatchConfig(min_batch=1, max_batch=64, catchup_rounds=2,
+                                latency_budget_ms=1000.0)
+        )
+        width = controller.observe_round(backlog=40, rows=1, elapsed_ms=0.1)
+        assert width == 20
+
+    def test_empty_queue_narrows_to_min(self):
+        controller = AdaptiveBatchController(AdaptiveBatchConfig(min_batch=1))
+        controller.observe_round(backlog=100, rows=8, elapsed_ms=1.0)
+        assert controller.width > 1
+        controller.observe_round(backlog=0, rows=8, elapsed_ms=1.0)
+        assert controller.width == 1
+
+    def test_latency_budget_caps_width(self):
+        """With rows costing ~2ms each and an 8ms budget, the controller may
+        never pick more than 4 rows per round, whatever the backlog."""
+        controller = AdaptiveBatchController(
+            AdaptiveBatchConfig(min_batch=1, max_batch=64, latency_budget_ms=8.0,
+                                ewma_alpha=1.0)
+        )
+        width = controller.observe_round(backlog=1000, rows=10, elapsed_ms=20.0)
+        assert width == 4
+
+    def test_max_batch_is_a_hard_ceiling(self):
+        controller = AdaptiveBatchController(
+            AdaptiveBatchConfig(max_batch=16, latency_budget_ms=1000.0)
+        )
+        assert controller.observe_round(backlog=10_000, rows=1, elapsed_ms=0.01) == 16
+
+    def test_ewma_smooths_latency_samples(self):
+        controller = AdaptiveBatchController(AdaptiveBatchConfig(ewma_alpha=0.5))
+        controller.observe_round(backlog=0, rows=1, elapsed_ms=2.0)
+        controller.observe_round(backlog=0, rows=1, elapsed_ms=4.0)
+        assert controller.row_ms_ewma == pytest.approx(3.0)
+
+    def test_empty_rounds_leave_ewma_untouched(self):
+        controller = AdaptiveBatchController()
+        controller.observe_round(backlog=5, rows=0, elapsed_ms=1.0)
+        assert controller.row_ms_ewma is None
+
+    def test_reset_restores_initial_state(self):
+        controller = AdaptiveBatchController(AdaptiveBatchConfig(min_batch=3))
+        controller.observe_round(backlog=50, rows=4, elapsed_ms=1.0)
+        controller.reset()
+        assert controller.width == 3
+        assert controller.row_ms_ewma is None
+        assert controller.rounds_observed == 0

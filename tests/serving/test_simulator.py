@@ -173,6 +173,158 @@ class TestKeySkew:
         assert first == second
 
 
+class TestArrivalPatterns:
+    """Burst and diurnal start-rate modulation (mean-preserving by design)."""
+
+    def _mean_start_gap(self, pattern, num=1500, **kwargs):
+        pool = make_pool(num=num, length=2)
+        simulator = ArrivalSimulator(
+            pool, SimulatorConfig(arrival_rate=1.0, seed=11, pattern=pattern, **kwargs)
+        )
+        starts = sorted(entry.start for entry in simulator._schedule)
+        return (starts[-1] - starts[0]) / (len(starts) - 1)
+
+    def test_rejects_invalid_pattern_config(self):
+        with pytest.raises(ValueError):
+            SimulatorConfig(pattern="square")
+        with pytest.raises(ValueError):
+            SimulatorConfig(pattern="burst", burst_duty=0.0)
+        with pytest.raises(ValueError):
+            SimulatorConfig(pattern="burst", burst_floor=1.5)
+        with pytest.raises(ValueError):
+            SimulatorConfig(pattern="burst", burst_period=0.0)
+        with pytest.raises(ValueError):
+            SimulatorConfig(pattern="diurnal", diurnal_amplitude=1.0)
+        with pytest.raises(ValueError):
+            SimulatorConfig(pattern="diurnal", diurnal_period=-2.0)
+
+    def test_poisson_pattern_matches_legacy_schedule(self):
+        """pattern="poisson" must reproduce the unmodulated schedule draw for
+        draw (the hazard-space clock is the identity there)."""
+        pool = make_pool(num=12, length=4)
+        legacy = ArrivalSimulator(pool, SimulatorConfig(seed=5))
+        explicit = ArrivalSimulator(pool, SimulatorConfig(seed=5, pattern="poisson"))
+        assert [e.start for e in legacy._schedule] == [
+            e.start for e in explicit._schedule
+        ]
+
+    @pytest.mark.parametrize(
+        "pattern,kwargs",
+        [
+            ("burst", {}),
+            ("burst", {"burst_floor": 0.4, "burst_duty": 0.5}),
+            ("diurnal", {}),
+            ("diurnal", {"diurnal_amplitude": 0.95}),
+        ],
+    )
+    def test_mean_rate_preserved(self, pattern, kwargs):
+        """The modulation profile has mean 1 over its period, so the mean
+        start gap must match the nominal 1/arrival_rate closely."""
+        baseline = self._mean_start_gap("poisson")
+        modulated = self._mean_start_gap(pattern, **kwargs)
+        assert modulated == pytest.approx(1.0, rel=0.05)
+        assert modulated == pytest.approx(baseline, rel=0.05)
+
+    def test_burst_confines_starts_to_on_windows(self):
+        """With a fully quiet off phase every key start must land inside the
+        duty window of its period."""
+        pool = make_pool(num=400, length=2)
+        config = SimulatorConfig(
+            arrival_rate=1.0, seed=3, pattern="burst",
+            burst_period=16.0, burst_duty=0.25, burst_floor=0.0,
+        )
+        simulator = ArrivalSimulator(pool, config)
+        for entry in simulator._schedule:
+            assert entry.start % 16.0 <= 4.0 + 1e-9
+
+    def test_burst_floor_keeps_off_phase_alive_but_sparse(self):
+        pool = make_pool(num=2000, length=2)
+        config = SimulatorConfig(
+            arrival_rate=1.0, seed=9, pattern="burst",
+            burst_period=16.0, burst_duty=0.25, burst_floor=0.2,
+        )
+        simulator = ArrivalSimulator(pool, config)
+        on = sum(1 for e in simulator._schedule if e.start % 16.0 <= 4.0)
+        off = len(simulator._schedule) - on
+        assert off > 0  # the floor keeps some off-phase traffic
+        # on-phase rate is (1 - 0.75*0.2)/0.25 = 3.4x nominal vs 0.2x off:
+        # with equal-ish span shares of 1:3 the on-phase still dominates.
+        assert on > 4 * off
+
+    def test_diurnal_concentrates_starts_at_peak_phase(self):
+        """The sinusoid peaks in the first half-period (sin > 0) and bottoms
+        in the second: the first half must receive substantially more
+        starts."""
+        pool = make_pool(num=3000, length=2)
+        config = SimulatorConfig(
+            arrival_rate=1.0, seed=7, pattern="diurnal",
+            diurnal_period=64.0, diurnal_amplitude=0.9,
+        )
+        simulator = ArrivalSimulator(pool, config)
+        first_half = sum(1 for e in simulator._schedule if e.start % 64.0 < 32.0)
+        second_half = len(simulator._schedule) - first_half
+        assert first_half > 1.8 * second_half
+
+    def test_modulated_rate_exposes_the_profile(self):
+        pool = make_pool(num=4, length=2)
+        config = SimulatorConfig(
+            arrival_rate=2.0, seed=0, pattern="burst",
+            burst_period=10.0, burst_duty=0.5, burst_floor=0.0,
+        )
+        simulator = ArrivalSimulator(pool, config)
+        assert simulator.modulated_rate(1.0) == pytest.approx(4.0)  # on: 2x rate
+        assert simulator.modulated_rate(7.0) == 0.0  # off phase
+        diurnal = ArrivalSimulator(
+            pool,
+            SimulatorConfig(
+                arrival_rate=1.0, pattern="diurnal",
+                diurnal_period=8.0, diurnal_amplitude=0.5,
+            ),
+        )
+        assert diurnal.modulated_rate(2.0) == pytest.approx(1.5)  # sin peak
+        assert diurnal.modulated_rate(6.0) == pytest.approx(0.5)  # trough
+
+    def test_deterministic_given_seed(self):
+        pool = make_pool(num=30, length=3)
+        config = SimulatorConfig(seed=13, pattern="diurnal", diurnal_amplitude=0.7)
+        first = [e.time for e in ArrivalSimulator(pool, config).events()]
+        second = [e.time for e in ArrivalSimulator(pool, config).events()]
+        assert first == second
+
+    def test_patterns_compose_with_key_skew_and_max_active(self):
+        pool = make_pool(num=40, length=6)
+        config = SimulatorConfig(
+            arrival_rate=10.0, seed=2, pattern="burst", key_skew=1.0, max_active=4
+        )
+        simulator = ArrivalSimulator(pool, config)
+        assert simulator.peak_concurrency() <= 4
+        times = [event.time for event in simulator.events()]
+        assert times == sorted(times)
+
+    def test_multi_stream_patterns_flow_through(self):
+        """MultiStreamSimulator propagates the pattern to every stream; the
+        merged timeline stays chronological, source-tagged, and bursty."""
+        pool = make_pool(num=240, length=2)
+        config = MultiStreamConfig(
+            num_streams=4,
+            simulator=SimulatorConfig(
+                arrival_rate=1.0, seed=5, pattern="burst",
+                burst_period=16.0, burst_duty=0.25, burst_floor=0.0,
+            ),
+        )
+        simulator = MultiStreamSimulator(pool, config)
+        events = list(simulator.events())
+        assert len(events) == 480
+        times = [event.time for event in events]
+        assert times == sorted(times)
+        # every key's start (its first event) obeys the duty window
+        seen = set()
+        for event in events:
+            if event.key not in seen:
+                seen.add(event.key)
+                assert event.time % 16.0 <= 4.0 + 1e-9
+
+
 class TestMultiStreamSimulator:
     def test_partition_is_complete_and_disjoint(self):
         pool = make_pool(num=24, length=3)
