@@ -14,17 +14,23 @@ network flow while its packets are still arriving.  This example
 4. serves the stream with the online engine over a bounded sliding window,
 5. reports running accuracy / earliness / latency from the decision monitor,
 6. serves the same flows again as a *multi-stream* process through the
-   sharded :class:`ServingCluster` — hash-routed shards, cross-stream
-   batched encoding, per-shard monitors merged into one cluster view,
+   push-based :class:`ServingGateway` — per-stream handles, per-key decision
+   futures, a subscribed decision sink, and explicit admission outcomes from
+   the sharded :class:`ServingCluster` underneath (hash-routed shards,
+   cross-stream batched encoding),
 7. turns on the parallel backend: bursty Zipf-skewed traffic served by a
    thread worker pool (one pinned worker per shard) with adaptive drain
    batching (``batch_size="auto"``) — hot shards batch wide, cold shards
    stay at per-arrival latency, and explicit drains overlap all shards on
-   real cores.
+   real cores,
+8. serves from an event loop through the :class:`AsyncServingGateway` —
+   awaitable submission with one concurrent submitter task per stream and
+   an ``async for`` decision stream (stdlib asyncio only).
 """
 
 from __future__ import annotations
 
+import asyncio
 import tempfile
 from pathlib import Path
 
@@ -36,6 +42,8 @@ from repro.eval import summarize
 from repro.eval.evaluator import prepare_tangled_splits
 from repro.serving import (
     ArrivalSimulator,
+    AsyncServingGateway,
+    BufferedSink,
     ClusterConfig,
     DecisionMonitor,
     EngineConfig,
@@ -43,6 +51,7 @@ from repro.serving import (
     MultiStreamSimulator,
     OnlineClassificationEngine,
     ServingCluster,
+    ServingGateway,
     SimulatorConfig,
     ThroughputMeter,
 )
@@ -109,14 +118,16 @@ def main() -> None:
     print(f"decisions from window truncation: {engine.num_truncated}")
 
     # ------------------------------------------------------------------ #
-    # 6. Multi-stream serving through the sharded cluster
+    # 6. Multi-stream serving through the push-based gateway
     # ------------------------------------------------------------------ #
     # The same flows, now partitioned across 4 concurrent stream ids with a
-    # Zipf-skewed traffic share (hot streams carry most flows).  The cluster
-    # hash-routes each stream to one of 2 shards; every shard drains its
-    # queue with cross-stream batched row encoding, and per-stream decisions
-    # are identical to the single-stream engine above (the parity suite in
-    # tests/serving/test_cluster.py pins this).
+    # Zipf-skewed traffic share (hot streams carry most flows).  The gateway
+    # wraps a 2-shard ServingCluster: offers go through per-stream handles,
+    # decisions come back *pushed* — a subscribed sink receives every
+    # decision in emission order (identical to the returned lists, the
+    # parity suite pins this), and per-key futures resolve the moment a
+    # key's decision is emitted.  Per-stream decisions are identical to the
+    # single-stream engine above.
     traffic = MultiStreamSimulator(
         test_flows,
         MultiStreamConfig(
@@ -125,7 +136,7 @@ def main() -> None:
             simulator=SimulatorConfig(arrival_rate=1.5, max_active=6, seed=2),
         ),
     )
-    cluster = ServingCluster(
+    gateway = ServingGateway(
         served_model,
         dataset.spec,
         ClusterConfig(
@@ -134,33 +145,53 @@ def main() -> None:
             engine=EngineConfig(window_items=256, halt_threshold=0.5, reencode_every=2),
         ),
     )
-    # One monitor per shard — mergeable without sharing mutable state, the
-    # way a real deployment aggregates worker-local statistics.
-    shard_monitors = {
-        shard.shard_id: DecisionMonitor(
-            labels=traffic.labels, sequence_lengths=traffic.sequence_lengths
-        )
-        for shard in cluster.shards
-    }
-    for stream_decision in cluster.consume(traffic.events()) + cluster.flush():
-        shard_monitors[stream_decision.shard_id].observe(stream_decision.decision)
+    # Push delivery: the monitor is fed by a subscription instead of the
+    # caller demultiplexing returned lists.
+    sink = gateway.subscribe(BufferedSink())
+    monitor = DecisionMonitor(labels=traffic.labels, sequence_lengths=traffic.sequence_lengths)
+    # A per-key future: resolved whenever that flow's decision is emitted,
+    # by whatever drain/flush happens to trigger it.
+    events_list = list(traffic.events())
+    first_event = events_list[0]
+    first_flow = gateway.stream(first_event.source).result(first_event.key)
+    admission = {"accepted": 0, "decided": 0}
+    for event in events_list:
+        result = gateway.stream(event.source).offer(event)
+        admission[result.status] += 1
+    gateway.flush()
+    for stream_decision in sink.take():
+        monitor.observe(stream_decision.decision)
 
     print()
-    print("=== sharded cluster report (merged across shards) ===")
+    print("=== gateway report (push delivery, merged across shards) ===")
     print(f"streams: {traffic.stream_share} (Zipf-skewed shares)")
-    merged = DecisionMonitor.merged(shard_monitors.values())
-    print(merged.report())
-    stats = cluster.stats()
+    print(monitor.report())
+    stats = gateway.stats()
     print(
         f"cluster: {stats['num_shards']} shards, {stats['num_sessions']} sessions, "
         f"{stats['batch_rounds']} batched rounds covering {stats['batched_rows']} arrivals"
     )
+    print(
+        f"admission outcomes: {admission['accepted']} accepted, "
+        f"{admission['decided']} submissions triggered decisions; "
+        f"throughput {stats['items_per_s']:.0f} items/s, "
+        f"{stats['decisions_per_s']:.0f} decisions/s (sliding window)"
+    )
+    if first_flow.done() and not first_flow.cancelled():
+        decision = first_flow.result(timeout=0)
+        print(
+            f"future for flow {decision.key!r}: class {decision.predicted} "
+            f"after {decision.observations} packets (confidence {decision.confidence:.2f})"
+        )
 
     # Snapshots deep-copy the serving state (sharing the model weights), so
     # a deployment can checkpoint mid-stream and restore after a failover.
-    snapshot = cluster.snapshot()
-    cluster.restore(snapshot)
+    # Deliveries are not serving state: the restore re-fires nothing, and
+    # resolved futures stay resolved.
+    snapshot = gateway.cluster.snapshot()
+    gateway.cluster.restore(snapshot)
     print("snapshot/restore round trip ok")
+    gateway.close()
 
     # ------------------------------------------------------------------ #
     # 7. Parallel shard execution under bursty, skewed traffic
@@ -236,6 +267,51 @@ def main() -> None:
             f"mean drain-round widths per shard: {mean_widths} "
             f"(hot shards batched wide, cold shards stayed near the floor)"
         )
+
+    # ------------------------------------------------------------------ #
+    # 8. Event-loop serving through the asyncio gateway
+    # ------------------------------------------------------------------ #
+    # The same multi-stream traffic, served from inside an event loop: one
+    # concurrent submitter task per stream (awaitable submission — the event
+    # loop never blocks on a drain round; shard work still runs on the
+    # cluster's own thread backend) and one consumer task iterating the
+    # pushed decision stream.  Per-stream decisions remain identical to the
+    # sequential reference — only the waiting becomes cooperative.
+    per_stream = {}
+    for event in events_list:
+        per_stream.setdefault(event.source, []).append(event)
+
+    async def serve_async():
+        config = ClusterConfig(
+            num_shards=2,
+            batch_size=8,
+            executor="thread",
+            engine=EngineConfig(window_items=256, halt_threshold=0.5, reencode_every=2),
+        )
+        async_monitor = DecisionMonitor(
+            labels=traffic.labels, sequence_lengths=traffic.sequence_lengths
+        )
+        async with AsyncServingGateway(served_model, dataset.spec, config) as agw:
+
+            async def consume():
+                async for stream_decision in agw.decisions():
+                    async_monitor.observe(stream_decision.decision)
+
+            consumer = asyncio.create_task(consume())
+
+            async def submit_stream(stream_id):
+                for event in per_stream[stream_id]:
+                    await agw.submit(event)
+
+            await asyncio.gather(*(submit_stream(s) for s in per_stream))
+            await agw.close()
+            await consumer
+        return async_monitor
+
+    async_monitor = asyncio.run(serve_async())
+    print()
+    print("=== asyncio gateway report (concurrent submitter tasks) ===")
+    print(async_monitor.report())
 
 
 if __name__ == "__main__":

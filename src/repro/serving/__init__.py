@@ -3,8 +3,8 @@
 The paper's motivating scenarios (Fig. 1) are *online*: a router must label
 each flow while its packets are still arriving, and a recommender must
 profile a user while she is still browsing.  The offline evaluation harness
-in :mod:`repro.eval` replays complete tangled sequences; this subpackage
-provides the serving-side counterpart, layered as session → shard → cluster:
+in :mod:`repro.eval` replays complete tangled sequences; this subpackage is
+the serving-side counterpart, layered session → shard → cluster → gateway:
 
 * :class:`~repro.serving.simulator.ArrivalSimulator` — turns a generated
   dataset into one live arrival process with a controllable number of
@@ -18,11 +18,32 @@ provides the serving-side counterpart, layered as session → shard → cluster:
 * :class:`~repro.serving.cluster.ServingCluster` — hash-routes stream ids
   across :class:`~repro.serving.cluster.ShardWorker` instances, applies
   bounded-queue admission control, drains each shard with cross-stream
-  *batched* row encoding, and supports snapshot/restore,
+  *batched* row encoding (overlapped across cores by the
+  :mod:`~repro.serving.parallel` thread backend), and supports
+  snapshot/restore plus an explicit running → draining → closed lifecycle,
+* **push-based delivery** — :meth:`~repro.serving.cluster.ServingCluster.submit`
+  returns a :class:`~repro.serving.results.SubmitResult` (explicit
+  ``accepted`` / ``decided`` / ``rejected`` / ``shed`` admission outcome +
+  queue-depth telemetry; it still iterates like the legacy decision list),
+  and subscribed :class:`~repro.serving.sinks.DecisionSink` instances
+  (callback, bounded buffer, fan-out, asyncio queue) receive every emitted
+  decision in the exact order of the returned-list API — delivery is
+  backend-deterministic and parity-tested,
+* :class:`~repro.serving.gateway.ServingGateway` — per-stream
+  :class:`~repro.serving.gateway.StreamHandle`\\ s over the sinks:
+  ``handle.offer(event)``, ``handle.result(key)`` futures resolved at
+  emission, ``handle.close()`` per-stream flush,
+* :class:`~repro.serving.aio.AsyncServingGateway` — the asyncio front end:
+  ``await gateway.submit(...)`` (drains run off-loop on the cluster's own
+  execution backend), ``async for decision in gateway.decisions()``, and
+  awaitable backpressure via bounded decision buffering,
 * :mod:`~repro.serving.monitoring` — running accuracy/earliness/latency
-  aggregation, mergeable across shards into a cluster-level view.
+  aggregation plus sliding-window throughput meters, mergeable across
+  shards into a cluster-level view
+  (``ServingCluster.stats()["items_per_s"]`` / ``["decisions_per_s"]``).
 """
 
+from repro.serving.aio import AsyncServingGateway
 from repro.serving.cluster import (
     ClusterConfig,
     ClusterSnapshot,
@@ -37,6 +58,7 @@ from repro.serving.engine import (
     OnlineClassificationEngine,
     StreamSession,
 )
+from repro.serving.gateway import ServingGateway, StreamHandle
 from repro.serving.monitoring import (
     DecisionMonitor,
     HistogramSnapshot,
@@ -53,11 +75,19 @@ from repro.serving.parallel import (
     ShardExecutor,
     ThreadExecutor,
 )
+from repro.serving.results import SUBMIT_STATUSES, ConsumeSummary, SubmitResult
 from repro.serving.simulator import (
     ArrivalSimulator,
     MultiStreamConfig,
     MultiStreamSimulator,
     SimulatorConfig,
+)
+from repro.serving.sinks import (
+    AsyncQueueSink,
+    BufferedSink,
+    CallbackSink,
+    DecisionSink,
+    FanOutSink,
 )
 
 __all__ = [
@@ -71,6 +101,17 @@ __all__ = [
     "ShardOverloadError",
     "ShardWorker",
     "StreamDecision",
+    "SUBMIT_STATUSES",
+    "SubmitResult",
+    "ConsumeSummary",
+    "DecisionSink",
+    "CallbackSink",
+    "BufferedSink",
+    "FanOutSink",
+    "AsyncQueueSink",
+    "ServingGateway",
+    "StreamHandle",
+    "AsyncServingGateway",
     "ShardExecutor",
     "SerialExecutor",
     "ThreadExecutor",

@@ -1,0 +1,348 @@
+"""Asyncio serving gateway: awaitable submission and async decision streams.
+
+The cluster and sync gateway are thread-blocking by design — every call
+returns with its work complete.  An event-loop application must never block
+the loop on a drain round, so :class:`AsyncServingGateway` wraps the cluster
+the asyncio-native way:
+
+* ``await gateway.submit(event)`` — admission, and any drain round the
+  submission triggers, runs *off-loop*: the call is dispatched to a thread
+  (``loop.run_in_executor``) and the heavy shard work still executes on the
+  cluster's own execution backend — with ``executor="thread"`` every round
+  runs on its shard's pinned pool worker exactly as in synchronous serving.
+  The event loop only ever awaits; backpressure (``overflow="drain"``
+  synchronous rounds, bounded decision buffering) becomes awaitable instead
+  of loop-blocking.
+* ``async for decision in gateway.decisions()`` — every emitted decision,
+  pushed through an :class:`~repro.serving.sinks.AsyncQueueSink` onto the
+  loop.  With ``max_buffered=n`` the queue is bounded and a full buffer
+  blocks the *publishing worker* until the consumer catches up — end-to-end
+  backpressure from the consumer into the serving layer (a concurrently
+  running consumer task is then required, including across ``close()``).
+* ``gateway.result(stream_id, key)`` — an :class:`asyncio.Future` resolved
+  on the loop when that key's decision is emitted; the asyncio counterpart
+  of :meth:`repro.serving.gateway.StreamHandle.result`.
+
+Concurrency: submissions from many tasks run concurrently when the cluster
+uses the thread backend (admission is lock-guarded, rounds are shard-pinned,
+and per-stream delivery order is exact as long as each stream's events are
+submitted in order — one task per stream is the natural shape).  Cluster-wide
+operations (``drain`` / ``flush`` / ``expire`` / ``close``) take an exclusive
+gate so their merge-point publication cannot interleave with submission-path
+publication.  With the serial backend *every* operation is exclusive (the
+serial cluster is single-threaded by contract).
+
+Lifecycle: ``running`` → ``draining`` (``close()`` flushes, resolves what
+resolves) → ``closed`` (unresolved futures cancelled, the decision stream
+terminates).  Like the sync gateway, decision futures fire at most once;
+replays after a cluster restore re-feed ``decisions()`` but never re-fire a
+future.
+
+No third-party dependencies: everything is stdlib ``asyncio`` (tests drive
+it with ``asyncio.run``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from contextlib import asynccontextmanager
+from functools import partial
+from typing import AsyncIterator, Dict, Hashable, List, Optional, Tuple
+
+from repro.data.items import ValueSpec
+from repro.serving.cluster import ClusterConfig, ServingCluster, StreamDecision
+from repro.serving.engine import Decision
+from repro.serving.gateway import DecisionRegistry
+from repro.serving.results import SubmitResult
+from repro.serving.sinks import AsyncQueueSink
+
+__all__ = ["AsyncServingGateway"]
+
+
+class _OpGate:
+    """Shared/exclusive async gate (submissions shared, cluster ops exclusive).
+
+    Writer-preferring: once an exclusive waiter queues up, new shared
+    entrants wait, so a ``drain``/``close`` cannot be starved by a steady
+    stream of submissions.  With ``exclusive_only=True`` (serial execution
+    backend) shared entry degrades to exclusive entry.
+    """
+
+    def __init__(self, exclusive_only: bool = False) -> None:
+        self._cond = asyncio.Condition()
+        self._shared = 0
+        self._exclusive = False
+        self._exclusive_waiting = 0
+        self._exclusive_only = exclusive_only
+
+    @asynccontextmanager
+    async def shared(self):
+        if self._exclusive_only:
+            async with self.exclusive():
+                yield
+            return
+        async with self._cond:
+            while self._exclusive or self._exclusive_waiting:
+                await self._cond.wait()
+            self._shared += 1
+        try:
+            yield
+        finally:
+            async with self._cond:
+                self._shared -= 1
+                self._cond.notify_all()
+
+    @asynccontextmanager
+    async def exclusive(self):
+        async with self._cond:
+            self._exclusive_waiting += 1
+            try:
+                while self._exclusive or self._shared:
+                    await self._cond.wait()
+                self._exclusive = True
+            finally:
+                self._exclusive_waiting -= 1
+        try:
+            yield
+        finally:
+            async with self._cond:
+                self._exclusive = False
+                self._cond.notify_all()
+
+
+class _AioDeliverySink(AsyncQueueSink):
+    """Queue delivery plus loop-side registry delivery, per decision."""
+
+    def __init__(self, queue, loop, registry: DecisionRegistry) -> None:
+        super().__init__(queue, loop)
+        self._registry = registry
+
+    def publish(self, decision: StreamDecision) -> None:
+        super().publish(decision)
+        if self._closed or self._loop.is_closed():
+            # Same drop-don't-crash guard as the queue side: an abandoned
+            # gateway whose loop is gone must not break the serving layer.
+            return
+        # Registry mutation and asyncio-future resolution belong on the loop.
+        self._loop.call_soon_threadsafe(self._registry.deliver, decision)
+
+
+class AsyncServingGateway:
+    """Awaitable push-based serving over a :class:`ServingCluster`.
+
+    Construct with a model/spec/config (the gateway owns and closes the
+    cluster) or wrap an existing cluster.  The gateway binds to the event
+    loop of the first awaited call; all later calls must come from the same
+    loop.  Usable as an async context manager (``async with`` closes it).
+    """
+
+    _SENTINEL = object()
+
+    def __init__(
+        self,
+        model=None,
+        spec: Optional[ValueSpec] = None,
+        config: Optional[ClusterConfig] = None,
+        *,
+        cluster: Optional[ServingCluster] = None,
+        max_buffered: int = 0,
+    ) -> None:
+        if cluster is None:
+            if model is None or spec is None:
+                raise ValueError(
+                    "AsyncServingGateway needs either an existing cluster= or "
+                    "a model + spec (+ optional config) to build one"
+                )
+            cluster = ServingCluster(model, spec, config)
+            self._owns_cluster = True
+        else:
+            if model is not None or spec is not None or config is not None:
+                raise ValueError(
+                    "pass either cluster= or model/spec/config, not both"
+                )
+            self._owns_cluster = False
+        if max_buffered < 0:
+            raise ValueError("max_buffered must be >= 0 (0 = unbounded)")
+        self._cluster = cluster
+        self._max_buffered = max_buffered
+        self._state = "running"
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._queue: Optional[asyncio.Queue] = None
+        self._sink: Optional[_AioDeliverySink] = None
+        self._gate: Optional[_OpGate] = None
+        #: Shared first-emission bookkeeping (see DecisionRegistry): the
+        #: asyncio flavour only ever mutates it on the bound loop, via
+        #: call_soon_threadsafe deliveries.  Created at loop binding so the
+        #: future factory can target the loop.
+        self._registry: Optional[DecisionRegistry] = None
+
+    # ------------------------------------------------------------------ #
+    # loop binding / lifecycle
+    # ------------------------------------------------------------------ #
+    def _bind(self) -> None:
+        loop = asyncio.get_running_loop()
+        if self._loop is None:
+            self._loop = loop
+            self._queue = asyncio.Queue(maxsize=self._max_buffered)
+            self._gate = _OpGate(
+                exclusive_only=self._cluster.config.executor == "serial"
+            )
+            self._registry = DecisionRegistry(loop.create_future)
+            self._sink = _AioDeliverySink(self._queue, loop, self._registry)
+            self._cluster.subscribe(self._sink)
+        elif loop is not self._loop:
+            raise RuntimeError(
+                "AsyncServingGateway is bound to a different event loop"
+            )
+
+    async def _run(self, fn, *args, **kwargs):
+        """Run a blocking cluster call off-loop and await its result."""
+        return await self._loop.run_in_executor(
+            None, partial(fn, *args, **kwargs)
+        )
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    @property
+    def cluster(self) -> ServingCluster:
+        return self._cluster
+
+    def _require_running(self, operation: str) -> None:
+        if self._state != "running":
+            raise RuntimeError(f"cannot {operation}: gateway is {self._state}")
+
+    async def close(self) -> List[StreamDecision]:
+        """Stop the gateway: ``running`` → ``draining`` → ``closed``.
+
+        An *owned* cluster is flushed (resolving every future the final
+        decisions can) and closed; a *wrapped* cluster is shared with other
+        users, so the gateway only detaches — flush explicitly first if you
+        want the final decisions.  Unresolved futures are cancelled and the
+        ``decisions()`` iterator terminates.  Idempotent (repeat calls
+        return an empty list).
+        """
+        if self._state == "closed":
+            return []
+        self._bind()
+        self._state = "draining"
+        async with self._gate.exclusive():
+            if self._owns_cluster and self._cluster.state != "closed":
+                emitted = await self._run(self._cluster.flush)
+            else:
+                emitted = []
+        # Deliveries issued by the flush were scheduled with
+        # call_soon_threadsafe before it returned; yield once so they run
+        # before we decide which futures are unresolvable.
+        await asyncio.sleep(0)
+        self._registry.cancel_unresolved()
+        self._cluster.unsubscribe(self._sink)
+        self._sink.close()
+        if self._owns_cluster:
+            self._cluster.close()
+        await self._queue.put(self._SENTINEL)
+        self._state = "closed"
+        return emitted
+
+    async def __aenter__(self) -> "AsyncServingGateway":
+        self._bind()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------ #
+    # serving API
+    # ------------------------------------------------------------------ #
+    async def submit(
+        self,
+        event,
+        stream_id: Optional[Hashable] = None,
+        raise_on_reject: bool = True,
+    ) -> SubmitResult:
+        """Awaitable arrival submission (admission + any triggered rounds).
+
+        Runs off-loop; concurrent submit tasks overlap under the thread
+        backend.  Per-stream decision order is exact as long as each
+        stream's events are submitted in order (e.g. one task per stream).
+        """
+        self._require_running("submit")
+        self._bind()
+        async with self._gate.shared():
+            return await self._run(
+                self._cluster.submit,
+                event,
+                stream_id=stream_id,
+                raise_on_reject=raise_on_reject,
+            )
+
+    async def drain(self) -> List[StreamDecision]:
+        """Awaitable cluster drain (exclusive; shards overlap off-loop)."""
+        self._bind()
+        async with self._gate.exclusive():
+            return await self._run(self._cluster.drain)
+
+    async def flush(self) -> List[StreamDecision]:
+        """Awaitable cluster flush (exclusive)."""
+        self._bind()
+        async with self._gate.exclusive():
+            return await self._run(self._cluster.flush)
+
+    async def expire(self, now: Optional[float] = None) -> List[StreamDecision]:
+        """Awaitable idle-key expiry (exclusive)."""
+        self._bind()
+        async with self._gate.exclusive():
+            return await self._run(self._cluster.expire, now)
+
+    def result(
+        self, stream_id: Hashable, key: Hashable
+    ) -> "asyncio.Future[Decision]":
+        """A loop-side future resolved when the key's decision is emitted.
+
+        Call from the bound loop.  Already-decided keys resolve immediately;
+        futures still pending at :meth:`close` are cancelled, and a request
+        made *after* close for an undecided key comes back already cancelled
+        (the one-time cancellation sweep cannot fire again).
+        """
+        self._bind()
+        if self._state == "closed":
+            decision = self._registry.decided(stream_id, key)
+            future: "asyncio.Future[Decision]" = self._loop.create_future()
+            if decision is not None:
+                future.set_result(decision)
+            else:
+                future.cancel()
+            return future
+        return self._registry.future_for(stream_id, key)
+
+    def decided(self, stream_id: Hashable, key: Hashable) -> Optional[Decision]:
+        return None if self._registry is None else self._registry.decided(stream_id, key)
+
+    def stream_decisions(self, stream_id: Hashable) -> List[Decision]:
+        """One stream's decisions so far, in emission order (loop-side view)."""
+        return [] if self._registry is None else self._registry.stream_decisions(stream_id)
+
+    async def decisions(self) -> AsyncIterator[StreamDecision]:
+        """Async-iterate every emitted decision until the gateway closes.
+
+        Single-consumer: concurrent iterators would steal from one queue.
+        With ``max_buffered`` set, this iterator must keep running for the
+        serving layer to make progress (that is the backpressure).
+        """
+        self._bind()
+        while True:
+            if self._state == "closed" and self._queue.empty():
+                return
+            item = await self._queue.get()
+            if item is self._SENTINEL:
+                return
+            yield item
+
+    def stats(self) -> Dict[str, object]:
+        stats = self._cluster.stats()
+        stats["gateway_state"] = self._state
+        stats["pending_futures"] = 0 if self._registry is None else self._registry.pending_count
+        stats["resolved_keys"] = 0 if self._registry is None else self._registry.resolved_count
+        stats["buffered_decisions"] = 0 if self._queue is None else self._queue.qsize()
+        return stats

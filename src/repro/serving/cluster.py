@@ -46,13 +46,42 @@ path.  Drain-round width is either the fixed ``batch_size`` or, with
 backlog and per-round latency EWMA (hot shards batch wide, cold shards stay
 at per-arrival latency).
 
+Push-based delivery (:mod:`repro.serving.results`,
+:mod:`repro.serving.sinks`): :meth:`ShardWorker.submit` and
+:meth:`ServingCluster.submit` return a
+:class:`~repro.serving.results.SubmitResult` that makes every admission
+outcome explicit (``accepted`` / ``decided`` / ``rejected`` / ``shed`` plus
+shard and queue-depth telemetry); the result still iterates like the legacy
+decision list, and ``overflow="reject"`` still raises
+:class:`ShardOverloadError` unless ``raise_on_reject=False``.  Subscribed
+:class:`~repro.serving.sinks.DecisionSink` instances receive every emitted
+decision as it is published: submission-path rounds publish on the shard's
+pinned execution context (per-stream order is exact even with concurrent
+submitters), while cluster-level ``drain`` / ``flush`` / ``expire`` journal
+per-shard emissions and publish the merged result in the same stable (shard,
+round, intra-round) order as the returned list — sink delivery is
+backend-deterministic and, for a single-threaded caller, list-identical to
+the pull API (the parity suite pins both).
+
+Lifecycle: a cluster is born ``running``, :meth:`ServingCluster.shutdown`
+moves it through ``draining`` (a final flush, with deliveries published)
+into ``closed``; :meth:`ServingCluster.close` releases the worker pool and
+closes directly.  Submissions require a running cluster; drains and flushes
+work while draining; everything but :meth:`ServingCluster.stats` is rejected
+once closed.
+
 Snapshots are deep copies of every shard's sessions, queues and counters
 that *share* the (immutable at serving time) model weights: taking one does
 not stop the cluster, restoring one rewinds it bit-for-bit, and a snapshot
 can be restored any number of times — the basis for failover and shard
 migration experiments.  Adaptive-batch controller state is runtime tuning,
 not serving state: a restore resets it (round widths never affect which
-decisions are emitted, so replays stay exact).
+decisions are emitted, so replays stay exact).  Sink subscriptions, pending
+deliveries and throughput meters are delivery-time constructs, not serving
+state: a restore neither rescinds nor re-fires anything already published
+(replaying events after a restore re-emits the replayed decisions to
+subscribers, exactly as the returned-list API hands the caller the replayed
+lists).
 """
 
 from __future__ import annotations
@@ -65,6 +94,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from functools import partial
 from typing import (
+    Callable,
     Deque,
     Dict,
     Hashable,
@@ -83,7 +113,9 @@ from repro.core.incremental import append_batch
 from repro.data.items import ValueSpec
 from repro.data.stream import StreamEvent
 from repro.serving.engine import Decision, EngineConfig, StreamSession
-from repro.serving.monitoring import ShardMonitor
+from repro.serving.monitoring import ShardMonitor, ThroughputMeter
+from repro.serving.results import ConsumeSummary, SubmitResult
+from repro.serving.sinks import DecisionSink, FanOutSink
 from repro.serving.parallel import (
     AdaptiveBatchConfig,
     AdaptiveBatchController,
@@ -160,6 +192,9 @@ class ClusterConfig:
     adaptive:
         Controller knobs used when ``batch_size="auto"``
         (:class:`~repro.serving.parallel.AdaptiveBatchConfig`).
+    stats_window:
+        Wall-clock span (seconds) of the sliding throughput window behind
+        ``stats()["items_per_s"]`` / ``["decisions_per_s"]``.
     engine:
         Per-stream :class:`~repro.serving.engine.EngineConfig` shared by
         every session the cluster creates.
@@ -174,6 +209,7 @@ class ClusterConfig:
     executor: str = "serial"
     num_workers: Optional[int] = None
     adaptive: AdaptiveBatchConfig = field(default_factory=AdaptiveBatchConfig)
+    stats_window: float = 60.0
     engine: EngineConfig = field(default_factory=EngineConfig)
 
     def __post_init__(self) -> None:
@@ -197,6 +233,8 @@ class ClusterConfig:
             raise ValueError(f"unknown executor backend {self.executor!r}")
         if self.num_workers is not None and self.num_workers <= 0:
             raise ValueError("num_workers must be positive")
+        if self.stats_window <= 0:
+            raise ValueError("stats_window must be positive")
 
     @property
     def adaptive_batching(self) -> bool:
@@ -253,6 +291,13 @@ class ShardWorker:
             if config.adaptive_batching
             else None
         )
+        #: Shard-local sink subscriptions (push delivery of this shard's
+        #: emissions; see :mod:`repro.serving.sinks` for the ordering
+        #: contract).
+        self._sinks = FanOutSink()
+        #: Set by the owning cluster so submission-path rounds can publish
+        #: to cluster-level subscribers from the pinned execution context.
+        self._cluster_publish: Optional[Callable[[List[StreamDecision]], None]] = None
         #: Drain-round telemetry (queue depth + round latency histograms).
         self.monitor = ShardMonitor()
         #: Admission-control counters.
@@ -323,15 +368,60 @@ class ShardWorker:
             for stream_id, event in entries:
                 self._enqueue_locked(stream_id, event)
 
-    def submit(self, stream_id: Hashable, event: StreamEvent) -> List[StreamDecision]:
-        """Queue one arrival; returns decisions any triggered drain emitted.
+    # ------------------------------------------------------------------ #
+    # push delivery
+    # ------------------------------------------------------------------ #
+    def subscribe(self, sink: DecisionSink) -> DecisionSink:
+        """Subscribe a sink to this shard's emissions; returns the sink."""
+        return self._sinks.add(sink)
+
+    def unsubscribe(self, sink: DecisionSink) -> bool:
+        """Remove a subscribed sink; False when it was not subscribed."""
+        return self._sinks.remove(sink)
+
+    def _publish(self, decisions: List[StreamDecision]) -> None:
+        """Push an ordered emission batch to shard + cluster subscribers."""
+        if not decisions:
+            return
+        self._sinks.publish_all(decisions)
+        if self._cluster_publish is not None:
+            self._cluster_publish(decisions)
+
+    def _drain_round_published(self) -> List[StreamDecision]:
+        """One drain round whose emissions are published before returning.
+
+        Runs on the shard's pinned execution context (the submission path
+        dispatches it through :meth:`_run_pinned`), so for any one shard the
+        publish order equals the round order — per-stream delivery order is
+        exact even when many threads submit concurrently, and for a
+        single-threaded caller it is identical to the returned lists.
+        """
+        emitted = self._drain_round()
+        self._publish(emitted)
+        return emitted
+
+    def submit(
+        self,
+        stream_id: Hashable,
+        event: StreamEvent,
+        raise_on_reject: bool = True,
+    ) -> SubmitResult:
+        """Queue one arrival; returns the explicit submission outcome.
 
         Admission control and the enqueue happen under the queue lock on the
         calling thread; any round this submission triggers (``"drain"``
         overflow backpressure, ``auto_drain``) is executed with shard
         affinity — inline for the serial backend, dispatched to the shard's
         pinned worker and waited on for the thread backend — so the emitted
-        decisions and their order are backend-independent.
+        decisions and their order are backend-independent.  Each triggered
+        round publishes its emissions to subscribed sinks from that pinned
+        context before the round returns.
+
+        The returned :class:`~repro.serving.results.SubmitResult` still
+        iterates like the legacy decision list; ``overflow="reject"`` keeps
+        raising :class:`ShardOverloadError` unless ``raise_on_reject`` is
+        False, in which case the rejection is reported as
+        ``status="rejected"`` instead.
         """
         emitted: List[StreamDecision] = []
         while True:
@@ -341,27 +431,53 @@ class ShardWorker:
                     break
                 if self.config.overflow == "reject":
                     self.rejected += 1
-                    raise ShardOverloadError(
-                        f"shard {self.shard_id} queue is full "
-                        f"({self.config.max_queue} arrivals)"
+                    if raise_on_reject:
+                        raise ShardOverloadError(
+                            f"shard {self.shard_id} queue is full "
+                            f"({self.config.max_queue} arrivals)"
+                        )
+                    return SubmitResult(
+                        status="rejected",
+                        stream_id=stream_id,
+                        shard_id=self.shard_id,
+                        queue_depth=self._queue_length,
                     )
                 if self.config.overflow == "shed":
                     self.shed += 1
-                    return emitted
+                    return SubmitResult(
+                        status="shed",
+                        stream_id=stream_id,
+                        shard_id=self.shard_id,
+                        queue_depth=self._queue_length,
+                    )
             # overflow == "drain": synchronous backpressure — do one round of
             # work now (a full queue is non-empty, so the round frees >= 1).
-            emitted.extend(self._run_pinned(self._drain_round))
+            emitted.extend(self._run_pinned(self._drain_round_published))
         if self.config.auto_drain:
             while self.queue_depth >= self.round_width():
-                emitted.extend(self._run_pinned(self._drain_round))
-        return emitted
+                emitted.extend(self._run_pinned(self._drain_round_published))
+        return SubmitResult(
+            status="decided" if emitted else "accepted",
+            stream_id=stream_id,
+            shard_id=self.shard_id,
+            decisions=tuple(emitted),
+            queue_depth=self.queue_depth,
+        )
 
     # ------------------------------------------------------------------ #
     # draining
     # ------------------------------------------------------------------ #
     def drain(self) -> List[StreamDecision]:
-        """Process every queued arrival; returns the decisions in order."""
-        return self._run_pinned(self._drain_inline)
+        """Process every queued arrival; returns the decisions in order.
+
+        A standalone worker (outside a cluster) publishes the emitted batch
+        to its subscribed sinks on the calling thread before returning; a
+        cluster-level drain instead journals per-shard results and publishes
+        the stable-ordered merge (see :meth:`ServingCluster.drain`).
+        """
+        emitted = self._run_pinned(self._drain_inline)
+        self._publish(emitted)
+        return emitted
 
     def _drain_inline(self) -> List[StreamDecision]:
         """Round loop body of :meth:`drain`, already running with affinity."""
@@ -444,7 +560,9 @@ class ShardWorker:
     # ------------------------------------------------------------------ #
     def flush(self) -> List[StreamDecision]:
         """Drain, then force-decide every session's undecided keys."""
-        return self._run_pinned(self._flush_inline)
+        emitted = self._run_pinned(self._flush_inline)
+        self._publish(emitted)
+        return emitted
 
     def _flush_inline(self) -> List[StreamDecision]:
         emitted = self._drain_inline()
@@ -453,9 +571,26 @@ class ShardWorker:
                 emitted.append(StreamDecision(stream_id, self.shard_id, decision))
         return emitted
 
+    def _flush_stream_inline(self, stream_id: Hashable) -> List[StreamDecision]:
+        """Drain the shard, then force-decide one session's undecided keys.
+
+        The whole shard queue must drain first (the target stream's pending
+        arrivals sit behind other streams' in FIFO order), so the emitted
+        list may contain other streams' drain decisions ahead of the target
+        stream's flush decisions.
+        """
+        emitted = self._drain_inline()
+        session = self.sessions.get(stream_id)
+        if session is not None:
+            for decision in session.flush():
+                emitted.append(StreamDecision(stream_id, self.shard_id, decision))
+        return emitted
+
     def expire(self, now: Optional[float] = None) -> List[StreamDecision]:
         """Drain, then apply idle-timeout expiry to every session."""
-        return self._run_pinned(partial(self._expire_inline, now))
+        emitted = self._run_pinned(partial(self._expire_inline, now))
+        self._publish(emitted)
+        return emitted
 
     def _expire_inline(self, now: Optional[float] = None) -> List[StreamDecision]:
         emitted = self._drain_inline()
@@ -497,6 +632,11 @@ class ServingCluster:
     clock.  Use :meth:`close` (or a ``with`` block) to release the pool.
     """
 
+    #: Lifecycle states (``state`` property): ``running`` accepts
+    #: submissions, ``draining`` only finishes in-flight work (drain /
+    #: flush / expire), ``closed`` rejects everything but ``stats``.
+    STATES = ("running", "draining", "closed")
+
     def __init__(
         self, model, spec: ValueSpec, config: Optional[ClusterConfig] = None
     ) -> None:
@@ -511,9 +651,78 @@ class ServingCluster:
             ShardWorker(index, model, spec, self.config, executor=self._executor)
             for index in range(self.config.num_shards)
         ]
+        self._state = "running"
+        #: Cluster-level sink subscriptions (push delivery of every emitted
+        #: decision; see :mod:`repro.serving.sinks`).
+        self._sinks = FanOutSink()
+        #: Sliding-window throughput gauges (wall clock): admitted arrivals
+        #: and published decisions.  Ticked from submit callers and shard
+        #: workers alike, so both share one lock.  Cluster-global by choice:
+        #: the tick is a few deque ops on the pure-Python bookkeeping path,
+        #: which the GIL serializes across threads anyway — the BLAS rounds
+        #: that actually overlap across shards never touch it.  If it ever
+        #: shows in a profile, the escape is per-shard meters merged at
+        #: stats() time.
+        self._meter_lock = threading.Lock()
+        # ~256 retained checkpoints per meter whatever the arrival rate:
+        # ticks within window/256 of the last checkpoint coalesce into it.
+        meter_granularity = self.config.stats_window / 256.0
+        self._items_meter = ThroughputMeter(
+            window=self.config.stats_window, granularity=meter_granularity
+        )
+        self._decisions_meter = ThroughputMeter(
+            window=self.config.stats_window, granularity=meter_granularity
+        )
+        for shard in self.shards:
+            shard._cluster_publish = self._publish
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def state(self) -> str:
+        """Current lifecycle state: ``running`` / ``draining`` / ``closed``."""
+        return self._state
+
+    def _require_running(self, operation: str) -> None:
+        if self._state != "running":
+            raise RuntimeError(
+                f"cannot {operation}: cluster is {self._state} (submissions "
+                f"require a running cluster)"
+            )
+
+    def _require_open(self, operation: str) -> None:
+        if self._state == "closed":
+            raise RuntimeError(f"cannot {operation}: cluster is closed")
+
+    def shutdown(self) -> List[StreamDecision]:
+        """Graceful stop: drain + flush everything, then close the pool.
+
+        Moves the cluster through ``draining`` (new submissions are rejected
+        while the final flush publishes its emissions to subscribers) into
+        ``closed``; returns the flush emissions.  Idempotent: a second call
+        returns an empty list.
+
+        Threading: lifecycle transitions are not synchronized against
+        in-flight submissions — quiesce submitters before shutting down (a
+        submit racing the transition can slip an arrival into the queue
+        after the final flush).  The async gateway enforces this with its
+        exclusive close gate; sync callers own the ordering themselves.
+        """
+        if self._state == "closed":
+            return []
+        self._state = "draining"
+        emitted = self.flush()
+        self.close()
+        return emitted
 
     def close(self) -> None:
-        """Shut down the executor's worker pool (no-op for serial)."""
+        """Shut down the executor's worker pool and mark the cluster closed.
+
+        Immediate (queued arrivals are *not* drained — use
+        :meth:`shutdown` for a graceful stop) and idempotent.
+        """
+        self._state = "closed"
         self._executor.close()
 
     def __enter__(self) -> "ServingCluster":
@@ -521,6 +730,37 @@ class ServingCluster:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    # ------------------------------------------------------------------ #
+    # push delivery
+    # ------------------------------------------------------------------ #
+    def subscribe(self, sink: DecisionSink) -> DecisionSink:
+        """Subscribe a sink to every decision the cluster emits.
+
+        Delivery order: identical to the returned-list API for a
+        single-threaded caller (backend-deterministic, pinned by the parity
+        suite); per-stream order is always emission order, even with
+        concurrent submitters.  Returns the sink for unsubscribe bookkeeping.
+        """
+        return self._sinks.add(sink)
+
+    def unsubscribe(self, sink: DecisionSink) -> bool:
+        """Remove a subscribed sink; False when it was not subscribed."""
+        return self._sinks.remove(sink)
+
+    def _publish(self, decisions: List[StreamDecision]) -> None:
+        """Deliver an ordered emission batch to cluster-level subscribers.
+
+        The single funnel for every published decision: submission-path
+        rounds call it from the shard's pinned execution context, the
+        cluster-level fan-outs from the merge point — so the decision meter
+        counts exactly what subscribers see.
+        """
+        if not decisions:
+            return
+        with self._meter_lock:
+            self._decisions_meter.tick(time.monotonic(), len(decisions))
+        self._sinks.publish_all(decisions)
 
     # ------------------------------------------------------------------ #
     # routing
@@ -548,51 +788,106 @@ class ServingCluster:
     # serving API
     # ------------------------------------------------------------------ #
     def submit(
-        self, event: StreamEvent, stream_id: Optional[Hashable] = None
-    ) -> List[StreamDecision]:
+        self,
+        event: StreamEvent,
+        stream_id: Optional[Hashable] = None,
+        raise_on_reject: bool = True,
+    ) -> SubmitResult:
         """Route one arrival to its stream's shard.
 
         The stream id defaults to the event's ``source`` tag (what the
         multi-stream simulator stamps); pass ``stream_id`` explicitly when
-        events carry no source.  Returns any decisions emitted by a drain
-        this submission triggered.
+        events carry no source.  Returns a
+        :class:`~repro.serving.results.SubmitResult`: the explicit admission
+        outcome, any decisions a triggered drain emitted (the result
+        iterates like the legacy decision list) and the shard's queue depth.
+        ``overflow="reject"`` raises :class:`ShardOverloadError` unless
+        ``raise_on_reject=False``.
         """
+        self._require_running("submit")
         if stream_id is None:
             stream_id = event.source
-        return self.shard_of(stream_id).submit(stream_id, event)
+        result = self.shard_of(stream_id).submit(
+            stream_id, event, raise_on_reject=raise_on_reject
+        )
+        if result.admitted:
+            with self._meter_lock:
+                self._items_meter.tick(time.monotonic())
+        return result
 
     def consume(
-        self, events: Iterable[StreamEvent], stream_id: Optional[Hashable] = None
-    ) -> List[StreamDecision]:
-        """Submit a whole stream of events; returns every decision emitted."""
-        emitted: List[StreamDecision] = []
+        self,
+        events: Iterable[StreamEvent],
+        stream_id: Optional[Hashable] = None,
+        raise_on_reject: bool = True,
+    ) -> ConsumeSummary:
+        """Submit a whole stream of events.
+
+        Returns a :class:`~repro.serving.results.ConsumeSummary` — a list of
+        every decision emitted (legacy consumers are unchanged) that also
+        tallies each submission's admission outcome, so shed or rejected
+        arrivals are no longer silently swallowed.  With
+        ``raise_on_reject=False`` a full ``overflow="reject"`` shard counts
+        the rejection and the ingest continues.
+        """
+        summary = ConsumeSummary()
         for event in events:
-            emitted.extend(self.submit(event, stream_id=stream_id))
-        return emitted
+            summary.record(
+                self.submit(event, stream_id=stream_id, raise_on_reject=raise_on_reject)
+            )
+        return summary
 
     def _fan_out(self, fns) -> List[StreamDecision]:
-        """Run one thunk per shard and merge results deterministically.
+        """Run one thunk per shard, merge deterministically, then publish.
 
-        The executor returns per-shard decision lists indexed by shard;
+        The executor returns per-shard decision journals indexed by shard;
         concatenating them yields the stable (shard index, round,
         intra-round) order — exactly the sequence the serial backend's
         shard-by-shard loop produces, whatever order the shards actually
-        finished in.
+        finished in.  Publication happens here at the merge point, in that
+        same stable order: shard-level subscribers get their shard's
+        journal, cluster-level subscribers the merged sequence — so sink
+        delivery from cluster-level operations is backend-deterministic and
+        list-identical to the returned value.
         """
         results = self._executor.map_shards(fns)
-        return [decision for result in results for decision in result]
+        for shard, journal in zip(self.shards, results):
+            if journal:
+                shard._sinks.publish_all(journal)
+        merged = [decision for result in results for decision in result]
+        self._publish(merged)
+        return merged
 
     def drain(self) -> List[StreamDecision]:
         """Process every queued arrival on every shard (in parallel when the
         thread backend is active)."""
+        self._require_open("drain")
         return self._fan_out([shard._drain_inline for shard in self.shards])
 
     def flush(self) -> List[StreamDecision]:
         """Drain all queues, then force-decide every undecided key."""
+        self._require_open("flush")
         return self._fan_out([shard._flush_inline for shard in self.shards])
+
+    def flush_stream(self, stream_id: Hashable) -> List[StreamDecision]:
+        """Drain one stream's shard, then force-decide that stream's keys.
+
+        The per-stream lifecycle hook behind
+        :meth:`~repro.serving.gateway.StreamHandle.close`: other streams on
+        the same shard only have their queued arrivals drained (their
+        decisions, if any, are part of the returned/published batch); only
+        the target stream is force-decided.
+        """
+        self._require_open("flush_stream")
+        shard = self.shard_of(stream_id)
+        emitted = shard._run_pinned(partial(shard._flush_stream_inline, stream_id))
+        shard._sinks.publish_all(emitted)
+        self._publish(emitted)
+        return emitted
 
     def expire(self, now: Optional[float] = None) -> List[StreamDecision]:
         """Drain all queues, then expire idle keys on every session."""
+        self._require_open("expire")
         return self._fan_out(
             [partial(shard._expire_inline, now) for shard in self.shards]
         )
@@ -612,6 +907,7 @@ class ServingCluster:
 
     def snapshot(self) -> ClusterSnapshot:
         """Deep-copy the cluster's serving state (sessions, queues, counters)."""
+        self._require_open("snapshot")
         states: List[Dict[str, object]] = []
         for shard in self.shards:
             states.append(
@@ -633,8 +929,12 @@ class ServingCluster:
         Serving state — sessions, queues, counters, shard monitors — rewinds
         bit-for-bit.  Adaptive-batch controllers restart from their width
         floor: their state is wall-clock tuning, and round widths never
-        affect which decisions a replay emits.
+        affect which decisions a replay emits.  Sink subscriptions, pending
+        deliveries and throughput meters are untouched: nothing already
+        published is rescinded or re-fired by the restore itself; replaying
+        events re-emits (and re-publishes) the replayed decisions.
         """
+        self._require_open("restore")
         if snapshot.num_shards != len(self.shards):
             raise ValueError(
                 f"snapshot has {snapshot.num_shards} shards, cluster has "
@@ -666,14 +966,28 @@ class ServingCluster:
     def stats(self) -> Dict[str, object]:
         """Aggregate shard counters for monitoring/benchmarks."""
         merged_monitor = ShardMonitor.merged(shard.monitor for shard in self.shards)
+        with self._meter_lock:
+            # Zero-item ticks advance the sliding windows, so the reported
+            # rates decay toward zero while the cluster idles instead of
+            # freezing at the last active window's value.
+            now = time.monotonic()
+            self._items_meter.tick(now, 0)
+            self._decisions_meter.tick(now, 0)
+            items_per_s = self._items_meter.rate
+            decisions_per_s = self._decisions_meter.rate
         return {
             "num_shards": len(self.shards),
             "executor": self.config.executor,
+            "state": self._state,
             "num_sessions": self.num_sessions,
             "num_decided": self.num_decided,
             "queue_depths": [shard.queue_depth for shard in self.shards],
             "rejected": sum(shard.rejected for shard in self.shards),
             "shed": sum(shard.shed for shard in self.shards),
+            "rejected_per_shard": [shard.rejected for shard in self.shards],
+            "shed_per_shard": [shard.shed for shard in self.shards],
+            "items_per_s": items_per_s,
+            "decisions_per_s": decisions_per_s,
             "batch_rounds": sum(shard.batch_rounds for shard in self.shards),
             "batched_rows": sum(shard.batched_rows for shard in self.shards),
             "drained": sum(shard.drained for shard in self.shards),

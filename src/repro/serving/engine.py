@@ -20,6 +20,13 @@ The serving layer is split into three composable tiers:
   (:mod:`repro.serving.parallel`): inline on the caller, or concurrently on
   a persistent thread pool with every shard pinned to one worker — which is
   why a session may assume single-threaded access to its own state.
+* Push-based delivery on top (:mod:`repro.serving.results`,
+  :mod:`repro.serving.sinks`, :mod:`repro.serving.gateway`,
+  :mod:`repro.serving.aio`) — explicit per-submission admission outcomes,
+  sink subscriptions that receive every decision in emission order, per-
+  stream handles with per-key decision futures, and an asyncio gateway.
+  Sessions are oblivious to all of it: decisions leave a session as return
+  values and the upper layers fan them out.
 
 :class:`OnlineClassificationEngine` — the historical single-stream API — is a
 thin alias over one session: it *is* a :class:`StreamSession`, so every
@@ -566,9 +573,13 @@ class StreamSession:
         idle = set(self.tracker.expire_idle(now)) - set(self.decisions)
         return self._force_decide(idle) if idle else []
 
+    def undecided_keys(self) -> set:
+        """Keys observed on this stream that have no decision yet."""
+        return set(self.tracker.states()) - set(self.decisions)
+
     def flush(self) -> List[Decision]:
         """Force-decide every remaining undecided key from the current window."""
-        undecided = set(self.tracker.states()) - set(self.decisions)
+        undecided = self.undecided_keys()
         return self._force_decide(undecided) if undecided else []
 
     def _force_decide(self, keys) -> List[Decision]:

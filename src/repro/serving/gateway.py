@@ -1,0 +1,361 @@
+"""Serving gateway: per-stream handles and per-key decision futures.
+
+The cluster's API is stream-oblivious on the way out: callers get flat
+decision lists and demultiplex them by stream and key themselves.  The
+gateway inverts that.  It subscribes to the cluster's push-delivery layer
+(:mod:`repro.serving.sinks`) and maintains a per-``(stream, key)`` registry
+of resolved decisions and pending futures, exposing:
+
+* :meth:`ServingGateway.stream` → a :class:`StreamHandle`, one stream's
+  ergonomic front end: ``handle.offer(event)`` submits to the right shard,
+  ``handle.result(key)`` is a :class:`concurrent.futures.Future` resolved
+  the moment that key's decision is emitted (by any drain, flush or expiry,
+  whoever triggered it), and ``handle.close()`` flushes the stream's
+  undecided keys.
+* gateway-wide ``submit`` / ``drain`` / ``flush`` / ``expire`` passthroughs
+  returning the same :class:`~repro.serving.results.SubmitResult` /
+  decision-list values as the cluster, so pull- and push-consumers can mix.
+
+Lifecycle mirrors the cluster: ``running`` → (``close()``) ``draining`` —
+a final flush that resolves every future it can — → ``closed``, at which
+point still-unresolved futures are cancelled (their keys never produced a
+decision, e.g. every observation was evicted before a flush).
+
+Restore semantics (pinned by the snapshot/restore suite): decision futures
+fire **at most once**, on the first emission of their key's decision.  A
+cluster restore does not reset the gateway's registry — replayed decisions
+re-delivered after a restore are ignored for future resolution (the future
+already fired) while sink subscribers see the re-emissions, exactly as the
+returned-list API hands a replaying caller the replayed lists.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
+
+from repro.data.items import ValueSpec
+from repro.serving.cluster import ClusterConfig, ServingCluster, StreamDecision
+from repro.serving.engine import Decision
+from repro.serving.results import SubmitResult
+from repro.serving.sinks import CallbackSink, DecisionSink
+
+__all__ = ["ServingGateway", "StreamHandle"]
+
+
+class DecisionRegistry:
+    """First-emission registry mapping ``(stream, key)`` to decisions/futures.
+
+    The shared bookkeeping of both gateways (sync and asyncio): records each
+    (stream, key)'s *first* emitted decision, keeps per-stream emission
+    order, and pairs not-yet-decided keys with futures handed out by
+    ``result()``.  Replay re-emissions after a restore are ignored — futures
+    fire at most once, which is the pinned restore contract.
+
+    ``future_factory`` supplies the future flavour
+    (:class:`concurrent.futures.Future` or ``loop.create_future``); both
+    expose ``done`` / ``set_result`` / ``cancel``.  Access is serialized by
+    an internal lock for the sync gateway's worker-thread deliveries; the
+    asyncio gateway only ever touches it from the loop thread, where the
+    uncontended lock is noise.
+    """
+
+    def __init__(self, future_factory: Callable[[], "Future"]) -> None:
+        self._future_factory = future_factory
+        self._lock = threading.Lock()
+        self._decided: Dict[Tuple[Hashable, Hashable], Decision] = {}
+        self._stream_order: Dict[Hashable, List[Decision]] = {}
+        self._futures: Dict[Tuple[Hashable, Hashable], "Future"] = {}
+
+    @staticmethod
+    def _resolve(future: "Future", decision: Decision) -> None:
+        """Resolve a future, tolerating a caller-side cancel racing us."""
+        if future.done():
+            return
+        try:
+            future.set_result(decision)
+        except Exception:
+            # concurrent.futures raises InvalidStateError when the holder
+            # cancelled between our done() check and the set_result; the
+            # cancellation wins and the delivery must not crash the round.
+            if not future.cancelled():
+                raise
+
+    def deliver(self, stream_decision: StreamDecision) -> None:
+        """Fold one published decision in; resolves its future if pending."""
+        registry_key = (stream_decision.stream_id, stream_decision.decision.key)
+        with self._lock:
+            if registry_key in self._decided:
+                return
+            self._decided[registry_key] = stream_decision.decision
+            self._stream_order.setdefault(stream_decision.stream_id, []).append(
+                stream_decision.decision
+            )
+            future = self._futures.pop(registry_key, None)
+        if future is not None:
+            self._resolve(future, stream_decision.decision)
+
+    def future_for(self, stream_id: Hashable, key: Hashable) -> "Future":
+        """The (shared) future of one key — already resolved if decided."""
+        registry_key = (stream_id, key)
+        with self._lock:
+            decision = self._decided.get(registry_key)
+            if decision is None:
+                existing = self._futures.get(registry_key)
+                if existing is not None:
+                    return existing
+                future = self._future_factory()
+                self._futures[registry_key] = future
+                return future
+        future = self._future_factory()
+        self._resolve(future, decision)
+        return future
+
+    def decided(self, stream_id: Hashable, key: Hashable) -> Optional[Decision]:
+        with self._lock:
+            return self._decided.get((stream_id, key))
+
+    def stream_decisions(self, stream_id: Hashable) -> List[Decision]:
+        with self._lock:
+            return list(self._stream_order.get(stream_id, ()))
+
+    def cancel_unresolved(self, stream_id: Optional[Hashable] = None) -> None:
+        """Cancel pending futures (of one stream, or all)."""
+        with self._lock:
+            if stream_id is None:
+                doomed = list(self._futures.values())
+                self._futures.clear()
+            else:
+                doomed = [
+                    self._futures.pop(registry_key)
+                    for registry_key in [k for k in self._futures if k[0] == stream_id]
+                ]
+        for future in doomed:
+            future.cancel()
+
+    @property
+    def pending_count(self) -> int:
+        with self._lock:
+            return len(self._futures)
+
+    @property
+    def resolved_count(self) -> int:
+        with self._lock:
+            return len(self._decided)
+
+
+class StreamHandle:
+    """One stream's view of a gateway: offer events, await keyed decisions.
+
+    Handles are cheap and cached — :meth:`ServingGateway.stream` returns the
+    same handle for the same stream id.  A handle never owns serving state;
+    it is an addressing convenience over the gateway's registry.
+    """
+
+    def __init__(self, gateway: "ServingGateway", stream_id: Hashable) -> None:
+        self._gateway = gateway
+        self.stream_id = stream_id
+
+    def offer(self, event, raise_on_reject: bool = True) -> SubmitResult:
+        """Submit one arrival for this stream; returns the explicit outcome."""
+        return self._gateway.submit(
+            event, stream_id=self.stream_id, raise_on_reject=raise_on_reject
+        )
+
+    def result(self, key: Hashable) -> "Future[Decision]":
+        """A future resolved with ``key``'s decision when it is emitted.
+
+        Already-decided keys return an already-resolved future.  Futures are
+        cancelled at gateway close if the key never produced a decision.
+        """
+        return self._gateway.result(self.stream_id, key)
+
+    def decided(self, key: Hashable) -> Optional[Decision]:
+        """The key's decision if already emitted, else ``None`` (no future)."""
+        return self._gateway.decided(self.stream_id, key)
+
+    def decisions(self) -> List[Decision]:
+        """Every decision emitted for this stream so far, in emission order."""
+        return self._gateway.stream_decisions(self.stream_id)
+
+    def close(self) -> List[Decision]:
+        """Flush this stream: force-decide its undecided keys.
+
+        Returns the decisions emitted *for this stream* by the flush (the
+        shard drain it entails may also emit other streams' decisions —
+        those are published to subscribers and resolved into their own
+        handles' futures as usual, just not returned here).  Futures of keys
+        the flush could not decide (all observations evicted) are cancelled.
+        """
+        emitted = self._gateway._cluster.flush_stream(self.stream_id)
+        self._gateway._cancel_unresolved(self.stream_id)
+        return [
+            sd.decision for sd in emitted if sd.stream_id == self.stream_id
+        ]
+
+
+class ServingGateway:
+    """Push-based front end over a :class:`ServingCluster`.
+
+    Construct from a model/spec/config triple (the gateway then owns the
+    cluster and closes it on :meth:`close`) or wrap an existing cluster
+    (``ServingGateway(cluster=...)``) to add handles and futures to a
+    deployment that also uses the cluster API directly.
+    """
+
+    STATES = ServingCluster.STATES
+
+    def __init__(
+        self,
+        model=None,
+        spec: Optional[ValueSpec] = None,
+        config: Optional[ClusterConfig] = None,
+        *,
+        cluster: Optional[ServingCluster] = None,
+    ) -> None:
+        if cluster is None:
+            if model is None or spec is None:
+                raise ValueError(
+                    "ServingGateway needs either an existing cluster= or a "
+                    "model + spec (+ optional config) to build one"
+                )
+            cluster = ServingCluster(model, spec, config)
+            self._owns_cluster = True
+        else:
+            if model is not None or spec is not None or config is not None:
+                raise ValueError(
+                    "pass either cluster= or model/spec/config, not both"
+                )
+            self._owns_cluster = False
+        self._cluster = cluster
+        self._state = "running"
+        self._lock = threading.Lock()
+        self._handles: Dict[Hashable, StreamHandle] = {}
+        #: First-emission (stream, key) registry + per-key futures; replay
+        #: re-emissions after a restore never overwrite or re-fire.
+        self._registry = DecisionRegistry(Future)
+        self._sink: DecisionSink = self._cluster.subscribe(
+            CallbackSink(self._registry.deliver)
+        )
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def state(self) -> str:
+        return self._state
+
+    @property
+    def cluster(self) -> ServingCluster:
+        """The underlying cluster (for stats, snapshots, direct API use)."""
+        return self._cluster
+
+    def close(self) -> List[StreamDecision]:
+        """Stop the gateway: ``running`` → ``draining`` → ``closed``.
+
+        An *owned* cluster is flushed (the final flush publishes and
+        resolves every future it can) and then closed.  A *wrapped* cluster
+        is shared with other users, so the gateway only detaches: no flush
+        is forced on streams it may not own — flush explicitly first if you
+        want the final decisions — and the cluster stays running.  In both
+        cases still-unresolved futures are cancelled and the subscription is
+        removed.  Idempotent: repeat calls return an empty list.
+        """
+        if self._state == "closed":
+            return []
+        self._state = "draining"
+        emitted: List[StreamDecision] = []
+        if self._owns_cluster and self._cluster.state != "closed":
+            emitted = self._cluster.flush()
+        self._cancel_unresolved()
+        self._cluster.unsubscribe(self._sink)
+        if self._owns_cluster:
+            self._cluster.close()
+        self._state = "closed"
+        return emitted
+
+    def __enter__(self) -> "ServingGateway":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _require_running(self, operation: str) -> None:
+        if self._state != "running":
+            raise RuntimeError(f"cannot {operation}: gateway is {self._state}")
+
+    def _cancel_unresolved(self, stream_id: Optional[Hashable] = None) -> None:
+        """Cancel pending futures (of one stream, or all) that cannot resolve."""
+        self._registry.cancel_unresolved(stream_id)
+
+    # ------------------------------------------------------------------ #
+    # stream-keyed API
+    # ------------------------------------------------------------------ #
+    def stream(self, stream_id: Hashable) -> StreamHandle:
+        """The (cached) handle of one stream."""
+        with self._lock:
+            handle = self._handles.get(stream_id)
+            if handle is None:
+                handle = self._handles[stream_id] = StreamHandle(self, stream_id)
+        return handle
+
+    def result(self, stream_id: Hashable, key: Hashable) -> "Future[Decision]":
+        """A future for one ``(stream, key)`` decision; resolves at emission.
+
+        On a closed gateway an already-decided key still resolves from the
+        registry; an undecided one returns an already-cancelled future (the
+        one-time cancellation sweep ran at close, so a fresh pending future
+        could never fire).
+        """
+        if self._state == "closed":
+            decision = self._registry.decided(stream_id, key)
+            future: "Future[Decision]" = Future()
+            if decision is not None:
+                future.set_result(decision)
+            else:
+                future.cancel()
+            return future
+        return self._registry.future_for(stream_id, key)
+
+    def decided(self, stream_id: Hashable, key: Hashable) -> Optional[Decision]:
+        return self._registry.decided(stream_id, key)
+
+    def stream_decisions(self, stream_id: Hashable) -> List[Decision]:
+        return self._registry.stream_decisions(stream_id)
+
+    # ------------------------------------------------------------------ #
+    # cluster passthroughs
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        event,
+        stream_id: Optional[Hashable] = None,
+        raise_on_reject: bool = True,
+    ) -> SubmitResult:
+        self._require_running("submit")
+        return self._cluster.submit(
+            event, stream_id=stream_id, raise_on_reject=raise_on_reject
+        )
+
+    def drain(self) -> List[StreamDecision]:
+        return self._cluster.drain()
+
+    def flush(self) -> List[StreamDecision]:
+        return self._cluster.flush()
+
+    def expire(self, now: Optional[float] = None) -> List[StreamDecision]:
+        return self._cluster.expire(now)
+
+    def subscribe(self, sink: DecisionSink) -> DecisionSink:
+        return self._cluster.subscribe(sink)
+
+    def unsubscribe(self, sink: DecisionSink) -> bool:
+        return self._cluster.unsubscribe(sink)
+
+    def stats(self) -> Dict[str, object]:
+        stats = self._cluster.stats()
+        stats["gateway_state"] = self._state
+        stats["pending_futures"] = self._registry.pending_count
+        stats["resolved_keys"] = self._registry.resolved_count
+        return stats

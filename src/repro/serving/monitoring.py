@@ -10,8 +10,9 @@ allocation-free so they can sit on the serving hot path.
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass, field, replace
-from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
+from typing import Deque, Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.model import PredictionRecord
 from repro.eval.metrics import harmonic_mean
@@ -427,30 +428,70 @@ class ShardMonitor:
 
 
 class ThroughputMeter:
-    """Items-per-unit-of-simulated-time over a sliding set of checkpoints."""
+    """Items per unit of time over a (optionally sliding) checkpoint span.
 
-    def __init__(self) -> None:
-        self._checkpoints: List[Tuple[float, int]] = []
+    Without a ``window`` the meter averages over its whole lifetime — the
+    simulated-time usage the arrival benchmarks rely on.  With ``window=w``
+    only the last ``w`` time units of checkpoints are retained and ``rate``
+    becomes a sliding-window gauge: that is how
+    :meth:`~repro.serving.cluster.ServingCluster.stats` reports wall-clock
+    ``items_per_s`` / ``decisions_per_s`` without unbounded growth.  The
+    oldest retained checkpoint is allowed to straddle the window edge so
+    the measured span never collapses below the observed data.
+
+    ``granularity`` bounds the retained checkpoints at ~``window /
+    granularity`` however fast events arrive — the hot-path configuration:
+    the newest tick always becomes the latest checkpoint, and intermediate
+    checkpoints closer together than the granularity are merged away (rate
+    error at most one granularity out of one window).  Without it every
+    tick is retained exactly.
+    """
+
+    def __init__(
+        self, window: Optional[float] = None, granularity: Optional[float] = None
+    ) -> None:
+        if window is not None and window <= 0:
+            raise ValueError("window must be positive (or None for unbounded)")
+        if granularity is not None and granularity <= 0:
+            raise ValueError("granularity must be positive (or None for exact)")
+        self.window = window
+        self.granularity = granularity
+        self._checkpoints: Deque[Tuple[float, int]] = deque()
         self.items = 0
 
     def tick(self, time: float, items: int = 1) -> None:
-        """Record that ``items`` arrivals were processed at simulated ``time``."""
+        """Record that ``items`` arrivals were processed at ``time``."""
         if items < 0:
             raise ValueError("items must be non-negative")
         self.items += items
         if self._checkpoints and time < self._checkpoints[-1][0]:
             raise ValueError("time must be non-decreasing")
+        if (
+            self.granularity is not None
+            and len(self._checkpoints) >= 2
+            and time - self._checkpoints[-2][0] < self.granularity
+        ):
+            # The previous latest checkpoint is within one granularity of
+            # its predecessor once this tick lands: subsume it, keeping the
+            # newest tick as the live endpoint of the measured span.
+            self._checkpoints.pop()
         self._checkpoints.append((time, self.items))
+        if self.window is not None:
+            cutoff = time - self.window
+            # Keep one checkpoint at/before the cutoff as the rate baseline.
+            while len(self._checkpoints) > 1 and self._checkpoints[1][0] <= cutoff:
+                self._checkpoints.popleft()
 
     @property
     def elapsed(self) -> float:
+        """Time span covered by the retained checkpoints."""
         if len(self._checkpoints) < 2:
             return 0.0
         return self._checkpoints[-1][0] - self._checkpoints[0][0]
 
     @property
     def rate(self) -> float:
-        """Average items per unit of simulated time (0 when undefined)."""
+        """Items per unit of time over the retained span (0 when undefined)."""
         if self.elapsed <= 0:
             return 0.0
         first_items = self._checkpoints[0][1]

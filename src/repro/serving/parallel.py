@@ -22,6 +22,14 @@ module supplies the two pieces that turn "sharded" into "scales with cores":
   stable (shard index, round, intra-round) order — decision-for-decision
   identical to the serial backend, which the cluster parity suite pins.
 
+  The push-delivery layer (:mod:`repro.serving.sinks`) leans on the same
+  pinning for its ordering contract: submission-path rounds publish their
+  emissions from the shard's pinned execution context (``run``), so one
+  shard's — and therefore one stream's — deliveries can never reorder even
+  with concurrent submitters, while cluster-level fan-outs journal the
+  per-shard lists ``map_shards`` returns and publish the stable-ordered
+  merge at the merge point.
+
 * **Adaptive drain batching.**  :class:`AdaptiveBatchController` picks each
   drain round's width from the observed backlog and a per-row latency EWMA
   (``ClusterConfig.batch_size="auto"``).  A hot shard with a deep queue

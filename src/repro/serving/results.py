@@ -1,0 +1,163 @@
+"""Submission outcomes for the push-based serving front end.
+
+The pull-only serving API returned one flat ``List[StreamDecision]`` from
+``submit`` and made admission outcomes ambiguous: a shed arrival silently
+returned an empty list (indistinguishable from "accepted, nothing decided
+yet") and a rejected one raised.  :class:`SubmitResult` makes every outcome
+explicit — ``status`` says what admission control did, ``decisions`` carries
+whatever a triggered drain emitted, and the shard/queue-depth telemetry says
+where the arrival landed and how loaded that shard is.
+
+Backward compatibility (the deprecation shim): a :class:`SubmitResult` is a
+:class:`~collections.abc.Sequence` over its emitted decisions, so legacy
+call sites that iterated, indexed, ``len()``-ed or truth-tested the old
+returned list keep working unchanged.  New code should read ``status`` /
+``decisions`` / ``admitted`` explicitly; the sequence protocol is kept only
+for migration and may eventually go away.  ``ShardOverloadError`` is still
+raised by ``overflow="reject"`` unless the caller opts into
+``raise_on_reject=False``, in which case the rejection comes back as a
+``status="rejected"`` result instead.
+
+:class:`ConsumeSummary` is the bulk-ingest counterpart: a list of every
+emitted decision (it *is* a list, so legacy consumers of
+``ServingCluster.consume`` are untouched) that additionally tallies the
+per-event admission outcomes the old API swallowed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Hashable, Iterator, List, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cluster imports us)
+    from repro.serving.cluster import StreamDecision
+
+__all__ = [
+    "SUBMIT_STATUSES",
+    "SubmitResult",
+    "ConsumeSummary",
+]
+
+#: Every admission outcome a submission can have.  ``accepted`` — enqueued,
+#: no decisions emitted yet; ``decided`` — enqueued and a triggered drain
+#: emitted at least one decision; ``rejected`` — the shard queue was full
+#: under ``overflow="reject"``; ``shed`` — the arrival was dropped under
+#: ``overflow="shed"``.
+SUBMIT_STATUSES = ("accepted", "decided", "rejected", "shed")
+
+
+@dataclass(frozen=True)
+class SubmitResult(Sequence):
+    """Explicit outcome of one ``submit`` call.
+
+    Attributes
+    ----------
+    status:
+        One of :data:`SUBMIT_STATUSES`.
+    stream_id:
+        The stream the arrival was routed for.
+    shard_id:
+        The shard it was routed to (admission control ran there even when
+        the arrival was rejected or shed).
+    decisions:
+        Decisions emitted by drain rounds this submission triggered
+        (``auto_drain`` or ``overflow="drain"`` backpressure), in emission
+        order.  Empty unless ``status="decided"``.
+    queue_depth:
+        The shard's arrival-queue depth observed right after the call — the
+        submitter-visible backpressure signal.
+    """
+
+    status: str
+    stream_id: Hashable
+    shard_id: int
+    decisions: Tuple["StreamDecision", ...] = ()
+    queue_depth: int = 0
+
+    def __post_init__(self) -> None:
+        if self.status not in SUBMIT_STATUSES:
+            raise ValueError(f"unknown submit status {self.status!r}")
+
+    # ------------------------------------------------------------------ #
+    # outcome predicates
+    # ------------------------------------------------------------------ #
+    @property
+    def admitted(self) -> bool:
+        """Whether the arrival entered its shard's queue."""
+        return self.status in ("accepted", "decided")
+
+    @property
+    def dropped(self) -> bool:
+        """Whether admission control discarded the arrival."""
+        return self.status in ("rejected", "shed")
+
+    # ------------------------------------------------------------------ #
+    # deprecation shim: behave like the legacy returned decision list
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.decisions)
+
+    def __getitem__(self, index):
+        return self.decisions[index]
+
+    def __iter__(self) -> Iterator["StreamDecision"]:
+        return iter(self.decisions)
+
+    def __bool__(self) -> bool:
+        # Legacy semantics: truthy iff the submission emitted decisions.
+        # Use ``admitted`` / ``status`` for admission outcomes.
+        return bool(self.decisions)
+
+
+class ConsumeSummary(List["StreamDecision"]):
+    """Every decision a bulk ingest emitted, plus per-status admission counts.
+
+    Subclasses ``list`` so existing consumers of
+    :meth:`~repro.serving.cluster.ServingCluster.consume` — iteration,
+    concatenation, ``extend`` — keep working; the new information rides along
+    as the ``counts`` mapping and the per-status properties.
+    """
+
+    def __init__(self, decisions=(), counts: Dict[str, int] | None = None) -> None:
+        super().__init__(decisions)
+        self.counts: Dict[str, int] = {status: 0 for status in SUBMIT_STATUSES}
+        if counts:
+            self.counts.update(counts)
+
+    def record(self, result: SubmitResult) -> None:
+        """Fold one submission outcome in (decisions + status tally)."""
+        self.counts[result.status] += 1
+        self.extend(result.decisions)
+
+    @property
+    def accepted(self) -> int:
+        return self.counts["accepted"]
+
+    @property
+    def decided(self) -> int:
+        return self.counts["decided"]
+
+    @property
+    def rejected(self) -> int:
+        return self.counts["rejected"]
+
+    @property
+    def shed(self) -> int:
+        return self.counts["shed"]
+
+    @property
+    def submitted(self) -> int:
+        """Total submissions the summary covers (all statuses)."""
+        return sum(self.counts.values())
+
+    @property
+    def admitted(self) -> int:
+        """Submissions that entered a shard queue."""
+        return self.counts["accepted"] + self.counts["decided"]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tallies = ", ".join(
+            f"{status}={count}" for status, count in self.counts.items() if count
+        )
+        return f"ConsumeSummary({len(self)} decisions; {tallies or 'no submissions'})"

@@ -1,0 +1,287 @@
+"""Decision sinks: push-based delivery targets for emitted decisions.
+
+The pull API hands decisions back as returned lists; sinks *push* them to
+subscribers the moment the serving layer publishes them.  A sink is anything
+implementing :class:`DecisionSink` — ``publish`` one decision (plus the
+``publish_all`` batch form) and an idempotent ``close``.  Subscribe sinks on
+a :class:`~repro.serving.cluster.ServingCluster` (or an individual
+:class:`~repro.serving.cluster.ShardWorker`) and every decision the cluster
+emits is delivered exactly once per subscriber, in the exact order of the
+returned-list API.
+
+Ordering and threading contract
+-------------------------------
+Publication is *journal-then-publish*: drain rounds collect their emissions
+and publish them as ordered batches.
+
+* Submission-path rounds (``auto_drain`` triggers, ``overflow="drain"``
+  backpressure) publish **on the shard's pinned execution context**, right
+  after the round completes — under the thread executor that is the shard's
+  pinned worker thread.  Rounds of one shard serialize on that worker, and a
+  stream lives on exactly one shard, so per-stream delivery order always
+  equals per-stream emission order, even with many concurrent submitters.
+* Cluster-level ``drain`` / ``flush`` / ``expire`` journal per-shard result
+  lists while shards run (possibly concurrently) and publish the merged
+  result at the merge point, in the same stable (shard index, round,
+  intra-round) order as the returned list — so sink delivery is
+  backend-deterministic: serial and thread executors deliver identical
+  sequences, which the parity suite pins.
+
+With a single-threaded caller the two paths never overlap and the full sink
+stream is list-identical to the concatenated returned lists.  Under
+concurrent submitters, batches from different shards may interleave (global
+order is scheduling-dependent) but each stream's decisions still arrive in
+order.  Sinks may therefore be invoked from worker threads: the sinks in
+this module are thread-safe, and a custom :class:`CallbackSink` target must
+be too.
+
+Snapshots and restores do not touch sinks: delivery is not serving state,
+so a restore never rescinds (or re-fires on its own) anything already
+published — but *replaying* events after a restore re-emits the replayed
+decisions, and subscribers see those emissions again, exactly as a
+returned-list caller sees the replayed lists.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import threading
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Deque, Iterable, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cluster imports us)
+    from repro.serving.cluster import StreamDecision
+
+__all__ = [
+    "DecisionSink",
+    "CallbackSink",
+    "BufferedSink",
+    "FanOutSink",
+    "AsyncQueueSink",
+]
+
+
+class DecisionSink:
+    """Delivery target for pushed decisions (the subscription contract).
+
+    Implementations must tolerate ``publish`` being invoked from shard
+    worker threads (see the module docstring's ordering contract) and must
+    treat ``close`` as idempotent.
+    """
+
+    def publish(self, decision: "StreamDecision") -> None:
+        """Deliver one decision."""
+        raise NotImplementedError
+
+    def publish_all(self, decisions: Sequence["StreamDecision"]) -> None:
+        """Deliver an ordered batch (default: one ``publish`` per decision)."""
+        for decision in decisions:
+            self.publish(decision)
+
+    def close(self) -> None:
+        """Release resources / signal end-of-stream.  Idempotent no-op here."""
+
+
+class CallbackSink(DecisionSink):
+    """Invoke a callable per decision — the thinnest possible subscriber.
+
+    The callback runs on whatever thread publishes (a shard's pinned worker
+    for submission-path rounds, the draining caller at cluster merge
+    points), so it must be fast and thread-safe; heavy consumers should
+    buffer through a :class:`BufferedSink` or :class:`AsyncQueueSink`
+    instead of doing work inline.
+    """
+
+    def __init__(self, callback: Callable[["StreamDecision"], None]) -> None:
+        if not callable(callback):
+            raise TypeError("callback must be callable")
+        self._callback = callback
+
+    def publish(self, decision: "StreamDecision") -> None:
+        self._callback(decision)
+
+
+class BufferedSink(DecisionSink):
+    """Bounded (or unbounded) FIFO buffering of published decisions.
+
+    The deployment-shaped subscriber: publishers append, a consumer
+    periodically :meth:`take`\\ s the accumulated batch.  A bounded buffer
+    sheds its *oldest* entries on overflow (newest-first retention matches
+    the serving layer's freshness bias) and counts what it dropped.
+    """
+
+    def __init__(self, maxlen: Optional[int] = None) -> None:
+        if maxlen is not None and maxlen <= 0:
+            raise ValueError("maxlen must be positive (or None for unbounded)")
+        self.maxlen = maxlen
+        self._buffer: Deque["StreamDecision"] = deque()
+        self._lock = threading.Lock()
+        #: Decisions evicted by overflow since construction (or last reset
+        #: via ``take(reset_dropped=True)``).
+        self.dropped = 0
+
+    def publish(self, decision: "StreamDecision") -> None:
+        with self._lock:
+            if self.maxlen is not None and len(self._buffer) >= self.maxlen:
+                self._buffer.popleft()
+                self.dropped += 1
+            self._buffer.append(decision)
+
+    def publish_all(self, decisions: Sequence["StreamDecision"]) -> None:
+        if not decisions:
+            return
+        with self._lock:
+            for decision in decisions:
+                if self.maxlen is not None and len(self._buffer) >= self.maxlen:
+                    self._buffer.popleft()
+                    self.dropped += 1
+                self._buffer.append(decision)
+
+    def take(self, reset_dropped: bool = False) -> List["StreamDecision"]:
+        """Remove and return everything buffered so far, in delivery order."""
+        with self._lock:
+            batch = list(self._buffer)
+            self._buffer.clear()
+            if reset_dropped:
+                self.dropped = 0
+        return batch
+
+    def peek(self) -> List["StreamDecision"]:
+        """A copy of the buffered decisions without consuming them."""
+        with self._lock:
+            return list(self._buffer)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._buffer)
+
+
+class FanOutSink(DecisionSink):
+    """Deliver every decision to each of a mutable set of child sinks.
+
+    This is the subscription hub the cluster uses internally: subscribers
+    are added/removed at runtime, and each published decision reaches every
+    child in subscription order.  Publishing iterates a snapshot, so a
+    subscriber list mutated mid-publish never corrupts delivery (the change
+    applies from the next publish on).
+    """
+
+    def __init__(self, sinks: Iterable[DecisionSink] = ()) -> None:
+        self._sinks: List[DecisionSink] = list(sinks)
+        self._lock = threading.Lock()
+
+    def add(self, sink: DecisionSink) -> DecisionSink:
+        """Subscribe a child sink; returns it (for unsubscribe bookkeeping)."""
+        if not isinstance(sink, DecisionSink):
+            raise TypeError("sink must implement DecisionSink")
+        with self._lock:
+            self._sinks.append(sink)
+        return sink
+
+    def remove(self, sink: DecisionSink) -> bool:
+        """Unsubscribe a child sink; False when it was not subscribed."""
+        with self._lock:
+            try:
+                self._sinks.remove(sink)
+            except ValueError:
+                return False
+        return True
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sinks)
+
+    def _snapshot(self) -> List[DecisionSink]:
+        with self._lock:
+            return list(self._sinks)
+
+    def publish(self, decision: "StreamDecision") -> None:
+        for sink in self._snapshot():
+            sink.publish(decision)
+
+    def publish_all(self, decisions: Sequence["StreamDecision"]) -> None:
+        if not decisions:
+            return
+        for sink in self._snapshot():
+            sink.publish_all(decisions)
+
+    def close(self) -> None:
+        for sink in self._snapshot():
+            sink.close()
+
+
+class AsyncQueueSink(DecisionSink):
+    """Bridge published decisions into an :class:`asyncio.Queue`.
+
+    Built for the :class:`~repro.serving.aio.AsyncServingGateway`: shard
+    workers publish from plain threads, consumers ``await queue.get()`` on
+    the event loop.  Delivery is loop-thread-safe:
+
+    * unbounded queue — ``loop.call_soon_threadsafe(put_nowait)``: the
+      publisher never blocks;
+    * bounded queue — the publishing thread blocks in
+      ``run_coroutine_threadsafe(queue.put(...))`` until the consumer makes
+      room: *backpressure propagates to the serving layer*.  A bounded sink
+      therefore requires a concurrently running consumer task; publishing
+      from the loop thread itself would deadlock on a full queue and is
+      rejected, and a publish that stays blocked longer than ``put_timeout``
+      seconds (consumer task died or stopped consuming) raises instead of
+      hanging the shard worker forever.
+    """
+
+    def __init__(
+        self,
+        queue: "asyncio.Queue",
+        loop: asyncio.AbstractEventLoop,
+        put_timeout: Optional[float] = 30.0,
+    ) -> None:
+        if put_timeout is not None and put_timeout <= 0:
+            raise ValueError("put_timeout must be positive (or None to wait forever)")
+        self._queue = queue
+        self._loop = loop
+        self._put_timeout = put_timeout
+        self._closed = False
+
+    @property
+    def queue(self) -> "asyncio.Queue":
+        return self._queue
+
+    def publish(self, decision: "StreamDecision") -> None:
+        if self._closed or self._loop.is_closed():
+            # A sink whose loop is gone (an abandoned gateway that was never
+            # closed) drops deliveries instead of crashing the serving layer.
+            return
+        bounded = self._queue.maxsize > 0
+        on_loop_thread = False
+        try:
+            on_loop_thread = asyncio.get_running_loop() is self._loop
+        except RuntimeError:
+            pass
+        if not bounded:
+            if on_loop_thread:
+                self._queue.put_nowait(decision)
+            else:
+                self._loop.call_soon_threadsafe(self._queue.put_nowait, decision)
+            return
+        if on_loop_thread:
+            # Blocking the loop on its own consumer is a guaranteed deadlock.
+            raise RuntimeError(
+                "bounded AsyncQueueSink cannot publish from the event-loop "
+                "thread; run the serving call in an executor"
+            )
+        future = asyncio.run_coroutine_threadsafe(self._queue.put(decision), self._loop)
+        try:
+            future.result(timeout=self._put_timeout)
+        # concurrent.futures.TimeoutError: an alias of the builtin only
+        # since 3.11 — name the futures flavour so older runtimes match too.
+        except concurrent.futures.TimeoutError:
+            future.cancel()
+            raise RuntimeError(
+                f"bounded AsyncQueueSink publish stalled for "
+                f"{self._put_timeout}s — the consumer task is not draining "
+                f"the decision queue (dead or stopped consuming)"
+            ) from None
+
+    def close(self) -> None:
+        self._closed = True

@@ -1,0 +1,285 @@
+"""AsyncServingGateway: awaitable submission, decision streams, lifecycle.
+
+Runs entirely on stdlib ``asyncio.run`` (no pytest-asyncio — satellite
+requirement: the asyncio suite is part of the tier-1 job with zero new
+dependencies).  The core contract: per-stream decisions served through the
+async gateway — including under *concurrent* submitter tasks — are
+decision-for-decision identical to one sequential single-stream engine per
+stream, and the pushed ``decisions()`` stream carries exactly the emitted
+decisions.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.config import KVECConfig
+from repro.core.model import KVEC
+from repro.data.items import Item, ValueSpec
+from repro.data.stream import StreamEvent
+from repro.serving import (
+    AsyncServingGateway,
+    ClusterConfig,
+    EngineConfig,
+    OnlineClassificationEngine,
+    ServingCluster,
+)
+
+SPEC = ValueSpec(field_names=("size", "direction"), cardinalities=(8, 2), session_field=1)
+
+
+def make_model(seed: int = 3) -> KVEC:
+    config = KVECConfig(
+        d_model=12,
+        num_blocks=2,
+        num_heads=2,
+        ffn_hidden=20,
+        d_state=16,
+        dropout=0.0,
+        encoding="rotary",
+        seed=seed,
+    )
+    return KVEC(SPEC, num_classes=3, config=config)
+
+
+def engine_config(**overrides) -> EngineConfig:
+    kwargs = dict(window_items=7, halt_threshold=0.5, reencode_every=2)
+    kwargs.update(overrides)
+    return EngineConfig(**kwargs)
+
+
+def multi_stream_events(seed: int, num_events=200, num_streams=4, num_keys=4):
+    rng = np.random.default_rng(seed)
+    streams = [f"stream-{i}" for i in range(num_streams)]
+    events = []
+    clock = 0.0
+    for _ in range(num_events):
+        clock += 1.0
+        stream_id = streams[int(rng.integers(num_streams))]
+        item = Item(
+            f"k{rng.integers(num_keys)}",
+            (int(rng.integers(8)), int(rng.integers(2))),
+            clock,
+        )
+        events.append(StreamEvent(time=clock, item=item, source=stream_id))
+    return streams, events
+
+
+def reference_decisions(model, streams, events):
+    engines = {
+        stream_id: OnlineClassificationEngine(model, SPEC, engine_config())
+        for stream_id in streams
+    }
+    ordered = {stream_id: [] for stream_id in streams}
+    for event in events:
+        ordered[event.source].extend(engines[event.source].offer(event))
+    for stream_id, engine in engines.items():
+        ordered[stream_id].extend(engine.flush())
+    return ordered
+
+
+def assert_per_stream_parity(got_by_stream, expected):
+    for stream_id, reference in expected.items():
+        got = got_by_stream.get(stream_id, [])
+        assert [d.key for d in got] == [d.key for d in reference], stream_id
+        for mine, ref in zip(got, reference):
+            assert mine.predicted == ref.predicted, (stream_id, mine.key)
+            assert mine.confidence == pytest.approx(ref.confidence, abs=1e-9)
+            assert mine.observations == ref.observations, (stream_id, mine.key)
+
+
+class TestAsyncParity:
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    def test_concurrent_submitters_match_reference_per_stream(self, executor):
+        """One submitter task per stream, all running concurrently: every
+        stream's decision sequence equals the sequential single-stream
+        reference (the AsyncServingGateway leg of the parity matrix)."""
+        model = make_model()
+        streams, events = multi_stream_events(seed=42, num_events=240)
+        expected = reference_decisions(model, streams, events)
+        per_stream_events = {
+            stream_id: [e for e in events if e.source == stream_id]
+            for stream_id in streams
+        }
+
+        async def scenario():
+            config = ClusterConfig(
+                num_shards=2,
+                batch_size=4,
+                executor=executor,
+                engine=engine_config(),
+            )
+            pushed = []
+            async with AsyncServingGateway(model, SPEC, config) as gateway:
+
+                async def consume():
+                    async for decision in gateway.decisions():
+                        pushed.append(decision)
+
+                consumer = asyncio.create_task(consume())
+
+                async def submit_stream(stream_id):
+                    for event in per_stream_events[stream_id]:
+                        result = await gateway.submit(event)
+                        assert result.admitted
+                    # per-stream flush is not exposed async; the final
+                    # close() flushes everything
+
+                await asyncio.gather(*(submit_stream(s) for s in streams))
+                await gateway.close()
+                await consumer
+            return pushed
+
+        pushed = asyncio.run(scenario())
+        got_by_stream = {}
+        for stream_decision in pushed:
+            got_by_stream.setdefault(stream_decision.stream_id, []).append(
+                stream_decision.decision
+            )
+        assert_per_stream_parity(got_by_stream, expected)
+
+    def test_decision_stream_equals_returned_lists_for_sequential_caller(self):
+        model = make_model()
+        streams, events = multi_stream_events(seed=7, num_events=120)
+
+        async def scenario():
+            config = ClusterConfig(num_shards=2, batch_size=4, engine=engine_config())
+            gateway = AsyncServingGateway(model, SPEC, config)
+            returned = []
+            for event in events:
+                returned.extend(await gateway.submit(event))
+            returned.extend(await gateway.drain())
+            returned.extend(await gateway.expire())
+            returned.extend(await gateway.close())
+            pushed = [d async for d in gateway.decisions()]
+            return returned, pushed
+
+        returned, pushed = asyncio.run(scenario())
+        # for a sequential caller the push stream is list-identical to the
+        # concatenated pull results — same objects, same order
+        assert pushed == returned
+
+
+class TestAsyncFuturesAndBackpressure:
+    def test_result_future_resolves_on_emission(self):
+        model = make_model()
+        streams, events = multi_stream_events(seed=13, num_events=100)
+
+        async def scenario():
+            config = ClusterConfig(num_shards=1, batch_size=4, engine=engine_config())
+            async with AsyncServingGateway(model, SPEC, config) as gateway:
+                target_stream = events[0].source
+                target_key = events[0].key
+                future = gateway.result(target_stream, target_key)
+                assert not future.done()
+                for event in events:
+                    await gateway.submit(event)
+                await gateway.flush()
+                decision = await asyncio.wait_for(future, timeout=5)
+                assert decision.key == target_key
+                assert gateway.decided(target_stream, target_key) is decision
+                # already-decided keys resolve immediately
+                assert (await gateway.result(target_stream, target_key)) is decision
+                never = gateway.result("no-such-stream", "no-such-key")
+                return never
+
+        never = asyncio.run(scenario())
+        assert never.cancelled()
+
+    def test_bounded_buffer_applies_backpressure_without_loss(self):
+        model = make_model()
+        streams, events = multi_stream_events(seed=17, num_events=150)
+
+        async def scenario():
+            config = ClusterConfig(num_shards=2, batch_size=4, engine=engine_config())
+            gateway = AsyncServingGateway(model, SPEC, config, max_buffered=4)
+            pushed = []
+
+            async def consume():
+                async for decision in gateway.decisions():
+                    pushed.append(decision)
+                    await asyncio.sleep(0)  # deliberately slow consumer
+
+            consumer = asyncio.create_task(consume())
+            returned = []
+            for event in events:
+                returned.extend(await gateway.submit(event))
+            returned.extend(await gateway.close())
+            await consumer
+            assert gateway.stats()["buffered_decisions"] == 0
+            return returned, pushed
+
+        returned, pushed = asyncio.run(scenario())
+        assert pushed == returned  # nothing lost, order preserved
+
+
+class TestAsyncLifecycle:
+    def test_states_and_guards(self):
+        model = make_model()
+        streams, events = multi_stream_events(seed=23, num_events=60)
+
+        async def scenario():
+            config = ClusterConfig(num_shards=1, batch_size=4, engine=engine_config())
+            gateway = AsyncServingGateway(model, SPEC, config)
+            assert gateway.state == "running"
+            for event in events:
+                await gateway.submit(event)
+            emitted = await gateway.close()
+            assert gateway.state == "closed"
+            assert gateway.cluster.state == "closed"
+            assert (await gateway.close()) == []
+            with pytest.raises(RuntimeError, match="closed"):
+                await gateway.submit(events[0])
+            assert gateway.stats()["gateway_state"] == "closed"
+            # post-close result() never hands out a future that cannot fire
+            assert gateway.result("no-such-stream", "ghost").cancelled()
+            return emitted
+
+        asyncio.run(scenario())
+
+    def test_wrapped_cluster_stays_open(self):
+        model = make_model()
+        cluster = ServingCluster(
+            model, SPEC, ClusterConfig(num_shards=1, batch_size=4, engine=engine_config())
+        )
+        streams, events = multi_stream_events(seed=29, num_events=40)
+
+        async def scenario():
+            async with AsyncServingGateway(cluster=cluster) as gateway:
+                for event in events:
+                    await gateway.submit(event)
+            assert cluster.state == "running"
+
+        asyncio.run(scenario())
+        cluster.close()
+
+    def test_constructor_validation(self):
+        model = make_model()
+        cluster = ServingCluster(model, SPEC, ClusterConfig(num_shards=1))
+        with pytest.raises(ValueError, match="either"):
+            AsyncServingGateway()
+        with pytest.raises(ValueError, match="not both"):
+            AsyncServingGateway(model, SPEC, cluster=cluster)
+        with pytest.raises(ValueError, match="max_buffered"):
+            AsyncServingGateway(cluster=cluster, max_buffered=-1)
+        cluster.close()
+
+    def test_rejects_use_from_a_second_loop(self):
+        model = make_model()
+        gateway = AsyncServingGateway(
+            model, SPEC, ClusterConfig(num_shards=1, engine=engine_config())
+        )
+        streams, events = multi_stream_events(seed=31, num_events=5)
+
+        async def first_use():
+            await gateway.submit(events[0])
+
+        asyncio.run(first_use())
+
+        async def second_loop_use():
+            await gateway.submit(events[1])
+
+        with pytest.raises(RuntimeError, match="different event loop"):
+            asyncio.run(second_loop_use())
+        gateway._cluster.close()

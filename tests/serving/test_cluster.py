@@ -23,6 +23,7 @@ from repro.serving.cluster import (
     ShardOverloadError,
 )
 from repro.serving.engine import EngineConfig, OnlineClassificationEngine, StreamSession
+from repro.serving.sinks import BufferedSink
 
 SPEC = ValueSpec(field_names=("size", "direction"), cardinalities=(8, 2), session_field=1)
 
@@ -730,6 +731,143 @@ class TestRoutingAndBatching:
         emitted.extend(cluster.flush())
         assert_stream_parity(by_stream(emitted, streams), expected)
         assert cluster.stats()["drained"] == len(events)
+
+
+class TestSinkDeliveryParity:
+    """Push delivery is decision-for-decision and order-identical to the
+    returned-list API: across executors, shard counts and batch policies a
+    subscribed sink receives exactly the concatenation of every returned
+    list, same objects, same order (the sink leg of the parity matrix)."""
+
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    @pytest.mark.parametrize("num_shards", [1, 2, 4])
+    def test_sink_matches_returned_lists_fixed_batch(self, executor, num_shards):
+        model = make_model("rotary")
+        streams, events = multi_stream_events(seed=42)
+        with ServingCluster(
+            model,
+            SPEC,
+            ClusterConfig(
+                num_shards=num_shards,
+                batch_size=4,
+                executor=executor,
+                engine=engine_config(),
+            ),
+        ) as cluster:
+            sink = cluster.subscribe(BufferedSink())
+            returned = []
+            for event in events:
+                returned.extend(cluster.submit(event))
+            returned.extend(cluster.drain())
+            returned.extend(cluster.expire())
+            returned.extend(cluster.flush())
+            delivered = sink.take()
+        assert delivered == returned
+
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    @pytest.mark.parametrize("num_shards", [1, 2, 4])
+    def test_sink_matches_returned_lists_auto_batch(self, executor, num_shards):
+        model = make_model("rotary")
+        streams, events = multi_stream_events(seed=19)
+        with ServingCluster(
+            model,
+            SPEC,
+            ClusterConfig(
+                num_shards=num_shards,
+                batch_size="auto",
+                auto_drain=False,
+                max_queue=len(events) + 1,
+                executor=executor,
+                engine=engine_config(),
+            ),
+        ) as cluster:
+            sink = cluster.subscribe(BufferedSink())
+            returned = []
+            for position, event in enumerate(events):
+                returned.extend(cluster.submit(event))
+                if position % 25 == 24:
+                    returned.extend(cluster.drain())
+            returned.extend(cluster.flush())
+            delivered = sink.take()
+        assert delivered == returned
+
+    def test_sink_delivery_is_backend_deterministic(self):
+        """The delivered sequence (not just the returned one) is identical
+        across serial and thread executors for fixed-width rounds."""
+        model = make_model("absolute")
+        streams, events = multi_stream_events(seed=23)
+
+        def serve(executor):
+            with ServingCluster(
+                model,
+                SPEC,
+                ClusterConfig(
+                    num_shards=2,
+                    batch_size=4,
+                    auto_drain=False,
+                    max_queue=len(events) + 1,
+                    executor=executor,
+                    engine=engine_config(),
+                ),
+            ) as cluster:
+                sink = cluster.subscribe(BufferedSink())
+                for event in events:
+                    cluster.submit(event)
+                cluster.drain()
+                cluster.flush()
+                return [
+                    (d.stream_id, d.shard_id, d.decision.key, d.decision.predicted)
+                    for d in sink.take()
+                ]
+
+        assert serve("serial") == serve("thread")
+
+    @pytest.mark.stress
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    @pytest.mark.parametrize("seed", range(8))
+    def test_sink_vs_returned_list_fuzz(self, seed, executor):
+        """Weekly randomized sweep: any mix of submits, drains, expiries and
+        flushes over a random cluster shape must deliver, through the sink,
+        exactly the concatenated returned lists."""
+        rng = np.random.default_rng(4000 + seed)
+        model = make_model(
+            str(rng.choice(ENCODINGS)), seed=int(rng.integers(100))
+        )
+        streams, events = multi_stream_events(
+            seed=5000 + seed,
+            num_events=int(rng.integers(120, 320)),
+            num_streams=int(rng.integers(2, 8)),
+            num_keys=int(rng.integers(2, 6)),
+        )
+        adaptive = bool(rng.random() < 0.5)
+        overrides = dict(
+            window_items=int(rng.integers(4, 12)),
+            reencode_every=int(rng.integers(1, 4)),
+            idle_timeout=float(rng.choice([0.0, 5.0])),
+        )
+        config = ClusterConfig(
+            num_shards=int(rng.choice([1, 2, 4])),
+            batch_size="auto" if adaptive else int(rng.integers(1, 9)),
+            auto_drain=False if adaptive else bool(rng.random() < 0.7),
+            max_queue=len(events) + 1,
+            batched=bool(rng.random() < 0.8),
+            executor=executor,
+            engine=engine_config(**overrides),
+        )
+        drain_every = int(rng.integers(10, 60))
+        with ServingCluster(model, SPEC, config) as cluster:
+            sink = cluster.subscribe(BufferedSink())
+            returned = []
+            for position, event in enumerate(events):
+                returned.extend(cluster.submit(event))
+                if position % drain_every == drain_every - 1:
+                    if rng.random() < 0.3:
+                        returned.extend(cluster.expire())
+                    else:
+                        returned.extend(cluster.drain())
+            returned.extend(cluster.flush())
+            delivered = sink.take()
+        assert delivered == returned
 
 
 class TestClusterLockstepStress:

@@ -351,3 +351,60 @@ class TestThroughputMeter:
     def test_negative_items_rejected(self):
         with pytest.raises(ValueError):
             ThroughputMeter().tick(0.0, -1)
+
+    def test_sliding_window_tracks_recent_rate(self):
+        meter = ThroughputMeter(window=4.0)
+        # a burst long in the past...
+        meter.tick(0.0, 0)
+        meter.tick(1.0, 100)
+        # ...followed by a slow recent trickle
+        for t in range(10, 20):
+            meter.tick(float(t), 1)
+        # unbounded average would be ~5.8/s; the window only sees the trickle
+        assert meter.rate == pytest.approx(1.0, rel=0.5)
+        assert meter.elapsed <= 4.0 + 1.0  # boundary checkpoint may straddle
+
+    def test_window_rate_decays_with_idle_zero_ticks(self):
+        meter = ThroughputMeter(window=2.0)
+        meter.tick(0.0, 0)
+        meter.tick(1.0, 10)
+        busy = meter.rate
+        assert busy > 0
+        meter.tick(10.0, 0)  # a stats-style idle tick far later
+        assert meter.rate < busy
+
+    def test_unbounded_meter_keeps_lifetime_average(self):
+        meter = ThroughputMeter()
+        meter.tick(0.0, 0)
+        meter.tick(1.0, 100)
+        for t in range(10, 20):
+            meter.tick(float(t), 1)
+        assert meter.rate == pytest.approx(110 / 19.0)
+
+    def test_rejects_non_positive_window(self):
+        with pytest.raises(ValueError, match="window"):
+            ThroughputMeter(window=-1.0)
+        with pytest.raises(ValueError, match="granularity"):
+            ThroughputMeter(window=1.0, granularity=0.0)
+
+    def test_granularity_bounds_checkpoint_count(self):
+        """The hot-path configuration: per-event ticks must not retain one
+        checkpoint per event (memory bound is ~window/granularity)."""
+        meter = ThroughputMeter(window=10.0, granularity=1.0)
+        t = 0.0
+        for _ in range(10_000):
+            t += 0.001  # 1000 ticks per granularity span
+            meter.tick(t)
+        assert len(meter._checkpoints) <= 10.0 / 1.0 + 2
+        assert meter.items == 10_000
+        # rate over the retained window stays ~1000 items per time unit
+        assert meter.rate == pytest.approx(1000.0, rel=0.25)
+
+    def test_granularity_keeps_sub_span_bursts_measurable(self):
+        meter = ThroughputMeter(window=60.0, granularity=0.25)
+        meter.tick(0.0, 0)
+        for i in range(50):
+            meter.tick(0.001 * (i + 1))
+        # the burst fits inside one granularity span yet first/latest ticks
+        # survive as distinct checkpoints, so the rate is positive
+        assert meter.rate > 0.0

@@ -1,0 +1,425 @@
+"""Push-delivery layer: SubmitResult, ConsumeSummary, sinks and lifecycle.
+
+Unit coverage of the result/sink value types plus their integration with the
+cluster: explicit admission outcomes, subscription delivery identical to the
+returned lists, per-shard subscription, throughput/stats surfacing and the
+running → draining → closed lifecycle guards.  (The full delivery-order
+parity matrix lives with the cluster parity suite in ``test_cluster.py``.)
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.config import KVECConfig
+from repro.core.model import KVEC
+from repro.data.items import Item, ValueSpec
+from repro.data.stream import StreamEvent
+from repro.serving import (
+    AsyncQueueSink,
+    BufferedSink,
+    CallbackSink,
+    ClusterConfig,
+    ConsumeSummary,
+    DecisionSink,
+    EngineConfig,
+    FanOutSink,
+    ServingCluster,
+    ShardOverloadError,
+    SubmitResult,
+)
+from repro.serving.cluster import StreamDecision
+from repro.serving.engine import Decision
+
+SPEC = ValueSpec(field_names=("size", "direction"), cardinalities=(8, 2), session_field=1)
+
+
+def make_model(seed: int = 3) -> KVEC:
+    config = KVECConfig(
+        d_model=12,
+        num_blocks=2,
+        num_heads=2,
+        ffn_hidden=20,
+        d_state=16,
+        dropout=0.0,
+        encoding="rotary",
+        seed=seed,
+    )
+    return KVEC(SPEC, num_classes=3, config=config)
+
+
+def make_events(seed: int, count: int = 120, num_streams: int = 5, num_keys: int = 4):
+    rng = np.random.default_rng(seed)
+    events = []
+    clock = 0.0
+    for _ in range(count):
+        clock += 1.0
+        item = Item(
+            f"k{rng.integers(num_keys)}",
+            (int(rng.integers(8)), int(rng.integers(2))),
+            clock,
+        )
+        events.append(
+            StreamEvent(time=clock, item=item, source=f"stream-{rng.integers(num_streams)}")
+        )
+    return events
+
+
+def fake_decision(stream_id="s", key="k", position=0) -> StreamDecision:
+    return StreamDecision(
+        stream_id=stream_id,
+        shard_id=0,
+        decision=Decision(
+            key=key,
+            predicted=position % 3,
+            confidence=0.9,
+            observations=position + 1,
+            decision_time=float(position),
+            halted_by_policy=True,
+            window_truncated=False,
+        ),
+    )
+
+
+class TestSubmitResult:
+    def test_statuses_and_predicates(self):
+        accepted = SubmitResult(status="accepted", stream_id="s", shard_id=0)
+        assert accepted.admitted and not accepted.dropped
+        shed = SubmitResult(status="shed", stream_id="s", shard_id=0)
+        assert shed.dropped and not shed.admitted
+        with pytest.raises(ValueError, match="status"):
+            SubmitResult(status="maybe", stream_id="s", shard_id=0)
+
+    def test_legacy_sequence_shim(self):
+        decisions = (fake_decision(position=0), fake_decision(key="k2", position=1))
+        result = SubmitResult(
+            status="decided", stream_id="s", shard_id=0, decisions=decisions
+        )
+        # iteration / len / indexing / truthiness all behave like the old list
+        assert list(result) == list(decisions)
+        assert len(result) == 2
+        assert result[0] is decisions[0]
+        assert result
+        empty = SubmitResult(status="accepted", stream_id="s", shard_id=0)
+        assert not empty and len(empty) == 0
+        collected = []
+        collected.extend(result)
+        assert collected == list(decisions)
+
+
+class TestConsumeSummary:
+    def test_is_a_decision_list_with_counts(self):
+        summary = ConsumeSummary()
+        summary.record(
+            SubmitResult(
+                status="decided",
+                stream_id="s",
+                shard_id=0,
+                decisions=(fake_decision(),),
+            )
+        )
+        summary.record(SubmitResult(status="accepted", stream_id="s", shard_id=0))
+        summary.record(SubmitResult(status="shed", stream_id="s", shard_id=0))
+        assert isinstance(summary, list) and len(summary) == 1
+        assert summary.decided == 1 and summary.accepted == 1 and summary.shed == 1
+        assert summary.rejected == 0
+        assert summary.submitted == 3 and summary.admitted == 2
+        # list concatenation (the legacy idiom) still works
+        assert len(summary + [fake_decision()]) == 2
+
+
+class TestSinkPrimitives:
+    def test_callback_sink_invokes_per_decision(self):
+        seen = []
+        sink = CallbackSink(seen.append)
+        batch = [fake_decision(position=i) for i in range(3)]
+        sink.publish_all(batch)
+        assert seen == batch
+        with pytest.raises(TypeError):
+            CallbackSink("not-callable")
+
+    def test_buffered_sink_take_and_peek(self):
+        sink = BufferedSink()
+        batch = [fake_decision(position=i) for i in range(4)]
+        sink.publish_all(batch)
+        assert len(sink) == 4
+        assert sink.peek() == batch and len(sink) == 4
+        assert sink.take() == batch
+        assert len(sink) == 0 and sink.take() == []
+
+    def test_bounded_buffer_sheds_oldest_and_counts(self):
+        sink = BufferedSink(maxlen=3)
+        batch = [fake_decision(key=f"k{i}", position=i) for i in range(5)]
+        sink.publish_all(batch)
+        assert sink.dropped == 2
+        assert [d.decision.key for d in sink.take()] == ["k2", "k3", "k4"]
+        with pytest.raises(ValueError):
+            BufferedSink(maxlen=0)
+
+    def test_fan_out_sink_order_and_membership(self):
+        first, second = BufferedSink(), BufferedSink()
+        fan = FanOutSink([first])
+        fan.add(second)
+        assert len(fan) == 2
+        decision = fake_decision()
+        fan.publish(decision)
+        assert first.take() == [decision] and second.take() == [decision]
+        assert fan.remove(second) and not fan.remove(second)
+        fan.publish(decision)
+        assert first.take() == [decision] and second.take() == []
+        with pytest.raises(TypeError):
+            fan.add(object())
+
+    def test_async_queue_sink_unbounded_delivery(self):
+        async def scenario():
+            queue = asyncio.Queue()
+            sink = AsyncQueueSink(queue, asyncio.get_running_loop())
+            batch = [fake_decision(position=i) for i in range(3)]
+            sink.publish_all(batch)  # loop thread + unbounded: put_nowait
+            received = [await queue.get() for _ in range(3)]
+            assert received == batch
+            sink.close()
+            sink.publish(fake_decision())  # closed sinks drop silently
+            assert queue.empty()
+
+        asyncio.run(scenario())
+
+    def test_bounded_async_queue_sink_rejects_loop_thread_publish(self):
+        async def scenario():
+            queue = asyncio.Queue(maxsize=1)
+            sink = AsyncQueueSink(queue, asyncio.get_running_loop())
+            with pytest.raises(RuntimeError, match="event-loop thread"):
+                sink.publish(fake_decision())
+
+        asyncio.run(scenario())
+
+
+class TestClusterDelivery:
+    def test_subscribed_sink_sees_exactly_the_returned_decisions(self):
+        model = make_model()
+        events = make_events(seed=11)
+        cluster = ServingCluster(
+            model,
+            SPEC,
+            ClusterConfig(
+                num_shards=2,
+                batch_size=4,
+                engine=EngineConfig(window_items=7, halt_threshold=0.5, reencode_every=2),
+            ),
+        )
+        sink = cluster.subscribe(BufferedSink())
+        returned = []
+        for event in events:
+            returned.extend(cluster.submit(event))
+        returned.extend(cluster.expire())
+        returned.extend(cluster.flush())
+        delivered = sink.take()
+        assert delivered == returned
+        assert [d.decision.key for d in delivered] == [d.decision.key for d in returned]
+
+    def test_unsubscribe_stops_delivery(self):
+        model = make_model()
+        events = make_events(seed=13, count=60)
+        cluster = ServingCluster(
+            model,
+            SPEC,
+            ClusterConfig(num_shards=1, batch_size=4, engine=EngineConfig(window_items=7)),
+        )
+        sink = cluster.subscribe(BufferedSink())
+        cluster.consume(events[:30])
+        assert cluster.unsubscribe(sink)
+        seen_before = len(sink.peek())
+        cluster.consume(events[30:])
+        cluster.flush()
+        assert len(sink.peek()) == seen_before
+        assert not cluster.unsubscribe(sink)
+
+    def test_shard_level_subscription_sees_only_that_shard(self):
+        model = make_model()
+        events = make_events(seed=17)
+        cluster = ServingCluster(
+            model,
+            SPEC,
+            ClusterConfig(num_shards=2, batch_size=4, engine=EngineConfig(window_items=7)),
+        )
+        shard_sinks = [shard.subscribe(BufferedSink()) for shard in cluster.shards]
+        returned = list(cluster.consume(events))
+        returned.extend(cluster.flush())
+        for shard, sink in zip(cluster.shards, shard_sinks):
+            delivered = sink.take()
+            assert all(d.shard_id == shard.shard_id for d in delivered)
+            assert delivered == [d for d in returned if d.shard_id == shard.shard_id]
+
+    def test_submit_statuses_cover_admission_control(self):
+        def event_at(position):
+            return StreamEvent(
+                time=float(position),
+                item=Item(f"k{position % 3}", (position % 8, position % 2), float(position)),
+                source=f"stream-{position % 5}",
+            )
+
+        shed_cluster = ServingCluster(
+            make_model(),
+            SPEC,
+            ClusterConfig(num_shards=1, max_queue=2, overflow="shed", auto_drain=False),
+        )
+        statuses = [shed_cluster.submit(event_at(i)).status for i in range(4)]
+        assert statuses == ["accepted", "accepted", "shed", "shed"]
+        assert shed_cluster.submit(event_at(9)).queue_depth == 2
+
+        reject_cluster = ServingCluster(
+            make_model(),
+            SPEC,
+            ClusterConfig(num_shards=1, max_queue=2, overflow="reject", auto_drain=False),
+        )
+        for position in range(2):
+            assert reject_cluster.submit(event_at(position)).admitted
+        with pytest.raises(ShardOverloadError):
+            reject_cluster.submit(event_at(2))
+        soft = reject_cluster.submit(event_at(3), raise_on_reject=False)
+        assert soft.status == "rejected" and soft.dropped
+        assert reject_cluster.stats()["rejected"] == 2
+        assert reject_cluster.stats()["rejected_per_shard"] == [2]
+
+    def test_decided_status_carries_emitted_decisions(self):
+        model = make_model()
+        events = make_events(seed=19)
+        cluster = ServingCluster(
+            model,
+            SPEC,
+            ClusterConfig(num_shards=1, batch_size=2, engine=EngineConfig(window_items=7)),
+        )
+        results = [cluster.submit(event) for event in events]
+        decided = [r for r in results if r.status == "decided"]
+        assert decided, "the stream should have triggered at least one decision"
+        assert all(r.decisions for r in decided)
+        assert all(
+            r.status == "accepted" and not r.decisions
+            for r in results
+            if r.status != "decided"
+        )
+
+    def test_consume_summary_counts_match_admission(self):
+        model = make_model()
+        events = make_events(seed=23, count=40)
+        cluster = ServingCluster(
+            model,
+            SPEC,
+            ClusterConfig(num_shards=1, max_queue=8, overflow="shed", auto_drain=False),
+        )
+        summary = cluster.consume(events)
+        assert summary.submitted == len(events)
+        assert summary.admitted == 8 and summary.shed == len(events) - 8
+        assert list(summary) == []  # nothing drained yet
+        drained = cluster.drain()
+        assert len(drained) >= 0 and cluster.stats()["drained"] == 8
+
+    def test_consume_continues_past_rejections_when_not_raising(self):
+        model = make_model()
+        events = make_events(seed=29, count=20)
+        cluster = ServingCluster(
+            model,
+            SPEC,
+            ClusterConfig(num_shards=1, max_queue=4, overflow="reject", auto_drain=False),
+        )
+        summary = cluster.consume(events, raise_on_reject=False)
+        assert summary.admitted == 4 and summary.rejected == len(events) - 4
+        with pytest.raises(ShardOverloadError):
+            cluster.consume(events)
+
+
+class TestClusterLifecycle:
+    def test_states_and_guards(self):
+        model = make_model()
+        events = make_events(seed=31, count=30)
+        cluster = ServingCluster(
+            model,
+            SPEC,
+            ClusterConfig(num_shards=2, batch_size=4, engine=EngineConfig(window_items=7)),
+        )
+        assert cluster.state == "running"
+        cluster.consume(events)
+        cluster.close()
+        assert cluster.state == "closed"
+        with pytest.raises(RuntimeError, match="closed"):
+            cluster.submit(events[0])
+        with pytest.raises(RuntimeError, match="closed"):
+            cluster.drain()
+        with pytest.raises(RuntimeError, match="closed"):
+            cluster.flush()
+        with pytest.raises(RuntimeError, match="closed"):
+            cluster.restore(None)  # guard fires before snapshot validation
+        assert cluster.stats()["state"] == "closed"
+
+    def test_shutdown_flushes_then_closes(self):
+        model = make_model()
+        events = make_events(seed=37, count=60)
+        cluster = ServingCluster(
+            model,
+            SPEC,
+            ClusterConfig(num_shards=2, batch_size=4, engine=EngineConfig(window_items=7)),
+        )
+        sink = cluster.subscribe(BufferedSink())
+        returned = list(cluster.consume(events))
+        emitted = cluster.shutdown()
+        returned.extend(emitted)
+        assert cluster.state == "closed"
+        assert sink.take() == returned
+        assert cluster.shutdown() == []  # idempotent
+        # every queued arrival was served before the close
+        assert cluster.stats()["queue_depths"] == [0, 0]
+
+    def test_stats_surfaces_throughput_and_per_shard_counters(self):
+        model = make_model()
+        events = make_events(seed=41, count=50)
+        cluster = ServingCluster(
+            model,
+            SPEC,
+            ClusterConfig(num_shards=2, batch_size=4, engine=EngineConfig(window_items=7)),
+        )
+        cluster.consume(events)
+        cluster.flush()
+        stats = cluster.stats()
+        assert stats["items_per_s"] > 0.0
+        assert stats["decisions_per_s"] > 0.0
+        assert stats["rejected_per_shard"] == [0, 0]
+        assert stats["shed_per_shard"] == [0, 0]
+        assert sum(stats["rejected_per_shard"]) == stats["rejected"]
+
+    def test_rejects_invalid_stats_window(self):
+        with pytest.raises(ValueError, match="stats_window"):
+            ClusterConfig(stats_window=0.0)
+
+
+class TestCustomSinkContract:
+    def test_base_sink_requires_publish(self):
+        class Incomplete(DecisionSink):
+            pass
+
+        with pytest.raises(NotImplementedError):
+            Incomplete().publish(fake_decision())
+
+    def test_custom_sink_receives_batches_in_order(self):
+        class Recording(DecisionSink):
+            def __init__(self):
+                self.batches = []
+
+            def publish(self, decision):
+                self.batches.append([decision])
+
+            def publish_all(self, decisions):
+                self.batches.append(list(decisions))
+
+        model = make_model()
+        events = make_events(seed=43, count=40)
+        cluster = ServingCluster(
+            model,
+            SPEC,
+            ClusterConfig(num_shards=1, batch_size=4, engine=EngineConfig(window_items=7)),
+        )
+        recording = cluster.subscribe(Recording())
+        returned = list(cluster.consume(events))
+        returned.extend(cluster.flush())
+        flattened = [d for batch in recording.batches for d in batch]
+        assert flattened == returned
