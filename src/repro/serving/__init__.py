@@ -40,7 +40,19 @@ the serving-side counterpart, layered session → shard → cluster → gateway:
 * :mod:`~repro.serving.monitoring` — running accuracy/earliness/latency
   aggregation plus sliding-window throughput meters, mergeable across
   shards into a cluster-level view
-  (``ServingCluster.stats()["items_per_s"]`` / ``["decisions_per_s"]``).
+  (``ServingCluster.stats()["items_per_s"]`` / ``["decisions_per_s"]``),
+* **fault tolerance** — every shard runs under a
+  :class:`~repro.serving.supervisor.ShardSupervisor`: periodic
+  checkpointing (:class:`~repro.serving.supervisor.CheckpointConfig`),
+  automatic bit-for-bit crash recovery from the last checkpoint, a
+  closed → open → half-open :class:`~repro.serving.supervisor.CircuitBreaker`
+  per shard with graceful degradation (``status="degraded"`` submissions /
+  :class:`~repro.serving.cluster.ShardDegradedError`), round deadlines that
+  abandon wedged workers instead of hanging ``drain()``, and quarantine of
+  persistently failing sinks — all observable through
+  ``ServingCluster.stats()["health"]`` and all deterministically testable
+  with the seeded :class:`~repro.serving.faults.FaultInjector`
+  (``ClusterConfig.faults``).
 """
 
 from repro.serving.aio import AsyncServingGateway
@@ -48,9 +60,19 @@ from repro.serving.cluster import (
     ClusterConfig,
     ClusterSnapshot,
     ServingCluster,
+    ShardDegradedError,
     ShardOverloadError,
     ShardWorker,
     StreamDecision,
+)
+from repro.serving.faults import (
+    FAULT_ACTIONS,
+    FAULT_SITES,
+    FaultInjectingSink,
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    ShardKilled,
 )
 from repro.serving.engine import (
     Decision,
@@ -71,6 +93,7 @@ from repro.serving.monitoring import (
 from repro.serving.parallel import (
     AdaptiveBatchConfig,
     AdaptiveBatchController,
+    JobHandle,
     SerialExecutor,
     ShardExecutor,
     ThreadExecutor,
@@ -89,6 +112,13 @@ from repro.serving.sinks import (
     DecisionSink,
     FanOutSink,
 )
+from repro.serving.supervisor import (
+    BREAKER_STATES,
+    CheckpointConfig,
+    CircuitBreaker,
+    ShardSupervisor,
+    SupervisorConfig,
+)
 
 __all__ = [
     "Decision",
@@ -98,9 +128,22 @@ __all__ = [
     "ClusterConfig",
     "ClusterSnapshot",
     "ServingCluster",
+    "ShardDegradedError",
     "ShardOverloadError",
     "ShardWorker",
     "StreamDecision",
+    "BREAKER_STATES",
+    "CheckpointConfig",
+    "CircuitBreaker",
+    "ShardSupervisor",
+    "SupervisorConfig",
+    "FAULT_SITES",
+    "FAULT_ACTIONS",
+    "FaultSpec",
+    "FaultInjector",
+    "FaultInjectingSink",
+    "InjectedFault",
+    "ShardKilled",
     "SUBMIT_STATUSES",
     "SubmitResult",
     "ConsumeSummary",
@@ -115,6 +158,7 @@ __all__ = [
     "ShardExecutor",
     "SerialExecutor",
     "ThreadExecutor",
+    "JobHandle",
     "AdaptiveBatchConfig",
     "AdaptiveBatchController",
     "ArrivalSimulator",

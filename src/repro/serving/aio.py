@@ -346,3 +346,14 @@ class AsyncServingGateway:
         stats["resolved_keys"] = 0 if self._registry is None else self._registry.resolved_count
         stats["buffered_decisions"] = 0 if self._queue is None else self._queue.qsize()
         return stats
+
+    def health(self) -> Dict[str, object]:
+        """The cluster's fault-tolerance view (breakers, restores, sinks).
+
+        Safe to call from the loop thread: reading health never touches
+        serving state, so it cannot block behind a drain.  An ``await
+        gateway.submit(...)`` returning ``status="degraded"`` means the
+        stream's shard has its breaker open — this view says why and
+        whether a checkpoint recovery already ran.
+        """
+        return self._cluster.health()

@@ -63,6 +63,22 @@ round, intra-round) order as the returned list — sink delivery is
 backend-deterministic and, for a single-threaded caller, list-identical to
 the pull API (the parity suite pins both).
 
+Fault tolerance (:mod:`repro.serving.supervisor`,
+:mod:`repro.serving.faults`): every shard runs under a
+:class:`~repro.serving.supervisor.ShardSupervisor` — periodic checkpoints
+(shard-granular deep copies sharing the model, plus an admission journal),
+automatic crash recovery (an exception escaping a drain round restores the
+last checkpoint and requeues every journaled arrival except the dead
+round's), a circuit breaker whose open state degrades submissions
+(``status="degraded"`` shed, or :class:`ShardDegradedError`) instead of
+failing them, and progress-aware round deadlines that abandon a wedged
+worker (thread backend) rather than hang ``drain()``.  Sink subscribers are
+fault-isolated and quarantined after consecutive publish failures.
+``stats()["health"]`` (or :meth:`ServingCluster.health`) reports all of it.
+``ClusterConfig.faults`` accepts a seeded
+:class:`~repro.serving.faults.FaultInjector` so every one of these paths is
+deterministically testable.
+
 Lifecycle: a cluster is born ``running``, :meth:`ServingCluster.shutdown`
 moves it through ``draining`` (a final flush, with deliveries published)
 into ``closed``; :meth:`ServingCluster.close` releases the worker pool and
@@ -113,12 +129,15 @@ from repro.core.incremental import append_batch
 from repro.data.items import ValueSpec
 from repro.data.stream import StreamEvent
 from repro.serving.engine import Decision, EngineConfig, StreamSession
+from repro.serving.faults import FaultInjector
 from repro.serving.monitoring import ShardMonitor, ThroughputMeter
 from repro.serving.results import ConsumeSummary, SubmitResult
 from repro.serving.sinks import DecisionSink, FanOutSink
+from repro.serving.supervisor import ShardSupervisor, SupervisorConfig
 from repro.serving.parallel import (
     AdaptiveBatchConfig,
     AdaptiveBatchController,
+    JobHandle,
     SerialExecutor,
     ShardExecutor,
     make_executor,
@@ -127,6 +146,17 @@ from repro.serving.parallel import (
 
 class ShardOverloadError(RuntimeError):
     """Raised by ``overflow="reject"`` admission control when a shard is full."""
+
+
+class ShardDegradedError(RuntimeError):
+    """Raised on submit to a breaker-open shard under ``degraded="reject"``.
+
+    The degraded-mode sibling of :class:`ShardOverloadError`: the shard is
+    not full but *failing* — its circuit breaker is open after consecutive
+    round failures — and the supervision config says degraded submissions
+    should be rejected rather than shed.  ``raise_on_reject=False`` turns
+    the raise into a ``status="degraded"`` result.
+    """
 
 
 @dataclass(frozen=True)
@@ -195,6 +225,16 @@ class ClusterConfig:
     stats_window:
         Wall-clock span (seconds) of the sliding throughput window behind
         ``stats()["items_per_s"]`` / ``["decisions_per_s"]``.
+    supervision:
+        Fault-tolerance knobs (:class:`~repro.serving.supervisor.SupervisorConfig`):
+        per-shard checkpoint cadence, round deadlines, circuit-breaker
+        thresholds and backoff, degraded-submission policy, and sink
+        quarantine.  Every cluster is supervised; the defaults checkpoint
+        every 64 rounds and never preempt (no deadline).
+    faults:
+        Optional :class:`~repro.serving.faults.FaultInjector` wired into the
+        serving boundaries — testing/chaos only; ``None`` (default) injects
+        nothing.
     engine:
         Per-stream :class:`~repro.serving.engine.EngineConfig` shared by
         every session the cluster creates.
@@ -210,6 +250,8 @@ class ClusterConfig:
     num_workers: Optional[int] = None
     adaptive: AdaptiveBatchConfig = field(default_factory=AdaptiveBatchConfig)
     stats_window: float = 60.0
+    supervision: SupervisorConfig = field(default_factory=SupervisorConfig)
+    faults: Optional[FaultInjector] = None
     engine: EngineConfig = field(default_factory=EngineConfig)
 
     def __post_init__(self) -> None:
@@ -293,8 +335,27 @@ class ShardWorker:
         )
         #: Shard-local sink subscriptions (push delivery of this shard's
         #: emissions; see :mod:`repro.serving.sinks` for the ordering
-        #: contract).
-        self._sinks = FanOutSink()
+        #: contract).  Children are fault-isolated and quarantined per the
+        #: supervision config.
+        self._sinks = FanOutSink(
+            quarantine_after=config.supervision.sink_quarantine_after
+        )
+        #: Per-shard supervision (attached by the owning cluster); a
+        #: standalone worker runs unsupervised, exactly as before.
+        self.supervisor: Optional[ShardSupervisor] = None
+        #: Optional chaos hook (``ClusterConfig.faults``).
+        self.faults: Optional[FaultInjector] = config.faults
+        #: Every arrival admitted since the supervisor's last checkpoint —
+        #: the redo log a crash recovery replays on top of the checkpoint.
+        #: Appended under ``self._lock`` on the submit path (only while a
+        #: supervisor with checkpointing is attached), cleared atomically
+        #: with each checkpoint's queue capture.
+        self._journal: List[Tuple[Hashable, StreamEvent]] = []
+        #: Arrivals dequeued by the currently running round; non-empty only
+        #: between a round's dequeue and its successful completion, so after
+        #: a crash it holds exactly the entries the dead round consumed (the
+        #: recovery's *lost* set).
+        self._round_entries: List[Tuple[Hashable, StreamEvent]] = []
         #: Set by the owning cluster so submission-path rounds can publish
         #: to cluster-level subscribers from the pinned execution context.
         self._cluster_publish: Optional[Callable[[List[StreamDecision]], None]] = None
@@ -337,7 +398,9 @@ class ShardWorker:
     # ------------------------------------------------------------------ #
     # ingestion
     # ------------------------------------------------------------------ #
-    def _enqueue_locked(self, stream_id: Hashable, event: StreamEvent) -> None:
+    def _enqueue_locked(
+        self, stream_id: Hashable, event: StreamEvent, journal: bool = True
+    ) -> None:
         queue = self._pending.get(stream_id)
         if queue is None:
             queue = self._pending[stream_id] = deque()
@@ -346,17 +409,28 @@ class ShardWorker:
         queue.append((self._seq, event))
         self._seq += 1
         self._queue_length += 1
+        # Journal fresh admissions only: checkpoint/restore queue loads are
+        # already covered by the checkpoint itself.
+        if (
+            journal
+            and self.supervisor is not None
+            and self.config.supervision.checkpoint.every_rounds > 0
+        ):
+            self._journal.append((stream_id, event))
+
+    def _pending_entries_locked(self) -> List[Tuple[Hashable, StreamEvent]]:
+        entries = [
+            (seq, stream_id, event)
+            for stream_id, queue in self._pending.items()
+            for seq, event in queue
+        ]
+        entries.sort(key=lambda entry: entry[0])
+        return [(stream_id, event) for _, stream_id, event in entries]
 
     def pending_entries(self) -> List[Tuple[Hashable, StreamEvent]]:
         """Every queued arrival in global FIFO order (snapshot format)."""
         with self._lock:
-            entries = [
-                (seq, stream_id, event)
-                for stream_id, queue in self._pending.items()
-                for seq, event in queue
-            ]
-        entries.sort(key=lambda entry: entry[0])
-        return [(stream_id, event) for _, stream_id, event in entries]
+            return self._pending_entries_locked()
 
     def load_pending(self, entries: List[Tuple[Hashable, StreamEvent]]) -> None:
         """Replace the queue contents (``entries`` in global FIFO order)."""
@@ -366,7 +440,94 @@ class ShardWorker:
             self._queue_length = 0
             self._seq = 0
             for stream_id, event in entries:
-                self._enqueue_locked(stream_id, event)
+                self._enqueue_locked(stream_id, event, journal=False)
+
+    # ------------------------------------------------------------------ #
+    # checkpointing / crash recovery (driven by the shard supervisor)
+    # ------------------------------------------------------------------ #
+    def _shard_memo(self) -> Dict[int, object]:
+        """Deepcopy memo sharing the immutable-at-serving-time objects."""
+        shared = (self.model, self.spec, self.config, self.config.engine)
+        return {id(obj): obj for obj in shared}
+
+    def _capture_checkpoint(self) -> Dict[str, object]:
+        """Deep-copy this shard's serving state; atomically reset the journal.
+
+        The queue read and the journal clear happen under one lock hold, so
+        the invariant *checkpoint queue + journal ≡ all unprocessed
+        arrivals* holds at every instant — a submit landing during the
+        capture is either in the captured queue or in the fresh journal,
+        never neither.  Sessions and counters are only mutated by rounds,
+        which are serialized against checkpoints by the supervisor, so they
+        are copied outside the lock.  Queue entries are immutable events and
+        are shared, not copied.
+        """
+        with self._lock:
+            queue = self._pending_entries_locked()
+            self._journal.clear()
+        state = copy.deepcopy(
+            {
+                "sessions": self.sessions,
+                "counters": {name: getattr(self, name) for name in _SHARD_COUNTERS},
+                "monitor": self.monitor,
+            },
+            self._shard_memo(),
+        )
+        state["queue"] = queue
+        return state
+
+    def _restore_from_checkpoint(
+        self,
+        state: Dict[str, object],
+        lost: List[Tuple[Hashable, StreamEvent]],
+    ) -> List[Tuple[Hashable, StreamEvent]]:
+        """Install a checkpoint; rebuild the queue around the crash.
+
+        Sessions, counters and the monitor are replaced with fresh deep
+        copies of the checkpoint (the checkpoint itself stays pristine and
+        reusable — and any abandoned worker still wedged in the dead round
+        keeps mutating only the orphaned old objects).  The arrival queue is
+        rebuilt as ``checkpoint queue + journal − lost`` — every admission
+        the checkpoint predates is replayed except the entries the dead
+        round had already consumed, each removed once by value.  Returns the
+        rebuilt entry list so the supervisor can refresh its checkpoint's
+        queue without a second sessions copy.
+        """
+        restored = copy.deepcopy(
+            {
+                "sessions": state["sessions"],
+                "counters": state["counters"],
+                "monitor": state["monitor"],
+            },
+            self._shard_memo(),
+        )
+        self.sessions = restored["sessions"]
+        for name, value in restored["counters"].items():
+            setattr(self, name, value)
+        self.monitor = restored["monitor"]
+        if self.controller is not None:
+            self.controller.reset()
+        with self._lock:
+            rebuilt = list(state["queue"]) + list(self._journal)
+            for entry in lost:
+                try:
+                    rebuilt.remove(entry)
+                except ValueError:
+                    pass  # lost entry predates the checkpoint window
+            self._journal.clear()
+            self._pending = {}
+            self._ready = []
+            self._queue_length = 0
+            self._seq = 0
+            for stream_id, event in rebuilt:
+                self._enqueue_locked(stream_id, event, journal=False)
+        self._round_entries = []
+        return rebuilt
+
+    def _take_round_entries(self) -> List[Tuple[Hashable, StreamEvent]]:
+        """Claim the arrivals consumed by a round that died (the lost set)."""
+        entries, self._round_entries = self._round_entries, []
+        return list(entries)
 
     # ------------------------------------------------------------------ #
     # push delivery
@@ -396,8 +557,33 @@ class ShardWorker:
         exact even when many threads submit concurrently, and for a
         single-threaded caller it is identical to the returned lists.
         """
-        emitted = self._drain_round()
+        emitted = self._supervised_round()
         self._publish(emitted)
+        return emitted
+
+    def _supervised_round(self) -> List[StreamDecision]:
+        """One drain round under the shard supervisor's failure handling.
+
+        A clean round reports success (which also drives the periodic
+        checkpoint cadence).  A round that raises reports the failure with
+        the arrivals it had dequeued — the supervisor trips the breaker,
+        restores the last checkpoint and requeues everything except those
+        lost arrivals — and the caller sees an empty emission list instead
+        of the exception.  Reports carry the epoch the round started under,
+        so a stale worker finishing after an abandonment cannot corrupt the
+        recovered state's bookkeeping.  Unsupervised (standalone) workers
+        run the raw round: failures propagate exactly as before.
+        """
+        sup = self.supervisor
+        if sup is None:
+            return self._drain_round()
+        epoch = sup.epoch
+        try:
+            emitted = self._drain_round()
+        except Exception as error:
+            sup.on_round_failure(error, epoch, self._take_round_entries())
+            return []
+        sup.note_round_success(epoch)
         return emitted
 
     def submit(
@@ -422,7 +608,18 @@ class ShardWorker:
         raising :class:`ShardOverloadError` unless ``raise_on_reject`` is
         False, in which case the rejection is reported as
         ``status="rejected"`` instead.
+
+        Degradation: while the shard's circuit breaker is open the arrival
+        is not admitted at all — the outcome follows the supervision
+        config's ``degraded`` policy (``"shed"``: a ``status="degraded"``
+        result; ``"reject"``: :class:`ShardDegradedError`, downgraded to the
+        same result under ``raise_on_reject=False``).  A breaker whose
+        backoff has elapsed admits normally — the triggered round is the
+        half-open probe.
         """
+        sup = self.supervisor
+        if sup is not None and not sup.submission_allowed():
+            return self._degraded_result(stream_id, raise_on_reject)
         emitted: List[StreamDecision] = []
         while True:
             with self._lock:
@@ -452,15 +649,39 @@ class ShardWorker:
                     )
             # overflow == "drain": synchronous backpressure — do one round of
             # work now (a full queue is non-empty, so the round frees >= 1).
+            # A supervised round that *fails* frees nothing (recovery
+            # requeues the survivors), so once the breaker opens the arrival
+            # degrades instead of spinning here forever.
+            if sup is not None and not sup.allow_round():
+                return self._degraded_result(stream_id, raise_on_reject)
             emitted.extend(self._run_pinned(self._drain_round_published))
         if self.config.auto_drain:
             while self.queue_depth >= self.round_width():
+                if sup is not None and not sup.allow_round():
+                    break  # admitted but unserved: drains later, post-probe
                 emitted.extend(self._run_pinned(self._drain_round_published))
         return SubmitResult(
             status="decided" if emitted else "accepted",
             stream_id=stream_id,
             shard_id=self.shard_id,
             decisions=tuple(emitted),
+            queue_depth=self.queue_depth,
+        )
+
+    def _degraded_result(self, stream_id: Hashable, raise_on_reject: bool) -> SubmitResult:
+        """The breaker-open submission outcome, per the ``degraded`` policy."""
+        sup = self.supervisor
+        sup.note_degraded_submit()
+        if self.config.supervision.degraded == "reject" and raise_on_reject:
+            raise ShardDegradedError(
+                f"shard {self.shard_id} is degraded (circuit breaker "
+                f"{sup.breaker.state} after {sup.failures} round failure(s); "
+                f"last error: {sup.last_error})"
+            )
+        return SubmitResult(
+            status="degraded",
+            stream_id=stream_id,
+            shard_id=self.shard_id,
             queue_depth=self.queue_depth,
         )
 
@@ -480,10 +701,19 @@ class ShardWorker:
         return emitted
 
     def _drain_inline(self) -> List[StreamDecision]:
-        """Round loop body of :meth:`drain`, already running with affinity."""
+        """Round loop body of :meth:`drain`, already running with affinity.
+
+        Supervised workers stop early once the shard's breaker opens
+        (recovery requeues a failed round's surviving arrivals, so without
+        the gate a persistently failing shard would loop forever); the
+        backlog then waits for a later drain's half-open probe.
+        """
         emitted: List[StreamDecision] = []
+        sup = self.supervisor
         while self.queue_depth:
-            emitted.extend(self._drain_round())
+            if sup is not None and not sup.allow_round():
+                break
+            emitted.extend(self._supervised_round())
         return emitted
 
     def _drain_round(self) -> List[StreamDecision]:
@@ -500,6 +730,11 @@ class ShardWorker:
         run as one cross-stream batch when enabled.
         """
         start = time.perf_counter()
+        self._round_entries = []
+        if self.faults is not None:
+            # Pre-dequeue boundary: a fault here fails the round with no
+            # arrivals consumed (recovery has an empty lost set).
+            self.faults.fire("shard-round", self.shard_id)
         width = self.round_width()
         round_entries: List[Tuple[Hashable, StreamEvent]] = []
         with self._lock:
@@ -517,6 +752,7 @@ class ShardWorker:
             self._queue_length -= len(round_entries)
         if not round_entries:
             return []
+        self._round_entries = round_entries
 
         staged = [
             (stream_id, event, self.session(stream_id))
@@ -527,6 +763,11 @@ class ShardWorker:
             for _, event, session in staged
             if session._ingest(event)
         ]
+        if self.faults is not None:
+            # Mid-encode boundary: sessions are half-mutated (bookkeeping
+            # ran, rows not appended) and the round's arrivals are consumed
+            # — the worst case a checkpoint restore must undo bit-for-bit.
+            self.faults.fire("session-encode", self.shard_id)
         if self.config.batched and len(appendable) > 1:
             representations = append_batch(
                 [session._incremental for session, _ in appendable],
@@ -548,6 +789,7 @@ class ShardWorker:
             for decision in session._complete_offer(event):
                 emitted.append(StreamDecision(stream_id, self.shard_id, decision))
         self.drained += len(staged)
+        self._round_entries = []
 
         elapsed_ms = (time.perf_counter() - start) * 1e3
         self.monitor.observe_round(depth_before, len(staged), elapsed_ms)
@@ -652,9 +894,17 @@ class ServingCluster:
             for index in range(self.config.num_shards)
         ]
         self._state = "running"
+        #: Per-shard supervision: breaker, checkpoints, crash recovery
+        #: (:mod:`repro.serving.supervisor`).  Attached before any arrival,
+        #: so the initial checkpoint is the empty shard.
+        for shard in self.shards:
+            shard.supervisor = ShardSupervisor(shard, self.config.supervision)
         #: Cluster-level sink subscriptions (push delivery of every emitted
-        #: decision; see :mod:`repro.serving.sinks`).
-        self._sinks = FanOutSink()
+        #: decision; see :mod:`repro.serving.sinks`).  Children are
+        #: fault-isolated and quarantined per the supervision config.
+        self._sinks = FanOutSink(
+            quarantine_after=self.config.supervision.sink_quarantine_after
+        )
         #: Sliding-window throughput gauges (wall clock): admitted arrivals
         #: and published decisions.  Ticked from submit callers and shard
         #: workers alike, so both share one lock.  Cluster-global by choice:
@@ -838,7 +1088,7 @@ class ServingCluster:
         return summary
 
     def _fan_out(self, fns) -> List[StreamDecision]:
-        """Run one thunk per shard, merge deterministically, then publish.
+        """Run one thunk per shard under supervision, merge, then publish.
 
         The executor returns per-shard decision journals indexed by shard;
         concatenating them yields the stable (shard index, round,
@@ -849,14 +1099,75 @@ class ServingCluster:
         journal, cluster-level subscribers the merged sequence — so sink
         delivery from cluster-level operations is backend-deterministic and
         list-identical to the returned value.
+
+        Supervision: shards whose breaker is open are skipped (their journal
+        is empty — graceful degradation instead of certain failure).  Each
+        dispatched job is awaited with the configured round deadline; a job
+        that raises outside a round's own handling (flush/expire faults,
+        executor-job injection) feeds the shard's failure path, and a job
+        making no progress for a full deadline window is abandoned — its
+        worker replaced, the shard recovered from its checkpoint — so a
+        drain call never blocks past its deadline on a wedged shard.
         """
-        results = self._executor.map_shards(fns)
+        jobs: List[Optional[JobHandle]] = []
+        for shard, fn in zip(self.shards, fns):
+            sup = shard.supervisor
+            if sup is not None and not sup.allow_round():
+                jobs.append(None)
+                continue
+            jobs.append(self._executor.submit(shard.shard_id, partial(self._shard_job, shard, fn)))
+        results: List[List[StreamDecision]] = []
+        for shard, job in zip(self.shards, jobs):
+            if job is None:
+                results.append([])
+            else:
+                results.append(self._await_shard_job(shard, job))
         for shard, journal in zip(self.shards, results):
             if journal:
                 shard._sinks.publish_all(journal)
         merged = [decision for result in results for decision in result]
         self._publish(merged)
         return merged
+
+    @staticmethod
+    def _shard_job(shard: ShardWorker, fn) -> List[StreamDecision]:
+        """One fan-out job body, running on the shard's execution context."""
+        if shard.faults is not None:
+            shard.faults.fire("executor-job", shard.shard_id)
+        return fn()
+
+    def _await_shard_job(self, shard: ShardWorker, job: JobHandle) -> List[StreamDecision]:
+        """Wait for a fan-out job — deadline-aware and failure-absorbing.
+
+        Progress-aware deadline: the wait only gives up after a window of
+        ``round_deadline_s`` with *no* completed round on the shard, so a
+        busy shard legitimately churning through a deep backlog is never
+        abandoned mid-burn.  Abandonment replaces the wedged worker
+        (:meth:`~repro.serving.parallel.ThreadExecutor.abandon`) and
+        recovers the shard; the wedged thread's eventual round report is
+        rejected by the supervisor's epoch guard.  Inline (serial) jobs
+        complete before the handle comes back, so the deadline branch only
+        ever runs under the thread executor.
+        """
+        sup = shard.supervisor
+        deadline = self.config.supervision.round_deadline_s
+        if sup is None:
+            return job.wait()  # type: ignore[return-value]
+        while not job.done.is_set():
+            progress = sup.rounds_completed
+            if job.done.wait(deadline):
+                break
+            if sup.rounds_completed != progress:
+                continue  # rounds are completing; the job is just large
+            self._executor.abandon(shard.shard_id)
+            sup.on_deadline_abandon(deadline, shard._take_round_entries())
+            return []
+        if job.error is not None:
+            if isinstance(job.error, Exception):
+                sup.on_round_failure(job.error, sup.epoch, shard._take_round_entries())
+                return []
+            raise job.error  # KeyboardInterrupt and friends propagate
+        return job.result  # type: ignore[return-value]
 
     def drain(self) -> List[StreamDecision]:
         """Process every queued arrival on every shard (in parallel when the
@@ -880,7 +1191,16 @@ class ServingCluster:
         """
         self._require_open("flush_stream")
         shard = self.shard_of(stream_id)
-        emitted = shard._run_pinned(partial(shard._flush_stream_inline, stream_id))
+        sup = shard.supervisor
+        if sup is not None and not sup.allow_round():
+            return []  # degraded: the shard may not run work right now
+        try:
+            emitted = shard._run_pinned(partial(shard._flush_stream_inline, stream_id))
+        except Exception as error:
+            if sup is None:
+                raise
+            sup.on_round_failure(error, sup.epoch, shard._take_round_entries())
+            return []
         shard._sinks.publish_all(emitted)
         self._publish(emitted)
         return emitted
@@ -949,6 +1269,11 @@ class ServingCluster:
             shard.monitor = state.get("monitor") or ShardMonitor()
             if shard.controller is not None:
                 shard.controller.reset()
+            if shard.supervisor is not None:
+                # Re-arm supervision around the restored state: fresh
+                # checkpoint, closed breaker, new epoch (counters survive —
+                # they are telemetry, like sinks and meters).
+                shard.supervisor.reset()
 
     # ------------------------------------------------------------------ #
     # reporting
@@ -962,6 +1287,41 @@ class ServingCluster:
         return sum(
             session.num_decided for _, session in self.sessions()
         )
+
+    def health(self) -> Dict[str, object]:
+        """The cluster's fault-tolerance view (also ``stats()["health"]``).
+
+        Per-shard supervisor snapshots (breaker state, failure / restore /
+        abandon counters, checkpoint cadence position, lost arrivals) plus
+        cluster-wide totals, sink quarantine counts and executor thread
+        accounting.  Everything here is telemetry: reading it never touches
+        serving state.
+        """
+        supervisors = [shard.supervisor for shard in self.shards]
+        shard_health = [sup.health() if sup is not None else None for sup in supervisors]
+        fanouts = [self._sinks] + [shard._sinks for shard in self.shards]
+        return {
+            "shards": shard_health,
+            "breaker_open": [
+                shard.shard_id
+                for shard, view in zip(self.shards, shard_health)
+                if view is not None and view["breaker"] != "closed"
+            ],
+            "failures": sum(view["failures"] for view in shard_health if view),
+            "restores": sum(view["restores"] for view in shard_health if view),
+            "deadline_abandons": sum(
+                view["deadline_abandons"] for view in shard_health if view
+            ),
+            "degraded_submits": sum(
+                view["degraded_submits"] for view in shard_health if view
+            ),
+            "lost_arrivals": sum(view["lost_arrivals"] for view in shard_health if view),
+            "checkpoints": sum(view["checkpoints"] for view in shard_health if view),
+            "quarantined_sinks": sum(len(hub.quarantined) for hub in fanouts),
+            "sink_publish_errors": sum(hub.publish_errors for hub in fanouts),
+            "abandoned_workers": getattr(self._executor, "abandoned_workers", 0),
+            "leaked_workers": getattr(self._executor, "leaked_workers", 0),
+        }
 
     def stats(self) -> Dict[str, object]:
         """Aggregate shard counters for monitoring/benchmarks."""
@@ -996,4 +1356,5 @@ class ServingCluster:
             "round_queue_depth": merged_monitor.queue_depth.summary(),
             "round_widths": [shard.round_width() for shard in self.shards],
             "shard_monitors": [shard.monitor.snapshot() for shard in self.shards],
+            "health": self.health(),
         }

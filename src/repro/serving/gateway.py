@@ -359,3 +359,12 @@ class ServingGateway:
         stats["pending_futures"] = self._registry.pending_count
         stats["resolved_keys"] = self._registry.resolved_count
         return stats
+
+    def health(self) -> Dict[str, object]:
+        """The cluster's fault-tolerance view (breakers, restores, sinks).
+
+        A degraded shard shows up here *and* as ``status="degraded"``
+        submit results — a handle whose submissions degrade can check which
+        shard tripped and whether a recovery already ran.
+        """
+        return self._cluster.health()

@@ -5,6 +5,16 @@ up front.  A deployment instead wants *running* numbers — accuracy and
 earliness so far, per-class tallies, decision latency, throughput — updated
 as each decision is emitted.  These aggregators are intentionally small and
 allocation-free so they can sit on the serving hot path.
+
+The fault-tolerance layer reports through the same primitives: each
+:class:`~repro.serving.supervisor.ShardSupervisor` tracks its checkpoint
+recovery latency in a :class:`Log2Histogram` (surfaced per shard in
+``ServingCluster.stats()["health"]``), merging across shards by the same
+plain count addition as the round-latency histograms here.  A caveat for
+monitor consumers: shard monitors are serving state, so a crash recovery
+rewinds the failed shard's :class:`ShardMonitor` to its last checkpoint
+along with the sessions — supervisor counters (failures, restores, lost
+arrivals) are the durable record of what happened in between.
 """
 
 from __future__ import annotations

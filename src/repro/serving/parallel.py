@@ -53,8 +53,9 @@ from __future__ import annotations
 import math
 import os
 import threading
+import warnings
 from dataclasses import dataclass
-from queue import SimpleQueue
+from queue import Empty, SimpleQueue
 from typing import Callable, List, Optional, Sequence, TypeVar
 
 T = TypeVar("T")
@@ -63,6 +64,7 @@ __all__ = [
     "ShardExecutor",
     "SerialExecutor",
     "ThreadExecutor",
+    "JobHandle",
     "make_executor",
     "AdaptiveBatchConfig",
     "AdaptiveBatchController",
@@ -76,6 +78,15 @@ class ShardExecutor:
         """Run ``fn`` with affinity to ``shard_index`` and return its result."""
         raise NotImplementedError
 
+    def submit(self, shard_index: int, fn: Callable[[], T]) -> "JobHandle":
+        """Dispatch ``fn`` with shard affinity; returns its waitable handle.
+
+        The supervised-fan-out primitive: unlike :meth:`run` the caller gets
+        the handle back immediately (inline backends complete it before
+        returning) and can wait with a deadline instead of forever.
+        """
+        raise NotImplementedError
+
     def map_shards(self, fns: Sequence[Callable[[], T]]) -> List[T]:
         """Run one callable per shard; results come back in shard order.
 
@@ -85,6 +96,15 @@ class ShardExecutor:
         no job is left running concurrently with the caller).
         """
         raise NotImplementedError
+
+    def abandon(self, shard_index: int) -> bool:
+        """Give up on the shard's current execution context, if possible.
+
+        Returns True when the backend actually replaced the shard's worker
+        (see :meth:`ThreadExecutor.abandon`).  Inline backends cannot preempt
+        the calling thread and return False.
+        """
+        return False
 
     def close(self) -> None:
         """Release worker resources.  Idempotent."""
@@ -96,18 +116,14 @@ class ShardExecutor:
         self.close()
 
 
-class SerialExecutor(ShardExecutor):
-    """Inline execution on the calling thread — the reference backend."""
+class JobHandle:
+    """One dispatched callable plus its completion signal and outcome.
 
-    def run(self, shard_index: int, fn: Callable[[], T]) -> T:
-        return fn()
-
-    def map_shards(self, fns: Sequence[Callable[[], T]]) -> List[T]:
-        return [fn() for fn in fns]
-
-
-class _Job:
-    """One queued callable plus its completion signal and outcome."""
+    ``done`` is set exactly once, after which ``result`` or ``error`` holds
+    the outcome; ``wait()`` blocks for completion and re-raises the error.
+    Deadline-aware callers use ``done.wait(timeout)`` and read the outcome
+    themselves.
+    """
 
     __slots__ = ("fn", "done", "result", "error")
 
@@ -122,6 +138,36 @@ class _Job:
         if self.error is not None:
             raise self.error
         return self.result
+
+
+#: Backwards-compatible alias (the handle predates its public name).
+_Job = JobHandle
+
+
+class SerialExecutor(ShardExecutor):
+    """Inline execution on the calling thread — the reference backend."""
+
+    def run(self, shard_index: int, fn: Callable[[], T]) -> T:
+        return fn()
+
+    def submit(self, shard_index: int, fn: Callable[[], T]) -> JobHandle:
+        """Run inline and hand back an already-completed handle.
+
+        A wedged ``fn`` blocks right here on the caller's own thread — the
+        serial backend cannot preempt itself, which is why supervisor round
+        deadlines are only enforced preemptively under ``executor="thread"``.
+        """
+        job = JobHandle(fn)
+        try:
+            job.result = fn()
+        except BaseException as error:
+            job.error = error
+        finally:
+            job.done.set()
+        return job
+
+    def map_shards(self, fns: Sequence[Callable[[], T]]) -> List[T]:
+        return [fn() for fn in fns]
 
 
 class ThreadExecutor(ShardExecutor):
@@ -143,6 +189,7 @@ class ThreadExecutor(ShardExecutor):
         num_shards: int,
         num_workers: Optional[int] = None,
         name_prefix: str = "shard-worker",
+        join_timeout: float = 5.0,
     ) -> None:
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
@@ -150,8 +197,12 @@ class ThreadExecutor(ShardExecutor):
             num_workers = num_shards
         if num_workers <= 0:
             raise ValueError("num_workers must be positive")
+        if join_timeout <= 0:
+            raise ValueError("join_timeout must be positive")
         self.num_shards = num_shards
         self.num_workers = min(num_workers, num_shards)
+        self.join_timeout = join_timeout
+        self._name_prefix = name_prefix
         self._queues: List[SimpleQueue] = [SimpleQueue() for _ in range(self.num_workers)]
         self._threads: List[threading.Thread] = []
         self._closed = False
@@ -159,6 +210,13 @@ class ThreadExecutor(ShardExecutor):
         #: lock, so a job can never be enqueued behind the shutdown sentinel
         #: (which would hang its waiter forever instead of raising).
         self._state_lock = threading.Lock()
+        #: Workers replaced by :meth:`abandon`, kept for the close() join.
+        self._abandoned: List[threading.Thread] = []
+        #: Lifetime count of :meth:`abandon` replacements.
+        self.abandoned_workers = 0
+        #: Workers (live or abandoned) that outlived the close() join
+        #: timeout — a non-zero count means close() leaked threads.
+        self.leaked_workers = 0
         for index in range(self.num_workers):
             thread = threading.Thread(
                 target=self._worker_loop,
@@ -192,10 +250,11 @@ class ThreadExecutor(ShardExecutor):
         """The pinned worker of a shard (stable for the executor's lifetime)."""
         return shard_index % self.num_workers
 
-    def _submit(self, shard_index: int, fn: Callable[[], T]) -> _Job:
+    def submit(self, shard_index: int, fn: Callable[[], T]) -> JobHandle:
+        """Enqueue ``fn`` on the shard's pinned worker; returns its handle."""
         if not 0 <= shard_index < self.num_shards:
             raise IndexError(f"shard index {shard_index} out of range")
-        job = _Job(fn)
+        job = JobHandle(fn)
         with self._state_lock:
             if self._closed:
                 raise RuntimeError("executor is closed")
@@ -208,10 +267,10 @@ class ThreadExecutor(ShardExecutor):
             # Already on the shard's pinned thread: queueing would deadlock
             # behind the very job that called us.  Affinity already holds.
             return fn()
-        return self._submit(shard_index, fn).wait()  # type: ignore[return-value]
+        return self.submit(shard_index, fn).wait()  # type: ignore[return-value]
 
     def map_shards(self, fns: Sequence[Callable[[], T]]) -> List[T]:
-        jobs = [self._submit(index, fn) for index, fn in enumerate(fns)]
+        jobs = [self.submit(index, fn) for index, fn in enumerate(fns)]
         results: List[T] = []
         first_error: Optional[BaseException] = None
         for job in jobs:
@@ -223,6 +282,55 @@ class ThreadExecutor(ShardExecutor):
             raise first_error
         return results
 
+    def abandon(self, shard_index: int) -> bool:
+        """Replace the shard's pinned worker thread, abandoning its current
+        job.
+
+        The supervisor's deadline-enforcement primitive: when a drain round
+        wedges (and with it every shard pinned to the same worker), waiting
+        longer will not finish it and the thread cannot be killed — so the
+        slot gets a **new** queue and a **new** thread, jobs still queued
+        behind the wedged one are forwarded to the replacement, and the old
+        thread is left to finish (or sleep) in the background.  It receives
+        a shutdown sentinel as its next item, so if the wedged job ever
+        returns, the thread exits instead of consuming forwarded work; until
+        then it may still mutate whatever state its job held — which is why
+        the supervisor pairs every abandon with a checkpoint restore that
+        swaps in fresh state objects and bumps the shard's epoch.
+
+        Returns True (a replacement was installed) unless the executor is
+        already closed.
+        """
+        with self._state_lock:
+            if self._closed:
+                return False
+            index = self.worker_index(shard_index)
+            old_queue = self._queues[index]
+            old_thread = self._threads[index]
+            new_queue: SimpleQueue = SimpleQueue()
+            # Forward jobs queued behind the wedged one, then lay the
+            # sentinel so the old thread exits if it ever comes back.
+            while True:
+                try:
+                    item = old_queue.get_nowait()
+                except Empty:
+                    break
+                if item is not None:
+                    new_queue.put(item)
+            old_queue.put(None)
+            replacement = threading.Thread(
+                target=self._worker_loop,
+                args=(new_queue,),
+                name=f"{self._name_prefix}-{index}-r{self.abandoned_workers}",
+                daemon=True,
+            )
+            self._queues[index] = new_queue
+            self._threads[index] = replacement
+            self._abandoned.append(old_thread)
+            self.abandoned_workers += 1
+            replacement.start()
+        return True
+
     def close(self) -> None:
         with self._state_lock:
             if self._closed:
@@ -230,8 +338,22 @@ class ThreadExecutor(ShardExecutor):
             self._closed = True
             for queue in self._queues:
                 queue.put(None)
-        for thread in self._threads:
-            thread.join(timeout=5.0)
+            threads = list(self._threads) + list(self._abandoned)
+        leaked = 0
+        for thread in threads:
+            thread.join(timeout=self.join_timeout)
+            if thread.is_alive():
+                leaked += 1
+        if leaked:
+            self.leaked_workers += leaked
+            warnings.warn(
+                f"ThreadExecutor.close leaked {leaked} worker thread(s) "
+                f"still running after the {self.join_timeout}s join timeout "
+                f"(wedged or long-running jobs); they are daemonic and die "
+                f"with the process",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
 
 def make_executor(

@@ -43,8 +43,12 @@ __all__ = [
 #: no decisions emitted yet; ``decided`` — enqueued and a triggered drain
 #: emitted at least one decision; ``rejected`` — the shard queue was full
 #: under ``overflow="reject"``; ``shed`` — the arrival was dropped under
-#: ``overflow="shed"``.
-SUBMIT_STATUSES = ("accepted", "decided", "rejected", "shed")
+#: ``overflow="shed"``; ``degraded`` — the shard's circuit breaker was open
+#: (see :mod:`repro.serving.supervisor`) and the arrival was not admitted:
+#: dropped under the ``degraded="shed"`` policy, or reported instead of the
+#: :class:`~repro.serving.cluster.ShardDegradedError` raise under
+#: ``degraded="reject"`` with ``raise_on_reject=False``.
+SUBMIT_STATUSES = ("accepted", "decided", "rejected", "shed", "degraded")
 
 
 @dataclass(frozen=True)
@@ -90,7 +94,7 @@ class SubmitResult(Sequence):
     @property
     def dropped(self) -> bool:
         """Whether admission control discarded the arrival."""
-        return self.status in ("rejected", "shed")
+        return self.status in ("rejected", "shed", "degraded")
 
     # ------------------------------------------------------------------ #
     # deprecation shim: behave like the legacy returned decision list
@@ -145,6 +149,10 @@ class ConsumeSummary(List["StreamDecision"]):
     @property
     def shed(self) -> int:
         return self.counts["shed"]
+
+    @property
+    def degraded(self) -> int:
+        return self.counts["degraded"]
 
     @property
     def submitted(self) -> int:

@@ -35,6 +35,13 @@ order.  Sinks may therefore be invoked from worker threads: the sinks in
 this module are thread-safe, and a custom :class:`CallbackSink` target must
 be too.
 
+Fault isolation: subscriber code runs inside serving rounds, so the hub
+(:class:`FanOutSink`) guarantees a raising child never poisons a round or
+its sibling subscribers — failures are swallowed per child, counted, and a
+child failing enough consecutive publishes is quarantined
+(auto-unsubscribed).  Returned decisions are never affected by sink
+failures; see :mod:`repro.serving.supervisor` for the wider failure model.
+
 Snapshots and restores do not touch sinks: delivery is not serving state,
 so a restore never rescinds (or re-fires on its own) anything already
 published — but *replaying* events after a restore re-emits the replayed
@@ -48,7 +55,16 @@ import asyncio
 import concurrent.futures
 import threading
 from collections import deque
-from typing import TYPE_CHECKING, Callable, Deque, Iterable, List, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cluster imports us)
     from repro.serving.cluster import StreamDecision
@@ -165,11 +181,35 @@ class FanOutSink(DecisionSink):
     child in subscription order.  Publishing iterates a snapshot, so a
     subscriber list mutated mid-publish never corrupts delivery (the change
     applies from the next publish on).
+
+    Fault isolation: a child sink that raises never poisons the publish — the
+    exception is swallowed (counted in ``publish_errors``), delivery to that
+    child stops for the current batch, and every *other* child still receives
+    the full batch.  A child that fails ``quarantine_after`` consecutive
+    publish calls is quarantined: auto-unsubscribed and parked in
+    :attr:`quarantined` (the cluster surfaces the count in
+    ``stats()["health"]``).  Any successful publish resets that child's
+    consecutive-failure count.  ``quarantine_after=None`` disables
+    quarantining (failures are still isolated and counted).
     """
 
-    def __init__(self, sinks: Iterable[DecisionSink] = ()) -> None:
+    def __init__(
+        self,
+        sinks: Iterable[DecisionSink] = (),
+        quarantine_after: Optional[int] = 3,
+    ) -> None:
+        if quarantine_after is not None and quarantine_after <= 0:
+            raise ValueError("quarantine_after must be positive (or None)")
         self._sinks: List[DecisionSink] = list(sinks)
         self._lock = threading.Lock()
+        self.quarantine_after = quarantine_after
+        #: Publish calls that raised, across all children, since construction.
+        self.publish_errors = 0
+        #: Children auto-unsubscribed after ``quarantine_after`` consecutive
+        #: failing publish calls, in quarantine order.
+        self.quarantined: List[DecisionSink] = []
+        #: Consecutive failing publish calls per live child (by identity).
+        self._consecutive: Dict[int, int] = {}
 
     def add(self, sink: DecisionSink) -> DecisionSink:
         """Subscribe a child sink; returns it (for unsubscribe bookkeeping)."""
@@ -186,6 +226,7 @@ class FanOutSink(DecisionSink):
                 self._sinks.remove(sink)
             except ValueError:
                 return False
+            self._consecutive.pop(id(sink), None)
         return True
 
     def __len__(self) -> int:
@@ -196,19 +237,51 @@ class FanOutSink(DecisionSink):
         with self._lock:
             return list(self._sinks)
 
+    def _note_outcome(self, sink: DecisionSink, failed: bool) -> None:
+        """Fold one child publish outcome into the quarantine bookkeeping."""
+        with self._lock:
+            if not failed:
+                self._consecutive.pop(id(sink), None)
+                return
+            self.publish_errors += 1
+            count = self._consecutive.get(id(sink), 0) + 1
+            self._consecutive[id(sink)] = count
+            if self.quarantine_after is not None and count >= self.quarantine_after:
+                try:
+                    self._sinks.remove(sink)
+                except ValueError:
+                    return  # concurrently unsubscribed
+                self._consecutive.pop(id(sink), None)
+                self.quarantined.append(sink)
+
     def publish(self, decision: "StreamDecision") -> None:
         for sink in self._snapshot():
-            sink.publish(decision)
+            try:
+                sink.publish(decision)
+            except Exception:
+                self._note_outcome(sink, failed=True)
+            else:
+                self._note_outcome(sink, failed=False)
 
     def publish_all(self, decisions: Sequence["StreamDecision"]) -> None:
         if not decisions:
             return
         for sink in self._snapshot():
-            sink.publish_all(decisions)
+            try:
+                sink.publish_all(decisions)
+            except Exception:
+                # The child loses the rest of this batch only; siblings are
+                # untouched and the serving round never sees the error.
+                self._note_outcome(sink, failed=True)
+            else:
+                self._note_outcome(sink, failed=False)
 
     def close(self) -> None:
-        for sink in self._snapshot():
-            sink.close()
+        for sink in self._snapshot() + list(self.quarantined):
+            try:
+                sink.close()
+            except Exception:
+                pass  # closing is best-effort; a broken child stays broken
 
 
 class AsyncQueueSink(DecisionSink):

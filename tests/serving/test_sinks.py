@@ -423,3 +423,73 @@ class TestCustomSinkContract:
         returned.extend(cluster.flush())
         flattened = [d for batch in recording.batches for d in batch]
         assert flattened == returned
+
+
+class FailingSink(DecisionSink):
+    """Raises on every publish until ``heal()`` is called."""
+
+    def __init__(self):
+        self.failing = True
+        self.received = []
+        self.closed = False
+
+    def heal(self):
+        self.failing = False
+
+    def publish(self, decision):
+        if self.failing:
+            raise RuntimeError("sink is broken")
+        self.received.append(decision)
+
+    def close(self):
+        self.closed = True
+
+
+class TestFanOutFaultIsolation:
+    def test_failing_child_never_poisons_siblings(self):
+        broken, healthy = FailingSink(), BufferedSink()
+        hub = FanOutSink([broken, healthy], quarantine_after=None)
+        batch = [fake_decision(key=f"k{i}") for i in range(3)]
+        hub.publish_all(batch)  # must not raise
+        assert healthy.take() == batch
+        assert hub.publish_errors == 1
+        assert hub.quarantined == []
+        assert len(hub) == 2  # quarantine disabled: the child stays subscribed
+
+    def test_quarantine_after_consecutive_failures(self):
+        broken, healthy = FailingSink(), BufferedSink()
+        hub = FanOutSink([broken, healthy], quarantine_after=3)
+        for i in range(5):
+            hub.publish(fake_decision(position=i))
+        # Three consecutive failures quarantined the child; later publishes
+        # no longer reach it (or count against it).
+        assert hub.quarantined == [broken]
+        assert hub.publish_errors == 3
+        assert len(hub) == 1
+        assert len(healthy.peek()) == 5
+
+    def test_success_resets_the_consecutive_count(self):
+        flaky = FailingSink()
+        hub = FanOutSink([flaky], quarantine_after=3)
+        hub.publish(fake_decision(position=0))
+        hub.publish(fake_decision(position=1))
+        flaky.heal()
+        hub.publish(fake_decision(position=2))  # success: streak resets
+        flaky.failing = True
+        hub.publish(fake_decision(position=3))
+        hub.publish(fake_decision(position=4))
+        assert hub.quarantined == []  # never hit 3 *consecutive* failures
+        assert hub.publish_errors == 4
+        assert len(hub) == 1
+
+    def test_quarantined_children_are_still_closed(self):
+        broken = FailingSink()
+        hub = FanOutSink([broken], quarantine_after=1)
+        hub.publish(fake_decision())
+        assert hub.quarantined == [broken]
+        hub.close()
+        assert broken.closed
+
+    def test_quarantine_after_validation(self):
+        with pytest.raises(ValueError, match="quarantine_after"):
+            FanOutSink(quarantine_after=0)

@@ -1,0 +1,855 @@
+"""Deterministic fault-tolerance suite: injector, breaker, supervision.
+
+Three layers, bottom up:
+
+* unit tests of :class:`FaultInjector` / :class:`FaultSpec` scheduling and of
+  the :class:`CircuitBreaker` state machine under an injected clock,
+* executor-level tests of :meth:`ThreadExecutor.abandon` (wedged-worker
+  replacement) and leak counting in :meth:`ThreadExecutor.close`,
+* cluster-level supervision: crash recovery restores the last checkpoint and
+  replays the admission journal so per-stream decisions for every non-lost
+  arrival exactly match a reference cluster that never saw the lost arrivals
+  (the recovery-parity leg of the parity matrix — fast deterministic shapes
+  here, the randomized sweep lives in ``test_chaos.py`` under ``stress``),
+  graceful degradation (``status="degraded"`` / :class:`ShardDegradedError`)
+  while a breaker is open, half-open probes closing it again, round
+  deadlines abandoning wedged workers instead of hanging ``drain()``, and
+  the ``stats()["health"]`` view tying it together.
+"""
+
+import pickle
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import KVECConfig
+from repro.core.model import KVEC
+from repro.data.items import Item, ValueSpec
+from repro.data.stream import StreamEvent
+from repro.serving.cluster import (
+    ClusterConfig,
+    ServingCluster,
+    ShardDegradedError,
+    ShardOverloadError,
+)
+from repro.serving.engine import EngineConfig
+from repro.serving.faults import (
+    FaultInjectingSink,
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    ShardKilled,
+)
+from repro.serving.parallel import ThreadExecutor
+from repro.serving.sinks import BufferedSink
+from repro.serving.supervisor import (
+    CheckpointConfig,
+    CircuitBreaker,
+    SupervisorConfig,
+)
+
+SPEC = ValueSpec(field_names=("size", "direction"), cardinalities=(8, 2), session_field=1)
+
+TOLERANCE = 1e-9
+
+
+def make_model(seed: int = 3) -> KVEC:
+    config = KVECConfig(
+        d_model=12,
+        num_blocks=2,
+        num_heads=2,
+        ffn_hidden=20,
+        d_state=16,
+        dropout=0.0,
+        encoding="rotary",
+        seed=seed,
+    )
+    return KVEC(SPEC, num_classes=3, config=config)
+
+
+def multi_stream_events(seed: int, num_events: int = 120, num_streams: int = 6, num_keys: int = 4):
+    # 6 streams cover both shards of a 2-shard cluster (stable_key_slot puts
+    # stream-0..3 on shard 1 and stream-4..5 on shard 0).
+    rng = np.random.default_rng(seed)
+    streams = [f"stream-{i}" for i in range(num_streams)]
+    events = []
+    clock = 0.0
+    for _ in range(num_events):
+        clock += 1.0
+        stream_id = streams[int(rng.integers(num_streams))]
+        item = Item(
+            f"k{rng.integers(num_keys)}",
+            (int(rng.integers(8)), int(rng.integers(2))),
+            clock,
+        )
+        events.append(StreamEvent(time=clock, item=item, source=stream_id))
+    return streams, events
+
+
+def engine_config(**overrides) -> EngineConfig:
+    kwargs = dict(window_items=7, halt_threshold=0.5, reencode_every=2)
+    kwargs.update(overrides)
+    return EngineConfig(**kwargs)
+
+
+def run_cluster(model, events, config) -> tuple:
+    """Submit every event, flush, return (cluster, all emitted decisions)."""
+    cluster = ServingCluster(model, SPEC, config)
+    emitted = []
+    for event in events:
+        emitted.extend(cluster.submit(event))
+    emitted.extend(cluster.flush())
+    return cluster, emitted
+
+
+def remove_lost(events, lost):
+    """The reference workload: ``events`` minus each lost entry (once each)."""
+    remaining = list(events)
+    for stream_id, lost_event in lost:
+        for index, event in enumerate(remaining):
+            if event == lost_event and event.source == stream_id:
+                del remaining[index]
+                break
+    return remaining
+
+
+def first_emissions(decisions):
+    """First emitted decision per (stream, key) — the at-least-once view."""
+    firsts = {}
+    for stream_decision in decisions:
+        key = (stream_decision.stream_id, stream_decision.decision.key)
+        if key not in firsts:
+            firsts[key] = stream_decision.decision
+    return firsts
+
+
+def assert_recovery_parity(got, reference):
+    """First emissions must match the lost-free reference bit-for-bit."""
+    got_firsts = first_emissions(got)
+    ref_firsts = first_emissions(reference)
+    assert set(got_firsts) == set(ref_firsts)
+    for key, ref in ref_firsts.items():
+        mine = got_firsts[key]
+        assert mine.predicted == ref.predicted, key
+        assert mine.confidence == pytest.approx(ref.confidence, abs=TOLERANCE)
+        assert mine.observations == ref.observations, key
+        assert mine.decision_time == ref.decision_time, key
+
+
+class FakeClock:
+    """A hand-advanced monotonic clock for breaker backoff tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# --------------------------------------------------------------------- #
+# fault injector
+# --------------------------------------------------------------------- #
+class TestFaultInjector:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultSpec(site="nope")
+        with pytest.raises(ValueError, match="unknown fault action"):
+            FaultSpec(site="shard-round", action="explode")
+        with pytest.raises(ValueError, match="probability"):
+            FaultSpec(site="shard-round", probability=1.5)
+        with pytest.raises(ValueError, match="delay_s > 0"):
+            FaultSpec(site="shard-round", action="delay")
+        with pytest.raises(ValueError, match="after"):
+            FaultSpec(site="shard-round", after=-1)
+        with pytest.raises(ValueError, match="limit"):
+            FaultSpec(site="shard-round", limit=0)
+
+    def test_fire_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultInjector().fire("not-a-site")
+
+    def test_unarmed_injector_is_inert(self):
+        injector = FaultInjector(seed=1)
+        for _ in range(10):
+            injector.fire("shard-round", 0)
+        assert injector.fired() == 0
+        assert injector.stats() == {}
+
+    def test_after_and_limit(self):
+        injector = FaultInjector(
+            specs=[FaultSpec(site="shard-round", after=2, limit=2)]
+        )
+        outcomes = []
+        for _ in range(6):
+            try:
+                injector.fire("shard-round", 0)
+                outcomes.append("ok")
+            except InjectedFault:
+                outcomes.append("fault")
+        # Hits 1-2 skipped (after), 3-4 fire (limit), 5-6 exhausted.
+        assert outcomes == ["ok", "ok", "fault", "fault", "ok", "ok"]
+        assert injector.fired("shard-round") == 2
+
+    def test_shard_scoping(self):
+        injector = FaultInjector(specs=[FaultSpec(site="shard-round", shard_id=1)])
+        injector.fire("shard-round", 0)  # other shard: no fault
+        with pytest.raises(InjectedFault):
+            injector.fire("shard-round", 1)
+
+    def test_kill_raises_shard_killed(self):
+        injector = FaultInjector(specs=[FaultSpec(site="executor-job", action="kill")])
+        with pytest.raises(ShardKilled, match="injected kill fault"):
+            injector.fire("executor-job", 3)
+
+    def test_delay_sleeps_and_continues(self):
+        injector = FaultInjector(
+            specs=[FaultSpec(site="sink-publish", action="delay", delay_s=0.05, limit=1)]
+        )
+        start = time.perf_counter()
+        injector.fire("sink-publish")
+        assert time.perf_counter() - start >= 0.04
+        assert injector.fired() == 1
+
+    def test_probabilistic_firing_is_seed_deterministic(self):
+        def firing_pattern(seed):
+            injector = FaultInjector(
+                seed=seed, specs=[FaultSpec(site="shard-round", probability=0.5)]
+            )
+            pattern = []
+            for _ in range(32):
+                try:
+                    injector.fire("shard-round", 0)
+                    pattern.append(0)
+                except InjectedFault:
+                    pattern.append(1)
+            return pattern
+
+        assert firing_pattern(7) == firing_pattern(7)
+        assert firing_pattern(7) != firing_pattern(8)
+        assert 0 < sum(firing_pattern(7)) < 32
+
+
+# --------------------------------------------------------------------- #
+# circuit breaker
+# --------------------------------------------------------------------- #
+class TestCircuitBreaker:
+    def make(self, **overrides):
+        clock = FakeClock()
+        kwargs = dict(
+            failure_threshold=3,
+            backoff_base_s=1.0,
+            backoff_factor=2.0,
+            backoff_max_s=8.0,
+            clock=clock,
+        )
+        kwargs.update(overrides)
+        return CircuitBreaker(SupervisorConfig(**kwargs)), clock
+
+    def test_opens_after_consecutive_failures(self):
+        breaker, _ = self.make()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open" and not breaker.allow()
+
+    def test_success_resets_the_streak(self):
+        breaker, _ = self.make()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_backoff_elapse_half_opens_and_probe_closes(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(1.0)
+        assert breaker.allow()  # backoff elapsed: half-open probe
+        assert breaker.state == "half_open"
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.current_backoff_s == 1.0  # backoff reset
+
+    def test_failed_probe_reopens_with_doubled_backoff(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_failure()  # probe fails: reopen, backoff doubled to 4
+        assert breaker.state == "open"
+        clock.advance(2.0)  # the second backoff (2s) has now elapsed...
+        assert breaker.allow()
+        breaker.record_failure()
+        clock.advance(3.9)  # ...but the third (4s) has not
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.allow()
+
+    def test_backoff_caps_at_max(self):
+        breaker, clock = self.make(backoff_max_s=4.0)
+        for round_index in range(6):
+            for _ in range(3):
+                breaker.record_failure()
+            clock.advance(100.0)
+            assert breaker.allow()
+        assert breaker.current_backoff_s <= 4.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="round_deadline_s"):
+            SupervisorConfig(round_deadline_s=0)
+        with pytest.raises(ValueError, match="failure_threshold"):
+            SupervisorConfig(failure_threshold=0)
+        with pytest.raises(ValueError, match="backoff_factor"):
+            SupervisorConfig(backoff_factor=0.5)
+        with pytest.raises(ValueError, match="backoff_max_s"):
+            SupervisorConfig(backoff_base_s=2.0, backoff_max_s=1.0)
+        with pytest.raises(ValueError, match="degraded"):
+            SupervisorConfig(degraded="panic")
+        with pytest.raises(ValueError, match="sink_quarantine_after"):
+            SupervisorConfig(sink_quarantine_after=0)
+        with pytest.raises(ValueError, match="every_rounds"):
+            CheckpointConfig(every_rounds=-1)
+
+
+# --------------------------------------------------------------------- #
+# executor: abandon + leak accounting
+# --------------------------------------------------------------------- #
+class TestThreadExecutorFaults:
+    def test_abandon_replaces_wedged_worker_and_forwards_jobs(self):
+        executor = ThreadExecutor(num_shards=2, num_workers=1)
+        try:
+            release = threading.Event()
+            wedged = executor.submit(0, release.wait)
+            follower = executor.submit(1, lambda: "ran")  # queued behind the wedge
+            assert not follower.done.wait(0.05)
+            assert executor.abandon(0)
+            assert executor.abandoned_workers == 1
+            # The forwarded job runs on the replacement worker...
+            assert follower.wait() == "ran"
+            # ...and new submissions keep working.
+            assert executor.submit(0, lambda: 41 + 1).wait() == 42
+            release.set()
+            assert wedged.done.wait(1.0)  # old thread finishes, then exits
+        finally:
+            release.set()
+            executor.close()
+        assert executor.leaked_workers == 0
+
+    def test_abandon_after_close_is_refused(self):
+        executor = ThreadExecutor(num_shards=1)
+        executor.close()
+        assert not executor.abandon(0)
+
+    def test_close_counts_and_warns_about_leaked_workers(self):
+        executor = ThreadExecutor(num_shards=1, join_timeout=0.1)
+        release = threading.Event()
+        executor.submit(0, release.wait)
+        with pytest.warns(RuntimeWarning, match="leaked 1 worker"):
+            executor.close()
+        assert executor.leaked_workers == 1
+        release.set()
+
+    def test_clean_close_leaks_nothing(self):
+        executor = ThreadExecutor(num_shards=3, join_timeout=0.5)
+        assert executor.map_shards([lambda: 1, lambda: 2, lambda: 3]) == [1, 2, 3]
+        executor.close()
+        assert executor.leaked_workers == 0
+
+    def test_join_timeout_validation(self):
+        with pytest.raises(ValueError, match="join_timeout"):
+            ThreadExecutor(num_shards=1, join_timeout=0.0)
+
+
+# --------------------------------------------------------------------- #
+# crash recovery parity (the fast deterministic chaos-gate leg)
+# --------------------------------------------------------------------- #
+class TestCrashRecoveryParity:
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    @pytest.mark.parametrize("action", ["kill", "raise"])
+    def test_mid_encode_crash_recovers_with_parity(self, executor, action):
+        """A shard killed mid-encode rewinds to its checkpoint; decisions for
+        every non-lost arrival match a cluster that never saw the lost ones."""
+        model = make_model()
+        _, events = multi_stream_events(seed=11)
+        injector = FaultInjector(
+            specs=[FaultSpec(site="session-encode", action=action, shard_id=0, after=3, limit=1)]
+        )
+        config = ClusterConfig(
+            num_shards=2,
+            batch_size=4,
+            executor=executor,
+            supervision=SupervisorConfig(checkpoint=CheckpointConfig(every_rounds=2)),
+            faults=injector,
+            engine=engine_config(),
+        )
+        cluster, got = run_cluster(model, events, config)
+        lost = list(cluster.shards[0].supervisor.lost_entries)
+        health = cluster.health()
+        cluster.close()
+
+        assert injector.fired("session-encode") == 1
+        assert health["failures"] == 1 and health["restores"] == 1
+        assert health["lost_arrivals"] == len(lost) > 0
+
+        reference_cluster, reference = run_cluster(
+            model,
+            remove_lost(events, lost),
+            ClusterConfig(num_shards=2, batch_size=4, engine=engine_config()),
+        )
+        reference_cluster.close()
+        assert_recovery_parity(got, reference)
+
+    @pytest.mark.parametrize("site", ["shard-round", "executor-job"])
+    def test_pre_dequeue_crash_loses_nothing(self, site):
+        """Faults before any arrival is consumed recover with an empty lost
+        set — the full workload replays to exact parity."""
+        model = make_model()
+        _, events = multi_stream_events(seed=12)
+        injector = FaultInjector(specs=[FaultSpec(site=site, shard_id=0, after=2, limit=1)])
+        config = ClusterConfig(
+            num_shards=2,
+            batch_size=4,
+            auto_drain=(site == "shard-round"),
+            supervision=SupervisorConfig(checkpoint=CheckpointConfig(every_rounds=2)),
+            faults=injector,
+            engine=engine_config(),
+        )
+        cluster = ServingCluster(model, SPEC, config)
+        got = []
+        for event in events:
+            got.extend(cluster.submit(event))
+            if site == "executor-job" and cluster.shards[0].queue_depth >= 4:
+                got.extend(cluster.drain())
+        got.extend(cluster.flush())
+        health = cluster.health()
+        assert injector.fired(site) == 1
+        assert health["restores"] == 1
+        assert health["lost_arrivals"] == 0
+        assert all(not shard.supervisor.lost_entries for shard in cluster.shards)
+        cluster.close()
+
+        reference_cluster, reference = run_cluster(
+            model,
+            events,
+            ClusterConfig(num_shards=2, batch_size=4, engine=engine_config()),
+        )
+        reference_cluster.close()
+        assert_recovery_parity(got, reference)
+
+    def test_unfaulted_supervised_cluster_matches_unsupervised(self):
+        """Supervision at default cadence is pure bookkeeping: identical
+        decision lists with and without it."""
+        model = make_model()
+        _, events = multi_stream_events(seed=13)
+        supervised_cluster, supervised = run_cluster(
+            model,
+            events,
+            ClusterConfig(num_shards=2, batch_size=4, engine=engine_config()),
+        )
+        health = supervised_cluster.health()
+        assert health["failures"] == 0
+        assert health["checkpoints"] >= len(supervised_cluster.shards)
+        supervised_cluster.close()
+
+        baseline_cluster, baseline = run_cluster(
+            model,
+            events,
+            ClusterConfig(
+                num_shards=2,
+                batch_size=4,
+                supervision=SupervisorConfig(checkpoint=CheckpointConfig(every_rounds=0)),
+                engine=engine_config(),
+            ),
+        )
+        baseline_cluster.close()
+        assert [
+            (d.stream_id, d.decision.key, d.decision.predicted, d.decision.confidence)
+            for d in supervised
+        ] == [
+            (d.stream_id, d.decision.key, d.decision.predicted, d.decision.confidence)
+            for d in baseline
+        ]
+
+    def test_checkpoint_cadence_is_observed(self):
+        model = make_model()
+        _, events = multi_stream_events(seed=14, num_events=60)
+        config = ClusterConfig(
+            num_shards=1,
+            batch_size=2,
+            supervision=SupervisorConfig(checkpoint=CheckpointConfig(every_rounds=5)),
+            engine=engine_config(),
+        )
+        cluster, _ = run_cluster(model, events, config)
+        supervisor = cluster.shards[0].supervisor
+        rounds = supervisor.rounds_completed
+        # Initial checkpoint + one per full cadence window.
+        assert supervisor.checkpoints == 1 + rounds // 5
+        assert cluster.health()["shards"][0]["rounds_since_checkpoint"] == rounds % 5
+        cluster.close()
+
+
+# --------------------------------------------------------------------- #
+# graceful degradation
+# --------------------------------------------------------------------- #
+def _breaker_open_cluster(degraded: str, clock=None):
+    """A 1-shard cluster whose breaker has been opened by injected faults."""
+    model = make_model()
+    # limit=2 exactly trips the threshold-2 breaker, then exhausts, so a
+    # later half-open probe is able to succeed.
+    injector = FaultInjector(specs=[FaultSpec(site="shard-round", shard_id=0, limit=2)])
+    supervision = SupervisorConfig(
+        failure_threshold=2,
+        backoff_base_s=10.0,
+        backoff_max_s=40.0,
+        degraded=degraded,
+        checkpoint=CheckpointConfig(every_rounds=2),
+        clock=clock or time.monotonic,
+    )
+    config = ClusterConfig(
+        num_shards=1,
+        batch_size=2,
+        auto_drain=False,
+        supervision=supervision,
+        faults=injector,
+        engine=engine_config(),
+    )
+    cluster = ServingCluster(model, SPEC, config)
+    _, events = multi_stream_events(seed=15, num_events=8)
+    for event in events[:4]:
+        cluster.submit(event)
+    for _ in range(2):  # two failing rounds trip the threshold-2 breaker
+        cluster.drain()
+    assert cluster.health()["breaker_open"] == [0]
+    return cluster, injector, events[4:]
+
+
+class TestGracefulDegradation:
+    def test_shed_policy_returns_degraded_status(self):
+        cluster, _, events = _breaker_open_cluster("shed")
+        result = cluster.submit(events[0])
+        assert result.status == "degraded"
+        assert result.dropped and not result.admitted
+        assert list(result) == []
+        assert cluster.health()["degraded_submits"] == 1
+        cluster.close()
+
+    def test_reject_policy_raises_unless_opted_out(self):
+        cluster, _, events = _breaker_open_cluster("reject")
+        with pytest.raises(ShardDegradedError, match="shard 0 is degraded"):
+            cluster.submit(events[0])
+        result = cluster.submit(events[1], raise_on_reject=False)
+        assert result.status == "degraded"
+        assert cluster.health()["degraded_submits"] == 2
+        cluster.close()
+
+    def test_probe_after_backoff_closes_breaker_and_serves_backlog(self):
+        clock = FakeClock()
+        cluster, injector, events = _breaker_open_cluster("shed", clock=clock)
+        backlog = sum(shard.queue_depth for shard in cluster.shards)
+        assert backlog > 0
+        # The injected fault is exhausted (limit=2); let the backoff elapse
+        # on the injected clock so the next round is a half-open probe.
+        clock.advance(1000.0)
+        cluster.drain()  # half-open probe round succeeds and closes
+        flushed = cluster.flush()
+        health = cluster.health()
+        assert health["breaker_open"] == []
+        assert health["shards"][0]["breaker"] == "closed"
+        assert sum(shard.queue_depth for shard in cluster.shards) == 0
+        # The backlog survived the open window and was served after recovery.
+        assert flushed
+        cluster.close()
+
+    def test_open_breaker_skips_fan_out_rounds(self):
+        cluster, _, _ = _breaker_open_cluster("shed")
+        failures_before = cluster.health()["failures"]
+        assert cluster.drain() == []  # skipped, not attempted-and-failed
+        assert cluster.health()["failures"] == failures_before
+        cluster.close()
+
+
+# --------------------------------------------------------------------- #
+# round deadlines (wedged workers)
+# --------------------------------------------------------------------- #
+class TestRoundDeadlines:
+    def test_wedged_round_is_abandoned_not_waited_for(self):
+        """A drain round sleeping far past the deadline must not block
+        ``drain()``: the worker is abandoned, the shard recovered."""
+        model = make_model()
+        _, events = multi_stream_events(seed=16, num_events=20)
+        injector = FaultInjector(
+            specs=[FaultSpec(site="session-encode", action="delay", delay_s=30.0, shard_id=0, limit=1)]
+        )
+        config = ClusterConfig(
+            num_shards=2,
+            batch_size=4,
+            auto_drain=False,
+            executor="thread",
+            supervision=SupervisorConfig(
+                round_deadline_s=0.2,
+                checkpoint=CheckpointConfig(every_rounds=2),
+            ),
+            faults=injector,
+            engine=engine_config(),
+        )
+        cluster = ServingCluster(model, SPEC, config)
+        for event in events:
+            cluster.submit(event)
+        start = time.perf_counter()
+        cluster.drain()
+        elapsed = time.perf_counter() - start
+        assert elapsed < 10.0  # returned long before the 30s wedge resolves
+        health = cluster.health()
+        assert health["deadline_abandons"] == 1
+        assert health["restores"] >= 1
+        assert health["abandoned_workers"] == 1
+        # The shard keeps serving on its replacement worker.
+        cluster.flush()
+        assert cluster.shards[0].queue_depth == 0
+        # The wedged (daemonic) thread is still asleep at close: a short join
+        # timeout makes the leak visible — counted and warned, not hidden.
+        cluster._executor.join_timeout = 0.1
+        with pytest.warns(RuntimeWarning, match="leaked"):
+            cluster.close()
+        assert health["shards"][0]["last_error"].startswith("TimeoutError")
+
+    def test_busy_shard_making_progress_is_not_abandoned(self):
+        """The deadline is progress-aware: many fast rounds under a deadline
+        shorter than the whole drain must not trigger abandonment."""
+        model = make_model()
+        _, events = multi_stream_events(seed=17, num_events=80)
+        config = ClusterConfig(
+            num_shards=1,
+            batch_size=1,  # many rounds per drain
+            auto_drain=False,
+            executor="thread",
+            supervision=SupervisorConfig(round_deadline_s=0.5),
+            engine=engine_config(),
+        )
+        cluster = ServingCluster(model, SPEC, config)
+        for event in events:
+            cluster.submit(event)
+        cluster.drain()
+        health = cluster.health()
+        assert health["deadline_abandons"] == 0
+        assert health["failures"] == 0
+        cluster.close()
+
+
+# --------------------------------------------------------------------- #
+# sink fault isolation
+# --------------------------------------------------------------------- #
+class TestSinkFaultIsolation:
+    def test_permanently_failing_sink_never_affects_decisions(self):
+        model = make_model()
+        _, events = multi_stream_events(seed=18)
+        baseline_cluster, baseline = run_cluster(
+            model, events, ClusterConfig(num_shards=2, batch_size=4, engine=engine_config())
+        )
+        baseline_cluster.close()
+
+        injector = FaultInjector(specs=[FaultSpec(site="sink-publish")])
+        config = ClusterConfig(num_shards=2, batch_size=4, engine=engine_config())
+        cluster = ServingCluster(model, SPEC, config)
+        broken = cluster.subscribe(FaultInjectingSink(injector))
+        healthy = cluster.subscribe(BufferedSink())
+        got = []
+        for event in events:
+            got.extend(cluster.submit(event))
+        got.extend(cluster.flush())
+        health = cluster.health()
+        cluster.close()
+
+        # Returned decisions are identical to the sink-free run...
+        assert [
+            (d.stream_id, d.decision.key, d.decision.confidence) for d in got
+        ] == [
+            (d.stream_id, d.decision.key, d.decision.confidence) for d in baseline
+        ]
+        # ...the healthy sibling received every decision...
+        assert len(healthy.take()) == len(got)
+        # ...and the broken sink was quarantined after K consecutive errors.
+        assert health["quarantined_sinks"] == 1
+        assert health["sink_publish_errors"] == cluster.config.supervision.sink_quarantine_after
+        assert injector.fired("sink-publish") > 0
+
+    def test_quarantine_surfaced_in_stats(self):
+        model = make_model()
+        _, events = multi_stream_events(seed=19, num_events=40)
+        cluster = ServingCluster(
+            model, SPEC, ClusterConfig(num_shards=1, batch_size=4, engine=engine_config())
+        )
+        injector = FaultInjector(specs=[FaultSpec(site="sink-publish")])
+        cluster.subscribe(FaultInjectingSink(injector))
+        for event in events:
+            cluster.submit(event)
+        cluster.flush()
+        stats = cluster.stats()
+        assert stats["health"]["quarantined_sinks"] == 1
+        assert stats["health"]["sink_publish_errors"] >= 1
+        cluster.close()
+
+
+# --------------------------------------------------------------------- #
+# rejected-submit idempotence
+# --------------------------------------------------------------------- #
+class TestRejectedSubmitIdempotence:
+    def _full_cluster(self):
+        """A reject-overflow cluster with its single queue exactly full."""
+        model = make_model()
+        _, events = multi_stream_events(seed=20, num_events=8, num_streams=1)
+        cluster = ServingCluster(
+            model,
+            SPEC,
+            ClusterConfig(
+                num_shards=1,
+                max_queue=3,
+                overflow="reject",
+                auto_drain=False,
+                engine=engine_config(),
+            ),
+        )
+        for event in events[:3]:
+            assert cluster.submit(event).admitted
+        return cluster, events[3:]
+
+    @staticmethod
+    def _state_bytes(cluster):
+        """Serialized sessions + queue of every shard (not counters: the
+        ``rejected`` tally legitimately moves on a rejected submit)."""
+        snapshot = cluster.snapshot()
+        return pickle.dumps(
+            [
+                {"sessions": state["sessions"], "queue": state["queue"]}
+                for state in snapshot.shard_states
+            ]
+        )
+
+    def test_raising_reject_leaves_state_bit_for_bit_untouched(self):
+        cluster, overflow = self._full_cluster()
+        before = self._state_bytes(cluster)
+        with pytest.raises(ShardOverloadError):
+            cluster.submit(overflow[0])
+        assert self._state_bytes(cluster) == before
+        assert cluster.stats()["rejected"] == 1
+        cluster.close()
+
+    def test_non_raising_reject_is_equally_idempotent(self):
+        cluster, overflow = self._full_cluster()
+        before = self._state_bytes(cluster)
+        for event in overflow[:2]:
+            result = cluster.submit(event, raise_on_reject=False)
+            assert result.status == "rejected" and result.dropped
+            assert list(result) == []
+        assert self._state_bytes(cluster) == before
+        assert cluster.stats()["rejected"] == 2
+        # The admitted backlog is fully servable after the rejections.
+        assert cluster.flush()
+        cluster.close()
+
+
+# --------------------------------------------------------------------- #
+# lifecycle edges
+# --------------------------------------------------------------------- #
+class TestLifecycleEdges:
+    def test_cluster_double_close_and_shutdown_are_idempotent(self):
+        model = make_model()
+        cluster = ServingCluster(
+            model, SPEC, ClusterConfig(num_shards=2, executor="thread", engine=engine_config())
+        )
+        _, events = multi_stream_events(seed=21, num_events=10)
+        for event in events:
+            cluster.submit(event)
+        assert cluster.shutdown() is not None
+        assert cluster.state == "closed"
+        assert cluster.shutdown() == []  # idempotent
+        cluster.close()  # also idempotent after shutdown
+        cluster.close()
+        assert cluster.state == "closed"
+
+    def test_submit_after_close_error_names_the_state(self):
+        model = make_model()
+        cluster = ServingCluster(model, SPEC, ClusterConfig(num_shards=1, engine=engine_config()))
+        cluster.close()
+        _, events = multi_stream_events(seed=22, num_events=1)
+        with pytest.raises(RuntimeError, match="cannot submit: cluster is closed"):
+            cluster.submit(events[0])
+        with pytest.raises(RuntimeError, match="cannot drain: cluster is closed"):
+            cluster.drain()
+
+    def test_gateway_double_close_and_submit_after_close(self):
+        from repro.serving.gateway import ServingGateway
+
+        gateway = ServingGateway(
+            make_model(), SPEC, ClusterConfig(num_shards=1, engine=engine_config())
+        )
+        _, events = multi_stream_events(seed=23, num_events=6)
+        for event in events:
+            gateway.submit(event)
+        gateway.close()
+        assert gateway.close() == []  # idempotent
+        with pytest.raises(RuntimeError, match="cannot submit: gateway is closed"):
+            gateway.submit(events[0])
+
+    def test_async_gateway_double_close_and_submit_after_close(self):
+        import asyncio
+
+        from repro.serving.aio import AsyncServingGateway
+
+        async def scenario():
+            gateway = AsyncServingGateway(
+                make_model(), SPEC, ClusterConfig(num_shards=1, engine=engine_config())
+            )
+            _, events = multi_stream_events(seed=24, num_events=6)
+            for event in events:
+                await gateway.submit(event)
+            await gateway.close()
+            assert (await gateway.close()) == []  # idempotent
+            with pytest.raises(RuntimeError, match="cannot submit: gateway is"):
+                await gateway.submit(events[0])
+
+        asyncio.run(scenario())
+
+    def test_shutdown_racing_inflight_thread_drain_never_hangs(self):
+        """A background submitter racing ``shutdown()`` must end cleanly:
+        either its submits land before the final flush or they hit the
+        lifecycle guard — never a hang or an unexpected error."""
+        model = make_model()
+        cluster = ServingCluster(
+            model,
+            SPEC,
+            ClusterConfig(num_shards=2, executor="thread", batch_size=2, engine=engine_config()),
+        )
+        _, events = multi_stream_events(seed=25, num_events=60)
+        started = threading.Event()
+        outcomes = []
+
+        def submitter():
+            started.set()
+            for event in events:
+                try:
+                    cluster.submit(event)
+                except RuntimeError as error:
+                    assert "cannot submit" in str(error)
+                    outcomes.append("guarded")
+                    return
+            outcomes.append("finished")
+
+        thread = threading.Thread(target=submitter)
+        thread.start()
+        started.wait()
+        cluster.shutdown()
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        assert outcomes in (["guarded"], ["finished"])
+        assert cluster.state == "closed"
