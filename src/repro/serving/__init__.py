@@ -91,6 +91,7 @@ from repro.serving.monitoring import (
     ThroughputMeter,
 )
 from repro.serving.parallel import (
+    AbandonedJobError,
     AdaptiveBatchConfig,
     AdaptiveBatchController,
     JobHandle,
@@ -159,6 +160,7 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "JobHandle",
+    "AbandonedJobError",
     "AdaptiveBatchConfig",
     "AdaptiveBatchController",
     "ArrivalSimulator",

@@ -135,6 +135,7 @@ from repro.serving.results import ConsumeSummary, SubmitResult
 from repro.serving.sinks import DecisionSink, FanOutSink
 from repro.serving.supervisor import ShardSupervisor, SupervisorConfig
 from repro.serving.parallel import (
+    AbandonedJobError,
     AdaptiveBatchConfig,
     AdaptiveBatchController,
     JobHandle,
@@ -485,8 +486,11 @@ class ShardWorker:
 
         Sessions, counters and the monitor are replaced with fresh deep
         copies of the checkpoint (the checkpoint itself stays pristine and
-        reusable — and any abandoned worker still wedged in the dead round
-        keeps mutating only the orphaned old objects).  The arrival queue is
+        reusable — and an abandoned worker still wedged in the dead round
+        holds references only to the orphaned pre-restore sessions; its
+        late-bound reads of the live attributes are fenced off by the epoch
+        gates in :meth:`_drain_round` and the abandoned-context checks in
+        the drain/flush/expire loop bodies).  The arrival queue is
         rebuilt as ``checkpoint queue + journal − lost`` — every admission
         the checkpoint predates is replayed except the entries the dead
         round had already consumed, each removed once by value.  Returns the
@@ -571,19 +575,30 @@ class ShardWorker:
         lost arrivals — and the caller sees an empty emission list instead
         of the exception.  Reports carry the epoch the round started under,
         so a stale worker finishing after an abandonment cannot corrupt the
-        recovered state's bookkeeping.  Unsupervised (standalone) workers
-        run the raw round: failures propagate exactly as before.
+        recovered state's bookkeeping, and a round whose report is stale
+        also yields no emissions (they were computed against replaced
+        state).  Unsupervised (standalone) workers run the raw round:
+        failures propagate exactly as before.
+
+        Staleness ordering: the epoch is read *before* the abandoned-context
+        check, so an abandoned-check that passes guarantees the epoch
+        predates any in-flight abandonment's recovery — a zombie thread
+        slipping past the check still reports (and gates its bookkeeping)
+        under the pre-recovery epoch and is dropped.
         """
         sup = self.supervisor
         if sup is None:
             return self._drain_round()
         epoch = sup.epoch
+        if self._executor.current_context_abandoned():
+            return []  # zombie context: the replacement worker owns the shard
         try:
-            emitted = self._drain_round()
+            emitted = self._drain_round(epoch)
         except Exception as error:
             sup.on_round_failure(error, epoch, self._take_round_entries())
             return []
-        sup.note_round_success(epoch)
+        if not sup.note_round_success(epoch):
+            return []
         return emitted
 
     def submit(
@@ -707,16 +722,27 @@ class ShardWorker:
         (recovery requeues a failed round's surviving arrivals, so without
         the gate a persistently failing shard would loop forever); the
         backlog then waits for a later drain's half-open probe.
+
+        Zombie containment: a loop running on a worker thread the executor
+        has *abandoned* (deadline abandonment replaced it) exits before the
+        next round instead of re-entering the live queue — its wedged round
+        ends under a bumped epoch, but without this check the loop would
+        re-read ``queue_depth`` (non-empty after recovery requeued the
+        survivors) and drain the shard concurrently with the replacement
+        worker under the post-recovery epoch.
         """
         emitted: List[StreamDecision] = []
         sup = self.supervisor
+        executor = self._executor
         while self.queue_depth:
+            if executor.current_context_abandoned():
+                break
             if sup is not None and not sup.allow_round():
                 break
             emitted.extend(self._supervised_round())
         return emitted
 
-    def _drain_round(self) -> List[StreamDecision]:
+    def _drain_round(self, epoch: Optional[int] = None) -> List[StreamDecision]:
         """Dequeue one round of arrivals (one per stream) and serve them.
 
         Streams enter the round in the order of their oldest queued arrival;
@@ -728,13 +754,29 @@ class ShardWorker:
         pick how decisions of *different* streams interleave, see
         :mod:`repro.serving.parallel`).  The encodable rows of the round
         run as one cross-stream batch when enabled.
+
+        ``epoch`` is the supervisor epoch the round started under (read by
+        the supervised caller; defaults to the current epoch).  The round is
+        epoch-gated at its two wedge-able boundaries: after the pre-dequeue
+        fault site (a round abandoned while wedged there returns before
+        touching the restored queue) and before the bookkeeping tail (an
+        abandoned round that already did its work mutates only the orphaned
+        pre-recovery sessions — the live counters, monitor and lost-entry
+        tracking stay untouched).
         """
         start = time.perf_counter()
-        self._round_entries = []
+        sup = self.supervisor
+        if epoch is None and sup is not None:
+            epoch = sup.epoch
         if self.faults is not None:
             # Pre-dequeue boundary: a fault here fails the round with no
             # arrivals consumed (recovery has an empty lost set).
             self.faults.fire("shard-round", self.shard_id)
+        if sup is not None and sup.epoch != epoch:
+            # Abandoned during the pre-dequeue wedge: the queue now belongs
+            # to the replacement worker — consume nothing.
+            return []
+        self._round_entries = []
         width = self.round_width()
         round_entries: List[Tuple[Hashable, StreamEvent]] = []
         with self._lock:
@@ -788,6 +830,15 @@ class ShardWorker:
         for stream_id, event, session in staged:
             for decision in session._complete_offer(event):
                 emitted.append(StreamDecision(stream_id, self.shard_id, decision))
+
+        if sup is not None and sup.epoch != epoch:
+            # Abandoned mid-round: the sessions above were the orphaned
+            # pre-recovery copies (harmless), but ``drained``, the monitor
+            # and ``_round_entries`` are the *live* restored objects — a
+            # stale tail mutating them would corrupt the replacement
+            # worker's bookkeeping (and clearing ``_round_entries`` could
+            # erase a concurrently running round's lost-entry tracking).
+            return []
         self.drained += len(staged)
         self._round_entries = []
 
@@ -808,6 +859,8 @@ class ShardWorker:
 
     def _flush_inline(self) -> List[StreamDecision]:
         emitted = self._drain_inline()
+        if self._executor.current_context_abandoned():
+            return emitted  # zombie: self.sessions is the replacement's now
         for stream_id, session in self.sessions.items():
             for decision in session.flush():
                 emitted.append(StreamDecision(stream_id, self.shard_id, decision))
@@ -822,6 +875,8 @@ class ShardWorker:
         stream's flush decisions.
         """
         emitted = self._drain_inline()
+        if self._executor.current_context_abandoned():
+            return emitted  # zombie: self.sessions is the replacement's now
         session = self.sessions.get(stream_id)
         if session is not None:
             for decision in session.flush():
@@ -836,6 +891,8 @@ class ShardWorker:
 
     def _expire_inline(self, now: Optional[float] = None) -> List[StreamDecision]:
         emitted = self._drain_inline()
+        if self._executor.current_context_abandoned():
+            return emitted  # zombie: self.sessions is the replacement's now
         for stream_id, session in self.sessions.items():
             for decision in session.expire(now):
                 emitted.append(StreamDecision(stream_id, self.shard_id, decision))
@@ -1136,32 +1193,71 @@ class ServingCluster:
             shard.faults.fire("executor-job", shard.shard_id)
         return fn()
 
+    def _worker_progress(self, shard: ShardWorker) -> int:
+        """Completed-round count across every shard sharing this shard's
+        worker.
+
+        The fan-out deadline's progress signal.  With ``num_workers <
+        num_shards`` a shard's job can sit queued behind a sibling shard's
+        job on their shared worker: the queued shard completes no rounds of
+        its own while the sibling legitimately churns, so a *per-shard*
+        count would spuriously abandon it (and recover a shard whose state
+        was never touched).  Counting the whole worker keeps the deadline
+        meaningful: it only trips when the worker itself is wedged — in
+        which case every shard pinned to it stalls together.
+        """
+        worker_index = getattr(self._executor, "worker_index", None)
+        if worker_index is None:
+            supervisors = [shard.supervisor]
+        else:
+            target = worker_index(shard.shard_id)
+            supervisors = [
+                sibling.supervisor
+                for sibling in self.shards
+                if worker_index(sibling.shard_id) == target
+            ]
+        return sum(sup.rounds_completed for sup in supervisors if sup is not None)
+
     def _await_shard_job(self, shard: ShardWorker, job: JobHandle) -> List[StreamDecision]:
         """Wait for a fan-out job — deadline-aware and failure-absorbing.
 
         Progress-aware deadline: the wait only gives up after a window of
-        ``round_deadline_s`` with *no* completed round on the shard, so a
-        busy shard legitimately churning through a deep backlog is never
-        abandoned mid-burn.  Abandonment replaces the wedged worker
+        ``round_deadline_s`` with no completed round on the shard's *worker*
+        (see :meth:`_worker_progress`), so a busy shard legitimately
+        churning through a deep backlog — or a shard merely queued behind a
+        churning sibling on a shared worker — is never abandoned mid-burn.
+        Abandonment replaces the wedged worker
         (:meth:`~repro.serving.parallel.ThreadExecutor.abandon`) and
         recovers the shard; the wedged thread's eventual round report is
-        rejected by the supervisor's epoch guard.  Inline (serial) jobs
-        complete before the handle comes back, so the deadline branch only
-        ever runs under the thread executor.
+        rejected by the supervisor's epoch guard.  A job the abandonment
+        dropped *unrun* from the shared queue
+        (:class:`~repro.serving.parallel.AbandonedJobError`) touched no
+        state and is simply resubmitted to the replacement worker — never
+        forwarded without a waiter, so an orphaned job can never consume
+        arrivals unobserved.  Inline (serial) jobs complete before the
+        handle comes back, so the deadline branch only ever runs under the
+        thread executor.
         """
         sup = shard.supervisor
         deadline = self.config.supervision.round_deadline_s
         if sup is None:
             return job.wait()  # type: ignore[return-value]
-        while not job.done.is_set():
-            progress = sup.rounds_completed
-            if job.done.wait(deadline):
-                break
-            if sup.rounds_completed != progress:
-                continue  # rounds are completing; the job is just large
-            self._executor.abandon(shard.shard_id)
-            sup.on_deadline_abandon(deadline, shard._take_round_entries())
-            return []
+        while True:
+            while not job.done.is_set():
+                progress = self._worker_progress(shard)
+                if job.done.wait(deadline):
+                    break
+                if self._worker_progress(shard) != progress:
+                    continue  # rounds are completing; the job is just large
+                self._executor.abandon(shard.shard_id)
+                sup.on_deadline_abandon(deadline, shard._take_round_entries())
+                return []
+            if isinstance(job.error, AbandonedJobError):
+                # Dropped from the queue when a sibling shard's deadline
+                # abandon replaced the shared worker; it never ran.
+                job = self._executor.submit(shard.shard_id, job.fn)
+                continue
+            break
         if job.error is not None:
             if isinstance(job.error, Exception):
                 sup.on_round_failure(job.error, sup.epoch, shard._take_round_entries())
@@ -1300,6 +1396,7 @@ class ServingCluster:
         supervisors = [shard.supervisor for shard in self.shards]
         shard_health = [sup.health() if sup is not None else None for sup in supervisors]
         fanouts = [self._sinks] + [shard._sinks for shard in self.shards]
+        delivery = [hub.delivery_health() for hub in fanouts]
         return {
             "shards": shard_health,
             "breaker_open": [
@@ -1317,8 +1414,8 @@ class ServingCluster:
             ),
             "lost_arrivals": sum(view["lost_arrivals"] for view in shard_health if view),
             "checkpoints": sum(view["checkpoints"] for view in shard_health if view),
-            "quarantined_sinks": sum(len(hub.quarantined) for hub in fanouts),
-            "sink_publish_errors": sum(hub.publish_errors for hub in fanouts),
+            "quarantined_sinks": sum(view["quarantined"] for view in delivery),
+            "sink_publish_errors": sum(view["publish_errors"] for view in delivery),
             "abandoned_workers": getattr(self._executor, "abandoned_workers", 0),
             "leaked_workers": getattr(self._executor, "leaked_workers", 0),
         }

@@ -61,6 +61,7 @@ from typing import Callable, List, Optional, Sequence, TypeVar
 T = TypeVar("T")
 
 __all__ = [
+    "AbandonedJobError",
     "ShardExecutor",
     "SerialExecutor",
     "ThreadExecutor",
@@ -69,6 +70,19 @@ __all__ = [
     "AdaptiveBatchConfig",
     "AdaptiveBatchController",
 ]
+
+
+class AbandonedJobError(RuntimeError):
+    """A queued job's worker was replaced before the job started running.
+
+    :meth:`ThreadExecutor.abandon` completes every job still *queued* behind
+    the wedged one with this error instead of forwarding it to the
+    replacement worker — a forwarded job could otherwise run with no one
+    awaiting its handle and consume work unobserved.  Because the job never
+    started, no state was touched: the waiter may safely resubmit it to the
+    replacement (:meth:`ThreadExecutor.run` retries transparently; the
+    cluster's supervised fan-out resubmits the shard job).
+    """
 
 
 class ShardExecutor:
@@ -106,6 +120,16 @@ class ShardExecutor:
         """
         return False
 
+    def current_context_abandoned(self) -> bool:
+        """Whether the *calling thread* is a worker :meth:`abandon` replaced.
+
+        The cancellation signal for long-running jobs: a looping job (e.g. a
+        shard drain) checks this each iteration and exits as soon as its
+        thread has been abandoned, instead of racing the replacement worker
+        for the shard's live state.  Inline backends are never abandoned.
+        """
+        return False
+
     def close(self) -> None:
         """Release worker resources.  Idempotent."""
 
@@ -119,16 +143,19 @@ class ShardExecutor:
 class JobHandle:
     """One dispatched callable plus its completion signal and outcome.
 
-    ``done`` is set exactly once, after which ``result`` or ``error`` holds
-    the outcome; ``wait()`` blocks for completion and re-raises the error.
-    Deadline-aware callers use ``done.wait(timeout)`` and read the outcome
-    themselves.
+    ``started`` is set when a worker begins executing the callable (a job
+    dropped by :meth:`ThreadExecutor.abandon` completes without ever
+    starting); ``done`` is set exactly once, after which ``result`` or
+    ``error`` holds the outcome; ``wait()`` blocks for completion and
+    re-raises the error.  Deadline-aware callers use ``done.wait(timeout)``
+    and read the outcome themselves.
     """
 
-    __slots__ = ("fn", "done", "result", "error")
+    __slots__ = ("fn", "started", "done", "result", "error")
 
     def __init__(self, fn: Callable[[], object]) -> None:
         self.fn = fn
+        self.started = threading.Event()
         self.done = threading.Event()
         self.result: object = None
         self.error: Optional[BaseException] = None
@@ -158,6 +185,7 @@ class SerialExecutor(ShardExecutor):
         deadlines are only enforced preemptively under ``executor="thread"``.
         """
         job = JobHandle(fn)
+        job.started.set()
         try:
             job.result = fn()
         except BaseException as error:
@@ -236,6 +264,7 @@ class ThreadExecutor(ShardExecutor):
             job = queue.get()
             if job is None:
                 return
+            job.started.set()
             try:
                 job.result = job.fn()
             except BaseException as error:  # propagated to the waiter
@@ -262,12 +291,19 @@ class ThreadExecutor(ShardExecutor):
         return job
 
     def run(self, shard_index: int, fn: Callable[[], T]) -> T:
-        worker = self._threads[self.worker_index(shard_index)]
-        if threading.current_thread() is worker:
-            # Already on the shard's pinned thread: queueing would deadlock
-            # behind the very job that called us.  Affinity already holds.
-            return fn()
-        return self.submit(shard_index, fn).wait()  # type: ignore[return-value]
+        while True:
+            worker = self._threads[self.worker_index(shard_index)]
+            if threading.current_thread() is worker:
+                # Already on the shard's pinned thread: queueing would
+                # deadlock behind the very job that called us.  Affinity
+                # already holds.
+                return fn()
+            try:
+                return self.submit(shard_index, fn).wait()  # type: ignore[return-value]
+            except AbandonedJobError:
+                # The queued job was dropped unrun when its worker was
+                # replaced mid-wait; retry on the replacement.
+                continue
 
     def map_shards(self, fns: Sequence[Callable[[], T]]) -> List[T]:
         jobs = [self.submit(index, fn) for index, fn in enumerate(fns)]
@@ -290,13 +326,18 @@ class ThreadExecutor(ShardExecutor):
         wedges (and with it every shard pinned to the same worker), waiting
         longer will not finish it and the thread cannot be killed — so the
         slot gets a **new** queue and a **new** thread, jobs still queued
-        behind the wedged one are forwarded to the replacement, and the old
-        thread is left to finish (or sleep) in the background.  It receives
-        a shutdown sentinel as its next item, so if the wedged job ever
-        returns, the thread exits instead of consuming forwarded work; until
-        then it may still mutate whatever state its job held — which is why
-        the supervisor pairs every abandon with a checkpoint restore that
-        swaps in fresh state objects and bumps the shard's epoch.
+        behind the wedged one are completed with :class:`AbandonedJobError`
+        (dropped unrun — never forwarded, so an orphaned job can never run
+        with no one awaiting it; waiters resubmit), and the old thread is
+        left to finish (or sleep) in the background.  It receives a shutdown
+        sentinel as its next item, so if the wedged job ever returns, the
+        thread exits instead of consuming further work; until then it may
+        still mutate whatever state its job held — which is why the
+        supervisor pairs every abandon with a checkpoint restore that swaps
+        in fresh state objects and bumps the shard's epoch, and why looping
+        jobs must poll :meth:`current_context_abandoned` between iterations
+        (late-bound attribute reads would otherwise let the zombie reach the
+        freshly restored live objects).
 
         Returns True (a replacement was installed) unless the executor is
         already closed.
@@ -308,15 +349,20 @@ class ThreadExecutor(ShardExecutor):
             old_queue = self._queues[index]
             old_thread = self._threads[index]
             new_queue: SimpleQueue = SimpleQueue()
-            # Forward jobs queued behind the wedged one, then lay the
-            # sentinel so the old thread exits if it ever comes back.
+            # Drop jobs queued behind the wedged one (their waiters see
+            # AbandonedJobError and resubmit), then lay the sentinel so the
+            # old thread exits if it ever comes back.
             while True:
                 try:
                     item = old_queue.get_nowait()
                 except Empty:
                     break
                 if item is not None:
-                    new_queue.put(item)
+                    item.error = AbandonedJobError(
+                        f"worker {index} was abandoned before this queued job "
+                        f"ran; resubmit it to the replacement worker"
+                    )
+                    item.done.set()
             old_queue.put(None)
             replacement = threading.Thread(
                 target=self._worker_loop,
@@ -330,6 +376,11 @@ class ThreadExecutor(ShardExecutor):
             self.abandoned_workers += 1
             replacement.start()
         return True
+
+    def current_context_abandoned(self) -> bool:
+        current = threading.current_thread()
+        with self._state_lock:
+            return any(thread is current for thread in self._abandoned)
 
     def close(self) -> None:
         with self._state_lock:

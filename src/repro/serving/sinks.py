@@ -276,8 +276,25 @@ class FanOutSink(DecisionSink):
             else:
                 self._note_outcome(sink, failed=False)
 
+    def delivery_health(self) -> Dict[str, int]:
+        """Lock-consistent ``{quarantined, publish_errors}`` counts.
+
+        The health-view accessor: worker threads may be appending to the
+        quarantine list via ``_note_outcome`` concurrently, so readers take
+        the sink lock instead of touching the attributes directly.
+        """
+        with self._lock:
+            return {
+                "quarantined": len(self.quarantined),
+                "publish_errors": self.publish_errors,
+            }
+
     def close(self) -> None:
-        for sink in self._snapshot() + list(self.quarantined):
+        # Snapshot live + quarantined children under the lock: publishes on
+        # worker threads may be quarantining (appending) concurrently.
+        with self._lock:
+            children = list(self._sinks) + list(self.quarantined)
+        for sink in children:
             try:
                 sink.close()
             except Exception:

@@ -48,7 +48,14 @@ supplies the fault-tolerance layer:
 Epochs: every recovery bumps :attr:`ShardSupervisor.epoch`.  Worker-side
 round reports carry the epoch they started under, so a replaced (abandoned)
 worker that eventually finishes its wedged round cannot corrupt the
-recovered state's bookkeeping — its stale report is counted and dropped.
+recovered state's bookkeeping — its stale report is counted and dropped,
+and the round's own bookkeeping tail (counters, monitor, lost-entry
+tracking) is epoch-gated inside the shard so the zombie thread never
+mutates the freshly restored objects.  Containment is two-layered: a
+*looping* job on an abandoned thread (a shard drain) additionally polls
+:meth:`~repro.serving.parallel.ThreadExecutor.current_context_abandoned`
+between rounds and exits rather than re-entering the live queue under the
+post-recovery epoch.
 
 The supervisor holds no references into :mod:`repro.serving.cluster`
 machinery beyond the shard object it supervises (state capture/restore are
@@ -286,12 +293,17 @@ class ShardSupervisor:
     # ------------------------------------------------------------------ #
     # round reports (worker side, epoch-guarded)
     # ------------------------------------------------------------------ #
-    def note_round_success(self, epoch: int) -> None:
-        """A round completed cleanly; maybe take a periodic checkpoint."""
+    def note_round_success(self, epoch: int) -> bool:
+        """A round completed cleanly; maybe take a periodic checkpoint.
+
+        Returns False (and counts a stale report) when ``epoch`` predates a
+        recovery — the caller must then discard the round's emissions too,
+        since the state they were computed against has been replaced.
+        """
         with self._lock:
             if epoch != self.epoch:
                 self.stale_reports += 1
-                return
+                return False
             self.breaker.record_success()
             self.rounds_completed += 1
             cadence = self.config.checkpoint.every_rounds
@@ -299,6 +311,7 @@ class ShardSupervisor:
                 self._rounds_since_checkpoint += 1
                 if self._rounds_since_checkpoint >= cadence:
                     self._take_checkpoint_locked()
+            return True
 
     def on_round_failure(self, error: BaseException, epoch: int, lost: List[_Entry]) -> None:
         """A round raised: count, trip the breaker, recover from checkpoint."""

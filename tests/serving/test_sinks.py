@@ -493,3 +493,37 @@ class TestFanOutFaultIsolation:
     def test_quarantine_after_validation(self):
         with pytest.raises(ValueError, match="quarantine_after"):
             FanOutSink(quarantine_after=0)
+
+    def test_delivery_health_is_lock_consistent_under_publishers(self):
+        """Health reads and close() snapshot under the sink lock while
+        worker threads quarantine children concurrently."""
+        import threading
+
+        hub = FanOutSink(quarantine_after=1)
+        sinks = [FailingSink() for _ in range(32)]
+        for sink in sinks:
+            hub.add(sink)
+        stop = threading.Event()
+        views = []
+
+        def reader():
+            while not stop.is_set():
+                views.append(hub.delivery_health())
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            hub.publish(fake_decision())  # quarantines all 32 children
+        finally:
+            stop.set()
+            thread.join()
+        health = hub.delivery_health()
+        assert health == {"quarantined": 32, "publish_errors": 32}
+        # Counts observed mid-publish only ever grow, in step.
+        last = -1
+        for view in views:
+            assert view["quarantined"] <= view["publish_errors"]
+            assert view["quarantined"] >= last
+            last = view["quarantined"]
+        hub.close()
+        assert all(sink.closed for sink in sinks)

@@ -42,7 +42,7 @@ from repro.serving.faults import (
     InjectedFault,
     ShardKilled,
 )
-from repro.serving.parallel import ThreadExecutor
+from repro.serving.parallel import AbandonedJobError, ThreadExecutor
 from repro.serving.sinks import BufferedSink
 from repro.serving.supervisor import (
     CheckpointConfig,
@@ -325,7 +325,7 @@ class TestCircuitBreaker:
 # executor: abandon + leak accounting
 # --------------------------------------------------------------------- #
 class TestThreadExecutorFaults:
-    def test_abandon_replaces_wedged_worker_and_forwards_jobs(self):
+    def test_abandon_replaces_wedged_worker_and_drops_queued_jobs(self):
         executor = ThreadExecutor(num_shards=2, num_workers=1)
         try:
             release = threading.Event()
@@ -334,16 +334,46 @@ class TestThreadExecutorFaults:
             assert not follower.done.wait(0.05)
             assert executor.abandon(0)
             assert executor.abandoned_workers == 1
-            # The forwarded job runs on the replacement worker...
-            assert follower.wait() == "ran"
-            # ...and new submissions keep working.
-            assert executor.submit(0, lambda: 41 + 1).wait() == 42
+            # The queued job is dropped unrun — never forwarded to run with
+            # no one awaiting it — and its waiter is told to resubmit.
+            assert not follower.started.is_set()
+            with pytest.raises(AbandonedJobError):
+                follower.wait()
+            # New submissions (and run(), which retries through the drop
+            # transparently) keep working on the replacement worker.
+            assert executor.submit(1, lambda: "ran").wait() == "ran"
+            assert executor.run(0, lambda: 41 + 1) == 42
             release.set()
             assert wedged.done.wait(1.0)  # old thread finishes, then exits
         finally:
             release.set()
             executor.close()
         assert executor.leaked_workers == 0
+
+    def test_abandoned_thread_sees_cancellation_signal(self):
+        """A job on the old thread observes current_context_abandoned() —
+        the loop-exit signal zombie drains use for containment."""
+        executor = ThreadExecutor(num_shards=1, num_workers=1)
+        try:
+            release = threading.Event()
+            flags = []
+
+            def wedge_then_check():
+                release.wait()
+                flags.append(executor.current_context_abandoned())
+
+            wedged = executor.submit(0, wedge_then_check)
+            assert wedged.started.wait(1.0)
+            assert not executor.current_context_abandoned()  # caller thread
+            assert executor.abandon(0)
+            release.set()
+            assert wedged.done.wait(1.0)
+            assert flags == [True]
+            # The replacement worker is not abandoned.
+            assert executor.run(0, executor.current_context_abandoned) is False
+        finally:
+            release.set()
+            executor.close()
 
     def test_abandon_after_close_is_refused(self):
         executor = ThreadExecutor(num_shards=1)
@@ -644,6 +674,97 @@ class TestRoundDeadlines:
         assert health["deadline_abandons"] == 0
         assert health["failures"] == 0
         cluster.close()
+
+    def test_abandoned_drain_loop_never_touches_recovered_state(self):
+        """Zombie containment: the abandoned worker's drain loop must exit
+        when its wedge resolves — not re-enter the requeued backlog and
+        drain the shard concurrently with the replacement worker."""
+        model = make_model()
+        _, events = multi_stream_events(seed=21, num_events=24)
+        injector = FaultInjector(
+            specs=[FaultSpec(site="session-encode", action="delay", delay_s=1.0, shard_id=0, limit=1)]
+        )
+        config = ClusterConfig(
+            num_shards=2,
+            batch_size=2,
+            auto_drain=False,
+            executor="thread",
+            supervision=SupervisorConfig(
+                round_deadline_s=0.1,
+                checkpoint=CheckpointConfig(every_rounds=1),
+            ),
+            faults=injector,
+            engine=engine_config(),
+        )
+        cluster = ServingCluster(model, SPEC, config)
+        for event in events:
+            cluster.submit(event)
+        cluster.drain()  # shard 0 wedges mid-encode: abandoned + recovered
+        shard = cluster.shards[0]
+        health = cluster.health()["shards"][0]
+        assert health["deadline_abandons"] == 1
+        requeued = shard.queue_depth
+        assert requeued > 0  # recovery requeued the surviving arrivals
+        drained_before = shard.drained
+        rounds_before = shard.monitor.rounds
+        # Let the zombie's 1s wedge resolve and its loop body run to its
+        # containment checks.
+        time.sleep(1.5)
+        assert shard.queue_depth == requeued  # backlog untouched
+        assert shard.drained == drained_before  # stale tail was gated
+        assert shard.monitor.rounds == rounds_before
+        assert shard.supervisor.stale_reports >= 1  # report dropped, counted
+        # The replacement worker serves the backlog normally.
+        cluster.flush()
+        assert shard.queue_depth == 0
+        cluster.close()  # zombie already exited: no leak warning expected
+        assert cluster._executor.leaked_workers == 0
+
+    def test_shared_worker_sibling_survives_abandonment(self):
+        """``num_workers < num_shards``: a sibling shard's job queued behind
+        the wedged one is dropped unrun at abandonment and transparently
+        resubmitted to the replacement — its arrivals are neither lost nor
+        consumed unobserved, and the sibling is never spuriously abandoned
+        or recovered."""
+        model = make_model()
+        _, events = multi_stream_events(seed=22, num_events=30)
+        injector = FaultInjector(
+            specs=[FaultSpec(site="session-encode", action="delay", delay_s=1.0, shard_id=0, limit=1)]
+        )
+        config = ClusterConfig(
+            num_shards=2,
+            batch_size=4,
+            auto_drain=False,
+            executor="thread",
+            num_workers=1,  # both shards pinned to one worker
+            supervision=SupervisorConfig(
+                round_deadline_s=0.15,
+                checkpoint=CheckpointConfig(every_rounds=2),
+            ),
+            faults=injector,
+            engine=engine_config(),
+        )
+        cluster = ServingCluster(model, SPEC, config)
+        for event in events:
+            cluster.submit(event)
+        sibling_depth = cluster.shards[1].queue_depth
+        assert sibling_depth > 0
+        cluster.drain()
+        health = cluster.health()
+        assert health["shards"][0]["deadline_abandons"] == 1
+        assert health["shards"][1]["deadline_abandons"] == 0
+        assert health["shards"][1]["failures"] == 0
+        assert health["shards"][1]["restores"] == 0
+        # The sibling's backlog was served by the resubmitted job, with the
+        # fan-out awaiting it (not consumed unobserved, not lost with the
+        # drop).
+        assert cluster.shards[1].queue_depth == 0
+        assert cluster.shards[1].drained == sibling_depth
+        time.sleep(1.2)  # wedge resolves; zombie exits
+        cluster.flush()
+        assert cluster.shards[0].queue_depth == 0
+        cluster.close()
+        assert cluster._executor.leaked_workers == 0
 
 
 # --------------------------------------------------------------------- #
