@@ -18,12 +18,14 @@ serial per-arrival encoding by >= 2x at batch >= 8, window 256, rotary
 
 The parallel-execution PR adds ``run_parallel_throughput``: an **executor ×
 shard-count × batch-policy × traffic-shape** sweep (serial vs thread worker
-pool, fixed vs adaptive drain batching, uniform vs Zipf-skewed streams) over
-the drain-scheduling serving pattern (``auto_drain=False``: submissions
-enqueue, explicit drains let the thread backend overlap shards on real
-cores).  Its gate — ``run_parallel_drain_gate``, asserted by ``pytest -m
-perf_smoke`` on multi-core machines — requires the thread backend to drain
->= 1.5x faster than the serial backend at 4 shards, window 128, 64 streams.
+pool vs long-lived worker *processes*, fixed vs adaptive drain batching,
+uniform vs Zipf-skewed streams) over the drain-scheduling serving pattern
+(``auto_drain=False``: submissions enqueue, explicit drains let the parallel
+backends overlap shards on real cores — the process backend without sharing
+a GIL at all).  Its gate — ``run_parallel_drain_gate``, asserted by ``pytest
+-m perf_smoke`` on multi-core machines — requires the thread and process
+backends each to drain >= 1.5x faster than the serial backend at 4 shards,
+window 128, 64 streams.
 
 Results are echoed as text and merged into ``BENCH_serving.json`` at the repo
 root so future PRs can track the trajectory.
@@ -61,7 +63,7 @@ SHARD_COUNTS = (1, 2, 4)
 BATCH_SIZES = (1, 8, 16)
 
 #: Parallel sweep axes: executor backend x batch policy x traffic shape.
-EXECUTORS = ("serial", "thread")
+EXECUTORS = ("serial", "thread", "process")
 BATCH_POLICIES = ("fixed", "auto")
 TRAFFIC_SHAPES = ("uniform", "zipf")
 #: Fixed-policy round width of the parallel sweep (the PR-3 sweet spot).
@@ -270,10 +272,13 @@ def run_parallel_throughput(
                     )
             for policy in BATCH_POLICIES:
                 serial_rate = row[f"serial/{policy}"]["throughput_items_per_sec"]
-                thread_cell = row[f"thread/{policy}"]
-                thread_cell["speedup_vs_serial"] = (
-                    thread_cell["throughput_items_per_sec"] / serial_rate
-                )
+                for executor in EXECUTORS:
+                    if executor == "serial":
+                        continue
+                    cell = row[f"{executor}/{policy}"]
+                    cell["speedup_vs_serial"] = (
+                        cell["throughput_items_per_sec"] / serial_rate
+                    )
             grid[str(num_shards)] = row
         traffic[shape] = {"stream_items": len(events), "shards": grid}
 
@@ -297,13 +302,16 @@ def run_parallel_drain_gate(
     seed: int = 0,
     repeats: int = 3,
 ) -> Dict[str, object]:
-    """Perf-smoke gate: thread-pool drain vs serial drain, same work.
+    """Perf-smoke gate: thread-pool and process drains vs serial, same work.
 
     4 shards x 64 uniform streams at window 128 (the acceptance geometry of
     the parallel-execution PR); the model is sized so the drain rounds are
     BLAS-dominated (that is what the thread pool overlaps — numpy releases
     the GIL inside the batched GEMMs and ufuncs, while per-arrival Python
-    bookkeeping stays serialised and caps the achievable speedup).
+    bookkeeping stays serialised and caps the achievable speedup).  The
+    process leg drains the same work through the pinned worker processes:
+    no GIL sharing at all, at the cost of shipping each round's entries and
+    decisions over a pipe.
     """
     model = make_model(seed=seed, window=window, d_model=96, ffn_hidden=192)
     events = make_traffic(num_streams, 128, 48, seed=seed, stream_skew=0.0)
@@ -313,6 +321,7 @@ def run_parallel_drain_gate(
         )
         for executor in EXECUTORS
     }
+    serial_rate = cells["serial"]["throughput_items_per_sec"]
     return {
         "window": window,
         "num_streams": num_streams,
@@ -321,9 +330,10 @@ def run_parallel_drain_gate(
         "cpus": available_cpus(),
         "serial": cells["serial"],
         "thread": cells["thread"],
-        "speedup": (
-            cells["thread"]["throughput_items_per_sec"]
-            / cells["serial"]["throughput_items_per_sec"]
+        "process": cells["process"],
+        "speedup": cells["thread"]["throughput_items_per_sec"] / serial_rate,
+        "speedup_process": (
+            cells["process"]["throughput_items_per_sec"] / serial_rate
         ),
     }
 

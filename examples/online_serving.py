@@ -29,7 +29,13 @@ network flow while its packets are still arriving.  This example
    and ``stats()["health"]`` shows the breaker/restore accounting,
 9. serves from an event loop through the :class:`AsyncServingGateway` —
    awaitable submission with one concurrent submitter task per stream and
-   an ``async for`` decision stream (stdlib asyncio only).
+   an ``async for`` decision stream (stdlib asyncio only),
+10. drains a 4-shard cluster across long-lived **worker processes**
+    (``executor="process"``: shard replicas seeded from pickled checkpoints,
+    rounds shipped over pipes, no shared GIL), force-kills one worker with a
+    real SIGKILL mid-run, and watches supervision respawn it from the
+    checkpoint — same decisions as the thread/serial backends for every
+    surviving arrival.
 """
 
 from __future__ import annotations
@@ -411,6 +417,65 @@ def main() -> None:
     print()
     print("=== asyncio gateway report (concurrent submitter tasks) ===")
     print(async_monitor.report())
+
+    # ------------------------------------------------------------------ #
+    # 10. Process-parallel shard execution with real crash recovery
+    # ------------------------------------------------------------------ #
+    # The same bursty traffic once more, now with executor="process": every
+    # shard is pinned to a long-lived worker process (shard % num_workers),
+    # seeded with a pickled copy of its checkpoint state.  Drain rounds ship
+    # each batch of arrivals over the worker's pipe and get the decisions
+    # back — the queue, journal, checkpoints, supervision and sinks all stay
+    # caller-side, so the decision stream is list-identical to the serial
+    # and thread backends (the parity suite pins this).  Mid-run we SIGKILL
+    # one worker process for real: the next round on the dead pipe fails,
+    # the supervisor restores the shard's checkpoint and reseeds it into a
+    # freshly respawned process, and serving continues.
+    with ServingCluster(
+        served_model,
+        dataset.spec,
+        ClusterConfig(
+            num_shards=4,
+            batch_size=8,
+            executor="process",
+            auto_drain=False,
+            max_queue=4096,
+            supervision=SupervisorConfig(checkpoint=CheckpointConfig(every_rounds=4)),
+            engine=EngineConfig(window_items=256, halt_threshold=0.5, reencode_every=2),
+        ),
+    ) as process_cluster:
+        import os
+        import signal
+
+        monitor = DecisionMonitor(
+            labels=bursty.labels, sequence_lengths=bursty.sequence_lengths
+        )
+        bursty_events = list(bursty.events())
+        kill_at = len(bursty_events) // 2
+        victim_pid = None
+        for position, event in enumerate(bursty_events):
+            if position == kill_at:
+                victim_pid = process_cluster._executor.worker_pid(0)
+                os.kill(victim_pid, signal.SIGKILL)  # a real worker death
+            process_cluster.submit(event)
+            if position % 64 == 63:
+                for stream_decision in process_cluster.drain():
+                    monitor.observe(stream_decision.decision)
+        for stream_decision in process_cluster.flush():
+            monitor.observe(stream_decision.decision)
+
+        health = process_cluster.health()
+        print()
+        print("=== process cluster report (worker processes, forced SIGKILL) ===")
+        print(monitor.report())
+        print(
+            f"killed worker pid {victim_pid} -> respawned as pid "
+            f"{process_cluster._executor.worker_pid(0)}; "
+            f"worker respawns: {health['worker_respawns']}, "
+            f"round failures: {health['failures']}, "
+            f"checkpoint restores: {health['restores']}, "
+            f"arrivals lost with the dead rounds: {health['lost_arrivals']}"
+        )
 
 
 if __name__ == "__main__":

@@ -19,8 +19,10 @@ the serving-side counterpart, layered session → shard → cluster → gateway:
   across :class:`~repro.serving.cluster.ShardWorker` instances, applies
   bounded-queue admission control, drains each shard with cross-stream
   *batched* row encoding (overlapped across cores by the
-  :mod:`~repro.serving.parallel` thread backend), and supports
-  snapshot/restore plus an explicit running → draining → closed lifecycle,
+  :mod:`~repro.serving.parallel` thread backend, or executed in long-lived
+  worker *processes* by the GIL-free process backend —
+  ``ClusterConfig.executor="process"``), and supports snapshot/restore plus
+  an explicit running → draining → closed lifecycle,
 * **push-based delivery** — :meth:`~repro.serving.cluster.ServingCluster.submit`
   returns a :class:`~repro.serving.results.SubmitResult` (explicit
   ``accepted`` / ``decided`` / ``rejected`` / ``shed`` admission outcome +
@@ -95,9 +97,12 @@ from repro.serving.parallel import (
     AdaptiveBatchConfig,
     AdaptiveBatchController,
     JobHandle,
+    ProcessExecutor,
+    ReplicaLostError,
     SerialExecutor,
     ShardExecutor,
     ThreadExecutor,
+    WorkerCrashedError,
 )
 from repro.serving.results import SUBMIT_STATUSES, ConsumeSummary, SubmitResult
 from repro.serving.simulator import (
@@ -159,8 +164,11 @@ __all__ = [
     "ShardExecutor",
     "SerialExecutor",
     "ThreadExecutor",
+    "ProcessExecutor",
     "JobHandle",
     "AbandonedJobError",
+    "WorkerCrashedError",
+    "ReplicaLostError",
     "AdaptiveBatchConfig",
     "AdaptiveBatchController",
     "ArrivalSimulator",

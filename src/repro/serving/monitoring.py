@@ -386,6 +386,8 @@ class ShardMonitorSnapshot:
     rows: int
     round_latency_ms: HistogramSnapshot
     queue_depth: HistogramSnapshot
+    #: Worker-process encode latency (process backend only; empty otherwise).
+    encode_latency_ms: Optional[HistogramSnapshot] = None
 
 
 class ShardMonitor:
@@ -397,6 +399,12 @@ class ShardMonitor:
     published so operators can see what the controller sees.  Like
     :class:`DecisionMonitor`, shard monitors are worker-local and mergeable
     into an exact cluster-level view.
+
+    Under the process backend each round also reports the wall-clock cost
+    of its replica-side serving (``encode_latency_ms`` — the worker-process
+    slice of the round, measured inside the worker and shipped back with
+    the decisions).  The histogram stays empty on the serial and thread
+    backends; the round/encode gap is the pipe + pickle overhead.
     """
 
     def __init__(self) -> None:
@@ -404,6 +412,7 @@ class ShardMonitor:
         self.rows = 0
         self.round_latency_ms = Log2Histogram()
         self.queue_depth = Log2Histogram()
+        self.encode_latency_ms = Log2Histogram()
 
     def observe_round(self, queue_depth: int, rows: int, elapsed_ms: float) -> None:
         """Record one drain round: depth at round start, rows served, cost."""
@@ -412,12 +421,21 @@ class ShardMonitor:
         self.round_latency_ms.observe(elapsed_ms)
         self.queue_depth.observe(float(queue_depth))
 
+    def observe_encode(self, elapsed_ms: float) -> None:
+        """Record one round's worker-reported encode latency (process)."""
+        self.encode_latency_ms.observe(elapsed_ms)
+
     def merge(self, other: "ShardMonitor") -> "ShardMonitor":
         """Fold another shard's telemetry in; returns ``self`` for chaining."""
         self.rounds += other.rounds
         self.rows += other.rows
         self.round_latency_ms.merge(other.round_latency_ms)
         self.queue_depth.merge(other.queue_depth)
+        # Monitors restored from pre-process-backend checkpoints/pickles may
+        # lack the encode histogram; treat a missing one as empty.
+        other_encode = getattr(other, "encode_latency_ms", None)
+        if other_encode is not None:
+            self.encode_latency_ms.merge(other_encode)
         return self
 
     @classmethod
@@ -434,6 +452,7 @@ class ShardMonitor:
             rows=self.rows,
             round_latency_ms=self.round_latency_ms.snapshot(),
             queue_depth=self.queue_depth.snapshot(),
+            encode_latency_ms=self.encode_latency_ms.snapshot(),
         )
 
 

@@ -3,24 +3,45 @@
 The PR-3 cluster made drain rounds cheap (cross-stream batched BLAS) but ran
 every shard synchronously on the caller's thread, so adding shards *reduced*
 throughput — fewer streams stacked per round — instead of scaling it.  This
-module supplies the two pieces that turn "sharded" into "scales with cores":
+module supplies the pieces that turn "sharded" into "scales with cores":
 
 * **Shard executors.**  :class:`ShardExecutor` is the minimal execution
   contract the cluster needs: run one callable with affinity to a shard, or
   run one callable per shard and collect the results *in shard order*.
-  :class:`SerialExecutor` runs everything inline on the caller (the exact
-  PR-3 behaviour).  :class:`ThreadExecutor` keeps a persistent pool of worker
-  threads with one FIFO job queue each and **pins every shard to one
-  worker** (``worker = shard_index % num_workers``), so a shard's session
-  state is only ever touched from a single thread — shards are share-nothing,
-  and the pinning keeps them that way without any per-session locking.
-  Because numpy releases the GIL inside its GEMM/attention kernels, draining
-  several shards concurrently overlaps their BLAS time on real cores.
+  Three backends implement it, in increasing isolation:
+
+  - :class:`SerialExecutor` runs everything inline on the caller (the exact
+    PR-3 behaviour) — the reference every other backend is parity-tested
+    against.
+  - :class:`ThreadExecutor` keeps a persistent pool of worker threads with
+    one FIFO job queue each and **pins every shard to one worker**
+    (``worker = shard_index % num_workers``), so a shard's session state is
+    only ever touched from a single thread — shards are share-nothing, and
+    the pinning keeps them that way without any per-session locking.
+    Because numpy releases the GIL inside its GEMM/attention kernels,
+    draining several shards concurrently overlaps their BLAS time on real
+    cores — but every shard's *Python* bookkeeping still serialises on the
+    one interpreter.
+  - :class:`ProcessExecutor` escapes the GIL entirely: it extends the
+    thread backend with **one long-lived worker process per executor
+    slot** (same ``shard % num_workers`` pinning), connected by a duplex
+    pipe.  The pinned pump threads keep running all caller-side
+    orchestration — queueing, supervision, sink publication — while the
+    heavy per-round session work executes in the shard's worker process
+    against a process-resident replica (see
+    :mod:`repro.serving.cluster`); arrivals travel down the pipe and
+    per-round decision/telemetry reports travel back (shared-memory numpy
+    rings are a follow-on).  A worker process is (re)spawned seeded from
+    the shard's pickled checkpoint, :meth:`ProcessExecutor.abandon` is
+    *real* process termination (SIGKILL) + respawn-from-checkpoint, and a
+    killed worker's stale reports are dropped by the same supervisor epoch
+    guard that contains zombie threads.
 
   Determinism: ``map_shards`` always returns results indexed by shard, so a
   cluster-level drain/flush/expire concatenates per-shard decision lists in
   stable (shard index, round, intra-round) order — decision-for-decision
-  identical to the serial backend, which the cluster parity suite pins.
+  identical to the serial backend, which the cluster parity suite pins for
+  the thread and process backends alike.
 
   The push-delivery layer (:mod:`repro.serving.sinks`) leans on the same
   pinning for its ordering contract: submission-path rounds publish their
@@ -28,7 +49,9 @@ module supplies the two pieces that turn "sharded" into "scales with cores":
   shard's — and therefore one stream's — deliveries can never reorder even
   with concurrent submitters, while cluster-level fan-outs journal the
   per-shard lists ``map_shards`` returns and publish the stable-ordered
-  merge at the merge point.
+  merge at the merge point.  Under the process backend sinks never cross
+  the process boundary: decisions come back over the pipe and publication
+  happens caller-side, exactly where the thread backend publishes.
 
 * **Adaptive drain batching.**  :class:`AdaptiveBatchController` picks each
   drain round's width from the observed backlog and a per-row latency EWMA
@@ -51,25 +74,56 @@ module supplies the two pieces that turn "sharded" into "scales with cores":
 from __future__ import annotations
 
 import math
+import multiprocessing
 import os
+import signal
 import threading
 import warnings
 from dataclasses import dataclass
 from queue import Empty, SimpleQueue
-from typing import Callable, List, Optional, Sequence, TypeVar
+from typing import Any, Callable, List, Optional, Sequence, TypeVar
 
 T = TypeVar("T")
 
 __all__ = [
     "AbandonedJobError",
+    "WorkerCrashedError",
+    "ReplicaLostError",
     "ShardExecutor",
     "SerialExecutor",
     "ThreadExecutor",
+    "ProcessExecutor",
     "JobHandle",
     "make_executor",
+    "available_cpus",
     "AdaptiveBatchConfig",
     "AdaptiveBatchController",
 ]
+
+
+class WorkerCrashedError(RuntimeError):
+    """A worker process died (or its pipe broke) mid-command.
+
+    Raised caller-side by :meth:`ProcessExecutor.remote_call` when the
+    shard's worker process can no longer answer — it was SIGKILLed (injected
+    or external), crashed outright, or its execution context was abandoned
+    while the command was in flight.  The supervised round treats it like
+    any other round failure: the arrivals the dead round had dequeued become
+    the lost set and the shard recovers from its checkpoint (which respawns
+    the worker and reseeds its replica).
+    """
+
+
+class ReplicaLostError(RuntimeError):
+    """A worker process has no replica for the addressed shard.
+
+    Returned (as an error reply) by the worker command loop when a command
+    arrives for a shard it does not host — the signature of a *respawned*
+    process: a worker that died took every resident shard replica with it,
+    and only the shard whose recovery triggered the respawn was reseeded.
+    Sibling shards pinned to the same worker hit this on their next round,
+    fail it, and recover — which reseeds their replicas too.
+    """
 
 
 class AbandonedJobError(RuntimeError):
@@ -407,14 +461,331 @@ class ThreadExecutor(ShardExecutor):
             )
 
 
+def _process_worker_main(conn, handler) -> None:
+    """Command loop of one worker process.
+
+    Owns a ``shard_id -> replica`` registry (opaque to this module: the
+    ``handler`` populates and consults it) and answers ``(op, shard_id,
+    payload)`` requests with ``("ok", reply)`` / ``("err", exception)``
+    tuples.  ``None`` is the graceful-shutdown sentinel; EOF (the parent
+    closed or swapped the pipe) exits too.
+
+    Injected hard crashes are *real* here: a handler raising
+    :class:`~repro.serving.faults.ShardKilled` gets its error reply flushed
+    and then the process SIGKILLs itself — no cleanup, no atexit, exactly
+    the crash the checkpoint/respawn recovery path must absorb.  (The
+    cluster normally evaluates fault specs caller-side and kills the worker
+    from outside, so this in-process escalation is the fallback for kills
+    raised by replica-side code itself.)
+    """
+    replicas: dict = {}
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        if message is None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            return
+        op, shard_index, payload = message
+        dying = False
+        try:
+            reply = ("ok", handler(replicas, op, shard_index, payload))
+        except BaseException as error:
+            dying = type(error).__name__ == "ShardKilled"
+            try:
+                reply = ("err", error)
+            except Exception:  # pragma: no cover - defensive
+                reply = ("err", RuntimeError(repr(error)))
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            return
+        except Exception:
+            # Unpicklable reply (exotic error payload): degrade to repr.
+            try:
+                conn.send(("err", RuntimeError(repr(reply[1]))))
+            except Exception:
+                return
+        if dying:
+            os.kill(os.getpid(), signal.SIGKILL)  # pragma: no cover - dies
+
+
+class ProcessExecutor(ThreadExecutor):
+    """Per-shard worker *processes* behind the thread backend's pump pool.
+
+    The thread backend's machinery is kept wholesale: every shard stays
+    pinned to worker slot ``shard % num_workers``, jobs still run on the
+    slot's pump thread (submission order, re-entrancy, abandon semantics,
+    :class:`AbandonedJobError` drop-and-resubmit — all unchanged).  What is
+    new is that each slot additionally owns one **long-lived worker
+    process** plus a duplex pipe, and the cluster routes each shard's heavy
+    per-round work through :meth:`remote_call` from the pinned pump thread —
+    so the GIL-bound Python bookkeeping of different shards runs in
+    different interpreters, not just different threads.
+
+    ``num_workers`` defaults to ``min(available_cpus(), num_shards)`` — one
+    process per core, never more processes than shards (an excess worker
+    could never receive a pinned shard, yet would cost a process + pump
+    thread and pollute close/leak accounting).
+
+    Crash surface: a worker process dying (injected SIGKILL, external kill,
+    hard crash) surfaces as :class:`WorkerCrashedError` on the in-flight
+    command; :meth:`ensure_worker` respawns the slot on demand (recovery
+    reseeds the replica from the shard's pickled checkpoint), and
+    :meth:`abandon` escalates the thread backend's worker replacement to
+    real process termination + respawn.  Stale state is contained exactly
+    as for zombie threads: an abandoned pump's in-flight command fails
+    against the dead pipe, and its failure report is dropped by the
+    supervisor's epoch guard.
+
+    ``handler`` is the worker-side command interpreter — a picklable
+    module-level function ``handler(replicas, op, shard_id, payload)``
+    (defaults to the serving cluster's shard-replica handler).  The
+    executor itself is transport only: pipes, processes, liveness.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        num_workers: Optional[int] = None,
+        name_prefix: str = "shard-worker",
+        join_timeout: float = 5.0,
+        handler: Optional[Callable] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if num_workers is None:
+            # Default one worker per usable core, clamped to the shard count
+            # (the same clamp ThreadExecutor applies to explicit counts).
+            num_workers = min(available_cpus(), num_shards)
+        super().__init__(num_shards, num_workers, name_prefix, join_timeout)
+        if handler is None:
+            from repro.serving.cluster import shard_replica_handler as handler
+        self._handler = handler
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._mp_context = multiprocessing.get_context(start_method)
+        self.start_method = start_method
+        #: Serialises one slot's pipe traffic (send+recv pairs) against
+        #: concurrent callers and against pipe swaps (respawn/abandon).
+        self._slot_locks = [threading.Lock() for _ in range(self.num_workers)]
+        self._processes: List[Optional[Any]] = [None] * self.num_workers
+        self._connections: List[Optional[Any]] = [None] * self.num_workers
+        #: Lifetime count of worker-process respawns (kills + crashes).
+        self.worker_respawns = 0
+        self._processes_closed = False
+        for slot in range(self.num_workers):
+            self._spawn(slot)
+
+    # ------------------------------------------------------------------ #
+    # process lifecycle
+    # ------------------------------------------------------------------ #
+    def _spawn(self, slot: int) -> None:
+        parent_conn, child_conn = self._mp_context.Pipe(duplex=True)
+        process = self._mp_context.Process(
+            target=_process_worker_main,
+            args=(child_conn, self._handler),
+            name=f"{self._name_prefix}-proc-{slot}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        self._connections[slot] = parent_conn
+        self._processes[slot] = process
+
+    def worker_pid(self, shard_index: int) -> Optional[int]:
+        """The pid of the shard's current worker process (tests/chaos)."""
+        process = self._processes[self.worker_index(shard_index)]
+        return None if process is None else process.pid
+
+    def worker_alive(self, shard_index: int) -> bool:
+        process = self._processes[self.worker_index(shard_index)]
+        return process is not None and process.is_alive()
+
+    def kill_worker(self, shard_index: int) -> Optional[int]:
+        """SIGKILL the shard's worker process; returns the killed pid.
+
+        Does *not* respawn — that is recovery's job (:meth:`ensure_worker`),
+        so the death is observable exactly like an external ``kill -9``:
+        every in-flight and subsequent command on the slot fails with
+        :class:`WorkerCrashedError` until a recovery respawns it.  This is
+        how ``FaultSpec(action="kill")`` becomes real worker death on the
+        process backend.
+        """
+        process = self._processes[self.worker_index(shard_index)]
+        if process is None:
+            return None
+        pid = process.pid
+        process.kill()
+        process.join(timeout=self.join_timeout)
+        return pid
+
+    def ensure_worker(self, shard_index: int) -> bool:
+        """Respawn the shard's worker process if it is dead.
+
+        Returns True when a fresh process was spawned (the caller must then
+        reseed every replica it needs — the new process hosts none).
+        """
+        slot = self.worker_index(shard_index)
+        with self._slot_locks[slot]:
+            process = self._processes[slot]
+            if process is not None and process.is_alive():
+                return False
+            old_conn = self._connections[slot]
+            if process is not None:
+                process.join(timeout=self.join_timeout)
+            self._spawn(slot)
+            self.worker_respawns += 1
+        if old_conn is not None:
+            try:
+                old_conn.close()
+            except OSError:
+                pass
+        return True
+
+    # ------------------------------------------------------------------ #
+    # remote commands (the cluster's pipe to the shard replicas)
+    # ------------------------------------------------------------------ #
+    def remote_call(self, shard_index: int, op: str, payload: object = None):
+        """Send one command to the shard's worker process; await its reply.
+
+        Serialised per slot: a send+recv pair is atomic against concurrent
+        callers and against respawn's pipe swap, so one caller can never
+        read another's reply.  An execution context the executor has
+        abandoned is fenced out *before* it can touch the replacement
+        pipe — its command fails as :class:`WorkerCrashedError` and the
+        resulting stale failure report is dropped by the supervisor's epoch
+        guard.  Error replies re-raise the worker-side exception here.
+        """
+        if not 0 <= shard_index < self.num_shards:
+            raise IndexError(f"shard index {shard_index} out of range")
+        slot = self.worker_index(shard_index)
+        with self._slot_locks[slot]:
+            if self.current_context_abandoned():
+                raise WorkerCrashedError(
+                    f"stale execution context: worker slot {slot} was "
+                    f"abandoned; the replacement owns the pipe now"
+                )
+            connection = self._connections[slot]
+            process = self._processes[slot]
+            if connection is None:
+                raise WorkerCrashedError(f"worker slot {slot} has no process")
+            try:
+                connection.send((op, shard_index, payload))
+                status, value = connection.recv()
+            except (EOFError, BrokenPipeError, OSError) as error:
+                raise WorkerCrashedError(
+                    f"worker process of slot {slot} (pid "
+                    f"{getattr(process, 'pid', None)}) died during {op!r}"
+                ) from error
+        if status == "err":
+            raise value
+        return value
+
+    # ------------------------------------------------------------------ #
+    # abandonment and shutdown
+    # ------------------------------------------------------------------ #
+    def abandon(self, shard_index: int) -> bool:
+        """Really terminate the shard's worker: SIGKILL + respawn + thread
+        swap.
+
+        The process-backend deadline-enforcement primitive.  Unlike the
+        thread backend — which can only *strand* a wedged worker — the
+        worker process is killed outright (its in-flight round dies with
+        it), a fresh process is spawned on a fresh pipe, and then the pump
+        thread/queue swap of :meth:`ThreadExecutor.abandon` runs unchanged:
+        queued jobs complete with :class:`AbandonedJobError` and are
+        resubmitted by their waiters.  The old pump thread, if wedged inside
+        a pipe command, sees the dead pipe's EOF, fails its round with
+        :class:`WorkerCrashedError`, and has the report dropped as stale.
+        The caller (the shard supervisor) pairs this with a
+        restore-from-checkpoint, which reseeds the new process's replicas.
+        """
+        with self._state_lock:
+            if self._closed:
+                return False
+        slot = self.worker_index(shard_index)
+        process = self._processes[slot]
+        if process is not None:
+            process.kill()
+            process.join(timeout=self.join_timeout)
+        with self._slot_locks[slot]:
+            old_conn = self._connections[slot]
+            self._spawn(slot)
+            self.worker_respawns += 1
+        if old_conn is not None:
+            try:
+                old_conn.close()
+            except OSError:
+                pass
+        return super().abandon(shard_index)
+
+    def close(self) -> None:
+        """Join the pump threads, then shut the worker processes down.
+
+        Pump threads first (they finish queued jobs, whose remote commands
+        need live processes), then a graceful shutdown sentinel down every
+        pipe, escalating to SIGKILL after the join timeout.  Idempotent.
+        """
+        super().close()
+        if self._processes_closed:
+            return
+        self._processes_closed = True
+        leaked = 0
+        for slot in range(self.num_workers):
+            with self._slot_locks[slot]:
+                process = self._processes[slot]
+                connection = self._connections[slot]
+                if process is None:
+                    continue
+                try:
+                    connection.send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+                process.join(timeout=self.join_timeout)
+                if process.is_alive():
+                    process.kill()
+                    process.join(timeout=1.0)
+                    if process.is_alive():  # pragma: no cover - defensive
+                        leaked += 1
+                try:
+                    connection.close()
+                except OSError:
+                    pass
+        if leaked:  # pragma: no cover - defensive
+            self.leaked_workers += leaked
+            warnings.warn(
+                f"ProcessExecutor.close leaked {leaked} worker process(es)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+
 def make_executor(
-    name: str, num_shards: int, num_workers: Optional[int] = None
+    name: str,
+    num_shards: int,
+    num_workers: Optional[int] = None,
+    process_handler: Optional[Callable] = None,
 ) -> ShardExecutor:
-    """Build the executor backend selected by ``ClusterConfig.executor``."""
+    """Build the executor backend selected by ``ClusterConfig.executor``.
+
+    Worker counts are clamped to ``num_shards`` whatever the backend: a
+    worker beyond the shard count can never receive a pinned job (pinning
+    is ``shard % num_workers``), yet it would cost a live thread/process
+    and pollute ``close()``'s join and leak accounting.  The clamp lives in
+    the executor constructors (explicit counts) and in
+    :class:`ProcessExecutor`'s cpu-derived default.
+    """
     if name == "serial":
         return SerialExecutor()
     if name == "thread":
         return ThreadExecutor(num_shards, num_workers)
+    if name == "process":
+        return ProcessExecutor(num_shards, num_workers, handler=process_handler)
     raise ValueError(f"unknown executor backend {name!r}")
 
 

@@ -222,7 +222,7 @@ def run_chaos(seed: int, executor: str):
     return survivors, got, health, casualties
 
 
-@pytest.mark.parametrize("executor", ["serial", "thread"])
+@pytest.mark.parametrize("executor", ["serial", "thread", "process"])
 @pytest.mark.parametrize("seed", [101, 202, 303])
 def test_randomized_chaos_recovery_parity(seed, executor):
     survivors, got, health, casualties = run_chaos(seed, executor)

@@ -280,6 +280,61 @@ class TestSnapshotRestore:
             results.append([(d.stream_id, d.decision.key) for d in emitted])
         assert results[0] == results[1]
 
+    @pytest.mark.parametrize("executor", ["serial", "process"])
+    def test_pickled_snapshot_restore_shares_live_weights(self, executor):
+        """restore() after a pickle round-trip (serialized failover) must
+        re-attach the cluster's live model/spec/config to every session —
+        pickle severs the deepcopy memo sharing, and without the re-attach
+        each session would own a private weight copy — and the replay must
+        be bytes-identical to restoring the in-memory snapshot."""
+        import pickle
+
+        model = make_model("rotary")
+        streams, events = multi_stream_events(seed=47, num_events=200)
+        cut = 120
+        with ServingCluster(
+            model,
+            SPEC,
+            ClusterConfig(
+                num_shards=2, batch_size=4, executor=executor, engine=engine_config()
+            ),
+        ) as cluster:
+            cluster.consume(events[:cut])
+            snapshot = cluster.snapshot()
+            wire_snapshot = pickle.loads(pickle.dumps(snapshot))
+
+            cluster.restore(snapshot)
+            first = cluster.consume(events[cut:])
+            first.extend(cluster.flush())
+
+            cluster.restore(wire_snapshot)
+            # every restored session shares the cluster's live objects
+            count = 0
+            for _, session in cluster.sessions():
+                count += 1
+                assert session.model is cluster.model
+                assert session.spec is cluster.spec
+                assert session.config is cluster.config.engine
+                if session._incremental is not None:
+                    assert session._incremental.model is cluster.model
+            assert count > 0
+
+            second = cluster.consume(events[cut:])
+            second.extend(cluster.flush())
+
+        def decision_bytes(emitted):
+            return pickle.dumps(
+                [
+                    (d.stream_id, d.shard_id, d.decision.key,
+                     d.decision.predicted, d.decision.confidence,
+                     d.decision.observations, d.decision.decision_time,
+                     d.decision.halted_by_policy)
+                    for d in emitted
+                ]
+            )
+
+        assert decision_bytes(first) == decision_bytes(second)
+
     def test_restore_rejects_shard_mismatch(self):
         model = make_model("rotary")
         cluster2 = ServingCluster(model, SPEC, ClusterConfig(num_shards=2))
@@ -356,16 +411,20 @@ class TestAdmissionControl:
             assert all(depth < 4 for depth in cluster.stats()["queue_depths"])
 
 
-class TestParallelExecutorParity:
-    """The thread worker-pool backend must be indistinguishable, decision
-    for decision, from the serial backend — and both must match one
-    sequential engine per stream (the ``executor="thread"`` axis of the
-    parity matrix)."""
+PARALLEL_EXECUTORS = ("thread", "process")
 
+
+class TestParallelExecutorParity:
+    """The thread and process worker backends must be indistinguishable,
+    decision for decision, from the serial backend — and all must match one
+    sequential engine per stream (the ``executor="thread"`` /
+    ``executor="process"`` axes of the parity matrix)."""
+
+    @pytest.mark.parametrize("executor", PARALLEL_EXECUTORS)
     @pytest.mark.parametrize("encoding", ENCODINGS)
     @pytest.mark.parametrize("num_shards", [1, 2, 4])
-    def test_thread_backend_matches_reference_with_evictions(
-        self, encoding, num_shards
+    def test_parallel_backend_matches_reference_with_evictions(
+        self, executor, encoding, num_shards
     ):
         model = make_model(encoding)
         streams, events = multi_stream_events(seed=42)
@@ -377,7 +436,7 @@ class TestParallelExecutorParity:
                 num_shards=num_shards,
                 batch_size=4,
                 batched=True,
-                executor="thread",
+                executor=executor,
                 engine=engine_config(),
             ),
         ) as cluster:
@@ -385,9 +444,12 @@ class TestParallelExecutorParity:
             emitted.extend(cluster.flush())
         assert_stream_parity(by_stream(emitted, streams), expected)
 
+    @pytest.mark.parametrize("executor", PARALLEL_EXECUTORS)
     @pytest.mark.parametrize("encoding", ENCODINGS)
     @pytest.mark.parametrize("num_shards", [1, 2, 4])
-    def test_thread_backend_is_list_identical_to_serial(self, encoding, num_shards):
+    def test_parallel_backend_is_list_identical_to_serial(
+        self, executor, encoding, num_shards
+    ):
         """Same fixed round width => the emitted StreamDecision sequence is
         bit-identical across backends, global interleaving included (the
         stable shard-index / round / intra-round merge order)."""
@@ -416,9 +478,10 @@ class TestParallelExecutorParity:
                 for d in emitted
             ]
 
-        assert serve("serial") == serve("thread")
+        assert serve("serial") == serve(executor)
 
-    def test_thread_backend_expire_parity(self):
+    @pytest.mark.parametrize("executor", PARALLEL_EXECUTORS)
+    def test_parallel_backend_expire_parity(self, executor):
         model = make_model("rotary")
         rng = np.random.default_rng(5)
         streams = [f"stream-{i}" for i in range(4)]
@@ -442,7 +505,7 @@ class TestParallelExecutorParity:
             ClusterConfig(
                 num_shards=2,
                 batch_size=4,
-                executor="thread",
+                executor=executor,
                 engine=engine_config(**overrides),
             ),
         ) as cluster:
@@ -454,7 +517,8 @@ class TestParallelExecutorParity:
             emitted.extend(cluster.flush())
         assert_stream_parity(by_stream(emitted, streams), expected)
 
-    def test_thread_backend_snapshot_restore_replays_identically(self):
+    @pytest.mark.parametrize("executor", PARALLEL_EXECUTORS)
+    def test_parallel_backend_snapshot_restore_replays_identically(self, executor):
         model = make_model("rotary")
         streams, events = multi_stream_events(seed=23, num_events=240)
         cut = 140
@@ -462,7 +526,7 @@ class TestParallelExecutorParity:
             model,
             SPEC,
             ClusterConfig(
-                num_shards=2, batch_size=4, executor="thread", engine=engine_config()
+                num_shards=2, batch_size=4, executor=executor, engine=engine_config()
             ),
         ) as cluster:
             cluster.consume(events[:cut])
@@ -476,17 +540,18 @@ class TestParallelExecutorParity:
             (d.stream_id, d.decision.key, d.decision.confidence) for d in second
         ]
 
-    def test_cluster_close_is_idempotent_and_context_managed(self):
+    @pytest.mark.parametrize("executor", PARALLEL_EXECUTORS)
+    def test_cluster_close_is_idempotent_and_context_managed(self, executor):
         model = make_model("rotary")
         cluster = ServingCluster(
-            model, SPEC, ClusterConfig(num_shards=2, executor="thread")
+            model, SPEC, ClusterConfig(num_shards=2, executor=executor)
         )
         cluster.close()
         cluster.close()
         with ServingCluster(
-            model, SPEC, ClusterConfig(num_shards=2, executor="thread")
+            model, SPEC, ClusterConfig(num_shards=2, executor=executor)
         ) as managed:
-            assert managed.stats()["executor"] == "thread"
+            assert managed.stats()["executor"] == executor
 
     def test_rejects_unknown_executor(self):
         with pytest.raises(ValueError, match="executor"):
@@ -500,7 +565,7 @@ class TestAdaptiveBatchingParity:
 
     @pytest.mark.parametrize("encoding", ENCODINGS)
     @pytest.mark.parametrize("num_shards", [1, 2, 4])
-    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
     def test_auto_batch_matches_reference(self, encoding, num_shards, executor):
         model = make_model(encoding)
         streams, events = multi_stream_events(seed=42)
@@ -739,7 +804,7 @@ class TestSinkDeliveryParity:
     subscribed sink receives exactly the concatenation of every returned
     list, same objects, same order (the sink leg of the parity matrix)."""
 
-    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
     @pytest.mark.parametrize("num_shards", [1, 2, 4])
     def test_sink_matches_returned_lists_fixed_batch(self, executor, num_shards):
         model = make_model("rotary")
@@ -764,7 +829,7 @@ class TestSinkDeliveryParity:
             delivered = sink.take()
         assert delivered == returned
 
-    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
     @pytest.mark.parametrize("num_shards", [1, 2, 4])
     def test_sink_matches_returned_lists_auto_batch(self, executor, num_shards):
         model = make_model("rotary")
@@ -823,7 +888,7 @@ class TestSinkDeliveryParity:
         assert serve("serial") == serve("thread")
 
     @pytest.mark.stress
-    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
     @pytest.mark.parametrize("seed", range(8))
     def test_sink_vs_returned_list_fuzz(self, seed, executor):
         """Weekly randomized sweep: any mix of submits, drains, expiries and
@@ -912,7 +977,7 @@ class TestClusterLockstepStress:
             auto_drain=False if adaptive else bool(rng.random() < 0.7),
             max_queue=len(events) + 1,
             batched=bool(rng.random() < 0.8),
-            executor=str(rng.choice(["serial", "thread"])),
+            executor=str(rng.choice(["serial", "thread", "process"])),
             engine=engine_config(**overrides),
         )
         drain_every = int(rng.integers(10, 60))

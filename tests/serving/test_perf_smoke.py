@@ -92,3 +92,16 @@ def test_thread_executor_drain_at_least_1_5x_serial(parallel_gate_result):
     why the gate skips on single-core machines instead of asserting the
     physically impossible."""
     assert parallel_gate_result["speedup"] >= 1.5, parallel_gate_result
+
+
+@pytest.mark.skipif(
+    _available_cpus() < 2,
+    reason="process-executor speedup is parallelism; it needs >= 2 usable cores",
+)
+def test_process_executor_drain_at_least_1_5x_serial(parallel_gate_result):
+    """Process-backend gate, same geometry as the thread gate: shard rounds
+    run in long-lived worker processes (no shared GIL at all), so the drain
+    must also clear 1.5x serial — the per-round pipe traffic (entries out,
+    decisions back) is the overhead the gate bounds.  Skips on single-core
+    machines for the same physical reason as the thread gate."""
+    assert parallel_gate_result["speedup_process"] >= 1.5, parallel_gate_result
