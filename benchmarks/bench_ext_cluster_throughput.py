@@ -27,6 +27,13 @@ a GIL at all).  Its gate — ``run_parallel_drain_gate``, asserted by ``pytest
 backends each to drain >= 1.5x faster than the serial backend at 4 shards,
 window 128, 64 streams.
 
+The round-transport PR splits the process leg by transport (``process-pipe``
+vs ``process-shm``: pickled payloads over the pipe vs flat-packed payloads
+in per-slot shared-memory rings) and adds ``run_transport_microbench``,
+which drives one process shard per transport through identical batch-8
+rounds and aggregates the caller-side ``remote_call`` telemetry — the
+perf_smoke transport gate asserts shm's serialise cost is <= 0.5x pipe's.
+
 Results are echoed as text and merged into ``BENCH_serving.json`` at the repo
 root so future PRs can track the trajectory.
 """
@@ -64,10 +71,24 @@ BATCH_SIZES = (1, 8, 16)
 
 #: Parallel sweep axes: executor backend x batch policy x traffic shape.
 EXECUTORS = ("serial", "thread", "process")
+#: Parallel sweep legs: ``(executor, transport)``.  The process backend runs
+#: once per round transport so the sweep shows the pipe-vs-shm crossover;
+#: in-process backends have no transport (``None``).
+PARALLEL_LEGS = (
+    ("serial", None),
+    ("thread", None),
+    ("process", "pipe"),
+    ("process", "shm"),
+)
 BATCH_POLICIES = ("fixed", "auto")
 TRAFFIC_SHAPES = ("uniform", "zipf")
 #: Fixed-policy round width of the parallel sweep (the PR-3 sweet spot).
 FIXED_BATCH = 16
+
+
+def leg_label(executor: str, transport) -> str:
+    """Sweep cell prefix: ``process-shm``, ``process-pipe``, or the executor."""
+    return executor if transport is None else f"{executor}-{transport}"
 
 
 def make_model(
@@ -201,6 +222,7 @@ def measure_parallel_drain(
     executor: str,
     batch_policy: str,
     repeats: int = 2,
+    transport: str = "shm",
 ) -> Dict[str, object]:
     """Wall-clock one cluster drain under the drain-scheduling pattern.
 
@@ -208,7 +230,8 @@ def measure_parallel_drain(
     one explicit :meth:`ServingCluster.drain`, which the thread backend runs
     with all shards overlapped on the pinned worker pool.  Each repeat
     serves a fresh cluster; the fastest repeat is kept (the least
-    scheduler-contaminated estimate).
+    scheduler-contaminated estimate).  ``transport`` picks the process
+    backend's round transport (ignored by in-process executors).
     """
     best: Dict[str, object] = {}
     for _ in range(repeats):
@@ -219,6 +242,7 @@ def measure_parallel_drain(
             auto_drain=False,
             max_queue=len(events) + 1,
             executor=executor,
+            transport=transport,
             # halt_threshold=1.0 keeps every key pending — the worst case,
             # where no early decision shrinks any session's work.
             engine=EngineConfig(window_items=window, halt_threshold=1.0),
@@ -230,6 +254,8 @@ def measure_parallel_drain(
             cluster.drain()
             elapsed = time.perf_counter() - start
             stats = cluster.stats()
+        transport_bytes = stats.get("transport_bytes") or {}
+        serialize_ms = stats.get("transport_serialize_ms") or {}
         measured = {
             "elapsed_s": elapsed,
             "throughput_items_per_sec": len(events) / elapsed,
@@ -238,6 +264,9 @@ def measure_parallel_drain(
             "batched_rows": stats["batched_rows"],
             "round_latency_p50_ms": stats["round_latency_ms"]["p50"],
             "round_latency_p99_ms": stats["round_latency_ms"]["p99"],
+            "transport": stats.get("transport"),
+            "transport_bytes_per_round": transport_bytes.get("mean", 0.0),
+            "serialize_ms_p50": serialize_ms.get("p50", 0.0),
         }
         if not best or measured["elapsed_s"] < best["elapsed_s"]:
             best = measured
@@ -265,17 +294,26 @@ def run_parallel_throughput(
         grid: Dict[str, Dict[str, object]] = {}
         for num_shards in SHARD_COUNTS:
             row: Dict[str, object] = {}
-            for executor in EXECUTORS:
+            for executor, transport in PARALLEL_LEGS:
                 for policy in BATCH_POLICIES:
-                    row[f"{executor}/{policy}"] = measure_parallel_drain(
-                        model, events, window, num_shards, executor, policy
+                    row[f"{leg_label(executor, transport)}/{policy}"] = (
+                        measure_parallel_drain(
+                            model,
+                            events,
+                            window,
+                            num_shards,
+                            executor,
+                            policy,
+                            transport=transport or "shm",
+                        )
                     )
             for policy in BATCH_POLICIES:
                 serial_rate = row[f"serial/{policy}"]["throughput_items_per_sec"]
-                for executor in EXECUTORS:
-                    if executor == "serial":
+                for executor, transport in PARALLEL_LEGS:
+                    label = leg_label(executor, transport)
+                    if label == "serial":
                         continue
-                    cell = row[f"{executor}/{policy}"]
+                    cell = row[f"{label}/{policy}"]
                     cell["speedup_vs_serial"] = (
                         cell["throughput_items_per_sec"] / serial_rate
                     )
@@ -289,6 +327,7 @@ def run_parallel_throughput(
         "fixed_batch": FIXED_BATCH,
         "cpus": available_cpus(),
         "traffic": traffic,
+        "transport_microbench": run_transport_microbench(seed=seed),
     }
     if emit_json:
         write_bench_json("parallel_throughput", result)
@@ -316,12 +355,21 @@ def run_parallel_drain_gate(
     model = make_model(seed=seed, window=window, d_model=96, ffn_hidden=192)
     events = make_traffic(num_streams, 128, 48, seed=seed, stream_skew=0.0)
     cells = {
-        executor: measure_parallel_drain(
-            model, events, window, num_shards, executor, "fixed", repeats=repeats
+        leg_label(executor, transport): measure_parallel_drain(
+            model,
+            events,
+            window,
+            num_shards,
+            executor,
+            "fixed",
+            repeats=repeats,
+            transport=transport or "shm",
         )
-        for executor in EXECUTORS
+        for executor, transport in PARALLEL_LEGS
     }
     serial_rate = cells["serial"]["throughput_items_per_sec"]
+    shm_rate = cells["process-shm"]["throughput_items_per_sec"]
+    pipe_rate = cells["process-pipe"]["throughput_items_per_sec"]
     return {
         "window": window,
         "num_streams": num_streams,
@@ -330,12 +378,90 @@ def run_parallel_drain_gate(
         "cpus": available_cpus(),
         "serial": cells["serial"],
         "thread": cells["thread"],
-        "process": cells["process"],
+        # Canonical process leg = the default transport (shm where available).
+        "process": cells["process-shm"],
+        "process_pipe": cells["process-pipe"],
         "speedup": cells["thread"]["throughput_items_per_sec"] / serial_rate,
-        "speedup_process": (
-            cells["process"]["throughput_items_per_sec"] / serial_rate
+        "speedup_process": shm_rate / serial_rate,
+        "speedup_process_pipe": pipe_rate / serial_rate,
+        "shm_vs_pipe": shm_rate / pipe_rate,
+        "transport_microbench": run_transport_microbench(
+            window=window, batch=8, seed=seed
         ),
     }
+
+
+def run_transport_microbench(
+    window: int = 128,
+    batch: int = 8,
+    seed: int = 0,
+    rounds: int = 200,
+    warmup: int = 25,
+) -> Dict[str, object]:
+    """Per-round transport cost at the gate geometry (window 128, batch 8).
+
+    Drives one process shard per transport through identical ``batch``-wide
+    bulk ``round`` calls and aggregates the caller-side ``remote_call``
+    telemetry — payload bytes per round and encode+decode serialise
+    wall-clock — after discarding ``warmup`` cold rounds (import caches,
+    allocator warm-up).  The perf_smoke transport gate asserts the shm/pipe
+    serialise ratio from these numbers; the means are exact, unlike the
+    log2-bucketed histogram summaries in ``stats()``.
+    """
+    from repro.data.stream import StreamEvent
+
+    model = make_model(seed=seed, window=window, d_model=96, ffn_hidden=192)
+    rng = np.random.default_rng(seed)
+    out: Dict[str, object] = {"window": window, "batch": batch, "rounds": rounds}
+    for transport in ("pipe", "shm"):
+        config = ClusterConfig(
+            num_shards=1,
+            batch_size=batch,
+            batched=True,
+            auto_drain=False,
+            executor="process",
+            transport=transport,
+            engine=EngineConfig(window_items=window, halt_threshold=1.0),
+        )
+        with ServingCluster(model, SPEC, config) as cluster:
+            shard = cluster.shards[0]
+            remote = shard._remote
+            byte_counts: List[float] = []
+            serialize_ms: List[float] = []
+            step = 0
+            for index in range(rounds + warmup):
+                entries = []
+                for _ in range(batch):
+                    stream_id = f"stream-{step % batch}"
+                    item = Item(
+                        f"flow-{step % batch}",
+                        (int(rng.integers(8)), int(rng.integers(2))),
+                        float(step),
+                    )
+                    entries.append(
+                        (stream_id, StreamEvent(float(step), item, stream_id))
+                    )
+                    step += 1
+                telemetry: Dict[str, float] = {}
+                remote.remote_call(
+                    shard.shard_id, "round", {"entries": entries}, telemetry=telemetry
+                )
+                if index >= warmup:
+                    byte_counts.append(telemetry.get("bytes", 0.0))
+                    serialize_ms.append(telemetry.get("serialize_ms", 0.0))
+            out[transport] = {
+                "transport_actual": remote.transport,
+                "bytes_per_round": float(np.mean(byte_counts)),
+                "serialize_ms_mean": float(np.mean(serialize_ms)),
+                "serialize_ms_p50": float(np.median(serialize_ms)),
+            }
+    out["shm_vs_pipe_serialize"] = (
+        out["shm"]["serialize_ms_mean"] / out["pipe"]["serialize_ms_mean"]
+    )
+    out["shm_vs_pipe_bytes"] = (
+        out["shm"]["bytes_per_round"] / out["pipe"]["bytes_per_round"]
+    )
+    return out
 
 
 def run_batch_speedup(
@@ -448,11 +574,32 @@ def render_parallel(result: Dict[str, object]) -> str:
             for cell_name, cell in row.items():
                 speedup = cell.get("speedup_vs_serial")
                 suffix = f"  ({speedup:5.2f}x vs serial)" if speedup else ""
+                if cell.get("transport"):
+                    suffix += (
+                        f"  [{cell['transport_bytes_per_round']:.0f} B/round, "
+                        f"ser p50 {cell['serialize_ms_p50']:.3f}ms]"
+                    )
                 lines.append(
-                    f"    shards={num_shards}  {cell_name:<12} "
+                    f"    shards={num_shards}  {cell_name:<17} "
                     f"{cell['throughput_items_per_sec']:10.1f} items/s  "
                     f"p99 round {cell['round_latency_p99_ms']:6.2f}ms{suffix}"
                 )
+    micro = result.get("transport_microbench")
+    if micro:
+        lines.append(
+            f"  transport microbench (window={micro['window']} batch={micro['batch']}):"
+        )
+        for transport in ("pipe", "shm"):
+            cell = micro[transport]
+            lines.append(
+                f"    {transport:<5} {cell['bytes_per_round']:8.0f} B/round  "
+                f"serialize mean {cell['serialize_ms_mean']:.4f}ms  "
+                f"p50 {cell['serialize_ms_p50']:.4f}ms"
+            )
+        lines.append(
+            f"    shm/pipe serialize ratio {micro['shm_vs_pipe_serialize']:.3f}  "
+            f"bytes ratio {micro['shm_vs_pipe_bytes']:.3f}"
+        )
     return "\n".join(lines)
 
 
@@ -468,13 +615,13 @@ def test_parallel_throughput(benchmark, scale_name):
     print("\n" + rendered)
     # Thread-pool speedup is asserted by the perf_smoke gate (which skips on
     # single-core machines); here we only require the sweep to be complete
-    # and the thread backend to not corrupt throughput accounting.
+    # and the parallel backends to not corrupt throughput accounting.
     for shape in TRAFFIC_SHAPES:
         for num_shards in SHARD_COUNTS:
             row = result["traffic"][shape]["shards"][str(num_shards)]
             assert set(row) == {
-                f"{executor}/{policy}"
-                for executor in EXECUTORS
+                f"{leg_label(executor, transport)}/{policy}"
+                for executor, transport in PARALLEL_LEGS
                 for policy in BATCH_POLICIES
             }
 

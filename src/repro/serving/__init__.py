@@ -21,8 +21,11 @@ the serving-side counterpart, layered session → shard → cluster → gateway:
   *batched* row encoding (overlapped across cores by the
   :mod:`~repro.serving.parallel` thread backend, or executed in long-lived
   worker *processes* by the GIL-free process backend —
-  ``ClusterConfig.executor="process"``), and supports snapshot/restore plus
-  an explicit running → draining → closed lifecycle,
+  ``ClusterConfig.executor="process"``, whose per-round payloads ride the
+  pluggable :mod:`~repro.serving.transport` layer: flat columnar
+  shared-memory rings by default, pickle-over-pipe as the portable
+  fallback), and supports snapshot/restore plus an explicit
+  running → draining → closed lifecycle,
 * **push-based delivery** — :meth:`~repro.serving.cluster.ServingCluster.submit`
   returns a :class:`~repro.serving.results.SubmitResult` (explicit
   ``accepted`` / ``decided`` / ``rejected`` / ``shed`` admission outcome +
@@ -125,6 +128,14 @@ from repro.serving.supervisor import (
     ShardSupervisor,
     SupervisorConfig,
 )
+from repro.serving.transport import (
+    DEFAULT_RING_BYTES,
+    PipeTransport,
+    RoundTransport,
+    ShmRing,
+    ShmTransport,
+    shm_available,
+)
 
 __all__ = [
     "Decision",
@@ -171,6 +182,12 @@ __all__ = [
     "ReplicaLostError",
     "AdaptiveBatchConfig",
     "AdaptiveBatchController",
+    "DEFAULT_RING_BYTES",
+    "RoundTransport",
+    "PipeTransport",
+    "ShmTransport",
+    "ShmRing",
+    "shm_available",
     "ArrivalSimulator",
     "SimulatorConfig",
     "MultiStreamConfig",

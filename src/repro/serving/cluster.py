@@ -169,6 +169,7 @@ from repro.serving.parallel import (
     WorkerCrashedError,
     make_executor,
 )
+from repro.serving.transport import DEFAULT_RING_BYTES
 
 
 class ShardOverloadError(RuntimeError):
@@ -251,6 +252,18 @@ class ClusterConfig:
         shard).  Default: one thread per shard, or one process per usable
         core (``min(available_cpus(), num_shards)``).  Ignored by the
         serial backend.
+    transport:
+        How bulk round payloads cross the process boundary
+        (``executor="process"`` only; see :mod:`repro.serving.transport`).
+        ``"shm"`` (default) packs entries/decisions into per-slot
+        shared-memory rings and shrinks the pipe to a small control
+        message; ``"pipe"`` pickles them over the pipe.  ``"shm"`` falls
+        back to ``"pipe"`` automatically where shared memory is unusable,
+        and per-payload when a round outgrows its ring — decisions are
+        identical either way, only the copy cost differs.
+    transport_ring_bytes:
+        Per-direction ring capacity of the ``"shm"`` transport (default
+        1 MiB per direction per executor slot).
     adaptive:
         Controller knobs used when ``batch_size="auto"``
         (:class:`~repro.serving.parallel.AdaptiveBatchConfig`).
@@ -280,6 +293,8 @@ class ClusterConfig:
     auto_drain: bool = True
     executor: str = "serial"
     num_workers: Optional[int] = None
+    transport: str = "shm"
+    transport_ring_bytes: int = DEFAULT_RING_BYTES
     adaptive: AdaptiveBatchConfig = field(default_factory=AdaptiveBatchConfig)
     stats_window: float = 60.0
     supervision: SupervisorConfig = field(default_factory=SupervisorConfig)
@@ -305,6 +320,12 @@ class ClusterConfig:
             raise ValueError(f"unknown overflow policy {self.overflow!r}")
         if self.executor not in ("serial", "thread", "process"):
             raise ValueError(f"unknown executor backend {self.executor!r}")
+        if self.transport not in ("pipe", "shm"):
+            raise ValueError(
+                f"unknown transport {self.transport!r}; expected 'pipe' or 'shm'"
+            )
+        if self.transport_ring_bytes <= 0:
+            raise ValueError("transport_ring_bytes must be positive")
         if self.num_workers is not None and self.num_workers <= 0:
             raise ValueError("num_workers must be positive")
         if self.stats_window <= 0:
@@ -958,8 +979,12 @@ class ShardWorker:
             # cross the process boundary, which is what keeps ``limit``-ed
             # specs from re-firing after a respawn).
             self._fire_fault("session-encode")
+            transport_info: Dict[str, float] = {}
             reply = self._remote.remote_call(
-                self.shard_id, "round", {"entries": round_entries}
+                self.shard_id,
+                "round",
+                {"entries": round_entries},
+                telemetry=transport_info,
             )
             emitted: List[StreamDecision] = list(reply["decisions"])
         else:
@@ -986,6 +1011,10 @@ class ShardWorker:
         self.monitor.observe_round(depth_before, len(round_entries), elapsed_ms)
         if reply is not None:
             self.monitor.observe_encode(reply["encode_ms"])
+            self.monitor.observe_transport(
+                transport_info.get("bytes", 0.0),
+                transport_info.get("serialize_ms", 0.0),
+            )
         if self.controller is not None:
             self.controller.observe_round(
                 self.queue_depth, len(round_entries), elapsed_ms
@@ -1281,6 +1310,8 @@ class ServingCluster:
             self.config.num_shards,
             self.config.num_workers,
             process_handler=shard_replica_handler,
+            transport=self.config.transport,
+            transport_ring_bytes=self.config.transport_ring_bytes,
         )
         self.shards = [
             ShardWorker(index, model, spec, self.config, executor=self._executor)
@@ -1795,6 +1826,10 @@ class ServingCluster:
         return {
             "num_shards": len(self.shards),
             "executor": self.config.executor,
+            # The transport the process executor actually runs (shm can
+            # resolve to pipe where shared memory is unusable); None for
+            # the in-process backends, which have no transport at all.
+            "transport": getattr(self._executor, "transport", None),
             "state": self._state,
             "num_sessions": self.num_sessions,
             "num_decided": self.num_decided,
@@ -1811,6 +1846,8 @@ class ServingCluster:
             "rounds": merged_monitor.rounds,
             "round_latency_ms": merged_monitor.round_latency_ms.summary(),
             "encode_latency_ms": merged_monitor.encode_latency_ms.summary(),
+            "transport_bytes": merged_monitor.transport_bytes.summary(),
+            "transport_serialize_ms": merged_monitor.serialize_ms.summary(),
             "round_queue_depth": merged_monitor.queue_depth.summary(),
             "round_widths": [shard.round_width() for shard in self.shards],
             "shard_monitors": [shard.monitor.snapshot() for shard in self.shards],

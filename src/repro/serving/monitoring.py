@@ -388,6 +388,10 @@ class ShardMonitorSnapshot:
     queue_depth: HistogramSnapshot
     #: Worker-process encode latency (process backend only; empty otherwise).
     encode_latency_ms: Optional[HistogramSnapshot] = None
+    #: Per-round transport payload bytes (process backend only).
+    transport_bytes: Optional[HistogramSnapshot] = None
+    #: Per-round caller-side encode+decode wall-clock (process backend only).
+    serialize_ms: Optional[HistogramSnapshot] = None
 
 
 class ShardMonitor:
@@ -403,8 +407,12 @@ class ShardMonitor:
     Under the process backend each round also reports the wall-clock cost
     of its replica-side serving (``encode_latency_ms`` — the worker-process
     slice of the round, measured inside the worker and shipped back with
-    the decisions).  The histogram stays empty on the serial and thread
-    backends; the round/encode gap is the pipe + pickle overhead.
+    the decisions) plus the round-transport cost of shipping it:
+    ``transport_bytes`` (bulk payload bytes, entries out + decisions back)
+    and ``serialize_ms`` (the caller-side encode+decode wall-clock — the
+    pickling cost on the pipe transport, the flat-pack copy cost on the
+    shm transport).  All three histograms stay empty on the serial and
+    thread backends.
     """
 
     def __init__(self) -> None:
@@ -413,6 +421,8 @@ class ShardMonitor:
         self.round_latency_ms = Log2Histogram()
         self.queue_depth = Log2Histogram()
         self.encode_latency_ms = Log2Histogram()
+        self.transport_bytes = Log2Histogram()
+        self.serialize_ms = Log2Histogram()
 
     def observe_round(self, queue_depth: int, rows: int, elapsed_ms: float) -> None:
         """Record one drain round: depth at round start, rows served, cost."""
@@ -425,17 +435,23 @@ class ShardMonitor:
         """Record one round's worker-reported encode latency (process)."""
         self.encode_latency_ms.observe(elapsed_ms)
 
+    def observe_transport(self, nbytes: float, serialize_ms: float) -> None:
+        """Record one round's transport cost (process backend)."""
+        self.transport_bytes.observe(nbytes)
+        self.serialize_ms.observe(serialize_ms)
+
     def merge(self, other: "ShardMonitor") -> "ShardMonitor":
         """Fold another shard's telemetry in; returns ``self`` for chaining."""
         self.rounds += other.rounds
         self.rows += other.rows
         self.round_latency_ms.merge(other.round_latency_ms)
         self.queue_depth.merge(other.queue_depth)
-        # Monitors restored from pre-process-backend checkpoints/pickles may
-        # lack the encode histogram; treat a missing one as empty.
-        other_encode = getattr(other, "encode_latency_ms", None)
-        if other_encode is not None:
-            self.encode_latency_ms.merge(other_encode)
+        # Monitors restored from checkpoints/pickles recorded before these
+        # histograms existed may lack them; treat a missing one as empty.
+        for name in ("encode_latency_ms", "transport_bytes", "serialize_ms"):
+            other_hist = getattr(other, name, None)
+            if other_hist is not None:
+                getattr(self, name).merge(other_hist)
         return self
 
     @classmethod
@@ -453,6 +469,8 @@ class ShardMonitor:
             round_latency_ms=self.round_latency_ms.snapshot(),
             queue_depth=self.queue_depth.snapshot(),
             encode_latency_ms=self.encode_latency_ms.snapshot(),
+            transport_bytes=self.transport_bytes.snapshot(),
+            serialize_ms=self.serialize_ms.snapshot(),
         )
 
 

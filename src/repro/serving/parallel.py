@@ -29,9 +29,14 @@ module supplies the pieces that turn "sharded" into "scales with cores":
     orchestration — queueing, supervision, sink publication — while the
     heavy per-round session work executes in the shard's worker process
     against a process-resident replica (see
-    :mod:`repro.serving.cluster`); arrivals travel down the pipe and
-    per-round decision/telemetry reports travel back (shared-memory numpy
-    rings are a follow-on).  A worker process is (re)spawned seeded from
+    :mod:`repro.serving.cluster`); arrivals travel to the worker and
+    per-round decision/telemetry reports travel back over a pluggable
+    **round transport** (:mod:`repro.serving.transport`): ``"shm"``
+    (default) packs the bulk payloads into per-slot shared-memory rings and
+    shrinks the pipe to a small control message, ``"pipe"`` is the portable
+    pickle-over-pipe path and the automatic fallback when shared memory is
+    unavailable or a payload outgrows its ring.  A worker process is
+    (re)spawned seeded from
     the shard's pickled checkpoint, :meth:`ProcessExecutor.abandon` is
     *real* process termination (SIGKILL) + respawn-from-checkpoint, and a
     killed worker's stale reports are dropped by the same supervisor epoch
@@ -78,10 +83,19 @@ import multiprocessing
 import os
 import signal
 import threading
+import time
 import warnings
 from dataclasses import dataclass
 from queue import Empty, SimpleQueue
-from typing import Any, Callable, List, Optional, Sequence, TypeVar
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.serving.transport import (
+    DEFAULT_RING_BYTES,
+    REQUEST_BULK_OPS,
+    make_round_transport,
+    make_worker_transport,
+    shm_available,
+)
 
 T = TypeVar("T")
 
@@ -96,6 +110,7 @@ __all__ = [
     "JobHandle",
     "make_executor",
     "available_cpus",
+    "shm_available",
     "AdaptiveBatchConfig",
     "AdaptiveBatchController",
 ]
@@ -461,14 +476,18 @@ class ThreadExecutor(ShardExecutor):
             )
 
 
-def _process_worker_main(conn, handler) -> None:
+def _process_worker_main(conn, handler, transport_args=None) -> None:
     """Command loop of one worker process.
 
     Owns a ``shard_id -> replica`` registry (opaque to this module: the
     ``handler`` populates and consults it) and answers ``(op, shard_id,
-    payload)`` requests with ``("ok", reply)`` / ``("err", exception)``
-    tuples.  ``None`` is the graceful-shutdown sentinel; EOF (the parent
-    closed or swapped the pipe) exits too.
+    wire)`` requests with ``("ok", wire)`` / ``("err", exception)`` tuples.
+    Bulk payloads (round entries in, decision lists out) are translated by
+    the worker-side round transport built from ``transport_args`` —
+    shared-memory ring attachments for ``"shm"``, explicit pickling for
+    ``"pipe"`` — while error replies and control-plane ops stay plain
+    pickled objects on the pipe.  ``None`` is the graceful-shutdown
+    sentinel; EOF (the parent closed or swapped the pipe) exits too.
 
     Injected hard crashes are *real* here: a handler raising
     :class:`~repro.serving.faults.ShardKilled` gets its error reply flushed
@@ -478,6 +497,7 @@ def _process_worker_main(conn, handler) -> None:
     from outside, so this in-process escalation is the fallback for kills
     raised by replica-side code itself.)
     """
+    transport = make_worker_transport(transport_args)
     replicas: dict = {}
     while True:
         try:
@@ -490,10 +510,11 @@ def _process_worker_main(conn, handler) -> None:
             except OSError:
                 pass
             return
-        op, shard_index, payload = message
+        op, shard_index, wire = message
         dying = False
         try:
-            reply = ("ok", handler(replicas, op, shard_index, payload))
+            payload = transport.decode_request(op, wire)
+            reply = ("ok", transport.encode_reply(op, handler(replicas, op, shard_index, payload)))
         except BaseException as error:
             dying = type(error).__name__ == "ShardKilled"
             try:
@@ -545,7 +566,14 @@ class ProcessExecutor(ThreadExecutor):
     ``handler`` is the worker-side command interpreter — a picklable
     module-level function ``handler(replicas, op, shard_id, payload)``
     (defaults to the serving cluster's shard-replica handler).  The
-    executor itself is transport only: pipes, processes, liveness.
+    executor itself is transport only: pipes, rings, processes, liveness.
+
+    ``transport`` selects how bulk round payloads cross the process
+    boundary (see :mod:`repro.serving.transport`): ``"shm"`` (default)
+    ships entries/decisions through per-slot shared-memory rings of
+    ``transport_ring_bytes`` each, falling back to ``"pipe"`` automatically
+    where shared memory is unusable; ``"pipe"`` pickles the payloads.  The
+    resolved choice is exposed as :attr:`transport`.
     """
 
     def __init__(
@@ -556,6 +584,8 @@ class ProcessExecutor(ThreadExecutor):
         join_timeout: float = 5.0,
         handler: Optional[Callable] = None,
         start_method: Optional[str] = None,
+        transport: str = "shm",
+        transport_ring_bytes: int = DEFAULT_RING_BYTES,
     ) -> None:
         if num_workers is None:
             # Default one worker per usable core, clamped to the shard count
@@ -565,6 +595,18 @@ class ProcessExecutor(ThreadExecutor):
         if handler is None:
             from repro.serving.cluster import shard_replica_handler as handler
         self._handler = handler
+        if transport not in ("pipe", "shm"):
+            raise ValueError(
+                f"unknown transport {transport!r}; expected 'pipe' or 'shm'"
+            )
+        if transport_ring_bytes <= 0:
+            raise ValueError(
+                f"transport_ring_bytes must be positive, got {transport_ring_bytes}"
+            )
+        #: The transport the executor actually runs ("shm" silently resolves
+        #: to "pipe" on platforms without working shared memory).
+        self.transport = transport if shm_available() else "pipe"
+        self.transport_ring_bytes = int(transport_ring_bytes)
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else "spawn"
@@ -575,6 +617,12 @@ class ProcessExecutor(ThreadExecutor):
         self._slot_locks = [threading.Lock() for _ in range(self.num_workers)]
         self._processes: List[Optional[Any]] = [None] * self.num_workers
         self._connections: List[Optional[Any]] = [None] * self.num_workers
+        #: One caller-side round transport per slot; rings are (re)allocated
+        #: by ``_spawn`` so each worker generation gets fresh segments.
+        self._transports = [
+            make_round_transport(self.transport, self.transport_ring_bytes)
+            for _ in range(self.num_workers)
+        ]
         #: Lifetime count of worker-process respawns (kills + crashes).
         self.worker_respawns = 0
         self._processes_closed = False
@@ -585,10 +633,14 @@ class ProcessExecutor(ThreadExecutor):
     # process lifecycle
     # ------------------------------------------------------------------ #
     def _spawn(self, slot: int) -> None:
+        # Fresh rings per worker generation: a SIGKILLed predecessor may have
+        # died mid-write, so a respawn must never inherit its segments — and
+        # the old segments are unlinked here, so respawns cannot leak shm.
+        self._transports[slot].reallocate()
         parent_conn, child_conn = self._mp_context.Pipe(duplex=True)
         process = self._mp_context.Process(
             target=_process_worker_main,
-            args=(child_conn, self._handler),
+            args=(child_conn, self._handler, self._transports[slot].worker_args()),
             name=f"{self._name_prefix}-proc-{slot}",
             daemon=True,
         )
@@ -596,6 +648,13 @@ class ProcessExecutor(ThreadExecutor):
         child_conn.close()
         self._connections[slot] = parent_conn
         self._processes[slot] = process
+
+    def shm_segment_names(self) -> Tuple[str, ...]:
+        """Names of every live shared-memory segment (leak tests)."""
+        names: List[str] = []
+        for transport in self._transports:
+            names.extend(transport.segment_names())
+        return tuple(names)
 
     def worker_pid(self, shard_index: int) -> Optional[int]:
         """The pid of the shard's current worker process (tests/chaos)."""
@@ -650,16 +709,28 @@ class ProcessExecutor(ThreadExecutor):
     # ------------------------------------------------------------------ #
     # remote commands (the cluster's pipe to the shard replicas)
     # ------------------------------------------------------------------ #
-    def remote_call(self, shard_index: int, op: str, payload: object = None):
+    def remote_call(
+        self,
+        shard_index: int,
+        op: str,
+        payload: object = None,
+        telemetry: Optional[Dict[str, float]] = None,
+    ):
         """Send one command to the shard's worker process; await its reply.
 
         Serialised per slot: a send+recv pair is atomic against concurrent
         callers and against respawn's pipe swap, so one caller can never
-        read another's reply.  An execution context the executor has
-        abandoned is fenced out *before* it can touch the replacement
-        pipe — its command fails as :class:`WorkerCrashedError` and the
-        resulting stale failure report is dropped by the supervisor's epoch
-        guard.  Error replies re-raise the worker-side exception here.
+        read another's reply — and so the slot's transport rings hold at
+        most one in-flight payload per direction.  An execution context the
+        executor has abandoned is fenced out *before* it can touch the
+        replacement pipe — its command fails as
+        :class:`WorkerCrashedError` and the resulting stale failure report
+        is dropped by the supervisor's epoch guard.  Error replies re-raise
+        the worker-side exception here.
+
+        ``telemetry``, when given, is filled with the caller-side transport
+        cost of this command: ``bytes`` (bulk payload bytes in+out) and
+        ``serialize_ms`` (encode+decode wall-clock).
         """
         if not 0 <= shard_index < self.num_shards:
             raise IndexError(f"shard index {shard_index} out of range")
@@ -672,16 +743,29 @@ class ProcessExecutor(ThreadExecutor):
                 )
             connection = self._connections[slot]
             process = self._processes[slot]
+            transport = self._transports[slot]
             if connection is None:
                 raise WorkerCrashedError(f"worker slot {slot} has no process")
             try:
-                connection.send((op, shard_index, payload))
+                tick = time.perf_counter()
+                wire, bytes_out = transport.encode_request(op, payload)
+                serialize_s = time.perf_counter() - tick
+                connection.send((op, shard_index, wire))
                 status, value = connection.recv()
+                if status == "ok":
+                    tick = time.perf_counter()
+                    value, bytes_in = transport.decode_reply(op, value, shard_index)
+                    serialize_s += time.perf_counter() - tick
+                else:
+                    bytes_in = 0
             except (EOFError, BrokenPipeError, OSError) as error:
                 raise WorkerCrashedError(
                     f"worker process of slot {slot} (pid "
                     f"{getattr(process, 'pid', None)}) died during {op!r}"
                 ) from error
+        if telemetry is not None:
+            telemetry["bytes"] = float(bytes_out + bytes_in)
+            telemetry["serialize_ms"] = serialize_s * 1000.0
         if status == "err":
             raise value
         return value
@@ -756,6 +840,11 @@ class ProcessExecutor(ThreadExecutor):
                     connection.close()
                 except OSError:
                     pass
+        # Processes are down: unlink every transport segment.  This is the
+        # only other place (besides respawn's reallocate) segments die, so
+        # close() leaves no shared memory behind.
+        for transport in self._transports:
+            transport.close()
         if leaked:  # pragma: no cover - defensive
             self.leaked_workers += leaked
             warnings.warn(
@@ -770,6 +859,8 @@ def make_executor(
     num_shards: int,
     num_workers: Optional[int] = None,
     process_handler: Optional[Callable] = None,
+    transport: str = "shm",
+    transport_ring_bytes: int = DEFAULT_RING_BYTES,
 ) -> ShardExecutor:
     """Build the executor backend selected by ``ClusterConfig.executor``.
 
@@ -778,23 +869,89 @@ def make_executor(
     is ``shard % num_workers``), yet it would cost a live thread/process
     and pollute ``close()``'s join and leak accounting.  The clamp lives in
     the executor constructors (explicit counts) and in
-    :class:`ProcessExecutor`'s cpu-derived default.
+    :class:`ProcessExecutor`'s cpu-derived default.  ``transport`` /
+    ``transport_ring_bytes`` only matter to the process backend.
     """
     if name == "serial":
         return SerialExecutor()
     if name == "thread":
         return ThreadExecutor(num_shards, num_workers)
     if name == "process":
-        return ProcessExecutor(num_shards, num_workers, handler=process_handler)
+        return ProcessExecutor(
+            num_shards,
+            num_workers,
+            handler=process_handler,
+            transport=transport,
+            transport_ring_bytes=transport_ring_bytes,
+        )
     raise ValueError(f"unknown executor backend {name!r}")
 
 
-def available_cpus() -> int:
-    """CPUs actually available to this process (affinity-aware)."""
+#: cgroup CPU-quota files, monkeypatchable in tests.  v2 first (one file,
+#: "``<quota> <period>``" or "``max <period>``"), then the v1 pair.
+_CGROUP_V2_CPU_MAX = "/sys/fs/cgroup/cpu.max"
+_CGROUP_V1_CFS_QUOTA = "/sys/fs/cgroup/cpu/cpu.cfs_quota_us"
+_CGROUP_V1_CFS_PERIOD = "/sys/fs/cgroup/cpu/cpu.cfs_period_us"
+
+
+def _read_first_line(path: str) -> Optional[str]:
     try:
-        return len(os.sched_getaffinity(0))
+        with open(path, "r") as handle:
+            return handle.readline().strip()
+    except (OSError, ValueError):
+        return None
+
+
+def _cgroup_cpu_limit() -> Optional[int]:
+    """Whole-CPU ceiling from the container's cgroup CFS quota, if any.
+
+    A box with 64 affinity CPUs but a ``200000 100000`` quota can only ever
+    run 2 CPUs' worth of work — spawning 64 workers there just multiplies
+    context-switch pressure.  Fractional quotas round up (a 0.5-CPU
+    container still gets one worker).  Returns ``None`` when unlimited,
+    unreadable, or not under a CPU cgroup at all.
+    """
+    line = _read_first_line(_CGROUP_V2_CPU_MAX)
+    if line is not None:
+        parts = line.split()
+        if len(parts) == 2 and parts[0] != "max":
+            try:
+                quota, period = int(parts[0]), int(parts[1])
+            except ValueError:
+                return None
+            if quota > 0 and period > 0:
+                return max(1, math.ceil(quota / period))
+        return None
+    quota_line = _read_first_line(_CGROUP_V1_CFS_QUOTA)
+    period_line = _read_first_line(_CGROUP_V1_CFS_PERIOD)
+    if quota_line is None or period_line is None:
+        return None
+    try:
+        quota, period = int(quota_line), int(period_line)
+    except ValueError:
+        return None
+    if quota <= 0 or period <= 0:  # -1 means unlimited
+        return None
+    return max(1, math.ceil(quota / period))
+
+
+def available_cpus() -> int:
+    """CPUs actually available to this process.
+
+    Affinity-aware (``sched_getaffinity`` sees cpusets and taskset masks,
+    where ``os.cpu_count()`` reports the whole machine) *and* cgroup-aware:
+    a CFS bandwidth quota caps the answer too, so default worker counts do
+    not oversubscribe quota-limited containers whose affinity mask still
+    shows every host core.
+    """
+    try:
+        count = len(os.sched_getaffinity(0))
     except AttributeError:  # platforms without sched_getaffinity
-        return os.cpu_count() or 1
+        count = os.cpu_count() or 1
+    quota = _cgroup_cpu_limit()
+    if quota is not None:
+        count = min(count, quota)
+    return max(1, count)
 
 
 # ---------------------------------------------------------------------- #

@@ -1,0 +1,843 @@
+"""Round transports: how bulk payloads cross the process-backend boundary.
+
+The process executor (:mod:`repro.serving.parallel`) sends every remote call
+as a small ``(op, shard_index, wire)`` tuple over the slot's duplex
+:class:`multiprocessing.Pipe` and receives ``("ok", wire)`` / ``("err", exc)``
+back.  What *wire* is — and how expensive producing it is — is this module's
+concern:
+
+- ``transport="pipe"`` pickles the bulk payloads explicitly
+  (:class:`PipeTransport`), so the pipe carries one pre-serialised byte
+  string per direction.  Portable everywhere, O(pickle) per round.
+- ``transport="shm"`` (:class:`ShmTransport`) preallocates, per executor
+  slot, a pair of fixed-size shared-memory ring buffers — entries out,
+  decisions back.  Numeric event fields are packed into flat numpy views
+  over the ring, variable-length parts (stream ids, keys, sources) go
+  through a compact length-prefixed byte region, and the pipe shrinks to a
+  small control message carrying the ring offset and the reply's counter
+  deltas — per-round cost O(copy) instead of O(pickle).
+
+Only *bulk* ops ride the transport (``REQUEST_BULK_OPS`` /
+``REPLY_BULK_OPS``); control-plane ops (``seed``, ``capture``, ``counts``)
+and error replies keep the plain pickled-object pipe path.  A payload that
+does not fit its ring slot — or contains values the flat codec cannot
+represent — transparently falls back to the pickled envelope for that one
+payload, so oversized rounds degrade in speed, never in semantics.
+
+Ownership: the *caller* side creates and unlinks every segment (fresh rings
+on every worker respawn, unlink on executor close); the worker side only
+attaches.  Workers share the parent's ``resource_tracker`` (the fd is
+inherited by fork and spawn alike), so the attach-time re-registration is
+set-idempotent and the parent's single unlink clears it — no child-side
+unregister, no tracker warnings, no leaked segments.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_RING_BYTES",
+    "REQUEST_BULK_OPS",
+    "REPLY_BULK_OPS",
+    "RoundTransport",
+    "PipeTransport",
+    "ShmTransport",
+    "WorkerTransport",
+    "PipeWorkerTransport",
+    "ShmWorkerTransport",
+    "ShmRing",
+    "shm_available",
+    "make_round_transport",
+    "make_worker_transport",
+    "encode_entries",
+    "decode_entries",
+    "encode_decisions",
+    "decode_decisions",
+]
+
+#: Default per-direction ring capacity.  1 MiB comfortably holds thousands of
+#: packed entries per round; payloads beyond it fall back to pickle.
+DEFAULT_RING_BYTES = 1 << 20
+
+#: Ops whose request payload is bulk round data (entry lists).
+REQUEST_BULK_OPS = frozenset({"round"})
+
+#: Ops whose reply is bulk decision data.  ``round`` replies are a dict with
+#: counter deltas riding the control message; the flush/expire tails reply
+#: with a bare :class:`StreamDecision` list.
+REPLY_BULK_OPS = frozenset({"round", "flush_tail", "flush_stream_tail", "expire_tail"})
+
+_PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+_I64 = struct.Struct("<q")
+_U32 = struct.Struct("<I")
+_TAG_LEN = struct.Struct("<BI")  # tag byte + length prefix, one pack call
+_TAG_I64 = struct.Struct("<Bq")  # tag byte + machine int, one pack call
+_I64_MIN = -(1 << 63)
+_I64_MAX = (1 << 63) - 1
+
+#: Round width at which the codecs switch from one-shot ``struct`` packing
+#: (lowest fixed overhead — wins for the narrow rounds the adaptive
+#: controller serves under light load) to flat numpy views over the ring
+#: (amortised C loops — wins for wide rounds and huge value blocks).
+_NUMPY_MIN_COUNT = 64
+
+#: Decoded-object classes, resolved once on first decode (the imports are
+#: deferred to dodge a circular import, but a per-call import is ~2us —
+#: visible at batch-8 round widths).
+_CODEC_CLASSES: Dict[str, type] = {}
+
+_shm_probe_result: Optional[bool] = None
+
+
+def _codec_classes() -> Dict[str, type]:
+    from repro.data.items import Item
+    from repro.data.stream import StreamEvent
+    from repro.serving.cluster import StreamDecision
+    from repro.serving.engine import Decision
+
+    _CODEC_CLASSES.update(
+        Item=Item, StreamEvent=StreamEvent, StreamDecision=StreamDecision, Decision=Decision
+    )
+    return _CODEC_CLASSES
+
+
+def shm_available() -> bool:
+    """True when ``multiprocessing.shared_memory`` actually works here.
+
+    Importability is not enough — creating a segment can fail on platforms
+    without a usable ``/dev/shm`` (some containers, exotic filesystems), so
+    the probe round-trips one tiny create/close/unlink and caches the result.
+    """
+    global _shm_probe_result
+    if _shm_probe_result is None:
+        try:
+            from multiprocessing import shared_memory
+
+            probe = shared_memory.SharedMemory(create=True, size=8)
+            probe.close()
+            probe.unlink()
+            _shm_probe_result = True
+        except Exception:
+            _shm_probe_result = False
+    return _shm_probe_result
+
+
+class _Unencodable(Exception):
+    """Raised when a payload holds values the flat codec cannot represent."""
+
+
+#: Interned ``str -> tag+length+utf8`` packings.  Stream ids and keys repeat
+#: across every round (the id space is the stream/key population, not the
+#: event count), so encoding each string once and memoizing the packed bytes
+#: beats re-encoding per round.  Bounded so adversarial id churn cannot grow
+#: it without limit; on overflow new strings are packed but not cached.
+_PACKED_STR_CACHE: Dict[str, bytes] = {}
+_PACKED_STR_CACHE_MAX = 8192
+
+
+def _pack_str(obj: str) -> bytes:
+    """Pack (and memoize) one string as ``tag + u32 length + utf-8``."""
+    data = obj.encode("utf-8")
+    packed = _TAG_LEN.pack(83, len(data)) + data  # ord("S")
+    if len(_PACKED_STR_CACHE) < _PACKED_STR_CACHE_MAX:
+        _PACKED_STR_CACHE[obj] = packed
+    return packed
+
+
+def _pack_obj(parts: List[bytes], obj: Any) -> None:
+    """Append one tagged, length-prefixed hashable to ``parts``.
+
+    Strings and machine ints (the overwhelmingly common stream-id/key types)
+    get compact fixed tags packed in one struct call; anything else —
+    tuples, huge ints, floats — rides an embedded pickle so the codec never
+    changes *which* values are representable, only how fast the common ones
+    go.  Tags: ``S`` utf-8 string, ``I`` int64, ``B`` bytes, ``N`` None,
+    ``P`` pickle.
+    """
+    if type(obj) is str:
+        packed = _PACKED_STR_CACHE.get(obj)
+        parts.append(packed if packed is not None else _pack_str(obj))
+    elif type(obj) is int and _I64_MIN <= obj <= _I64_MAX:
+        parts.append(_TAG_I64.pack(73, obj))  # ord("I")
+    elif type(obj) is bytes:
+        parts.append(_TAG_LEN.pack(66, len(obj)))  # ord("B")
+        parts.append(obj)
+    elif obj is None:
+        parts.append(b"N")
+    else:
+        data = pickle.dumps(obj, protocol=_PICKLE_PROTOCOL)
+        parts.append(_TAG_LEN.pack(80, len(data)))  # ord("P")
+        parts.append(data)
+
+
+def _unpack_obj(blob: bytes, pos: int) -> Tuple[Any, int]:
+    """Decode one ``_pack_obj`` value from ``blob`` at ``pos``."""
+    tag = blob[pos]
+    pos += 1
+    if tag == 83:  # S
+        length = _U32.unpack_from(blob, pos)[0]
+        pos += 4
+        return blob[pos : pos + length].decode("utf-8"), pos + length
+    if tag == 73:  # I
+        return _I64.unpack_from(blob, pos)[0], pos + 8
+    if tag == 66:  # B
+        length = _U32.unpack_from(blob, pos)[0]
+        pos += 4
+        return blob[pos : pos + length], pos + length
+    if tag == 78:  # N
+        return None, pos
+    if tag == 80:  # P
+        length = _U32.unpack_from(blob, pos)[0]
+        pos += 4
+        return pickle.loads(blob[pos : pos + length]), pos + length
+    raise ValueError(f"corrupt transport blob: unknown tag {tag!r} at {pos - 1}")
+
+
+def _align8(nbytes: int) -> int:
+    return (nbytes + 7) & ~7
+
+
+# ---------------------------------------------------------------------------
+# Flat codecs
+# ---------------------------------------------------------------------------
+#
+# Entries wire layout (little-endian, every block 8-aligned):
+#
+#   [0:8)              count c (int64)
+#   [8 : 8+16c)        float64 x 2c   (event_time, item_time) per entry
+#   [... : +8(c+1))    int64 x (c+1)  value prefix offsets
+#   [... : +8V)        int64 x V      flattened item values
+#   [... : +8)         blob length (int64)
+#   [... : +blob)      tagged var region: (stream_id, key, source) per entry
+#
+# Decisions wire layout:
+#
+#   [0:8)              count c (int64)
+#   [8 : 8+16c)        float64 x 2c   (confidence, decision_time) per decision
+#   [... : +24c)       int64 x 3c     (predicted, observations, flags)
+#   [... : +8)         blob length (int64)
+#   [... : +blob)      tagged var region: (stream_id, key) per decision
+#
+# flags: bit0 = halted_by_policy, bit1 = window_truncated.  shard_id is not
+# on the wire — every decision in a reply belongs to the addressed shard, so
+# the decoder stamps it from the control message.
+
+
+def encode_entries(entries: Sequence[Tuple[Hashable, Any]], view: memoryview) -> Optional[int]:
+    """Pack ``(stream_id, StreamEvent)`` pairs into ``view``.
+
+    Returns the byte count written, or ``None`` when the payload does not
+    fit.  Raises :class:`_Unencodable` for values outside the flat codec
+    (e.g. non-int item values) — callers fall back to pickle either way.
+    """
+    count = len(entries)
+    times: List[float] = []
+    offsets: List[int] = [0]
+    values: List[int] = []
+    parts: List[bytes] = []
+    total = 0
+    times_append = times.append
+    offsets_append = offsets.append
+    parts_append = parts.append
+    cache_get = _PACKED_STR_CACHE.get
+    try:
+        for stream_id, event in entries:
+            item = event.item
+            times_append(event.time)
+            times_append(item.time)
+            value = item.value
+            total += len(value)
+            offsets_append(total)
+            values += value
+            # _pack_obj's str branch is inlined (with the interning cache):
+            # ids/keys/sources are overwhelmingly strings and the per-call
+            # overhead is visible at batch-8 round widths.
+            if type(stream_id) is str:
+                packed = cache_get(stream_id)
+                parts_append(packed if packed is not None else _pack_str(stream_id))
+            else:
+                _pack_obj(parts, stream_id)
+            key = item.key
+            if type(key) is str:
+                packed = cache_get(key)
+                parts_append(packed if packed is not None else _pack_str(key))
+            else:
+                _pack_obj(parts, key)
+            source = event.source
+            if type(source) is str:
+                packed = cache_get(source)
+                parts_append(packed if packed is not None else _pack_str(source))
+            else:
+                _pack_obj(parts, source)
+    except (TypeError, AttributeError) as error:
+        raise _Unencodable(str(error)) from error
+
+    blob = b"".join(parts)
+    blob_len = len(blob)
+    numeric_len = 8 + 16 * count + 8 * (count + 1) + 8 * total + 8
+    nbytes = numeric_len + blob_len
+    if nbytes > len(view):
+        return None
+
+    try:
+        if count < _NUMPY_MIN_COUNT:
+            # One C call packs every numeric field of a narrow round.
+            view[:numeric_len] = struct.pack(
+                "<q%dd%dq" % (2 * count, count + 2 + total),
+                count,
+                *times,
+                *offsets,
+                *values,
+                blob_len,
+            )
+        else:
+            _I64.pack_into(view, 0, count)
+            np.frombuffer(view, dtype=np.float64, count=2 * count, offset=8)[:] = times
+            pos = 8 + 16 * count
+            ints = np.frombuffer(view, dtype=np.int64, count=count + 1 + total, offset=pos)
+            ints[: count + 1] = offsets
+            ints[count + 1 :] = values
+            _I64.pack_into(view, pos + 8 * (count + 1 + total), blob_len)
+    except (struct.error, OverflowError, ValueError, TypeError) as error:
+        raise _Unencodable(str(error)) from error
+    view[numeric_len:nbytes] = blob
+    return nbytes
+
+
+def decode_entries(data: bytes) -> List[Tuple[Hashable, Any]]:
+    """Inverse of :func:`encode_entries`; builds fresh event objects."""
+    classes = _CODEC_CLASSES or _codec_classes()
+    Item = classes["Item"]
+    StreamEvent = classes["StreamEvent"]
+
+    count = _I64.unpack_from(data, 0)[0]
+    if count < _NUMPY_MIN_COUNT:
+        nums = struct.unpack_from("<%dd%dq" % (2 * count, count + 1), data, 8)
+        times = nums[: 2 * count]
+        offsets = nums[2 * count :]
+        pos = 8 + 16 * count + 8 * (count + 1)
+        total = offsets[-1]
+        value_list = struct.unpack_from("<%dq" % total, data, pos)
+        pos += 8 * total
+    else:
+        # .tolist() yields native Python floats/ints: decoded events must
+        # compare (and pickle) exactly like never-serialised ones (the
+        # struct path above produces natives already).
+        times = np.frombuffer(data, dtype=np.float64, count=2 * count, offset=8).tolist()
+        pos = 8 + 16 * count
+        offsets = np.frombuffer(data, dtype=np.int64, count=count + 1, offset=pos).tolist()
+        pos += 8 * (count + 1)
+        total = offsets[-1]
+        value_list = np.frombuffer(data, dtype=np.int64, count=total, offset=pos).tolist()
+        pos += 8 * total
+    blob_len = _I64.unpack_from(data, pos)[0]
+    pos += 8
+    blob = data[pos : pos + blob_len]
+    entries: List[Tuple[Hashable, Any]] = []
+    entries_append = entries.append
+    item_new = Item.__new__
+    event_new = StreamEvent.__new__
+    u32_unpack = _U32.unpack_from
+    bpos = 0
+    for index in range(count):
+        # Inlined str branch of _unpack_obj (x3), and pickle-style object
+        # construction — __new__ plus direct __dict__ stores — because the
+        # frozen dataclasses' __init__ funnels every field through
+        # object.__setattr__, which doubles per-entry decode cost.
+        tag = blob[bpos]
+        if tag == 83:
+            length = u32_unpack(blob, bpos + 1)[0]
+            bpos += 5
+            stream_id = blob[bpos : bpos + length].decode("utf-8")
+            bpos += length
+        else:
+            stream_id, bpos = _unpack_obj(blob, bpos)
+        tag = blob[bpos]
+        if tag == 83:
+            length = u32_unpack(blob, bpos + 1)[0]
+            bpos += 5
+            key = blob[bpos : bpos + length].decode("utf-8")
+            bpos += length
+        else:
+            key, bpos = _unpack_obj(blob, bpos)
+        tag = blob[bpos]
+        if tag == 83:
+            length = u32_unpack(blob, bpos + 1)[0]
+            bpos += 5
+            source = blob[bpos : bpos + length].decode("utf-8")
+            bpos += length
+        else:
+            source, bpos = _unpack_obj(blob, bpos)
+        item = item_new(Item)
+        fields = item.__dict__
+        fields["key"] = key
+        fields["value"] = tuple(value_list[offsets[index] : offsets[index + 1]])
+        fields["time"] = times[2 * index + 1]
+        event = event_new(StreamEvent)
+        fields = event.__dict__
+        fields["time"] = times[2 * index]
+        fields["item"] = item
+        fields["source"] = source
+        entries_append((stream_id, event))
+    return entries
+
+
+def encode_decisions(decisions: Sequence[Any], view: memoryview) -> Optional[int]:
+    """Pack a :class:`StreamDecision` list into ``view`` (or ``None`` if big)."""
+    count = len(decisions)
+    floats: List[float] = []
+    ints: List[int] = []
+    parts: List[bytes] = []
+    floats_append = floats.append
+    ints_append = ints.append
+    parts_append = parts.append
+    cache_get = _PACKED_STR_CACHE.get
+    try:
+        for wrapped in decisions:
+            decision = wrapped.decision
+            floats_append(decision.confidence)
+            floats_append(decision.decision_time)
+            ints_append(decision.predicted)
+            ints_append(decision.observations)
+            ints_append(
+                (1 if decision.halted_by_policy else 0)
+                | (2 if decision.window_truncated else 0)
+            )
+            stream_id = wrapped.stream_id
+            if type(stream_id) is str:
+                packed = cache_get(stream_id)
+                parts_append(packed if packed is not None else _pack_str(stream_id))
+            else:
+                _pack_obj(parts, stream_id)
+            key = decision.key
+            if type(key) is str:
+                packed = cache_get(key)
+                parts_append(packed if packed is not None else _pack_str(key))
+            else:
+                _pack_obj(parts, key)
+    except (TypeError, AttributeError) as error:
+        raise _Unencodable(str(error)) from error
+
+    blob = b"".join(parts)
+    blob_len = len(blob)
+    numeric_len = 8 + 16 * count + 24 * count + 8
+    nbytes = numeric_len + blob_len
+    if nbytes > len(view):
+        return None
+
+    try:
+        if count < _NUMPY_MIN_COUNT:
+            view[:numeric_len] = struct.pack(
+                "<q%dd%dq" % (2 * count, 3 * count + 1),
+                count,
+                *floats,
+                *ints,
+                blob_len,
+            )
+        else:
+            _I64.pack_into(view, 0, count)
+            np.frombuffer(view, dtype=np.float64, count=2 * count, offset=8)[:] = floats
+            pos = 8 + 16 * count
+            np.frombuffer(view, dtype=np.int64, count=3 * count, offset=pos)[:] = ints
+            _I64.pack_into(view, pos + 24 * count, blob_len)
+    except (struct.error, OverflowError, ValueError, TypeError) as error:
+        raise _Unencodable(str(error)) from error
+    view[numeric_len:nbytes] = blob
+    return nbytes
+
+
+def decode_decisions(data: bytes, shard_id: int) -> List[Any]:
+    """Inverse of :func:`encode_decisions`; stamps ``shard_id`` per decision."""
+    classes = _CODEC_CLASSES or _codec_classes()
+    Decision = classes["Decision"]
+    StreamDecision = classes["StreamDecision"]
+
+    count = _I64.unpack_from(data, 0)[0]
+    if count < _NUMPY_MIN_COUNT:
+        nums = struct.unpack_from("<%dd%dq" % (2 * count, 3 * count), data, 8)
+        floats = nums[: 2 * count]
+        ints = nums[2 * count :]
+    else:
+        floats = np.frombuffer(data, dtype=np.float64, count=2 * count, offset=8).tolist()
+        ints = np.frombuffer(
+            data, dtype=np.int64, count=3 * count, offset=8 + 16 * count
+        ).tolist()
+    pos = 8 + 16 * count + 24 * count
+    blob_len = _I64.unpack_from(data, pos)[0]
+    pos += 8
+    blob = data[pos : pos + blob_len]
+
+    decisions: List[Any] = []
+    decisions_append = decisions.append
+    decision_new = Decision.__new__
+    wrapper_new = StreamDecision.__new__
+    u32_unpack = _U32.unpack_from
+    bpos = 0
+    for index in range(count):
+        # Same inlined-str + __new__/__dict__ construction as decode_entries.
+        tag = blob[bpos]
+        if tag == 83:
+            length = u32_unpack(blob, bpos + 1)[0]
+            bpos += 5
+            stream_id = blob[bpos : bpos + length].decode("utf-8")
+            bpos += length
+        else:
+            stream_id, bpos = _unpack_obj(blob, bpos)
+        tag = blob[bpos]
+        if tag == 83:
+            length = u32_unpack(blob, bpos + 1)[0]
+            bpos += 5
+            key = blob[bpos : bpos + length].decode("utf-8")
+            bpos += length
+        else:
+            key, bpos = _unpack_obj(blob, bpos)
+        flags = ints[3 * index + 2]
+        decision = decision_new(Decision)
+        fields = decision.__dict__
+        fields["key"] = key
+        fields["predicted"] = ints[3 * index]
+        fields["confidence"] = floats[2 * index]
+        fields["observations"] = ints[3 * index + 1]
+        fields["decision_time"] = floats[2 * index + 1]
+        fields["halted_by_policy"] = bool(flags & 1)
+        fields["window_truncated"] = bool(flags & 2)
+        wrapped = wrapper_new(StreamDecision)
+        fields = wrapped.__dict__
+        fields["stream_id"] = stream_id
+        fields["shard_id"] = shard_id
+        fields["decision"] = decision
+        decisions_append(wrapped)
+    return decisions
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory ring
+# ---------------------------------------------------------------------------
+
+
+class ShmRing:
+    """One fixed-size shared-memory segment used as a bump-allocated ring.
+
+    The slot lock in :class:`~repro.serving.parallel.ProcessExecutor`
+    guarantees at most one round in flight per slot, so the ring never holds
+    more than one live payload per direction: ``alloc`` simply advances an
+    offset (wrapping to 0 when the tail is too short) and returns ``None``
+    when the payload exceeds the whole capacity — the caller's cue to fall
+    back to the pickled envelope.
+    """
+
+    def __init__(self, capacity: int, name: Optional[str] = None) -> None:
+        from multiprocessing import shared_memory
+
+        if name is None:
+            self.shm = shared_memory.SharedMemory(create=True, size=capacity)
+            self.owner = True
+        else:
+            self.shm = shared_memory.SharedMemory(name=name)
+            self.owner = False
+            # Attaching re-registers the segment with the resource tracker
+            # (bpo-39959), but worker processes share the parent's tracker
+            # (the fd is inherited by fork and spawn alike), so the cache
+            # entry is set-idempotent and the parent's unlink clears it.
+            # Deliberately *no* child-side unregister: that would clobber
+            # the parent's registration in the shared tracker and make the
+            # eventual unlink double-unregister.
+        self.capacity = self.shm.size
+        self._offset = 0
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    @property
+    def offset(self) -> int:
+        return self._offset
+
+    def advance(self, start: int, nbytes: int) -> None:
+        """Record that ``[start, start+nbytes)`` now holds the live payload."""
+        self._offset = _align8(start + nbytes)
+        if self._offset >= self.capacity:
+            self._offset = 0
+
+    def view(self, start: int, nbytes: int) -> memoryview:
+        return memoryview(self.shm.buf)[start : start + nbytes]
+
+    def read(self, start: int, nbytes: int) -> bytes:
+        """Copy a region out of the ring.
+
+        Returned bytes own their storage, so decoded objects never alias the
+        segment and ``close()`` cannot hit exported-buffer errors.
+        """
+        mv = memoryview(self.shm.buf)
+        try:
+            return bytes(mv[start : start + nbytes])
+        finally:
+            mv.release()
+
+    def close(self) -> None:
+        try:
+            self.shm.close()
+        except BufferError:  # pragma: no cover - defensive: view still live
+            pass
+
+    def unlink(self) -> None:
+        if not self.owner:
+            return
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def destroy(self) -> None:
+        self.close()
+        self.unlink()
+
+
+def _encode_into_ring(ring: ShmRing, encode_fn) -> Optional[Tuple[int, int]]:
+    """Place one payload in the ring: try the tail, wrap to 0 if too short.
+
+    ``encode_fn(view) -> Optional[int]`` computes its size before writing, so
+    a ``None`` (doesn't fit) leaves the view untouched.  Returns the placed
+    ``(start, nbytes)`` or ``None`` when the payload exceeds even the full
+    capacity — the caller's cue to fall back to the pickled envelope.
+    """
+    starts = (ring.offset, 0) if ring.offset else (0,)
+    for start in starts:
+        view = ring.view(start, ring.capacity - start)
+        try:
+            nbytes = encode_fn(view)
+        finally:
+            view.release()
+        if nbytes is not None:
+            ring.advance(start, nbytes)
+            return start, nbytes
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Caller-side transports
+# ---------------------------------------------------------------------------
+
+
+class RoundTransport:
+    """Caller-side transport for one executor slot.
+
+    ``encode_request``/``decode_reply`` translate between rich payloads and
+    the wire envelopes; both return the payload byte count so the executor
+    can surface per-round ``transport_bytes`` telemetry.  ``reallocate`` is
+    called before every worker (re)spawn and ``close`` on executor shutdown.
+    """
+
+    name = "none"
+
+    def worker_args(self) -> Optional[Tuple[Any, ...]]:
+        """Picklable recipe the worker uses to build its counterpart."""
+        return None
+
+    def encode_request(self, op: str, payload: Any) -> Tuple[Any, int]:
+        return ("raw", payload), 0
+
+    def decode_reply(self, op: str, wire: Any, shard_index: int) -> Tuple[Any, int]:
+        return wire[1], 0
+
+    def reallocate(self) -> None:
+        """(Re)create per-worker resources; old segments are unlinked."""
+
+    def close(self) -> None:
+        """Release per-slot resources (unlink shared memory)."""
+
+    def segment_names(self) -> Tuple[str, ...]:
+        return ()
+
+
+class PipeTransport(RoundTransport):
+    """Explicit-pickle transport: the PR-7 wire format, made measurable.
+
+    Bulk payloads are pickled by the transport (not implicitly by
+    ``Connection.send``) so byte counts and serialise wall-clock exist for
+    the pipe path too — that symmetry is what the shm-vs-pipe perf gate
+    compares.
+    """
+
+    name = "pipe"
+
+    def encode_request(self, op: str, payload: Any) -> Tuple[Any, int]:
+        if op in REQUEST_BULK_OPS:
+            data = pickle.dumps(payload, protocol=_PICKLE_PROTOCOL)
+            return ("pkl", data), len(data)
+        return ("raw", payload), 0
+
+    def decode_reply(self, op: str, wire: Any, shard_index: int) -> Tuple[Any, int]:
+        if wire[0] == "pkl":
+            data = wire[1]
+            return pickle.loads(data), len(data)
+        return wire[1], 0
+
+
+class ShmTransport(RoundTransport):
+    """Shared-memory ring transport for one executor slot.
+
+    Owns a request ring (entries out) and a reply ring (decisions back);
+    the worker holds attach-only counterparts.  Each direction has exactly
+    one writer — the caller for requests, the worker for replies — and the
+    slot lock orders every write strictly before its read, so the rings
+    need no internal synchronisation.  Payloads that miss the ring (too
+    big, or un-flattenable values) ride a pickled envelope instead.
+    """
+
+    name = "shm"
+
+    def __init__(self, ring_bytes: int = DEFAULT_RING_BYTES) -> None:
+        self.ring_bytes = int(ring_bytes)
+        if self.ring_bytes <= 0:
+            raise ValueError(f"ring_bytes must be positive, got {ring_bytes}")
+        self._request_ring: Optional[ShmRing] = None
+        self._reply_ring: Optional[ShmRing] = None
+
+    def worker_args(self) -> Optional[Tuple[Any, ...]]:
+        assert self._request_ring is not None and self._reply_ring is not None
+        return ("shm", self._request_ring.name, self._reply_ring.name)
+
+    def reallocate(self) -> None:
+        # Fresh segments per worker generation: a respawned worker must never
+        # look at a ring a SIGKILLed predecessor may have half-written, and
+        # the old segments must not outlive it (leak-free respawn).
+        self.close()
+        self._request_ring = ShmRing(self.ring_bytes)
+        self._reply_ring = ShmRing(self.ring_bytes)
+
+    def close(self) -> None:
+        for ring in (self._request_ring, self._reply_ring):
+            if ring is not None:
+                ring.destroy()
+        self._request_ring = None
+        self._reply_ring = None
+
+    def segment_names(self) -> Tuple[str, ...]:
+        return tuple(
+            ring.name for ring in (self._request_ring, self._reply_ring) if ring is not None
+        )
+
+    def encode_request(self, op: str, payload: Any) -> Tuple[Any, int]:
+        if op not in REQUEST_BULK_OPS or self._request_ring is None:
+            return ("raw", payload), 0
+        entries = payload["entries"]
+        try:
+            placed = _encode_into_ring(
+                self._request_ring, lambda view: encode_entries(entries, view)
+            )
+        except _Unencodable:
+            placed = None
+        if placed is None:
+            data = pickle.dumps(payload, protocol=_PICKLE_PROTOCOL)
+            return ("pkl", data), len(data)
+        start, nbytes = placed
+        rest = {k: v for k, v in payload.items() if k != "entries"}
+        return ("shm", start, nbytes, rest), nbytes
+
+    def decode_reply(self, op: str, wire: Any, shard_index: int) -> Tuple[Any, int]:
+        kind = wire[0]
+        if kind == "pkl":
+            data = wire[1]
+            return pickle.loads(data), len(data)
+        if kind != "shm":
+            return wire[1], 0
+        _, start, nbytes, extras = wire
+        assert self._reply_ring is not None
+        data = self._reply_ring.read(start, nbytes)
+        decisions = decode_decisions(data, shard_index)
+        if op == "round":
+            reply = dict(extras)
+            reply["decisions"] = decisions
+            return reply, nbytes
+        return decisions, nbytes
+
+
+# ---------------------------------------------------------------------------
+# Worker-side transports
+# ---------------------------------------------------------------------------
+
+
+class WorkerTransport:
+    """Worker-process counterpart of :class:`RoundTransport`."""
+
+    def decode_request(self, op: str, wire: Any) -> Any:
+        return wire[1]
+
+    def encode_reply(self, op: str, reply: Any) -> Any:
+        return ("raw", reply)
+
+
+class PipeWorkerTransport(WorkerTransport):
+    def decode_request(self, op: str, wire: Any) -> Any:
+        if wire[0] == "pkl":
+            return pickle.loads(wire[1])
+        return wire[1]
+
+    def encode_reply(self, op: str, reply: Any) -> Any:
+        if op in REPLY_BULK_OPS:
+            return ("pkl", pickle.dumps(reply, protocol=_PICKLE_PROTOCOL))
+        return ("raw", reply)
+
+
+class ShmWorkerTransport(WorkerTransport):
+    """Attach-only view of the slot's rings, built inside the worker."""
+
+    def __init__(self, request_name: str, reply_name: str) -> None:
+        self._request_ring = ShmRing(0, name=request_name)
+        self._reply_ring = ShmRing(0, name=reply_name)
+
+    def decode_request(self, op: str, wire: Any) -> Any:
+        kind = wire[0]
+        if kind == "pkl":
+            return pickle.loads(wire[1])
+        if kind != "shm":
+            return wire[1]
+        _, start, nbytes, rest = wire
+        data = self._request_ring.read(start, nbytes)
+        payload = dict(rest)
+        payload["entries"] = decode_entries(data)
+        return payload
+
+    def encode_reply(self, op: str, reply: Any) -> Any:
+        if op not in REPLY_BULK_OPS:
+            return ("raw", reply)
+        if op == "round":
+            decisions = reply["decisions"]
+            extras = {k: v for k, v in reply.items() if k != "decisions"}
+        else:
+            decisions = reply
+            extras = {}
+        try:
+            placed = _encode_into_ring(
+                self._reply_ring, lambda view: encode_decisions(decisions, view)
+            )
+        except _Unencodable:
+            placed = None
+        if placed is None:
+            return ("pkl", pickle.dumps(reply, protocol=_PICKLE_PROTOCOL))
+        start, nbytes = placed
+        return ("shm", start, nbytes, extras)
+
+
+def make_round_transport(name: str, ring_bytes: int = DEFAULT_RING_BYTES) -> RoundTransport:
+    """Build the caller-side transport for one executor slot."""
+    if name == "pipe":
+        return PipeTransport()
+    if name == "shm":
+        return ShmTransport(ring_bytes)
+    raise ValueError(f"unknown transport {name!r}; expected 'pipe' or 'shm'")
+
+
+def make_worker_transport(args: Optional[Tuple[Any, ...]]) -> WorkerTransport:
+    """Build the worker-side transport from ``RoundTransport.worker_args()``."""
+    if args is None:
+        return PipeWorkerTransport()
+    if args[0] == "shm":
+        return ShmWorkerTransport(args[1], args[2])
+    raise ValueError(f"unknown worker transport args {args!r}")

@@ -164,11 +164,15 @@ def run_chaos(seed: int, executor: str):
     # The random mix plus one permanently failing sink (quarantine fodder).
     specs = random_fault_specs(rng, num_shards) + [FaultSpec(site="sink-publish")]
     injector = FaultInjector(seed=seed, specs=specs)
+    # ``process-pipe`` / ``process-shm`` labels pin the round transport so the
+    # chaos gate also covers ring reallocation across SIGKILL recoveries.
+    executor, _, transport = executor.partition("-")
     config = ClusterConfig(
         num_shards=num_shards,
         batch_size=int(rng.integers(2, 6)),
         max_queue=4096,
         executor=executor,
+        **({"transport": transport} if transport else {}),
         supervision=SupervisorConfig(
             checkpoint=CheckpointConfig(every_rounds=int(rng.integers(1, 8))),
             failure_threshold=2,
@@ -222,7 +226,9 @@ def run_chaos(seed: int, executor: str):
     return survivors, got, health, casualties
 
 
-@pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+@pytest.mark.parametrize(
+    "executor", ["serial", "thread", "process-pipe", "process-shm"]
+)
 @pytest.mark.parametrize("seed", [101, 202, 303])
 def test_randomized_chaos_recovery_parity(seed, executor):
     survivors, got, health, casualties = run_chaos(seed, executor)

@@ -24,6 +24,7 @@ from repro.serving.cluster import (
 )
 from repro.serving.engine import EngineConfig, OnlineClassificationEngine, StreamSession
 from repro.serving.sinks import BufferedSink
+from repro.serving.transport import shm_available
 
 SPEC = ValueSpec(field_names=("size", "direction"), cardinalities=(8, 2), session_field=1)
 
@@ -295,8 +296,8 @@ class TestSnapshotRestore:
         with ServingCluster(
             model,
             SPEC,
-            ClusterConfig(
-                num_shards=2, batch_size=4, executor=executor, engine=engine_config()
+            executor_config(
+                executor, num_shards=2, batch_size=4, engine=engine_config()
             ),
         ) as cluster:
             cluster.consume(events[:cut])
@@ -411,14 +412,26 @@ class TestAdmissionControl:
             assert all(depth < 4 for depth in cluster.stats()["queue_depths"])
 
 
-PARALLEL_EXECUTORS = ("thread", "process")
+#: Parity-matrix executor labels.  ``process-pipe`` / ``process-shm`` pin the
+#: process backend's round transport so both wire formats earn the same
+#: decision-for-decision guarantees.
+PARALLEL_EXECUTORS = ("thread", "process-pipe", "process-shm")
+
+
+def executor_config(label, **kwargs):
+    """Build a :class:`ClusterConfig` from a parity-matrix executor label."""
+    executor, _, transport = label.partition("-")
+    if transport:
+        kwargs["transport"] = transport
+    return ClusterConfig(executor=executor, **kwargs)
 
 
 class TestParallelExecutorParity:
     """The thread and process worker backends must be indistinguishable,
     decision for decision, from the serial backend — and all must match one
     sequential engine per stream (the ``executor="thread"`` /
-    ``executor="process"`` axes of the parity matrix)."""
+    ``executor="process"`` axes of the parity matrix, the latter under both
+    round transports)."""
 
     @pytest.mark.parametrize("executor", PARALLEL_EXECUTORS)
     @pytest.mark.parametrize("encoding", ENCODINGS)
@@ -432,11 +445,11 @@ class TestParallelExecutorParity:
         with ServingCluster(
             model,
             SPEC,
-            ClusterConfig(
+            executor_config(
+                executor,
                 num_shards=num_shards,
                 batch_size=4,
                 batched=True,
-                executor=executor,
                 engine=engine_config(),
             ),
         ) as cluster:
@@ -457,12 +470,12 @@ class TestParallelExecutorParity:
         streams, events = multi_stream_events(seed=19)
 
         def serve(executor):
-            config = ClusterConfig(
+            config = executor_config(
+                executor,
                 num_shards=num_shards,
                 batch_size=4,
                 auto_drain=False,
                 max_queue=len(events) + 1,
-                executor=executor,
                 engine=engine_config(),
             )
             with ServingCluster(model, SPEC, config) as cluster:
@@ -479,6 +492,46 @@ class TestParallelExecutorParity:
             ]
 
         assert serve("serial") == serve(executor)
+
+    @pytest.mark.skipif(
+        not shm_available(), reason="shared memory unavailable on this platform"
+    )
+    def test_shm_ring_overflow_falls_back_to_pipe_with_identical_decisions(self):
+        """A ring too small for any real round forces every payload onto the
+        pickle-over-pipe fallback path; decisions stay bit-identical to the
+        pipe leg and the configured transport is still reported as ``shm``."""
+        model = make_model("rotary")
+        streams, events = multi_stream_events(seed=19)
+
+        def serve(config):
+            with ServingCluster(model, SPEC, config) as cluster:
+                for event in events:
+                    cluster.submit(event)
+                emitted = cluster.drain()
+                emitted.extend(cluster.expire())
+                emitted.extend(cluster.flush())
+                stats = cluster.stats()
+            return stats, [
+                (d.stream_id, d.shard_id, d.decision.key, d.decision.predicted,
+                 d.decision.confidence, d.decision.observations,
+                 d.decision.decision_time, d.decision.halted_by_policy)
+                for d in emitted
+            ]
+
+        common = dict(
+            executor="process",
+            num_shards=2,
+            batch_size=4,
+            auto_drain=False,
+            max_queue=len(events) + 1,
+            engine=engine_config(),
+        )
+        tiny_stats, tiny_decisions = serve(
+            ClusterConfig(transport="shm", transport_ring_bytes=96, **common)
+        )
+        _, pipe_decisions = serve(ClusterConfig(transport="pipe", **common))
+        assert tiny_stats["transport"] == "shm"
+        assert tiny_decisions == pipe_decisions
 
     @pytest.mark.parametrize("executor", PARALLEL_EXECUTORS)
     def test_parallel_backend_expire_parity(self, executor):
@@ -502,10 +555,10 @@ class TestParallelExecutorParity:
         with ServingCluster(
             model,
             SPEC,
-            ClusterConfig(
+            executor_config(
+                executor,
                 num_shards=2,
                 batch_size=4,
-                executor=executor,
                 engine=engine_config(**overrides),
             ),
         ) as cluster:
@@ -525,8 +578,8 @@ class TestParallelExecutorParity:
         with ServingCluster(
             model,
             SPEC,
-            ClusterConfig(
-                num_shards=2, batch_size=4, executor=executor, engine=engine_config()
+            executor_config(
+                executor, num_shards=2, batch_size=4, engine=engine_config()
             ),
         ) as cluster:
             cluster.consume(events[:cut])
@@ -544,14 +597,14 @@ class TestParallelExecutorParity:
     def test_cluster_close_is_idempotent_and_context_managed(self, executor):
         model = make_model("rotary")
         cluster = ServingCluster(
-            model, SPEC, ClusterConfig(num_shards=2, executor=executor)
+            model, SPEC, executor_config(executor, num_shards=2)
         )
         cluster.close()
         cluster.close()
         with ServingCluster(
-            model, SPEC, ClusterConfig(num_shards=2, executor=executor)
+            model, SPEC, executor_config(executor, num_shards=2)
         ) as managed:
-            assert managed.stats()["executor"] == executor
+            assert managed.stats()["executor"] == executor.partition("-")[0]
 
     def test_rejects_unknown_executor(self):
         with pytest.raises(ValueError, match="executor"):
@@ -565,7 +618,9 @@ class TestAdaptiveBatchingParity:
 
     @pytest.mark.parametrize("encoding", ENCODINGS)
     @pytest.mark.parametrize("num_shards", [1, 2, 4])
-    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    @pytest.mark.parametrize(
+        "executor", ["serial", "thread", "process-pipe", "process-shm"]
+    )
     def test_auto_batch_matches_reference(self, encoding, num_shards, executor):
         model = make_model(encoding)
         streams, events = multi_stream_events(seed=42)
@@ -573,12 +628,12 @@ class TestAdaptiveBatchingParity:
         with ServingCluster(
             model,
             SPEC,
-            ClusterConfig(
+            executor_config(
+                executor,
                 num_shards=num_shards,
                 batch_size="auto",
                 auto_drain=False,
                 max_queue=len(events) + 1,
-                executor=executor,
                 engine=engine_config(),
             ),
         ) as cluster:
@@ -804,7 +859,9 @@ class TestSinkDeliveryParity:
     subscribed sink receives exactly the concatenation of every returned
     list, same objects, same order (the sink leg of the parity matrix)."""
 
-    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    @pytest.mark.parametrize(
+        "executor", ["serial", "thread", "process-pipe", "process-shm"]
+    )
     @pytest.mark.parametrize("num_shards", [1, 2, 4])
     def test_sink_matches_returned_lists_fixed_batch(self, executor, num_shards):
         model = make_model("rotary")
@@ -812,10 +869,10 @@ class TestSinkDeliveryParity:
         with ServingCluster(
             model,
             SPEC,
-            ClusterConfig(
+            executor_config(
+                executor,
                 num_shards=num_shards,
                 batch_size=4,
-                executor=executor,
                 engine=engine_config(),
             ),
         ) as cluster:
@@ -829,7 +886,9 @@ class TestSinkDeliveryParity:
             delivered = sink.take()
         assert delivered == returned
 
-    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    @pytest.mark.parametrize(
+        "executor", ["serial", "thread", "process-pipe", "process-shm"]
+    )
     @pytest.mark.parametrize("num_shards", [1, 2, 4])
     def test_sink_matches_returned_lists_auto_batch(self, executor, num_shards):
         model = make_model("rotary")
@@ -837,12 +896,12 @@ class TestSinkDeliveryParity:
         with ServingCluster(
             model,
             SPEC,
-            ClusterConfig(
+            executor_config(
+                executor,
                 num_shards=num_shards,
                 batch_size="auto",
                 auto_drain=False,
                 max_queue=len(events) + 1,
-                executor=executor,
                 engine=engine_config(),
             ),
         ) as cluster:
@@ -888,7 +947,9 @@ class TestSinkDeliveryParity:
         assert serve("serial") == serve("thread")
 
     @pytest.mark.stress
-    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    @pytest.mark.parametrize(
+        "executor", ["serial", "thread", "process-pipe", "process-shm"]
+    )
     @pytest.mark.parametrize("seed", range(8))
     def test_sink_vs_returned_list_fuzz(self, seed, executor):
         """Weekly randomized sweep: any mix of submits, drains, expiries and
@@ -910,13 +971,13 @@ class TestSinkDeliveryParity:
             reencode_every=int(rng.integers(1, 4)),
             idle_timeout=float(rng.choice([0.0, 5.0])),
         )
-        config = ClusterConfig(
+        config = executor_config(
+            executor,
             num_shards=int(rng.choice([1, 2, 4])),
             batch_size="auto" if adaptive else int(rng.integers(1, 9)),
             auto_drain=False if adaptive else bool(rng.random() < 0.7),
             max_queue=len(events) + 1,
             batched=bool(rng.random() < 0.8),
-            executor=executor,
             engine=engine_config(**overrides),
         )
         drain_every = int(rng.integers(10, 60))
@@ -971,13 +1032,15 @@ class TestClusterLockstepStress:
         )
 
         adaptive = bool(rng.random() < 0.5)
-        config = ClusterConfig(
+        config = executor_config(
+            str(
+                rng.choice(["serial", "thread", "process-pipe", "process-shm"])
+            ),
             num_shards=int(rng.choice([1, 2, 4])),
             batch_size="auto" if adaptive else int(rng.integers(1, 9)),
             auto_drain=False if adaptive else bool(rng.random() < 0.7),
             max_queue=len(events) + 1,
             batched=bool(rng.random() < 0.8),
-            executor=str(rng.choice(["serial", "thread", "process"])),
             engine=engine_config(**overrides),
         )
         drain_every = int(rng.integers(10, 60))

@@ -327,6 +327,62 @@ class TestMakeExecutor:
         assert available_cpus() >= 1
 
 
+class TestAvailableCpusCgroupAwareness:
+    """``available_cpus()`` must respect container CPU quotas, not just the
+    affinity mask — a cgroup-limited box often shows every host core in
+    ``sched_getaffinity`` while CFS bandwidth caps actual parallelism."""
+
+    def _with_cgroup_files(self, monkeypatch, tmp_path, v2=None, v1=None):
+        from repro.serving import parallel
+
+        v2_path = tmp_path / "cpu.max"
+        quota_path = tmp_path / "cfs_quota_us"
+        period_path = tmp_path / "cfs_period_us"
+        if v2 is not None:
+            v2_path.write_text(v2 + "\n")
+        if v1 is not None:
+            quota_path.write_text(str(v1[0]) + "\n")
+            period_path.write_text(str(v1[1]) + "\n")
+        monkeypatch.setattr(parallel, "_CGROUP_V2_CPU_MAX", str(v2_path))
+        monkeypatch.setattr(parallel, "_CGROUP_V1_CFS_QUOTA", str(quota_path))
+        monkeypatch.setattr(parallel, "_CGROUP_V1_CFS_PERIOD", str(period_path))
+        return parallel
+
+    def test_v2_quota_caps_the_count(self, monkeypatch, tmp_path):
+        parallel = self._with_cgroup_files(monkeypatch, tmp_path, v2="200000 100000")
+        assert parallel._cgroup_cpu_limit() == 2
+
+    def test_v2_fractional_quota_rounds_up_with_floor_one(self, monkeypatch, tmp_path):
+        parallel = self._with_cgroup_files(monkeypatch, tmp_path, v2="50000 100000")
+        assert parallel._cgroup_cpu_limit() == 1
+        assert parallel.available_cpus() >= 1
+
+    def test_v2_max_means_unlimited(self, monkeypatch, tmp_path):
+        parallel = self._with_cgroup_files(monkeypatch, tmp_path, v2="max 100000")
+        assert parallel._cgroup_cpu_limit() is None
+
+    def test_v1_quota_and_period(self, monkeypatch, tmp_path):
+        parallel = self._with_cgroup_files(monkeypatch, tmp_path, v1=(300000, 100000))
+        assert parallel._cgroup_cpu_limit() == 3
+
+    def test_v1_negative_quota_means_unlimited(self, monkeypatch, tmp_path):
+        parallel = self._with_cgroup_files(monkeypatch, tmp_path, v1=(-1, 100000))
+        assert parallel._cgroup_cpu_limit() is None
+
+    def test_missing_cgroup_files_mean_unlimited(self, monkeypatch, tmp_path):
+        parallel = self._with_cgroup_files(monkeypatch, tmp_path)
+        assert parallel._cgroup_cpu_limit() is None
+
+    def test_quota_never_raises_available_cpus(self, monkeypatch, tmp_path):
+        """A huge quota must not report more CPUs than the affinity mask."""
+        parallel = self._with_cgroup_files(monkeypatch, tmp_path, v2="6400000 100000")
+        unpatched = parallel.available_cpus()
+        assert unpatched <= 64
+        quota = parallel._cgroup_cpu_limit()
+        assert quota == 64
+        assert parallel.available_cpus() == min(unpatched, quota)
+
+
 class TestAdaptiveBatchConfig:
     @pytest.mark.parametrize(
         "kwargs",

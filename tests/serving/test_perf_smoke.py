@@ -101,7 +101,50 @@ def test_thread_executor_drain_at_least_1_5x_serial(parallel_gate_result):
 def test_process_executor_drain_at_least_1_5x_serial(parallel_gate_result):
     """Process-backend gate, same geometry as the thread gate: shard rounds
     run in long-lived worker processes (no shared GIL at all), so the drain
-    must also clear 1.5x serial — the per-round pipe traffic (entries out,
-    decisions back) is the overhead the gate bounds.  Skips on single-core
-    machines for the same physical reason as the thread gate."""
+    must also clear 1.5x serial — the per-round transport traffic (entries
+    out, decisions back) is the overhead the gate bounds.  Skips on
+    single-core machines for the same physical reason as the thread gate."""
     assert parallel_gate_result["speedup_process"] >= 1.5, parallel_gate_result
+
+
+def _shm_available() -> bool:
+    from repro.serving.transport import shm_available
+
+    return shm_available()
+
+
+@pytest.fixture(scope="module")
+def transport_microbench_result():
+    bench = pytest.importorskip(
+        "benchmarks.bench_ext_cluster_throughput",
+        reason="benchmarks/ must be importable (run pytest from the repo root)",
+    )
+    return bench.run_transport_microbench(window=128, batch=8, seed=GATE_SEED)
+
+
+@pytest.mark.skipif(
+    not _shm_available(),
+    reason="multiprocessing.shared_memory unavailable on this platform",
+)
+def test_shm_transport_serialize_cheaper_than_pipe(transport_microbench_result):
+    """Transport gate at window 128 / batch 8: the flat shared-memory codec
+    must move strictly fewer bytes per round than pickling over the pipe
+    (deterministic — the numeric columns pack tighter than their pickled
+    object graphs) and its caller-side serialize time must stay within 2x
+    of the pipe's as an always-on sanity bound.
+
+    The strict 0.5x ratio is gated only on >= 2 usable cores: on a single
+    core the worker's model compute runs on the same core as the caller
+    between rounds, so every encode starts cache-cold and both transports
+    pay the same ~20us refill penalty, compressing the measured ratio
+    toward 1 (with scheduling noise pushing individual runs either side of
+    it) regardless of codec cost — warm, the shm codec measures ~0.43x
+    pipe.  Same skip convention as the drain-speedup gates above."""
+    micro = transport_microbench_result
+    assert micro["shm"]["transport_actual"] == "shm", micro
+    assert micro["shm"]["bytes_per_round"] < micro["pipe"]["bytes_per_round"], micro
+    assert (
+        micro["shm"]["serialize_ms_mean"] <= 2.0 * micro["pipe"]["serialize_ms_mean"]
+    ), micro
+    if _available_cpus() >= 2:
+        assert micro["shm_vs_pipe_serialize"] <= 0.5, micro

@@ -1,0 +1,394 @@
+"""Unit tests for the round-transport layer (``repro.serving.transport``).
+
+Cluster-level transport parity lives in ``test_cluster.py``; this file tests
+the codecs, the ring allocator, the caller/worker transport pairs, and —
+critically — segment lifecycle: rings must never leak, not after ``close()``
+and not across a SIGKILL/respawn cycle, and the resource tracker must never
+warn about them.
+"""
+
+import pickle
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.data.items import Item
+from repro.data.stream import StreamEvent
+from repro.serving.cluster import StreamDecision
+from repro.serving.engine import Decision
+from repro.serving.parallel import ProcessExecutor
+from repro.serving.transport import (
+    DEFAULT_RING_BYTES,
+    PipeTransport,
+    PipeWorkerTransport,
+    ShmRing,
+    ShmTransport,
+    ShmWorkerTransport,
+    decode_decisions,
+    decode_entries,
+    encode_decisions,
+    encode_entries,
+    make_round_transport,
+    make_worker_transport,
+    shm_available,
+)
+from tests.serving.test_parallel import _toy_handler
+
+needs_shm = pytest.mark.skipif(not shm_available(), reason="shared memory unavailable")
+
+
+def make_entries(ids_and_keys, value=(3, 1)):
+    return [
+        (stream_id, StreamEvent(float(i), Item(key, value, float(i) + 0.5), f"src-{i}"))
+        for i, (stream_id, key) in enumerate(ids_and_keys)
+    ]
+
+
+def make_wrapped_decisions(pairs):
+    return [
+        StreamDecision(
+            stream_id,
+            0,
+            Decision(key, i % 4, 0.25 * i, i + 1, 10.0 + i, i % 2 == 0, i % 3 == 0),
+        )
+        for i, (stream_id, key) in enumerate(pairs)
+    ]
+
+
+def roundtrip_entries(entries, capacity=DEFAULT_RING_BYTES):
+    buffer = memoryview(bytearray(capacity))
+    nbytes = encode_entries(entries, buffer)
+    assert nbytes is not None
+    return decode_entries(bytes(buffer[:nbytes]))
+
+
+def roundtrip_decisions(decisions, shard_id=0, capacity=DEFAULT_RING_BYTES):
+    buffer = memoryview(bytearray(capacity))
+    nbytes = encode_decisions(decisions, buffer)
+    assert nbytes is not None
+    return decode_decisions(bytes(buffer[:nbytes]), shard_id)
+
+
+class TestCodecs:
+    def test_entries_roundtrip_strings(self):
+        entries = make_entries([("stream-1", "k1"), ("stream-2", "k2")] * 5)
+        assert roundtrip_entries(entries) == entries
+
+    def test_entries_roundtrip_exotic_hashables(self):
+        """Every hashable id/key the cluster accepts must survive the codec:
+        machine ints, huge ints (pickle fallback), bytes, tuples, None."""
+        entries = make_entries(
+            [
+                (17, 42),
+                (-(1 << 62), 1 << 70),
+                (b"raw-id", b"raw-key"),
+                (("composite", 3), ("k", 1.5)),
+                (None, "key"),
+            ]
+        )
+        assert roundtrip_entries(entries) == entries
+
+    def test_entries_roundtrip_empty_and_empty_values(self):
+        assert roundtrip_entries([]) == []
+        entries = make_entries([("s", "k")], value=())
+        assert roundtrip_entries(entries) == entries
+
+    def test_entries_wide_round_uses_numpy_path(self):
+        entries = make_entries(
+            [(f"stream-{i % 7}", f"key-{i % 13}") for i in range(300)]
+        )
+        assert roundtrip_entries(entries) == entries
+
+    def test_decoded_values_are_native_types(self):
+        """Decoded events must compare and pickle exactly like never-
+        serialised ones — no numpy scalars may leak out of the codec."""
+        entries = make_entries([(f"s{i}", f"k{i}") for i in range(300)])
+        for _, event in roundtrip_entries(entries):
+            assert type(event.time) is float
+            assert type(event.item.time) is float
+            assert all(type(v) is int for v in event.item.value)
+        assert pickle.loads(pickle.dumps(roundtrip_entries(entries))) == entries
+
+    def test_decisions_roundtrip(self):
+        decisions = make_wrapped_decisions(
+            [(f"stream-{i}", f"key-{i}") for i in range(6)]
+        )
+        assert roundtrip_decisions(decisions) == decisions
+
+    def test_decisions_roundtrip_wide_and_exotic(self):
+        decisions = make_wrapped_decisions(
+            [((i, "t"), i * 1000) for i in range(200)]
+        )
+        got = roundtrip_decisions(decisions, shard_id=3)
+        assert [d.decision for d in got] == [d.decision for d in decisions]
+        assert all(d.shard_id == 3 for d in got)
+
+    def test_decision_flags_roundtrip_independently(self):
+        for halted in (False, True):
+            for truncated in (False, True):
+                decision = StreamDecision(
+                    "s", 0, Decision("k", 1, 0.5, 3, 1.0, halted, truncated)
+                )
+                (got,) = roundtrip_decisions([decision])
+                assert got.decision.halted_by_policy is halted
+                assert got.decision.window_truncated is truncated
+
+    def test_oversized_payload_returns_none(self):
+        entries = make_entries([("stream-1", "key-1")] * 16)
+        assert encode_entries(entries, memoryview(bytearray(64))) is None
+        decisions = make_wrapped_decisions([("s", "k")] * 16)
+        assert encode_decisions(decisions, memoryview(bytearray(64))) is None
+
+
+@needs_shm
+class TestShmRing:
+    def test_create_attach_and_read_back(self):
+        ring = ShmRing(4096)
+        try:
+            attached = ShmRing(0, name=ring.name)
+            view = ring.view(0, 5)
+            view[:5] = b"hello"
+            view.release()
+            assert attached.read(0, 5) == b"hello"
+            attached.close()
+        finally:
+            ring.destroy()
+
+    def test_advance_wraps_to_zero_at_capacity(self):
+        ring = ShmRing(64)
+        try:
+            ring.advance(0, 48)
+            assert ring.offset == 48
+            ring.advance(48, 16)  # 8-aligned end == capacity -> wrap
+            assert ring.offset == 0
+        finally:
+            ring.destroy()
+
+    def test_unlink_is_owner_only(self):
+        ring = ShmRing(1024)
+        attached = ShmRing(0, name=ring.name)
+        attached.unlink()  # non-owner: must be a no-op
+        reattached = ShmRing(0, name=ring.name)  # still linkable
+        reattached.close()
+        attached.close()
+        ring.destroy()
+        with pytest.raises(FileNotFoundError):
+            ShmRing(0, name=ring.name)
+
+
+@needs_shm
+class TestShmTransportPair:
+    def test_round_payload_rides_the_ring(self):
+        caller = ShmTransport(ring_bytes=1 << 16)
+        caller.reallocate()
+        try:
+            worker = make_worker_transport(caller.worker_args())
+            assert isinstance(worker, ShmWorkerTransport)
+            entries = make_entries([("stream-1", "k1"), ("stream-2", "k2")])
+            wire, nbytes = caller.encode_request("round", {"entries": entries})
+            assert wire[0] == "shm"
+            assert nbytes > 0
+            payload = worker.decode_request("round", wire)
+            assert payload == {"entries": entries}
+
+            decisions = make_wrapped_decisions([("stream-1", "k1")])
+            reply = {
+                "decisions": decisions,
+                "batch_rounds": 1,
+                "batched_rows": 2,
+                "encode_ms": 0.5,
+            }
+            reply_wire = worker.encode_reply("round", reply)
+            assert reply_wire[0] == "shm"
+            decoded, nbytes_in = caller.decode_reply("round", reply_wire, 0)
+            assert decoded == reply
+            assert nbytes_in > 0
+        finally:
+            caller.close()
+
+    def test_oversized_payload_falls_back_to_pickle_envelope(self):
+        caller = ShmTransport(ring_bytes=128)
+        caller.reallocate()
+        try:
+            worker = make_worker_transport(caller.worker_args())
+            entries = make_entries([(f"stream-{i}", f"key-{i}") for i in range(64)])
+            wire, _ = caller.encode_request("round", {"entries": entries})
+            assert wire[0] == "pkl"
+            assert worker.decode_request("round", wire) == {"entries": entries}
+        finally:
+            caller.close()
+
+    def test_unencodable_values_fall_back_to_pickle_envelope(self):
+        caller = ShmTransport()
+        caller.reallocate()
+        try:
+            entries = [
+                ("s", StreamEvent(0.0, Item("k", (1.5, 2.5), 0.0), "s"))
+            ]  # float values: outside the flat int64 codec
+            wire, _ = caller.encode_request("round", {"entries": entries})
+            assert wire[0] == "pkl"
+        finally:
+            caller.close()
+
+    def test_control_ops_bypass_the_ring(self):
+        caller = ShmTransport()
+        caller.reallocate()
+        try:
+            wire, nbytes = caller.encode_request("seed", {"blob": b"x"})
+            assert wire == ("raw", {"blob": b"x"})
+            assert nbytes == 0
+        finally:
+            caller.close()
+
+    def test_flush_tail_reply_is_a_bare_decision_list(self):
+        caller = ShmTransport()
+        caller.reallocate()
+        try:
+            worker = make_worker_transport(caller.worker_args())
+            decisions = make_wrapped_decisions([("s1", "k1"), ("s2", "k2")])
+            wire = worker.encode_reply("flush_tail", decisions)
+            assert wire[0] == "shm"
+            decoded, _ = caller.decode_reply("flush_tail", wire, 0)
+            assert decoded == decisions
+        finally:
+            caller.close()
+
+    def test_reallocate_unlinks_previous_generation(self):
+        caller = ShmTransport(ring_bytes=4096)
+        caller.reallocate()
+        first = caller.segment_names()
+        caller.reallocate()
+        second = caller.segment_names()
+        try:
+            assert set(first).isdisjoint(second)
+            for name in first:
+                with pytest.raises(FileNotFoundError):
+                    ShmRing(0, name=name)
+        finally:
+            caller.close()
+
+
+class TestPipeTransportPair:
+    def test_bulk_round_is_explicitly_pickled(self):
+        caller = PipeTransport()
+        worker = PipeWorkerTransport()
+        entries = make_entries([("s", "k")])
+        wire, nbytes = caller.encode_request("round", {"entries": entries})
+        assert wire[0] == "pkl"
+        assert nbytes == len(wire[1])
+        assert worker.decode_request("round", wire) == {"entries": entries}
+        reply = {"decisions": [], "batch_rounds": 1, "batched_rows": 1, "encode_ms": 0.1}
+        decoded, nbytes_in = caller.decode_reply("round", worker.encode_reply("round", reply), 0)
+        assert decoded == reply
+        assert nbytes_in > 0
+
+    def test_factories_reject_unknown_names(self):
+        with pytest.raises(ValueError, match="unknown transport"):
+            make_round_transport("carrier-pigeon")
+        with pytest.raises(ValueError, match="unknown worker transport"):
+            make_worker_transport(("carrier-pigeon",))
+
+
+@needs_shm
+class TestSegmentLifecycle:
+    def test_segments_exist_while_serving_and_vanish_on_close(self):
+        executor = ProcessExecutor(num_shards=2, handler=_toy_handler, transport="shm")
+        names = executor.shm_segment_names()
+        assert len(names) == 2 * executor.num_workers
+        for name in names:  # live and attachable while serving
+            ShmRing(0, name=name).close()
+        executor.close()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                ShmRing(0, name=name)
+
+    def test_respawn_after_kill_reallocates_and_unlinks_old_rings(self):
+        with ProcessExecutor(num_shards=1, handler=_toy_handler, transport="shm") as executor:
+            before = executor.shm_segment_names()
+            executor.remote_call(0, "echo")
+            executor.kill_worker(0)
+            executor.ensure_worker(0)
+            after = executor.shm_segment_names()
+            assert set(before).isdisjoint(after)
+            for name in before:  # the killed generation's rings are gone
+                with pytest.raises(FileNotFoundError):
+                    ShmRing(0, name=name)
+            # the respawned worker serves through the fresh rings
+            assert executor.remote_call(0, "echo")["shard"] == 0
+
+    def test_no_resource_tracker_warnings_across_lifecycle(self):
+        """A kill/respawn/close cycle must leave no orphaned segments and no
+        resource-tracker chatter on stderr (leaked segments and
+        double-unregisters both scream there at interpreter exit)."""
+        repo_src = str(Path(__file__).resolve().parents[2] / "src")
+        script = textwrap.dedent(
+            """
+            from repro.serving.parallel import ProcessExecutor
+            from tests.serving.test_parallel import _toy_handler
+
+            executor = ProcessExecutor(num_shards=2, handler=_toy_handler, transport="shm")
+            executor.remote_call(0, "echo")
+            executor.remote_call(1, "echo")
+            executor.kill_worker(0)
+            executor.ensure_worker(0)
+            executor.remote_call(0, "echo")
+            executor.close()
+            print("LIFECYCLE-OK")
+            """
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            env={
+                "PYTHONPATH": repo_src + ":" + str(Path(__file__).resolve().parents[2]),
+                "PATH": "/usr/bin:/bin:/usr/local/bin",
+            },
+        )
+        assert result.returncode == 0, result.stderr
+        assert "LIFECYCLE-OK" in result.stdout
+        assert "resource_tracker" not in result.stderr
+        assert "leaked" not in result.stderr
+
+
+class TestTransportSelection:
+    def test_executor_records_resolved_transport(self):
+        with ProcessExecutor(num_shards=1, handler=_toy_handler, transport="pipe") as executor:
+            assert executor.transport == "pipe"
+            assert executor.shm_segment_names() == ()
+            assert executor.remote_call(0, "echo")["shard"] == 0
+
+    @needs_shm
+    def test_shm_is_the_default(self):
+        with ProcessExecutor(num_shards=1, handler=_toy_handler) as executor:
+            assert executor.transport == "shm"
+            assert executor.remote_call(0, "echo")["shard"] == 0
+
+    def test_invalid_transport_rejected(self):
+        with pytest.raises(ValueError, match="unknown transport"):
+            ProcessExecutor(num_shards=1, handler=_toy_handler, transport="smoke-signal")
+        with pytest.raises(ValueError, match="positive"):
+            ProcessExecutor(
+                num_shards=1, handler=_toy_handler, transport_ring_bytes=0
+            )
+
+    @needs_shm
+    def test_tiny_ring_still_serves_rounds_via_fallback(self):
+        """A ring too small for any payload degrades to per-payload pickle
+        fallback — slower, never wrong."""
+        with ProcessExecutor(
+            num_shards=1, handler=_toy_handler, transport="shm", transport_ring_bytes=16
+        ) as executor:
+            assert executor.transport == "shm"
+            assert executor.remote_call(0, "echo", {"n": 1})["payload"] == {"n": 1}
+
+    def test_telemetry_dict_is_filled(self):
+        with ProcessExecutor(num_shards=1, handler=_toy_handler, transport="pipe") as executor:
+            telemetry = {}
+            executor.remote_call(0, "echo", {"n": 1}, telemetry=telemetry)
+            assert set(telemetry) == {"bytes", "serialize_ms"}
+            assert telemetry["serialize_ms"] >= 0.0
