@@ -1,0 +1,358 @@
+"""Cross-sample batched episode execution for training (one GEMM per step).
+
+The per-sample training reference (:meth:`repro.core.model.KVEC.run_episode`)
+processes one tangled sequence at a time: a full causal-masked encode of the
+sample, then a per-arrival fusion/policy loop whose graph is a chain of
+GEMV-sized nodes.  This module executes a minibatch of B tangles together:
+
+* **Encode** — the encode is action-independent (the strictly causal mask
+  means row ``t`` of a full-length pass equals what a streaming system would
+  compute after ``t`` arrivals — the PR-1 invariant), so all ``B`` samples
+  are padded to a common length and encoded as one ``(B, T, d_model)`` pass:
+  every projection, FFN and attention product is a single batched GEMM
+  (:meth:`repro.core.kvrl.KVRLEncoder.forward_batch`) instead of ``B``
+  per-sample calls.
+* **Fusion/policy loop** — actions do matter here, so arrivals are walked
+  round by round, but all ``B`` samples advance in lockstep: each round
+  gathers the step-``t`` encoded rows of every episode still running, and
+  the fusion gate, halting head and log-probabilities run as one batched
+  GEMM each (:meth:`~repro.core.fusion.GatedFusion.forward_batch`,
+  :meth:`~repro.core.ectl.HaltingPolicy.forward_batch`).  The loop exits as
+  soon as every episode has halted — rounds whose arrivals all belong to
+  halted keys cost nothing.
+
+Parity contract
+---------------
+All cross-sample batching is pure math-level stacking of independent
+streams, so per-sample numerics match the reference up to BLAS
+summation-order noise (~1e-12) — which bounds batched-vs-per-sample loss
+and gradient drift at the documented 1e-8 (bit-for-bit where shapes make
+the arithmetic identical).  With per-episode sampling RNGs (each episode
+draws its Halt/Wait coin flips from its own generator, seeded identically
+on both paths) the sampled action sequences match the per-sample reference
+exactly.  Exact parity additionally requires ``dropout == 0``: the two
+layouts draw dropout masks in different shapes, so with dropout active the
+paths are statistically equivalent but not numerically equal.
+
+Ragged episode lengths are handled by an *active-episode mask*: padding
+rows of the stacked encode keep a visible diagonal (finite softmax) but are
+never gathered by the fusion loop, and a sample whose arrivals are
+exhausted — or whose episodes have all halted — simply stops contributing
+rounds.  No sample ever waits for another.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.correlation import build_correlation_structure
+from repro.core.ectl import ACTION_HALT, ACTION_WAIT
+from repro.core.model import EpisodeResult, KeyEpisode
+from repro.data.items import TangledSequence
+from repro.nn.attention import MASK_VALUE, rotary_phases
+from repro.nn.functional import softmax_array
+from repro.nn.tensor import Tensor
+
+__all__ = ["BatchedStepTail", "run_episodes_batched"]
+
+
+@dataclass
+class BatchedStepTail:
+    """Flat, round-major view of a minibatch's episodes for loss assembly.
+
+    The lockstep runner emits its halt-head outputs as one ``(B_r,)`` graph
+    tensor per round; here they are concatenated into minibatch-wide vectors
+    so the trainer can build the REINFORCE and earliness losses with a
+    handful of graph nodes (one stacked log-prob vector dotted against the
+    advantage vector) instead of per-step scalar chains.
+
+    Step arrays are parallel (one entry per observed step, round-major);
+    episode arrays are parallel (one entry per key-value sequence, ordered
+    tangle-major then by first appearance).  ``log_halt`` / ``log_wait`` are
+    ``None`` when the batch produced no observed steps (impossible for
+    non-empty tangles, kept for defensive symmetry).
+    """
+
+    log_halt: Optional[Tensor]
+    log_wait: Optional[Tensor]
+    step_actions: np.ndarray
+    step_episode: np.ndarray
+    step_obs_index: np.ndarray
+    states_data: np.ndarray
+    class_logits: Tensor
+    episode_labels: np.ndarray
+    episode_tangles: np.ndarray
+    episode_predicted: np.ndarray
+    episode_num_obs: np.ndarray
+
+    @property
+    def num_steps(self) -> int:
+        return int(self.step_actions.shape[0])
+
+    @property
+    def num_episodes(self) -> int:
+        return int(self.episode_labels.shape[0])
+
+
+def run_episodes_batched(
+    model,
+    tangles: Sequence[TangledSequence],
+    mode: str = "sample",
+    halt_threshold: float = 0.5,
+    rngs: Optional[Sequence[np.random.Generator]] = None,
+    max_items: Optional[int] = None,
+) -> Tuple[List[EpisodeResult], BatchedStepTail]:
+    """Run one episode per tangle, executing the whole minibatch together.
+
+    Parameters
+    ----------
+    model:
+        The :class:`~repro.core.model.KVEC` model (training or eval mode).
+    tangles:
+        The minibatch of tangled sequences.
+    mode:
+        ``"sample"`` draws Halt/Wait per episode from ``rngs`` (training);
+        ``"greedy"`` halts at ``halt_threshold`` (evaluation cross-checks).
+    rngs:
+        One independent generator per tangle (required in ``"sample"``
+        mode).  Seeding these identically on the per-sample path makes the
+        two paths' action sequences — and therefore losses and gradients —
+        comparable at the parity tolerances documented in the module
+        docstring.
+    max_items:
+        Optional per-tangle truncation, as in ``run_episode``.
+
+    Returns
+    -------
+    (results, tail)
+        ``results`` holds one :class:`EpisodeResult` per tangle whose
+        episodes carry the same actions/predictions/records as the
+        per-sample reference (states and per-step log-probs are stored
+        *detached* — the differentiable quantities live in ``tail``).
+    """
+    if mode not in ("sample", "greedy"):
+        raise ValueError(f"unknown mode {mode!r}")
+    if not tangles:
+        raise ValueError("run_episodes_batched requires at least one tangle")
+    if mode == "sample":
+        if rngs is None or len(rngs) != len(tangles):
+            raise ValueError("sample mode requires one RNG per tangle")
+
+    config = model.config
+    batch = len(tangles)
+    lengths = [
+        len(tangle) if max_items is None else min(max_items, len(tangle))
+        for tangle in tangles
+    ]
+    if any(length == 0 for length in lengths):
+        raise ValueError("cannot run an episode on an empty tangled sequence")
+    t_max = max(lengths)
+
+    use_coords = config.encoding == "rotary" and config.use_time_embeddings
+    embedding = model.input_embedding
+    d_head = model.encoder.blocks[0].attention.d_head
+    rel_bias = model.encoder.blocks[0].attention.rel_bias
+    max_rel = model.encoder.blocks[0].attention.max_relative_positions
+
+    # Per-sample precompute: correlation masks and embedding-table indices.
+    structures = [
+        build_correlation_structure(
+            tangles[i],
+            upto=lengths[i],
+            use_key_correlation=config.use_key_correlation,
+            use_value_correlation=config.use_value_correlation,
+        )
+        for i in range(batch)
+    ]
+    coords = [embedding.coordinates(tangles[i], upto=lengths[i]) for i in range(batch)]
+
+    # Stacked, padded embedding-table indices (padding gathers row 0, whose
+    # output is never selected) and per-sample additive masks.  Padding rows
+    # keep a visible diagonal so their softmax stays finite.
+    num_fields = embedding.spec.num_fields
+    field_codes = np.zeros((num_fields, batch, t_max), dtype=int)
+    membership = np.zeros((batch, t_max), dtype=int)
+    positions = np.zeros((batch, t_max), dtype=int)
+    times = np.zeros((batch, t_max), dtype=int)
+    mask = np.full((batch, t_max, t_max), MASK_VALUE, dtype=np.float64)
+    mask[:, np.arange(t_max), np.arange(t_max)] = 0.0
+    for i in range(batch):
+        length = lengths[i]
+        field_codes[:, i, :length] = coords[i][0]
+        membership[i, :length] = coords[i][1]
+        positions[i, :length] = coords[i][2]
+        times[i, :length] = coords[i][3]
+        mask[i, :length, :length] = structures[i].mask
+
+    phases = delta = same = None
+    if use_coords:
+        phases = rotary_phases(np.arange(t_max, dtype=np.float64), d_head)
+        if rel_bias is not None:
+            delta = np.zeros((batch, t_max, t_max), dtype=int)
+            same = np.zeros((batch, t_max, t_max), dtype=np.float64)
+            for i in range(batch):
+                length = lengths[i]
+                rel = model.relative_coords(tangles[i], length)
+                delta[i, :length, :length] = np.clip(
+                    rel.key_ranks[:, None] - rel.key_ranks[None, :], 0, max_rel - 1
+                )
+                same[i, :length, :length] = (
+                    rel.key_codes[:, None] == rel.key_codes[None, :]
+                ).astype(np.float64)
+
+    # One padded batched encode: every projection/FFN/attention product is a
+    # single GEMM over the whole minibatch.
+    embedded = embedding.embed_rows(
+        field_codes.reshape(num_fields, batch * t_max),
+        membership.reshape(-1),
+        positions.reshape(-1),
+        times.reshape(-1),
+    ).reshape(batch, t_max, embedding.d_model)
+    encoded = model.encoder.forward_batch(
+        embedded, mask=mask, phases=phases, delta=delta, same=same
+    )
+
+    # Episodes in tangle-major, first-appearance order; each gets a global id.
+    episodes_per: List[dict] = []
+    episode_index: List[Tuple[int, object, KeyEpisode]] = []
+    gid = {}
+    undecided = [0] * batch
+    for i in range(batch):
+        episodes = {}
+        for index in range(lengths[i]):
+            key = tangles[i][index].key
+            if key not in episodes:
+                episode = KeyEpisode(
+                    key=key,
+                    label=tangles[i].label_of(key),
+                    sequence_length=tangles[i].sequence_length(key),
+                )
+                episodes[key] = episode
+                gid[(i, key)] = len(episode_index)
+                episode_index.append((i, key, episode))
+        episodes_per.append(episodes)
+        undecided[i] = len(episodes)
+
+    zero_state = model.fusion.initial_state()
+    slot_states = {}
+    class_refs = {}  # (sample, key) -> (reps tensor, row): rep to classify from
+
+    round_log_halt: List[Tensor] = []
+    round_log_wait: List[Tensor] = []
+    round_states: List[np.ndarray] = []
+    step_actions: List[int] = []
+    step_episode: List[int] = []
+    step_obs_index: List[int] = []
+
+    for t in range(t_max):
+        if not any(undecided[i] and lengths[i] > t for i in range(batch)):
+            break  # every remaining arrival belongs to a halted key
+        rows: List[int] = []
+        sub: List[Tuple[int, object, KeyEpisode]] = []
+        for i in range(batch):
+            if t >= lengths[i] or not undecided[i]:
+                continue
+            key = tangles[i][t].key
+            episode = episodes_per[i][key]
+            if episode.halted:
+                continue
+            rows.append(i)
+            sub.append((i, key, episode))
+        if not rows:
+            continue
+
+        # One gather per round: the step-t encoded rows of the live episodes.
+        xs = encoded[(np.asarray(rows), t)]
+        states = [slot_states.get((i, key), zero_state) for i, key, _ in sub]
+        reps, stacked_state = model.fusion.forward_batch(states, xs)
+        probabilities = model.policy.forward_batch(reps)
+        log_halt, log_wait = model.policy.log_probs_batch(probabilities)
+        prob_data = probabilities.data
+        reps_data = reps.data
+        log_halt_data = log_halt.data
+        log_wait_data = log_wait.data
+
+        for r, (i, key, episode) in enumerate(sub):
+            if mode == "sample":
+                action = (
+                    ACTION_HALT
+                    if rngs[i].random() < float(prob_data[r])
+                    else ACTION_WAIT
+                )
+            else:
+                action = (
+                    ACTION_HALT if float(prob_data[r]) >= halt_threshold else ACTION_WAIT
+                )
+            episode.actions.append(action)
+            # Detached bookkeeping copies: the differentiable log-probs and
+            # states live in the round-level tail tensors.
+            episode.states.append(Tensor(reps_data[r]))
+            episode.halt_log_probs.append(
+                Tensor(log_halt_data[r] if action == ACTION_HALT else log_wait_data[r])
+            )
+            step_actions.append(action)
+            step_episode.append(gid[(i, key)])
+            step_obs_index.append(episode.num_observations - 1)
+            class_refs[(i, key)] = (reps, r)
+            if action == ACTION_HALT:
+                episode.halted = True
+                episode.halted_by_policy = True
+                undecided[i] -= 1
+                slot_states.pop((i, key), None)
+            else:
+                slot_states[(i, key)] = model.fusion.split_state(stacked_state, r)
+
+        round_log_halt.append(log_halt)
+        round_log_wait.append(log_wait)
+        round_states.append(reps_data)
+
+    # One batched classifier pass over every episode's decision state: the
+    # halting representation for policy-halted episodes, the final observed
+    # one for the rest — exactly the reference's `_classify` choices.
+    class_rows = [
+        class_refs[(i, key)][0][class_refs[(i, key)][1]] for i, key, _ in episode_index
+    ]
+    class_logits = model.classifier(Tensor.stack(class_rows))
+    class_probs = softmax_array(class_logits.data)
+    episode_labels = np.asarray(
+        [episode.label for _, _, episode in episode_index], dtype=np.int64
+    )
+    episode_tangles = np.asarray([i for i, _, _ in episode_index], dtype=np.int64)
+    episode_predicted = np.empty(len(episode_index), dtype=np.int64)
+    episode_num_obs = np.empty(len(episode_index), dtype=np.int64)
+    for e, (i, key, episode) in enumerate(episode_index):
+        probabilities = class_probs[e]
+        episode.logits = class_logits[e]
+        episode.predicted = int(np.argmax(probabilities))
+        episode.confidence = float(np.max(probabilities))
+        if not episode.halted:
+            episode.halted = True
+            episode.halted_by_policy = False
+        episode_predicted[e] = episode.predicted
+        episode_num_obs[e] = episode.num_observations
+
+    tail = BatchedStepTail(
+        log_halt=Tensor.concatenate(round_log_halt) if round_log_halt else None,
+        log_wait=Tensor.concatenate(round_log_wait) if round_log_wait else None,
+        step_actions=np.asarray(step_actions, dtype=np.int64),
+        step_episode=np.asarray(step_episode, dtype=np.int64),
+        step_obs_index=np.asarray(step_obs_index, dtype=np.int64),
+        states_data=(
+            np.concatenate(round_states, axis=0)
+            if round_states
+            else np.empty((0, model.state_dim))
+        ),
+        class_logits=class_logits,
+        episode_labels=episode_labels,
+        episode_tangles=episode_tangles,
+        episode_predicted=episode_predicted,
+        episode_num_obs=episode_num_obs,
+    )
+    results = [
+        EpisodeResult(episodes=episodes_per[i], correlation=structures[i])
+        for i in range(batch)
+    ]
+    return results, tail

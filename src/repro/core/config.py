@@ -75,6 +75,13 @@ class KVECConfig:
     fusion:
         Fusion mechanism: ``"gated"`` (the paper's LSTM-style gating),
         ``"mean"`` or ``"last"`` (parameter-free ablations).
+    batched_training:
+        Run training minibatches through the cross-sample lockstep episode
+        runner (:mod:`repro.core.batched_episodes`): one GEMM per step
+        across the minibatch instead of per-sample GEMV chains.  Losses and
+        gradients match the per-sample path within 1e-8 at equal seeds (the
+        parity suite pins this); off by default so existing configs keep the
+        reference path.
     seed:
         Seed for parameter initialisation and action sampling.
     """
@@ -101,6 +108,7 @@ class KVECConfig:
     use_time_embeddings: bool = True
     encoding: str = "absolute"
     fusion: str = "gated"
+    batched_training: bool = False
     seed: int = 0
 
     def __post_init__(self) -> None:

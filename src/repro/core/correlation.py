@@ -171,23 +171,56 @@ def build_correlation_structure(
     ablation switches, matching the paper's mask definition.
     """
     length = len(tangle) if upto is None else min(upto, len(tangle))
-    mask = np.full((length, length), MASK_VALUE, dtype=np.float64)
-    key_correlated = np.zeros((length, length), dtype=bool)
-    value_correlated = np.zeros((length, length), dtype=bool)
+    session_field = tangle.spec.session_field
 
-    tracker = CorrelationTracker(
-        session_field=tangle.spec.session_field,
-        use_key_correlation=use_key_correlation,
-        use_value_correlation=use_value_correlation,
-    )
+    # Vectorised equivalent of replaying a CorrelationTracker over the prefix
+    # (the incremental tracker stays the streaming reference; the property
+    # tests pin the two constructions against each other).  Extract per-item
+    # key codes and session values, then derive for every item the position
+    # of the *next same-key item with a different session value* — item j is
+    # still part of its key's open session at time i exactly when that value
+    # change happens at or after i.
+    key_codes = np.empty(length, dtype=np.int64)
+    session_values = np.empty(length, dtype=np.int64)
+    code_by_key: Dict[Hashable, int] = {}
     for index in range(length):
         item = tangle[index]
-        via_key, via_value = tracker.observe(item.key, item.value)
-        mask[index, index] = 0.0
-        for position in via_key:
-            mask[index, position] = 0.0
-            key_correlated[index, position] = True
-        for position in via_value:
-            mask[index, position] = 0.0
-            value_correlated[index, position] = True
+        code = code_by_key.get(item.key)
+        if code is None:
+            code = len(code_by_key)
+            code_by_key[item.key] = code
+        key_codes[index] = code
+        session_values[index] = int(item.value[session_field])
+
+    next_change = np.full(length, length, dtype=np.int64)
+    next_position: Dict[int, int] = {}
+    for index in range(length - 1, -1, -1):
+        code = int(key_codes[index])
+        upcoming = next_position.get(code)
+        if upcoming is not None:
+            if session_values[upcoming] != session_values[index]:
+                next_change[index] = upcoming
+            else:
+                next_change[index] = next_change[upcoming]
+        next_position[code] = index
+
+    order = np.arange(length)
+    earlier = order[None, :] < order[:, None]
+    same_key = key_codes[:, None] == key_codes[None, :]
+    if use_key_correlation:
+        key_correlated = same_key & earlier
+    else:
+        key_correlated = np.zeros((length, length), dtype=bool)
+    if use_value_correlation:
+        value_correlated = (
+            ~same_key
+            & earlier
+            & (session_values[:, None] == session_values[None, :])
+            & (next_change[None, :] > order[:, None])
+        )
+    else:
+        value_correlated = np.zeros((length, length), dtype=bool)
+
+    mask = np.where(key_correlated | value_correlated, 0.0, MASK_VALUE)
+    np.fill_diagonal(mask, 0.0)
     return CorrelationStructure(mask=mask, key_correlated=key_correlated, value_correlated=value_correlated)

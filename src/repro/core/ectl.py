@@ -39,6 +39,25 @@ class HaltingPolicy(Module):
         """Halting probability for a single state vector of shape ``(d_state,)``."""
         return F.sigmoid(self.projection(state)).reshape(())
 
+    def forward_batch(self, states: Tensor) -> Tensor:
+        """Autograd batched head: halting probabilities for ``(B, d_state)``.
+
+        Parity contract: row ``i`` matches :meth:`forward` on ``states[i]``
+        up to BLAS summation order (one ``(B, d_state)`` GEMV batch instead
+        of ``B`` scalar projections).
+        """
+        return F.sigmoid(self.projection(states)).squeeze(-1)
+
+    def log_probs_batch(self, probabilities: Tensor):
+        """Differentiable ``(log P(Halt|s), log P(Wait|s))`` for a batch.
+
+        ``probabilities`` is the ``(B,)`` output of :meth:`forward_batch`;
+        the clip bound matches :meth:`log_prob` exactly, so per-row values
+        agree with the per-sample reference for either action.
+        """
+        clipped = probabilities.clip(1e-7, 1.0 - 1e-7)
+        return clipped.log(), (1.0 - clipped).log()
+
     def halt_probability(self, state: Tensor) -> float:
         """Convenience: the halting probability as a python float."""
         return float(self.forward(state).data)

@@ -96,15 +96,20 @@ class InputEmbedding(Module):
         """Membership-table row for ``key`` under the rotary scheme."""
         return stable_key_slot(key, self.max_keys)
 
-    def forward(self, tangle: TangledSequence, upto: Optional[int] = None) -> Tensor:
-        """Return the dynamic embedding matrix ``E0`` for ``tangle[:upto]``.
+    def coordinates(self, tangle: TangledSequence, upto: Optional[int] = None):
+        """Clipped embedding-table indices for every row of ``tangle[:upto]``.
 
-        Rows are ordered by arrival, matching the correlation mask layout.
+        Returns ``(field_codes, membership, positions, times)`` where
+        ``field_codes`` is ``(num_fields, T)`` and the rest are ``(T,)`` int
+        arrays — exactly the rows :meth:`forward` gathers, so callers that
+        slice these per arrival (the batched-episode runner) index the same
+        table rows as the full-matrix embed.  Under the rotary scheme the
+        position/time columns stay zero: those signals live on the attention
+        side and the membership index is the key's stable hash slot.
         """
         length = len(tangle) if upto is None else min(upto, len(tangle))
         if length == 0:
             raise ValueError("cannot embed an empty tangled sequence")
-
         field_codes = np.zeros((self.spec.num_fields, length), dtype=int)
         membership = np.zeros(length, dtype=int)
         positions = np.zeros(length, dtype=int)
@@ -119,6 +124,41 @@ class InputEmbedding(Module):
                 membership[index] = min(tangle.key_index(item.key), self.max_keys - 1)
                 positions[index] = min(tangle.position_in_key_sequence(index), self.max_positions - 1)
                 times[index] = min(index, self.max_time - 1)
+        return field_codes, membership, positions, times
+
+    def embed_rows(
+        self,
+        field_codes: np.ndarray,
+        membership: np.ndarray,
+        positions: np.ndarray,
+        times: np.ndarray,
+    ) -> Tensor:
+        """Autograd batched-row embed from precomputed table indices.
+
+        ``field_codes`` is ``(num_fields, B)`` and the coordinate arrays are
+        ``(B,)`` — one column of :meth:`coordinates` per episode, already
+        clipped.  Parity contract: the summation order (value fields, then
+        membership, then position, then time) matches :meth:`forward`, so
+        each returned row is bit-identical to the corresponding row of the
+        full-matrix embed while gradients scatter back into the same table
+        rows.
+        """
+        embedded = self.value_embeddings[0](field_codes[0])
+        for field_index in range(1, self.spec.num_fields):
+            embedded = embedded + self.value_embeddings[field_index](field_codes[field_index])
+        if self.use_membership_embedding:
+            embedded = embedded + self.membership_embedding(membership)
+        if self.use_time_embeddings and self.encoding == "absolute":
+            embedded = embedded + self.position_embedding(positions)
+            embedded = embedded + self.time_embedding(times)
+        return embedded
+
+    def forward(self, tangle: TangledSequence, upto: Optional[int] = None) -> Tensor:
+        """Return the dynamic embedding matrix ``E0`` for ``tangle[:upto]``.
+
+        Rows are ordered by arrival, matching the correlation mask layout.
+        """
+        field_codes, membership, positions, times = self.coordinates(tangle, upto=upto)
 
         embedded = self.value_embeddings[0](field_codes[0])
         for field_index in range(1, self.spec.num_fields):

@@ -49,6 +49,26 @@ class GatedFusion(Module):
         hidden, cell = self.cell(item_embedding, state)
         return hidden, (hidden, cell)
 
+    def forward_batch(self, states, item_embeddings: Tensor):
+        """Autograd twin of :meth:`forward_inference_batch` (one gate GEMM).
+
+        ``states`` is a sequence of ``B`` fusion states (tensor pairs) from
+        *independent* key-value sequences and ``item_embeddings`` a
+        ``(B, d_model)`` graph tensor.  Returns ``(representations,
+        (hidden, cell))`` where ``representations`` is the stacked
+        ``(B, d_state)`` hidden tensor and the new state is left *stacked* —
+        the batched-episode runner slices per-stream rows out lazily, only
+        for streams that survive into the next round.  Parity contract:
+        per-row numerics match :meth:`forward` up to BLAS summation order.
+        """
+        hidden, cell = self.cell.step_batch(item_embeddings, states)
+        return hidden, (hidden, cell)
+
+    def split_state(self, stacked_state, row: int) -> FusionState:
+        """One stream's ``(hidden, cell)`` slice of a stacked batch state."""
+        hidden, cell = stacked_state
+        return (hidden[row], cell[row])
+
     def initial_state_inference(self) -> Tuple[np.ndarray, ...]:
         return self.cell.init_state_inference()
 
@@ -90,6 +110,21 @@ class MeanFusion(Module):
         mean = new_sum / new_count
         return mean, (new_sum, new_count)
 
+    def forward_batch(self, states, item_embeddings: Tensor):
+        """Autograd twin of :meth:`forward_inference_batch`.
+
+        Parity contract: per-row numerics match :meth:`forward`; the new
+        state stays stacked (see :meth:`GatedFusion.forward_batch`).
+        """
+        sums = Tensor.stack([state[0] for state in states]) + item_embeddings
+        counts = Tensor.stack([state[1] for state in states]) + 1.0
+        return sums / counts, (sums, counts)
+
+    def split_state(self, stacked_state, row: int) -> FusionState:
+        """One stream's ``(sum, count)`` slice of a stacked batch state."""
+        sums, counts = stacked_state
+        return (sums[row], counts[row])
+
     def initial_state_inference(self) -> Tuple[np.ndarray, ...]:
         return (np.zeros(self.d_model), np.zeros(1))
 
@@ -123,6 +158,14 @@ class LastItemFusion(Module):
 
     def forward(self, state: FusionState, item_embedding: Tensor) -> Tuple[Tensor, FusionState]:
         return item_embedding, (item_embedding,)
+
+    def forward_batch(self, states, item_embeddings: Tensor):
+        """Autograd twin of :meth:`forward_inference_batch` (an identity)."""
+        return item_embeddings, (item_embeddings,)
+
+    def split_state(self, stacked_state, row: int) -> FusionState:
+        """One stream's ``(embedding,)`` slice of a stacked batch state."""
+        return (stacked_state[0][row],)
 
     def initial_state_inference(self) -> Tuple[np.ndarray, ...]:
         return (np.zeros(self.d_model),)

@@ -62,6 +62,35 @@ class KVRLBlock(Module):
         transformed = self.feed_forward(x)
         return self.norm2(x + transformed)
 
+    def forward_batch(
+        self,
+        x: Tensor,
+        mask: Optional[np.ndarray] = None,
+        phases: Optional[tuple] = None,
+        delta: Optional[np.ndarray] = None,
+        same: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        """Autograd twin of :meth:`forward` over a stacked ``(B, T, d)`` batch.
+
+        One block of the cross-sample batched trainer: ``B`` independent
+        samples' sequences (padded to a common length, each under its own
+        ``(T, T)`` additive mask) run the attention, residual/norm and FFN
+        tail as single batched GEMMs — all graph nodes, so gradients reach
+        every block parameter.  Parity contract: sample ``b`` matches
+        :meth:`forward` on that sample alone up to BLAS summation order (the
+        1e-8 batched-vs-per-sample bound); exact parity additionally requires
+        ``dropout == 0`` since the two layouts draw dropout masks in
+        different shapes.
+        """
+        attended = self.attention.forward_batch(
+            x, mask=mask, phases=phases, delta=delta, same=same
+        )
+        if self.dropout is not None:
+            attended = self.dropout(attended)
+        x = self.norm1(x + attended)
+        transformed = self.feed_forward(x)
+        return self.norm2(x + transformed)
+
     def forward_inference(
         self,
         x: np.ndarray,
@@ -184,6 +213,25 @@ class KVRLEncoder(Module):
         x = embeddings
         for block in self.blocks:
             x = block(x, mask=mask, store_attention=store_attention, coords=coords)
+        return x
+
+    def forward_batch(
+        self,
+        embeddings: Tensor,
+        mask: Optional[np.ndarray] = None,
+        phases: Optional[tuple] = None,
+        delta: Optional[np.ndarray] = None,
+        same: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        """Autograd twin of :meth:`forward` for a stacked ``(B, T, d)`` batch.
+
+        See :meth:`KVRLBlock.forward_batch` for the per-sample parity
+        contract; the rotary ``phases`` are shared across blocks (positions
+        do not change between blocks) so callers compute them once.
+        """
+        x = embeddings
+        for block in self.blocks:
+            x = block.forward_batch(x, mask=mask, phases=phases, delta=delta, same=same)
         return x
 
     def forward_inference(

@@ -306,6 +306,33 @@ class KVEC(Module):
         attention_maps = self.encoder.attention_maps() if store_attention else []
         return EpisodeResult(episodes=episodes, correlation=structure, attention_maps=attention_maps)
 
+    def run_episodes(
+        self,
+        tangles,
+        mode: str = "sample",
+        halt_threshold: float = 0.5,
+        rngs=None,
+        max_items: Optional[int] = None,
+    ):
+        """Run one episode per tangle, executing the minibatch in lockstep.
+
+        Cross-sample batched twin of :meth:`run_episode` — one GEMM per
+        arrival round across the whole minibatch instead of per-sample
+        chains.  Returns ``(results, tail)``; see
+        :func:`repro.core.batched_episodes.run_episodes_batched` for the
+        parity contract and the tail layout.
+        """
+        from repro.core.batched_episodes import run_episodes_batched
+
+        return run_episodes_batched(
+            self,
+            tangles,
+            mode=mode,
+            halt_threshold=halt_threshold,
+            rngs=rngs,
+            max_items=max_items,
+        )
+
     def _classify(self, episode: KeyEpisode, representation: Tensor, halted_by_policy: bool) -> None:
         episode.halted = True
         episode.halted_by_policy = halted_by_policy

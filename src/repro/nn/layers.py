@@ -1,4 +1,14 @@
-"""Core neural-network layers built on the autograd substrate."""
+"""Core neural-network layers built on the autograd substrate.
+
+Every layer here is polymorphic over leading batch dimensions: the same
+module instance serves the per-sample training path (``(T, d)`` inputs), the
+cross-sample batched path (``(B, T, d)`` inputs, one GEMM across the whole
+minibatch), and serving.  The batched-training parity contract — a batched
+call computes, row for row, the same values and gradients as the equivalent
+per-sample calls, exactly where shapes permit and within 1e-8 otherwise
+(BLAS/bincount summation order) — is pinned by
+``tests/core/test_batched_training.py``.
+"""
 
 from __future__ import annotations
 
@@ -41,6 +51,11 @@ class Linear(Module):
         self.bias = Parameter(init.zeros((out_features,))) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
+        """Apply the affine map over the last dimension.
+
+        Accepts any leading batch shape; a ``(B, T, in)`` call is the exact
+        numerical twin of ``B`` separate ``(T, in)`` calls (one stacked GEMM,
+        bit-identical rows)."""
         return F.linear(x, self.weight, self.bias)
 
     def forward_inference(self, x: np.ndarray) -> np.ndarray:
@@ -72,6 +87,12 @@ class Embedding(Module):
         self.weight = Parameter(init.normal((num_embeddings, embedding_dim), std=std, rng=rng))
 
     def forward(self, indices) -> Tensor:
+        """Look up vectors for an integer id array of any shape.
+
+        Batched ``(B, T)`` lookups match per-sample ``(T,)`` lookups exactly
+        in the forward pass; the gradient scatter (bincount over the flattened
+        ids) may reorder float additions across duplicate ids, so backward
+        parity is within 1e-8 rather than bit-for-bit."""
         index_array = np.asarray(
             indices.data if isinstance(indices, Tensor) else indices
         ).astype(int)
@@ -97,6 +118,8 @@ class LayerNorm(Module):
         self.bias = Parameter(init.zeros((normalized_shape,)))
 
     def forward(self, x: Tensor) -> Tensor:
+        """Normalise over the last dimension only — per-row statistics, so
+        batched and per-sample invocations are bit-identical twins."""
         mean = x.mean(axis=-1, keepdims=True)
         centred = x - mean
         var = (centred**2).mean(axis=-1, keepdims=True)
@@ -172,6 +195,10 @@ class FeedForward(Module):
         self.activation = activation
 
     def forward(self, x: Tensor) -> Tensor:
+        """Position-wise map over the last dimension; batched ``(B, T, d)``
+        calls are bit-identical twins of per-sample ``(T, d)`` calls.  Under
+        dropout the mask draw order differs between the two shapes, so the
+        batched trainer requires ``dropout == 0`` for exact parity."""
         hidden = self.activation(self.linear1(x))
         if self.dropout is not None:
             hidden = self.dropout(hidden)

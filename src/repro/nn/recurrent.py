@@ -96,6 +96,30 @@ class LSTMCell(Module):
         new_hidden = out * np.tanh(new_cell)
         return new_hidden, new_cell
 
+    def step_batch(
+        self, xs: Tensor, states
+    ) -> Tuple[Tensor, Tensor]:
+        """Autograd twin of :meth:`step_batch_inference`: one gate GEMM.
+
+        ``xs`` is a ``(B, input_size)`` tensor and ``states`` a sequence of
+        ``B`` ``(hidden, cell)`` tensor pairs, one per independent stream.
+        Returns stacked ``(B, hidden)`` / ``(B, cell)`` graph tensors.
+        Parity contract: per-row numerics match :meth:`forward` (the
+        per-sample training reference) up to BLAS summation order — the
+        gates see the same concatenated inputs, just as a GEMM instead of
+        ``B`` GEMVs.
+        """
+        hidden = Tensor.stack([state[0] for state in states])
+        cell = Tensor.stack([state[1] for state in states])
+        combined = Tensor.concatenate([hidden, xs], axis=-1)
+        forget = F.sigmoid(self.forget_gate(combined))
+        inp = F.sigmoid(self.input_gate(combined))
+        out = F.sigmoid(self.output_gate(combined))
+        candidate = F.tanh(self.cell_gate(combined))
+        new_cell = forget * cell + inp * candidate
+        new_hidden = out * F.tanh(new_cell)
+        return new_hidden, new_cell
+
     def step_batch_inference(
         self, xs: np.ndarray, states
     ) -> Tuple[np.ndarray, np.ndarray]:

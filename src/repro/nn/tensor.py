@@ -160,11 +160,17 @@ class Tensor:
             _backward=backward if requires else None,
         )
 
-    def _accumulate(self, grad: np.ndarray) -> None:
+    def _accumulate(self, grad: np.ndarray, owned: bool = False) -> None:
         if self.grad is None:
-            # Copy: the incoming buffer may be (or alias) another node's
-            # gradient, which in-place accumulation would corrupt.
-            self.grad = np.array(grad, dtype=np.float64, copy=True)
+            if owned and isinstance(grad, np.ndarray) and grad.dtype == np.float64:
+                # The caller guarantees ``grad`` is a freshly allocated buffer
+                # nothing else references (not a view of another node's
+                # gradient), so it can be adopted without the defensive copy.
+                self.grad = grad
+            else:
+                # Copy: the incoming buffer may be (or alias) another node's
+                # gradient, which in-place accumulation would corrupt.
+                self.grad = np.array(grad, dtype=np.float64, copy=True)
         elif self.grad.shape == np.shape(grad):
             self.grad += grad
         else:
@@ -200,6 +206,12 @@ class Tensor:
         for node in reversed(topo):
             if node._backward is not None and node.grad is not None:
                 node._backward(node.grad)
+                # An intermediate's gradient is fully consumed once its
+                # closure has run: drop the reference so closures may donate
+                # the buffer (or views of it) to a parent via owned
+                # accumulation, and so peak memory stays bounded.  Leaves
+                # (parameters, inputs) have no closure and keep their grads.
+                node.grad = None
 
     # ------------------------------------------------------------------ #
     # arithmetic
@@ -209,10 +221,15 @@ class Tensor:
         out_data = self.data + other.data
 
         def backward(grad: np.ndarray) -> None:
+            # The upstream buffer is donated by the engine, but only one
+            # parent may adopt it; when both parents need the un-broadcast
+            # alias the first takes a copy and the second adopts.
             if self.requires_grad:
-                self._accumulate(_unbroadcast(grad, self.shape))
+                g = _unbroadcast(grad, self.shape)
+                self._accumulate(g, owned=g is not grad or not other.requires_grad)
             if other.requires_grad:
-                other._accumulate(_unbroadcast(grad, other.shape))
+                g = _unbroadcast(grad, other.shape)
+                other._accumulate(g, owned=True)
 
         return Tensor._make(out_data, (self, other), backward)
 
@@ -222,7 +239,7 @@ class Tensor:
     def __neg__(self) -> "Tensor":
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(-grad)
+                self._accumulate(-grad, owned=True)
 
         return Tensor._make(-self.data, (self,), backward)
 
@@ -232,9 +249,11 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(_unbroadcast(grad, self.shape))
+                # other's gradient (if any) is freshly negated, so the
+                # upstream buffer can always be adopted here.
+                self._accumulate(_unbroadcast(grad, self.shape), owned=True)
             if other.requires_grad:
-                other._accumulate(_unbroadcast(-grad, other.shape))
+                other._accumulate(_unbroadcast(-grad, other.shape), owned=True)
 
         return Tensor._make(out_data, (self, other), backward)
 
@@ -247,9 +266,9 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(_unbroadcast(grad * other.data, self.shape))
+                self._accumulate(_unbroadcast(grad * other.data, self.shape), owned=True)
             if other.requires_grad:
-                other._accumulate(_unbroadcast(grad * self.data, other.shape))
+                other._accumulate(_unbroadcast(grad * self.data, other.shape), owned=True)
 
         return Tensor._make(out_data, (self, other), backward)
 
@@ -262,10 +281,11 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(_unbroadcast(grad / other.data, self.shape))
+                self._accumulate(_unbroadcast(grad / other.data, self.shape), owned=True)
             if other.requires_grad:
                 other._accumulate(
-                    _unbroadcast(-grad * self.data / (other.data**2), other.shape)
+                    _unbroadcast(-grad * self.data / (other.data**2), other.shape),
+                    owned=True,
                 )
 
         return Tensor._make(out_data, (self, other), backward)
@@ -280,7 +300,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+                self._accumulate(grad * exponent * self.data ** (exponent - 1), owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -298,13 +318,13 @@ class Tensor:
                     grad_self = np.multiply.outer(grad, other.data)
                 else:
                     grad_self = grad @ np.swapaxes(other.data, -1, -2)
-                self._accumulate(_unbroadcast(grad_self, self.shape))
+                self._accumulate(_unbroadcast(grad_self, self.shape), owned=True)
             if other.requires_grad:
                 if self.data.ndim == 1:
                     grad_other = np.multiply.outer(self.data, grad)
                 else:
                     grad_other = np.swapaxes(self.data, -1, -2) @ grad
-                other._accumulate(_unbroadcast(grad_other, other.shape))
+                other._accumulate(_unbroadcast(grad_other, other.shape), owned=True)
 
         return Tensor._make(out_data, (self, other), backward)
 
@@ -316,7 +336,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * out_data)
+                self._accumulate(grad * out_data, owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -325,7 +345,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad / self.data)
+                self._accumulate(grad / self.data, owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -334,7 +354,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * (1.0 - out_data**2))
+                self._accumulate(grad * (1.0 - out_data**2), owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -343,7 +363,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * out_data * (1.0 - out_data))
+                self._accumulate(grad * out_data * (1.0 - out_data), owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -353,7 +373,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * mask)
+                self._accumulate(grad * mask, owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -367,7 +387,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * mask)
+                self._accumulate(grad * mask, owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -387,7 +407,7 @@ class Tensor:
                 if not keepdims:
                     g = np.expand_dims(g, axis=axis)
                 g = np.broadcast_to(g, self.shape)
-            self._accumulate(np.array(g, dtype=np.float64))
+            self._accumulate(np.array(g, dtype=np.float64), owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -416,7 +436,7 @@ class Tensor:
                 counts = mask.sum(axis=axis, keepdims=True)
                 g_exp = g if keepdims else np.expand_dims(g, axis=axis)
                 g = np.broadcast_to(g_exp, self.shape) * mask / counts
-            self._accumulate(np.array(g, dtype=np.float64))
+            self._accumulate(np.array(g, dtype=np.float64), owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -431,7 +451,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad.reshape(original))
+                self._accumulate(grad.reshape(original), owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -445,7 +465,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad.transpose(inverse))
+                self._accumulate(grad.transpose(inverse), owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -461,7 +481,7 @@ class Tensor:
             if self.requires_grad:
                 full = np.zeros_like(self.data)
                 np.add.at(full, index, grad)
-                self._accumulate(full)
+                self._accumulate(full, owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -471,7 +491,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad.reshape(original))
+                self._accumulate(grad.reshape(original), owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -481,7 +501,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad.reshape(original))
+                self._accumulate(grad.reshape(original), owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -513,7 +533,8 @@ class Tensor:
                 if tensor.requires_grad:
                     slicer = [slice(None)] * grad.ndim
                     slicer[axis] = slice(start, stop)
-                    tensor._accumulate(grad[tuple(slicer)])
+                    # Disjoint view of the donated upstream buffer.
+                    tensor._accumulate(grad[tuple(slicer)], owned=True)
 
         return Tensor._make(out_data, tensors, backward)
 
@@ -526,6 +547,7 @@ class Tensor:
             moved = np.moveaxis(grad, axis, 0)
             for tensor, piece in zip(tensors, moved):
                 if tensor.requires_grad:
-                    tensor._accumulate(piece)
+                    # Disjoint view of the donated upstream buffer.
+                    tensor._accumulate(piece, owned=True)
 
         return Tensor._make(out_data, tensors, backward)

@@ -175,20 +175,25 @@ def _pack_obj(parts: List[bytes], obj: Any) -> None:
         parts.append(data)
 
 
-def _unpack_obj(blob: bytes, pos: int) -> Tuple[Any, int]:
-    """Decode one ``_pack_obj`` value from ``blob`` at ``pos``."""
+def _unpack_obj(blob, pos: int) -> Tuple[Any, int]:
+    """Decode one ``_pack_obj`` value from ``blob`` at ``pos``.
+
+    ``blob`` may be ``bytes`` or a ``memoryview`` into a shared-memory ring;
+    every decoded value owns its storage (``str``/``bytes``/unpickled
+    objects), so nothing returned here aliases the ring.
+    """
     tag = blob[pos]
     pos += 1
     if tag == 83:  # S
         length = _U32.unpack_from(blob, pos)[0]
         pos += 4
-        return blob[pos : pos + length].decode("utf-8"), pos + length
+        return str(blob[pos : pos + length], "utf-8"), pos + length
     if tag == 73:  # I
         return _I64.unpack_from(blob, pos)[0], pos + 8
     if tag == 66:  # B
         length = _U32.unpack_from(blob, pos)[0]
         pos += 4
-        return blob[pos : pos + length], pos + length
+        return bytes(blob[pos : pos + length]), pos + length
     if tag == 78:  # N
         return None, pos
     if tag == 80:  # P
@@ -353,7 +358,7 @@ def decode_entries(data: bytes) -> List[Tuple[Hashable, Any]]:
         if tag == 83:
             length = u32_unpack(blob, bpos + 1)[0]
             bpos += 5
-            stream_id = blob[bpos : bpos + length].decode("utf-8")
+            stream_id = str(blob[bpos : bpos + length], "utf-8")
             bpos += length
         else:
             stream_id, bpos = _unpack_obj(blob, bpos)
@@ -361,7 +366,7 @@ def decode_entries(data: bytes) -> List[Tuple[Hashable, Any]]:
         if tag == 83:
             length = u32_unpack(blob, bpos + 1)[0]
             bpos += 5
-            key = blob[bpos : bpos + length].decode("utf-8")
+            key = str(blob[bpos : bpos + length], "utf-8")
             bpos += length
         else:
             key, bpos = _unpack_obj(blob, bpos)
@@ -451,8 +456,17 @@ def encode_decisions(decisions: Sequence[Any], view: memoryview) -> Optional[int
     return nbytes
 
 
-def decode_decisions(data: bytes, shard_id: int) -> List[Any]:
-    """Inverse of :func:`encode_decisions`; stamps ``shard_id`` per decision."""
+def decode_decisions(data, shard_id: int) -> List[Any]:
+    """Inverse of :func:`encode_decisions`; stamps ``shard_id`` per decision.
+
+    ``data`` may be ``bytes`` or a ``memoryview`` directly into the reply
+    ring (the zero-copy path): the numeric columns are read through
+    ``np.frombuffer`` views of the buffer and the string columns through
+    sub-view slices, and every decoded field owns its storage, so the
+    returned decisions never alias the ring.  Sub-views are released before
+    returning so the caller can release (and eventually ``close()``) the
+    segment without ``BufferError``.
+    """
     classes = _CODEC_CLASSES or _codec_classes()
     Decision = classes["Decision"]
     StreamDecision = classes["StreamDecision"]
@@ -484,7 +498,7 @@ def decode_decisions(data: bytes, shard_id: int) -> List[Any]:
         if tag == 83:
             length = u32_unpack(blob, bpos + 1)[0]
             bpos += 5
-            stream_id = blob[bpos : bpos + length].decode("utf-8")
+            stream_id = str(blob[bpos : bpos + length], "utf-8")
             bpos += length
         else:
             stream_id, bpos = _unpack_obj(blob, bpos)
@@ -492,7 +506,7 @@ def decode_decisions(data: bytes, shard_id: int) -> List[Any]:
         if tag == 83:
             length = u32_unpack(blob, bpos + 1)[0]
             bpos += 5
-            key = blob[bpos : bpos + length].decode("utf-8")
+            key = str(blob[bpos : bpos + length], "utf-8")
             bpos += length
         else:
             key, bpos = _unpack_obj(blob, bpos)
@@ -512,6 +526,8 @@ def decode_decisions(data: bytes, shard_id: int) -> List[Any]:
         fields["shard_id"] = shard_id
         fields["decision"] = decision
         decisions_append(wrapped)
+    if isinstance(blob, memoryview):
+        blob.release()
     return decisions
 
 
@@ -749,8 +765,16 @@ class ShmTransport(RoundTransport):
             return wire[1], 0
         _, start, nbytes, extras = wire
         assert self._reply_ring is not None
-        data = self._reply_ring.read(start, nbytes)
-        decisions = decode_decisions(data, shard_index)
+        # Zero-copy: decode straight out of the reply ring.  The slot lock
+        # keeps the payload live (the worker cannot start the next round
+        # until this reply is consumed), and decode_decisions guarantees the
+        # decisions own their storage, so the view is safe to release the
+        # moment decoding finishes.
+        view = self._reply_ring.view(start, nbytes)
+        try:
+            decisions = decode_decisions(view, shard_index)
+        finally:
+            view.release()
         if op == "round":
             reply = dict(extras)
             reply["decisions"] = decisions
