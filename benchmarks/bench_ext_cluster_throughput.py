@@ -34,12 +34,20 @@ which drives one process shard per transport through identical batch-8
 rounds and aggregates the caller-side ``remote_call`` telemetry — the
 perf_smoke transport gate asserts shm's serialise cost is <= 0.5x pipe's.
 
+The network-tier PR adds ``run_net_throughput``: identical traffic submitted
+through the loopback HTTP front end (``ServingHTTPServer`` +
+``ServingHTTPClient``: request framing, JSON event/decision codecs, one
+socket round-trip per event) vs directly through the async gateway — the
+ratio is the serving tax of the wire, and the perf_smoke net gate bounds it
+from below (HTTP >= 0.5x direct).
+
 Results are echoed as text and merged into ``BENCH_serving.json`` at the repo
 root so future PRs can track the trajectory.
 """
 
 from __future__ import annotations
 
+import asyncio
 import copy
 import time
 from typing import Dict, List, Tuple
@@ -52,8 +60,10 @@ from repro.core.config import KVECConfig
 from repro.core.incremental import append_batch
 from repro.core.model import KVEC
 from repro.data.items import Item, KeyValueSequence, ValueSpec
+from repro.serving.aio import AsyncServingGateway
 from repro.serving.cluster import ClusterConfig, ServingCluster
 from repro.serving.engine import EngineConfig
+from repro.serving.net import ServingHTTPClient, ServingHTTPServer
 from repro.serving.parallel import available_cpus
 from repro.serving.simulator import MultiStreamConfig, MultiStreamSimulator, SimulatorConfig
 
@@ -464,6 +474,93 @@ def run_transport_microbench(
     return out
 
 
+#: Events submitted per net-throughput leg, by bench scale.
+NET_EVENTS = {"unit": 200, "bench": 400, "paper": 800}
+
+
+def run_net_throughput(
+    window: int = 128,
+    num_streams: int = 8,
+    max_events: int = 400,
+    num_shards: int = 2,
+    seed: int = 0,
+    repeats: int = 2,
+    emit_json: bool = True,
+) -> Dict[str, object]:
+    """HTTP-loopback vs direct-async-gateway submission throughput.
+
+    Both legs serve the identical model, traffic and cluster config through
+    the identical :class:`AsyncServingGateway` machinery; the HTTP leg adds
+    request framing, the JSON event/decision codecs and one loopback socket
+    round-trip per event on top.  The ratio is the serving tax of the
+    network tier.  Each leg runs ``repeats`` times on a fresh stack and the
+    fastest run is kept (the least scheduler-contaminated estimate); the
+    timed section is the submit loop plus the final flush, so both legs
+    account the same serving work.
+
+    The gate-geometry model (d_model 96, window 128) keeps each event's
+    serving compute realistic; a toy model would let the fixed per-request
+    socket cost dominate and the ratio would measure the event loop, not
+    the protocol layer.
+    """
+    model = make_model(seed=seed, window=window, d_model=96, ffn_hidden=192)
+    events = make_traffic(num_streams, 48, 24, seed=seed)[:max_events]
+
+    def cluster_config() -> ClusterConfig:
+        return ClusterConfig(
+            num_shards=num_shards,
+            batch_size=4,
+            # halt_threshold=1.0 keeps every key pending — the worst case,
+            # where no early decision shrinks any session's work.
+            engine=EngineConfig(window_items=window, halt_threshold=1.0),
+        )
+
+    async def direct_leg() -> float:
+        gateway = AsyncServingGateway(model, SPEC, cluster_config())
+        start = time.perf_counter()
+        for event in events:
+            await gateway.submit(event)
+        await gateway.flush()
+        elapsed = time.perf_counter() - start
+        await gateway.close()
+        return elapsed
+
+    async def http_leg() -> float:
+        async with ServingHTTPServer(
+            model=model, spec=SPEC, config=cluster_config()
+        ) as server:
+            async with ServingHTTPClient(server.host, server.port) as client:
+                start = time.perf_counter()
+                for event in events:
+                    await client.submit(event.source, event)
+                await client.flush()
+                elapsed = time.perf_counter() - start
+                await client.shutdown()
+        return elapsed
+
+    direct_s = min(asyncio.run(direct_leg()) for _ in range(repeats))
+    http_s = min(asyncio.run(http_leg()) for _ in range(repeats))
+    result: Dict[str, object] = {
+        "window": window,
+        "num_streams": num_streams,
+        "stream_items": len(events),
+        "num_shards": num_shards,
+        "cpus": available_cpus(),
+        "direct": {
+            "elapsed_s": direct_s,
+            "throughput_items_per_sec": len(events) / direct_s,
+        },
+        "http": {
+            "elapsed_s": http_s,
+            "throughput_items_per_sec": len(events) / http_s,
+        },
+        "http_vs_direct": direct_s / http_s,
+    }
+    if emit_json:
+        write_bench_json("net_throughput", result)
+    return result
+
+
 def run_batch_speedup(
     window: int = 256,
     batch: int = 8,
@@ -601,6 +698,40 @@ def render_parallel(result: Dict[str, object]) -> str:
             f"bytes ratio {micro['shm_vs_pipe_bytes']:.3f}"
         )
     return "\n".join(lines)
+
+
+def render_net(result: Dict[str, object]) -> str:
+    return "\n".join(
+        [
+            "HTTP loopback vs direct async gateway (items/sec, submit+flush)",
+            f"  window={result['window']}  streams={result['num_streams']}  "
+            f"events={result['stream_items']}  shards={result['num_shards']}  "
+            f"cpus={result['cpus']}",
+            f"  direct {result['direct']['throughput_items_per_sec']:10.1f} items/s",
+            f"  http   {result['http']['throughput_items_per_sec']:10.1f} items/s  "
+            f"({result['http_vs_direct']:5.2f}x direct)",
+        ]
+    )
+
+
+def test_net_throughput(benchmark, scale_name):
+    result = benchmark.pedantic(
+        lambda: run_net_throughput(
+            max_events=NET_EVENTS.get(scale_name, NET_EVENTS["bench"])
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rendered = render_net(result)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"ext_net_throughput_{bench_scale()}.txt").write_text(
+        rendered + "\n"
+    )
+    print("\n" + rendered)
+    # The perf_smoke net gate asserts the 0.5x floor; here we only require
+    # both legs to have served every event.
+    assert result["direct"]["throughput_items_per_sec"] > 0
+    assert result["http"]["throughput_items_per_sec"] > 0
 
 
 def test_parallel_throughput(benchmark, scale_name):

@@ -41,7 +41,15 @@ network flow while its packets are still arriving.  This example
     per-worker shared-memory rings, the default) and reads the per-round
     ``transport_bytes`` / ``transport_serialize_ms`` telemetry from
     ``stats()`` — the shm rings move about half the bytes per round, with
-    bit-identical decisions.
+    bit-identical decisions,
+12. puts the cluster on the network: a stdlib-only
+    :class:`ServingHTTPServer` front end (admission statuses as HTTP codes,
+    decisions as a chunked NDJSON push stream consumed by
+    :class:`ServingHTTPClient`), then goes horizontal with the
+    :class:`ClusterRouter` — two cluster nodes behind consistent-hash
+    stream placement, with one live stream *migrated* between nodes
+    mid-run and every stream's decisions staying identical to an unmoved
+    run.
 """
 
 from __future__ import annotations
@@ -62,6 +70,7 @@ from repro.serving import (
     BufferedSink,
     ClusterConfig,
     CheckpointConfig,
+    ClusterRouter,
     DecisionMonitor,
     EngineConfig,
     FaultInjector,
@@ -71,6 +80,8 @@ from repro.serving import (
     OnlineClassificationEngine,
     ServingCluster,
     ServingGateway,
+    ServingHTTPClient,
+    ServingHTTPServer,
     SimulatorConfig,
     SupervisorConfig,
     ThroughputMeter,
@@ -280,7 +291,7 @@ def main() -> None:
         # Realized widths, not stats()["round_widths"]: after flush() the
         # queues are empty and every controller is back at its floor.
         mean_widths = [
-            round(snap.rows / snap.rounds, 2) if snap.rounds else 0.0
+            round(snap["rows"] / snap["rounds"], 2) if snap["rounds"] else 0.0
             for snap in stats["shard_monitors"]
         ]
         print(
@@ -535,6 +546,115 @@ def main() -> None:
         )
     assert transport_reports["pipe"][3] == transport_reports["shm"][3]
     print("decision streams identical across transports: True")
+
+    # ------------------------------------------------------------------ #
+    # 12. The network tier: HTTP front end + consistent-hash router
+    # ------------------------------------------------------------------ #
+    # First the vertical hop: the same flows, submitted over real loopback
+    # sockets.  ServingHTTPServer fronts an AsyncServingGateway with a tiny
+    # stdlib HTTP/1.1 dialect — POST one arrival per request (admission
+    # status doubles as the response code: decided/accepted -> 200/202,
+    # reject -> 429, shed -> 503 + Retry-After), and GET /v1/decisions turns
+    # the connection into a chunked NDJSON push stream.
+    async def serve_over_http():
+        config = ClusterConfig(
+            num_shards=2,
+            batch_size=8,
+            engine=EngineConfig(window_items=256, halt_threshold=0.5, reencode_every=2),
+        )
+        async with ServingHTTPServer(
+            model=served_model,
+            spec=dataset.spec,
+            config=config,
+            port=0,  # ephemeral loopback port, published after start
+            heartbeat_s=0.2,
+        ) as server:
+            client = ServingHTTPClient(server.host, server.port)
+            pushed = []
+
+            async def consume():
+                async for decision in client.decisions():
+                    pushed.append(decision)
+
+            consumer = asyncio.create_task(consume())
+            while server.stats()["server"]["decision_streams"] == 0:
+                await asyncio.sleep(0.01)  # wait for the push stream to attach
+            statuses = {}
+            for event in events_list:
+                result = await client.submit(event.source, event)
+                statuses[result.status] = statuses.get(result.status, 0) + 1
+            final = await client.shutdown()  # drains, flushes, closes the gateway
+            await consumer  # the push stream ends when the gateway closes
+            await client.close()
+            return statuses, pushed, final
+
+    statuses, pushed, final = asyncio.run(serve_over_http())
+    print()
+    print("=== network tier report (loopback HTTP front end) ===")
+    print(
+        f"admission over the wire: {statuses}; "
+        f"decisions pushed while serving: {len(pushed)}, "
+        f"returned by the shutdown flush: {len(final)}"
+    )
+
+    # Then the horizontal hop: two cluster *nodes* behind a ClusterRouter.
+    # Stream placement is the same process-independent CRC32 consistent
+    # hash the shards use, plus a migration overlay: migrate_stream() moves
+    # a live stream's sessions *and* queued arrivals to another node
+    # mid-run, and the decision sequences stay identical to a run that
+    # never moved anything.
+    def route(migrate):
+        def node():
+            return ServingCluster(
+                served_model,
+                dataset.spec,
+                ClusterConfig(
+                    num_shards=2,
+                    batch_size=8,
+                    engine=EngineConfig(
+                        window_items=256, halt_threshold=0.5, reencode_every=2
+                    ),
+                ),
+            )
+
+        moved = min(event.source for event in events_list)
+        with ClusterRouter([node(), node()]) as router:
+            sink = router.subscribe(BufferedSink())
+            half = len(events_list) // 2
+            for event in events_list[:half]:
+                router.submit(event)
+            hop = None
+            if migrate:
+                source = router.node_index(moved)
+                target = 1 - source
+                router.migrate_stream(moved, target)
+                hop = (moved, source, target)
+            for event in events_list[half:]:
+                router.submit(event)
+            router.flush()
+            per_stream = {}
+            for stream_decision in sink.take():
+                per_stream.setdefault(stream_decision.stream_id, []).append(
+                    (
+                        stream_decision.decision.key,
+                        stream_decision.decision.predicted,
+                        stream_decision.decision.decision_time,
+                    )
+                )
+            return per_stream, hop
+
+    migrated, hop = route(migrate=True)
+    unmoved, _ = route(migrate=False)
+    moved_stream, source, target = hop
+    print(
+        f"router: migrated live stream {moved_stream!r} from node {source} "
+        f"to node {target} mid-run"
+    )
+    print(
+        f"per-stream decisions identical to the unmigrated run: "
+        f"{migrated == unmoved}"
+    )
+    assert migrated == unmoved
 
 
 if __name__ == "__main__":

@@ -1,8 +1,17 @@
-"""``python -m repro`` — command-line access to the reproduction workflows."""
+"""``python -m repro`` — command-line access to the reproduction workflows.
+
+``python -m repro serve ...`` dispatches to the HTTP serving tier
+(equivalent to ``python -m repro.serve ...``); everything else goes to the
+experiments CLI.
+"""
 
 import sys
 
 from repro.experiments.cli import main
 
 if __name__ == "__main__":
+    if len(sys.argv) > 1 and sys.argv[1] == "serve":
+        from repro.serve import main as serve_main
+
+        sys.exit(serve_main(sys.argv[2:]))
     sys.exit(main())

@@ -57,7 +57,20 @@ the serving-side counterpart, layered session → shard → cluster → gateway:
   persistently failing sinks — all observable through
   ``ServingCluster.stats()["health"]`` and all deterministically testable
   with the seeded :class:`~repro.serving.faults.FaultInjector`
-  (``ClusterConfig.faults``).
+  (``ClusterConfig.faults``),
+* :mod:`~repro.serving.net` — the network tier:
+  :class:`~repro.serving.net.server.ServingHTTPServer` serves a gateway
+  over hand-rolled stdlib HTTP/1.1 (submission statuses mapped to
+  response codes, a chunked NDJSON decision-push stream with bounded-
+  buffer backpressure, stats/health/admin verbs — ``python -m
+  repro.serve`` from the command line),
+  :class:`~repro.serving.net.client.ServingHTTPClient` speaks the wire
+  protocol for loopback tests and examples, and
+  :class:`~repro.serving.net.router.ClusterRouter` consistent-hashes
+  stream ids across N independent clusters with live stream migration
+  (:meth:`~repro.serving.cluster.ServingCluster.extract_stream` /
+  ``install_stream`` move a session + queued arrivals bit-exactly) plus
+  checkpoint-and-journal node recovery.
 """
 
 from repro.serving.aio import AsyncServingGateway
@@ -69,6 +82,7 @@ from repro.serving.cluster import (
     ShardOverloadError,
     ShardWorker,
     StreamDecision,
+    StreamState,
 )
 from repro.serving.faults import (
     FAULT_ACTIONS,
@@ -86,6 +100,14 @@ from repro.serving.engine import (
     StreamSession,
 )
 from repro.serving.gateway import ServingGateway, StreamHandle
+from repro.serving.net import (
+    ClusterRouter,
+    NetDecision,
+    NetSubmitResult,
+    RouterSnapshot,
+    ServingHTTPClient,
+    ServingHTTPServer,
+)
 from repro.serving.monitoring import (
     DecisionMonitor,
     HistogramSnapshot,
@@ -149,6 +171,13 @@ __all__ = [
     "ShardOverloadError",
     "ShardWorker",
     "StreamDecision",
+    "StreamState",
+    "ServingHTTPServer",
+    "ServingHTTPClient",
+    "NetDecision",
+    "NetSubmitResult",
+    "ClusterRouter",
+    "RouterSnapshot",
     "BREAKER_STATES",
     "CheckpointConfig",
     "CircuitBreaker",

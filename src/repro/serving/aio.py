@@ -45,6 +45,7 @@ it with ``asyncio.run``).
 from __future__ import annotations
 
 import asyncio
+import threading
 from contextlib import asynccontextmanager
 from functools import partial
 from typing import AsyncIterator, Dict, Hashable, List, Optional, Tuple
@@ -54,7 +55,7 @@ from repro.serving.cluster import ClusterConfig, ServingCluster, StreamDecision
 from repro.serving.engine import Decision
 from repro.serving.gateway import DecisionRegistry
 from repro.serving.results import SubmitResult
-from repro.serving.sinks import AsyncQueueSink
+from repro.serving.sinks import AsyncQueueSink, DecisionSink
 
 __all__ = ["AsyncServingGateway"]
 
@@ -110,21 +111,44 @@ class _OpGate:
                 self._cond.notify_all()
 
 
-class _AioDeliverySink(AsyncQueueSink):
-    """Queue delivery plus loop-side registry delivery, per decision."""
+class _RegistrySink(DecisionSink):
+    """Loop-side :class:`DecisionRegistry` delivery (future resolution).
 
-    def __init__(self, queue, loop, registry: DecisionRegistry) -> None:
-        super().__init__(queue, loop)
+    Decision *streams* get their own per-iterator :class:`AsyncQueueSink`
+    (see :meth:`AsyncServingGateway.decisions`); this sink carries only the
+    registry half of delivery, so futures resolve whether or not anyone is
+    iterating.
+    """
+
+    def __init__(
+        self,
+        loop,
+        registry: DecisionRegistry,
+        history: List[StreamDecision],
+        history_lock: threading.Lock,
+    ) -> None:
+        self._loop = loop
         self._registry = registry
+        self._history = history
+        self._history_lock = history_lock
+        self._closed = False
 
     def publish(self, decision: StreamDecision) -> None:
-        super().publish(decision)
         if self._closed or self._loop.is_closed():
-            # Same drop-don't-crash guard as the queue side: an abandoned
-            # gateway whose loop is gone must not break the serving layer.
+            # Drop-don't-crash guard: an abandoned gateway whose loop is
+            # gone must not break the serving layer.
             return
+        # Record on the publishing thread, *before* the loop callback: the
+        # history is what late ``decisions()`` subscribers replay, and it
+        # must be complete by the time any future resolved by this decision
+        # can be observed.
+        with self._history_lock:
+            self._history.append(decision)
         # Registry mutation and asyncio-future resolution belong on the loop.
         self._loop.call_soon_threadsafe(self._registry.deliver, decision)
+
+    def close(self) -> None:
+        self._closed = True
 
 
 class AsyncServingGateway:
@@ -167,8 +191,21 @@ class AsyncServingGateway:
         self._max_buffered = max_buffered
         self._state = "running"
         self._loop: Optional[asyncio.AbstractEventLoop] = None
-        self._queue: Optional[asyncio.Queue] = None
-        self._sink: Optional[_AioDeliverySink] = None
+        self._sink: Optional[_RegistrySink] = None
+        #: Active ``decisions()`` iterators: sink → its bounded queue.  Each
+        #: iterator owns a private subscription, added when iteration starts
+        #: and removed in the generator's ``finally`` — so a consumer that
+        #: vanishes mid-stream (task cancelled, iterator garbage-collected,
+        #: HTTP client disconnected) tears its bounded buffer down instead
+        #: of exerting backpressure forever.
+        self._iterators: Dict[AsyncQueueSink, asyncio.Queue] = {}
+        #: Every decision delivered through this gateway, in delivery order.
+        #: ``decisions()`` iterators replay it before going live, so a
+        #: consumer that starts late (or after close) still sees the full
+        #: stream — the sequential-caller parity contract.  Appended on the
+        #: publishing thread, snapshotted on the loop, hence the lock.
+        self._delivered: List[StreamDecision] = []
+        self._delivered_lock = threading.Lock()
         self._gate: Optional[_OpGate] = None
         #: Shared first-emission bookkeeping (see DecisionRegistry): the
         #: asyncio flavour only ever mutates it on the bound loop, via
@@ -183,12 +220,13 @@ class AsyncServingGateway:
         loop = asyncio.get_running_loop()
         if self._loop is None:
             self._loop = loop
-            self._queue = asyncio.Queue(maxsize=self._max_buffered)
             self._gate = _OpGate(
                 exclusive_only=self._cluster.config.executor == "serial"
             )
             self._registry = DecisionRegistry(loop.create_future)
-            self._sink = _AioDeliverySink(self._queue, loop, self._registry)
+            self._sink = _RegistrySink(
+                loop, self._registry, self._delivered, self._delivered_lock
+            )
             self._cluster.subscribe(self._sink)
         elif loop is not self._loop:
             raise RuntimeError(
@@ -241,8 +279,18 @@ class AsyncServingGateway:
         self._sink.close()
         if self._owns_cluster:
             self._cluster.close()
-        await self._queue.put(self._SENTINEL)
         self._state = "closed"
+        # Terminate every active decision stream: close the sinks first (no
+        # further publishes can land or block), then wake each consumer.  A
+        # full bounded queue skips the sentinel — its consumer drains the
+        # backlog and observes state "closed" on an empty queue instead.
+        for sink, queue in list(self._iterators.items()):
+            self._cluster.unsubscribe(sink)
+            sink.close()
+            try:
+                queue.put_nowait(self._SENTINEL)
+            except asyncio.QueueFull:
+                pass
         return emitted
 
     async def __aenter__(self) -> "AsyncServingGateway":
@@ -295,6 +343,24 @@ class AsyncServingGateway:
         async with self._gate.exclusive():
             return await self._run(self._cluster.expire, now)
 
+    async def flush_stream(self, stream_id: Hashable) -> List[StreamDecision]:
+        """Awaitable per-stream flush (exclusive; the HTTP per-stream verb)."""
+        self._bind()
+        async with self._gate.exclusive():
+            return await self._run(self._cluster.flush_stream, stream_id)
+
+    async def snapshot(self):
+        """Awaitable cluster snapshot (exclusive — no round interleaves)."""
+        self._bind()
+        async with self._gate.exclusive():
+            return await self._run(self._cluster.snapshot)
+
+    async def restore(self, snapshot) -> None:
+        """Awaitable cluster restore (exclusive)."""
+        self._bind()
+        async with self._gate.exclusive():
+            await self._run(self._cluster.restore, snapshot)
+
     def result(
         self, stream_id: Hashable, key: Hashable
     ) -> "asyncio.Future[Decision]":
@@ -326,25 +392,65 @@ class AsyncServingGateway:
     async def decisions(self) -> AsyncIterator[StreamDecision]:
         """Async-iterate every emitted decision until the gateway closes.
 
-        Single-consumer: concurrent iterators would steal from one queue.
-        With ``max_buffered`` set, this iterator must keep running for the
-        serving layer to make progress (that is the backpressure).
+        Each call owns a private :class:`AsyncQueueSink` subscription, so
+        concurrent iterators each see the full decision stream (broadcast,
+        not work-stealing) — one per HTTP decision-stream connection is the
+        intended shape.  An iterator started late first *replays* the
+        decisions already delivered (in delivery order, same objects) and
+        then goes live, so a sequential caller that iterates after
+        ``close()`` still sees the exact concatenated pull-API stream.
+
+        With ``max_buffered`` set each iterator's live queue is bounded and
+        a stalled consumer blocks the publishing worker (that is the
+        backpressure); a consumer that stops iterating — task cancelled,
+        iterator dropped and garbage-collected, client disconnected — is
+        unsubscribed in the generator's ``finally``, so an abandoned stream
+        never throttles the serving layer.
         """
         self._bind()
-        while True:
-            if self._state == "closed" and self._queue.empty():
+        # Snapshot the replay backlog *before* subscribing live: a decision
+        # recorded before the snapshot cannot also reach the new sink (its
+        # publish fan-out predates the subscription), so replay + live never
+        # duplicates.
+        with self._delivered_lock:
+            backlog = list(self._delivered)
+        live = self._state != "closed"
+        if live:
+            queue: asyncio.Queue = asyncio.Queue(maxsize=self._max_buffered)
+            sink = AsyncQueueSink(queue, self._loop)
+            self._iterators[sink] = queue
+            self._cluster.subscribe(sink)
+        try:
+            for item in backlog:
+                yield item
+            if not live:
                 return
-            item = await self._queue.get()
-            if item is self._SENTINEL:
-                return
-            yield item
+            while True:
+                if self._state == "closed" and queue.empty():
+                    return
+                item = await queue.get()
+                if item is self._SENTINEL:
+                    return
+                yield item
+        finally:
+            if live:
+                self._detach_iterator(sink)
+
+    def _detach_iterator(self, sink: AsyncQueueSink) -> None:
+        """Tear one decision iterator's subscription down (idempotent)."""
+        if self._iterators.pop(sink, None) is not None:
+            self._cluster.unsubscribe(sink)
+            sink.close()
 
     def stats(self) -> Dict[str, object]:
         stats = self._cluster.stats()
         stats["gateway_state"] = self._state
         stats["pending_futures"] = 0 if self._registry is None else self._registry.pending_count
         stats["resolved_keys"] = 0 if self._registry is None else self._registry.resolved_count
-        stats["buffered_decisions"] = 0 if self._queue is None else self._queue.qsize()
+        stats["decision_streams"] = len(self._iterators)
+        stats["buffered_decisions"] = sum(
+            queue.qsize() for queue in self._iterators.values()
+        )
         return stats
 
     def health(self) -> Dict[str, object]:

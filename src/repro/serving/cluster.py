@@ -595,6 +595,114 @@ class ShardWorker:
                 self._enqueue_locked(stream_id, event, journal=False)
 
     # ------------------------------------------------------------------ #
+    # live stream migration (extract / install one stream)
+    # ------------------------------------------------------------------ #
+    def _extract_pending_locked(self, stream_id: Hashable) -> List[StreamEvent]:
+        """Remove one stream's queued arrivals; FIFO order preserved."""
+        queue = self._pending.pop(stream_id, None)
+        if queue is None:
+            events: List[StreamEvent] = []
+        else:
+            events = [event for _, event in queue]
+            self._queue_length -= len(queue)
+            self._ready = [entry for entry in self._ready if entry[1] != stream_id]
+            heapq.heapify(self._ready)
+        # The stream's journaled admissions leave with it (they are exactly
+        # its extracted pending entries); the follow-up checkpoint restores
+        # the checkpoint-plus-journal invariant for the remaining streams.
+        self._journal = [entry for entry in self._journal if entry[0] != stream_id]
+        return events
+
+    def extract_stream(
+        self, stream_id: Hashable
+    ) -> Tuple[Optional[StreamSession], List[StreamEvent]]:
+        """Detach one stream from this shard: its session + queued arrivals.
+
+        The session comes back as a *detached* deep copy (shared
+        model/spec/config severed — portable across clusters and pickle
+        boundaries), or ``None`` if the stream has no session yet.  Runs on
+        the shard's pinned execution context, so it serializes against
+        in-flight rounds; the supervisor re-checkpoints afterwards so crash
+        recovery can never resurrect the departed stream.
+        """
+
+        def op() -> Tuple[Optional[StreamSession], List[StreamEvent]]:
+            with self._lock:
+                pending = self._extract_pending_locked(stream_id)
+            if self._remote is not None:
+                session = self._remote.remote_call(
+                    self.shard_id, "extract_stream", {"stream_id": stream_id}
+                )
+                self.sessions.pop(stream_id, None)  # caller-side mirror
+            else:
+                session = self.sessions.pop(stream_id, None)
+                if session is not None:
+                    session = _detached_sessions_copy(
+                        {stream_id: session}, self._shared_refs()
+                    )[stream_id]
+            return session, pending
+
+        session, pending = self._run_pinned(op)
+        if self.supervisor is not None:
+            self.supervisor.checkpoint_now()
+        return session, pending
+
+    def install_stream(
+        self,
+        stream_id: Hashable,
+        session: Optional[StreamSession],
+        pending: List[StreamEvent],
+    ) -> None:
+        """Attach an extracted stream to this shard (inverse of extract).
+
+        The incoming session is deep-copied (the caller's
+        :class:`StreamState` stays pristine and re-installable) and pointed
+        at this shard's live model/spec/config; queued arrivals are
+        re-enqueued in their original FIFO order.  Re-checkpoints so the
+        arrival lands inside the supervisor's recovery window.
+        """
+
+        def op() -> None:
+            if session is not None:
+                installed = copy.deepcopy(
+                    {stream_id: session}, {id(obj): None for obj in self._shared_refs()}
+                )[stream_id]
+                _attach_shared_refs(
+                    {stream_id: installed}, self.model, self.spec, self.config.engine
+                )
+                if self._remote is not None:
+                    detached = _detached_sessions_copy(
+                        {stream_id: installed}, self._shared_refs()
+                    )
+                    self._remote.remote_call(
+                        self.shard_id,
+                        "install_stream",
+                        {"stream_id": stream_id, "session": detached[stream_id]},
+                    )
+                self.sessions[stream_id] = installed
+            with self._lock:
+                for event in pending:
+                    self._enqueue_locked(stream_id, event, journal=False)
+
+        self._run_pinned(op)
+        if self.supervisor is not None:
+            self.supervisor.checkpoint_now()
+
+    def stream_ids(self) -> List[Hashable]:
+        """Ids of every stream this shard holds (session or queued arrival).
+
+        A light remote op on the process backend (ids only — no session
+        payload crosses the pipe).
+        """
+        if self._remote is not None:
+            ids = set(self._remote.remote_call(self.shard_id, "stream_ids"))
+        else:
+            ids = set(self.sessions.keys())
+        with self._lock:
+            ids.update(self._pending.keys())
+        return sorted(ids, key=repr)
+
+    # ------------------------------------------------------------------ #
     # checkpointing / crash recovery (driven by the shard supervisor)
     # ------------------------------------------------------------------ #
     def _shard_memo(self) -> Dict[int, object]:
@@ -1149,6 +1257,25 @@ class ClusterSnapshot:
     shard_states: List[Dict[str, object]]
 
 
+@dataclass(frozen=True)
+class StreamState:
+    """One stream's portable serving state, detached from any cluster.
+
+    Produced by :meth:`ServingCluster.extract_stream` and consumed by
+    :meth:`ServingCluster.install_stream` — the unit of live stream
+    migration between independent clusters (the
+    :class:`~repro.serving.net.router.ClusterRouter` nodes).  ``session``
+    is a *detached* deep copy (shared model/spec/config severed, exactly
+    like a pickled checkpoint) or ``None`` when the stream had queued
+    arrivals but no session yet; ``pending`` is the stream's queued
+    arrivals in FIFO order.  Treat as opaque; it pickles cleanly.
+    """
+
+    stream_id: Hashable
+    session: Optional[StreamSession]
+    pending: Tuple[StreamEvent, ...]
+
+
 #: Counter attributes snapshotted/restored per shard.
 _SHARD_COUNTERS = ("rejected", "shed", "batch_rounds", "batched_rows", "drained")
 
@@ -1275,6 +1402,31 @@ def shard_replica_handler(
             for stream_id, session in replica.sessions.items()
             for decision in session.expire(payload["now"])
         ]
+    if op == "extract_stream":
+        session = replica.sessions.pop(payload["stream_id"], None)
+        if session is None:
+            return None
+        shared = (
+            replica.model,
+            replica.spec,
+            replica.config,
+            replica.config.engine,
+        )
+        return _detached_sessions_copy({payload["stream_id"]: session}, shared)[
+            payload["stream_id"]
+        ]
+    if op == "install_stream":
+        session = payload["session"]
+        _attach_shared_refs(
+            {payload["stream_id"]: session},
+            replica.model,
+            replica.spec,
+            replica.config.engine,
+        )
+        replica.sessions[payload["stream_id"]] = session
+        return None
+    if op == "stream_ids":
+        return list(replica.sessions.keys())
     raise ValueError(f"unknown replica op: {op!r}")
 
 
@@ -1689,6 +1841,46 @@ class ServingCluster:
         )
 
     # ------------------------------------------------------------------ #
+    # live stream migration
+    # ------------------------------------------------------------------ #
+    def stream_ids(self) -> List[Hashable]:
+        """Ids of every stream the cluster holds, deterministically ordered."""
+        ids: set = set()
+        for shard in self.shards:
+            ids.update(shard.stream_ids())
+        return sorted(ids, key=repr)
+
+    def extract_stream(self, stream_id: Hashable) -> StreamState:
+        """Detach one stream — session plus queued arrivals — for migration.
+
+        The cluster forgets the stream entirely (a later submit for the same
+        id would start a brand-new session); the returned
+        :class:`StreamState` is self-contained and can be installed into any
+        cluster built over the same model/spec/engine config, where serving
+        resumes bit-for-bit — the decision parity the snapshot/restore
+        matrix proves, applied to a single stream.  Call between rounds (no
+        concurrent submit/drain for this stream) — the router serializes
+        this for you.
+        """
+        self._require_open("extract_stream")
+        shard = self.shard_of(stream_id)
+        session, pending = shard.extract_stream(stream_id)
+        return StreamState(
+            stream_id=stream_id, session=session, pending=tuple(pending)
+        )
+
+    def install_stream(self, state: StreamState) -> None:
+        """Attach an extracted stream to this cluster (inverse of extract).
+
+        Routes by the cluster's own hash (the shard index need not match the
+        source cluster's) and leaves ``state`` reusable.  Installing over an
+        existing session with the same stream id replaces it.
+        """
+        self._require_open("install_stream")
+        shard = self.shard_of(state.stream_id)
+        shard.install_stream(state.stream_id, state.session, list(state.pending))
+
+    # ------------------------------------------------------------------ #
     # snapshot / restore
     # ------------------------------------------------------------------ #
     def _shared_memo(self) -> Dict[int, object]:
@@ -1850,6 +2042,11 @@ class ServingCluster:
             "transport_serialize_ms": merged_monitor.serialize_ms.summary(),
             "round_queue_depth": merged_monitor.queue_depth.summary(),
             "round_widths": [shard.round_width() for shard in self.shards],
-            "shard_monitors": [shard.monitor.snapshot() for shard in self.shards],
+            # Plain dicts (``ShardMonitorSnapshot.to_dict``), not dataclass
+            # instances: the whole stats payload must survive ``json.dumps``
+            # unchanged so the HTTP tier serves it without a custom encoder.
+            "shard_monitors": [
+                shard.monitor.snapshot().to_dict() for shard in self.shards
+            ],
             "health": self.health(),
         }

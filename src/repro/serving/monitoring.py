@@ -19,6 +19,7 @@ arrivals) are the durable record of what happened in between.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from collections import deque
 from dataclasses import dataclass, field, replace
@@ -65,6 +66,19 @@ class MonitorSnapshot:
     mean_confidence: float
     policy_halt_fraction: float
     per_class: Mapping[int, Tuple[int, int]]  # label -> (decided, correct)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON view: string keys, lists, no dataclasses.
+
+        ``json.loads(json.dumps(snap.to_dict())) == snap.to_dict()`` holds
+        exactly, which is what lets ``/v1/stats`` serve snapshots without a
+        custom encoder.
+        """
+        payload = dataclasses.asdict(self)
+        payload["per_class"] = {
+            str(label): list(tally) for label, tally in self.per_class.items()
+        }
+        return payload
 
 
 class DecisionMonitor:
@@ -256,6 +270,20 @@ class HistogramSnapshot:
     #: Sparse ``bucket index -> count`` view of the non-empty buckets.
     buckets: Mapping[int, int]
 
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON view; bucket keys become strings (JSON object keys)."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "minimum": self.minimum,
+            "maximum": self.maximum,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "buckets": {str(index): count for index, count in self.buckets.items()},
+        }
+
 
 class Log2Histogram:
     """Fixed-geometry power-of-two histogram for hot-path gauges.
@@ -392,6 +420,20 @@ class ShardMonitorSnapshot:
     transport_bytes: Optional[HistogramSnapshot] = None
     #: Per-round caller-side encode+decode wall-clock (process backend only).
     serialize_ms: Optional[HistogramSnapshot] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON view: nested histograms render via their ``to_dict``."""
+        payload: Dict[str, object] = {"rounds": self.rounds, "rows": self.rows}
+        for name in (
+            "round_latency_ms",
+            "queue_depth",
+            "encode_latency_ms",
+            "transport_bytes",
+            "serialize_ms",
+        ):
+            histogram = getattr(self, name)
+            payload[name] = None if histogram is None else histogram.to_dict()
+        return payload
 
 
 class ShardMonitor:

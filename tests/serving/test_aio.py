@@ -213,6 +213,77 @@ class TestAsyncFuturesAndBackpressure:
         returned, pushed = asyncio.run(scenario())
         assert pushed == returned  # nothing lost, order preserved
 
+    def test_abandoned_decision_iterator_unsubscribes_its_sink(self):
+        """A vanished decisions() consumer must not throttle the gateway.
+
+        Regression test: each iterator owns a bounded AsyncQueueSink; if the
+        consumer disappears without draining, the sink has to be
+        unsubscribed in the generator's teardown — otherwise every later
+        submit blocks forever once the abandoned queue fills up.
+        """
+        model = make_model()
+        streams, events = multi_stream_events(seed=19, num_events=120)
+
+        async def scenario():
+            config = ClusterConfig(num_shards=2, batch_size=4, engine=engine_config())
+            gateway = AsyncServingGateway(model, SPEC, config, max_buffered=2)
+            iterator = gateway.decisions()
+            for event in events[:40]:
+                await gateway.submit(event)
+            first = await asyncio.wait_for(iterator.__anext__(), timeout=5)
+            assert gateway.stats()["decision_streams"] == 1
+            # the consumer vanishes mid-stream with its queue still full
+            await iterator.aclose()
+            assert gateway.stats()["decision_streams"] == 0
+            assert gateway.stats()["buffered_decisions"] == 0
+            # far more decisions than the dead iterator's buffer could hold
+            # must now flow through without blocking on it
+            returned = []
+            for event in events[40:]:
+                returned.extend(
+                    await asyncio.wait_for(gateway.submit(event), timeout=10)
+                )
+            returned.extend(await asyncio.wait_for(gateway.close(), timeout=10))
+            return first, returned
+
+        first, returned = asyncio.run(scenario())
+        assert first is not None
+        assert len(returned) > 2  # decisions kept flowing after abandonment
+
+    def test_cancelled_consumer_task_unsubscribes_its_sink(self):
+        """Task cancellation is the other disconnect path (HTTP teardown)."""
+        model = make_model()
+        streams, events = multi_stream_events(seed=37, num_events=80)
+
+        async def scenario():
+            config = ClusterConfig(num_shards=1, batch_size=4, engine=engine_config())
+            gateway = AsyncServingGateway(model, SPEC, config, max_buffered=2)
+
+            async def consume():
+                async for _ in gateway.decisions():
+                    pass  # drain until the connection handler is cancelled
+
+            consumer = asyncio.create_task(consume())
+            for event in events[:30]:
+                await gateway.submit(event)
+            await asyncio.sleep(0)
+            consumer.cancel()
+            try:
+                await consumer
+            except asyncio.CancelledError:
+                pass
+            assert gateway.stats()["decision_streams"] == 0
+            returned = []
+            for event in events[30:]:
+                returned.extend(
+                    await asyncio.wait_for(gateway.submit(event), timeout=10)
+                )
+            returned.extend(await asyncio.wait_for(gateway.close(), timeout=10))
+            return returned
+
+        returned = asyncio.run(scenario())
+        assert isinstance(returned, list)
+
 
 class TestAsyncLifecycle:
     def test_states_and_guards(self):

@@ -323,8 +323,58 @@ class TestClusterStatsSurfacing:
         assert stats["round_latency_ms"]["count"] == stats["rounds"]
         assert stats["round_queue_depth"]["count"] == stats["rounds"]
         assert len(stats["shard_monitors"]) == 2
-        assert sum(snap.rounds for snap in stats["shard_monitors"]) == stats["rounds"]
+        assert (
+            sum(snap["rounds"] for snap in stats["shard_monitors"]) == stats["rounds"]
+        )
         assert len(stats["round_widths"]) == 2
+
+    def test_stats_and_health_are_json_serializable(self):
+        """The network tier ships stats()/health() verbatim as JSON bodies."""
+        import json
+
+        import numpy as np
+
+        from repro.core.config import KVECConfig
+        from repro.core.model import KVEC
+        from repro.data.items import Item, ValueSpec
+        from repro.data.stream import StreamEvent
+        from repro.serving.cluster import ClusterConfig, ServingCluster
+        from repro.serving.engine import EngineConfig
+
+        spec = ValueSpec(("size", "direction"), (8, 2), 1)
+        model = KVEC(
+            spec,
+            num_classes=3,
+            config=KVECConfig(
+                d_model=12, num_blocks=1, num_heads=2, ffn_hidden=16,
+                d_state=16, dropout=0.0, encoding="rotary", seed=0,
+            ),
+        )
+        rng = np.random.default_rng(1)
+        cluster = ServingCluster(
+            model,
+            spec,
+            ClusterConfig(
+                num_shards=2,
+                batch_size=4,
+                engine=EngineConfig(window_items=8, halt_threshold=0.9),
+            ),
+        )
+        clock = 0.0
+        for _ in range(40):
+            clock += 1.0
+            event = StreamEvent(
+                time=clock,
+                item=Item(f"k{rng.integers(3)}", (int(rng.integers(8)), int(rng.integers(2))), clock),
+                source=f"stream-{rng.integers(4)}",
+            )
+            cluster.submit(event)
+        cluster.drain()
+        for payload in (cluster.stats(), cluster.health()):
+            # round-trips without custom encoders AND without loss: every
+            # histogram/monitor snapshot must already be plain dict/list
+            assert json.loads(json.dumps(payload)) == payload
+        cluster.close()
 
 
 class TestThroughputMeter:

@@ -1,0 +1,506 @@
+"""Loopback end-to-end suite for the HTTP serving tier.
+
+Every test runs a real :class:`ServingHTTPServer` on an ephemeral loopback
+port and drives it with the wire-speaking :class:`ServingHTTPClient` — every
+byte crosses a socket, nothing shortcuts into the gateway.  Stdlib
+``asyncio.run`` only (no pytest-asyncio), same as the aio suite.
+
+Covered here: per-stream decision parity over HTTP, the admission-status →
+response-code mapping (decided/accepted/rejected/shed/degraded), decision
+push-stream ordering against the pull API, malformed-request 400s, and the
+running → draining → closed lifecycle.
+"""
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import KVECConfig
+from repro.core.model import KVEC
+from repro.data.items import Item, ValueSpec
+from repro.data.stream import StreamEvent
+from repro.serving import (
+    AsyncServingGateway,
+    CheckpointConfig,
+    ClusterConfig,
+    EngineConfig,
+    FaultInjector,
+    FaultSpec,
+    OnlineClassificationEngine,
+    ServingCluster,
+    SupervisorConfig,
+)
+from repro.serving.net import ServingHTTPClient, ServingHTTPServer, protocol
+from repro.serving.net.client import ServingUnavailableError
+
+SPEC = ValueSpec(field_names=("size", "direction"), cardinalities=(8, 2), session_field=1)
+
+
+def make_model(seed: int = 3) -> KVEC:
+    config = KVECConfig(
+        d_model=12,
+        num_blocks=2,
+        num_heads=2,
+        ffn_hidden=20,
+        d_state=16,
+        dropout=0.0,
+        encoding="rotary",
+        seed=seed,
+    )
+    return KVEC(SPEC, num_classes=3, config=config)
+
+
+def engine_config(**overrides) -> EngineConfig:
+    kwargs = dict(window_items=7, halt_threshold=0.5, reencode_every=2)
+    kwargs.update(overrides)
+    return EngineConfig(**kwargs)
+
+
+def multi_stream_events(seed: int, num_events=200, num_streams=4, num_keys=4):
+    rng = np.random.default_rng(seed)
+    streams = [f"stream-{i}" for i in range(num_streams)]
+    events = []
+    clock = 0.0
+    for _ in range(num_events):
+        clock += 1.0
+        stream_id = streams[int(rng.integers(num_streams))]
+        item = Item(
+            f"k{rng.integers(num_keys)}",
+            (int(rng.integers(8)), int(rng.integers(2))),
+            clock,
+        )
+        events.append(StreamEvent(time=clock, item=item, source=stream_id))
+    return streams, events
+
+
+def reference_decisions(model, streams, events):
+    engines = {
+        stream_id: OnlineClassificationEngine(model, SPEC, engine_config())
+        for stream_id in streams
+    }
+    ordered = {stream_id: [] for stream_id in streams}
+    for event in events:
+        ordered[event.source].extend(engines[event.source].offer(event))
+    for stream_id, engine in engines.items():
+        ordered[stream_id].extend(engine.flush())
+    return ordered
+
+
+def assert_wire_parity(got_by_stream, expected):
+    """Wire-side NetDecisions against reference engine Decisions."""
+    for stream_id, reference in expected.items():
+        got = got_by_stream.get(stream_id, [])
+        assert [d.key for d in got] == [d.key for d in reference], stream_id
+        for mine, ref in zip(got, reference):
+            assert mine.predicted == ref.predicted, (stream_id, mine.key)
+            assert mine.confidence == pytest.approx(ref.confidence, abs=1e-9)
+            assert mine.observations == ref.observations, (stream_id, mine.key)
+
+
+async def _wait_for_stream_registration(server, count=1, timeout=5.0):
+    """Poll until `count` decision-stream subscriptions are live server-side."""
+    deadline = time.monotonic() + timeout
+    while server.stats()["server"]["decision_streams"] < count:
+        if time.monotonic() > deadline:
+            raise AssertionError("decision stream never registered")
+        await asyncio.sleep(0.01)
+
+
+class TestHTTPParity:
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    def test_http_submissions_match_reference_per_stream(self, executor):
+        """Submitting over the wire changes nothing: decision-for-decision
+        parity with one sequential single-stream engine per stream."""
+        model = make_model()
+        streams, events = multi_stream_events(seed=41, num_events=160)
+        expected = reference_decisions(model, streams, events)
+
+        async def scenario():
+            config = ClusterConfig(
+                num_shards=2,
+                batch_size=4,
+                executor=executor,
+                engine=engine_config(),
+            )
+            collected = []
+            async with ServingHTTPServer(
+                model=model, spec=SPEC, config=config
+            ) as server:
+                async with ServingHTTPClient(server.host, server.port) as client:
+                    for event in events:
+                        result = await client.submit(event.source, event)
+                        assert result.admitted
+                        assert result.http_status in (200, 202)
+                        # decided iff the round inlined decisions
+                        assert (result.http_status == 200) == bool(result.decisions)
+                        collected.extend(result.decisions)
+                    collected.extend(await client.shutdown())
+            return collected
+
+        collected = asyncio.run(scenario())
+        got_by_stream = {}
+        for decision in collected:
+            got_by_stream.setdefault(decision.stream_id, []).append(decision)
+        assert_wire_parity(got_by_stream, expected)
+
+    def test_decision_push_stream_matches_pull_api(self):
+        """The chunked NDJSON push stream carries exactly the pull-API
+        decisions, field-for-field in the same order."""
+        model = make_model()
+        streams, events = multi_stream_events(seed=43, num_events=120)
+
+        async def scenario():
+            config = ClusterConfig(num_shards=2, batch_size=4, engine=engine_config())
+            async with ServingHTTPServer(
+                model=model, spec=SPEC, config=config, heartbeat_s=0.2
+            ) as server:
+                async with ServingHTTPClient(server.host, server.port) as client:
+                    pushed = []
+
+                    async def consume():
+                        async for decision in client.decisions():
+                            pushed.append(decision)
+
+                    consumer = asyncio.create_task(consume())
+                    await _wait_for_stream_registration(server)
+                    pulled = []
+                    for event in events:
+                        result = await client.submit(event.source, event)
+                        pulled.extend(result.decisions)
+                    pulled.extend(await client.shutdown())
+                    await asyncio.wait_for(consumer, timeout=10)
+            return pulled, pushed
+
+        pulled, pushed = asyncio.run(scenario())
+        assert len(pushed) == len(pulled) > 0
+        assert pushed == pulled  # NetDecision dataclasses: field equality
+
+    def test_vanished_stream_consumer_is_unsubscribed(self):
+        """Breaking out of the client iteration closes the connection; the
+        heartbeat detects the dead socket and tears the subscription down."""
+        model = make_model()
+        streams, events = multi_stream_events(seed=47, num_events=60)
+
+        async def scenario():
+            config = ClusterConfig(num_shards=1, batch_size=4, engine=engine_config())
+            async with ServingHTTPServer(
+                model=model, spec=SPEC, config=config, heartbeat_s=0.05
+            ) as server:
+                async with ServingHTTPClient(server.host, server.port) as client:
+                    async def consume_one():
+                        async for decision in client.decisions():
+                            return decision  # abandon the stream immediately
+
+                    consumer = asyncio.create_task(consume_one())
+                    await _wait_for_stream_registration(server)
+                    for event in events:
+                        await client.submit(event.source, event)
+                    first = await asyncio.wait_for(consumer, timeout=10)
+                    assert first is not None
+                    # the server notices on its next heartbeat/write attempt
+                    deadline = time.monotonic() + 5.0
+                    while server.stats()["server"]["decision_streams"]:
+                        assert time.monotonic() < deadline, "sink never unsubscribed"
+                        await asyncio.sleep(0.02)
+                    # serving keeps flowing without the dead stream
+                    flushed = await client.flush()
+                    return flushed
+
+        flushed = asyncio.run(scenario())
+        assert isinstance(flushed, list)
+
+
+class TestStatusMapping:
+    def test_decided_and_accepted_codes(self):
+        model = make_model()
+
+        async def scenario():
+            # batch_size=4 with auto-drain: three queued arrivals come back
+            # 202, the fourth triggers the round and returns 200 + decisions
+            config = ClusterConfig(num_shards=1, batch_size=4, engine=engine_config())
+            async with ServingHTTPServer(model=model, spec=SPEC, config=config) as server:
+                async with ServingHTTPClient(server.host, server.port) as client:
+                    codes = []
+                    for step in range(8):
+                        result = await client.submit(
+                            "alpha", key=f"k{step % 2}",
+                            value=[step % 8, step % 2], time=float(step),
+                        )
+                        codes.append((result.http_status, result.status))
+                    await client.shutdown()
+            return codes
+
+        codes = asyncio.run(scenario())
+        assert (202, "accepted") in codes
+        assert any(code == 200 and status == "decided" for code, status in codes)
+        assert all(code in (200, 202) for code, _ in codes)
+
+    def test_rejected_maps_to_429(self):
+        model = make_model()
+
+        async def scenario():
+            config = ClusterConfig(
+                num_shards=1,
+                batch_size=4,
+                max_queue=2,
+                overflow="reject",
+                auto_drain=False,
+                engine=engine_config(),
+            )
+            async with ServingHTTPServer(model=model, spec=SPEC, config=config) as server:
+                async with ServingHTTPClient(server.host, server.port) as client:
+                    results = []
+                    for step in range(3):
+                        results.append(
+                            await client.submit(
+                                "alpha", key="k0", value=[step, 0], time=float(step)
+                            )
+                        )
+                    await client.shutdown()
+            return results
+
+        results = asyncio.run(scenario())
+        assert [r.http_status for r in results] == [202, 202, 429]
+        assert results[-1].status == "rejected"
+        assert not results[-1].admitted
+
+    def test_shed_maps_to_503_with_retry_after(self):
+        model = make_model()
+
+        async def scenario():
+            config = ClusterConfig(
+                num_shards=1,
+                batch_size=4,
+                max_queue=2,
+                overflow="shed",
+                auto_drain=False,
+                engine=engine_config(),
+            )
+            async with ServingHTTPServer(model=model, spec=SPEC, config=config) as server:
+                async with ServingHTTPClient(server.host, server.port) as client:
+                    results = []
+                    for step in range(3):
+                        results.append(
+                            await client.submit(
+                                "alpha", key="k0", value=[step, 0], time=float(step)
+                            )
+                        )
+                    await client.shutdown()
+            return results
+
+        results = asyncio.run(scenario())
+        assert [r.http_status for r in results] == [202, 202, 503]
+        assert results[-1].status == "shed"
+        assert results[-1].retry_after == 1  # Retry-After crossed the wire
+
+    def test_degraded_maps_to_503(self):
+        """A breaker-open shard serves degraded submissions as 503s."""
+        model = make_model()
+        streams, events = multi_stream_events(seed=15, num_events=8)
+        injector = FaultInjector(
+            specs=[FaultSpec(site="shard-round", shard_id=0, limit=2)]
+        )
+        config = ClusterConfig(
+            num_shards=1,
+            batch_size=2,
+            auto_drain=False,
+            supervision=SupervisorConfig(
+                failure_threshold=2,
+                backoff_base_s=10.0,
+                backoff_max_s=40.0,
+                degraded="shed",
+                checkpoint=CheckpointConfig(every_rounds=2),
+            ),
+            faults=injector,
+            engine=engine_config(),
+        )
+        cluster = ServingCluster(model, SPEC, config)
+        for event in events[:4]:
+            cluster.submit(event)
+        for _ in range(2):  # two failing rounds trip the threshold-2 breaker
+            cluster.drain()
+        assert cluster.health()["breaker_open"] == [0]
+
+        async def scenario():
+            gateway = AsyncServingGateway(cluster=cluster)
+            async with ServingHTTPServer(gateway) as server:
+                async with ServingHTTPClient(server.host, server.port) as client:
+                    result = await client.submit(
+                        events[4].source, events[4]
+                    )
+                    health = await client.health()
+            await gateway.close()
+            return result, health
+
+        result, health = asyncio.run(scenario())
+        cluster.close()
+        assert result.http_status == 503
+        assert result.status == "degraded"
+        assert health["breaker_open"] == [0]
+        assert health["degraded_submits"] == 1
+
+
+class TestMalformedRequests:
+    def _server(self, model):
+        config = ClusterConfig(num_shards=1, batch_size=4, engine=engine_config())
+        return ServingHTTPServer(model=model, spec=SPEC, config=config)
+
+    def test_framing_and_body_errors_return_400(self):
+        model = make_model()
+
+        async def scenario():
+            async with self._server(model) as server:
+                client = ServingHTTPClient(server.host, server.port)
+                async with client:
+                    target = f"{server.host}:{server.port}"
+                    # unparseable request line
+                    garbage = await client.raw_request(b"NOT A REQUEST\r\n\r\n")
+                    # body that is not JSON
+                    bad_json = await client.raw_request(
+                        protocol.render_request(
+                            "POST", "/v1/streams/s/events", target, b"{nope"
+                        )
+                    )
+                    # structurally valid JSON, invalid event payloads
+                    unknown_field = await client.request(
+                        "POST",
+                        "/v1/streams/s/events",
+                        {"time": 0.1, "key": "k", "value": [0, 0], "bogus": 1},
+                    )
+                    out_of_range = await client.request(
+                        "POST",
+                        "/v1/streams/s/events",
+                        {"time": 0.1, "key": "k", "value": [9, 0]},
+                    )
+                    wrong_arity = await client.request(
+                        "POST",
+                        "/v1/streams/s/events",
+                        {"time": 0.1, "key": "k", "value": [1]},
+                    )
+                    not_a_dict = await client.request(
+                        "POST", "/v1/streams/s/events", [1, 2, 3]
+                    )
+                    bad_expire = await client.request(
+                        "POST", "/v1/admin/expire", {"now": "later"}
+                    )
+            return [
+                garbage, bad_json, unknown_field, out_of_range,
+                wrong_arity, not_a_dict, bad_expire,
+            ]
+
+        responses = asyncio.run(scenario())
+        for response in responses:
+            assert response.status == 400
+            assert "error" in response.json()
+
+    def test_unknown_paths_and_methods(self):
+        model = make_model()
+
+        async def scenario():
+            async with self._server(model) as server:
+                async with ServingHTTPClient(server.host, server.port) as client:
+                    wrong_root = await client.request("GET", "/v2/stats")
+                    wrong_leaf = await client.request("POST", "/v1/streams/s/nope")
+                    get_events = await client.request("GET", "/v1/streams/s/events")
+                    post_stats = await client.request("POST", "/v1/stats")
+                    bad_admin = await client.request("POST", "/v1/admin/explode")
+                    with pytest.raises(RuntimeError, match="restore"):
+                        await client.restore("snap-404")
+            return wrong_root, wrong_leaf, get_events, post_stats, bad_admin
+
+        wrong_root, wrong_leaf, get_events, post_stats, bad_admin = asyncio.run(
+            scenario()
+        )
+        assert wrong_root.status == 404
+        assert wrong_leaf.status == 404
+        assert get_events.status == 405
+        assert post_stats.status == 405
+        assert bad_admin.status == 404
+
+
+class TestLifecycleOverHTTP:
+    def test_shutdown_then_submit_is_503(self):
+        model = make_model()
+        streams, events = multi_stream_events(seed=53, num_events=40)
+
+        async def scenario():
+            config = ClusterConfig(num_shards=2, batch_size=4, engine=engine_config())
+            async with ServingHTTPServer(model=model, spec=SPEC, config=config) as server:
+                async with ServingHTTPClient(server.host, server.port) as client:
+                    inline = []
+                    for event in events:
+                        result = await client.submit(event.source, event)
+                        inline.extend(result.decisions)
+                    final = await client.shutdown()
+                    inline.extend(final)
+                    # reads are still served after the drain...
+                    stats = await client.stats()
+                    health = await client.health()
+                    # ...but submissions are refused for lifecycle reasons
+                    with pytest.raises(ServingUnavailableError) as refused:
+                        await client.submit("alpha", key="k0", value=[0, 0])
+                    # cluster-wide admin ops on a closed gateway 503 too
+                    with pytest.raises(RuntimeError):
+                        await client.flush()
+            return inline, stats, health, refused.value
+
+        emitted, stats, health, refusal = asyncio.run(scenario())
+        assert len(emitted) > 0  # inline + shutdown-flush decisions arrived
+        assert stats["gateway_state"] == "closed"
+        assert stats["server"]["state"] == "draining"
+        assert refusal.http_status == 503
+
+    def test_snapshot_restore_round_trip_over_http(self):
+        """Admin snapshot/restore replays the tail bit-identically."""
+        model = make_model()
+        streams, events = multi_stream_events(seed=59, num_events=80)
+        split = 50
+
+        async def scenario():
+            config = ClusterConfig(num_shards=2, batch_size=4, engine=engine_config())
+            async with ServingHTTPServer(model=model, spec=SPEC, config=config) as server:
+                async with ServingHTTPClient(server.host, server.port) as client:
+                    for event in events[:split]:
+                        await client.submit(event.source, event)
+                    snapshot_id = await client.snapshot()
+                    first = []
+                    for event in events[split:]:
+                        result = await client.submit(event.source, event)
+                        first.extend(result.decisions)
+                    first.extend(await client.flush())
+                    await client.restore(snapshot_id)
+                    second = []
+                    for event in events[split:]:
+                        result = await client.submit(event.source, event)
+                        second.extend(result.decisions)
+                    second.extend(await client.flush())
+                    await client.shutdown()
+            return first, second
+
+        first, second = asyncio.run(scenario())
+        assert len(first) > 0
+        assert first == second  # bit-identical replay through the wire
+
+    def test_constructor_validation(self):
+        model = make_model()
+        with pytest.raises(ValueError, match="either"):
+            ServingHTTPServer()
+        gateway = AsyncServingGateway(
+            model, SPEC, ClusterConfig(num_shards=1, engine=engine_config())
+        )
+        with pytest.raises(ValueError, match="either"):
+            ServingHTTPServer(gateway, model=model)
+        with pytest.raises(ValueError, match="max_buffered"):
+            ServingHTTPServer(model=model, spec=SPEC, max_buffered=-1)
+        gateway.cluster.close()
+
+
+class TestServeEntrypoint:
+    def test_selftest_smoke(self, capsys):
+        from repro.serve import main as serve_main
+
+        assert serve_main(["--selftest", "40", "--port", "0", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "selftest: 40 events" in out

@@ -107,6 +107,26 @@ def test_process_executor_drain_at_least_1_5x_serial(parallel_gate_result):
     assert parallel_gate_result["speedup_process"] >= 1.5, parallel_gate_result
 
 
+@pytest.fixture(scope="module")
+def net_gate_result():
+    bench = pytest.importorskip(
+        "benchmarks.bench_ext_cluster_throughput",
+        reason="benchmarks/ must be importable (run pytest from the repo root)",
+    )
+    return bench.run_net_throughput(seed=GATE_SEED, emit_json=False)
+
+
+def test_http_loopback_at_least_half_direct_gateway_throughput(net_gate_result):
+    """Network-tier gate: submitting the identical traffic through the
+    loopback HTTP front end (request framing + JSON codecs + one socket
+    round-trip per event) must sustain >= 0.5x the direct async-gateway
+    throughput.  Both legs run the same AsyncServingGateway machinery, so
+    the ratio isolates the wire tax — a regression here means the protocol
+    layer started copying, blocking, or round-tripping more than it
+    should."""
+    assert net_gate_result["http_vs_direct"] >= 0.5, net_gate_result
+
+
 def _shm_available() -> bool:
     from repro.serving.transport import shm_available
 

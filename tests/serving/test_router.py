@@ -1,0 +1,335 @@
+"""ClusterRouter: consistent-hash placement, live migration, node recovery.
+
+The router-tier additions to the parity matrix:
+
+* **migration parity** — a stream migrated between nodes mid-run produces a
+  decision sequence bit-identical to an unmoved reference (sessions *and*
+  queued arrivals ride along),
+* **drain parity** — emptying a whole node rebalances its streams across
+  the survivors with zero decision drift,
+* **recovery** — a node whose worker fleet is SIGKILLed mid-run comes back
+  via checkpoint-restore + journal replay with at-least-once delivery:
+  every admitted arrival is re-served and the first emission per
+  (stream, key) matches an unfailed reference.
+"""
+
+import json
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.core.config import KVECConfig
+from repro.core.model import KVEC
+from repro.data.items import Item, ValueSpec
+from repro.data.stream import StreamEvent
+from repro.serving import (
+    BufferedSink,
+    CheckpointConfig,
+    ClusterConfig,
+    ClusterRouter,
+    EngineConfig,
+    OnlineClassificationEngine,
+    ServingCluster,
+    SupervisorConfig,
+)
+
+SPEC = ValueSpec(field_names=("size", "direction"), cardinalities=(8, 2), session_field=1)
+
+
+def make_model(seed: int = 3) -> KVEC:
+    config = KVECConfig(
+        d_model=12,
+        num_blocks=2,
+        num_heads=2,
+        ffn_hidden=20,
+        d_state=16,
+        dropout=0.0,
+        encoding="rotary",
+        seed=seed,
+    )
+    return KVEC(SPEC, num_classes=3, config=config)
+
+
+def engine_config(**overrides) -> EngineConfig:
+    kwargs = dict(window_items=7, halt_threshold=0.5, reencode_every=2)
+    kwargs.update(overrides)
+    return EngineConfig(**kwargs)
+
+
+def multi_stream_events(seed: int, num_events=200, num_streams=4, num_keys=4):
+    rng = np.random.default_rng(seed)
+    streams = [f"stream-{i}" for i in range(num_streams)]
+    events = []
+    clock = 0.0
+    for _ in range(num_events):
+        clock += 1.0
+        stream_id = streams[int(rng.integers(num_streams))]
+        item = Item(
+            f"k{rng.integers(num_keys)}",
+            (int(rng.integers(8)), int(rng.integers(2))),
+            clock,
+        )
+        events.append(StreamEvent(time=clock, item=item, source=stream_id))
+    return streams, events
+
+
+def reference_decisions(model, streams, events):
+    engines = {
+        stream_id: OnlineClassificationEngine(model, SPEC, engine_config())
+        for stream_id in streams
+    }
+    ordered = {stream_id: [] for stream_id in streams}
+    for event in events:
+        ordered[event.source].extend(engines[event.source].offer(event))
+    for stream_id, engine in engines.items():
+        ordered[stream_id].extend(engine.flush())
+    return ordered
+
+
+def assert_per_stream_parity(got_by_stream, expected):
+    for stream_id, reference in expected.items():
+        got = got_by_stream.get(stream_id, [])
+        assert [d.key for d in got] == [d.key for d in reference], stream_id
+        for mine, ref in zip(got, reference):
+            assert mine.predicted == ref.predicted, (stream_id, mine.key)
+            assert mine.confidence == pytest.approx(ref.confidence, abs=1e-9)
+            assert mine.observations == ref.observations, (stream_id, mine.key)
+
+
+def group_by_stream(stream_decisions):
+    grouped = {}
+    for sd in stream_decisions:
+        grouped.setdefault(sd.stream_id, []).append(sd.decision)
+    return grouped
+
+
+def make_node(model, executor="serial", num_shards=2, **config_overrides):
+    kwargs = dict(
+        num_shards=num_shards,
+        batch_size=4,
+        executor=executor,
+        engine=engine_config(),
+    )
+    kwargs.update(config_overrides)
+    return ServingCluster(model, SPEC, ClusterConfig(**kwargs))
+
+
+class TestRouting:
+    def test_placement_is_consistent_and_overridable(self):
+        model = make_model()
+        with ClusterRouter([make_node(model), make_node(model)]) as router:
+            assert router.node_index("alpha") == router.node_index("alpha")
+            assert router.node_of("alpha") is router.nodes[router.node_index("alpha")]
+            with pytest.raises(ValueError, match="no node"):
+                router.migrate_stream("alpha", 5)
+        with pytest.raises(ValueError, match="at least one"):
+            ClusterRouter([])
+
+    def test_stats_and_health_merge_and_round_trip_json(self):
+        model = make_model()
+        streams, events = multi_stream_events(seed=71, num_events=60)
+        with ClusterRouter([make_node(model), make_node(model)]) as router:
+            for event in events:
+                router.submit(event)
+            router.flush()
+            stats = router.stats()
+            health = router.health()
+            assert stats["num_nodes"] == 2
+            assert stats["state"] == "running"
+            assert stats["num_decided"] == sum(
+                node["num_decided"] for node in stats["nodes"]
+            )
+            assert len(stats["journal_depths"]) == 2
+            assert health["breaker_open_nodes"] == []
+            # the network tier ships these verbatim as JSON bodies
+            assert json.loads(json.dumps(stats)) == stats
+            assert json.loads(json.dumps(health)) == health
+        assert router.state == "closed"
+
+
+class TestLiveMigration:
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    def test_mid_run_migration_is_decision_identical(self, executor):
+        """The parity-matrix migration leg: move one live stream between
+        nodes mid-run; every stream's decisions stay bit-identical to the
+        unmoved per-stream reference."""
+        model = make_model()
+        streams, events = multi_stream_events(seed=67, num_events=160)
+        expected = reference_decisions(model, streams, events)
+        nodes = [make_node(model, executor), make_node(model, executor)]
+        with ClusterRouter(nodes) as router:
+            sink = router.subscribe(BufferedSink())
+            half = len(events) // 2
+            for event in events[:half]:
+                router.submit(event)
+            moved = streams[0]
+            source = router.node_index(moved)
+            target = 1 - source
+            assert router.migrate_stream(moved, target) is True
+            assert router.node_index(moved) == target
+            assert moved in nodes[target].stream_ids()
+            assert moved not in nodes[source].stream_ids()
+            # re-migrating to the current node is a no-op
+            assert router.migrate_stream(moved, target) is False
+            for event in events[half:]:
+                router.submit(event)
+            router.flush()
+            got = sink.take()
+        assert_per_stream_parity(group_by_stream(got), expected)
+
+    def test_migration_carries_queued_arrivals(self):
+        """auto_drain off: the moved stream has undrained arrivals queued,
+        and they are served on the target node, not dropped."""
+        model = make_model()
+        streams, events = multi_stream_events(seed=73, num_events=120)
+        expected = reference_decisions(model, streams, events)
+        nodes = [
+            make_node(model, auto_drain=False, max_queue=256),
+            make_node(model, auto_drain=False, max_queue=256),
+        ]
+        with ClusterRouter(nodes) as router:
+            sink = router.subscribe(BufferedSink())
+            half = len(events) // 2
+            for event in events[:half]:
+                router.submit(event)  # everything still queued (no draining)
+            moved = streams[1]
+            source = router.node_index(moved)
+            target = 1 - source
+            router.migrate_stream(moved, target)
+            for event in events[half:]:
+                router.submit(event)
+            router.flush()
+            got = sink.take()
+        assert_per_stream_parity(group_by_stream(got), expected)
+
+    def test_migration_on_the_process_backend(self):
+        """extract/install cross the process boundary: sessions live in the
+        worker replicas, so migration exercises the remote extract_stream /
+        install_stream ops end to end."""
+        model = make_model()
+        streams, events = multi_stream_events(seed=79, num_events=120)
+        expected = reference_decisions(model, streams, events)
+        nodes = [
+            make_node(model, "process", num_shards=1),
+            make_node(model, "process", num_shards=1),
+        ]
+        with ClusterRouter(nodes) as router:
+            sink = router.subscribe(BufferedSink())
+            half = len(events) // 2
+            for event in events[:half]:
+                router.submit(event)
+            moved = streams[2]
+            target = 1 - router.node_index(moved)
+            router.migrate_stream(moved, target)
+            for event in events[half:]:
+                router.submit(event)
+            router.flush()
+            got = sink.take()
+        assert_per_stream_parity(group_by_stream(got), expected)
+
+    def test_drain_node_rebalances_across_survivors(self):
+        model = make_model()
+        streams, events = multi_stream_events(
+            seed=83, num_events=180, num_streams=6
+        )
+        expected = reference_decisions(model, streams, events)
+        nodes = [make_node(model) for _ in range(3)]
+        with ClusterRouter(nodes) as router:
+            sink = router.subscribe(BufferedSink())
+            half = len(events) // 2
+            for event in events[:half]:
+                router.submit(event)
+            departing = nodes[0].stream_ids()
+            placements = router.drain_node(0)
+            assert sorted(placements, key=repr) == departing
+            assert nodes[0].stream_ids() == []
+            assert all(target in (1, 2) for target in placements.values())
+            for stream_id, target in placements.items():
+                assert router.node_index(stream_id) == target
+            for event in events[half:]:
+                router.submit(event)
+            # drained node stays empty: nothing routes back to it
+            assert nodes[0].stream_ids() == []
+            router.flush()
+            got = sink.take()
+        assert_per_stream_parity(group_by_stream(got), expected)
+        with ClusterRouter([make_node(model)]) as single:
+            with pytest.raises(ValueError, match="only node"):
+                single.drain_node(0)
+
+
+class TestNodeRecovery:
+    def test_sigkilled_node_is_reserved_via_checkpoint_and_journal(self):
+        """The acceptance leg: SIGKILL one node's worker process mid-run,
+        recover through the router (checkpoint restore + journal replay),
+        and verify at-least-once delivery — every (stream, key) the
+        unfailed reference decides is decided here, and the *first*
+        emission per (stream, key) matches the reference bit-for-bit."""
+        model = make_model()
+        streams, events = multi_stream_events(seed=61, num_events=160)
+        expected = reference_decisions(model, streams, events)
+        supervision = SupervisorConfig(checkpoint=CheckpointConfig(every_rounds=2))
+        nodes = [
+            make_node(model, "process", supervision=supervision),
+            make_node(model, "process", supervision=supervision),
+        ]
+        with ClusterRouter(nodes) as router:
+            sink = router.subscribe(BufferedSink())
+            quarter = len(events) // 4
+            for event in events[:quarter]:
+                router.submit(event)
+            # a mid-run checkpoint: recovery replays only the tail journal
+            router.checkpoint()
+            assert router.stats()["journal_depths"] == [0, 0]
+            for event in events[quarter : 2 * quarter]:
+                router.submit(event)
+            victim = router.node_index(streams[0])
+            assert streams[0] in nodes[victim].stream_ids()
+            victim_pid = nodes[victim]._executor.worker_pid(0)
+            os.kill(victim_pid, signal.SIGKILL)
+            replayed = router.recover_node(victim)
+            assert nodes[victim]._executor.worker_pid(0) != victim_pid
+            assert isinstance(replayed, list)
+            # the journal survives recovery (a second crash could replay it)
+            assert router.stats()["journal_depths"][victim] > 0
+            for event in events[2 * quarter :]:
+                router.submit(event)
+            router.flush()
+            got = sink.take()
+
+        # at-least-once: duplicates allowed (replays are bit-identical
+        # repeats), losses are not
+        first_emission = {}
+        for sd in got:
+            first_emission.setdefault((sd.stream_id, sd.decision.key), sd.decision)
+        for stream_id, reference in expected.items():
+            for ref in reference:
+                mine = first_emission.get((stream_id, ref.key))
+                assert mine is not None, (stream_id, ref.key)
+                assert mine.predicted == ref.predicted, (stream_id, ref.key)
+                assert mine.confidence == pytest.approx(ref.confidence, abs=1e-9)
+                assert mine.observations == ref.observations, (stream_id, ref.key)
+
+    def test_recovery_replay_is_deterministic(self):
+        """Recovering an *unfailed* node is a pure replay: the re-emitted
+        decisions equal the originals field-for-field."""
+        model = make_model()
+        streams, events = multi_stream_events(seed=89, num_events=80)
+        with ClusterRouter([make_node(model), make_node(model)]) as router:
+            sink = router.subscribe(BufferedSink())
+            for event in events:
+                router.submit(event)
+            originals = {
+                (sd.stream_id, sd.decision.key): sd.decision for sd in sink.take()
+            }
+            replayed = router.recover_node(0)
+            for sd in replayed:
+                original = originals.get((sd.stream_id, sd.decision.key))
+                if original is None:
+                    continue  # key decided only at flush time, not inline
+                assert sd.decision.predicted == original.predicted
+                assert sd.decision.confidence == pytest.approx(
+                    original.confidence, abs=1e-9
+                )
